@@ -1,0 +1,25 @@
+//! The three applications the paper layers on top of Atum.
+//!
+//! * [`asub`] — **ASub**, a topic-based publish/subscribe service. Pub/sub
+//!   operations map one-to-one onto the Atum API (create topic = bootstrap,
+//!   subscribe = join, unsubscribe = leave, publish = broadcast), so ASub is
+//!   a thin facade.
+//! * [`ashare`] — **AShare**, a file sharing service: a fully replicated
+//!   metadata index kept consistent through Atum broadcasts, randomized
+//!   replication with a feedback loop, chunked parallel transfers and
+//!   SHA-256 integrity checks that recover from corrupt replicas.
+//! * [`astream`] — **AStream**, a two-tier data streaming system: Atum
+//!   reliably disseminates per-chunk digests (tier one), while a lightweight
+//!   forest-based push–pull multicast moves the bulk data (tier two); every
+//!   node verifies tier-two data against tier-one digests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ashare;
+pub mod astream;
+pub mod asub;
+
+pub use ashare::{AShareApp, AShareConfig, FileMeta, GetOutcome, MetadataIndex};
+pub use astream::{AStreamApp, AStreamConfig, StreamChunk};
+pub use asub::{AsubEvent, AsubNode};

@@ -1,0 +1,29 @@
+//! Micro-benchmark: AShare integrity-check primitives — chunk digest
+//! computation and verification over realistic chunk sizes.
+
+use atum_crypto::ChunkDigests;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ashare_digest");
+    for mb in [1usize, 4, 16] {
+        let content = vec![0xabu8; mb * 1024 * 1024];
+        group.throughput(Throughput::Bytes(content.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("compute_10_chunks", format!("{mb}MB")),
+            &content,
+            |b, content| b.iter(|| ChunkDigests::compute(content, 10)),
+        );
+        let digests = ChunkDigests::compute(&content, 10);
+        let chunk = &content[..content.len() / 10];
+        group.bench_with_input(
+            BenchmarkId::new("verify_one_chunk", format!("{mb}MB")),
+            &(digests, chunk),
+            |b, (digests, chunk)| b.iter(|| assert!(digests.verify_chunk(0, chunk))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Micro-benchmark: the classic-gossip baseline simulation used in Figure 8.
+
+use atum_sim::simulate_classic_gossip;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gossip_baseline");
+    for n in [200usize, 850, 2000] {
+        group.bench_with_input(BenchmarkId::new("dissemination", n), &n, |b, &n| {
+            b.iter(|| simulate_classic_gossip(n, 12, 7))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

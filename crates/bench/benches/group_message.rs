@@ -1,0 +1,36 @@
+//! Micro-benchmark: throughput of the group-message collector (majority
+//! acceptance of vgroup-to-vgroup messages).
+
+use atum_crypto::Digest;
+use atum_overlay::GroupMessageCollector;
+use atum_types::{Composition, NodeId, VgroupId};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn collect(messages: u64, group_size: u64) {
+    let composition: Composition = (0..group_size).map(NodeId::new).collect();
+    let mut collector = GroupMessageCollector::new(messages as usize * 2);
+    let mut accepted = 0u64;
+    for m in 0..messages {
+        let digest = Digest::of(&m.to_be_bytes());
+        for sender in 0..group_size {
+            if collector.observe(VgroupId::new(1), &composition, NodeId::new(sender), digest, true)
+            {
+                accepted += 1;
+            }
+        }
+    }
+    assert_eq!(accepted, messages);
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("group_message_collector");
+    for size in [5u64, 13, 21] {
+        group.bench_with_input(BenchmarkId::new("accept_1000", size), &size, |b, &size| {
+            b.iter(|| collect(1000, size))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Micro-benchmark: overlay maintenance operations — H-graph construction,
+//! split insertion and merge removal.
+
+use atum_overlay::HGraph;
+use atum_types::VgroupId;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overlay_ops");
+    for vgroups in [128usize, 1024] {
+        let vertices: Vec<VgroupId> = (0..vgroups as u64).map(VgroupId::new).collect();
+        group.bench_with_input(
+            BenchmarkId::new("build_hgraph_hc6", vgroups),
+            &vertices,
+            |b, vertices| {
+                b.iter(|| {
+                    let mut rng = ChaCha8Rng::seed_from_u64(3);
+                    HGraph::random(vertices, 6, &mut rng)
+                })
+            },
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let graph = HGraph::random(&vertices, 6, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::new("split_insert_then_merge_remove", vgroups),
+            &graph,
+            |b, graph| {
+                b.iter(|| {
+                    let mut g = graph.clone();
+                    let new = VgroupId::new(1_000_000);
+                    let anchors: Vec<VgroupId> = (0..6)
+                        .map(|c| g.successor(c, VgroupId::new(0)).unwrap())
+                        .collect();
+                    g.insert(new, &anchors);
+                    assert!(g.remove(new));
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

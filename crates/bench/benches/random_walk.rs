@@ -1,0 +1,29 @@
+//! Micro-benchmark: graph-level random-walk sampling on H-graphs (the
+//! primitive behind the Figure 4 guideline and the shuffling protocol).
+
+use atum_overlay::{simulate_walk_hits, HGraph};
+use atum_types::VgroupId;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("random_walk");
+    for (vgroups, hc, rwl) in [(128usize, 6u8, 9u8), (512, 6, 11), (2048, 8, 12)] {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let vertices: Vec<VgroupId> = (0..vgroups as u64).map(VgroupId::new).collect();
+        let graph = HGraph::random(&vertices, hc, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::new("walks_10k", format!("{vgroups}v_hc{hc}_rwl{rwl}")),
+            &(graph, rwl),
+            |b, (graph, rwl)| {
+                let mut rng = ChaCha8Rng::seed_from_u64(2);
+                b.iter(|| simulate_walk_hits(graph, VgroupId::new(0), *rwl, 10_000, &mut rng))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Micro-benchmark: wall-clock cost of reaching agreement on one operation in
+//! a vgroup, for both SMR engines and several vgroup sizes.
+
+use atum_smr::{testkit::LockstepCluster, SmrConfig};
+use atum_types::{Duration, NodeId, SmrMode};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn agree_once(n: usize, mode: SmrMode) {
+    let config = SmrConfig {
+        round: Duration::from_millis(100),
+        ..SmrConfig::default()
+    };
+    let mut cluster = LockstepCluster::new(n, mode, config, 7);
+    cluster.propose(NodeId::new(0), b"benchmark-op".to_vec());
+    cluster.run_to_quiescence();
+    assert!(!cluster.decided(NodeId::new(n as u64 - 1)).is_empty());
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("smr_agreement");
+    group.sample_size(10);
+    for n in [4usize, 7, 13] {
+        group.bench_with_input(BenchmarkId::new("sync", n), &n, |b, &n| {
+            b.iter(|| agree_once(n, SmrMode::Synchronous))
+        });
+        group.bench_with_input(BenchmarkId::new("async", n), &n, |b, &n| {
+            b.iter(|| agree_once(n, SmrMode::Asynchronous))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

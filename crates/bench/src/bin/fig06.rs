@@ -1,0 +1,42 @@
+//! Figure 6: growth speed — system size over time when new nodes join at 8 %
+//! of the current size per minute, for the synchronous and asynchronous
+//! implementations.
+
+use atum_bench::{experiment_params, print_header, scaled};
+use atum_sim::run_growth;
+use atum_simnet::NetConfig;
+use atum_types::{Duration, SmrMode};
+
+fn main() {
+    print_header("Figure 6", "growth speed (system size over simulated time)");
+    let targets: Vec<usize> = if atum_bench::full_scale() {
+        vec![800, 1400]
+    } else {
+        vec![60, 120]
+    };
+    let max_sim = Duration::from_secs(scaled(3_600, 7_000));
+
+    for mode in [SmrMode::Synchronous, SmrMode::Asynchronous] {
+        for &target in &targets {
+            let params = experiment_params(target, 1_000).with_smr(mode);
+            let net = match mode {
+                SmrMode::Synchronous => NetConfig::lan(),
+                SmrMode::Asynchronous => NetConfig::wan(),
+            };
+            let report = run_growth(params, net, 6 + target as u64, target, 0.08, max_sim);
+            println!();
+            println!(
+                "--- {mode:?}, target {target} nodes: reached={} in {:.0}s",
+                report.reached_target, report.elapsed_secs
+            );
+            println!("{:>10} {:>10}", "seconds", "members");
+            // Print every few samples to keep the series readable.
+            let step = (report.size_over_time.len() / 30).max(1);
+            for (i, (secs, size)) in report.size_over_time.iter().enumerate() {
+                if i % step == 0 || i + 1 == report.size_over_time.len() {
+                    println!("{secs:>10.0} {size:>10}");
+                }
+            }
+        }
+    }
+}

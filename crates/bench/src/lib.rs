@@ -1,0 +1,77 @@
+//! Shared helpers for the per-figure experiment binaries and the Criterion
+//! benchmarks of the Atum reproduction.
+//!
+//! Every figure and table of the paper's evaluation (§6) has a matching
+//! binary in `src/bin/` (`fig04` … `fig13`). By default the binaries run at a
+//! laptop-friendly scale; set the environment variable `ATUM_FULL=1` to run
+//! at the paper's scale (slower, but the same code path).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figshare;
+
+use atum_types::{Duration, Params};
+
+/// `true` when the full paper-scale experiment was requested via
+/// `ATUM_FULL=1`.
+pub fn full_scale() -> bool {
+    std::env::var("ATUM_FULL").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Picks the scaled or full value depending on [`full_scale`].
+pub fn scaled<T>(default: T, full: T) -> T {
+    if full_scale() {
+        full
+    } else {
+        default
+    }
+}
+
+/// Parameters used by the experiment binaries: the paper's Table 1 defaults
+/// with a configurable round length and overlay dimensioning from the
+/// Figure 4 guideline.
+pub fn experiment_params(expected_nodes: usize, round_ms: u64) -> Params {
+    let groups = (expected_nodes / 7).max(2);
+    let guideline = atum_types::recommended_params(groups);
+    Params::default()
+        .with_expected_size(expected_nodes)
+        .with_overlay(guideline.hc, guideline.rwl)
+        .with_round(Duration::from_millis(round_ms))
+}
+
+/// Prints a table header in the same spirit as the paper's figures.
+pub fn print_header(figure: &str, caption: &str) {
+    println!("=============================================================");
+    println!("{figure}: {caption}");
+    println!(
+        "(scale: {})",
+        if full_scale() {
+            "full (paper)"
+        } else {
+            "reduced; set ATUM_FULL=1 for paper scale"
+        }
+    );
+    println!("=============================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_picks_by_env() {
+        // The environment is not set in tests, so the default is returned.
+        assert_eq!(scaled(10, 100), 10);
+        assert!(!full_scale());
+    }
+
+    #[test]
+    fn experiment_params_are_valid_across_sizes() {
+        for n in [20usize, 100, 850, 1400] {
+            let p = experiment_params(n, 1000);
+            p.validate().unwrap();
+            assert!(p.rwl >= 4);
+        }
+    }
+}

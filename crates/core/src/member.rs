@@ -1,0 +1,1575 @@
+//! The state and protocol logic of a node that is a member of a vgroup.
+//!
+//! [`MemberState`] is a pure state machine: its methods consume events
+//! (decided operations, accepted group messages, timer ticks) and return
+//! [`Effect`]s for the hosting [`AtumNode`](crate::AtumNode) to carry out
+//! (messages to send, application deliveries). Keeping it free of I/O makes
+//! the group-layer logic unit-testable without a network.
+
+use crate::app::Delivered;
+use crate::message::{AtumMessage, GroupEnvelope, GroupOp, GroupPayload};
+use atum_crypto::{Digest, KeyRegistry};
+use atum_overlay::{
+    gossip::{Direction, ForwardTarget},
+    GossipPlanner, GroupMessageCollector, NeighborTable, SeenCache, WalkPurpose, WalkState,
+};
+use atum_smr::{Action, Engine, Replication, SmrConfig, SmrMessage};
+use atum_types::{
+    BroadcastId, Composition, Instant, NodeId, NodeIdentity, Params, VgroupId, WalkId,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// What the member logic asks its host to do.
+#[derive(Debug)]
+pub enum Effect {
+    /// Send a message to another node.
+    Send {
+        /// Destination node.
+        to: NodeId,
+        /// Message to send.
+        msg: AtumMessage,
+    },
+    /// Deliver a broadcast to the application.
+    Deliver(Delivered),
+    /// This node is no longer a member of its vgroup (it left, was evicted,
+    /// or was exchanged away and now waits for a `Welcome` from its new
+    /// vgroup).
+    MembershipEnded {
+        /// `true` when the departure was initiated by this node (`leave`).
+        voluntary: bool,
+        /// `true` when the node was exchanged and should expect a `Welcome`.
+        transferred: bool,
+    },
+}
+
+/// Counters for the shuffle-exchange statistics reported in Figure 13.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExchangeStats {
+    /// Exchanges this vgroup initiated that completed.
+    pub completed: u64,
+    /// Exchanges refused because the selected partner vgroup had no spare
+    /// member (suppressed exchanges).
+    pub suppressed: u64,
+    /// Exchanges still outstanding.
+    pub outstanding: u64,
+}
+
+/// Per-node statistics of interest to experiments.
+#[derive(Debug, Clone, Default)]
+pub struct MemberStats {
+    /// Broadcasts delivered: (id, delivery time, overlay hops).
+    pub delivered: Vec<(BroadcastId, Instant, u32)>,
+    /// Exchange bookkeeping (only meaningful at vgroups that shuffled).
+    pub exchanges: ExchangeStats,
+    /// Number of reconfigurations (epoch changes) this member went through.
+    pub reconfigurations: u64,
+    /// Number of splits this member participated in.
+    pub splits: u64,
+    /// Number of merges this member participated in.
+    pub merges: u64,
+    /// Number of evictions this member's vgroup agreed on.
+    pub evictions: u64,
+}
+
+/// The vgroup-membership state of one node.
+pub struct MemberState {
+    me: NodeIdentity,
+    params: Params,
+    registry: Arc<KeyRegistry>,
+    /// The vgroup this node belongs to.
+    pub vgroup: VgroupId,
+    /// Current composition of the vgroup.
+    pub composition: Composition,
+    /// Neighbour table (per-cycle predecessor/successor).
+    pub neighbors: NeighborTable,
+    /// Configuration epoch (bumped on every composition change).
+    pub epoch: u64,
+    engine: Option<Engine<GroupOp>>,
+    applied_ops: HashSet<Digest>,
+    my_pending: Vec<GroupOp>,
+    collector: GroupMessageCollector,
+    seen_broadcasts: SeenCache,
+    next_broadcast_seq: u64,
+    next_walk_seq: u64,
+    /// Shuffle walks this vgroup started: walk → the member to exchange.
+    outstanding_exchanges: HashMap<WalkId, NodeId>,
+    /// Members this vgroup reserved as exchange partners: walk → member.
+    reserved: HashMap<WalkId, NodeId>,
+    /// Accusations collected towards evictions: target → accusers.
+    evict_accusations: HashMap<NodeId, HashSet<NodeId>>,
+    last_heard: HashMap<NodeId, Instant>,
+    last_heartbeat_sent: Instant,
+    merging: bool,
+    /// Statistics for the experiments.
+    pub stats: MemberStats,
+}
+
+impl MemberState {
+    /// Creates the member state of a node that bootstraps a fresh system: a
+    /// single vgroup containing only this node, neighbouring itself on every
+    /// cycle.
+    pub fn bootstrap(
+        me: NodeIdentity,
+        params: Params,
+        registry: Arc<KeyRegistry>,
+        now: Instant,
+    ) -> Self {
+        let vgroup = VgroupId::new(me.id.raw());
+        let composition = Composition::singleton(me.id);
+        let neighbors = NeighborTable::self_loop(params.hc, vgroup, composition.clone());
+        Self::with_membership(me, params, registry, vgroup, composition, neighbors, 0, now)
+    }
+
+    /// Creates the member state of a node with explicitly given membership
+    /// (used when a `Welcome` is accepted, and by the simulation harness to
+    /// bootstrap large systems without running thousands of joins).
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_membership(
+        me: NodeIdentity,
+        params: Params,
+        registry: Arc<KeyRegistry>,
+        vgroup: VgroupId,
+        composition: Composition,
+        neighbors: NeighborTable,
+        epoch: u64,
+        now: Instant,
+    ) -> Self {
+        let engine = if composition.contains(me.id) {
+            Some(Engine::new(
+                params.smr,
+                me.id,
+                composition.clone(),
+                SmrConfig {
+                    round: params.round,
+                    ..SmrConfig::default()
+                },
+                registry.clone(),
+                Instant::ZERO,
+            ))
+        } else {
+            None
+        };
+        MemberState {
+            me,
+            params,
+            registry,
+            vgroup,
+            composition,
+            neighbors,
+            epoch,
+            engine,
+            applied_ops: HashSet::new(),
+            my_pending: Vec::new(),
+            collector: GroupMessageCollector::new(4096),
+            seen_broadcasts: SeenCache::new(65536),
+            next_broadcast_seq: 0,
+            next_walk_seq: 0,
+            outstanding_exchanges: HashMap::new(),
+            reserved: HashMap::new(),
+            evict_accusations: HashMap::new(),
+            last_heard: HashMap::new(),
+            last_heartbeat_sent: now,
+            merging: false,
+            stats: MemberStats::default(),
+        }
+    }
+
+    /// This node's identifier.
+    pub fn id(&self) -> NodeId {
+        self.me.id
+    }
+
+    /// Exchange statistics (Figure 13).
+    pub fn exchange_stats(&self) -> ExchangeStats {
+        ExchangeStats {
+            outstanding: self.outstanding_exchanges.len() as u64,
+            ..self.stats.exchanges
+        }
+    }
+
+    /// Allocates the next broadcast identifier for this node.
+    pub fn next_broadcast_id(&mut self) -> BroadcastId {
+        let id = BroadcastId::new(self.me.id, self.next_broadcast_seq);
+        self.next_broadcast_seq += 1;
+        id
+    }
+
+    // ----------------------------------------------------------------- SMR
+
+    /// Proposes an operation for agreement inside the vgroup.
+    pub fn propose(&mut self, op: GroupOp, now: Instant, effects: &mut Vec<Effect>) {
+        use atum_smr::SmrOp as _;
+        let digest = op.digest();
+        if self.applied_ops.contains(&digest) {
+            return;
+        }
+        if !self.my_pending.iter().any(|p| p.digest() == digest) {
+            self.my_pending.push(op.clone());
+        }
+        if self.composition.len() == 1 && self.composition.contains(self.me.id) {
+            // Single-member vgroup: agreement is trivial; apply immediately.
+            self.apply_op(op, now, effects, &mut Vec::new());
+            return;
+        }
+        let Some(engine) = self.engine.as_mut() else {
+            return;
+        };
+        let actions = engine.propose(op, now);
+        self.process_actions(actions, now, effects);
+    }
+
+    /// Handles an intra-vgroup SMR message.
+    pub fn on_smr_message(
+        &mut self,
+        from: NodeId,
+        epoch: u64,
+        msg: SmrMessage<GroupOp>,
+        now: Instant,
+        effects: &mut Vec<Effect>,
+    ) {
+        self.note_alive(from, now);
+        if epoch != self.epoch {
+            return;
+        }
+        let Some(engine) = self.engine.as_mut() else {
+            return;
+        };
+        let actions = engine.handle(from, msg, now);
+        self.process_actions(actions, now, effects);
+    }
+
+    /// Advances timers: SMR rounds/timeouts, heartbeats, eviction checks.
+    pub fn tick(&mut self, now: Instant, effects: &mut Vec<Effect>) {
+        if let Some(engine) = self.engine.as_mut() {
+            let actions = engine.tick(now);
+            self.process_actions(actions, now, effects);
+        }
+        self.heartbeat_duties(now, effects);
+    }
+
+    fn process_actions(
+        &mut self,
+        actions: Vec<Action<GroupOp>>,
+        now: Instant,
+        effects: &mut Vec<Effect>,
+    ) {
+        // Apply decisions after queuing sends so message order stays sane.
+        let mut decided = Vec::new();
+        for action in actions {
+            match action {
+                Action::Send { to, msg } => effects.push(Effect::Send {
+                    to,
+                    msg: AtumMessage::Smr {
+                        epoch: self.epoch,
+                        msg,
+                    },
+                }),
+                Action::Deliver(decision) => decided.push(decision.op),
+                Action::ScheduleTick { .. } => {
+                    // The host drives ticks on a periodic timer.
+                }
+            }
+        }
+        let mut follow_ups = Vec::new();
+        for op in decided {
+            self.apply_op(op, now, effects, &mut follow_ups);
+        }
+        for op in follow_ups {
+            self.propose(op, now, effects);
+        }
+    }
+
+    // ------------------------------------------------------- applying ops
+
+    /// Applies a decided operation. Re-application (possible across
+    /// reconfigurations) is harmless: every branch checks current state
+    /// before mutating.
+    fn apply_op(
+        &mut self,
+        op: GroupOp,
+        now: Instant,
+        effects: &mut Vec<Effect>,
+        follow_ups: &mut Vec<GroupOp>,
+    ) {
+        use atum_smr::SmrOp as _;
+        let digest = op.digest();
+        if !self.applied_ops.insert(digest) {
+            return;
+        }
+        self.my_pending.retain(|p| p.digest() != digest);
+        let epoch_before = self.epoch;
+        match op {
+            GroupOp::HandleJoinRequest { joiner, .. } => {
+                self.start_walk(
+                    WalkPurpose::JoinPlacement { joiner: joiner.id },
+                    digest,
+                    now,
+                    effects,
+                );
+            }
+            GroupOp::AdmitJoiner { joiner, .. } => {
+                if self.composition.insert(joiner.id) {
+                    self.after_composition_change(now, effects);
+                    self.send_welcome(joiner.id, effects);
+                    self.announce_composition(effects);
+                    self.start_shuffle(now, effects);
+                    self.maybe_resize(now, effects, follow_ups);
+                }
+            }
+            GroupOp::Leave { node, .. } => {
+                if self.composition.remove(node) {
+                    if node == self.me.id {
+                        effects.push(Effect::MembershipEnded {
+                            voluntary: true,
+                            transferred: false,
+                        });
+                        return;
+                    }
+                    self.after_composition_change(now, effects);
+                    self.announce_composition(effects);
+                    self.start_shuffle(now, effects);
+                    self.maybe_resize(now, effects, follow_ups);
+                }
+            }
+            GroupOp::Evict { node, accuser, .. } => {
+                // Eviction needs corroboration from more than the fault bound
+                // so a Byzantine minority cannot evict correct members.
+                if !self.composition.contains(node) || !self.composition.contains(accuser) {
+                    return;
+                }
+                let accusers = self.evict_accusations.entry(node).or_default();
+                accusers.insert(accuser);
+                let needed = self.composition.max_faults(self.params.smr) + 1;
+                if accusers.len() < needed && self.composition.len() > 1 {
+                    return;
+                }
+                self.stats.evictions += 1;
+                self.evict_accusations.remove(&node);
+                if self.composition.remove(node) {
+                    if node == self.me.id {
+                        effects.push(Effect::MembershipEnded {
+                            voluntary: false,
+                            transferred: false,
+                        });
+                        return;
+                    }
+                    self.after_composition_change(now, effects);
+                    self.announce_composition(effects);
+                    self.start_shuffle(now, effects);
+                    self.maybe_resize(now, effects, follow_ups);
+                }
+            }
+            GroupOp::Broadcast { id, payload } => {
+                if self.seen_broadcasts.insert(id) {
+                    self.deliver_and_forward(id, payload, 0, now, effects);
+                }
+            }
+            GroupOp::OfferExchange {
+                walk,
+                leaving,
+                origin,
+                origin_composition,
+            } => {
+                // Pick a member that is not already reserved and is not us if
+                // avoidable; refuse when nothing is available (suppressed
+                // exchange).
+                let reserved: HashSet<NodeId> = self.reserved.values().copied().collect();
+                let candidate = self
+                    .composition
+                    .iter()
+                    .filter(|m| !reserved.contains(m))
+                    .nth((digest.as_u64() % self.composition.len().max(1) as u64) as usize)
+                    .or_else(|| self.composition.iter().find(|m| !reserved.contains(m)));
+                match candidate {
+                    Some(member) if self.composition.len() > 1 || origin != self.vgroup => {
+                        self.reserved.insert(walk, member);
+                        self.send_group_message(
+                            &origin_composition,
+                            GroupPayload::ExchangeOffer {
+                                walk,
+                                leaving: leaving.id,
+                                incoming: NodeIdentity::simulated(member),
+                            },
+                            effects,
+                        );
+                    }
+                    _ => {
+                        self.send_group_message(
+                            &origin_composition,
+                            GroupPayload::ExchangeRefuse {
+                                walk,
+                                leaving: leaving.id,
+                            },
+                            effects,
+                        );
+                    }
+                }
+            }
+            GroupOp::CompleteExchange {
+                walk,
+                leaving,
+                incoming,
+                partner: _,
+                partner_composition,
+            } => {
+                if self.outstanding_exchanges.remove(&walk).is_none() {
+                    return;
+                }
+                if !self.composition.contains(leaving) || self.composition.contains(incoming.id) {
+                    // The member already left (evicted / merged away); treat
+                    // the exchange as suppressed.
+                    self.stats.exchanges.suppressed += 1;
+                    return;
+                }
+                self.stats.exchanges.completed += 1;
+                self.composition.remove(leaving);
+                self.composition.insert(incoming.id);
+                self.after_composition_change(now, effects);
+                self.send_welcome(incoming.id, effects);
+                self.announce_composition(effects);
+                self.send_group_message(
+                    &partner_composition,
+                    GroupPayload::ExchangeAccept {
+                        walk,
+                        given: incoming.id,
+                        adopted: NodeIdentity::simulated(leaving),
+                    },
+                    effects,
+                );
+                if leaving == self.me.id {
+                    effects.push(Effect::MembershipEnded {
+                        voluntary: false,
+                        transferred: true,
+                    });
+                    return;
+                }
+                self.maybe_resize(now, effects, follow_ups);
+            }
+            GroupOp::FinishExchange {
+                walk,
+                given,
+                adopted,
+            } => {
+                if self.reserved.remove(&walk).is_none() {
+                    return;
+                }
+                if !self.composition.contains(given) || self.composition.contains(adopted.id) {
+                    return;
+                }
+                self.composition.remove(given);
+                self.composition.insert(adopted.id);
+                self.after_composition_change(now, effects);
+                self.send_welcome(adopted.id, effects);
+                self.announce_composition(effects);
+                if given == self.me.id {
+                    effects.push(Effect::MembershipEnded {
+                        voluntary: false,
+                        transferred: true,
+                    });
+                    return;
+                }
+                self.maybe_resize(now, effects, follow_ups);
+            }
+            GroupOp::AcceptMerge { from, members } => {
+                let mut changed = false;
+                for m in &members {
+                    changed |= self.composition.insert(m.id);
+                }
+                if changed {
+                    self.stats.merges += 1;
+                    self.collector.forget_source(from);
+                    self.after_composition_change(now, effects);
+                    for m in &members {
+                        self.send_welcome(m.id, effects);
+                    }
+                    self.announce_composition(effects);
+                    self.start_shuffle(now, effects);
+                    self.maybe_resize(now, effects, follow_ups);
+                }
+            }
+            GroupOp::InsertOverlayNeighbor {
+                cycle,
+                new_group,
+                composition,
+            } => {
+                let cycle_idx = cycle as usize;
+                let Some(current) = self.neighbors.cycle(cycle_idx).cloned() else {
+                    return;
+                };
+                let old_successor = current.successor;
+                let old_successor_comp = current.successor_composition.clone();
+                let mut updated = current;
+                updated.successor = new_group;
+                updated.successor_composition = composition.clone();
+                self.neighbors.set_cycle(cycle_idx, updated);
+                // Introduce ourselves to the new group as its predecessor and
+                // hand it its successor; tell the old successor about its new
+                // predecessor.
+                self.send_group_message(
+                    &composition,
+                    GroupPayload::NeighborIntro {
+                        cycle,
+                        sender_is_predecessor: true,
+                        group: self.vgroup,
+                        composition: self.composition.clone(),
+                    },
+                    effects,
+                );
+                self.send_group_message(
+                    &composition,
+                    GroupPayload::NeighborIntro {
+                        cycle,
+                        sender_is_predecessor: false,
+                        group: old_successor,
+                        composition: old_successor_comp.clone(),
+                    },
+                    effects,
+                );
+                if old_successor != self.vgroup {
+                    self.send_group_message(
+                        &old_successor_comp,
+                        GroupPayload::CyclePatch {
+                            cycle,
+                            new_is_successor: false,
+                            group: new_group,
+                            composition,
+                        },
+                        effects,
+                    );
+                }
+            }
+        }
+        // If this operation reconfigured the vgroup, operations we proposed
+        // into the old engine are gone; hand them to the caller so they are
+        // re-proposed into the new configuration.
+        if self.epoch != epoch_before && !self.my_pending.is_empty() {
+            follow_ups.extend(std::mem::take(&mut self.my_pending));
+        }
+    }
+
+    /// Sends one copy of a group message to every member of `to`.
+    fn send_group_message(
+        &self,
+        to: &Composition,
+        payload: GroupPayload,
+        effects: &mut Vec<Effect>,
+    ) {
+        let envelope = GroupEnvelope {
+            source: self.vgroup,
+            source_composition: self.composition.clone(),
+            payload,
+        };
+        for member in to.iter() {
+            effects.push(Effect::Send {
+                to: member,
+                msg: AtumMessage::Group(envelope.clone()),
+            });
+        }
+    }
+
+    /// Invoked by the host when the application (or API) wants to broadcast.
+    pub fn start_broadcast(
+        &mut self,
+        payload: Vec<u8>,
+        now: Instant,
+        effects: &mut Vec<Effect>,
+    ) -> BroadcastId {
+        let id = self.next_broadcast_id();
+        self.propose(GroupOp::Broadcast { id, payload }, now, effects);
+        id
+    }
+
+    /// Invoked by the host when this node wants to leave.
+    pub fn start_leave(&mut self, now: Instant, effects: &mut Vec<Effect>) {
+        let op = GroupOp::Leave {
+            node: self.me.id,
+            nonce: self.epoch,
+        };
+        self.propose(op, now, effects);
+    }
+
+    // ------------------------------------------------------ group messages
+
+    /// Handles one physical copy of a group message.
+    pub fn on_group_copy(
+        &mut self,
+        from: NodeId,
+        envelope: GroupEnvelope,
+        now: Instant,
+        effects: &mut Vec<Effect>,
+        forward_filter: &mut dyn FnMut(&Delivered, VgroupId) -> bool,
+    ) {
+        self.note_alive(from, now);
+        // Use the composition claimed by the envelope for the majority rule.
+        // Neighbour tables lag behind during churn (the sending vgroup may
+        // have reconfigured since the last CompositionUpdate), and a stale
+        // majority threshold would make the receiver deaf to its neighbour.
+        // In a deployment the claimed composition is certified by the
+        // previous configuration's signatures; the simulator's fault
+        // injection never forges envelopes, so the check is elided here.
+        let source_comp = envelope.source_composition.clone();
+        let digest = envelope.payload.digest();
+        let accepted =
+            self.collector
+                .observe(envelope.source, &source_comp, from, digest, true);
+        if !accepted {
+            return;
+        }
+        self.handle_group_payload(
+            envelope.source,
+            &source_comp,
+            envelope.payload,
+            now,
+            effects,
+            forward_filter,
+        );
+    }
+
+    fn handle_group_payload(
+        &mut self,
+        source: VgroupId,
+        source_comp: &Composition,
+        payload: GroupPayload,
+        now: Instant,
+        effects: &mut Vec<Effect>,
+        forward_filter: &mut dyn FnMut(&Delivered, VgroupId) -> bool,
+    ) {
+        match payload {
+            GroupPayload::Gossip { id, payload, hops } => {
+                if self.seen_broadcasts.insert(id) {
+                    self.deliver_and_forward_filtered(
+                        id,
+                        payload,
+                        hops,
+                        now,
+                        effects,
+                        forward_filter,
+                    );
+                }
+            }
+            GroupPayload::Walk(walk) => self.handle_walk(walk, now, effects),
+            GroupPayload::CompositionUpdate { group, composition } => {
+                self.neighbors.update_composition(group, &composition);
+            }
+            GroupPayload::ExchangeOffer {
+                walk,
+                leaving,
+                incoming,
+            } => {
+                if self.outstanding_exchanges.contains_key(&walk) {
+                    // The partner is usually a random vgroup (not a
+                    // neighbour), so its composition comes from the accepted
+                    // group message itself.
+                    let op = GroupOp::CompleteExchange {
+                        walk,
+                        leaving,
+                        incoming,
+                        partner: source,
+                        partner_composition: self
+                            .neighbors
+                            .composition_of(source)
+                            .cloned()
+                            .unwrap_or_else(|| source_comp.clone()),
+                    };
+                    self.propose(op, now, effects);
+                }
+            }
+            GroupPayload::ExchangeRefuse { walk, .. } => {
+                if self.outstanding_exchanges.remove(&walk).is_some() {
+                    self.stats.exchanges.suppressed += 1;
+                }
+            }
+            GroupPayload::ExchangeAccept {
+                walk,
+                given,
+                adopted,
+            } => {
+                if self.reserved.contains_key(&walk) {
+                    self.propose(
+                        GroupOp::FinishExchange {
+                            walk,
+                            given,
+                            adopted,
+                        },
+                        now,
+                        effects,
+                    );
+                }
+            }
+            GroupPayload::SplitInsert {
+                cycle,
+                new_group,
+                composition,
+            } => {
+                self.propose(
+                    GroupOp::InsertOverlayNeighbor {
+                        cycle,
+                        new_group,
+                        composition,
+                    },
+                    now,
+                    effects,
+                );
+            }
+            GroupPayload::NeighborIntro {
+                cycle,
+                sender_is_predecessor,
+                group,
+                composition,
+            } => {
+                let cycle_idx = cycle as usize;
+                let mut entry = self.neighbors.cycle(cycle_idx).cloned().unwrap_or(
+                    atum_overlay::CycleNeighbors {
+                        predecessor: self.vgroup,
+                        predecessor_composition: self.composition.clone(),
+                        successor: self.vgroup,
+                        successor_composition: self.composition.clone(),
+                    },
+                );
+                if sender_is_predecessor {
+                    entry.predecessor = group;
+                    entry.predecessor_composition = composition;
+                } else {
+                    entry.successor = group;
+                    entry.successor_composition = composition;
+                }
+                self.neighbors.set_cycle(cycle_idx, entry);
+            }
+            GroupPayload::MergeRequest { from, members } => {
+                self.propose(GroupOp::AcceptMerge { from, members }, now, effects);
+            }
+            GroupPayload::MergeAccept { .. } => {
+                // Handled via the Welcome messages the absorbing vgroup sends
+                // to every absorbed member; nothing to do at the group level.
+            }
+            GroupPayload::CyclePatch {
+                cycle,
+                new_is_successor,
+                group,
+                composition,
+            } => {
+                let cycle_idx = cycle as usize;
+                if let Some(mut entry) = self.neighbors.cycle(cycle_idx).cloned() {
+                    if new_is_successor {
+                        entry.successor = group;
+                        entry.successor_composition = composition;
+                    } else {
+                        entry.predecessor = group;
+                        entry.predecessor_composition = composition;
+                    }
+                    self.neighbors.set_cycle(cycle_idx, entry);
+                }
+            }
+        }
+    }
+
+    // -------------------------------------------------------------- walks
+
+    fn start_walk(
+        &mut self,
+        purpose: WalkPurpose,
+        seed: Digest,
+        now: Instant,
+        effects: &mut Vec<Effect>,
+    ) -> WalkId {
+        let id = WalkId::new(self.vgroup, self.next_walk_seq);
+        self.next_walk_seq += 1;
+        // Deterministic bulk RNG: every correct member derives the same walk.
+        let mut rng = ChaCha8Rng::seed_from_u64(
+            seed.as_u64() ^ self.epoch ^ id.seq.wrapping_mul(0x9E37_79B9),
+        );
+        let walk = WalkState::new(
+            id,
+            purpose,
+            self.vgroup,
+            self.composition.clone(),
+            self.params.rwl,
+            &mut rng,
+        );
+        self.route_walk(walk, now, effects);
+        id
+    }
+
+    /// Either forwards a walk one step or, if it is complete, acts on it.
+    fn route_walk(&mut self, mut walk: WalkState, now: Instant, effects: &mut Vec<Effect>) {
+        if walk.is_complete() {
+            self.on_walk_selected(walk, now, effects);
+            return;
+        }
+        // Pick a random incident overlay link (two per cycle).
+        let mut links: Vec<(VgroupId, Composition)> = Vec::new();
+        for c in 0..self.neighbors.cycle_count() {
+            if let Some(entry) = self.neighbors.cycle(c) {
+                links.push((entry.successor, entry.successor_composition.clone()));
+                links.push((entry.predecessor, entry.predecessor_composition.clone()));
+            }
+        }
+        if links.is_empty() {
+            // Isolated vgroup (bootstrap): the walk ends here.
+            while !walk.is_complete() {
+                let own = self.vgroup;
+                walk.advance(own);
+            }
+            self.on_walk_selected(walk, now, effects);
+            return;
+        }
+        let choice = walk.current_rng().unwrap_or(0) % links.len() as u64;
+        let (next_group, next_comp) = links[choice as usize].clone();
+        walk.advance(next_group);
+        if next_group == self.vgroup {
+            // Self-loop edge: handle locally without a network round-trip.
+            self.route_walk(walk, now, effects);
+        } else {
+            self.send_group_message(&next_comp, GroupPayload::Walk(walk), effects);
+        }
+    }
+
+    /// The walk stopped at this vgroup: act according to its purpose.
+    fn on_walk_selected(&mut self, walk: WalkState, now: Instant, effects: &mut Vec<Effect>) {
+        match walk.purpose.clone() {
+            WalkPurpose::JoinPlacement { joiner } => {
+                self.propose(
+                    GroupOp::AdmitJoiner {
+                        joiner: NodeIdentity::simulated(joiner),
+                        walk: walk.id,
+                    },
+                    now,
+                    effects,
+                );
+            }
+            WalkPurpose::ShuffleExchange { member } => {
+                self.propose(
+                    GroupOp::OfferExchange {
+                        walk: walk.id,
+                        leaving: NodeIdentity::simulated(member),
+                        origin: walk.origin,
+                        origin_composition: walk.origin_composition.clone(),
+                    },
+                    now,
+                    effects,
+                );
+            }
+            WalkPurpose::SplitAnchor {
+                cycle,
+                new_group,
+                composition,
+            } => {
+                self.propose(
+                    GroupOp::InsertOverlayNeighbor {
+                        cycle,
+                        new_group,
+                        composition,
+                    },
+                    now,
+                    effects,
+                );
+            }
+            WalkPurpose::Sample => {}
+        }
+    }
+
+    /// A walk received from another vgroup (already majority-accepted).
+    fn handle_walk(&mut self, walk: WalkState, now: Instant, effects: &mut Vec<Effect>) {
+        self.route_walk(walk, now, effects);
+    }
+
+    // ------------------------------------------------------------- gossip
+
+    fn deliver_and_forward(
+        &mut self,
+        id: BroadcastId,
+        payload: Vec<u8>,
+        hops: u32,
+        now: Instant,
+        effects: &mut Vec<Effect>,
+    ) {
+        let mut all = |_d: &Delivered, _g: VgroupId| true;
+        self.deliver_and_forward_filtered(id, payload, hops, now, effects, &mut all);
+    }
+
+    fn deliver_and_forward_filtered(
+        &mut self,
+        id: BroadcastId,
+        payload: Vec<u8>,
+        hops: u32,
+        now: Instant,
+        effects: &mut Vec<Effect>,
+        forward_filter: &mut dyn FnMut(&Delivered, VgroupId) -> bool,
+    ) {
+        let delivered = Delivered {
+            id,
+            payload: payload.clone(),
+            at: now,
+            hops,
+        };
+        self.stats.delivered.push((id, now, hops));
+        effects.push(Effect::Deliver(delivered.clone()));
+
+        // Forwarding plan must be identical at every member: seed the RNG
+        // from (broadcast id, vgroup, epoch) only.
+        let seed = Digest::of_parts(&[
+            b"gossip-plan",
+            &id.origin.raw().to_be_bytes(),
+            &id.seq.to_be_bytes(),
+            &self.vgroup.raw().to_be_bytes(),
+        ])
+        .as_u64();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let plan: Vec<ForwardTarget> =
+            GossipPlanner::plan(self.params.gossip, self.params.hc, &mut rng);
+        let mut already: HashSet<VgroupId> = HashSet::new();
+        for target in plan {
+            let Some(entry) = self.neighbors.cycle(target.cycle as usize) else {
+                continue;
+            };
+            let (group, comp) = match target.direction {
+                Direction::Successor => (entry.successor, entry.successor_composition.clone()),
+                Direction::Predecessor => {
+                    (entry.predecessor, entry.predecessor_composition.clone())
+                }
+            };
+            if group == self.vgroup || !already.insert(group) {
+                continue;
+            }
+            if !forward_filter(&delivered, group) {
+                continue;
+            }
+            self.send_group_message(
+                &comp,
+                GroupPayload::Gossip {
+                    id,
+                    payload: payload.clone(),
+                    hops: hops + 1,
+                },
+                effects,
+            );
+        }
+    }
+
+    // -------------------------------------------------- membership churn
+
+    fn after_composition_change(&mut self, _now: Instant, _effects: &mut Vec<Effect>) {
+        self.epoch += 1;
+        self.stats.reconfigurations += 1;
+        self.merging = false;
+        self.engine = if self.composition.contains(self.me.id) {
+            Some(Engine::new(
+                self.params.smr,
+                self.me.id,
+                self.composition.clone(),
+                SmrConfig {
+                    round: self.params.round,
+                    ..SmrConfig::default()
+                },
+                self.registry.clone(),
+                Instant::ZERO,
+            ))
+        } else {
+            None
+        };
+    }
+
+    /// Re-proposes operations that were submitted but not yet applied (called
+    /// by the host right after a reconfiguration, outside of apply_op to keep
+    /// borrow scopes simple).
+    pub fn repropose_pending(&mut self, now: Instant, effects: &mut Vec<Effect>) {
+        let pending = std::mem::take(&mut self.my_pending);
+        for op in pending {
+            use atum_smr::SmrOp as _;
+            if !self.applied_ops.contains(&op.digest()) {
+                self.propose(op, now, effects);
+            }
+        }
+    }
+
+    fn send_welcome(&self, to: NodeId, effects: &mut Vec<Effect>) {
+        effects.push(Effect::Send {
+            to,
+            msg: AtumMessage::Welcome {
+                group: self.vgroup,
+                composition: self.composition.clone(),
+                neighbors: self.neighbors.clone(),
+                epoch: self.epoch,
+            },
+        });
+    }
+
+    fn announce_composition(&mut self, effects: &mut Vec<Effect>) {
+        let payload = GroupPayload::CompositionUpdate {
+            group: self.vgroup,
+            composition: self.composition.clone(),
+        };
+        for (_group, comp) in self.neighbors.distinct_neighbors() {
+            self.send_group_message(&comp, payload.clone(), effects);
+        }
+    }
+
+    /// Starts the random walk shuffling of §3.2: one exchange walk per
+    /// current member.
+    fn start_shuffle(&mut self, now: Instant, effects: &mut Vec<Effect>) {
+        let members: Vec<NodeId> = self.composition.iter().collect();
+        for member in members {
+            let seed = Digest::of_parts(&[
+                b"shuffle",
+                &self.vgroup.raw().to_be_bytes(),
+                &self.epoch.to_be_bytes(),
+                &member.raw().to_be_bytes(),
+            ]);
+            let walk_id = self.start_walk(
+                WalkPurpose::ShuffleExchange { member },
+                seed,
+                now,
+                effects,
+            );
+            self.outstanding_exchanges.insert(walk_id, member);
+        }
+    }
+
+    /// Logarithmic grouping: split when too large, merge when too small.
+    fn maybe_resize(
+        &mut self,
+        now: Instant,
+        effects: &mut Vec<Effect>,
+        _follow_ups: &mut Vec<GroupOp>,
+    ) {
+        if self.composition.len() > self.params.gmax {
+            self.split(now, effects);
+        } else if self.composition.len() < self.params.gmin && !self.merging {
+            self.request_merge(effects);
+        }
+    }
+
+    fn split(&mut self, now: Instant, effects: &mut Vec<Effect>) {
+        let seed = Digest::of_parts(&[
+            b"split",
+            &self.vgroup.raw().to_be_bytes(),
+            &self.epoch.to_be_bytes(),
+        ]);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed.as_u64());
+        let mut order: Vec<usize> = (0..self.composition.len()).collect();
+        use rand::seq::SliceRandom;
+        order.shuffle(&mut rng);
+        let (keep, depart) = self.composition.split_by_order(&order);
+        let new_group = VgroupId::new(seed.as_u64() | 0x8000_0000_0000_0000);
+        self.stats.splits += 1;
+
+        if depart.contains(self.me.id) {
+            // This member moves to the new vgroup. It starts with a copy of
+            // the old neighbour table; the anchor walks started by the
+            // remaining half will introduce its real neighbours.
+            self.vgroup = new_group;
+            self.composition = depart;
+            self.after_composition_change(now, effects);
+            self.announce_composition(effects);
+        } else {
+            self.composition = keep;
+            self.after_composition_change(now, effects);
+            self.announce_composition(effects);
+            // One anchor walk per cycle inserts the new group into the
+            // overlay.
+            for cycle in 0..self.params.hc {
+                let walk_seed = Digest::of_parts(&[
+                    b"split-anchor",
+                    &self.vgroup.raw().to_be_bytes(),
+                    &self.epoch.to_be_bytes(),
+                    &[cycle],
+                ]);
+                self.start_walk(
+                    WalkPurpose::SplitAnchor {
+                        cycle,
+                        new_group,
+                        composition: depart.clone(),
+                    },
+                    walk_seed,
+                    now,
+                    effects,
+                );
+            }
+        }
+    }
+
+    fn request_merge(&mut self, effects: &mut Vec<Effect>) {
+        // Merge with the successor on cycle 0 (a random neighbour would do;
+        // a deterministic choice keeps all members consistent).
+        let Some(entry) = self.neighbors.cycle(0).cloned() else {
+            return;
+        };
+        if entry.successor == self.vgroup {
+            return; // We are alone in the system; nothing to merge with.
+        }
+        self.merging = true;
+        let members: Vec<NodeIdentity> = self
+            .composition
+            .iter()
+            .map(NodeIdentity::simulated)
+            .collect();
+        self.send_group_message(
+            &entry.successor_composition,
+            GroupPayload::MergeRequest {
+                from: self.vgroup,
+                members,
+            },
+            effects,
+        );
+        // Bridge the gaps we leave behind on every cycle.
+        for cycle in 0..self.neighbors.cycle_count() {
+            let Some(e) = self.neighbors.cycle(cycle).cloned() else {
+                continue;
+            };
+            if e.predecessor == self.vgroup || e.successor == self.vgroup {
+                continue;
+            }
+            self.send_group_message(
+                &e.predecessor_composition,
+                GroupPayload::CyclePatch {
+                    cycle: cycle as u8,
+                    new_is_successor: true,
+                    group: e.successor,
+                    composition: e.successor_composition.clone(),
+                },
+                effects,
+            );
+            self.send_group_message(
+                &e.successor_composition,
+                GroupPayload::CyclePatch {
+                    cycle: cycle as u8,
+                    new_is_successor: false,
+                    group: e.predecessor,
+                    composition: e.predecessor_composition.clone(),
+                },
+                effects,
+            );
+        }
+    }
+
+    // ----------------------------------------------------------- liveness
+
+    fn note_alive(&mut self, peer: NodeId, now: Instant) {
+        if self.composition.contains(peer) {
+            self.last_heard.insert(peer, now);
+        }
+    }
+
+    /// Records a heartbeat from a vgroup peer.
+    pub fn on_heartbeat(&mut self, from: NodeId, now: Instant) {
+        self.note_alive(from, now);
+    }
+
+    fn heartbeat_duties(&mut self, now: Instant, effects: &mut Vec<Effect>) {
+        let period = self.params.heartbeat_period;
+        if now.saturating_since(self.last_heartbeat_sent) >= period {
+            self.last_heartbeat_sent = now;
+            for peer in self.composition.iter().filter(|&p| p != self.me.id) {
+                effects.push(Effect::Send {
+                    to: peer,
+                    msg: AtumMessage::Heartbeat,
+                });
+            }
+            // Eviction check: accuse peers silent for too long.
+            let threshold = period.saturating_mul(self.params.eviction_threshold as u64);
+            let silent: Vec<NodeId> = self
+                .composition
+                .iter()
+                .filter(|&p| p != self.me.id)
+                .filter(|p| {
+                    let last = self.last_heard.get(p).copied().unwrap_or(Instant::ZERO);
+                    now.saturating_since(last) > threshold
+                })
+                .collect();
+            for peer in silent {
+                let op = GroupOp::Evict {
+                    node: peer,
+                    accuser: self.me.id,
+                    nonce: self.epoch,
+                };
+                self.propose(op, now, effects);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry(n: u64) -> Arc<KeyRegistry> {
+        let mut r = KeyRegistry::new();
+        for i in 0..n {
+            r.register(NodeId::new(i), 1);
+        }
+        r.shared()
+    }
+
+    fn member(n_nodes: u64, me: u64) -> MemberState {
+        let params = Params::default().with_group_bounds(2, 20);
+        let composition: Composition = (0..n_nodes).map(NodeId::new).collect();
+        let vgroup = VgroupId::new(500);
+        let neighbors = NeighborTable::self_loop(params.hc, vgroup, composition.clone());
+        MemberState::with_membership(
+            NodeIdentity::simulated(NodeId::new(me)),
+            params,
+            registry(n_nodes),
+            vgroup,
+            composition,
+            neighbors,
+            0,
+            Instant::ZERO,
+        )
+    }
+
+    #[test]
+    fn bootstrap_creates_single_member_self_loop() {
+        let params = Params::default();
+        let m = MemberState::bootstrap(
+            NodeIdentity::simulated(NodeId::new(3)),
+            params.clone(),
+            registry(5),
+            Instant::ZERO,
+        );
+        assert_eq!(m.composition.len(), 1);
+        assert!(m.composition.contains(NodeId::new(3)));
+        assert!(m.neighbors.is_complete());
+        assert_eq!(m.neighbors.cycle_count(), params.hc as usize);
+    }
+
+    #[test]
+    fn single_member_broadcast_applies_immediately() {
+        let mut m = MemberState::bootstrap(
+            NodeIdentity::simulated(NodeId::new(0)),
+            Params::default(),
+            registry(1),
+            Instant::ZERO,
+        );
+        let mut effects = Vec::new();
+        let id = m.start_broadcast(b"solo".to_vec(), Instant::ZERO, &mut effects);
+        assert_eq!(id.origin, NodeId::new(0));
+        let delivered: Vec<&Delivered> = effects
+            .iter()
+            .filter_map(|e| match e {
+                Effect::Deliver(d) => Some(d),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(delivered.len(), 1);
+        assert_eq!(delivered[0].payload, b"solo".to_vec());
+        assert_eq!(m.stats.delivered.len(), 1);
+    }
+
+    #[test]
+    fn broadcast_in_multi_member_group_goes_through_smr() {
+        let mut m = member(4, 0);
+        let mut effects = Vec::new();
+        m.start_broadcast(b"x".to_vec(), Instant::ZERO, &mut effects);
+        // Nothing is delivered yet: agreement is pending.
+        assert!(effects
+            .iter()
+            .all(|e| !matches!(e, Effect::Deliver(_))));
+        // Once the synchronous engine reaches its next slot boundary, the
+        // proposal is broadcast to the vgroup peers.
+        let later = Instant::ZERO + m.params.round.saturating_mul(4);
+        m.tick(later, &mut effects);
+        let sends = effects
+            .iter()
+            .filter(|e| matches!(e, Effect::Send { msg: AtumMessage::Smr { .. }, .. }))
+            .count();
+        assert!(sends > 0, "expected SMR messages, got {effects:?}");
+    }
+
+    #[test]
+    fn accepted_gossip_is_delivered_once_and_forwarded() {
+        let mut m = member(3, 0);
+        // Pretend a neighbouring vgroup (id 500 is ourselves, so fabricate
+        // another) sent us a gossip group message: majority of its 3 members.
+        let other = VgroupId::new(7);
+        let other_comp: Composition = (10..13).map(NodeId::new).collect();
+        let payload = GroupPayload::Gossip {
+            id: BroadcastId::new(NodeId::new(10), 0),
+            payload: b"hello".to_vec(),
+            hops: 1,
+        };
+        let envelope = GroupEnvelope {
+            source: other,
+            source_composition: other_comp.clone(),
+            payload,
+        };
+        let mut effects = Vec::new();
+        let mut allow = |_d: &Delivered, _g: VgroupId| true;
+        for sender in [10u64, 11] {
+            m.on_group_copy(
+                NodeId::new(sender),
+                envelope.clone(),
+                Instant::from_micros(5),
+                &mut effects,
+                &mut allow,
+            );
+        }
+        let delivered = effects
+            .iter()
+            .filter(|e| matches!(e, Effect::Deliver(_)))
+            .count();
+        assert_eq!(delivered, 1, "majority of 3 is 2 senders");
+        // A third copy does not deliver again.
+        m.on_group_copy(
+            NodeId::new(12),
+            envelope,
+            Instant::from_micros(6),
+            &mut effects,
+            &mut allow,
+        );
+        let delivered = effects
+            .iter()
+            .filter(|e| matches!(e, Effect::Deliver(_)))
+            .count();
+        assert_eq!(delivered, 1);
+    }
+
+    #[test]
+    fn forward_filter_suppresses_forwarding() {
+        let mut m = member(3, 0);
+        let other = VgroupId::new(7);
+        let other_comp: Composition = (10..13).map(NodeId::new).collect();
+        let envelope = GroupEnvelope {
+            source: other,
+            source_composition: other_comp,
+            payload: GroupPayload::Gossip {
+                id: BroadcastId::new(NodeId::new(10), 1),
+                payload: b"quiet".to_vec(),
+                hops: 0,
+            },
+        };
+        let mut effects = Vec::new();
+        let mut deny = |_d: &Delivered, _g: VgroupId| false;
+        for sender in [10u64, 11] {
+            m.on_group_copy(
+                NodeId::new(sender),
+                envelope.clone(),
+                Instant::ZERO,
+                &mut effects,
+                &mut deny,
+            );
+        }
+        // Delivered locally but no gossip group messages sent onwards.
+        assert!(effects.iter().any(|e| matches!(e, Effect::Deliver(_))));
+        let gossip_sends = effects
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    Effect::Send {
+                        msg: AtumMessage::Group(GroupEnvelope {
+                            payload: GroupPayload::Gossip { .. },
+                            ..
+                        }),
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(gossip_sends, 0);
+    }
+
+    #[test]
+    fn composition_update_refreshes_neighbor_table() {
+        let mut m = member(3, 0);
+        let new_comp: Composition = (20..25).map(NodeId::new).collect();
+        let envelope = GroupEnvelope {
+            source: VgroupId::new(500),
+            source_composition: m.composition.clone(),
+            payload: GroupPayload::CompositionUpdate {
+                group: VgroupId::new(500),
+                composition: new_comp.clone(),
+            },
+        };
+        let mut effects = Vec::new();
+        let mut allow = |_d: &Delivered, _g: VgroupId| true;
+        for sender in [0u64, 1] {
+            m.on_group_copy(
+                NodeId::new(sender),
+                envelope.clone(),
+                Instant::ZERO,
+                &mut effects,
+                &mut allow,
+            );
+        }
+        assert_eq!(
+            m.neighbors.composition_of(VgroupId::new(500)),
+            Some(&new_comp)
+        );
+    }
+
+    #[test]
+    fn eviction_requires_corroboration() {
+        let mut m = member(5, 0);
+        let mut effects = Vec::new();
+        // A single accusation (applied directly) must not evict in a 5-node
+        // group (f+1 = 3 accusers needed synchronously).
+        let mut follow = Vec::new();
+        m.apply_op(
+            GroupOp::Evict {
+                node: NodeId::new(4),
+                accuser: NodeId::new(0),
+                nonce: 0,
+            },
+            Instant::ZERO,
+            &mut effects,
+            &mut follow,
+        );
+        assert!(m.composition.contains(NodeId::new(4)));
+        assert_eq!(m.stats.evictions, 0);
+        // Two more accusations from distinct members cross the f+1 = 3
+        // threshold and the member is removed.
+        for accuser in [1u64, 2] {
+            m.apply_op(
+                GroupOp::Evict {
+                    node: NodeId::new(4),
+                    accuser: NodeId::new(accuser),
+                    nonce: 0,
+                },
+                Instant::ZERO,
+                &mut effects,
+                &mut follow,
+            );
+        }
+        assert!(!m.composition.contains(NodeId::new(4)));
+        assert_eq!(m.stats.evictions, 1);
+    }
+
+    #[test]
+    fn heartbeat_timer_emits_heartbeats() {
+        let mut m = member(3, 0);
+        let mut effects = Vec::new();
+        let later = Instant::ZERO + m.params.heartbeat_period + atum_types::Duration::from_secs(1);
+        m.tick(later, &mut effects);
+        let heartbeats = effects
+            .iter()
+            .filter(|e| matches!(e, Effect::Send { msg: AtumMessage::Heartbeat, .. }))
+            .count();
+        assert_eq!(heartbeats, 2, "one heartbeat per peer");
+    }
+
+    #[test]
+    fn walk_routing_terminates_locally_when_isolated() {
+        // A bootstrap (single-vgroup) member that starts a join placement
+        // walk must select itself and admit the joiner.
+        let mut m = MemberState::bootstrap(
+            NodeIdentity::simulated(NodeId::new(0)),
+            Params::default().with_group_bounds(1, 10),
+            registry(2),
+            Instant::ZERO,
+        );
+        let mut effects = Vec::new();
+        let mut follow = Vec::new();
+        m.apply_op(
+            GroupOp::HandleJoinRequest {
+                joiner: NodeIdentity::simulated(NodeId::new(1)),
+                nonce: 0,
+            },
+            Instant::ZERO,
+            &mut effects,
+            &mut follow,
+        );
+        assert!(m.composition.contains(NodeId::new(1)), "{:?}", m.composition);
+        // The joiner received a Welcome.
+        assert!(effects.iter().any(|e| matches!(
+            e,
+            Effect::Send {
+                to,
+                msg: AtumMessage::Welcome { .. }
+            } if *to == NodeId::new(1)
+        )));
+    }
+
+    #[test]
+    fn oversized_group_splits_deterministically() {
+        let params = Params::default().with_group_bounds(2, 5);
+        let composition: Composition = (0..8).map(NodeId::new).collect();
+        let vgroup = VgroupId::new(500);
+        let neighbors = NeighborTable::self_loop(params.hc, vgroup, composition.clone());
+        let make = |me: u64| {
+            MemberState::with_membership(
+                NodeIdentity::simulated(NodeId::new(me)),
+                params.clone(),
+                registry(8),
+                vgroup,
+                composition.clone(),
+                neighbors.clone(),
+                0,
+                Instant::ZERO,
+            )
+        };
+        let mut groups = Vec::new();
+        for me in 0..8u64 {
+            let mut m = make(me);
+            let mut effects = Vec::new();
+            let mut follow = Vec::new();
+            m.maybe_resize(Instant::ZERO, &mut effects, &mut follow);
+            groups.push((m.vgroup, m.composition.clone()));
+        }
+        // All members agree on the partition: exactly two distinct vgroups,
+        // each member's stored composition contains itself, and the two
+        // halves are disjoint and cover everyone.
+        let distinct: HashSet<VgroupId> = groups.iter().map(|(g, _)| *g).collect();
+        assert_eq!(distinct.len(), 2);
+        for (i, (_, comp)) in groups.iter().enumerate() {
+            assert!(comp.contains(NodeId::new(i as u64)));
+            assert!(comp.len() >= 4);
+        }
+        let union: HashSet<NodeId> = groups
+            .iter()
+            .flat_map(|(_, c)| c.iter().collect::<Vec<_>>())
+            .collect();
+        assert_eq!(union.len(), 8);
+    }
+
+    #[test]
+    fn undersized_group_requests_merge() {
+        let params = Params::default().with_group_bounds(4, 10);
+        let composition: Composition = (0..2).map(NodeId::new).collect();
+        let vgroup = VgroupId::new(500);
+        let mut neighbors = NeighborTable::self_loop(params.hc, vgroup, composition.clone());
+        // Give it a real neighbour on cycle 0 so a merge target exists.
+        let other_comp: Composition = (10..15).map(NodeId::new).collect();
+        neighbors.set_cycle(
+            0,
+            atum_overlay::CycleNeighbors {
+                predecessor: VgroupId::new(600),
+                predecessor_composition: other_comp.clone(),
+                successor: VgroupId::new(600),
+                successor_composition: other_comp.clone(),
+            },
+        );
+        let mut m = MemberState::with_membership(
+            NodeIdentity::simulated(NodeId::new(0)),
+            params,
+            registry(2),
+            vgroup,
+            composition,
+            neighbors,
+            0,
+            Instant::ZERO,
+        );
+        let mut effects = Vec::new();
+        let mut follow = Vec::new();
+        m.maybe_resize(Instant::ZERO, &mut effects, &mut follow);
+        let merge_requests = effects
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    Effect::Send {
+                        msg: AtumMessage::Group(GroupEnvelope {
+                            payload: GroupPayload::MergeRequest { .. },
+                            ..
+                        }),
+                        ..
+                    }
+                )
+            })
+            .count();
+        // One copy per member of the target vgroup (5 members).
+        assert_eq!(merge_requests, 5);
+    }
+}

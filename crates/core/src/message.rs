@@ -1,0 +1,479 @@
+//! Wire messages exchanged by Atum nodes and the operations ordered by the
+//! vgroup SMR engines.
+
+use atum_crypto::Digest;
+use atum_overlay::WalkState;
+use atum_smr::{SmrMessage, SmrOp};
+use atum_types::wire::{DIGEST_SIZE, ENVELOPE_OVERHEAD, SIGNATURE_SIZE};
+use atum_types::{BroadcastId, Composition, NodeId, NodeIdentity, VgroupId, WalkId, WireSize};
+use serde::{Deserialize, Serialize};
+
+/// Payload of a vgroup-to-vgroup group message.
+///
+/// A group message is physically realised as one [`AtumMessage::Group`] copy
+/// from every correct member of the source vgroup to every member of the
+/// destination vgroup; the receiver accepts the payload once a majority of
+/// the source composition delivered the same digest.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GroupPayload {
+    /// Second-phase dissemination of a broadcast (gossip across the overlay).
+    Gossip {
+        /// Broadcast identifier (origin node + sequence).
+        id: BroadcastId,
+        /// Application payload.
+        payload: Vec<u8>,
+        /// Overlay hops travelled so far (for statistics).
+        hops: u32,
+    },
+    /// A random walk being relayed across the overlay.
+    Walk(WalkState),
+    /// A vgroup informs a neighbour of its current composition.
+    CompositionUpdate {
+        /// The vgroup whose composition changed.
+        group: VgroupId,
+        /// Its new composition.
+        composition: Composition,
+    },
+    /// Shuffle: the walk-selected vgroup offers `incoming` as an exchange
+    /// partner for the origin's member `leaving`.
+    ExchangeOffer {
+        /// The walk that selected the offering vgroup.
+        walk: WalkId,
+        /// The member of the origin vgroup being exchanged away.
+        leaving: NodeId,
+        /// The member the offering vgroup gives up in return.
+        incoming: NodeIdentity,
+    },
+    /// Shuffle: the walk-selected vgroup has no spare member to exchange
+    /// (it is already part of another exchange); the origin records a
+    /// suppressed exchange.
+    ExchangeRefuse {
+        /// The walk that selected the refusing vgroup.
+        walk: WalkId,
+        /// The member whose exchange was refused.
+        leaving: NodeId,
+    },
+    /// Shuffle: the origin vgroup accepted the offer; the offering vgroup
+    /// should now complete its side (drop `given`, adopt `adopted`).
+    ExchangeAccept {
+        /// The walk this exchange belongs to.
+        walk: WalkId,
+        /// The member the offering vgroup gave away.
+        given: NodeId,
+        /// The member the offering vgroup receives instead.
+        adopted: NodeIdentity,
+    },
+    /// Split: the walk-selected anchor vgroup is asked to insert `new_group`
+    /// after itself on `cycle` (sent by the splitting vgroup; the anchor
+    /// orders an [`GroupOp::InsertOverlayNeighbor`] in response).
+    SplitInsert {
+        /// Cycle the new vgroup is inserted on.
+        cycle: u8,
+        /// The new vgroup.
+        new_group: VgroupId,
+        /// Its composition.
+        composition: Composition,
+    },
+    /// A vgroup introduces itself as the new neighbour of the receiver on a
+    /// cycle (after a split insertion or a merge bridge).
+    NeighborIntro {
+        /// Cycle index.
+        cycle: u8,
+        /// `true` when the sender is the receiver's new *predecessor* on the
+        /// cycle; `false` when it is the new successor.
+        sender_is_predecessor: bool,
+        /// The introducing vgroup.
+        group: VgroupId,
+        /// Its composition.
+        composition: Composition,
+    },
+    /// Merge: the shrinking vgroup asks a neighbour to absorb its members.
+    MergeRequest {
+        /// The dissolving vgroup.
+        from: VgroupId,
+        /// Its remaining members.
+        members: Vec<NodeIdentity>,
+    },
+    /// Merge: the absorbing vgroup confirms; dissolving members adopt this
+    /// state.
+    MergeAccept {
+        /// The vgroup that absorbed the members.
+        into: VgroupId,
+        /// Its composition after the merge.
+        new_composition: Composition,
+    },
+    /// Merge: the dissolving vgroup tells its neighbour on `cycle` who its
+    /// new counterpart is (bridging the gap it leaves behind).
+    CyclePatch {
+        /// Cycle index being patched.
+        cycle: u8,
+        /// `true` when the *receiver* keeps the dissolved group's predecessor
+        /// side (i.e. the named group becomes the receiver's successor).
+        new_is_successor: bool,
+        /// The vgroup on the other side of the gap.
+        group: VgroupId,
+        /// Its composition.
+        composition: Composition,
+    },
+}
+
+impl GroupPayload {
+    /// Digest of the payload, used for majority acceptance.
+    pub fn digest(&self) -> Digest {
+        // A structural encoding is enough: collisions between distinct
+        // payloads would require SHA-256 collisions.
+        let encoded = format!("{self:?}");
+        Digest::of(encoded.as_bytes())
+    }
+
+    /// Approximate encoded size in bytes.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            GroupPayload::Gossip { payload, .. } => 24 + payload.len(),
+            GroupPayload::Walk(walk) => {
+                32 + walk.origin_composition.wire_size()
+                    + walk.rng_values.len() * 8
+                    + walk.path.len() * 8
+                    + walk.certificate.len() * (8 + SIGNATURE_SIZE)
+            }
+            GroupPayload::CompositionUpdate { composition, .. } => 8 + composition.wire_size(),
+            GroupPayload::ExchangeOffer { .. } => 16 + 8 + 14,
+            GroupPayload::ExchangeRefuse { .. } => 16 + 8,
+            GroupPayload::ExchangeAccept { .. } => 16 + 8 + 14,
+            GroupPayload::SplitInsert { composition, .. } => 16 + composition.wire_size(),
+            GroupPayload::NeighborIntro { composition, .. } => 16 + composition.wire_size(),
+            GroupPayload::MergeRequest { members, .. } => 8 + members.len() * 14,
+            GroupPayload::MergeAccept { new_composition, .. } => {
+                8 + new_composition.wire_size()
+            }
+            GroupPayload::CyclePatch { composition, .. } => 16 + composition.wire_size(),
+        }
+    }
+}
+
+/// One physical copy of a group message.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroupEnvelope {
+    /// The sending vgroup.
+    pub source: VgroupId,
+    /// The sending vgroup's composition (so the receiver can apply the
+    /// majority rule even if it does not know the source as a neighbour,
+    /// e.g. for walk results).
+    pub source_composition: Composition,
+    /// The logical payload.
+    pub payload: GroupPayload,
+}
+
+impl GroupEnvelope {
+    /// Approximate encoded size in bytes.
+    pub fn wire_size(&self) -> usize {
+        8 + self.source_composition.wire_size() + self.payload.wire_size() + DIGEST_SIZE
+    }
+}
+
+/// Operations ordered by the SMR engine inside a vgroup.
+///
+/// Only actions that originate at a *single* node need agreement (join
+/// requests, leaves, evictions, broadcasts, and the vgroup-local decisions of
+/// the shuffle protocol); everything triggered by an accepted group message
+/// is already consistent across correct members and is applied directly.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GroupOp {
+    /// The contact vgroup agreed to handle a join request: start a placement
+    /// walk for the joiner.
+    HandleJoinRequest {
+        /// The joining node.
+        joiner: NodeIdentity,
+        /// The joiner's attempt number (distinguishes re-joins of the same
+        /// node so the operation is not deduplicated away).
+        nonce: u64,
+    },
+    /// The walk-selected vgroup admits the joiner as a member.
+    AdmitJoiner {
+        /// The joining node.
+        joiner: NodeIdentity,
+        /// The placement walk that selected this vgroup.
+        walk: WalkId,
+    },
+    /// A member asked to leave.
+    Leave {
+        /// The leaving member.
+        node: NodeId,
+        /// Epoch at proposal time (distinguishes repeat leave/rejoin cycles).
+        nonce: u64,
+    },
+    /// One member accuses another of being unresponsive. The accused member
+    /// is only removed once accusations from more than the vgroup's fault
+    /// bound have been ordered, so a Byzantine minority cannot evict correct
+    /// members.
+    Evict {
+        /// The member being accused.
+        node: NodeId,
+        /// The accusing member.
+        accuser: NodeId,
+        /// Epoch at proposal time (distinguishes repeat accusations).
+        nonce: u64,
+    },
+    /// Phase one of `broadcast`: agree on the payload, deliver it locally and
+    /// start the gossip phase.
+    Broadcast {
+        /// Broadcast identifier.
+        id: BroadcastId,
+        /// Application payload.
+        payload: Vec<u8>,
+    },
+    /// Shuffle, offering side: reserve one of our members as the exchange
+    /// partner for the walk's subject (or refuse if none is available).
+    OfferExchange {
+        /// The walk that selected us.
+        walk: WalkId,
+        /// The origin vgroup's member being exchanged.
+        leaving: NodeIdentity,
+        /// The origin vgroup.
+        origin: VgroupId,
+        /// The origin vgroup's composition (for the reply group message).
+        origin_composition: Composition,
+    },
+    /// Shuffle, origin side: complete the exchange — drop `leaving`, adopt
+    /// `incoming`.
+    CompleteExchange {
+        /// The walk this exchange belongs to.
+        walk: WalkId,
+        /// Our member that moves to the partner vgroup.
+        leaving: NodeId,
+        /// The partner vgroup's member that moves to us.
+        incoming: NodeIdentity,
+        /// The partner vgroup.
+        partner: VgroupId,
+        /// The partner vgroup's composition at offer time.
+        partner_composition: Composition,
+    },
+    /// Shuffle, offering side: the origin accepted, finish our side — drop
+    /// `given`, adopt `adopted`.
+    FinishExchange {
+        /// The walk this exchange belongs to.
+        walk: WalkId,
+        /// Our member that moved away.
+        given: NodeId,
+        /// The origin vgroup's member we adopt.
+        adopted: NodeIdentity,
+    },
+    /// Merge: absorb the members of a dissolving neighbour vgroup.
+    AcceptMerge {
+        /// The dissolving vgroup.
+        from: VgroupId,
+        /// Its members.
+        members: Vec<NodeIdentity>,
+    },
+    /// Split insertion: we were selected as the anchor on `cycle`; adopt the
+    /// new vgroup as our successor there and introduce it to our former
+    /// successor.
+    InsertOverlayNeighbor {
+        /// Cycle index.
+        cycle: u8,
+        /// The new vgroup.
+        new_group: VgroupId,
+        /// Its composition.
+        composition: Composition,
+    },
+}
+
+impl SmrOp for GroupOp {
+    fn digest(&self) -> Digest {
+        let encoded = format!("{self:?}");
+        Digest::of(encoded.as_bytes())
+    }
+
+    fn wire_size(&self) -> usize {
+        match self {
+            GroupOp::Broadcast { payload, .. } => 24 + payload.len(),
+            GroupOp::AcceptMerge { members, .. } => 8 + members.len() * 14,
+            GroupOp::CompleteExchange {
+                partner_composition,
+                ..
+            } => 40 + partner_composition.wire_size(),
+            GroupOp::OfferExchange {
+                origin_composition, ..
+            } => 40 + origin_composition.wire_size(),
+            GroupOp::InsertOverlayNeighbor { composition, .. } => 16 + composition.wire_size(),
+            _ => 32,
+        }
+    }
+}
+
+/// Top-level message type exchanged between Atum nodes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AtumMessage {
+    /// A joiner asks a contact node for its vgroup's composition.
+    JoinContactRequest,
+    /// The contact's reply: the composition of its vgroup (and the vgroup
+    /// id), which the joiner then addresses its join request to.
+    JoinContactReply {
+        /// The contact's vgroup.
+        group: VgroupId,
+        /// Its composition.
+        composition: Composition,
+    },
+    /// The joiner's request, sent to every member of the contact vgroup.
+    JoinRequest {
+        /// The joining node's identity.
+        joiner: NodeIdentity,
+        /// The joiner's attempt number.
+        nonce: u64,
+    },
+    /// Sent by every member of the admitting vgroup to the joiner (and to
+    /// members transferred by shuffles/merges): the state needed to become a
+    /// member. Accepted on receipt from a majority of `composition`.
+    Welcome {
+        /// The vgroup the receiver now belongs to.
+        group: VgroupId,
+        /// Its composition (including the receiver).
+        composition: Composition,
+        /// The vgroup's neighbour table.
+        neighbors: atum_overlay::NeighborTable,
+        /// Configuration epoch of the vgroup.
+        epoch: u64,
+    },
+    /// Periodic liveness signal between vgroup peers.
+    Heartbeat,
+    /// Intra-vgroup SMR traffic, tagged with the configuration epoch so
+    /// replicas never mix messages across reconfigurations.
+    Smr {
+        /// Configuration epoch the message belongs to.
+        epoch: u64,
+        /// The SMR protocol message.
+        msg: SmrMessage<GroupOp>,
+    },
+    /// One copy of a vgroup-to-vgroup group message.
+    Group(GroupEnvelope),
+    /// Application-level payload (file chunks, stream data, ...); opaque to
+    /// Atum.
+    App {
+        /// Application-defined payload.
+        payload: Vec<u8>,
+        /// Size to charge on the wire, when the logical payload stands in
+        /// for a larger physical one (0 = use `payload.len()`).
+        advertised_size: u32,
+    },
+}
+
+impl WireSize for AtumMessage {
+    fn wire_size(&self) -> usize {
+        let body = match self {
+            AtumMessage::JoinContactRequest => 8,
+            AtumMessage::JoinContactReply { composition, .. } => 8 + composition.wire_size(),
+            AtumMessage::JoinRequest { .. } => 14 + SIGNATURE_SIZE,
+            AtumMessage::Welcome {
+                composition,
+                neighbors,
+                ..
+            } => {
+                16 + composition.wire_size()
+                    + neighbors.distinct_neighbors().len() * 64
+                    + SIGNATURE_SIZE
+            }
+            AtumMessage::Heartbeat => 8,
+            AtumMessage::Smr { msg, .. } => 8 + msg.wire_size(),
+            AtumMessage::Group(envelope) => envelope.wire_size(),
+            AtumMessage::App {
+                payload,
+                advertised_size,
+            } => {
+                if *advertised_size > 0 {
+                    *advertised_size as usize
+                } else {
+                    payload.len() + 16
+                }
+            }
+        };
+        body + ENVELOPE_OVERHEAD
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atum_types::NodeId;
+
+    fn comp(ids: &[u64]) -> Composition {
+        ids.iter().map(|&i| NodeId::new(i)).collect()
+    }
+
+    #[test]
+    fn group_op_digests_distinguish_operations() {
+        let a = GroupOp::Leave {
+            node: NodeId::new(1),
+            nonce: 0,
+        };
+        let b = GroupOp::Leave {
+            node: NodeId::new(2),
+            nonce: 0,
+        };
+        let c = GroupOp::Evict {
+            node: NodeId::new(1),
+            accuser: NodeId::new(2),
+            nonce: 0,
+        };
+        let a_rejoin = GroupOp::Leave {
+            node: NodeId::new(1),
+            nonce: 1,
+        };
+        assert_ne!(SmrOp::digest(&a), SmrOp::digest(&b));
+        assert_ne!(SmrOp::digest(&a), SmrOp::digest(&c));
+        assert_ne!(SmrOp::digest(&a), SmrOp::digest(&a_rejoin));
+        assert_eq!(SmrOp::digest(&a), SmrOp::digest(&a.clone()));
+    }
+
+    #[test]
+    fn payload_digests_distinguish_payloads() {
+        let g1 = GroupPayload::Gossip {
+            id: BroadcastId::new(NodeId::new(1), 0),
+            payload: b"x".to_vec(),
+            hops: 0,
+        };
+        let g2 = GroupPayload::Gossip {
+            id: BroadcastId::new(NodeId::new(1), 0),
+            payload: b"x".to_vec(),
+            hops: 1,
+        };
+        assert_ne!(g1.digest(), g2.digest());
+    }
+
+    #[test]
+    fn wire_sizes_grow_with_content() {
+        let small = AtumMessage::Heartbeat;
+        let comp5 = comp(&[1, 2, 3, 4, 5]);
+        let big = AtumMessage::Group(GroupEnvelope {
+            source: VgroupId::new(1),
+            source_composition: comp5.clone(),
+            payload: GroupPayload::Gossip {
+                id: BroadcastId::new(NodeId::new(1), 0),
+                payload: vec![0u8; 1000],
+                hops: 0,
+            },
+        });
+        assert!(big.wire_size() > small.wire_size() + 1000);
+        let app_logical = AtumMessage::App {
+            payload: vec![1, 2, 3],
+            advertised_size: 0,
+        };
+        let app_physical = AtumMessage::App {
+            payload: vec![1, 2, 3],
+            advertised_size: 1_000_000,
+        };
+        assert!(app_physical.wire_size() > app_logical.wire_size() + 900_000);
+    }
+
+    #[test]
+    fn group_op_wire_sizes_reflect_payloads() {
+        let broadcast = GroupOp::Broadcast {
+            id: BroadcastId::new(NodeId::new(1), 0),
+            payload: vec![0u8; 500],
+        };
+        let leave = GroupOp::Leave {
+            node: NodeId::new(1),
+            nonce: 0,
+        };
+        assert!(SmrOp::wire_size(&broadcast) > SmrOp::wire_size(&leave) + 400);
+    }
+}

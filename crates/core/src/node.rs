@@ -1,0 +1,943 @@
+//! [`AtumNode`]: the per-process actor exposing the Atum API and hosting the
+//! vgroup member state machine.
+
+use crate::app::{AppCtx, Application, Delivered};
+use crate::member::{Effect, MemberState};
+use crate::message::AtumMessage;
+use atum_crypto::{Digest, KeyRegistry};
+use atum_overlay::NeighborTable;
+use atum_simnet::{Context, Node};
+use atum_types::{
+    AtumError, BroadcastId, Composition, Duration, Instant, NodeId, NodeIdentity, Params, Result,
+    VgroupId,
+};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Timer tag of the node's single periodic maintenance timer.
+const MAIN_TIMER: u64 = 1;
+
+/// Where a node is in its lifecycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodePhase {
+    /// Created but not yet part of any system instance.
+    Idle,
+    /// `join` was called; waiting to be admitted.
+    Joining {
+        /// The contact node used for this attempt.
+        contact: NodeId,
+        /// When the attempt started.
+        since: Instant,
+    },
+    /// A full member of a vgroup.
+    Member,
+    /// Removed from its old vgroup by a shuffle exchange; waiting for the
+    /// `Welcome` of its new vgroup.
+    AwaitingTransfer,
+    /// No longer part of the system (left voluntarily or evicted).
+    Left,
+}
+
+/// Fault injection at the node level, mirroring §6.1.3: Byzantine nodes keep
+/// sending heartbeats (so they are not evicted) but do not participate in any
+/// other protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ByzantineBehavior {
+    /// Behaves correctly.
+    #[default]
+    Correct,
+    /// Sends heartbeats only; ignores and originates nothing else.
+    HeartbeatOnly,
+}
+
+/// Per-node statistics of interest to the experiments.
+#[derive(Debug, Clone, Default)]
+pub struct NodeStats {
+    /// When `join` was called.
+    pub join_requested_at: Option<Instant>,
+    /// When the node first became a member.
+    pub joined_at: Option<Instant>,
+    /// When the node left (or was evicted).
+    pub left_at: Option<Instant>,
+    /// Number of broadcasts this node originated.
+    pub broadcasts_sent: u64,
+}
+
+struct PendingWelcome {
+    group: VgroupId,
+    composition: Composition,
+    neighbors: NeighborTable,
+    epoch: u64,
+    senders: HashSet<NodeId>,
+}
+
+/// An Atum node: the unit the application embeds and the simulator hosts.
+pub struct AtumNode<A: Application> {
+    identity: NodeIdentity,
+    params: Params,
+    registry: Arc<KeyRegistry>,
+    app: A,
+    phase: NodePhase,
+    member: Option<MemberState>,
+    pending_welcomes: HashMap<Digest, PendingWelcome>,
+    byzantine: ByzantineBehavior,
+    join_nonce: u64,
+    last_byz_heartbeat: Instant,
+    /// A peer from the last vgroup this node belonged to, used to recover
+    /// (re-join) if a shuffle transfer never completes.
+    fallback_contact: Option<NodeId>,
+    awaiting_since: Option<Instant>,
+    /// Statistics for experiments.
+    pub stats: NodeStats,
+}
+
+impl<A: Application> AtumNode<A> {
+    /// Creates an idle node (call [`bootstrap`](Self::bootstrap) or
+    /// [`join`](Self::join) to make it part of a system).
+    pub fn new(id: NodeId, params: Params, registry: Arc<KeyRegistry>, app: A) -> Self {
+        AtumNode {
+            identity: NodeIdentity::simulated(id),
+            params,
+            registry,
+            app,
+            phase: NodePhase::Idle,
+            member: None,
+            pending_welcomes: HashMap::new(),
+            byzantine: ByzantineBehavior::Correct,
+            join_nonce: 0,
+            last_byz_heartbeat: Instant::ZERO,
+            fallback_contact: None,
+            awaiting_since: None,
+            stats: NodeStats::default(),
+        }
+    }
+
+    /// Creates a node that is already a member of a vgroup. Used by the
+    /// simulation harness to bootstrap large systems without running
+    /// thousands of sequential joins, and by tests.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_membership(
+        id: NodeId,
+        params: Params,
+        registry: Arc<KeyRegistry>,
+        app: A,
+        vgroup: VgroupId,
+        composition: Composition,
+        neighbors: NeighborTable,
+        epoch: u64,
+    ) -> Self {
+        let identity = NodeIdentity::simulated(id);
+        let member = MemberState::with_membership(
+            identity,
+            params.clone(),
+            registry.clone(),
+            vgroup,
+            composition,
+            neighbors,
+            epoch,
+            Instant::ZERO,
+        );
+        AtumNode {
+            identity,
+            params,
+            registry,
+            app,
+            phase: NodePhase::Member,
+            member: Some(member),
+            pending_welcomes: HashMap::new(),
+            byzantine: ByzantineBehavior::Correct,
+            join_nonce: 0,
+            last_byz_heartbeat: Instant::ZERO,
+            fallback_contact: None,
+            awaiting_since: None,
+            stats: NodeStats {
+                joined_at: Some(Instant::ZERO),
+                ..NodeStats::default()
+            },
+        }
+    }
+
+    /// This node's identifier.
+    pub fn id(&self) -> NodeId {
+        self.identity.id
+    }
+
+    /// Current lifecycle phase.
+    pub fn phase(&self) -> &NodePhase {
+        &self.phase
+    }
+
+    /// `true` once the node is a full member of a vgroup.
+    pub fn is_member(&self) -> bool {
+        matches!(self.phase, NodePhase::Member)
+    }
+
+    /// The application hosted by this node.
+    pub fn app(&self) -> &A {
+        &self.app
+    }
+
+    /// Mutable access to the hosted application.
+    pub fn app_mut(&mut self) -> &mut A {
+        &mut self.app
+    }
+
+    /// The vgroup member state, if the node is a member.
+    pub fn member(&self) -> Option<&MemberState> {
+        self.member.as_ref()
+    }
+
+    /// Configures Byzantine fault injection for this node.
+    pub fn set_byzantine(&mut self, behavior: ByzantineBehavior) {
+        self.byzantine = behavior;
+    }
+
+    /// The node's Byzantine behaviour setting.
+    pub fn byzantine(&self) -> ByzantineBehavior {
+        self.byzantine
+    }
+
+    // ------------------------------------------------------------- API
+
+    /// Creates a new Atum instance consisting of a single vgroup that
+    /// contains only this node (§3.3.1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtumError::AlreadyJoined`] if the node is already part of an
+    /// instance, or [`AtumError::InvalidConfig`] if the parameters are
+    /// inconsistent.
+    pub fn bootstrap(&mut self, ctx: &mut Context<'_, AtumMessage>) -> Result<()> {
+        self.params.validate()?;
+        if !matches!(self.phase, NodePhase::Idle | NodePhase::Left) {
+            return Err(AtumError::AlreadyJoined);
+        }
+        self.member = Some(MemberState::bootstrap(
+            self.identity,
+            self.params.clone(),
+            self.registry.clone(),
+            ctx.now(),
+        ));
+        self.phase = NodePhase::Member;
+        self.stats.joined_at = Some(ctx.now());
+        Ok(())
+    }
+
+    /// Joins the instance that `contact` belongs to (§3.3.2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtumError::AlreadyJoined`] if the node is already a member
+    /// or has a join in progress.
+    pub fn join(&mut self, contact: NodeId, ctx: &mut Context<'_, AtumMessage>) -> Result<()> {
+        if !matches!(self.phase, NodePhase::Idle | NodePhase::Left) {
+            return Err(AtumError::AlreadyJoined);
+        }
+        self.join_nonce += 1;
+        self.phase = NodePhase::Joining {
+            contact,
+            since: ctx.now(),
+        };
+        self.stats.join_requested_at = Some(ctx.now());
+        ctx.send(contact, AtumMessage::JoinContactRequest);
+        Ok(())
+    }
+
+    /// Leaves the instance (§3.3.3).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtumError::NotJoined`] if the node is not currently a
+    /// member.
+    pub fn leave(&mut self, ctx: &mut Context<'_, AtumMessage>) -> Result<()> {
+        if !self.is_member() {
+            return Err(AtumError::NotJoined);
+        }
+        let mut effects = Vec::new();
+        if let Some(member) = self.member.as_mut() {
+            member.start_leave(ctx.now(), &mut effects);
+        }
+        self.run_effects(effects, ctx);
+        Ok(())
+    }
+
+    /// Broadcasts a message to every node of the instance (§3.3.4). Returns
+    /// the broadcast identifier the application can correlate deliveries
+    /// with.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtumError::NotJoined`] if the node is not currently a
+    /// member.
+    pub fn broadcast(
+        &mut self,
+        payload: Vec<u8>,
+        ctx: &mut Context<'_, AtumMessage>,
+    ) -> Result<BroadcastId> {
+        if !self.is_member() {
+            return Err(AtumError::NotJoined);
+        }
+        self.stats.broadcasts_sent += 1;
+        let mut effects = Vec::new();
+        let id = self
+            .member
+            .as_mut()
+            .expect("member state exists while phase is Member")
+            .start_broadcast(payload, ctx.now(), &mut effects);
+        self.run_effects(effects, ctx);
+        Ok(id)
+    }
+
+    /// Sends an opaque application message to another node (used by the
+    /// applications built on Atum for point-to-point transfers).
+    pub fn send_app_message(
+        &mut self,
+        to: NodeId,
+        payload: Vec<u8>,
+        advertised_size: u32,
+        ctx: &mut Context<'_, AtumMessage>,
+    ) {
+        ctx.send(
+            to,
+            AtumMessage::App {
+                payload,
+                advertised_size,
+            },
+        );
+    }
+
+    /// Runs an application-level operation (e.g. an AShare `PUT` or a stream
+    /// start) in the context of this node: the closure receives the
+    /// application and an [`AppCtx`] whose queued broadcasts and messages are
+    /// carried out afterwards.
+    pub fn app_call<R>(
+        &mut self,
+        ctx: &mut Context<'_, AtumMessage>,
+        f: impl FnOnce(&mut A, &mut AppCtx) -> R,
+    ) -> R {
+        let mut app_ctx = AppCtx::new(ctx.now(), self.identity.id);
+        let result = f(&mut self.app, &mut app_ctx);
+        let mut queue = Vec::new();
+        self.drain_app_ctx(app_ctx, &mut queue, ctx);
+        self.run_effects(queue, ctx);
+        result
+    }
+
+    // --------------------------------------------------------- internals
+
+    fn run_effects(&mut self, effects: Vec<Effect>, ctx: &mut Context<'_, AtumMessage>) {
+        let mut queue = effects;
+        // Effects can cascade (a delivery triggers an application broadcast
+        // which produces more effects); loop until drained.
+        let mut guard = 0;
+        while !queue.is_empty() {
+            guard += 1;
+            if guard > 64 {
+                break; // Defensive bound; never hit in practice.
+            }
+            let batch = std::mem::take(&mut queue);
+            for effect in batch {
+                match effect {
+                    Effect::Send { to, msg } => ctx.send(to, msg),
+                    Effect::Deliver(delivered) => {
+                        let mut app_ctx = AppCtx::new(ctx.now(), self.identity.id);
+                        self.app.deliver(&delivered, &mut app_ctx);
+                        self.drain_app_ctx(app_ctx, &mut queue, ctx);
+                    }
+                    Effect::MembershipEnded {
+                        voluntary: _,
+                        transferred,
+                    } => {
+                        self.fallback_contact = self.member.as_ref().and_then(|m| {
+                            m.composition.iter().find(|&p| p != self.identity.id)
+                        });
+                        self.member = None;
+                        if transferred {
+                            self.phase = NodePhase::AwaitingTransfer;
+                            self.awaiting_since = Some(ctx.now());
+                        } else {
+                            self.phase = NodePhase::Left;
+                            self.stats.left_at = Some(ctx.now());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn drain_app_ctx(
+        &mut self,
+        app_ctx: AppCtx,
+        queue: &mut Vec<Effect>,
+        ctx: &mut Context<'_, AtumMessage>,
+    ) {
+        for (to, payload, advertised) in app_ctx.app_messages {
+            ctx.send(
+                to,
+                AtumMessage::App {
+                    payload,
+                    advertised_size: advertised,
+                },
+            );
+        }
+        for payload in app_ctx.broadcasts {
+            if let Some(member) = self.member.as_mut() {
+                self.stats.broadcasts_sent += 1;
+                member.start_broadcast(payload, ctx.now(), queue);
+            }
+        }
+    }
+
+    fn handle_welcome(
+        &mut self,
+        from: NodeId,
+        group: VgroupId,
+        composition: Composition,
+        neighbors: NeighborTable,
+        epoch: u64,
+        ctx: &mut Context<'_, AtumMessage>,
+    ) {
+        if !composition.contains(self.identity.id) || !composition.contains(from) {
+            return;
+        }
+        if matches!(self.phase, NodePhase::Member)
+            && self
+                .member
+                .as_ref()
+                .is_some_and(|m| m.vgroup == group && m.epoch >= epoch)
+        {
+            return; // Stale welcome for a state we already have.
+        }
+        let key = Digest::of_parts(&[
+            &group.raw().to_be_bytes(),
+            &epoch.to_be_bytes(),
+            format!("{composition}").as_bytes(),
+        ]);
+        let entry = self
+            .pending_welcomes
+            .entry(key)
+            .or_insert_with(|| PendingWelcome {
+                group,
+                composition: composition.clone(),
+                neighbors,
+                epoch,
+                senders: HashSet::new(),
+            });
+        entry.senders.insert(from);
+        if entry.senders.len() < entry.composition.majority().min(entry.composition.len() - 1).max(1)
+        {
+            return;
+        }
+        let welcome = self.pending_welcomes.remove(&key).expect("just inserted");
+        self.pending_welcomes.clear();
+        self.member = Some(MemberState::with_membership(
+            self.identity,
+            self.params.clone(),
+            self.registry.clone(),
+            welcome.group,
+            welcome.composition,
+            welcome.neighbors,
+            welcome.epoch,
+            ctx.now(),
+        ));
+        if self.stats.joined_at.is_none() || !matches!(self.phase, NodePhase::Member) {
+            self.stats.joined_at = Some(ctx.now());
+        }
+        self.phase = NodePhase::Member;
+    }
+
+    fn byzantine_duties(&mut self, ctx: &mut Context<'_, AtumMessage>) {
+        // Heartbeat-only nodes keep heartbeating their last known vgroup
+        // peers so they are not evicted (§6.1.3).
+        let Some(member) = self.member.as_ref() else {
+            return;
+        };
+        let now = ctx.now();
+        if now.saturating_since(self.last_byz_heartbeat) >= self.params.heartbeat_period {
+            self.last_byz_heartbeat = now;
+            let peers: Vec<NodeId> = member
+                .composition
+                .iter()
+                .filter(|&p| p != self.identity.id)
+                .collect();
+            for peer in peers {
+                ctx.send(peer, AtumMessage::Heartbeat);
+            }
+        }
+    }
+
+    fn retry_join_if_stalled(&mut self, ctx: &mut Context<'_, AtumMessage>) {
+        let timeout = self.params.round.saturating_mul(60);
+        match self.phase {
+            NodePhase::Joining { contact, since } => {
+                if ctx.now().saturating_since(since) > timeout {
+                    // A fresh attempt number so the contact vgroup does not
+                    // deduplicate the retried request away if the previous
+                    // attempt was lost mid-protocol.
+                    self.join_nonce += 1;
+                    self.phase = NodePhase::Joining {
+                        contact,
+                        since: ctx.now(),
+                    };
+                    ctx.send(contact, AtumMessage::JoinContactRequest);
+                }
+            }
+            NodePhase::AwaitingTransfer => {
+                // The Welcome of the new vgroup never arrived (its side of
+                // the exchange may have been reconfigured away); recover by
+                // re-joining through a peer of the old vgroup.
+                let stalled = self
+                    .awaiting_since
+                    .map(|t| ctx.now().saturating_since(t) > timeout)
+                    .unwrap_or(false);
+                if stalled {
+                    if let Some(contact) = self.fallback_contact {
+                        self.phase = NodePhase::Left;
+                        self.awaiting_since = None;
+                        let _ = self.join(contact, ctx);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+impl<A: Application> Node<AtumMessage> for AtumNode<A> {
+    fn on_start(&mut self, ctx: &mut Context<'_, AtumMessage>) {
+        // Stagger the periodic timer a little by node id so large simulations
+        // do not process every node at the same instant.
+        let period = Duration::from_micros(self.params.round.as_micros().max(2) / 2);
+        let stagger = Duration::from_micros(self.identity.id.raw() % period.as_micros().max(1));
+        ctx.set_timer(period + stagger, MAIN_TIMER);
+    }
+
+    fn on_timer(&mut self, tag: u64, ctx: &mut Context<'_, AtumMessage>) {
+        if tag != MAIN_TIMER {
+            return;
+        }
+        let period = Duration::from_micros(self.params.round.as_micros().max(2) / 2);
+        ctx.set_timer(period, MAIN_TIMER);
+        if self.byzantine == ByzantineBehavior::HeartbeatOnly {
+            self.byzantine_duties(ctx);
+            return;
+        }
+        self.retry_join_if_stalled(ctx);
+        if let Some(member) = self.member.as_mut() {
+            let mut effects = Vec::new();
+            member.tick(ctx.now(), &mut effects);
+            self.run_effects(effects, ctx);
+        }
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: AtumMessage, ctx: &mut Context<'_, AtumMessage>) {
+        if self.byzantine == ByzantineBehavior::HeartbeatOnly {
+            return; // Byzantine nodes ignore everything.
+        }
+        match msg {
+            AtumMessage::JoinContactRequest => {
+                if let Some(member) = self.member.as_ref() {
+                    ctx.send(
+                        from,
+                        AtumMessage::JoinContactReply {
+                            group: member.vgroup,
+                            composition: member.composition.clone(),
+                        },
+                    );
+                }
+            }
+            AtumMessage::JoinContactReply { composition, .. } => {
+                if matches!(self.phase, NodePhase::Joining { .. }) {
+                    let request = AtumMessage::JoinRequest {
+                        joiner: self.identity,
+                        nonce: self.join_nonce,
+                    };
+                    for member in composition.iter() {
+                        ctx.send(member, request.clone());
+                    }
+                }
+            }
+            AtumMessage::JoinRequest { joiner, nonce } => {
+                if let Some(member) = self.member.as_mut() {
+                    let mut effects = Vec::new();
+                    member.propose(
+                        crate::message::GroupOp::HandleJoinRequest { joiner, nonce },
+                        ctx.now(),
+                        &mut effects,
+                    );
+                    self.run_effects(effects, ctx);
+                }
+            }
+            AtumMessage::Welcome {
+                group,
+                composition,
+                neighbors,
+                epoch,
+            } => {
+                self.handle_welcome(from, group, composition, neighbors, epoch, ctx);
+            }
+            AtumMessage::Heartbeat => {
+                if let Some(member) = self.member.as_mut() {
+                    member.on_heartbeat(from, ctx.now());
+                }
+            }
+            AtumMessage::Smr { epoch, msg } => {
+                if let Some(member) = self.member.as_mut() {
+                    let mut effects = Vec::new();
+                    member.on_smr_message(from, epoch, msg, ctx.now(), &mut effects);
+                    self.run_effects(effects, ctx);
+                }
+            }
+            AtumMessage::Group(envelope) => {
+                if self.member.is_some() {
+                    let mut effects = Vec::new();
+                    {
+                        let member = self.member.as_mut().expect("checked above");
+                        let app = &mut self.app;
+                        member.on_group_copy(
+                            from,
+                            envelope,
+                            ctx.now(),
+                            &mut effects,
+                            &mut |d: &Delivered, g: VgroupId| app.forward(d, g),
+                        );
+                    }
+                    self.run_effects(effects, ctx);
+                }
+            }
+            AtumMessage::App { payload, .. } => {
+                let mut app_ctx = AppCtx::new(ctx.now(), self.identity.id);
+                self.app.on_app_message(from, &payload, &mut app_ctx);
+                let mut queue = Vec::new();
+                self.drain_app_ctx(app_ctx, &mut queue, ctx);
+                self.run_effects(queue, ctx);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::CollectingApp;
+    use atum_simnet::{NetConfig, Simulation};
+    use atum_types::SmrMode;
+
+    type TestSim = Simulation<AtumMessage, AtumNode<CollectingApp>>;
+
+    fn registry(n: u64) -> Arc<KeyRegistry> {
+        let mut r = KeyRegistry::new();
+        for i in 0..n {
+            r.register(NodeId::new(i), 9);
+        }
+        r.shared()
+    }
+
+    fn fast_params() -> Params {
+        // Short rounds and heartbeats keep simulated test time small.
+        Params::default()
+            .with_round(Duration::from_millis(200))
+            .with_group_bounds(1, 8)
+    }
+
+    fn make_sim(n: u64, params: &Params, seed: u64) -> TestSim {
+        let registry = registry(n);
+        let mut sim = Simulation::new(NetConfig::lan(), seed);
+        for i in 0..n {
+            let node = AtumNode::new(
+                NodeId::new(i),
+                params.clone(),
+                registry.clone(),
+                CollectingApp::new(),
+            );
+            sim.add_node(NodeId::new(i), node);
+        }
+        sim
+    }
+
+    #[test]
+    fn bootstrap_then_join_two_nodes() {
+        let params = fast_params();
+        let mut sim = make_sim(2, &params, 1);
+        sim.call(NodeId::new(0), |n, ctx| n.bootstrap(ctx).unwrap());
+        sim.run_for(Duration::from_secs(2));
+        sim.call(NodeId::new(1), |n, ctx| n.join(NodeId::new(0), ctx).unwrap());
+        sim.run_for(Duration::from_secs(60));
+
+        assert!(sim.node(NodeId::new(1)).unwrap().is_member());
+        let m0 = sim.node(NodeId::new(0)).unwrap().member().unwrap();
+        assert!(m0.composition.contains(NodeId::new(1)) || m0.composition.len() == 1);
+        // Node 1 learned a composition that includes itself.
+        let m1 = sim.node(NodeId::new(1)).unwrap().member().unwrap();
+        assert!(m1.composition.contains(NodeId::new(1)));
+    }
+
+    #[test]
+    fn api_misuse_is_rejected() {
+        let params = fast_params();
+        let mut sim = make_sim(2, &params, 2);
+        sim.call(NodeId::new(0), |n, ctx| {
+            // Broadcast before joining fails.
+            assert!(matches!(
+                n.broadcast(b"early".to_vec(), ctx),
+                Err(AtumError::NotJoined)
+            ));
+            assert!(matches!(n.leave(ctx), Err(AtumError::NotJoined)));
+            n.bootstrap(ctx).unwrap();
+            // Double bootstrap fails.
+            assert!(matches!(n.bootstrap(ctx), Err(AtumError::AlreadyJoined)));
+            assert!(matches!(
+                n.join(NodeId::new(1), ctx),
+                Err(AtumError::AlreadyJoined)
+            ));
+        });
+        sim.run_for(Duration::from_secs(1));
+    }
+
+    #[test]
+    fn broadcast_reaches_every_member_of_a_bootstrapped_cluster() {
+        // Build a standing 12-node system (3 vgroups of 4) directly, the way
+        // the experiment harness does, and check end-to-end dissemination.
+        let n = 12u64;
+        let params = fast_params().with_group_bounds(2, 8).with_overlay(2, 4);
+        let registry = registry(n);
+        let mut sim: TestSim = Simulation::new(NetConfig::lan(), 3);
+
+        // Three vgroups of four nodes, connected in a ring on both cycles.
+        let comps: Vec<Composition> = (0..3)
+            .map(|g| ((g * 4)..(g * 4 + 4)).map(NodeId::new).collect())
+            .collect();
+        let vgids: Vec<VgroupId> = (100..103).map(VgroupId::new).collect();
+        for g in 0..3usize {
+            let mut neighbors = NeighborTable::new(params.hc);
+            for cycle in 0..params.hc as usize {
+                let pred = (g + 2) % 3;
+                let succ = (g + 1) % 3;
+                neighbors.set_cycle(
+                    cycle,
+                    atum_overlay::CycleNeighbors {
+                        predecessor: vgids[pred],
+                        predecessor_composition: comps[pred].clone(),
+                        successor: vgids[succ],
+                        successor_composition: comps[succ].clone(),
+                    },
+                );
+            }
+            for i in (g * 4)..(g * 4 + 4) {
+                let node = AtumNode::with_membership(
+                    NodeId::new(i as u64),
+                    params.clone(),
+                    registry.clone(),
+                    CollectingApp::new(),
+                    vgids[g],
+                    comps[g].clone(),
+                    neighbors.clone(),
+                    0,
+                );
+                sim.add_node(NodeId::new(i as u64), node);
+            }
+        }
+
+        sim.call(NodeId::new(5), |n, ctx| {
+            n.broadcast(b"to-everyone".to_vec(), ctx).unwrap();
+        });
+        sim.run_for(Duration::from_secs(30));
+
+        for i in 0..n {
+            let app = sim.node(NodeId::new(i)).unwrap().app();
+            assert!(
+                app.delivered_payloads()
+                    .iter()
+                    .any(|p| p == b"to-everyone"),
+                "node {i} did not deliver the broadcast"
+            );
+            // Exactly once.
+            assert_eq!(
+                app.delivered_payloads()
+                    .iter()
+                    .filter(|p| p.as_slice() == b"to-everyone")
+                    .count(),
+                1,
+                "node {i} delivered more than once"
+            );
+        }
+    }
+
+    #[test]
+    fn async_mode_broadcast_also_disseminates() {
+        let n = 8u64;
+        let params = fast_params()
+            .with_group_bounds(2, 8)
+            .with_overlay(2, 4)
+            .with_smr(SmrMode::Asynchronous);
+        let registry = registry(n);
+        let mut sim: TestSim = Simulation::new(NetConfig::wan(), 4);
+        let comps: Vec<Composition> = (0..2)
+            .map(|g| ((g * 4)..(g * 4 + 4)).map(NodeId::new).collect())
+            .collect();
+        let vgids = [VgroupId::new(100), VgroupId::new(101)];
+        for g in 0..2usize {
+            let other = 1 - g;
+            let mut neighbors = NeighborTable::new(params.hc);
+            for cycle in 0..params.hc as usize {
+                neighbors.set_cycle(
+                    cycle,
+                    atum_overlay::CycleNeighbors {
+                        predecessor: vgids[other],
+                        predecessor_composition: comps[other].clone(),
+                        successor: vgids[other],
+                        successor_composition: comps[other].clone(),
+                    },
+                );
+            }
+            for i in (g * 4)..(g * 4 + 4) {
+                let node = AtumNode::with_membership(
+                    NodeId::new(i as u64),
+                    params.clone(),
+                    registry.clone(),
+                    CollectingApp::new(),
+                    vgids[g],
+                    comps[g].clone(),
+                    neighbors.clone(),
+                    0,
+                );
+                sim.add_node(NodeId::new(i as u64), node);
+            }
+        }
+        sim.call(NodeId::new(0), |n, ctx| {
+            n.broadcast(b"async".to_vec(), ctx).unwrap();
+        });
+        sim.run_for(Duration::from_secs(30));
+        for i in 0..n {
+            assert!(
+                sim.node(NodeId::new(i))
+                    .unwrap()
+                    .app()
+                    .delivered_payloads()
+                    .iter()
+                    .any(|p| p == b"async"),
+                "node {i} missed the broadcast"
+            );
+        }
+    }
+
+    #[test]
+    fn leave_removes_node_from_its_vgroup() {
+        let n = 4u64;
+        let params = fast_params().with_group_bounds(1, 8).with_overlay(2, 4);
+        let registry = registry(n);
+        let mut sim: TestSim = Simulation::new(NetConfig::lan(), 5);
+        let comp: Composition = (0..n).map(NodeId::new).collect();
+        let vg = VgroupId::new(100);
+        let neighbors = NeighborTable::self_loop(params.hc, vg, comp.clone());
+        for i in 0..n {
+            let node = AtumNode::with_membership(
+                NodeId::new(i),
+                params.clone(),
+                registry.clone(),
+                CollectingApp::new(),
+                vg,
+                comp.clone(),
+                neighbors.clone(),
+                0,
+            );
+            sim.add_node(NodeId::new(i), node);
+        }
+        sim.call(NodeId::new(3), |n, ctx| n.leave(ctx).unwrap());
+        sim.run_for(Duration::from_secs(30));
+        assert_eq!(
+            sim.node(NodeId::new(3)).unwrap().phase(),
+            &NodePhase::Left
+        );
+        for i in 0..3 {
+            let m = sim.node(NodeId::new(i)).unwrap().member().unwrap();
+            assert!(
+                !m.composition.contains(NodeId::new(3)),
+                "node {i} still lists the departed member"
+            );
+        }
+    }
+
+    #[test]
+    fn silent_node_is_eventually_evicted() {
+        let n = 5u64;
+        let mut params = fast_params().with_group_bounds(1, 8).with_overlay(2, 4);
+        params.heartbeat_period = Duration::from_secs(2);
+        params.eviction_threshold = 2;
+        let registry = registry(n);
+        let mut sim: TestSim = Simulation::new(NetConfig::lan(), 6);
+        let comp: Composition = (0..n).map(NodeId::new).collect();
+        let vg = VgroupId::new(100);
+        let neighbors = NeighborTable::self_loop(params.hc, vg, comp.clone());
+        for i in 0..n {
+            let node = AtumNode::with_membership(
+                NodeId::new(i),
+                params.clone(),
+                registry.clone(),
+                CollectingApp::new(),
+                vg,
+                comp.clone(),
+                neighbors.clone(),
+                0,
+            );
+            sim.add_node(NodeId::new(i), node);
+        }
+        // Node 4 crashes silently (no leave).
+        sim.crash(NodeId::new(4));
+        sim.run_for(Duration::from_secs(120));
+        for i in 0..4 {
+            let m = sim.node(NodeId::new(i)).unwrap().member().unwrap();
+            assert!(
+                !m.composition.contains(NodeId::new(4)),
+                "node {i} still lists the crashed member: {}",
+                m.composition
+            );
+        }
+    }
+
+    #[test]
+    fn byzantine_heartbeat_only_node_is_not_evicted_and_does_not_disrupt() {
+        let n = 5u64;
+        let mut params = fast_params().with_group_bounds(1, 8).with_overlay(2, 4);
+        params.heartbeat_period = Duration::from_secs(2);
+        params.eviction_threshold = 2;
+        let registry = registry(n);
+        let mut sim: TestSim = Simulation::new(NetConfig::lan(), 7);
+        let comp: Composition = (0..n).map(NodeId::new).collect();
+        let vg = VgroupId::new(100);
+        let neighbors = NeighborTable::self_loop(params.hc, vg, comp.clone());
+        for i in 0..n {
+            let mut node = AtumNode::with_membership(
+                NodeId::new(i),
+                params.clone(),
+                registry.clone(),
+                CollectingApp::new(),
+                vg,
+                comp.clone(),
+                neighbors.clone(),
+                0,
+            );
+            if i == 4 {
+                node.set_byzantine(ByzantineBehavior::HeartbeatOnly);
+            }
+            sim.add_node(NodeId::new(i), node);
+        }
+        sim.call(NodeId::new(0), |n, ctx| {
+            n.broadcast(b"despite-byzantine".to_vec(), ctx).unwrap();
+        });
+        sim.run_for(Duration::from_secs(60));
+        // Correct nodes delivered the broadcast.
+        for i in 0..4 {
+            assert!(sim
+                .node(NodeId::new(i))
+                .unwrap()
+                .app()
+                .delivered_payloads()
+                .iter()
+                .any(|p| p == b"despite-byzantine"));
+        }
+        // The Byzantine node is still a member (it heartbeats).
+        let m0 = sim.node(NodeId::new(0)).unwrap().member().unwrap();
+        assert!(m0.composition.contains(NodeId::new(4)));
+    }
+}

@@ -1,0 +1,35 @@
+//! The Atum overlay layer: the H-graph connecting volatile groups, group
+//! messages, random walks and gossip planning.
+//!
+//! The overlay is a multigraph of vgroups made of `hc` random Hamiltonian
+//! cycles (an *H-graph*, after Law & Siu). It is sparse (constant degree),
+//! well connected and has logarithmic diameter with high probability, which
+//! is what makes gossip and random-walk sampling efficient.
+//!
+//! This crate provides:
+//!
+//! * [`HGraph`] — the cycle structure itself, with the insert/remove surgery
+//!   needed by vgroup splits and merges;
+//! * [`NeighborTable`] — a single vgroup's local view of its neighbours
+//!   (per-cycle predecessor and successor compositions);
+//! * [`GroupMessageCollector`] — majority-acceptance of vgroup-to-vgroup
+//!   messages (§3.1, Figure 3);
+//! * [`WalkState`] and [`WalkCertificate`] — random walks with bulk RNG and
+//!   both communication styles of §5.1 (backward phase and certificates);
+//! * [`GossipPlanner`] and [`SeenCache`] — which neighbours a broadcast is
+//!   forwarded to, honouring the application's `forward` callback policy.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod directory;
+pub mod gossip;
+pub mod group_msg;
+pub mod hgraph;
+pub mod walk;
+
+pub use directory::VgroupDirectory;
+pub use gossip::{GossipPlanner, SeenCache};
+pub use group_msg::GroupMessageCollector;
+pub use hgraph::{CycleNeighbors, HGraph, NeighborTable};
+pub use walk::{simulate_walk_hits, WalkCertificate, WalkPurpose, WalkState};

@@ -1,0 +1,97 @@
+//! The two baselines of Figure 8: a classic round-based crash-tolerant gossip
+//! protocol with global membership, and a flat synchronous SMR run across the
+//! whole system.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use atum_types::Duration;
+
+/// Result of a classic-gossip simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GossipBaselineResult {
+    /// Round in which each node was first infected (round 0 = origin).
+    pub infection_round: Vec<u32>,
+    /// Number of rounds until every node was infected.
+    pub rounds_to_full_coverage: u32,
+}
+
+impl GossipBaselineResult {
+    /// Per-node delivery latencies given a round duration.
+    pub fn latencies(&self, round: Duration) -> Vec<Duration> {
+        self.infection_round
+            .iter()
+            .map(|&r| Duration::from_micros(round.as_micros() * r as u64))
+            .collect()
+    }
+}
+
+/// Simulates a classic push-gossip dissemination: every round, every infected
+/// node sends the message to `fanout` uniformly random nodes (global
+/// membership view, no failures) — the first baseline of §6.1.3.
+pub fn simulate_classic_gossip(n: usize, fanout: usize, seed: u64) -> GossipBaselineResult {
+    assert!(n > 0);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut infection_round = vec![u32::MAX; n];
+    infection_round[0] = 0;
+    let mut infected: Vec<usize> = vec![0];
+    let mut round = 0u32;
+    while infected.len() < n && round < 10_000 {
+        round += 1;
+        let currently_infected = infected.clone();
+        for _ in &currently_infected {
+            for _ in 0..fanout {
+                let target = rng.gen_range(0..n);
+                if infection_round[target] == u32::MAX {
+                    infection_round[target] = round;
+                    infected.push(target);
+                }
+            }
+        }
+    }
+    GossipBaselineResult {
+        rounds_to_full_coverage: round,
+        infection_round,
+    }
+}
+
+/// Latency of a flat synchronous Byzantine agreement across the whole system
+/// (the second baseline of §6.1.3): `f + 1` rounds, where `f` is the number
+/// of tolerated faults.
+pub fn flat_smr_latency(tolerated_faults: usize, round: Duration) -> Duration {
+    Duration::from_micros(round.as_micros() * (tolerated_faults as u64 + 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gossip_covers_everyone_in_logarithmic_rounds() {
+        let result = simulate_classic_gossip(850, 10, 1);
+        assert!(result.infection_round.iter().all(|&r| r != u32::MAX));
+        // log_10(850) ≈ 3; allow generous slack for the stochastic tail.
+        assert!(
+            result.rounds_to_full_coverage <= 8,
+            "took {} rounds",
+            result.rounds_to_full_coverage
+        );
+        let latencies = result.latencies(Duration::from_millis(1500));
+        assert_eq!(latencies.len(), 850);
+        assert_eq!(latencies.iter().filter(|l| l.as_micros() == 0).count(), 1);
+    }
+
+    #[test]
+    fn higher_fanout_spreads_faster() {
+        let slow = simulate_classic_gossip(1000, 2, 2);
+        let fast = simulate_classic_gossip(1000, 20, 2);
+        assert!(fast.rounds_to_full_coverage <= slow.rounds_to_full_coverage);
+    }
+
+    #[test]
+    fn flat_smr_latency_matches_paper_example() {
+        // 50 tolerated faults at 1.5 s rounds ≈ 76.5 s (the S.SMR point of
+        // Figure 8).
+        let latency = flat_smr_latency(50, Duration::from_millis(1500));
+        assert_eq!(latency.as_millis(), 76_500);
+    }
+}

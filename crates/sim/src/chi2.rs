@@ -1,0 +1,100 @@
+//! Pearson's χ² goodness-of-fit test against the uniform distribution.
+//!
+//! The paper's Figure 4 guideline accepts a random-walk length as "optimal"
+//! when, at confidence level 0.99, the χ² test cannot distinguish the
+//! distribution of walk endpoints from a truly uniform distribution over the
+//! vgroups. This module provides the statistic and the 0.99 critical value
+//! (via the Wilson–Hilferty approximation, accurate to a fraction of a
+//! percent for the degrees of freedom used here).
+
+/// The χ² statistic of observed counts against a uniform expectation.
+///
+/// # Panics
+///
+/// Panics if `observed` is empty or all counts are zero.
+pub fn chi2_statistic(observed: &[u64]) -> f64 {
+    assert!(!observed.is_empty(), "need at least one category");
+    let total: u64 = observed.iter().sum();
+    assert!(total > 0, "need at least one observation");
+    let expected = total as f64 / observed.len() as f64;
+    observed
+        .iter()
+        .map(|&o| {
+            let diff = o as f64 - expected;
+            diff * diff / expected
+        })
+        .sum()
+}
+
+/// Approximate 0.99-quantile of the χ² distribution with `df` degrees of
+/// freedom (Wilson–Hilferty).
+pub fn chi2_critical_99(df: usize) -> f64 {
+    let df = df.max(1) as f64;
+    let z = 2.326_347_874; // Φ⁻¹(0.99)
+    let term = 1.0 - 2.0 / (9.0 * df) + z * (2.0 / (9.0 * df)).sqrt();
+    df * term * term * term
+}
+
+/// `true` when the observed counts are statistically indistinguishable from
+/// uniform at confidence 0.99.
+pub fn is_uniform_99(observed: &[u64]) -> bool {
+    let df = observed.len().saturating_sub(1);
+    if df == 0 {
+        return true;
+    }
+    chi2_statistic(observed) <= chi2_critical_99(df)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn statistic_is_zero_for_perfectly_uniform_counts() {
+        assert_eq!(chi2_statistic(&[10, 10, 10, 10]), 0.0);
+    }
+
+    #[test]
+    fn critical_values_match_tables() {
+        // Known values: df=1 → 6.635, df=10 → 23.209, df=100 → 135.807.
+        assert!((chi2_critical_99(1) - 6.635).abs() < 0.35);
+        assert!((chi2_critical_99(10) - 23.209).abs() < 0.25);
+        assert!((chi2_critical_99(100) - 135.807).abs() < 0.6);
+    }
+
+    #[test]
+    fn uniform_samples_pass_and_skewed_samples_fail() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let categories = 64usize;
+        let mut uniform = vec![0u64; categories];
+        for _ in 0..50_000 {
+            uniform[rng.gen_range(0..categories)] += 1;
+        }
+        assert!(is_uniform_99(&uniform));
+
+        // Heavily skewed: half the mass on one category.
+        let mut skewed = vec![0u64; categories];
+        for _ in 0..50_000 {
+            let c = if rng.gen_bool(0.5) {
+                0
+            } else {
+                rng.gen_range(0..categories)
+            };
+            skewed[c] += 1;
+        }
+        assert!(!is_uniform_99(&skewed));
+    }
+
+    #[test]
+    fn single_category_is_trivially_uniform() {
+        assert!(is_uniform_99(&[42]));
+    }
+
+    #[test]
+    #[should_panic(expected = "observation")]
+    fn all_zero_counts_panic() {
+        chi2_statistic(&[0, 0, 0]);
+    }
+}

@@ -1,0 +1,283 @@
+//! Construction of standing Atum systems for experiments.
+//!
+//! Experiments that measure steady-state behaviour (broadcast latency,
+//! AShare reads, AStream dissemination) need a system of N nodes already
+//! organised into vgroups and an overlay — the state a long sequence of joins
+//! converges to. [`ClusterBuilder`] constructs that state directly from
+//! ground truth (`VgroupDirectory` + `HGraph`) and instantiates one
+//! [`AtumNode`] per node on the simulator. Growth and churn experiments use
+//! the real `join`/`leave` protocol on top of such a cluster (or from a
+//! single bootstrap node).
+
+use atum_core::{Application, AtumMessage, AtumNode, ByzantineBehavior};
+use atum_crypto::KeyRegistry;
+use atum_overlay::{CycleNeighbors, HGraph, NeighborTable, VgroupDirectory};
+use atum_simnet::{NetConfig, Simulation};
+use atum_types::{Composition, NodeId, Params, VgroupId};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+/// A standing Atum system hosted on the simulator.
+pub struct Cluster<A: Application> {
+    /// The simulation hosting every node.
+    pub sim: Simulation<AtumMessage, AtumNode<A>>,
+    /// Ground-truth vgroup membership at construction time.
+    pub directory: VgroupDirectory,
+    /// Ground-truth overlay at construction time.
+    pub hgraph: HGraph,
+    /// Nodes marked Byzantine (heartbeat-only).
+    pub byzantine: Vec<NodeId>,
+    /// The shared key registry (covers spare identities for later joiners).
+    pub registry: Arc<KeyRegistry>,
+    /// The system parameters every node was configured with.
+    pub params: Params,
+    /// Identifiers of the initial members, sorted.
+    pub initial_nodes: Vec<NodeId>,
+}
+
+impl<A: Application> Cluster<A> {
+    /// Correct (non-Byzantine) initial members.
+    pub fn correct_nodes(&self) -> Vec<NodeId> {
+        self.initial_nodes
+            .iter()
+            .copied()
+            .filter(|n| !self.byzantine.contains(n))
+            .collect()
+    }
+
+    /// Number of nodes that currently consider themselves members.
+    pub fn member_count(&self) -> usize {
+        self.initial_nodes
+            .iter()
+            .filter(|&&id| {
+                self.sim
+                    .node(id)
+                    .map(|n| n.is_member())
+                    .unwrap_or(false)
+            })
+            .count()
+    }
+}
+
+/// Builder for [`Cluster`].
+#[derive(Debug, Clone)]
+pub struct ClusterBuilder {
+    n: usize,
+    params: Params,
+    net: NetConfig,
+    seed: u64,
+    byzantine: usize,
+    target_group_size: Option<usize>,
+    spare_identities: usize,
+}
+
+impl ClusterBuilder {
+    /// Starts a builder for a system of `n` nodes.
+    pub fn new(n: usize) -> Self {
+        ClusterBuilder {
+            n,
+            params: Params::default(),
+            net: NetConfig::lan(),
+            seed: 42,
+            byzantine: 0,
+            target_group_size: None,
+            spare_identities: 0,
+        }
+    }
+
+    /// Sets the Atum parameters used by every node.
+    pub fn params(mut self, params: Params) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Sets the network profile.
+    pub fn net(mut self, net: NetConfig) -> Self {
+        self.net = net;
+        self
+    }
+
+    /// Sets the random seed (drives partitioning, the overlay and the
+    /// simulator).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Marks `count` randomly chosen nodes as Byzantine (heartbeat-only).
+    pub fn byzantine(mut self, count: usize) -> Self {
+        self.byzantine = count;
+        self
+    }
+
+    /// Overrides the initial vgroup size (default: midway between `gmin` and
+    /// `gmax`).
+    pub fn group_size(mut self, size: usize) -> Self {
+        self.target_group_size = Some(size);
+        self
+    }
+
+    /// Registers `count` additional identities (node ids `n..n+count`) in the
+    /// key registry so growth/churn experiments can add new nodes later.
+    pub fn spare_identities(mut self, count: usize) -> Self {
+        self.spare_identities = count;
+        self
+    }
+
+    /// Builds the cluster, creating each node's application with `make_app`.
+    pub fn build<A: Application, F: FnMut(NodeId) -> A>(self, mut make_app: F) -> Cluster<A> {
+        let ClusterBuilder {
+            n,
+            params,
+            net,
+            seed,
+            byzantine,
+            target_group_size,
+            spare_identities,
+        } = self;
+        assert!(n > 0, "a cluster needs at least one node");
+        params.validate().expect("invalid Atum parameters");
+
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut registry = KeyRegistry::new();
+        for i in 0..(n + spare_identities) as u64 {
+            registry.register(NodeId::new(i), seed);
+        }
+        let registry = registry.shared();
+
+        let nodes: Vec<NodeId> = (0..n as u64).map(NodeId::new).collect();
+        let group_size = target_group_size
+            .unwrap_or((params.gmin + params.gmax) / 2)
+            .max(1);
+        let directory = VgroupDirectory::partition(&nodes, group_size, &mut rng);
+        let group_ids = directory.group_ids();
+        let hgraph = HGraph::random(&group_ids, params.hc, &mut rng);
+
+        // Local neighbour tables derived from the ground-truth overlay.
+        let neighbor_table_of = |group: VgroupId| -> NeighborTable {
+            let mut table = NeighborTable::new(params.hc);
+            for cycle in 0..params.hc as usize {
+                let pred = hgraph.predecessor(cycle, group).expect("member of graph");
+                let succ = hgraph.successor(cycle, group).expect("member of graph");
+                table.set_cycle(
+                    cycle,
+                    CycleNeighbors {
+                        predecessor: pred,
+                        predecessor_composition: directory
+                            .composition(pred)
+                            .expect("group exists")
+                            .clone(),
+                        successor: succ,
+                        successor_composition: directory
+                            .composition(succ)
+                            .expect("group exists")
+                            .clone(),
+                    },
+                );
+            }
+            table
+        };
+
+        let mut byz_nodes: Vec<NodeId> = nodes.clone();
+        byz_nodes.shuffle(&mut rng);
+        byz_nodes.truncate(byzantine.min(n));
+        byz_nodes.sort_unstable();
+
+        let mut sim: Simulation<AtumMessage, AtumNode<A>> = Simulation::new(net, seed);
+        for group in &group_ids {
+            let composition: Composition = directory.composition(*group).expect("exists").clone();
+            let table = neighbor_table_of(*group);
+            for node_id in composition.iter() {
+                let mut node = AtumNode::with_membership(
+                    node_id,
+                    params.clone(),
+                    registry.clone(),
+                    make_app(node_id),
+                    *group,
+                    composition.clone(),
+                    table.clone(),
+                    0,
+                );
+                if byz_nodes.contains(&node_id) {
+                    node.set_byzantine(ByzantineBehavior::HeartbeatOnly);
+                }
+                sim.add_node(node_id, node);
+            }
+        }
+
+        Cluster {
+            sim,
+            directory,
+            hgraph,
+            byzantine: byz_nodes,
+            registry,
+            params,
+            initial_nodes: nodes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atum_core::CollectingApp;
+    use atum_types::Duration;
+
+    #[test]
+    fn builder_creates_consistent_ground_truth() {
+        let params = Params::default().with_group_bounds(3, 10).with_overlay(3, 6);
+        let cluster = ClusterBuilder::new(60)
+            .params(params)
+            .seed(7)
+            .byzantine(5)
+            .build(|_| CollectingApp::new());
+        assert_eq!(cluster.initial_nodes.len(), 60);
+        assert_eq!(cluster.byzantine.len(), 5);
+        assert_eq!(cluster.correct_nodes().len(), 55);
+        cluster.directory.check_invariants().unwrap();
+        cluster.hgraph.check_invariants().unwrap();
+        assert_eq!(
+            cluster.hgraph.vertex_count(),
+            cluster.directory.group_count()
+        );
+        assert_eq!(cluster.member_count(), 60);
+    }
+
+    #[test]
+    fn broadcast_on_built_cluster_reaches_correct_nodes() {
+        let params = Params::default()
+            .with_group_bounds(2, 8)
+            .with_overlay(3, 5)
+            .with_round(Duration::from_millis(250));
+        let mut cluster = ClusterBuilder::new(30)
+            .params(params)
+            .seed(3)
+            .build(|_| CollectingApp::new());
+        let origin = cluster.initial_nodes[4];
+        cluster.sim.call(origin, |n, ctx| {
+            n.broadcast(b"cluster-wide".to_vec(), ctx).unwrap();
+        });
+        cluster.sim.run_for(Duration::from_secs(40));
+        let mut delivered = 0;
+        for id in cluster.correct_nodes() {
+            let node = cluster.sim.node(id).unwrap();
+            if node
+                .app()
+                .delivered_payloads()
+                .iter()
+                .any(|p| p == b"cluster-wide")
+            {
+                delivered += 1;
+            }
+        }
+        assert_eq!(delivered, cluster.correct_nodes().len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_node_cluster_is_rejected() {
+        ClusterBuilder::new(0).build(|_| CollectingApp::new());
+    }
+}

@@ -1,0 +1,398 @@
+//! Workload drivers for the paper's experiments: growth (Fig. 6), churn
+//! (Fig. 7), broadcast latency (Fig. 8) and exchange completion (Fig. 13).
+
+use crate::cluster::Cluster;
+use crate::metrics::LatencySeries;
+use atum_core::{Application, AtumMessage, AtumNode, CollectingApp};
+use atum_crypto::KeyRegistry;
+use atum_simnet::{NetConfig, Simulation};
+use atum_types::{BroadcastId, Duration, Instant, NodeId, Params};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+
+// --------------------------------------------------------------- broadcasts
+
+/// Result of a broadcast-latency workload (Figure 8).
+#[derive(Debug, Clone, Default)]
+pub struct BroadcastWorkloadReport {
+    /// Delivery latencies across all (correct node, broadcast) pairs.
+    pub latencies: LatencySeries,
+    /// Deliveries that should have happened (correct nodes × broadcasts).
+    pub expected_deliveries: usize,
+    /// Deliveries observed.
+    pub observed_deliveries: usize,
+    /// Mean number of overlay hops per delivery.
+    pub mean_hops: f64,
+}
+
+impl BroadcastWorkloadReport {
+    /// Fraction of expected deliveries that occurred.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.expected_deliveries == 0 {
+            1.0
+        } else {
+            self.observed_deliveries as f64 / self.expected_deliveries as f64
+        }
+    }
+}
+
+/// Publishes `broadcasts` messages of `payload_size` bytes from random
+/// correct nodes, one every `gap`, then lets the system settle and collects
+/// the delivery latency of every (node, broadcast) pair.
+pub fn run_broadcast_workload<A: Application>(
+    cluster: &mut Cluster<A>,
+    broadcasts: usize,
+    payload_size: usize,
+    gap: Duration,
+    settle: Duration,
+    seed: u64,
+) -> BroadcastWorkloadReport {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let correct = cluster.correct_nodes();
+    assert!(!correct.is_empty(), "need at least one correct node");
+    let start = cluster.sim.now() + Duration::from_secs(1);
+
+    // Assign publishers and remember the send time of every broadcast id.
+    let mut send_times: HashMap<BroadcastId, Instant> = HashMap::new();
+    let mut per_origin_seq: HashMap<NodeId, u64> = HashMap::new();
+    for i in 0..broadcasts {
+        let publisher = *correct.choose(&mut rng).expect("non-empty");
+        let seq = per_origin_seq.entry(publisher).or_insert(0);
+        let id = BroadcastId::new(publisher, *seq);
+        *seq += 1;
+        let at = start + Duration::from_micros(gap.as_micros() * i as u64);
+        send_times.insert(id, at);
+        let payload = vec![0x5au8; payload_size];
+        cluster.sim.call_at(at, publisher, move |node, ctx| {
+            let _ = node.broadcast(payload, ctx);
+        });
+    }
+
+    let total = Duration::from_micros(gap.as_micros() * broadcasts as u64) + settle;
+    cluster.sim.run_for(Duration::from_secs(1) + total);
+
+    let mut report = BroadcastWorkloadReport {
+        expected_deliveries: correct.len() * send_times.len(),
+        ..BroadcastWorkloadReport::default()
+    };
+    let mut hops_total = 0u64;
+    for node_id in &correct {
+        let Some(node) = cluster.sim.node(*node_id) else {
+            continue;
+        };
+        let Some(member) = node.member() else {
+            continue;
+        };
+        for (id, at, hops) in &member.stats.delivered {
+            if let Some(sent) = send_times.get(id) {
+                report.observed_deliveries += 1;
+                report.latencies.push(at.saturating_since(*sent));
+                hops_total += *hops as u64;
+            }
+        }
+    }
+    report.mean_hops = if report.observed_deliveries == 0 {
+        0.0
+    } else {
+        hops_total as f64 / report.observed_deliveries as f64
+    };
+    report
+}
+
+// ------------------------------------------------------------------- growth
+
+/// Result of a growth run (Figures 6 and 13).
+#[derive(Debug, Clone, Default)]
+pub struct GrowthReport {
+    /// (simulated seconds, number of nodes that are members) samples.
+    pub size_over_time: Vec<(f64, usize)>,
+    /// Shuffle exchanges completed across all vgroups.
+    pub exchanges_completed: u64,
+    /// Shuffle exchanges suppressed (partner unavailable).
+    pub exchanges_suppressed: u64,
+    /// Whether the target size was reached within the time budget.
+    pub reached_target: bool,
+    /// Simulated time at the end of the run.
+    pub elapsed_secs: f64,
+}
+
+impl GrowthReport {
+    /// Fraction of completed exchanges among all that finished either way
+    /// (the y-axis of Figure 13).
+    pub fn exchange_completion_rate(&self) -> f64 {
+        let finished = self.exchanges_completed + self.exchanges_suppressed;
+        if finished == 0 {
+            1.0
+        } else {
+            self.exchanges_completed as f64 / finished as f64
+        }
+    }
+}
+
+/// Grows a system from a single bootstrap node to `target` nodes by joining
+/// `join_rate_fraction` of the current system size per simulated minute
+/// (8 % in §6.1.1; 20 % and 24 % in Figure 13).
+pub fn run_growth(
+    params: Params,
+    net: NetConfig,
+    seed: u64,
+    target: usize,
+    join_rate_fraction: f64,
+    max_sim: Duration,
+) -> GrowthReport {
+    assert!(target >= 1);
+    let mut registry = KeyRegistry::new();
+    for i in 0..target as u64 {
+        registry.register(NodeId::new(i), seed);
+    }
+    let registry = registry.shared();
+    let mut sim: Simulation<AtumMessage, AtumNode<CollectingApp>> = Simulation::new(net, seed);
+    for i in 0..target as u64 {
+        let node = AtumNode::new(
+            NodeId::new(i),
+            params.clone(),
+            registry.clone(),
+            CollectingApp::new(),
+        );
+        sim.add_node(NodeId::new(i), node);
+    }
+    sim.call(NodeId::new(0), |n, ctx| {
+        n.bootstrap(ctx).expect("bootstrap succeeds")
+    });
+    sim.run_for(Duration::from_secs(1));
+
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xfeed);
+    let check_interval = Duration::from_secs(10);
+    let mut report = GrowthReport::default();
+    let mut next_to_join: u64 = 1;
+    let deadline = sim.now() + max_sim;
+
+    loop {
+        // Count members and record the growth curve.
+        let members: Vec<NodeId> = (0..target as u64)
+            .map(NodeId::new)
+            .filter(|&id| sim.node(id).map(|n| n.is_member()).unwrap_or(false))
+            .collect();
+        report
+            .size_over_time
+            .push((sim.now().as_secs_f64(), members.len()));
+        if members.len() >= target || sim.now() >= deadline {
+            report.reached_target = members.len() >= target;
+            break;
+        }
+        // Launch joins for this interval: rate × size × interval / 60.
+        let per_interval = (join_rate_fraction * members.len() as f64
+            * check_interval.as_secs_f64()
+            / 60.0)
+            .ceil()
+            .max(1.0) as u64;
+        for _ in 0..per_interval {
+            if next_to_join >= target as u64 {
+                break;
+            }
+            let joiner = NodeId::new(next_to_join);
+            next_to_join += 1;
+            let contact = *members.choose(&mut rng).expect("at least the bootstrap node");
+            sim.call(joiner, move |n, ctx| {
+                let _ = n.join(contact, ctx);
+            });
+        }
+        sim.run_for(check_interval);
+    }
+
+    // Collect exchange statistics across every member.
+    for i in 0..target as u64 {
+        if let Some(member) = sim.node(NodeId::new(i)).and_then(|n| n.member()) {
+            let stats = member.exchange_stats();
+            report.exchanges_completed += stats.completed;
+            report.exchanges_suppressed += stats.suppressed;
+        }
+    }
+    report.elapsed_secs = sim.now().as_secs_f64();
+    report
+}
+
+// -------------------------------------------------------------------- churn
+
+/// Result of a churn run (Figure 7).
+#[derive(Debug, Clone, Default)]
+pub struct ChurnReport {
+    /// Leave/rejoin cycles attempted.
+    pub attempted: usize,
+    /// Nodes that were members again by the end of the run.
+    pub completed: usize,
+    /// Members at the end of the run.
+    pub final_members: usize,
+    /// The churn rate that was applied (re-joins per minute).
+    pub rate_per_minute: f64,
+}
+
+impl ChurnReport {
+    /// Fraction of churn cycles that completed.
+    pub fn completion_ratio(&self) -> f64 {
+        if self.attempted == 0 {
+            1.0
+        } else {
+            self.completed as f64 / self.attempted as f64
+        }
+    }
+
+    /// Whether the system sustained the churn (≥ 90 % of cycles completed and
+    /// the population did not collapse).
+    pub fn sustained(&self, initial: usize) -> bool {
+        self.completion_ratio() >= 0.9 && self.final_members * 10 >= initial * 9
+    }
+}
+
+/// Continuously removes and re-joins nodes of a standing cluster at
+/// `rate_per_minute` re-joins per minute for `duration`, then reports how
+/// many cycles completed (the paper's §6.1.2 methodology: nodes have session
+/// times of a few minutes and re-join after leaving).
+pub fn run_churn(
+    cluster: &mut Cluster<CollectingApp>,
+    rate_per_minute: f64,
+    duration: Duration,
+    rejoin_pause: Duration,
+    seed: u64,
+) -> ChurnReport {
+    assert!(rate_per_minute > 0.0);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xc0ffee);
+    let interval = Duration::from_secs_f64(60.0 / rate_per_minute);
+    let start = cluster.sim.now();
+    let mut report = ChurnReport {
+        rate_per_minute,
+        ..ChurnReport::default()
+    };
+
+    let correct = cluster.correct_nodes();
+    let mut churned: Vec<NodeId> = Vec::new();
+    let mut t = start + Duration::from_secs(2);
+    let deadline = start + duration;
+    while t < deadline {
+        // Pick a victim that is not already churning.
+        let candidates: Vec<NodeId> = correct
+            .iter()
+            .copied()
+            .filter(|n| !churned.contains(n))
+            .collect();
+        if candidates.is_empty() {
+            break;
+        }
+        let victim = *candidates.choose(&mut rng).expect("non-empty");
+        let contact = *correct
+            .iter()
+            .filter(|&&n| n != victim)
+            .collect::<Vec<_>>()
+            .choose(&mut rng)
+            .copied()
+            .unwrap_or(&correct[0]);
+        churned.push(victim);
+        report.attempted += 1;
+        cluster.sim.call_at(t, victim, |n, ctx| {
+            let _ = n.leave(ctx);
+        });
+        let rejoin_at = t + rejoin_pause;
+        cluster.sim.call_at(rejoin_at, victim, move |n, ctx| {
+            let _ = n.join(contact, ctx);
+        });
+        t = t + interval;
+    }
+
+    cluster.sim.run_until(deadline + Duration::from_secs(60));
+
+    report.completed = churned
+        .iter()
+        .filter(|&&n| {
+            cluster
+                .sim
+                .node(n)
+                .map(|node| node.is_member())
+                .unwrap_or(false)
+        })
+        .count();
+    report.final_members = cluster.member_count();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterBuilder;
+
+    fn fast_params() -> Params {
+        Params::default()
+            .with_round(Duration::from_millis(250))
+            .with_group_bounds(2, 8)
+            .with_overlay(2, 4)
+    }
+
+    #[test]
+    fn broadcast_workload_measures_latencies() {
+        let mut cluster = ClusterBuilder::new(20)
+            .params(fast_params())
+            .seed(5)
+            .build(|_| CollectingApp::new());
+        let report = run_broadcast_workload(
+            &mut cluster,
+            4,
+            100,
+            Duration::from_secs(2),
+            Duration::from_secs(30),
+            9,
+        );
+        assert_eq!(report.expected_deliveries, 20 * 4);
+        assert_eq!(report.observed_deliveries, report.expected_deliveries);
+        assert!((report.delivery_ratio() - 1.0).abs() < 1e-9);
+        assert!(report.latencies.mean() > 0.0);
+        assert!(report.mean_hops > 0.0);
+    }
+
+    #[test]
+    fn growth_from_bootstrap_reaches_small_target() {
+        let report = run_growth(
+            fast_params().with_group_bounds(1, 8),
+            NetConfig::lan(),
+            11,
+            6,
+            0.5,
+            Duration::from_secs(900),
+        );
+        assert!(report.reached_target, "curve: {:?}", report.size_over_time);
+        assert!(report.size_over_time.last().unwrap().1 >= 6);
+        // Size is non-decreasing over time.
+        for w in report.size_over_time.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+        assert!(report.exchange_completion_rate() > 0.0);
+    }
+
+    #[test]
+    fn churn_cycles_complete_at_modest_rate() {
+        let mut cluster = ClusterBuilder::new(16)
+            .params(fast_params())
+            .seed(13)
+            .spare_identities(4)
+            .build(|_| CollectingApp::new());
+        let initial = cluster.member_count();
+        let report = run_churn(
+            &mut cluster,
+            2.0,
+            Duration::from_secs(120),
+            Duration::from_secs(5),
+            3,
+        );
+        assert!(report.attempted >= 3, "attempted {}", report.attempted);
+        // Sustained concurrent churn is the hardest regime for the
+        // reproduction (see DESIGN.md §5): require progress, not perfection.
+        assert!(
+            report.completed >= 1,
+            "completed {}/{}",
+            report.completed,
+            report.attempted
+        );
+        assert!(report.final_members >= initial / 2);
+        let _ = report.sustained(initial);
+    }
+}

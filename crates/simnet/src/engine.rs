@@ -1,0 +1,676 @@
+//! The discrete-event simulation engine.
+
+use crate::latency::{NetConfig, Region};
+use crate::node::{Context, Node, OutboundMessage};
+use crate::stats::NetStats;
+use atum_types::{Duration, Instant, NodeId, WireSize};
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+/// Type of a queued event.
+enum EventKind<M, N> {
+    /// Deliver a message.
+    Deliver { from: NodeId, to: NodeId, msg: M, size: usize },
+    /// Fire a timer at a node.
+    Timer { node: NodeId, tag: u64, handle: u64 },
+    /// Run an external call against a node (harness-driven API invocation).
+    Call {
+        node: NodeId,
+        #[allow(clippy::type_complexity)]
+        f: Box<dyn FnOnce(&mut N, &mut Context<'_, M>) + Send>,
+    },
+    /// Start a node (runs `on_start`).
+    Start { node: NodeId },
+}
+
+struct QueuedEvent<M, N> {
+    at: Instant,
+    seq: u64,
+    kind: EventKind<M, N>,
+}
+
+// Ordering for the BinaryHeap (via Reverse): earliest time first, then FIFO.
+impl<M, N> PartialEq for QueuedEvent<M, N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M, N> Eq for QueuedEvent<M, N> {}
+impl<M, N> PartialOrd for QueuedEvent<M, N> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M, N> Ord for QueuedEvent<M, N> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+struct NodeSlot<N> {
+    node: N,
+    rng: ChaCha8Rng,
+    region: Region,
+    crashed: bool,
+    halted: bool,
+}
+
+/// The discrete-event simulator.
+///
+/// `M` is the message type exchanged between nodes, `N` the node (actor)
+/// type. The engine is generic so that protocol crates can run their own
+/// small actors in unit tests and the full Atum node in system tests, all on
+/// the same substrate.
+pub struct Simulation<M, N> {
+    config: NetConfig,
+    nodes: HashMap<NodeId, NodeSlot<N>>,
+    queue: BinaryHeap<Reverse<QueuedEvent<M, N>>>,
+    now: Instant,
+    seq: u64,
+    timer_handles: u64,
+    cancelled_timers: HashSet<u64>,
+    partitions: Vec<(HashSet<NodeId>, HashSet<NodeId>)>,
+    stats: NetStats,
+    rng: ChaCha8Rng,
+    seed: u64,
+}
+
+impl<M, N> Simulation<M, N>
+where
+    M: WireSize,
+    N: Node<M>,
+{
+    /// Creates a new simulation with the given network configuration and
+    /// random seed.
+    pub fn new(config: NetConfig, seed: u64) -> Self {
+        config.validate().expect("invalid network configuration");
+        Simulation {
+            config,
+            nodes: HashMap::new(),
+            queue: BinaryHeap::new(),
+            now: Instant::ZERO,
+            seq: 0,
+            timer_handles: 0,
+            cancelled_timers: HashSet::new(),
+            partitions: Vec::new(),
+            stats: NetStats::default(),
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// The seed this simulation was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Instant {
+        self.now
+    }
+
+    /// Network/traffic statistics so far.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Mutable access to the statistics (e.g. to reset between phases).
+    pub fn stats_mut(&mut self) -> &mut NetStats {
+        &mut self.stats
+    }
+
+    /// The network configuration.
+    pub fn config(&self) -> &NetConfig {
+        &self.config
+    }
+
+    /// Number of live (non-crashed, non-removed) nodes.
+    pub fn live_node_count(&self) -> usize {
+        self.nodes
+            .values()
+            .filter(|s| !s.crashed && !s.halted)
+            .count()
+    }
+
+    /// All node identifiers currently known to the simulation.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        let mut ids: Vec<NodeId> = self.nodes.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Adds a node in the default region and schedules its `on_start`.
+    /// Returns the node's identifier for convenience.
+    pub fn add_node(&mut self, id: NodeId, node: N) -> NodeId {
+        self.add_node_in_region(id, node, Region::DEFAULT)
+    }
+
+    /// Adds a node in a specific region (for WAN topologies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node with the same identifier already exists.
+    pub fn add_node_in_region(&mut self, id: NodeId, node: N, region: Region) -> NodeId {
+        assert!(
+            !self.nodes.contains_key(&id),
+            "node {id} already exists in the simulation"
+        );
+        let node_seed = self.rng.next_u64() ^ id.raw().wrapping_mul(0x9E3779B97F4A7C15);
+        self.nodes.insert(
+            id,
+            NodeSlot {
+                node,
+                rng: ChaCha8Rng::seed_from_u64(node_seed),
+                region,
+                crashed: false,
+                halted: false,
+            },
+        );
+        self.push(Instant::ZERO.max(self.now), EventKind::Start { node: id });
+        id
+    }
+
+    /// Immutable access to a node's state.
+    pub fn node(&self, id: NodeId) -> Option<&N> {
+        self.nodes.get(&id).map(|s| &s.node)
+    }
+
+    /// Mutable access to a node's state (outside of event processing; for
+    /// in-callback mutation use [`Simulation::call`]).
+    pub fn node_mut(&mut self, id: NodeId) -> Option<&mut N> {
+        self.nodes.get_mut(&id).map(|s| &mut s.node)
+    }
+
+    /// Returns `true` if the node exists and is neither crashed nor halted.
+    pub fn is_live(&self, id: NodeId) -> bool {
+        self.nodes
+            .get(&id)
+            .map(|s| !s.crashed && !s.halted)
+            .unwrap_or(false)
+    }
+
+    /// Crashes a node: it stops receiving messages and timers. The node's
+    /// state remains inspectable.
+    pub fn crash(&mut self, id: NodeId) {
+        if let Some(slot) = self.nodes.get_mut(&id) {
+            slot.crashed = true;
+        }
+    }
+
+    /// Restarts a crashed node (it resumes receiving messages; lost messages
+    /// are not replayed).
+    pub fn restart(&mut self, id: NodeId) {
+        if let Some(slot) = self.nodes.get_mut(&id) {
+            slot.crashed = false;
+        }
+    }
+
+    /// Removes a node entirely, dropping its state.
+    pub fn remove_node(&mut self, id: NodeId) -> Option<N> {
+        self.nodes.remove(&id).map(|s| s.node)
+    }
+
+    /// Installs a bidirectional partition between the two sets: messages
+    /// crossing from one side to the other are dropped until [`heal`] is
+    /// called.
+    ///
+    /// [`heal`]: Simulation::heal
+    pub fn partition(&mut self, side_a: &[NodeId], side_b: &[NodeId]) {
+        self.partitions.push((
+            side_a.iter().copied().collect(),
+            side_b.iter().copied().collect(),
+        ));
+    }
+
+    /// Removes all partitions.
+    pub fn heal(&mut self) {
+        self.partitions.clear();
+    }
+
+    /// Schedules an external call against a node at the current simulated
+    /// time (plus an infinitesimal ordering step). Used by the harness to
+    /// invoke API operations such as `join` or `broadcast`.
+    pub fn call<F>(&mut self, node: NodeId, f: F)
+    where
+        F: FnOnce(&mut N, &mut Context<'_, M>) + Send + 'static,
+    {
+        self.call_at(self.now, node, f);
+    }
+
+    /// Schedules an external call at an absolute simulated time.
+    pub fn call_at<F>(&mut self, at: Instant, node: NodeId, f: F)
+    where
+        F: FnOnce(&mut N, &mut Context<'_, M>) + Send + 'static,
+    {
+        let at = at.max(self.now);
+        self.push(at, EventKind::Call { node, f: Box::new(f) });
+    }
+
+    /// Runs events until the queue is empty or `max` simulated time has
+    /// elapsed (measured from the current time). Returns the simulated time
+    /// at which the run stopped.
+    pub fn run_until_idle(&mut self, max: Duration) -> Instant {
+        let deadline = self.now + max;
+        while let Some(Reverse(ev)) = self.queue.peek() {
+            if ev.at > deadline {
+                // Stopped by the deadline, not by drain: advance to it.
+                self.now = deadline;
+                return self.now;
+            }
+            self.step();
+        }
+        // Queue drained: the clock stays at the last processed event.
+        self.now
+    }
+
+    /// Runs events until the given absolute simulated time (inclusive).
+    pub fn run_until(&mut self, t: Instant) {
+        while let Some(Reverse(ev)) = self.queue.peek() {
+            if ev.at > t {
+                break;
+            }
+            self.step();
+        }
+        self.now = self.now.max(t);
+    }
+
+    /// Runs events for `d` simulated time from now.
+    pub fn run_for(&mut self, d: Duration) {
+        let target = self.now + d;
+        self.run_until(target);
+    }
+
+    /// Returns `true` when no events remain.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Processes a single event, if any. Returns `false` when the queue was
+    /// empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(ev)) = self.queue.pop() else {
+            return false;
+        };
+        self.now = self.now.max(ev.at);
+        self.stats.events_processed += 1;
+        match ev.kind {
+            EventKind::Deliver { from, to, msg, size } => self.do_deliver(from, to, msg, size),
+            EventKind::Timer { node, tag, handle } => self.do_timer(node, tag, handle),
+            EventKind::Call { node, f } => self.do_call(node, f),
+            EventKind::Start { node } => self.do_start(node),
+        }
+        true
+    }
+
+    fn push(&mut self, at: Instant, kind: EventKind<M, N>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(QueuedEvent { at, seq, kind }));
+    }
+
+    fn blocked_by_partition(&self, a: NodeId, b: NodeId) -> bool {
+        self.partitions.iter().any(|(sa, sb)| {
+            (sa.contains(&a) && sb.contains(&b)) || (sa.contains(&b) && sb.contains(&a))
+        })
+    }
+
+    fn do_deliver(&mut self, from: NodeId, to: NodeId, msg: M, size: usize) {
+        let deliverable = self
+            .nodes
+            .get(&to)
+            .map(|s| !s.crashed && !s.halted)
+            .unwrap_or(false);
+        if !deliverable {
+            self.stats.messages_dropped += 1;
+            return;
+        }
+        self.stats.messages_delivered += 1;
+        self.stats.bytes_delivered += size as u64;
+        self.with_context(to, |node, ctx| node.on_message(from, msg, ctx));
+    }
+
+    fn do_timer(&mut self, node: NodeId, tag: u64, handle: u64) {
+        if self.cancelled_timers.remove(&handle) {
+            return;
+        }
+        let deliverable = self
+            .nodes
+            .get(&node)
+            .map(|s| !s.crashed && !s.halted)
+            .unwrap_or(false);
+        if !deliverable {
+            return;
+        }
+        self.stats.timers_fired += 1;
+        self.with_context(node, |n, ctx| n.on_timer(tag, ctx));
+    }
+
+    fn do_call(
+        &mut self,
+        node: NodeId,
+        f: Box<dyn FnOnce(&mut N, &mut Context<'_, M>) + Send>,
+    ) {
+        if !self.nodes.contains_key(&node) {
+            return;
+        }
+        self.stats.calls_executed += 1;
+        self.with_context(node, |n, ctx| f(n, ctx));
+    }
+
+    fn do_start(&mut self, node: NodeId) {
+        if !self.nodes.contains_key(&node) {
+            return;
+        }
+        self.with_context(node, |n, ctx| n.on_start(ctx));
+    }
+
+    /// Builds a context for `id`, runs `f`, then applies the context's
+    /// effects (outgoing messages, timers, cancellations, halt flag).
+    fn with_context<F>(&mut self, id: NodeId, f: F)
+    where
+        F: FnOnce(&mut N, &mut Context<'_, M>),
+    {
+        let Some(slot) = self.nodes.get_mut(&id) else {
+            return;
+        };
+        let mut rng = slot.rng.clone();
+        let mut next_handle = self.timer_handles;
+        let mut ctx = Context {
+            own_id: id,
+            now: self.now,
+            rng: &mut rng,
+            outbox: Vec::new(),
+            new_timers: Vec::new(),
+            cancelled_timers: Vec::new(),
+            next_timer_handle: &mut next_handle,
+            halted: false,
+        };
+        f(&mut slot.node, &mut ctx);
+
+        let Context {
+            outbox,
+            new_timers,
+            cancelled_timers,
+            halted,
+            ..
+        } = ctx;
+        self.timer_handles = next_handle;
+        slot.rng = rng;
+        if halted {
+            slot.halted = true;
+        }
+        let sender_region = slot.region;
+
+        for handle in cancelled_timers {
+            self.cancelled_timers.insert(handle);
+        }
+        for (delay, tag, handle) in new_timers {
+            let at = self.now + delay;
+            self.push(at, EventKind::Timer { node: id, tag, handle });
+        }
+        for OutboundMessage { to, msg, size } in outbox {
+            self.route(id, sender_region, to, msg, size);
+        }
+    }
+
+    fn route(&mut self, from: NodeId, from_region: Region, to: NodeId, msg: M, size: usize) {
+        self.stats.messages_sent += 1;
+        self.stats.bytes_sent += size as u64;
+
+        if self.blocked_by_partition(from, to) {
+            self.stats.messages_dropped += 1;
+            return;
+        }
+        if self.config.loss_probability > 0.0
+            && self.rng.gen_bool(self.config.loss_probability)
+        {
+            self.stats.messages_lost += 1;
+            return;
+        }
+        let to_region = self
+            .nodes
+            .get(&to)
+            .map(|s| s.region)
+            .unwrap_or(Region::DEFAULT);
+        let propagation = self
+            .config
+            .latency
+            .sample(from_region, to_region, &mut self.rng);
+        let serialization = self.config.serialization_delay(size);
+        let overhead = self.config.processing_overhead;
+        let at = self.now + propagation + serialization + overhead;
+        self.push(at, EventKind::Deliver { from, to, msg, size });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atum_types::Duration;
+
+    /// A node that records everything it sees and can ping-pong.
+    #[derive(Default)]
+    struct Recorder {
+        started: bool,
+        messages: Vec<(NodeId, u64)>,
+        timers: Vec<u64>,
+    }
+
+    impl Node<u64> for Recorder {
+        fn on_start(&mut self, _ctx: &mut Context<'_, u64>) {
+            self.started = true;
+        }
+        fn on_message(&mut self, from: NodeId, msg: u64, ctx: &mut Context<'_, u64>) {
+            self.messages.push((from, msg));
+            if msg < 3 {
+                ctx.send(from, msg + 1);
+            }
+        }
+        fn on_timer(&mut self, tag: u64, _ctx: &mut Context<'_, u64>) {
+            self.timers.push(tag);
+        }
+    }
+
+    fn two_node_sim() -> (Simulation<u64, Recorder>, NodeId, NodeId) {
+        let mut sim = Simulation::new(NetConfig::lan(), 1);
+        let a = sim.add_node(NodeId::new(0), Recorder::default());
+        let b = sim.add_node(NodeId::new(1), Recorder::default());
+        (sim, a, b)
+    }
+
+    #[test]
+    fn on_start_runs_for_every_node() {
+        let (mut sim, a, b) = two_node_sim();
+        sim.run_until_idle(Duration::from_secs(1));
+        assert!(sim.node(a).unwrap().started);
+        assert!(sim.node(b).unwrap().started);
+    }
+
+    #[test]
+    fn ping_pong_exchanges_messages_with_increasing_time() {
+        let (mut sim, a, b) = two_node_sim();
+        sim.call(a, move |_n, ctx| ctx.send(b, 0));
+        sim.run_until_idle(Duration::from_secs(10));
+        // b saw 0 and 2; a saw 1 and 3.
+        let b_msgs: Vec<u64> = sim.node(b).unwrap().messages.iter().map(|m| m.1).collect();
+        let a_msgs: Vec<u64> = sim.node(a).unwrap().messages.iter().map(|m| m.1).collect();
+        assert_eq!(b_msgs, vec![0, 2]);
+        assert_eq!(a_msgs, vec![1, 3]);
+        assert!(sim.now() > Instant::ZERO);
+        assert_eq!(sim.stats().messages_sent, 4);
+        assert_eq!(sim.stats().messages_delivered, 4);
+    }
+
+    #[test]
+    fn timers_fire_in_order_and_can_be_cancelled() {
+        let mut sim: Simulation<u64, Recorder> = Simulation::new(NetConfig::lan(), 3);
+        let a = sim.add_node(NodeId::new(0), Recorder::default());
+        sim.call(a, |_n, ctx| {
+            let _keep = ctx.set_timer(Duration::from_secs(1), 11);
+            let cancel = ctx.set_timer(Duration::from_secs(2), 22);
+            let _later = ctx.set_timer(Duration::from_secs(3), 33);
+            ctx.cancel_timer(cancel);
+        });
+        sim.run_until_idle(Duration::from_secs(10));
+        assert_eq!(sim.node(a).unwrap().timers, vec![11, 33]);
+        assert_eq!(sim.stats().timers_fired, 2);
+    }
+
+    #[test]
+    fn crashed_nodes_receive_nothing_until_restart() {
+        let (mut sim, a, b) = two_node_sim();
+        sim.run_until_idle(Duration::from_secs(1));
+        sim.crash(b);
+        sim.call(a, move |_n, ctx| ctx.send(b, 9));
+        sim.run_until_idle(Duration::from_secs(5));
+        assert!(sim.node(b).unwrap().messages.is_empty());
+        assert_eq!(sim.stats().messages_dropped, 1);
+
+        sim.restart(b);
+        sim.call(a, move |_n, ctx| ctx.send(b, 9));
+        sim.run_until_idle(Duration::from_secs(5));
+        assert_eq!(sim.node(b).unwrap().messages.len(), 1);
+    }
+
+    #[test]
+    fn partition_blocks_and_heal_restores() {
+        let (mut sim, a, b) = two_node_sim();
+        sim.partition(&[a], &[b]);
+        sim.call(a, move |_n, ctx| ctx.send(b, 7));
+        sim.run_until_idle(Duration::from_secs(5));
+        assert!(sim.node(b).unwrap().messages.is_empty());
+
+        sim.heal();
+        sim.call(a, move |_n, ctx| ctx.send(b, 7));
+        sim.run_until_idle(Duration::from_secs(5));
+        assert_eq!(sim.node(b).unwrap().messages.len(), 1);
+    }
+
+    #[test]
+    fn lossy_network_drops_roughly_the_configured_fraction() {
+        let mut sim: Simulation<u64, Recorder> = Simulation::new(NetConfig::lossy(0.3), 5);
+        let a = sim.add_node(NodeId::new(0), Recorder::default());
+        let b = sim.add_node(NodeId::new(1), Recorder::default());
+        for i in 0..1000u64 {
+            // Send value >= 3 so the receiver does not reply.
+            sim.call(a, move |_n, ctx| ctx.send(b, 100 + i));
+        }
+        sim.run_until_idle(Duration::from_secs(60));
+        let delivered = sim.node(b).unwrap().messages.len();
+        assert!(delivered > 550 && delivered < 850, "delivered {delivered}");
+        assert_eq!(sim.stats().messages_lost as usize, 1000 - delivered);
+    }
+
+    #[test]
+    fn larger_messages_take_longer() {
+        #[derive(Default)]
+        struct Sink {
+            at: Vec<Instant>,
+        }
+        impl Node<Vec<u8>> for Sink {
+            fn on_message(&mut self, _f: NodeId, _m: Vec<u8>, ctx: &mut Context<'_, Vec<u8>>) {
+                self.at.push(ctx.now());
+            }
+            fn on_timer(&mut self, _t: u64, _c: &mut Context<'_, Vec<u8>>) {}
+        }
+        // Zero-jitter config isolates the serialisation component.
+        let cfg = NetConfig {
+            latency: crate::latency::LatencyModel::Uniform {
+                min: Duration::from_micros(100),
+                max: Duration::from_micros(101),
+            },
+            ..NetConfig::lan()
+        };
+        let mut sim: Simulation<Vec<u8>, Sink> = Simulation::new(cfg, 9);
+        let a = sim.add_node(NodeId::new(0), Sink::default());
+        let b = sim.add_node(NodeId::new(1), Sink::default());
+        sim.call(a, move |_n, ctx| ctx.send(b, vec![0u8; 10]));
+        sim.run_until_idle(Duration::from_secs(1));
+        let t_small = sim.node(b).unwrap().at[0];
+        let start = sim.now();
+        sim.call(a, move |_n, ctx| ctx.send(b, vec![0u8; 1_000_000]));
+        sim.run_until_idle(Duration::from_secs(10));
+        let t_big = sim.node(b).unwrap().at[1];
+        assert!(
+            (t_big - start).as_micros() > (t_small - Instant::ZERO).as_micros() * 5,
+            "big transfer should be much slower"
+        );
+    }
+
+    #[test]
+    fn determinism_same_seed_same_outcome() {
+        fn run(seed: u64) -> (u64, u64, Vec<(NodeId, u64)>) {
+            let mut sim: Simulation<u64, Recorder> = Simulation::new(NetConfig::wan(), seed);
+            let a = sim.add_node(NodeId::new(0), Recorder::default());
+            let b = sim.add_node(NodeId::new(1), Recorder::default());
+            sim.call(a, move |_n, ctx| ctx.send(b, 0));
+            sim.call(b, move |_n, ctx| ctx.send(a, 0));
+            sim.run_until_idle(Duration::from_secs(30));
+            (
+                sim.now().as_micros(),
+                sim.stats().messages_delivered,
+                sim.node(a).unwrap().messages.clone(),
+            )
+        }
+        assert_eq!(run(42), run(42));
+        // Different seeds give different latencies (overwhelmingly likely).
+        assert_ne!(run(42).0, run(43).0);
+    }
+
+    #[test]
+    fn remove_node_returns_state_and_stops_delivery() {
+        let (mut sim, a, b) = two_node_sim();
+        sim.run_until_idle(Duration::from_secs(1));
+        let removed = sim.remove_node(b).unwrap();
+        assert!(removed.started);
+        assert!(sim.node(b).is_none());
+        assert_eq!(sim.live_node_count(), 1);
+        sim.call(a, move |_n, ctx| ctx.send(b, 5));
+        sim.run_until_idle(Duration::from_secs(5));
+        assert_eq!(sim.stats().messages_dropped, 1);
+    }
+
+    #[test]
+    fn node_ids_are_sorted_and_live_count_tracks_halt() {
+        #[derive(Default)]
+        struct Halter;
+        impl Node<u64> for Halter {
+            fn on_message(&mut self, _f: NodeId, _m: u64, ctx: &mut Context<'_, u64>) {
+                ctx.halt();
+            }
+            fn on_timer(&mut self, _t: u64, _c: &mut Context<'_, u64>) {}
+        }
+        let mut sim: Simulation<u64, Halter> = Simulation::new(NetConfig::lan(), 2);
+        let b = sim.add_node(NodeId::new(5), Halter);
+        let a = sim.add_node(NodeId::new(1), Halter);
+        assert_eq!(sim.node_ids(), vec![a, b]);
+        assert!(sim.is_live(a));
+        sim.call(a, move |_n, ctx| ctx.send(a, 1));
+        sim.run_until_idle(Duration::from_secs(2));
+        // a halted itself upon receiving the message.
+        assert!(!sim.is_live(a));
+        assert_eq!(sim.live_node_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already exists")]
+    fn duplicate_node_ids_are_rejected() {
+        let mut sim: Simulation<u64, Recorder> = Simulation::new(NetConfig::lan(), 1);
+        sim.add_node(NodeId::new(0), Recorder::default());
+        sim.add_node(NodeId::new(0), Recorder::default());
+    }
+
+    #[test]
+    fn call_at_runs_at_requested_time() {
+        let mut sim: Simulation<u64, Recorder> = Simulation::new(NetConfig::lan(), 1);
+        let a = sim.add_node(NodeId::new(0), Recorder::default());
+        sim.call_at(Instant::from_micros(5_000_000), a, |_n, ctx| {
+            ctx.set_timer(Duration::ZERO, 99);
+        });
+        sim.run_until_idle(Duration::from_secs(20));
+        assert!(sim.now() >= Instant::from_micros(5_000_000));
+        assert_eq!(sim.node(a).unwrap().timers, vec![99]);
+    }
+}

@@ -1,0 +1,233 @@
+//! Link models: latency, jitter, bandwidth and loss.
+
+use atum_types::Duration;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Geographic region a node lives in.
+///
+/// The WAN experiments of the paper span 8 EC2 regions; for latency modelling
+/// it is enough to distinguish "same region" from "different region" plus a
+/// rough distance class, so regions are plain small integers.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Region(pub u8);
+
+impl Region {
+    /// The default region every node starts in.
+    pub const DEFAULT: Region = Region(0);
+}
+
+/// Base latency model for a pair of nodes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LatencyModel {
+    /// Uniform latency between `min` and `max` regardless of placement
+    /// (a single datacenter: the Sync deployment of the paper).
+    Uniform {
+        /// Lower bound.
+        min: Duration,
+        /// Upper bound.
+        max: Duration,
+    },
+    /// Intra-region latency `local`, inter-region latency `remote` (with the
+    /// same ±50 % jitter window), emulating the 8-region WAN deployment.
+    Regional {
+        /// Latency between nodes in the same region.
+        local: Duration,
+        /// Latency between nodes in different regions.
+        remote: Duration,
+    },
+}
+
+impl LatencyModel {
+    /// Samples a one-way propagation delay for a message between two regions.
+    pub fn sample<R: Rng + ?Sized>(&self, from: Region, to: Region, rng: &mut R) -> Duration {
+        match *self {
+            LatencyModel::Uniform { min, max } => {
+                let lo = min.as_micros();
+                let hi = max.as_micros().max(lo + 1);
+                Duration::from_micros(rng.gen_range(lo..hi))
+            }
+            LatencyModel::Regional { local, remote } => {
+                let base = if from == to { local } else { remote };
+                let us = base.as_micros().max(1);
+                // ±50 % jitter window around the base latency.
+                Duration::from_micros(rng.gen_range(us / 2..us + us / 2))
+            }
+        }
+    }
+
+    /// The worst-case (pre-jitter) latency of the model, used for sizing
+    /// synchronous rounds in tests.
+    pub fn upper_bound(&self) -> Duration {
+        match *self {
+            LatencyModel::Uniform { max, .. } => max,
+            LatencyModel::Regional { remote, .. } => {
+                Duration::from_micros(remote.as_micros() + remote.as_micros() / 2)
+            }
+        }
+    }
+}
+
+/// Complete network configuration for a simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetConfig {
+    /// Propagation-delay model.
+    pub latency: LatencyModel,
+    /// Link bandwidth in bytes per second (per message serialisation delay =
+    /// size / bandwidth). EC2 micro instances offer on the order of tens of
+    /// MB/s; the default models 25 MB/s.
+    pub bandwidth_bytes_per_sec: u64,
+    /// Probability (0.0–1.0) that any individual message is silently lost.
+    pub loss_probability: f64,
+    /// Fixed per-message processing overhead charged at the receiver
+    /// (deserialisation, syscalls, crypto checks).
+    pub processing_overhead: Duration,
+}
+
+impl NetConfig {
+    /// A single-datacenter (LAN) profile: 0.2–1.2 ms latency, 25 MB/s,
+    /// lossless.
+    pub fn lan() -> Self {
+        NetConfig {
+            latency: LatencyModel::Uniform {
+                min: Duration::from_micros(200),
+                max: Duration::from_micros(1_200),
+            },
+            bandwidth_bytes_per_sec: 25_000_000,
+            loss_probability: 0.0,
+            processing_overhead: Duration::from_micros(50),
+        }
+    }
+
+    /// A wide-area profile: 2 ms within a region, 120 ms across regions,
+    /// 12 MB/s, 0.1 % loss.
+    pub fn wan() -> Self {
+        NetConfig {
+            latency: LatencyModel::Regional {
+                local: Duration::from_millis(2),
+                remote: Duration::from_millis(120),
+            },
+            bandwidth_bytes_per_sec: 12_000_000,
+            loss_probability: 0.001,
+            processing_overhead: Duration::from_micros(80),
+        }
+    }
+
+    /// A lossy, slow profile for stress tests.
+    pub fn lossy(loss_probability: f64) -> Self {
+        NetConfig {
+            loss_probability,
+            ..NetConfig::wan()
+        }
+    }
+
+    /// Total transmission delay for a message of `size` bytes (serialisation
+    /// only; propagation is sampled separately).
+    pub fn serialization_delay(&self, size: usize) -> Duration {
+        if self.bandwidth_bytes_per_sec == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_micros((size as u64 * 1_000_000) / self.bandwidth_bytes_per_sec)
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated constraint when the loss
+    /// probability is outside `[0, 1)` or the bandwidth is zero.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..1.0).contains(&self.loss_probability) {
+            return Err(format!(
+                "loss probability {} must be in [0, 1)",
+                self.loss_probability
+            ));
+        }
+        if self.bandwidth_bytes_per_sec == 0 {
+            return Err("bandwidth must be non-zero".to_string());
+        }
+        Ok(())
+    }
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig::lan()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn uniform_latency_stays_in_bounds() {
+        let model = LatencyModel::Uniform {
+            min: Duration::from_millis(1),
+            max: Duration::from_millis(3),
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let d = model.sample(Region(0), Region(1), &mut rng);
+            assert!(d >= Duration::from_millis(1) && d < Duration::from_millis(3));
+        }
+    }
+
+    #[test]
+    fn regional_latency_distinguishes_local_and_remote() {
+        let model = LatencyModel::Regional {
+            local: Duration::from_millis(2),
+            remote: Duration::from_millis(100),
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let local: Vec<u64> = (0..200)
+            .map(|_| model.sample(Region(1), Region(1), &mut rng).as_micros())
+            .collect();
+        let remote: Vec<u64> = (0..200)
+            .map(|_| model.sample(Region(1), Region(2), &mut rng).as_micros())
+            .collect();
+        let local_max = *local.iter().max().unwrap();
+        let remote_min = *remote.iter().min().unwrap();
+        assert!(local_max < remote_min);
+        assert!(model.upper_bound() >= Duration::from_millis(100));
+    }
+
+    #[test]
+    fn serialization_delay_scales_with_size() {
+        let cfg = NetConfig::lan();
+        let small = cfg.serialization_delay(1_000);
+        let big = cfg.serialization_delay(1_000_000);
+        assert!(big > small.saturating_mul(100));
+        assert_eq!(
+            NetConfig {
+                bandwidth_bytes_per_sec: 0,
+                ..NetConfig::lan()
+            }
+            .serialization_delay(1_000_000),
+            Duration::ZERO
+        );
+    }
+
+    #[test]
+    fn profiles_validate() {
+        NetConfig::lan().validate().unwrap();
+        NetConfig::wan().validate().unwrap();
+        NetConfig::lossy(0.2).validate().unwrap();
+        assert!(NetConfig::lossy(1.5).validate().is_err());
+        assert!(NetConfig {
+            bandwidth_bytes_per_sec: 0,
+            ..NetConfig::lan()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn default_is_lan() {
+        assert_eq!(NetConfig::default(), NetConfig::lan());
+    }
+}

@@ -1,0 +1,55 @@
+//! A deterministic discrete-event network simulator: the substrate this
+//! reproduction uses in place of the paper's EC2 deployment.
+//!
+//! The simulator executes a set of [`Node`] actors. Nodes only interact with
+//! the world through their [`Context`]: they send messages, set timers, read
+//! the simulated clock and draw from a per-node deterministic RNG. The
+//! [`Simulation`] engine owns the event queue and delivers messages with a
+//! configurable [`LatencyModel`] (LAN / WAN profiles, jitter, bandwidth,
+//! loss) plus optional partitions and crashes.
+//!
+//! Determinism: given the same seed, node set and external call schedule, a
+//! simulation produces the same event order and the same results. All
+//! randomness flows from `ChaCha`-seeded generators owned by the engine.
+//!
+//! # Example
+//!
+//! ```
+//! use atum_simnet::{Context, Node, NetConfig, Simulation};
+//! use atum_types::{Duration, NodeId};
+//!
+//! struct Echo {
+//!     got: Vec<String>,
+//! }
+//!
+//! impl Node<String> for Echo {
+//!     fn on_message(&mut self, from: NodeId, msg: String, ctx: &mut Context<'_, String>) {
+//!         self.got.push(msg.clone());
+//!         if msg == "ping" {
+//!             ctx.send(from, "pong".to_string());
+//!         }
+//!     }
+//!     fn on_timer(&mut self, _tag: u64, _ctx: &mut Context<'_, String>) {}
+//! }
+//!
+//! let mut sim: Simulation<String, Echo> = Simulation::new(NetConfig::lan(), 7);
+//! let a = sim.add_node(NodeId::new(0), Echo { got: vec![] });
+//! let b = sim.add_node(NodeId::new(1), Echo { got: vec![] });
+//! sim.call(a, move |_node, ctx| ctx.send(b, "ping".to_string()));
+//! sim.run_until_idle(Duration::from_secs(10));
+//! assert_eq!(sim.node(b).unwrap().got, vec!["ping".to_string()]);
+//! assert_eq!(sim.node(a).unwrap().got, vec!["pong".to_string()]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod latency;
+pub mod node;
+pub mod stats;
+
+pub use engine::Simulation;
+pub use latency::{LatencyModel, NetConfig, Region};
+pub use node::{Context, Node, OutboundMessage};
+pub use stats::NetStats;

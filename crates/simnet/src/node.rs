@@ -1,0 +1,173 @@
+//! The [`Node`] actor trait and the [`Context`] through which actors interact
+//! with the simulated world.
+
+use atum_types::{Duration, Instant, NodeId, WireSize};
+use rand_chacha::ChaCha8Rng;
+
+/// A message queued for sending, together with its size accounting.
+#[derive(Debug, Clone)]
+pub struct OutboundMessage<M> {
+    /// Destination node.
+    pub to: NodeId,
+    /// Payload.
+    pub msg: M,
+    /// Size in bytes charged to the link (serialisation delay, stats).
+    pub size: usize,
+}
+
+/// A timer scheduled by a node. Returned by [`Context::set_timer`]; can be
+/// cancelled with [`Context::cancel_timer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimerHandle(pub(crate) u64);
+
+/// The interface a node uses to act on the world during a callback.
+///
+/// A `Context` is only valid for the duration of one callback invocation; all
+/// effects (sends, timers) are applied by the engine when the callback
+/// returns.
+pub struct Context<'a, M> {
+    pub(crate) own_id: NodeId,
+    pub(crate) now: Instant,
+    pub(crate) rng: &'a mut ChaCha8Rng,
+    pub(crate) outbox: Vec<OutboundMessage<M>>,
+    pub(crate) new_timers: Vec<(Duration, u64, u64)>, // (delay, tag, handle id)
+    pub(crate) cancelled_timers: Vec<u64>,
+    pub(crate) next_timer_handle: &'a mut u64,
+    pub(crate) halted: bool,
+}
+
+impl<'a, M: WireSize> Context<'a, M> {
+    /// The identifier of the node this context belongs to.
+    pub fn id(&self) -> NodeId {
+        self.own_id
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Instant {
+        self.now
+    }
+
+    /// Deterministic per-node random number generator.
+    pub fn rng(&mut self) -> &mut ChaCha8Rng {
+        self.rng
+    }
+
+    /// Sends `msg` to `to`. The size is taken from [`WireSize`].
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        let size = msg.wire_size() + atum_types::wire::ENVELOPE_OVERHEAD;
+        self.send_sized(to, msg, size);
+    }
+
+    /// Sends `msg` to `to` charging an explicit size (used when the logical
+    /// payload stands in for a larger physical one, e.g. file chunks).
+    pub fn send_sized(&mut self, to: NodeId, msg: M, size: usize) {
+        self.outbox.push(OutboundMessage { to, msg, size });
+    }
+
+    /// Schedules a timer to fire after `delay` with the given tag.
+    pub fn set_timer(&mut self, delay: Duration, tag: u64) -> TimerHandle {
+        let handle = *self.next_timer_handle;
+        *self.next_timer_handle += 1;
+        self.new_timers.push((delay, tag, handle));
+        TimerHandle(handle)
+    }
+
+    /// Cancels a previously scheduled timer. Cancelling an already-fired or
+    /// unknown timer is a no-op.
+    pub fn cancel_timer(&mut self, handle: TimerHandle) {
+        self.cancelled_timers.push(handle.0);
+    }
+
+    /// Marks this node as halted: the engine will deliver no further events
+    /// to it (used by `leave` once a node has fully departed).
+    pub fn halt(&mut self) {
+        self.halted = true;
+    }
+}
+
+/// A simulated node (actor).
+///
+/// All methods receive a [`Context`] for interacting with the network and the
+/// clock. Implementations must be deterministic given the context's RNG.
+pub trait Node<M>: Sized {
+    /// Called once when the node is added to the simulation.
+    fn on_start(&mut self, _ctx: &mut Context<'_, M>) {}
+
+    /// Called when a message from `from` is delivered.
+    fn on_message(&mut self, from: NodeId, msg: M, ctx: &mut Context<'_, M>);
+
+    /// Called when a timer set through [`Context::set_timer`] fires.
+    fn on_timer(&mut self, tag: u64, ctx: &mut Context<'_, M>);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn make_ctx<'a, M>(rng: &'a mut ChaCha8Rng, next: &'a mut u64) -> Context<'a, M> {
+        // Helper mirroring how the engine constructs contexts.
+        Context {
+            own_id: NodeId::new(3),
+            now: Instant::from_micros(500),
+            rng,
+            outbox: Vec::new(),
+            new_timers: Vec::new(),
+            cancelled_timers: Vec::new(),
+            next_timer_handle: next,
+            halted: false,
+        }
+    }
+
+    #[test]
+    fn context_collects_sends_and_timers() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut next = 10u64;
+        let mut ctx: Context<'_, Vec<u8>> = make_ctx(&mut rng, &mut next);
+        assert_eq!(ctx.id(), NodeId::new(3));
+        assert_eq!(ctx.now().as_micros(), 500);
+
+        ctx.send(NodeId::new(4), vec![1, 2, 3]);
+        ctx.send_sized(NodeId::new(5), vec![], 9_999);
+        let t1 = ctx.set_timer(Duration::from_secs(1), 7);
+        let t2 = ctx.set_timer(Duration::from_secs(2), 8);
+        ctx.cancel_timer(t1);
+        assert_ne!(t1, t2);
+
+        assert_eq!(ctx.outbox.len(), 2);
+        assert_eq!(ctx.outbox[0].to, NodeId::new(4));
+        // 3 bytes + 4-byte length prefix + envelope overhead
+        assert_eq!(
+            ctx.outbox[0].size,
+            7 + atum_types::wire::ENVELOPE_OVERHEAD
+        );
+        assert_eq!(ctx.outbox[1].size, 9_999);
+        assert_eq!(ctx.new_timers.len(), 2);
+        assert_eq!(ctx.cancelled_timers, vec![10]);
+        assert_eq!(next, 12);
+    }
+
+    #[test]
+    fn halt_flag_is_recorded() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut next = 0u64;
+        let mut ctx: Context<'_, Vec<u8>> = make_ctx(&mut rng, &mut next);
+        assert!(!ctx.halted);
+        ctx.halt();
+        assert!(ctx.halted);
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_seed() {
+        use rand::RngCore;
+        let mut rng1 = ChaCha8Rng::seed_from_u64(42);
+        let mut rng2 = ChaCha8Rng::seed_from_u64(42);
+        let mut next1 = 0u64;
+        let mut next2 = 0u64;
+        let mut ctx1: Context<'_, Vec<u8>> = make_ctx(&mut rng1, &mut next1);
+        let a = ctx1.rng().next_u64();
+        let mut ctx2: Context<'_, Vec<u8>> = make_ctx(&mut rng2, &mut next2);
+        let b = ctx2.rng().next_u64();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,76 @@
+//! Traffic and delivery statistics collected by the engine.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters the engine maintains while running.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetStats {
+    /// Messages handed to the network by nodes.
+    pub messages_sent: u64,
+    /// Messages delivered to their destination's `on_message`.
+    pub messages_delivered: u64,
+    /// Messages dropped by the loss model.
+    pub messages_lost: u64,
+    /// Messages dropped because the destination was crashed, removed or
+    /// partitioned away.
+    pub messages_dropped: u64,
+    /// Total bytes handed to the network.
+    pub bytes_sent: u64,
+    /// Total bytes delivered.
+    pub bytes_delivered: u64,
+    /// Timer events fired.
+    pub timers_fired: u64,
+    /// External calls executed.
+    pub calls_executed: u64,
+    /// Total events processed (messages + timers + calls).
+    pub events_processed: u64,
+}
+
+impl NetStats {
+    /// Fraction of sent messages that were delivered (1.0 when nothing was
+    /// sent).
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.messages_sent == 0 {
+            1.0
+        } else {
+            self.messages_delivered as f64 / self.messages_sent as f64
+        }
+    }
+
+    /// Resets every counter to zero (useful between experiment phases).
+    pub fn reset(&mut self) {
+        *self = NetStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivery_ratio_handles_zero_sends() {
+        let stats = NetStats::default();
+        assert_eq!(stats.delivery_ratio(), 1.0);
+    }
+
+    #[test]
+    fn delivery_ratio_computes_fraction() {
+        let stats = NetStats {
+            messages_sent: 10,
+            messages_delivered: 7,
+            ..NetStats::default()
+        };
+        assert!((stats.delivery_ratio() - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let mut stats = NetStats {
+            messages_sent: 5,
+            bytes_sent: 500,
+            ..NetStats::default()
+        };
+        stats.reset();
+        assert_eq!(stats, NetStats::default());
+    }
+}

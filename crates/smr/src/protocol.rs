@@ -1,0 +1,308 @@
+//! The [`Replication`] trait shared by both SMR engines, and the common
+//! message / action / configuration types.
+
+use atum_crypto::{Digest, SignatureChain};
+use atum_types::{Composition, Duration, Instant, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// An operation that can be ordered by the SMR engines.
+///
+/// The Atum group layer instantiates `O` with its own operation enum (joins,
+/// leaves, shuffles, broadcasts, ...). The trait only asks for what the
+/// engines need: a content digest (what gets signed / quorum-matched) and a
+/// wire-size estimate for bandwidth accounting.
+pub trait SmrOp: Clone + Eq + std::fmt::Debug {
+    /// Content digest of the operation.
+    fn digest(&self) -> Digest;
+    /// Approximate encoded size in bytes.
+    fn wire_size(&self) -> usize;
+}
+
+/// Raw byte strings are valid operations (used by tests and benchmarks).
+impl SmrOp for Vec<u8> {
+    fn digest(&self) -> Digest {
+        Digest::of(self)
+    }
+    fn wire_size(&self) -> usize {
+        4 + self.len()
+    }
+}
+
+/// A decided operation, in decision order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decision<O> {
+    /// Position in the total order (per epoch, starting at 0).
+    pub seq: u64,
+    /// The member that proposed the operation.
+    pub proposer: NodeId,
+    /// The operation itself.
+    pub op: O,
+}
+
+/// What an engine asks its host to do.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action<O> {
+    /// Send a protocol message to a vgroup peer.
+    Send {
+        /// Destination member.
+        to: NodeId,
+        /// Protocol message.
+        msg: SmrMessage<O>,
+    },
+    /// An operation was decided; apply it to the replicated state.
+    Deliver(Decision<O>),
+    /// Ask the host to call [`Replication::tick`] again no later than this
+    /// time (the engines are passive between events).
+    ScheduleTick {
+        /// When the next tick is needed.
+        at: Instant,
+    },
+}
+
+/// Messages exchanged by the SMR engines.
+///
+/// A single enum covers both engines so the host can treat them uniformly;
+/// each engine ignores the other's variants.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SmrMessage<O> {
+    /// Dolev–Strong value relay (synchronous engine). The chain signs the
+    /// batch digest; `slot` identifies the agreement instance.
+    SyncValue {
+        /// Slot (agreement instance) this value belongs to.
+        slot: u64,
+        /// The designated sender whose batch this is.
+        sender: NodeId,
+        /// Batch of operations proposed by `sender` in this slot.
+        batch: Vec<O>,
+        /// Signature chain over (slot, sender, batch digest).
+        chain: SignatureChain,
+    },
+    /// Client-style request forwarded to the current primary (async engine).
+    Request {
+        /// The operation to order.
+        op: O,
+    },
+    /// PBFT pre-prepare from the primary.
+    PrePrepare {
+        /// View number.
+        view: u64,
+        /// Sequence number assigned by the primary.
+        seq: u64,
+        /// The operation being ordered.
+        op: O,
+    },
+    /// PBFT prepare vote.
+    Prepare {
+        /// View number.
+        view: u64,
+        /// Sequence number.
+        seq: u64,
+        /// Digest of the operation voted on.
+        digest: Digest,
+    },
+    /// PBFT commit vote.
+    Commit {
+        /// View number.
+        view: u64,
+        /// Sequence number.
+        seq: u64,
+        /// Digest of the operation voted on.
+        digest: Digest,
+    },
+    /// View-change vote: the sender wants to move to `new_view` and reports
+    /// the operations it has prepared so far.
+    ViewChange {
+        /// The view the sender wants to enter.
+        new_view: u64,
+        /// Prepared operations carried over: (seq, op).
+        prepared: Vec<(u64, O)>,
+    },
+    /// New-view announcement from the incoming primary, restating the
+    /// operations that must keep their sequence numbers and the sequence
+    /// numbers that are abandoned (never prepared anywhere, hence never
+    /// committed) and must be skipped by the delivery order.
+    NewView {
+        /// The view being entered.
+        view: u64,
+        /// Operations re-proposed in the new view: (seq, op).
+        ops: Vec<(u64, O)>,
+        /// Sequence numbers proven unused; receivers skip them.
+        skips: Vec<u64>,
+    },
+}
+
+impl<O: SmrOp> SmrMessage<O> {
+    /// Approximate wire size of the message (operations + fixed overhead per
+    /// variant, including signature material where applicable).
+    pub fn wire_size(&self) -> usize {
+        use atum_types::wire::{DIGEST_SIZE, SIGNATURE_SIZE};
+        match self {
+            SmrMessage::SyncValue { batch, chain, .. } => {
+                16 + 8
+                    + batch.iter().map(SmrOp::wire_size).sum::<usize>()
+                    + chain.len() * (8 + SIGNATURE_SIZE)
+                    + DIGEST_SIZE
+            }
+            SmrMessage::Request { op } => 8 + op.wire_size(),
+            SmrMessage::PrePrepare { op, .. } => 24 + op.wire_size() + SIGNATURE_SIZE,
+            SmrMessage::Prepare { .. } | SmrMessage::Commit { .. } => {
+                24 + DIGEST_SIZE + SIGNATURE_SIZE
+            }
+            SmrMessage::ViewChange { prepared, .. } => {
+                16 + prepared
+                    .iter()
+                    .map(|(_, op)| 8 + op.wire_size())
+                    .sum::<usize>()
+                    + SIGNATURE_SIZE
+            }
+            SmrMessage::NewView { ops, skips, .. } => {
+                16 + ops.iter().map(|(_, op)| 8 + op.wire_size()).sum::<usize>()
+                    + skips.len() * 8
+                    + SIGNATURE_SIZE
+            }
+        }
+    }
+}
+
+/// How a (test-injected) faulty replica misbehaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ByzantineMode {
+    /// Behaves correctly.
+    #[default]
+    Correct,
+    /// Sends nothing at all (crash-like, but keeps its state).
+    Silent,
+    /// Proposes conflicting values to different peers where the protocol
+    /// allows it (equivocation); otherwise behaves like `Silent`.
+    Equivocate,
+}
+
+/// Engine configuration shared by both protocols.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SmrConfig {
+    /// Round duration for the synchronous engine; also the base unit for the
+    /// asynchronous engine's view-change timeout.
+    pub round: Duration,
+    /// Maximum operations batched into one slot / pre-prepare.
+    pub max_batch: usize,
+    /// View-change timeout multiplier: the async engine starts a view change
+    /// after `view_change_rounds × round` without progress on a pending
+    /// request.
+    pub view_change_rounds: u32,
+}
+
+impl Default for SmrConfig {
+    fn default() -> Self {
+        SmrConfig {
+            round: Duration::from_millis(1_000),
+            max_batch: 64,
+            view_change_rounds: 4,
+        }
+    }
+}
+
+impl SmrConfig {
+    /// The asynchronous engine's view-change timeout.
+    pub fn view_change_timeout(&self) -> Duration {
+        self.round.saturating_mul(self.view_change_rounds as u64)
+    }
+}
+
+/// A BFT replication engine driven by its host.
+///
+/// Hosts call [`propose`](Replication::propose) with operations to order,
+/// feed incoming peer messages to [`handle`](Replication::handle), and call
+/// [`tick`](Replication::tick) whenever a previously requested
+/// [`Action::ScheduleTick`] time is reached. All three return actions the
+/// host must carry out.
+pub trait Replication<O: SmrOp> {
+    /// Submits an operation for ordering.
+    fn propose(&mut self, op: O, now: Instant) -> Vec<Action<O>>;
+
+    /// Handles a protocol message from a vgroup peer.
+    fn handle(&mut self, from: NodeId, msg: SmrMessage<O>, now: Instant) -> Vec<Action<O>>;
+
+    /// Advances time-driven parts of the protocol (round transitions,
+    /// view-change timeouts).
+    fn tick(&mut self, now: Instant) -> Vec<Action<O>>;
+
+    /// Current membership of this replication group.
+    fn members(&self) -> &Composition;
+
+    /// Configures fault injection for this replica (testing only).
+    fn set_byzantine(&mut self, mode: ByzantineMode);
+}
+
+/// Helper: extracts the decisions from a list of actions (test convenience).
+pub fn decisions<O: Clone>(actions: &[Action<O>]) -> Vec<Decision<O>>
+where
+    O: std::fmt::Debug + Eq,
+{
+    actions
+        .iter()
+        .filter_map(|a| match a {
+            Action::Deliver(d) => Some(d.clone()),
+            _ => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_u8_is_an_op() {
+        let op: Vec<u8> = vec![1, 2, 3];
+        assert_eq!(op.digest(), Digest::of(&[1, 2, 3]));
+        assert_eq!(SmrOp::wire_size(&op), 7);
+    }
+
+    #[test]
+    fn message_wire_sizes_are_plausible() {
+        let op: Vec<u8> = vec![0u8; 100];
+        let small: SmrMessage<Vec<u8>> = SmrMessage::Prepare {
+            view: 0,
+            seq: 1,
+            digest: Digest::ZERO,
+        };
+        let big = SmrMessage::PrePrepare {
+            view: 0,
+            seq: 1,
+            op: op.clone(),
+        };
+        assert!(small.wire_size() < big.wire_size());
+        let vc: SmrMessage<Vec<u8>> = SmrMessage::ViewChange {
+            new_view: 1,
+            prepared: vec![(1, op)],
+        };
+        assert!(vc.wire_size() > small.wire_size());
+    }
+
+    #[test]
+    fn config_timeout_is_multiple_of_round() {
+        let cfg = SmrConfig {
+            round: Duration::from_millis(500),
+            view_change_rounds: 6,
+            ..SmrConfig::default()
+        };
+        assert_eq!(cfg.view_change_timeout().as_millis(), 3_000);
+    }
+
+    #[test]
+    fn decisions_helper_filters_deliver_actions() {
+        let actions: Vec<Action<Vec<u8>>> = vec![
+            Action::ScheduleTick {
+                at: Instant::from_micros(1),
+            },
+            Action::Deliver(Decision {
+                seq: 0,
+                proposer: NodeId::new(1),
+                op: vec![9],
+            }),
+        ];
+        let d = decisions(&actions);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].op, vec![9]);
+    }
+}

@@ -1,0 +1,552 @@
+//! Synchronous SMR built on Dolev–Strong authenticated Byzantine agreement.
+//!
+//! Time is divided into rounds of fixed duration. Rounds are grouped into
+//! *slots* of `f + 2` rounds (`f = ⌊(g−1)/2⌋`). In the first round of a slot
+//! every member that has pending operations broadcasts a signed batch to all
+//! peers; during the following rounds members relay newly accepted values
+//! with their own signature appended (the Dolev–Strong signature-chain rule);
+//! at the end of the slot every correct member has accepted the same set of
+//! batches and delivers them in a deterministic order (by proposer, then by
+//! position in the batch).
+//!
+//! A sender that equivocates (gets two different batches accepted) is
+//! detected — both values are accepted — and its batch for that slot is
+//! discarded by every correct member, exactly like the classical protocol
+//! delivers the default value for a faulty sender.
+//!
+//! The engine is passive: the host must call [`tick`](SyncSmr::tick) at the
+//! times requested through [`Action::ScheduleTick`].
+
+use crate::protocol::{
+    Action, ByzantineMode, Decision, Replication, SmrConfig, SmrMessage, SmrOp,
+};
+use atum_crypto::{Digest, KeyRegistry, NodeSigner, SignatureChain};
+use atum_types::{Composition, Instant, NodeId};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Per-slot, per-sender agreement state.
+#[derive(Debug, Clone)]
+struct SenderAgreement<O> {
+    /// Accepted (batch, digest) values; more than one means the sender
+    /// equivocated and its slot is discarded.
+    accepted: Vec<(Vec<O>, Digest)>,
+    /// Whether this node already relayed each accepted digest.
+    relayed: Vec<Digest>,
+}
+
+impl<O> Default for SenderAgreement<O> {
+    fn default() -> Self {
+        SenderAgreement {
+            accepted: Vec::new(),
+            relayed: Vec::new(),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct SlotState<O> {
+    per_sender: HashMap<NodeId, SenderAgreement<O>>,
+    finalized: bool,
+}
+
+impl<O> Default for SlotState<O> {
+    fn default() -> Self {
+        SlotState {
+            per_sender: HashMap::new(),
+            finalized: false,
+        }
+    }
+}
+
+/// The synchronous (Dolev–Strong) replication engine.
+pub struct SyncSmr<O: SmrOp> {
+    me: NodeId,
+    members: Composition,
+    config: SmrConfig,
+    registry: Arc<KeyRegistry>,
+    signer: Option<NodeSigner>,
+    start: Instant,
+    /// Highest round index already processed (`None` before round 0).
+    processed_round: Option<u64>,
+    pending: VecDeque<O>,
+    slots: HashMap<u64, SlotState<O>>,
+    next_seq: u64,
+    byzantine: ByzantineMode,
+}
+
+impl<O: SmrOp> SyncSmr<O> {
+    /// Creates an engine for member `me` of `members`, with round boundaries
+    /// measured from `start`.
+    pub fn new(
+        me: NodeId,
+        members: Composition,
+        config: SmrConfig,
+        registry: Arc<KeyRegistry>,
+        start: Instant,
+    ) -> Self {
+        assert!(members.contains(me), "engine owner must be a group member");
+        let signer = registry.signer(me);
+        SyncSmr {
+            me,
+            members,
+            config,
+            registry,
+            signer,
+            start,
+            processed_round: None,
+            pending: VecDeque::new(),
+            slots: HashMap::new(),
+            next_seq: 0,
+            byzantine: ByzantineMode::Correct,
+        }
+    }
+
+    /// Number of faults tolerated: ⌊(g−1)/2⌋.
+    pub fn max_faults(&self) -> usize {
+        self.members.len().saturating_sub(1) / 2
+    }
+
+    /// Rounds per slot: `f + 2` (one broadcast round, `f` relay rounds, one
+    /// finalisation boundary).
+    pub fn rounds_per_slot(&self) -> u64 {
+        (self.max_faults() as u64) + 2
+    }
+
+    /// The slot a given round belongs to.
+    fn slot_of_round(&self, round: u64) -> u64 {
+        round / self.rounds_per_slot()
+    }
+
+    /// Round index at time `now` (None before the first boundary).
+    fn round_at(&self, now: Instant) -> Option<u64> {
+        if now < self.start {
+            return None;
+        }
+        Some((now - self.start).as_micros() / self.config.round.as_micros().max(1))
+    }
+
+    /// Absolute time of the start of `round`.
+    fn round_start(&self, round: u64) -> Instant {
+        self.start + atum_types::Duration::from_micros(round * self.config.round.as_micros())
+    }
+
+    /// Digest signed by the Dolev–Strong chain for a batch.
+    fn batch_digest(slot: u64, sender: NodeId, batch: &[O]) -> Digest {
+        let mut acc = Digest::of_parts(&[b"sync-slot", &slot.to_be_bytes(), &sender.raw().to_be_bytes()]);
+        for op in batch {
+            acc = acc.combine(&op.digest());
+        }
+        acc
+    }
+
+    /// Number of operations waiting to be proposed.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn broadcast_own_batch(&mut self, slot: u64, actions: &mut Vec<Action<O>>) {
+        if self.pending.is_empty() || self.byzantine != ByzantineMode::Correct {
+            // Silent and equivocating replicas simply do not progress their
+            // own proposals (an equivocating sender additionally sends
+            // diverging partial batches, handled below).
+            if self.byzantine == ByzantineMode::Equivocate && !self.pending.is_empty() {
+                self.equivocate(slot, actions);
+            }
+            return;
+        }
+        let Some(signer) = self.signer.clone() else {
+            return;
+        };
+        let take = self.pending.len().min(self.config.max_batch);
+        let batch: Vec<O> = self.pending.drain(..take).collect();
+        let digest = Self::batch_digest(slot, self.me, &batch);
+        let chain = SignatureChain::new(digest, &signer);
+        // Accept own value immediately.
+        let slot_state = self.slots.entry(slot).or_default();
+        let agreement = slot_state.per_sender.entry(self.me).or_default();
+        agreement.accepted.push((batch.clone(), digest));
+        agreement.relayed.push(digest);
+        for peer in self.members.iter().filter(|&p| p != self.me) {
+            actions.push(Action::Send {
+                to: peer,
+                msg: SmrMessage::SyncValue {
+                    slot,
+                    sender: self.me,
+                    batch: batch.clone(),
+                    chain: chain.clone(),
+                },
+            });
+        }
+    }
+
+    /// Equivocation fault injection: send the first pending operation to one
+    /// half of the group and a conflicting (empty) batch to the other half.
+    /// Correct receivers end up accepting two different values for this
+    /// sender and discard its slot, as Dolev–Strong prescribes.
+    fn equivocate(&mut self, slot: u64, actions: &mut Vec<Action<O>>) {
+        let Some(signer) = self.signer.clone() else {
+            return;
+        };
+        let Some(op) = self.pending.front().cloned() else {
+            return;
+        };
+        let batch_a = vec![op];
+        let batch_b: Vec<O> = Vec::new();
+        let chain_a = SignatureChain::new(Self::batch_digest(slot, self.me, &batch_a), &signer);
+        let chain_b = SignatureChain::new(Self::batch_digest(slot, self.me, &batch_b), &signer);
+        let half = self.members.len() / 2;
+        for (i, peer) in self.members.iter().filter(|&p| p != self.me).enumerate() {
+            let (batch, chain) = if i < half {
+                (batch_a.clone(), chain_a.clone())
+            } else {
+                (batch_b.clone(), chain_b.clone())
+            };
+            actions.push(Action::Send {
+                to: peer,
+                msg: SmrMessage::SyncValue {
+                    slot,
+                    sender: self.me,
+                    batch,
+                    chain,
+                },
+            });
+        }
+    }
+
+    fn finalize_slot(&mut self, slot: u64, actions: &mut Vec<Action<O>>) {
+        let Some(state) = self.slots.get_mut(&slot) else {
+            return;
+        };
+        if state.finalized {
+            return;
+        }
+        state.finalized = true;
+        // Deterministic delivery order: members in ascending id order.
+        let members: Vec<NodeId> = self.members.iter().collect();
+        let mut decisions = Vec::new();
+        for sender in members {
+            if let Some(agreement) = state.per_sender.get(&sender) {
+                // Exactly one accepted value => honest (or consistently
+                // behaving) sender; deliver. Zero or two+ => discard.
+                if agreement.accepted.len() == 1 {
+                    for op in &agreement.accepted[0].0 {
+                        decisions.push(Decision {
+                            seq: self.next_seq,
+                            proposer: sender,
+                            op: op.clone(),
+                        });
+                        self.next_seq += 1;
+                    }
+                }
+            }
+        }
+        // Keep memory bounded: drop state of finalized slots older than the
+        // previous one.
+        self.slots.retain(|&s, st| s + 2 > slot || !st.finalized);
+        actions.extend(decisions.into_iter().map(Action::Deliver));
+    }
+
+    fn process_round(&mut self, round: u64, actions: &mut Vec<Action<O>>) {
+        let rps = self.rounds_per_slot();
+        if round % rps == 0 {
+            let slot = self.slot_of_round(round);
+            // Finalize the previous slot before starting a new one.
+            if slot > 0 {
+                self.finalize_slot(slot - 1, actions);
+            }
+            self.broadcast_own_batch(slot, actions);
+        }
+    }
+}
+
+impl<O: SmrOp> Replication<O> for SyncSmr<O> {
+    fn propose(&mut self, op: O, now: Instant) -> Vec<Action<O>> {
+        self.pending.push_back(op);
+        // Ask the host to tick us at the next round boundary so the batch is
+        // broadcast at the next slot start.
+        let next_round = self.round_at(now).map_or(0, |r| r + 1);
+        vec![Action::ScheduleTick {
+            at: self.round_start(next_round),
+        }]
+    }
+
+    fn handle(&mut self, from: NodeId, msg: SmrMessage<O>, now: Instant) -> Vec<Action<O>> {
+        let mut actions = Vec::new();
+        let SmrMessage::SyncValue {
+            slot,
+            sender,
+            batch,
+            chain,
+        } = msg
+        else {
+            return actions; // Not a synchronous-engine message.
+        };
+        if self.byzantine == ByzantineMode::Silent {
+            return actions;
+        }
+        // Validation: the sender must be a member, the chain must start with
+        // the sender, every signer must be a distinct member, the relayer
+        // (`from`) must be a member, and the chain must sign this batch.
+        if !self.members.contains(sender) || !self.members.contains(from) {
+            return actions;
+        }
+        let expected = Self::batch_digest(slot, sender, &batch);
+        if *chain.payload() != expected {
+            return actions;
+        }
+        if !chain.verify(&self.registry, Some(sender), true) {
+            return actions;
+        }
+        if chain.signers().any(|s| !self.members.contains(s)) {
+            return actions;
+        }
+        let current_round = self.round_at(now).unwrap_or(0);
+        let current_slot = self.slot_of_round(current_round);
+        // Ignore values for already-finalized slots.
+        if self
+            .slots
+            .get(&slot)
+            .map(|s| s.finalized)
+            .unwrap_or(false)
+            || slot + 1 < current_slot
+        {
+            return actions;
+        }
+
+        let me = self.me;
+        let rps = self.rounds_per_slot();
+        let finalize_at = self.round_start(slot * rps + rps);
+        let last_relay_round = slot * rps + rps - 2;
+        let slot_state = self.slots.entry(slot).or_default();
+        let agreement = slot_state.per_sender.entry(sender).or_default();
+        let digest = expected;
+        let already_accepted = agreement.accepted.iter().any(|(_, d)| *d == digest);
+        if already_accepted || agreement.accepted.len() >= 2 {
+            return actions;
+        }
+        agreement.accepted.push((batch.clone(), digest));
+        // Make sure the host wakes us up at this slot's finalization boundary
+        // even if we never propose anything ourselves.
+        actions.push(Action::ScheduleTick { at: finalize_at });
+
+        // Relay with our signature appended, unless we already signed it or
+        // the slot's relay window is over.
+        if !chain.contains(me) && current_round <= last_relay_round {
+            if let Some(signer) = self.signer.clone() {
+                agreement.relayed.push(digest);
+                let mut new_chain = chain.clone();
+                new_chain.append(&signer);
+                for peer in self.members.iter().filter(|&p| p != me && p != from) {
+                    actions.push(Action::Send {
+                        to: peer,
+                        msg: SmrMessage::SyncValue {
+                            slot,
+                            sender,
+                            batch: batch.clone(),
+                            chain: new_chain.clone(),
+                        },
+                    });
+                }
+            }
+        }
+        actions
+    }
+
+    fn tick(&mut self, now: Instant) -> Vec<Action<O>> {
+        let mut actions = Vec::new();
+        let Some(target) = self.round_at(now) else {
+            return vec![Action::ScheduleTick { at: self.start }];
+        };
+        let from = self.processed_round.map_or(0, |r| r + 1);
+        for round in from..=target {
+            self.process_round(round, &mut actions);
+        }
+        self.processed_round = Some(target);
+        // Always ask to be woken at the next round boundary while there is
+        // anything in flight.
+        if !self.pending.is_empty() || self.slots.values().any(|s| !s.finalized) {
+            actions.push(Action::ScheduleTick {
+                at: self.round_start(target + 1),
+            });
+        }
+        actions
+    }
+
+    fn members(&self) -> &Composition {
+        &self.members
+    }
+
+    fn set_byzantine(&mut self, mode: ByzantineMode) {
+        self.byzantine = mode;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::LockstepCluster;
+    use atum_types::SmrMode;
+
+    #[test]
+    fn max_faults_and_rounds_per_slot() {
+        let mut registry = KeyRegistry::new();
+        for i in 0..7 {
+            registry.register(NodeId::new(i), 1);
+        }
+        let members: Composition = (0..7).map(NodeId::new).collect();
+        let smr: SyncSmr<Vec<u8>> = SyncSmr::new(
+            NodeId::new(0),
+            members,
+            SmrConfig::default(),
+            registry.shared(),
+            Instant::ZERO,
+        );
+        assert_eq!(smr.max_faults(), 3);
+        assert_eq!(smr.rounds_per_slot(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "member")]
+    fn owner_must_be_member() {
+        let registry = KeyRegistry::new().shared();
+        let members: Composition = (0..3).map(NodeId::new).collect();
+        let _: SyncSmr<Vec<u8>> = SyncSmr::new(
+            NodeId::new(9),
+            members,
+            SmrConfig::default(),
+            registry,
+            Instant::ZERO,
+        );
+    }
+
+    #[test]
+    fn all_correct_members_agree_on_single_proposal() {
+        let mut cluster = LockstepCluster::new(5, SmrMode::Synchronous, SmrConfig::default(), 1);
+        cluster.propose(NodeId::new(2), b"hello".to_vec());
+        cluster.run_to_quiescence();
+        cluster.assert_agreement();
+        for n in 0..5 {
+            let d = cluster.decided(NodeId::new(n));
+            assert_eq!(d.len(), 1, "node {n} decided {d:?}");
+            assert_eq!(d[0].op, b"hello".to_vec());
+            assert_eq!(d[0].proposer, NodeId::new(2));
+        }
+    }
+
+    #[test]
+    fn concurrent_proposals_are_ordered_identically() {
+        let mut cluster = LockstepCluster::new(7, SmrMode::Synchronous, SmrConfig::default(), 2);
+        for i in 0..7u64 {
+            cluster.propose(NodeId::new(i), format!("op-{i}").into_bytes());
+        }
+        cluster.run_to_quiescence();
+        cluster.assert_agreement();
+        let decided = cluster.decided(NodeId::new(0));
+        assert_eq!(decided.len(), 7);
+        // Deterministic order: by proposer id.
+        let proposers: Vec<u64> = decided.iter().map(|d| d.proposer.raw()).collect();
+        let mut sorted = proposers.clone();
+        sorted.sort_unstable();
+        assert_eq!(proposers, sorted);
+    }
+
+    #[test]
+    fn silent_minority_does_not_block_agreement() {
+        let mut cluster = LockstepCluster::new(7, SmrMode::Synchronous, SmrConfig::default(), 3);
+        cluster.set_byzantine(NodeId::new(5), ByzantineMode::Silent);
+        cluster.set_byzantine(NodeId::new(6), ByzantineMode::Silent);
+        cluster.propose(NodeId::new(0), b"resilient".to_vec());
+        cluster.run_to_quiescence();
+        cluster.assert_agreement_among(&(0..5).map(NodeId::new).collect::<Vec<_>>());
+        for n in 0..5 {
+            assert_eq!(cluster.decided(NodeId::new(n)).len(), 1, "node {n}");
+        }
+    }
+
+    #[test]
+    fn equivocating_sender_is_discarded_but_correct_senders_deliver() {
+        let mut cluster = LockstepCluster::new(5, SmrMode::Synchronous, SmrConfig::default(), 4);
+        cluster.set_byzantine(NodeId::new(4), ByzantineMode::Equivocate);
+        cluster.propose(NodeId::new(4), b"evil".to_vec());
+        cluster.propose(NodeId::new(1), b"good".to_vec());
+        cluster.run_to_quiescence();
+        cluster.assert_agreement_among(&(0..4).map(NodeId::new).collect::<Vec<_>>());
+        let d = cluster.decided(NodeId::new(0));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].op, b"good".to_vec());
+    }
+
+    #[test]
+    fn multiple_slots_deliver_in_order() {
+        let mut cluster = LockstepCluster::new(4, SmrMode::Synchronous, SmrConfig::default(), 5);
+        cluster.propose(NodeId::new(0), b"first".to_vec());
+        cluster.run_to_quiescence();
+        cluster.propose(NodeId::new(1), b"second".to_vec());
+        cluster.run_to_quiescence();
+        cluster.assert_agreement();
+        let d = cluster.decided(NodeId::new(3));
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].op, b"first".to_vec());
+        assert_eq!(d[1].op, b"second".to_vec());
+        assert!(d[0].seq < d[1].seq);
+    }
+
+    #[test]
+    fn batching_respects_max_batch() {
+        let config = SmrConfig {
+            max_batch: 3,
+            ..SmrConfig::default()
+        };
+        let mut cluster = LockstepCluster::new(4, SmrMode::Synchronous, config, 6);
+        for i in 0..5u8 {
+            cluster.propose(NodeId::new(0), vec![i]);
+        }
+        cluster.run_to_quiescence();
+        cluster.assert_agreement();
+        // All five ops eventually decided (over two slots).
+        assert_eq!(cluster.decided(NodeId::new(1)).len(), 5);
+    }
+
+    #[test]
+    fn forged_chain_is_rejected() {
+        // A message whose chain was not produced by the claimed sender must
+        // not be accepted.
+        let mut registry = KeyRegistry::new();
+        for i in 0..4 {
+            registry.register(NodeId::new(i), 7);
+        }
+        let registry = registry.shared();
+        let members: Composition = (0..4).map(NodeId::new).collect();
+        let mut honest: SyncSmr<Vec<u8>> = SyncSmr::new(
+            NodeId::new(0),
+            members.clone(),
+            SmrConfig::default(),
+            registry.clone(),
+            Instant::ZERO,
+        );
+        // Node 3 forges a value claiming to be from node 2 but signs with its
+        // own key as the first link.
+        let batch = vec![b"forged".to_vec()];
+        let digest = SyncSmr::<Vec<u8>>::batch_digest(0, NodeId::new(2), &batch);
+        let forger = registry.signer(NodeId::new(3)).unwrap();
+        let chain = SignatureChain::new(digest, &forger);
+        let actions = honest.handle(
+            NodeId::new(3),
+            SmrMessage::SyncValue {
+                slot: 0,
+                sender: NodeId::new(2),
+                batch,
+                chain,
+            },
+            Instant::from_micros(10),
+        );
+        assert!(actions.is_empty());
+        // Nothing was accepted for sender 2.
+        assert!(honest
+            .slots
+            .get(&0)
+            .and_then(|s| s.per_sender.get(&NodeId::new(2)))
+            .is_none());
+    }
+}

@@ -1,0 +1,329 @@
+//! Vgroup membership ([`Composition`]) and the quorum arithmetic used by the
+//! group layer.
+
+use crate::config::SmrMode;
+use crate::id::NodeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The membership of a volatile group: a sorted, duplicate-free set of node
+/// identifiers.
+///
+/// Compositions are small (logarithmic in system size) and copied around a
+/// lot — inside group messages, neighbour tables and random-walk replies — so
+/// they are kept as a sorted `Vec` rather than a tree/hash set.
+///
+/// # Example
+///
+/// ```
+/// use atum_types::{Composition, NodeId, SmrMode};
+///
+/// let comp: Composition = [3u64, 1, 2, 3].iter().map(|&r| NodeId::new(r)).collect();
+/// assert_eq!(comp.len(), 3); // duplicates removed
+/// assert_eq!(comp.majority(), 2);
+/// assert_eq!(comp.max_faults(SmrMode::Asynchronous), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Default, PartialOrd, Ord)]
+pub struct Composition {
+    members: Vec<NodeId>,
+}
+
+impl Composition {
+    /// Creates an empty composition.
+    pub fn new() -> Self {
+        Composition {
+            members: Vec::new(),
+        }
+    }
+
+    /// Creates a composition from an iterator of members, sorting and
+    /// deduplicating them.
+    pub fn from_members<I: IntoIterator<Item = NodeId>>(members: I) -> Self {
+        let mut v: Vec<NodeId> = members.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        Composition { members: v }
+    }
+
+    /// Creates a composition containing a single node.
+    pub fn singleton(node: NodeId) -> Self {
+        Composition {
+            members: vec![node],
+        }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `true` when the composition has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// `true` when `node` is a member.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.members.binary_search(&node).is_ok()
+    }
+
+    /// Adds a member, keeping the set sorted. Returns `false` if it was
+    /// already present.
+    pub fn insert(&mut self, node: NodeId) -> bool {
+        match self.members.binary_search(&node) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.members.insert(pos, node);
+                true
+            }
+        }
+    }
+
+    /// Removes a member. Returns `false` if it was not present.
+    pub fn remove(&mut self, node: NodeId) -> bool {
+        match self.members.binary_search(&node) {
+            Ok(pos) => {
+                self.members.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Iterates over the members in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.members.iter().copied()
+    }
+
+    /// Members as a slice (sorted ascending).
+    pub fn as_slice(&self) -> &[NodeId] {
+        &self.members
+    }
+
+    /// The smallest number of members that constitutes a strict majority
+    /// (⌊g/2⌋ + 1). Group messages are accepted once this many distinct
+    /// senders from the source vgroup delivered the same payload.
+    pub fn majority(&self) -> usize {
+        self.members.len() / 2 + 1
+    }
+
+    /// Maximum number of faults the vgroup tolerates under the given SMR
+    /// mode: ⌊(g−1)/2⌋ synchronously, ⌊(g−1)/3⌋ asynchronously.
+    pub fn max_faults(&self, mode: SmrMode) -> usize {
+        if self.members.is_empty() {
+            return 0;
+        }
+        match mode {
+            SmrMode::Synchronous => (self.members.len() - 1) / 2,
+            SmrMode::Asynchronous => (self.members.len() - 1) / 3,
+        }
+    }
+
+    /// Quorum size used by the asynchronous SMR protocol: `2f + 1` where
+    /// `f = ⌊(g−1)/3⌋`.
+    pub fn async_quorum(&self) -> usize {
+        2 * self.max_faults(SmrMode::Asynchronous) + 1
+    }
+
+    /// Returns `true` when a set of `fault_count` faulty members leaves the
+    /// vgroup robust under the given SMR mode.
+    pub fn is_robust_with(&self, fault_count: usize, mode: SmrMode) -> bool {
+        fault_count <= self.max_faults(mode)
+    }
+
+    /// Returns the member at `index` (by sorted position), if any.
+    pub fn member_at(&self, index: usize) -> Option<NodeId> {
+        self.members.get(index).copied()
+    }
+
+    /// Picks the member at position `selector % len`, used for pseudo-random
+    /// member selection with an external random value.
+    pub fn pick(&self, selector: u64) -> Option<NodeId> {
+        if self.members.is_empty() {
+            None
+        } else {
+            Some(self.members[(selector % self.members.len() as u64) as usize])
+        }
+    }
+
+    /// Splits the composition into two halves using an external shuffled
+    /// order given by `order` (a permutation of `0..len`). The first half
+    /// (size ⌈len/2⌉) stays, the second half forms the new vgroup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation of `0..self.len()`.
+    pub fn split_by_order(&self, order: &[usize]) -> (Composition, Composition) {
+        assert_eq!(order.len(), self.members.len(), "order must cover all members");
+        let mut seen = vec![false; order.len()];
+        for &i in order {
+            assert!(i < order.len() && !seen[i], "order must be a permutation");
+            seen[i] = true;
+        }
+        let keep = order.len().div_ceil(2);
+        let first = order[..keep].iter().map(|&i| self.members[i]);
+        let second = order[keep..].iter().map(|&i| self.members[i]);
+        (
+            Composition::from_members(first),
+            Composition::from_members(second),
+        )
+    }
+
+    /// Returns the union of two compositions (used on merge).
+    pub fn union(&self, other: &Composition) -> Composition {
+        Composition::from_members(self.iter().chain(other.iter()))
+    }
+
+    /// Returns the intersection of two compositions.
+    pub fn intersection(&self, other: &Composition) -> Composition {
+        Composition::from_members(self.iter().filter(|n| other.contains(*n)))
+    }
+
+    /// Returns members present in `self` but not in `other`.
+    pub fn difference(&self, other: &Composition) -> Composition {
+        Composition::from_members(self.iter().filter(|n| !other.contains(*n)))
+    }
+}
+
+impl FromIterator<NodeId> for Composition {
+    fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> Self {
+        Composition::from_members(iter)
+    }
+}
+
+impl Extend<NodeId> for Composition {
+    fn extend<I: IntoIterator<Item = NodeId>>(&mut self, iter: I) {
+        for n in iter {
+            self.insert(n);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a Composition {
+    type Item = NodeId;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, NodeId>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.members.iter().copied()
+    }
+}
+
+impl fmt::Display for Composition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, m) in self.members.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{m}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn comp(ids: &[u64]) -> Composition {
+        ids.iter().map(|&r| NodeId::new(r)).collect()
+    }
+
+    #[test]
+    fn from_members_sorts_and_dedups() {
+        let c = comp(&[5, 1, 3, 1, 5]);
+        assert_eq!(c.len(), 3);
+        let v: Vec<u64> = c.iter().map(|n| n.raw()).collect();
+        assert_eq!(v, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut c = Composition::new();
+        assert!(c.is_empty());
+        assert!(c.insert(NodeId::new(2)));
+        assert!(c.insert(NodeId::new(1)));
+        assert!(!c.insert(NodeId::new(2)));
+        assert!(c.contains(NodeId::new(1)));
+        assert!(c.remove(NodeId::new(1)));
+        assert!(!c.remove(NodeId::new(1)));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn majority_values() {
+        assert_eq!(comp(&[1]).majority(), 1);
+        assert_eq!(comp(&[1, 2]).majority(), 2);
+        assert_eq!(comp(&[1, 2, 3]).majority(), 2);
+        assert_eq!(comp(&[1, 2, 3, 4]).majority(), 3);
+        assert_eq!(comp(&[1, 2, 3, 4, 5, 6, 7]).majority(), 4);
+    }
+
+    #[test]
+    fn fault_bounds_match_paper() {
+        // Paper §3.1: sync tolerates ⌊(g−1)/2⌋, async ⌊(g−1)/3⌋.
+        let c4 = comp(&[1, 2, 3, 4]);
+        assert_eq!(c4.max_faults(SmrMode::Synchronous), 1);
+        assert_eq!(c4.max_faults(SmrMode::Asynchronous), 1);
+        let c20: Composition = (0..20).map(NodeId::new).collect();
+        assert_eq!(c20.max_faults(SmrMode::Synchronous), 9);
+        assert_eq!(c20.max_faults(SmrMode::Asynchronous), 6);
+        assert_eq!(c20.async_quorum(), 13);
+    }
+
+    #[test]
+    fn robustness_check() {
+        let c7 = comp(&[1, 2, 3, 4, 5, 6, 7]);
+        assert!(c7.is_robust_with(3, SmrMode::Synchronous));
+        assert!(!c7.is_robust_with(4, SmrMode::Synchronous));
+        assert!(c7.is_robust_with(2, SmrMode::Asynchronous));
+        assert!(!c7.is_robust_with(3, SmrMode::Asynchronous));
+    }
+
+    #[test]
+    fn empty_composition_tolerates_nothing() {
+        let c = Composition::new();
+        assert_eq!(c.max_faults(SmrMode::Synchronous), 0);
+        assert_eq!(c.max_faults(SmrMode::Asynchronous), 0);
+        assert_eq!(c.pick(17), None);
+    }
+
+    #[test]
+    fn pick_wraps_around() {
+        let c = comp(&[10, 20, 30]);
+        assert_eq!(c.pick(0).unwrap().raw(), 10);
+        assert_eq!(c.pick(4).unwrap().raw(), 20);
+        assert_eq!(c.pick(5).unwrap().raw(), 30);
+    }
+
+    #[test]
+    fn split_by_order_partitions_members() {
+        let c = comp(&[1, 2, 3, 4, 5]);
+        let (a, b) = c.split_by_order(&[4, 0, 2, 1, 3]);
+        assert_eq!(a.len(), 3);
+        assert_eq!(b.len(), 2);
+        assert_eq!(a.union(&b), c);
+        assert!(a.intersection(&b).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn split_by_order_rejects_non_permutation() {
+        comp(&[1, 2, 3]).split_by_order(&[0, 0, 1]);
+    }
+
+    #[test]
+    fn set_operations() {
+        let a = comp(&[1, 2, 3]);
+        let b = comp(&[3, 4]);
+        assert_eq!(a.union(&b), comp(&[1, 2, 3, 4]));
+        assert_eq!(a.intersection(&b), comp(&[3]));
+        assert_eq!(a.difference(&b), comp(&[1, 2]));
+        assert_eq!(b.difference(&a), comp(&[4]));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(comp(&[1, 2]).to_string(), "{n1,n2}");
+    }
+}

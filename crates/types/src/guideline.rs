@@ -1,0 +1,123 @@
+//! The configuration guideline of Figure 4: recommended random-walk length
+//! (`rwl`) for a given overlay density (`hc`) and number of vgroups.
+//!
+//! The paper derives the guideline by simulating random walks on H-graphs and
+//! accepting the shortest walk length whose vgroup-selection distribution is
+//! indistinguishable from uniform under Pearson's χ² test at confidence 0.99.
+//! The `fig04` experiment binary regenerates the full guideline; this module
+//! provides the closed-form approximation that the rest of the system (and
+//! its tests) use to pick parameters without re-running the simulation.
+
+use serde::{Deserialize, Serialize};
+
+/// One row of the guideline: for `vgroups` groups connected by `hc` cycles,
+/// walks of length `rwl` sample uniformly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GuidelineEntry {
+    /// Number of vgroups in the system.
+    pub vgroups: usize,
+    /// Number of H-graph cycles.
+    pub hc: u8,
+    /// Recommended random-walk length.
+    pub rwl: u8,
+}
+
+/// Returns the recommended random-walk length for a system with `vgroups`
+/// groups and an H-graph of `hc` cycles.
+///
+/// The walk must be long enough for the walk's position distribution to mix;
+/// on a 2·`hc`-regular random multigraph the mixing time is
+/// O(log(vgroups) / log(2·hc)), and the constant is calibrated against the
+/// paper's Figure 4 (e.g. ≈9 for 128 vgroups at `hc` = 6, ≈10 for ~120 groups
+/// at `hc` = 5, 5–7 for small systems, 13–15 for 8192 groups at low density).
+pub fn recommended_rwl(vgroups: usize, hc: u8) -> u8 {
+    let v = vgroups.max(2) as f64;
+    let degree = (2.0 * hc.max(1) as f64).max(3.0);
+    // Mixing estimate log_degree(v), scaled by a constant calibrated against
+    // the paper's anchor points (128 vgroups / hc 6 → rwl 9; ~120 / hc 5 → 10).
+    let mixing = v.ln() / degree.ln();
+    let rwl = (4.6 * mixing).round();
+    rwl.clamp(4.0, 15.0) as u8
+}
+
+/// Returns the recommended `(rwl, hc)` pair for an expected number of
+/// vgroups, choosing the density that the paper's experiments use for that
+/// scale (denser graphs for larger systems keep walks short).
+pub fn recommended_params(vgroups: usize) -> GuidelineEntry {
+    let hc = if vgroups <= 16 {
+        2
+    } else if vgroups <= 64 {
+        3
+    } else if vgroups <= 160 {
+        5
+    } else if vgroups <= 1024 {
+        6
+    } else if vgroups <= 4096 {
+        8
+    } else {
+        10
+    };
+    GuidelineEntry {
+        vgroups,
+        hc,
+        rwl: recommended_rwl(vgroups, hc),
+    }
+}
+
+/// The vgroup counts the paper sweeps in Figure 4.
+pub const FIGURE4_VGROUP_COUNTS: [usize; 6] = [8, 32, 128, 512, 2048, 8192];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rwl_grows_with_system_size() {
+        let small = recommended_rwl(8, 4);
+        let medium = recommended_rwl(128, 4);
+        let large = recommended_rwl(8192, 4);
+        assert!(small <= medium && medium <= large);
+        assert!(large > small);
+    }
+
+    #[test]
+    fn rwl_shrinks_with_density() {
+        let sparse = recommended_rwl(2048, 2);
+        let dense = recommended_rwl(2048, 12);
+        assert!(dense < sparse, "dense {dense} should be below sparse {sparse}");
+    }
+
+    #[test]
+    fn rwl_stays_in_table1_range() {
+        for &v in &FIGURE4_VGROUP_COUNTS {
+            for hc in 2..=12u8 {
+                let rwl = recommended_rwl(v, hc);
+                assert!((4..=15).contains(&rwl), "rwl {rwl} out of range for v={v} hc={hc}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_paper_anchor_points() {
+        // §3.2: "in a system of roughly 128 vgroups, we set rwl to 9 and hc to 6"
+        let rwl_128_6 = recommended_rwl(128, 6);
+        assert!((8..=10).contains(&rwl_128_6), "got {rwl_128_6}");
+        // §6.1.1: "for a system with 800 nodes in roughly 120 vgroups, (hc, rwl) = (5, 10)"
+        let rwl_120_5 = recommended_rwl(120, 5);
+        assert!((9..=11).contains(&rwl_120_5), "got {rwl_120_5}");
+        // §6.1.2 uses (rwl=6, hc=8) and (rwl=11, hc=5) as plausible configs for ≤800 nodes.
+        let rwl_dense = recommended_rwl(64, 8);
+        assert!(rwl_dense <= 8, "got {rwl_dense}");
+    }
+
+    #[test]
+    fn recommended_params_density_increases_with_scale() {
+        let mut last_hc = 0;
+        for &v in &FIGURE4_VGROUP_COUNTS {
+            let e = recommended_params(v);
+            assert!(e.hc >= last_hc);
+            assert_eq!(e.vgroups, v);
+            last_hc = e.hc;
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Simulated time primitives shared by the simulator and the protocols.
+//!
+//! The discrete-event simulator advances a virtual clock; protocols never
+//! read wall-clock time. Both [`Instant`] and [`Duration`] are measured in
+//! integer **microseconds**, which is fine-grained enough to model
+//! sub-millisecond LAN latencies and coarse enough to avoid floating-point
+//! drift across platforms.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time (microseconds since simulation start).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Instant(u64);
+
+/// A span of simulated time (microseconds).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Duration(u64);
+
+impl Instant {
+    /// The simulation epoch (time zero).
+    pub const ZERO: Instant = Instant(0);
+
+    /// Creates an instant from microseconds since the epoch.
+    pub const fn from_micros(us: u64) -> Self {
+        Instant(us)
+    }
+
+    /// Microseconds since the epoch.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the epoch, as a float (for reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Time elapsed since `earlier`, saturating at zero.
+    pub fn saturating_since(self, earlier: Instant) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Duration {
+    /// Zero-length duration.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Creates a duration from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        Duration(us)
+    }
+
+    /// Creates a duration from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        Duration(ms * 1_000)
+    }
+
+    /// Creates a duration from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        Duration(s * 1_000_000)
+    }
+
+    /// Creates a duration from fractional seconds (rounds to microseconds).
+    pub fn from_secs_f64(s: f64) -> Self {
+        Duration((s.max(0.0) * 1_000_000.0).round() as u64)
+    }
+
+    /// Microseconds in this duration.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Milliseconds in this duration (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Seconds as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Multiplies the duration by an integer factor, saturating on overflow.
+    pub fn saturating_mul(self, factor: u64) -> Duration {
+        Duration(self.0.saturating_mul(factor))
+    }
+
+    /// Checked subtraction.
+    pub fn checked_sub(self, other: Duration) -> Option<Duration> {
+        self.0.checked_sub(other.0).map(Duration)
+    }
+}
+
+impl Add<Duration> for Instant {
+    type Output = Instant;
+    fn add(self, rhs: Duration) -> Instant {
+        Instant(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for Instant {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Instant> for Instant {
+    type Output = Duration;
+    fn sub(self, rhs: Instant) -> Duration {
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add<Duration> for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for Duration {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Duration> for Duration {
+    type Output = Duration;
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for Instant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Duration::from_millis(3).as_micros(), 3_000);
+        assert_eq!(Duration::from_secs(2).as_millis(), 2_000);
+        assert_eq!(Duration::from_secs_f64(0.5).as_micros(), 500_000);
+        assert_eq!(Duration::from_secs_f64(-1.0), Duration::ZERO);
+        assert!((Duration::from_secs(3).as_secs_f64() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn instant_arithmetic() {
+        let t0 = Instant::ZERO;
+        let t1 = t0 + Duration::from_secs(1);
+        assert_eq!((t1 - t0).as_millis(), 1_000);
+        // Subtraction saturates rather than underflowing.
+        assert_eq!((t0 - t1).as_micros(), 0);
+        assert_eq!(t1.saturating_since(t0).as_millis(), 1_000);
+        assert_eq!(t0.saturating_since(t1), Duration::ZERO);
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let d = Duration::from_millis(1500);
+        assert_eq!((d + Duration::from_millis(500)).as_millis(), 2_000);
+        assert_eq!((d - Duration::from_millis(2_000)).as_micros(), 0);
+        assert_eq!(d.saturating_mul(2).as_millis(), 3_000);
+        assert_eq!(d.checked_sub(Duration::from_secs(2)), None);
+        assert_eq!(
+            d.checked_sub(Duration::from_millis(500)),
+            Some(Duration::from_secs(1))
+        );
+    }
+
+    #[test]
+    fn ordering_and_display() {
+        assert!(Instant::from_micros(5) < Instant::from_micros(6));
+        assert_eq!(Duration::from_millis(1500).to_string(), "1.500s");
+        assert_eq!(Instant::from_micros(2_000_000).to_string(), "2.000s");
+    }
+
+    #[test]
+    fn add_assign() {
+        let mut t = Instant::ZERO;
+        t += Duration::from_secs(3);
+        assert_eq!(t.as_secs_f64() as u64, 3);
+        let mut d = Duration::from_secs(1);
+        d += Duration::from_secs(2);
+        assert_eq!(d.as_secs_f64() as u64, 3);
+    }
+}

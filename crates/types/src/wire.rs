@@ -1,0 +1,150 @@
+//! Byte-size accounting for bandwidth and serialisation-delay modelling.
+//!
+//! The network simulator charges every message a transmission delay
+//! proportional to its size. Rather than serialising every message for real
+//! (which would dominate simulation cost), message types implement
+//! [`WireSize`] and report a size estimate modelled on a compact binary
+//! encoding, including the cryptographic material (64-byte signatures,
+//! 32-byte digests/MACs) a deployment would carry.
+
+use crate::composition::Composition;
+use crate::id::{BroadcastId, NodeId, NodeIdentity, VgroupId, WalkId};
+
+/// Size of a signature on the wire, modelled on Ed25519 (bytes).
+pub const SIGNATURE_SIZE: usize = 64;
+/// Size of a digest or MAC on the wire, modelled on SHA-256/HMAC (bytes).
+pub const DIGEST_SIZE: usize = 32;
+/// Fixed per-message envelope overhead (type tags, lengths, sender, sequence
+/// numbers, transport framing).
+pub const ENVELOPE_OVERHEAD: usize = 48;
+
+/// Types that know their approximate encoded size in bytes.
+pub trait WireSize {
+    /// Approximate number of bytes this value occupies on the wire.
+    fn wire_size(&self) -> usize;
+}
+
+impl WireSize for NodeId {
+    fn wire_size(&self) -> usize {
+        8
+    }
+}
+
+impl WireSize for VgroupId {
+    fn wire_size(&self) -> usize {
+        8
+    }
+}
+
+impl WireSize for BroadcastId {
+    fn wire_size(&self) -> usize {
+        16
+    }
+}
+
+impl WireSize for WalkId {
+    fn wire_size(&self) -> usize {
+        16
+    }
+}
+
+impl WireSize for NodeIdentity {
+    fn wire_size(&self) -> usize {
+        8 + 6 // id + ip:port
+    }
+}
+
+impl WireSize for Composition {
+    fn wire_size(&self) -> usize {
+        4 + self.len() * 8
+    }
+}
+
+impl WireSize for u64 {
+    fn wire_size(&self) -> usize {
+        8
+    }
+}
+
+impl WireSize for u32 {
+    fn wire_size(&self) -> usize {
+        4
+    }
+}
+
+impl WireSize for bool {
+    fn wire_size(&self) -> usize {
+        1
+    }
+}
+
+impl<T: WireSize> WireSize for Option<T> {
+    fn wire_size(&self) -> usize {
+        1 + self.as_ref().map_or(0, WireSize::wire_size)
+    }
+}
+
+impl<T: WireSize> WireSize for Vec<T> {
+    fn wire_size(&self) -> usize {
+        4 + self.iter().map(WireSize::wire_size).sum::<usize>()
+    }
+}
+
+impl<T: WireSize> WireSize for &T {
+    fn wire_size(&self) -> usize {
+        (*self).wire_size()
+    }
+}
+
+impl WireSize for Vec<u8> {
+    fn wire_size(&self) -> usize {
+        4 + self.len()
+    }
+}
+
+impl WireSize for String {
+    fn wire_size(&self) -> usize {
+        4 + self.len()
+    }
+}
+
+impl<A: WireSize, B: WireSize> WireSize for (A, B) {
+    fn wire_size(&self) -> usize {
+        self.0.wire_size() + self.1.wire_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_sizes() {
+        assert_eq!(NodeId::new(1).wire_size(), 8);
+        assert_eq!(VgroupId::new(1).wire_size(), 8);
+        assert_eq!(BroadcastId::new(NodeId::new(1), 2).wire_size(), 16);
+        assert_eq!(7u64.wire_size(), 8);
+        assert_eq!(7u32.wire_size(), 4);
+        assert_eq!(true.wire_size(), 1);
+    }
+
+    #[test]
+    fn container_sizes() {
+        let comp: Composition = (0..10).map(NodeId::new).collect();
+        assert_eq!(comp.wire_size(), 4 + 80);
+        let v: Vec<NodeId> = (0..3).map(NodeId::new).collect();
+        assert_eq!(v.wire_size(), 4 + 24);
+        let bytes: Vec<u8> = vec![0u8; 100];
+        assert_eq!(bytes.wire_size(), 104);
+        assert_eq!("hello".to_string().wire_size(), 9);
+        assert_eq!(Some(NodeId::new(1)).wire_size(), 9);
+        assert_eq!(Option::<NodeId>::None.wire_size(), 1);
+        assert_eq!((NodeId::new(1), 4u32).wire_size(), 12);
+    }
+
+    #[test]
+    fn reference_forwarding() {
+        let id = NodeId::new(9);
+        assert_eq!((&id).wire_size(), id.wire_size());
+    }
+}

@@ -1,0 +1,64 @@
+//! A dynamic, hostile deployment: a standing cluster with Byzantine
+//! (heartbeat-only) members and continuous churn, still delivering
+//! broadcasts to every correct member.
+//!
+//! Run with: `cargo run --release --example churny_cluster`
+
+use atum::core::CollectingApp;
+use atum::sim::{run_broadcast_workload, run_churn, ClusterBuilder};
+use atum::simnet::NetConfig;
+use atum::types::{Duration, Params};
+
+fn main() {
+    let nodes = 40usize;
+    let byzantine = 3usize;
+    let params = Params::default()
+        .with_round(Duration::from_millis(500))
+        .with_group_bounds(3, 10)
+        .with_overlay(3, 5);
+    let mut cluster = ClusterBuilder::new(nodes)
+        .params(params)
+        .net(NetConfig::lan())
+        .seed(99)
+        .byzantine(byzantine)
+        .build(|_| CollectingApp::new());
+    println!(
+        "built a {nodes}-node system in {} vgroups with {byzantine} Byzantine members",
+        cluster.directory.group_count()
+    );
+
+    // Phase 1: broadcasts under Byzantine presence.
+    let report = run_broadcast_workload(
+        &mut cluster,
+        10,
+        100,
+        Duration::from_secs(1),
+        Duration::from_secs(45),
+        5,
+    );
+    println!(
+        "broadcast phase: delivery ratio {:.3}, mean latency {:.2}s, mean hops {:.1}",
+        report.delivery_ratio(),
+        report.latencies.mean(),
+        report.mean_hops
+    );
+
+    // Phase 2: churn — nodes leave and re-join continuously.
+    let initial = cluster.member_count();
+    let churn = run_churn(
+        &mut cluster,
+        2.0,
+        Duration::from_secs(180),
+        Duration::from_secs(5),
+        17,
+    );
+    println!(
+        "churn phase: {} cycles attempted, {} completed ({:.0}%), members {} -> {} (sustained: {})",
+        churn.attempted,
+        churn.completed,
+        churn.completion_ratio() * 100.0,
+        initial,
+        churn.final_members,
+        churn.sustained(initial)
+    );
+}

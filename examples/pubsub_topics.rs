@@ -1,0 +1,61 @@
+//! ASub: a topic-based publish/subscribe service on top of Atum.
+//!
+//! A publisher creates a topic, subscribers join it through any existing
+//! subscriber, and published events reach everyone — the pub/sub operations
+//! map one-to-one onto the Atum API.
+//!
+//! Run with: `cargo run --example pubsub_topics`
+
+use atum::apps::AsubNode;
+use atum::crypto::KeyRegistry;
+use atum::simnet::{NetConfig, Simulation};
+use atum::types::{Duration, NodeId, Params, TopicId};
+
+fn main() {
+    let subscribers = 5u64;
+    let topic = TopicId::new(99);
+    let mut registry = KeyRegistry::new();
+    for i in 0..subscribers {
+        registry.register(NodeId::new(i), 7);
+    }
+    let registry = registry.shared();
+    let params = Params::default()
+        .with_round(Duration::from_millis(500))
+        .with_group_bounds(1, 8);
+
+    let mut sim: Simulation<_, AsubNode> = Simulation::new(NetConfig::lan(), 5);
+    for i in 0..subscribers {
+        sim.add_node(
+            NodeId::new(i),
+            AsubNode::new(NodeId::new(i), topic, params.clone(), registry.clone()),
+        );
+    }
+
+    // Create the topic and subscribe everyone else.
+    sim.call(NodeId::new(0), |n, ctx| n.create_topic(ctx).unwrap());
+    sim.run_for(Duration::from_secs(2));
+    for i in 1..subscribers {
+        sim.call(NodeId::new(i), |n, ctx| {
+            n.subscribe(NodeId::new(0), ctx).unwrap()
+        });
+        sim.run_for(Duration::from_secs(45));
+    }
+
+    // Publish two events from different subscribers.
+    sim.call(NodeId::new(2), |n, ctx| {
+        n.publish(b"market opened".to_vec(), ctx).unwrap()
+    });
+    sim.call(NodeId::new(4), |n, ctx| {
+        n.publish(b"market closed".to_vec(), ctx).unwrap()
+    });
+    sim.run_for(Duration::from_secs(30));
+
+    for i in 0..subscribers {
+        let events = sim.node(NodeId::new(i)).unwrap().notifications();
+        let texts: Vec<String> = events
+            .iter()
+            .map(|e| String::from_utf8_lossy(&e.data).to_string())
+            .collect();
+        println!("subscriber {i}: {} notifications {:?}", events.len(), texts);
+    }
+}

@@ -1,0 +1,65 @@
+//! Quickstart: bootstrap a tiny Atum instance, let a few nodes join through a
+//! contact node, broadcast a message and watch every node deliver it.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use atum::core::{AtumNode, CollectingApp};
+use atum::crypto::KeyRegistry;
+use atum::simnet::{NetConfig, Simulation};
+use atum::types::{Duration, NodeId, Params};
+
+fn main() {
+    let nodes = 6u64;
+    let mut registry = KeyRegistry::new();
+    for i in 0..nodes {
+        registry.register(NodeId::new(i), 2024);
+    }
+    let registry = registry.shared();
+    let params = Params::default()
+        .with_round(Duration::from_millis(500))
+        .with_group_bounds(1, 8);
+
+    let mut sim = Simulation::new(NetConfig::lan(), 1);
+    for i in 0..nodes {
+        let node = AtumNode::new(
+            NodeId::new(i),
+            params.clone(),
+            registry.clone(),
+            CollectingApp::new(),
+        );
+        sim.add_node(NodeId::new(i), node);
+    }
+
+    // Node 0 creates the instance; the others join through it.
+    sim.call(NodeId::new(0), |n, ctx| n.bootstrap(ctx).unwrap());
+    sim.run_for(Duration::from_secs(2));
+    for i in 1..nodes {
+        sim.call(NodeId::new(i), |n, ctx| n.join(NodeId::new(0), ctx).unwrap());
+        sim.run_for(Duration::from_secs(45));
+    }
+
+    let members = (0..nodes)
+        .filter(|&i| sim.node(NodeId::new(i)).unwrap().is_member())
+        .count();
+    println!("members after joins: {members}/{nodes}");
+
+    sim.call(NodeId::new(3), |n, ctx| {
+        n.broadcast(b"hello, volatile groups!".to_vec(), ctx).unwrap();
+    });
+    sim.run_for(Duration::from_secs(30));
+
+    for i in 0..nodes {
+        let node = sim.node(NodeId::new(i)).unwrap();
+        let got = node
+            .app()
+            .delivered_payloads()
+            .iter()
+            .any(|p| p == b"hello, volatile groups!");
+        println!(
+            "node {i}: member={} delivered_broadcast={} vgroup={:?}",
+            node.is_member(),
+            got,
+            node.member().map(|m| m.vgroup)
+        );
+    }
+}

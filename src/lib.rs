@@ -1,0 +1,33 @@
+//! Atum: scalable group communication using volatile groups.
+//!
+//! This is the facade crate of the workspace: it re-exports the public API of
+//! every layer so applications can depend on a single crate.
+//!
+//! * [`core`] — the middleware itself: [`core::AtumNode`] with `bootstrap`,
+//!   `join`, `leave`, `broadcast` and the `deliver`/`forward` callbacks.
+//! * [`types`], [`crypto`], [`simnet`], [`smr`], [`overlay`] — the substrates
+//!   (identifiers and configuration, digests and signatures, the
+//!   discrete-event network simulator, the BFT replication engines, and the
+//!   H-graph overlay).
+//! * [`apps`] — the three applications from the paper: ASub, AShare and
+//!   AStream.
+//! * [`sim`] — the experiment harness (cluster construction, fault
+//!   injection, workload drivers, metrics).
+//!
+//! See the `examples/` directory for runnable end-to-end scenarios and
+//! `crates/bench/src/bin/` for the per-figure experiment binaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use atum_apps as apps;
+pub use atum_core as core;
+pub use atum_crypto as crypto;
+pub use atum_overlay as overlay;
+pub use atum_sim as sim;
+pub use atum_simnet as simnet;
+pub use atum_smr as smr;
+pub use atum_types as types;
+
+pub use atum_core::{AppCtx, Application, AtumNode, CollectingApp, Delivered};
+pub use atum_types::{GossipPolicy, NodeId, Params, SmrMode};

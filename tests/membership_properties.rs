@@ -1,0 +1,142 @@
+//! Property-based and invariant tests across crates: quorum arithmetic,
+//! overlay surgery, walk uniformity and collector behaviour under arbitrary
+//! inputs.
+
+use atum::crypto::Digest;
+use atum::overlay::{GroupMessageCollector, HGraph, VgroupDirectory};
+use atum::types::{Composition, NodeId, SmrMode, VgroupId};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Synchronous and asynchronous fault bounds never exceed the composition
+    /// size and satisfy the classic inequalities n > 2f (sync) and n > 3f
+    /// (async).
+    #[test]
+    fn fault_bounds_respect_quorum_inequalities(size in 1usize..200) {
+        let comp: Composition = (0..size as u64).map(NodeId::new).collect();
+        let f_sync = comp.max_faults(SmrMode::Synchronous);
+        let f_async = comp.max_faults(SmrMode::Asynchronous);
+        prop_assert!(size > 2 * f_sync);
+        prop_assert!(size > 3 * f_async);
+        prop_assert!(f_async <= f_sync);
+        prop_assert!(comp.majority() > size / 2);
+        prop_assert!(comp.majority() <= size);
+    }
+
+    /// Splitting a composition by any permutation yields two disjoint halves
+    /// that cover the original and differ in size by at most one.
+    #[test]
+    fn split_partitions_cleanly(size in 2usize..64, seed in 0u64..1000) {
+        let comp: Composition = (0..size as u64).map(NodeId::new).collect();
+        let mut order: Vec<usize> = (0..size).collect();
+        use rand::seq::SliceRandom;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        order.shuffle(&mut rng);
+        let (a, b) = comp.split_by_order(&order);
+        prop_assert_eq!(a.union(&b), comp);
+        prop_assert!(a.intersection(&b).is_empty());
+        prop_assert!(a.len() >= b.len());
+        prop_assert!(a.len() - b.len() <= 1);
+    }
+
+    /// H-graph surgery (insert then remove) preserves the structural
+    /// invariants and returns to the original vertex set.
+    #[test]
+    fn hgraph_surgery_preserves_invariants(
+        vertices in 2usize..80,
+        hc in 1u8..8,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let ids: Vec<VgroupId> = (0..vertices as u64).map(VgroupId::new).collect();
+        let mut graph = HGraph::random(&ids, hc, &mut rng);
+        prop_assert!(graph.check_invariants().is_ok());
+        prop_assert!(graph.is_connected());
+
+        let new = VgroupId::new(10_000);
+        let anchors: Vec<VgroupId> = (0..hc as usize)
+            .map(|c| graph.successor(c, ids[0]).unwrap())
+            .collect();
+        graph.insert(new, &anchors);
+        prop_assert!(graph.check_invariants().is_ok());
+        prop_assert_eq!(graph.vertex_count(), vertices + 1);
+
+        prop_assert!(graph.remove(new));
+        prop_assert!(graph.check_invariants().is_ok());
+        prop_assert_eq!(graph.vertices(), ids);
+    }
+
+    /// The group-message collector accepts exactly once regardless of the
+    /// order in which copies arrive, and never accepts without a majority.
+    #[test]
+    fn collector_accepts_exactly_once(
+        group_size in 1u64..30,
+        senders in proptest::collection::vec(0u64..30, 1..120),
+    ) {
+        let composition: Composition = (0..group_size).map(NodeId::new).collect();
+        let mut collector = GroupMessageCollector::new(16);
+        let digest = Digest::of(b"payload");
+        let mut accepted = 0;
+        let mut distinct_members = std::collections::BTreeSet::new();
+        for s in senders {
+            let sender = NodeId::new(s);
+            if composition.contains(sender) {
+                distinct_members.insert(sender);
+            }
+            if collector.observe(VgroupId::new(1), &composition, sender, digest, true) {
+                accepted += 1;
+                prop_assert!(distinct_members.len() >= composition.majority());
+            }
+        }
+        prop_assert!(accepted <= 1);
+        if distinct_members.len() >= composition.majority() {
+            prop_assert_eq!(accepted, 1);
+        }
+    }
+
+    /// Partitioning nodes into vgroups always satisfies the directory
+    /// invariants and produces sizes within one of each other.
+    #[test]
+    fn directory_partition_is_balanced(nodes in 1usize..400, target in 1usize..30, seed in 0u64..100) {
+        let ids: Vec<NodeId> = (0..nodes as u64).map(NodeId::new).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let dir = VgroupDirectory::partition(&ids, target, &mut rng);
+        prop_assert!(dir.check_invariants().is_ok());
+        prop_assert_eq!(dir.node_count(), nodes);
+        let sizes = dir.sizes();
+        let min = sizes.iter().min().copied().unwrap_or(0);
+        let max = sizes.iter().max().copied().unwrap_or(0);
+        prop_assert!(max - min <= 1);
+    }
+}
+
+#[test]
+fn recommended_overlay_parameters_sample_uniformly() {
+    // The guideline of Figure 4, checked end to end: walks of the
+    // recommended length on the recommended density pass the χ² test.
+    use atum::sim::is_uniform_99;
+    for vgroups in [32usize, 128] {
+        let entry = atum::types::recommended_params(vgroups);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let ids: Vec<VgroupId> = (0..vgroups as u64).map(VgroupId::new).collect();
+        let graph = HGraph::random(&ids, entry.hc, &mut rng);
+        let hits = atum::overlay::simulate_walk_hits(
+            &graph,
+            VgroupId::new(0),
+            entry.rwl,
+            40 * vgroups,
+            &mut rng,
+        );
+        let counts: Vec<u64> = hits.values().copied().collect();
+        assert!(
+            is_uniform_99(&counts),
+            "recommended rwl {} / hc {} not uniform for {vgroups} vgroups",
+            entry.rwl,
+            entry.hc
+        );
+    }
+}
