@@ -772,10 +772,7 @@ mod tests {
                 reader.on_app_message(NodeId::new(1), payload, &mut reader_ctx2);
             }
             outstanding = reader_ctx2
-                .queued_app_messages()
-                .iter()
-                .cloned()
-                .collect();
+                .queued_app_messages().to_vec();
         }
         assert_eq!(reader.completed_gets().len(), 1);
         let outcome = &reader.completed_gets()[0];

@@ -105,7 +105,7 @@
                     app.get(owner, &name, true, actx);
                 });
             });
-            gap = gap + Duration::from_millis(1_500);
+            gap += Duration::from_millis(1_500);
         }
         cluster
             .sim

@@ -22,6 +22,32 @@ use rand_chacha::ChaCha8Rng;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
+pub(crate) mod debug {
+    //! Env-gated protocol tracing (`ATUM_DEBUG_JOIN`, `ATUM_DEBUG_WALK`,
+    //! `ATUM_DEBUG_WELCOME`). Flags are read once: tracing sits on hot
+    //! paths, so per-call `env::var` lookups are not acceptable.
+    use std::sync::OnceLock;
+
+    fn flag(cell: &'static OnceLock<bool>, name: &str) -> bool {
+        *cell.get_or_init(|| std::env::var(name).is_ok())
+    }
+
+    pub(crate) fn join() -> bool {
+        static CELL: OnceLock<bool> = OnceLock::new();
+        flag(&CELL, "ATUM_DEBUG_JOIN")
+    }
+
+    pub(crate) fn walk() -> bool {
+        static CELL: OnceLock<bool> = OnceLock::new();
+        flag(&CELL, "ATUM_DEBUG_WALK")
+    }
+
+    pub(crate) fn welcome() -> bool {
+        static CELL: OnceLock<bool> = OnceLock::new();
+        flag(&CELL, "ATUM_DEBUG_WELCOME")
+    }
+}
+
 /// What the member logic asks its host to do.
 #[derive(Debug)]
 pub enum Effect {
@@ -93,7 +119,6 @@ pub struct MemberState {
     collector: GroupMessageCollector,
     seen_broadcasts: SeenCache,
     next_broadcast_seq: u64,
-    next_walk_seq: u64,
     /// Shuffle walks this vgroup started: walk → the member to exchange.
     outstanding_exchanges: HashMap<WalkId, NodeId>,
     /// Members this vgroup reserved as exchange partners: walk → member.
@@ -101,7 +126,27 @@ pub struct MemberState {
     /// Accusations collected towards evictions: target → accusers.
     evict_accusations: HashMap<NodeId, HashSet<NodeId>>,
     last_heard: HashMap<NodeId, Instant>,
+    /// Peers we have actually received a message from since they (or we)
+    /// entered this composition. A composition entry that never activates is
+    /// a stranded admission ("ghost") and is evicted on a much shorter fuse
+    /// than a member that was alive and went silent.
+    activated: HashSet<NodeId>,
     last_heartbeat_sent: Instant,
+    /// Per-peer record of the configuration epoch we last offered a
+    /// catch-up [`AtumMessage::Welcome`] for, so a lagging member's
+    /// retransmissions do not get answered with a full state transfer each
+    /// time (once per epoch per peer is exactly what its quorum needs).
+    caught_up: HashMap<NodeId, u64>,
+    /// When this member last launched shuffle walks (see
+    /// [`Self::start_shuffle`] for why this damping is local-time based).
+    last_shuffle: Option<Instant>,
+    /// When this member's engine was halted after observing a newer
+    /// configuration epoch (`None` while the engine runs). The host uses
+    /// this to give up on a membership that never re-synchronises.
+    halted_since: Option<Instant>,
+    /// When this member last solicited a catch-up Welcome (throttles the
+    /// `StateRequest` traffic of a halted member).
+    last_state_request: Option<Instant>,
     merging: bool,
     /// Statistics for the experiments.
     pub stats: MemberStats,
@@ -152,6 +197,15 @@ impl MemberState {
         } else {
             None
         };
+        // The eviction clock for every peer starts now: a peer is "silent"
+        // only relative to the moment we learned this composition, otherwise
+        // a freshly welcomed member instantly accuses everyone it has not
+        // heard from yet.
+        let last_heard: HashMap<NodeId, Instant> = composition
+            .iter()
+            .filter(|&p| p != me.id)
+            .map(|p| (p, now))
+            .collect();
         MemberState {
             me,
             params,
@@ -166,12 +220,16 @@ impl MemberState {
             collector: GroupMessageCollector::new(4096),
             seen_broadcasts: SeenCache::new(65536),
             next_broadcast_seq: 0,
-            next_walk_seq: 0,
             outstanding_exchanges: HashMap::new(),
             reserved: HashMap::new(),
             evict_accusations: HashMap::new(),
-            last_heard: HashMap::new(),
+            last_heard,
+            activated: HashSet::new(),
             last_heartbeat_sent: now,
+            caught_up: HashMap::new(),
+            last_shuffle: None,
+            halted_since: None,
+            last_state_request: None,
             merging: false,
             stats: MemberStats::default(),
         }
@@ -211,7 +269,14 @@ impl MemberState {
         }
         if self.composition.len() == 1 && self.composition.contains(self.me.id) {
             // Single-member vgroup: agreement is trivial; apply immediately.
-            self.apply_op(op, now, effects, &mut Vec::new());
+            // Follow-ups (ops drained from `my_pending` by a reconfiguring
+            // op, resize requests) must be re-proposed here exactly like
+            // `process_actions` does, not dropped.
+            let mut follow_ups = Vec::new();
+            self.apply_op(op, now, effects, &mut follow_ups);
+            for op in follow_ups {
+                self.propose(op, now, effects);
+            }
             return;
         }
         let Some(engine) = self.engine.as_mut() else {
@@ -231,7 +296,40 @@ impl MemberState {
         effects: &mut Vec<Effect>,
     ) {
         self.note_alive(from, now);
-        if epoch != self.epoch {
+        if epoch < self.epoch {
+            // The sender is stuck in an earlier configuration (it missed the
+            // op that ended that epoch — its engine was discarded before the
+            // deciding message reached it). Epoch-mismatched messages are
+            // dropped, so without help it stays forked forever: offer it our
+            // state, once per epoch (it keeps retransmitting on its round
+            // timers, and a full state transfer per retransmission would be
+            // pure amplification). Welcomes are idempotent and
+            // quorum-checked by the receiver, so this is safe.
+            if self.composition.contains(from) && self.caught_up.get(&from) != Some(&self.epoch) {
+                self.caught_up.insert(from, self.epoch);
+                self.send_welcome(from, effects);
+            }
+            return;
+        }
+        if epoch > self.epoch {
+            // We may be the stale side: the vgroup has moved on without us.
+            // Halt our engine instead of letting it keep deciding in the
+            // dead epoch — a synchronous engine left running alone would
+            // decide its own proposals unilaterally and fork this member's
+            // state (phantom splits with diverging vgroup ids). The peers
+            // at the newer epoch send us catch-up Welcomes (see above) and
+            // we re-sync through them. Only composition members are heeded.
+            //
+            // This deliberately halts on a single claim rather than waiting
+            // for f+1 corroboration: after a quiet reconfiguration the lone
+            // ahead peer may be the only traffic source, and an un-halted
+            // stale engine forks unrecoverably, while a forged halt is
+            // recoverable by construction (the halted member solicits
+            // state, times out, abandons and re-joins) — a Byzantine
+            // composition member can cause disruption, not divergence.
+            if self.composition.contains(from) && self.engine.take().is_some() {
+                self.halted_since = Some(now);
+            }
             return;
         }
         let Some(engine) = self.engine.as_mut() else {
@@ -246,8 +344,54 @@ impl MemberState {
         if let Some(engine) = self.engine.as_mut() {
             let actions = engine.tick(now);
             self.process_actions(actions, now, effects);
+        } else {
+            // Our engine was halted because the vgroup reconfigured without
+            // us (see `on_smr_message`). Keep soliciting a fresh Welcome —
+            // peers answer with a state transfer, and the receiver-side
+            // quorum rule makes that safe. Throttled: a quorum of welcomes
+            // per solicitation round is all we can consume, so asking more
+            // often than every couple of rounds is pure amplification.
+            let min_gap = self.params.round.saturating_mul(2);
+            let due = self
+                .last_state_request
+                .map(|t| now.saturating_since(t) >= min_gap)
+                .unwrap_or(true);
+            if due {
+                self.last_state_request = Some(now);
+                let me = self.me.id;
+                let (group, epoch) = (self.vgroup, self.epoch);
+                for peer in self.composition.iter().filter(|&p| p != me) {
+                    effects.push(Effect::Send {
+                        to: peer,
+                        msg: AtumMessage::StateRequest { group, epoch },
+                    });
+                }
+            }
         }
         self.heartbeat_duties(now, effects);
+    }
+
+    /// How long this member's engine has been halted waiting for a catch-up
+    /// Welcome (`None` while the engine runs). The host abandons the
+    /// membership and re-joins when this exceeds its patience.
+    pub fn halted_since(&self) -> Option<Instant> {
+        self.halted_since
+    }
+
+    /// A stale peer asked for our state: answer with a Welcome if we are
+    /// ahead of it in the same vgroup.
+    pub fn on_state_request(
+        &mut self,
+        from: NodeId,
+        group: VgroupId,
+        peer_epoch: u64,
+        now: Instant,
+        effects: &mut Vec<Effect>,
+    ) {
+        self.note_alive(from, now);
+        if group == self.vgroup && peer_epoch < self.epoch && self.composition.contains(from) {
+            self.send_welcome(from, effects);
+        }
     }
 
     fn process_actions(
@@ -277,6 +421,9 @@ impl MemberState {
         for op in decided {
             self.apply_op(op, now, effects, &mut follow_ups);
         }
+        // This includes the ops `apply_op` drained out of `my_pending` when
+        // a decided op reconfigured the vgroup: re-proposing them into the
+        // fresh engine is what keeps joins and leaves alive under churn.
         for op in follow_ups {
             self.propose(op, now, effects);
         }
@@ -303,6 +450,12 @@ impl MemberState {
         let epoch_before = self.epoch;
         match op {
             GroupOp::HandleJoinRequest { joiner, .. } => {
+                if debug::join() {
+                    eprintln!(
+                        "[{now:?}] {}: HandleJoinRequest({}) applied in vgroup {:?}",
+                        self.me.id, joiner.id, self.vgroup
+                    );
+                }
                 self.start_walk(
                     WalkPurpose::JoinPlacement { joiner: joiner.id },
                     digest,
@@ -311,6 +464,16 @@ impl MemberState {
                 );
             }
             GroupOp::AdmitJoiner { joiner, .. } => {
+                if debug::join() {
+                    eprintln!(
+                        "[{now:?}] {}: AdmitJoiner({}) in vgroup {:?} (inserted: {}, comp len {})",
+                        self.me.id,
+                        joiner.id,
+                        self.vgroup,
+                        !self.composition.contains(joiner.id),
+                        self.composition.len()
+                    );
+                }
                 if self.composition.insert(joiner.id) {
                     self.after_composition_change(now, effects);
                     self.send_welcome(joiner.id, effects);
@@ -775,8 +938,13 @@ impl MemberState {
         now: Instant,
         effects: &mut Vec<Effect>,
     ) -> WalkId {
-        let id = WalkId::new(self.vgroup, self.next_walk_seq);
-        self.next_walk_seq += 1;
+        // The walk id must be identical at every member that applies the
+        // decided op that started this walk — it is derived from the shared
+        // (seed, epoch) pair, never from local counters. Members whose
+        // membership histories differ (a freshly welcomed member starts its
+        // counters from scratch) would otherwise route *different* walks for
+        // the same op, and no hop would ever assemble a majority of copies.
+        let id = WalkId::new(self.vgroup, seed.as_u64() ^ self.epoch.rotate_left(17));
         // Deterministic bulk RNG: every correct member derives the same walk.
         let mut rng = ChaCha8Rng::seed_from_u64(
             seed.as_u64() ^ self.epoch ^ id.seq.wrapping_mul(0x9E37_79B9),
@@ -795,6 +963,16 @@ impl MemberState {
 
     /// Either forwards a walk one step or, if it is complete, acts on it.
     fn route_walk(&mut self, mut walk: WalkState, now: Instant, effects: &mut Vec<Effect>) {
+        if debug::walk() {
+            eprintln!(
+                "[{now:?}] {}: route_walk {:?} at vgroup {:?} complete={} purpose={:?}",
+                self.me.id,
+                walk.id,
+                self.vgroup,
+                walk.is_complete(),
+                walk.purpose
+            );
+        }
         if walk.is_complete() {
             self.on_walk_selected(walk, now, effects);
             return;
@@ -951,7 +1129,25 @@ impl MemberState {
 
     // -------------------------------------------------- membership churn
 
-    fn after_composition_change(&mut self, _now: Instant, _effects: &mut Vec<Effect>) {
+    fn after_composition_change(&mut self, now: Instant, _effects: &mut Vec<Effect>) {
+        // Drop failure-detection state of departed members. Keeping it
+        // would make a later re-admission of the same node inherit a stale
+        // `last_heard` timestamp and be instantly re-accused before its
+        // Welcome quorum can even assemble.
+        let composition = &self.composition;
+        self.last_heard.retain(|p, _| composition.contains(*p));
+        self.activated.retain(|p| composition.contains(*p));
+        self.caught_up.retain(|p, _| composition.contains(*p));
+        self.evict_accusations.retain(|target, accusers| {
+            accusers.retain(|a| composition.contains(*a));
+            composition.contains(*target) && !accusers.is_empty()
+        });
+        // Members that just entered the composition get their eviction clock
+        // started now (see `with_membership`).
+        let me = self.me.id;
+        for peer in self.composition.iter().filter(|&p| p != me) {
+            self.last_heard.entry(peer).or_insert(now);
+        }
         self.epoch += 1;
         self.stats.reconfigurations += 1;
         self.merging = false;
@@ -972,17 +1168,18 @@ impl MemberState {
         };
     }
 
-    /// Re-proposes operations that were submitted but not yet applied (called
-    /// by the host right after a reconfiguration, outside of apply_op to keep
-    /// borrow scopes simple).
-    pub fn repropose_pending(&mut self, now: Instant, effects: &mut Vec<Effect>) {
-        let pending = std::mem::take(&mut self.my_pending);
-        for op in pending {
-            use atum_smr::SmrOp as _;
-            if !self.applied_ops.contains(&op.digest()) {
-                self.propose(op, now, effects);
-            }
-        }
+    /// Carries session-scoped state from a previous membership of the same
+    /// node into this one (after a catch-up or transfer `Welcome`): the
+    /// broadcast dedup cache (so a re-delivered gossip copy is not handed to
+    /// the application twice), the broadcast sequence (so this node's
+    /// `BroadcastId`s stay unique), and accumulated statistics. Returns the
+    /// ops that were proposed but never applied so the host can re-propose
+    /// them into the new configuration.
+    pub fn inherit_from(&mut self, old: MemberState) -> Vec<GroupOp> {
+        self.seen_broadcasts = old.seen_broadcasts;
+        self.next_broadcast_seq = old.next_broadcast_seq;
+        self.stats = old.stats;
+        old.my_pending
     }
 
     fn send_welcome(&self, to: NodeId, effects: &mut Vec<Effect>) {
@@ -1007,10 +1204,42 @@ impl MemberState {
         }
     }
 
-    /// Starts the random walk shuffling of §3.2: one exchange walk per
-    /// current member.
+    /// Starts the random walk shuffling of §3.2. Damped by local time:
+    /// under churn every exchange reconfigures two vgroups, and launching a
+    /// fresh set of walks on every reconfiguration feeds back into more
+    /// reconfigurations until joins and leaves starve. The time gate is a
+    /// local heuristic, so members of one vgroup can disagree on whether a
+    /// wave launched — that is fail-safe, not fork-prone: a walk launched
+    /// by a minority never assembles a majority of copies at its first hop
+    /// and dies there, costing only that wave (an epoch-derived gate was
+    /// tried instead and made shuffles fire synchronously with splits,
+    /// which is far worse — see CHANGES.md PR 1).
     fn start_shuffle(&mut self, now: Instant, effects: &mut Vec<Effect>) {
+        let min_gap = self.params.round.saturating_mul(8);
+        if let Some(last) = self.last_shuffle {
+            if now.saturating_since(last) < min_gap {
+                return;
+            }
+        }
+        self.last_shuffle = Some(now);
+        // Bound the breadth too: exchanging the whole membership in one wave
+        // replaces every member while the welcome quorums of the incoming
+        // ones are still assembling, which strands them en masse. Two
+        // exchanges per wave still mix the membership over successive
+        // reconfigurations. The subset is derived from (vgroup, epoch) so
+        // every member launches the same walks.
         let members: Vec<NodeId> = self.composition.iter().collect();
+        let breadth = 2.min(members.len());
+        let start = (Digest::of_parts(&[
+            b"shuffle-subset",
+            &self.vgroup.raw().to_be_bytes(),
+            &self.epoch.to_be_bytes(),
+        ])
+        .as_u64()
+            % members.len().max(1) as u64) as usize;
+        let members: Vec<NodeId> = (0..breadth)
+            .map(|i| members[(start + i) % members.len()])
+            .collect();
         for member in members {
             let seed = Digest::of_parts(&[
                 b"shuffle",
@@ -1150,6 +1379,7 @@ impl MemberState {
     fn note_alive(&mut self, peer: NodeId, now: Instant) {
         if self.composition.contains(peer) {
             self.last_heard.insert(peer, now);
+            self.activated.insert(peer);
         }
     }
 
@@ -1168,18 +1398,29 @@ impl MemberState {
                     msg: AtumMessage::Heartbeat,
                 });
             }
-            // Eviction check: accuse peers silent for too long.
-            let threshold = period.saturating_mul(self.params.eviction_threshold as u64);
-            let silent: Vec<NodeId> = self
-                .composition
-                .iter()
-                .filter(|&p| p != self.me.id)
-                .filter(|p| {
-                    let last = self.last_heard.get(p).copied().unwrap_or(Instant::ZERO);
-                    now.saturating_since(last) > threshold
-                })
-                .collect();
-            for peer in silent {
+            let eviction_after = period.saturating_mul(self.params.eviction_threshold as u64);
+            // A composition entry we have never heard from is a stranded
+            // admission (its Welcome quorum failed mid-churn), not a crashed
+            // member: it is evicted on a two-period fuse before it can drag
+            // the vgroup's quorums down, and re-welcomed in the meantime in
+            // case it can still activate.
+            let ghost_after = period.saturating_mul(2);
+            let me = self.me.id;
+            let mut accuse: Vec<NodeId> = Vec::new();
+            for peer in self.composition.iter().filter(|&p| p != me) {
+                let last = self.last_heard.get(&peer).copied().unwrap_or(Instant::ZERO);
+                let silence = now.saturating_since(last);
+                let activated = self.activated.contains(&peer);
+                if silence > if activated { eviction_after } else { ghost_after } {
+                    accuse.push(peer);
+                } else if silence > period && !activated {
+                    // Welcomes are idempotent and keyed by (group, epoch,
+                    // composition); re-sending lets a stranded node still
+                    // accumulate its quorum and activate.
+                    self.send_welcome(peer, effects);
+                }
+            }
+            for peer in accuse {
                 let op = GroupOp::Evict {
                     node: peer,
                     accuser: self.me.id,

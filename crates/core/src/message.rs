@@ -334,6 +334,15 @@ pub enum AtumMessage {
         /// Configuration epoch of the vgroup.
         epoch: u64,
     },
+    /// Sent by a member whose SMR engine halted because the vgroup moved to
+    /// a newer configuration epoch without it: asks a peer for a fresh
+    /// [`AtumMessage::Welcome`] so it can re-synchronise.
+    StateRequest {
+        /// The vgroup whose state is requested.
+        group: VgroupId,
+        /// The requester's (stale) configuration epoch.
+        epoch: u64,
+    },
     /// Periodic liveness signal between vgroup peers.
     Heartbeat,
     /// Intra-vgroup SMR traffic, tagged with the configuration epoch so
@@ -372,6 +381,7 @@ impl WireSize for AtumMessage {
                     + neighbors.distinct_neighbors().len() * 64
                     + SIGNATURE_SIZE
             }
+            AtumMessage::StateRequest { .. } => 24,
             AtumMessage::Heartbeat => 8,
             AtumMessage::Smr { msg, .. } => 8 + msg.wire_size(),
             AtumMessage::Group(envelope) => envelope.wire_size(),

@@ -83,9 +83,12 @@ pub struct AtumNode<A: Application> {
     byzantine: ByzantineBehavior,
     join_nonce: u64,
     last_byz_heartbeat: Instant,
-    /// A peer from the last vgroup this node belonged to, used to recover
-    /// (re-join) if a shuffle transfer never completes.
-    fallback_contact: Option<NodeId>,
+    /// Peers from the last vgroup this node belonged to (and from join
+    /// replies), used to recover if a shuffle transfer never completes or a
+    /// join contact stops responding. Rotated through on retries so a single
+    /// dead contact cannot stall the node forever.
+    fallback_peers: Vec<NodeId>,
+    fallback_rotation: usize,
     awaiting_since: Option<Instant>,
     /// Statistics for experiments.
     pub stats: NodeStats,
@@ -106,7 +109,8 @@ impl<A: Application> AtumNode<A> {
             byzantine: ByzantineBehavior::Correct,
             join_nonce: 0,
             last_byz_heartbeat: Instant::ZERO,
-            fallback_contact: None,
+            fallback_peers: Vec::new(),
+            fallback_rotation: 0,
             awaiting_since: None,
             stats: NodeStats::default(),
         }
@@ -148,7 +152,8 @@ impl<A: Application> AtumNode<A> {
             byzantine: ByzantineBehavior::Correct,
             join_nonce: 0,
             last_byz_heartbeat: Instant::ZERO,
-            fallback_contact: None,
+            fallback_peers: Vec::new(),
+            fallback_rotation: 0,
             awaiting_since: None,
             stats: NodeStats {
                 joined_at: Some(Instant::ZERO),
@@ -348,9 +353,11 @@ impl<A: Application> AtumNode<A> {
                         voluntary: _,
                         transferred,
                     } => {
-                        self.fallback_contact = self.member.as_ref().and_then(|m| {
-                            m.composition.iter().find(|&p| p != self.identity.id)
-                        });
+                        if let Some(composition) =
+                            self.member.as_ref().map(|m| m.composition.clone())
+                        {
+                            self.remember_fallbacks(&composition);
+                        }
                         self.member = None;
                         if transferred {
                             self.phase = NodePhase::AwaitingTransfer;
@@ -408,6 +415,14 @@ impl<A: Application> AtumNode<A> {
         {
             return; // Stale welcome for a state we already have.
         }
+        // Known limitation: an *active* member of vgroup G that still has a
+        // never-activated ghost entry in some other vgroup G' can be pulled
+        // over to G' if G's re-welcomes assemble a quorum here. Guarding
+        // against that was tried and broke a more important flow — a
+        // straggler whose vgroup reconfigured (or split to a new id) past it
+        // legitimately needs welcomes from senders it does not know yet.
+        // The hijack self-heals: the abandoned side evicts the silent entry
+        // on the fast ghost fuse.
         let key = Digest::of_parts(&[
             &group.raw().to_be_bytes(),
             &epoch.to_be_bytes(),
@@ -424,13 +439,33 @@ impl<A: Application> AtumNode<A> {
                 senders: HashSet::new(),
             });
         entry.senders.insert(from);
-        if entry.senders.len() < entry.composition.majority().min(entry.composition.len() - 1).max(1)
-        {
+        let threshold = entry
+            .composition
+            .majority()
+            .min(entry.composition.len() - 1)
+            .max(1);
+        if crate::member::debug::welcome() {
+            eprintln!(
+                "[{:?}] {}: welcome for {group:?} epoch {epoch} from {from}: {}/{threshold} senders (phase {:?})",
+                ctx.now(),
+                self.identity.id,
+                entry.senders.len(),
+                self.phase
+            );
+        }
+        if entry.senders.len() < threshold {
             return;
+        }
+        if crate::member::debug::join() {
+            eprintln!(
+                "[{:?}] {}: welcome threshold met for vgroup {group:?} epoch {epoch}",
+                ctx.now(),
+                self.identity.id
+            );
         }
         let welcome = self.pending_welcomes.remove(&key).expect("just inserted");
         self.pending_welcomes.clear();
-        self.member = Some(MemberState::with_membership(
+        let mut fresh = MemberState::with_membership(
             self.identity,
             self.params.clone(),
             self.registry.clone(),
@@ -439,11 +474,29 @@ impl<A: Application> AtumNode<A> {
             welcome.neighbors,
             welcome.epoch,
             ctx.now(),
-        ));
+        );
+        // On a catch-up (or transfer) the node already had member state:
+        // keep its dedup caches, broadcast sequencing and statistics, and
+        // re-propose whatever it had in flight — a welcome must not silently
+        // discard ops this node promised to drive to agreement.
+        let pending = match self.member.take() {
+            Some(old) => fresh.inherit_from(old),
+            None => Vec::new(),
+        };
+        self.member = Some(fresh);
         if self.stats.joined_at.is_none() || !matches!(self.phase, NodePhase::Member) {
             self.stats.joined_at = Some(ctx.now());
         }
         self.phase = NodePhase::Member;
+        if !pending.is_empty() {
+            let mut effects = Vec::new();
+            if let Some(member) = self.member.as_mut() {
+                for op in pending {
+                    member.propose(op, ctx.now(), &mut effects);
+                }
+            }
+            self.run_effects(effects, ctx);
+        }
     }
 
     fn byzantine_duties(&mut self, ctx: &mut Context<'_, AtumMessage>) {
@@ -466,22 +519,70 @@ impl<A: Application> AtumNode<A> {
         }
     }
 
+    /// Replaces the fallback-contact pool with the members of `composition`
+    /// (minus this node). The rotation index deliberately survives the
+    /// replacement: a `JoinContactReply` refreshes this pool on every
+    /// attempt, and restarting the rotation there would pin a stalled
+    /// joiner to the same first peer on every retry.
+    fn remember_fallbacks(&mut self, composition: &Composition) {
+        self.fallback_peers = composition
+            .iter()
+            .filter(|&p| p != self.identity.id)
+            .collect();
+    }
+
+    /// The next known peer to try as a join contact, rotating through
+    /// `fallback_peers` so one unresponsive contact cannot stall us forever.
+    fn next_fallback_contact(&mut self) -> Option<NodeId> {
+        if self.fallback_peers.is_empty() {
+            return None;
+        }
+        let idx = self.fallback_rotation % self.fallback_peers.len();
+        self.fallback_rotation += 1;
+        Some(self.fallback_peers[idx])
+    }
+
+    /// A member whose engine halted (the vgroup reconfigured without it) and
+    /// that could not re-synchronise for a long time may have been removed
+    /// from the new composition entirely — no peer will ever welcome it
+    /// back. Give the membership up and re-join through a former peer.
+    fn abandon_membership_if_stranded(&mut self, ctx: &mut Context<'_, AtumMessage>) {
+        let timeout = self.params.round.saturating_mul(60);
+        let stranded = self
+            .member
+            .as_ref()
+            .and_then(|m| m.halted_since())
+            .is_some_and(|since| ctx.now().saturating_since(since) > timeout);
+        if !stranded {
+            return;
+        }
+        if let Some(member) = self.member.take() {
+            self.remember_fallbacks(&member.composition);
+        }
+        self.phase = NodePhase::Left;
+        self.stats.left_at = Some(ctx.now());
+        if let Some(contact) = self.next_fallback_contact() {
+            let _ = self.join(contact, ctx);
+        }
+    }
+
     fn retry_join_if_stalled(&mut self, ctx: &mut Context<'_, AtumMessage>) {
         let timeout = self.params.round.saturating_mul(60);
         match self.phase {
-            NodePhase::Joining { contact, since } => {
-                if ctx.now().saturating_since(since) > timeout {
+            NodePhase::Joining { contact, since }
+                if ctx.now().saturating_since(since) > timeout => {
                     // A fresh attempt number so the contact vgroup does not
                     // deduplicate the retried request away if the previous
-                    // attempt was lost mid-protocol.
+                    // attempt was lost mid-protocol; rotate contacts in case
+                    // the previous one left or crashed.
                     self.join_nonce += 1;
+                    let contact = self.next_fallback_contact().unwrap_or(contact);
                     self.phase = NodePhase::Joining {
                         contact,
                         since: ctx.now(),
                     };
                     ctx.send(contact, AtumMessage::JoinContactRequest);
                 }
-            }
             NodePhase::AwaitingTransfer => {
                 // The Welcome of the new vgroup never arrived (its side of
                 // the exchange may have been reconfigured away); recover by
@@ -491,7 +592,7 @@ impl<A: Application> AtumNode<A> {
                     .map(|t| ctx.now().saturating_since(t) > timeout)
                     .unwrap_or(false);
                 if stalled {
-                    if let Some(contact) = self.fallback_contact {
+                    if let Some(contact) = self.next_fallback_contact() {
                         self.phase = NodePhase::Left;
                         self.awaiting_since = None;
                         let _ = self.join(contact, ctx);
@@ -528,6 +629,7 @@ impl<A: Application> Node<AtumMessage> for AtumNode<A> {
             member.tick(ctx.now(), &mut effects);
             self.run_effects(effects, ctx);
         }
+        self.abandon_membership_if_stranded(ctx);
     }
 
     fn on_message(&mut self, from: NodeId, msg: AtumMessage, ctx: &mut Context<'_, AtumMessage>) {
@@ -536,6 +638,14 @@ impl<A: Application> Node<AtumMessage> for AtumNode<A> {
         }
         match msg {
             AtumMessage::JoinContactRequest => {
+                if crate::member::debug::join() {
+                    eprintln!(
+                        "[{:?}] {}: JoinContactRequest from {from} (member: {})",
+                        ctx.now(),
+                        self.identity.id,
+                        self.member.is_some()
+                    );
+                }
                 if let Some(member) = self.member.as_ref() {
                     ctx.send(
                         from,
@@ -548,6 +658,9 @@ impl<A: Application> Node<AtumMessage> for AtumNode<A> {
             }
             AtumMessage::JoinContactReply { composition, .. } => {
                 if matches!(self.phase, NodePhase::Joining { .. }) {
+                    // Remember the contact vgroup's members: if this attempt
+                    // stalls, any of them is a valid alternative contact.
+                    self.remember_fallbacks(&composition);
                     let request = AtumMessage::JoinRequest {
                         joiner: self.identity,
                         nonce: self.join_nonce,
@@ -575,6 +688,13 @@ impl<A: Application> Node<AtumMessage> for AtumNode<A> {
                 epoch,
             } => {
                 self.handle_welcome(from, group, composition, neighbors, epoch, ctx);
+            }
+            AtumMessage::StateRequest { group, epoch } => {
+                if let Some(member) = self.member.as_mut() {
+                    let mut effects = Vec::new();
+                    member.on_state_request(from, group, epoch, ctx.now(), &mut effects);
+                    self.run_effects(effects, ctx);
+                }
             }
             AtumMessage::Heartbeat => {
                 if let Some(member) = self.member.as_mut() {

@@ -21,7 +21,7 @@ impl Digest {
     pub fn of(bytes: &[u8]) -> Self {
         let mut hasher = Sha256::new();
         hasher.update(bytes);
-        Digest(hasher.finalize().into())
+        Digest(hasher.finalize())
     }
 
     /// Hashes the concatenation of several byte slices (avoids allocating a
@@ -31,7 +31,7 @@ impl Digest {
         for p in parts {
             hasher.update(p);
         }
-        Digest(hasher.finalize().into())
+        Digest(hasher.finalize())
     }
 
     /// Combines two digests into one (Merkle-style), used to fold chunk

@@ -9,6 +9,9 @@ use rand_chacha::ChaCha8Rng;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
 
+/// Boxed external call executed against a node by the harness.
+type NodeCall<M, N> = Box<dyn FnOnce(&mut N, &mut Context<'_, M>) + Send>;
+
 /// Type of a queued event.
 enum EventKind<M, N> {
     /// Deliver a message.
@@ -18,8 +21,7 @@ enum EventKind<M, N> {
     /// Run an external call against a node (harness-driven API invocation).
     Call {
         node: NodeId,
-        #[allow(clippy::type_complexity)]
-        f: Box<dyn FnOnce(&mut N, &mut Context<'_, M>) + Send>,
+        f: NodeCall<M, N>,
     },
     /// Start a node (runs `on_start`).
     Start { node: NodeId },
@@ -347,11 +349,7 @@ where
         self.with_context(node, |n, ctx| n.on_timer(tag, ctx));
     }
 
-    fn do_call(
-        &mut self,
-        node: NodeId,
-        f: Box<dyn FnOnce(&mut N, &mut Context<'_, M>) + Send>,
-    ) {
+    fn do_call(&mut self, node: NodeId, f: NodeCall<M, N>) {
         if !self.nodes.contains_key(&node) {
             return;
         }

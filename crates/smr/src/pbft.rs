@@ -515,7 +515,7 @@ impl<O: SmrOp> Replication<O> for AsyncSmr<O> {
                 let votes = self.vc_votes.get(&new_view).map(|v| v.len()).unwrap_or(0);
                 // Join the view change once f+1 replicas vouch for it, so a
                 // single faulty replica cannot drag the group through views.
-                if votes > self.max_faults() && self.vc_target.map_or(true, |t| t < new_view) {
+                if votes > self.max_faults() && self.vc_target.is_none_or(|t| t < new_view) {
                     self.start_view_change(new_view, &mut actions);
                 }
                 self.maybe_enter_new_view(new_view, &mut actions);

@@ -234,9 +234,9 @@ pub trait Replication<O: SmrOp> {
 }
 
 /// Helper: extracts the decisions from a list of actions (test convenience).
-pub fn decisions<O: Clone>(actions: &[Action<O>]) -> Vec<Decision<O>>
+pub fn decisions<O>(actions: &[Action<O>]) -> Vec<Decision<O>>
 where
-    O: std::fmt::Debug + Eq,
+    O: Clone + std::fmt::Debug + Eq,
 {
     actions
         .iter()

@@ -249,7 +249,7 @@ impl<O: SmrOp> SyncSmr<O> {
 
     fn process_round(&mut self, round: u64, actions: &mut Vec<Action<O>>) {
         let rps = self.rounds_per_slot();
-        if round % rps == 0 {
+        if round.is_multiple_of(rps) {
             let slot = self.slot_of_round(round);
             // Finalize the previous slot before starting a new one.
             if slot > 0 {

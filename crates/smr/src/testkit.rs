@@ -167,7 +167,7 @@ impl LockstepCluster {
     /// Advances simulated time by one tick step, delivering due messages and
     /// ticking every replica.
     pub fn step(&mut self) {
-        self.now = self.now + self.tick_step;
+        self.now += self.tick_step;
         // Deliver all messages due by now, in deterministic order.
         let mut due: Vec<InFlight> = Vec::new();
         let mut remaining: Vec<InFlight> = Vec::new();

@@ -204,6 +204,19 @@ impl Params {
         self.round = round;
         self
     }
+
+    /// Builder-style setter for failure detection: how often members
+    /// heartbeat each other, and after how many silent periods a member is
+    /// accused for eviction.
+    pub fn with_failure_detection(
+        mut self,
+        heartbeat_period: Duration,
+        eviction_threshold: u32,
+    ) -> Self {
+        self.heartbeat_period = heartbeat_period;
+        self.eviction_threshold = eviction_threshold;
+        self
+    }
 }
 
 #[cfg(test)]

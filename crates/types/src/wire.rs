@@ -145,6 +145,7 @@ mod tests {
     #[test]
     fn reference_forwarding() {
         let id = NodeId::new(9);
-        assert_eq!((&id).wire_size(), id.wire_size());
+        // Exercise the blanket `impl WireSize for &T` explicitly.
+        assert_eq!(<&NodeId as WireSize>::wire_size(&&id), id.wire_size());
     }
 }

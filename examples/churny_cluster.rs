@@ -15,7 +15,12 @@ fn main() {
     let params = Params::default()
         .with_round(Duration::from_millis(500))
         .with_group_bounds(3, 10)
-        .with_overlay(3, 5);
+        .with_overlay(3, 5)
+        // Churny deployments need tight failure detection: heartbeat every
+        // 5 s, accuse after 3 silent periods, so stranded or crashed members
+        // are evicted (and re-welcomed, if recoverable) within ~20 s instead
+        // of lingering for minutes with the paper's 60 s default.
+        .with_failure_detection(Duration::from_secs(5), 3);
     let mut cluster = ClusterBuilder::new(nodes)
         .params(params)
         .net(NetConfig::lan())

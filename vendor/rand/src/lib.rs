@@ -1,0 +1,303 @@
+//! Vendored, dependency-free subset of the `rand` crate API.
+//!
+//! The build container has no access to crates.io, so this workspace vendors
+//! the small slice of `rand` it actually uses: the [`RngCore`] /
+//! [`SeedableRng`] / [`Rng`] traits, uniform range sampling, and the
+//! [`seq::SliceRandom`] shuffle/choose helpers. Algorithms are
+//! deterministic and self-consistent; they do not promise bit-compatibility
+//! with the real crate (nothing in this workspace depends on that).
+
+#![forbid(unsafe_code)]
+
+/// The core of a random number generator: a source of random words.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator that can be instantiated from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// The seed type (a byte array).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Creates a generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64`, expanding it with SplitMix64 —
+    /// the same convention the real `rand` crate uses.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types that can be produced uniformly from raw generator output via
+/// `Rng::gen` (the `Standard` distribution of the real crate).
+pub trait StandardSample {
+    /// Draws one value from `rng`.
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl StandardSample for u128 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl StandardSample for bool {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardSample for f64 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges that `Rng::gen_range` accepts.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_range_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end - self.start) as u64;
+                // Debiased multiply-shift (Lemire); span is < 2^64 here.
+                let zone = u64::MAX - (u64::MAX - span + 1) % span;
+                loop {
+                    let v = rng.next_u64();
+                    if v <= zone {
+                        return self.start + (v % span) as $t;
+                    }
+                }
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                if start == 0 && end as u128 == <$t>::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                (start..end + 1).sample_single(rng)
+            }
+        }
+    )*};
+}
+impl_range_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_range_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as $u).wrapping_sub(self.start as $u);
+                let drawn = (0..span).sample_single(rng);
+                (self.start as $u).wrapping_add(drawn) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_int!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        self.start + f64::standard_sample(rng) * (self.end - self.start)
+    }
+}
+
+/// Convenience extension over [`RngCore`]: typed draws.
+pub trait Rng: RngCore {
+    /// Draws a value of type `T` from the standard distribution.
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::standard_sample(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range");
+        f64::standard_sample(self) < p
+    }
+
+    /// Returns `true` with probability `numerator / denominator`.
+    fn gen_ratio(&mut self, numerator: u32, denominator: u32) -> bool {
+        assert!(numerator <= denominator);
+        self.gen_range(0..denominator) < numerator
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod seq {
+    //! Sequence-related helpers: shuffling and random element choice.
+
+    use super::{Rng, RngCore};
+
+    /// Extension trait for slices, mirroring `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Returns a uniformly chosen reference, or `None` if empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+        /// Returns a uniformly chosen mutable reference, or `None` if empty.
+        fn choose_mut<R: RngCore + ?Sized>(&mut self, rng: &mut R) -> Option<&mut Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..i + 1);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get(rng.gen_range(0..self.len()))
+            }
+        }
+
+        fn choose_mut<R: RngCore + ?Sized>(&mut self, rng: &mut R) -> Option<&mut T> {
+            if self.is_empty() {
+                None
+            } else {
+                let i = rng.gen_range(0..self.len());
+                self.get_mut(i)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seq::SliceRandom;
+    use super::*;
+
+    struct Lcg(u64);
+    impl RngCore for Lcg {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = Lcg(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3u64..17);
+            assert!((3..17).contains(&v));
+            let u = rng.gen_range(0usize..5);
+            assert!(u < 5);
+            let b = rng.gen_range(0..100u8);
+            assert!(b < 100);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_all_values() {
+        let mut rng = Lcg(11);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Lcg(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_calibrated() {
+        let mut rng = Lcg(5);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits {hits}");
+    }
+}

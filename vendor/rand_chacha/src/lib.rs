@@ -1,0 +1,163 @@
+//! Vendored ChaCha random number generators (offline stand-in for the
+//! `rand_chacha` crate).
+//!
+//! Implements the ChaCha stream-cipher core (D. J. Bernstein) as a
+//! deterministic RNG. Seeded identically it always produces the same
+//! stream; it does not promise bit-compatibility with the real
+//! `rand_chacha` crate (nothing in this workspace depends on that).
+
+#![forbid(unsafe_code)]
+
+use rand::{RngCore, SeedableRng};
+
+macro_rules! chacha_rng {
+    ($(#[$meta:meta])* $name:ident, $rounds:expr) => {
+        $(#[$meta])*
+        #[derive(Clone, Debug)]
+        pub struct $name {
+            key: [u32; 8],
+            counter: u64,
+            buffer: [u32; 16],
+            index: usize,
+        }
+
+        impl $name {
+            fn refill(&mut self) {
+                const SIGMA: [u32; 4] = [0x61707865, 0x3320646e, 0x79622d32, 0x6b206574];
+                let mut x = [0u32; 16];
+                x[0..4].copy_from_slice(&SIGMA);
+                x[4..12].copy_from_slice(&self.key);
+                x[12] = self.counter as u32;
+                x[13] = (self.counter >> 32) as u32;
+                x[14] = 0;
+                x[15] = 0;
+                let input = x;
+                for _ in 0..($rounds / 2) {
+                    // Column round.
+                    quarter(&mut x, 0, 4, 8, 12);
+                    quarter(&mut x, 1, 5, 9, 13);
+                    quarter(&mut x, 2, 6, 10, 14);
+                    quarter(&mut x, 3, 7, 11, 15);
+                    // Diagonal round.
+                    quarter(&mut x, 0, 5, 10, 15);
+                    quarter(&mut x, 1, 6, 11, 12);
+                    quarter(&mut x, 2, 7, 8, 13);
+                    quarter(&mut x, 3, 4, 9, 14);
+                }
+                for i in 0..16 {
+                    self.buffer[i] = x[i].wrapping_add(input[i]);
+                }
+                self.counter = self.counter.wrapping_add(1);
+                self.index = 0;
+            }
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: [u8; 32]) -> Self {
+                let mut key = [0u32; 8];
+                for (i, chunk) in seed.chunks_exact(4).enumerate() {
+                    key[i] = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+                }
+                let mut rng = $name {
+                    key,
+                    counter: 0,
+                    buffer: [0u32; 16],
+                    index: 16,
+                };
+                rng.refill();
+                rng.index = 0;
+                rng
+            }
+        }
+
+        impl RngCore for $name {
+            fn next_u32(&mut self) -> u32 {
+                if self.index >= 16 {
+                    self.refill();
+                }
+                let w = self.buffer[self.index];
+                self.index += 1;
+                w
+            }
+
+            fn next_u64(&mut self) -> u64 {
+                let lo = self.next_u32() as u64;
+                let hi = self.next_u32() as u64;
+                (hi << 32) | lo
+            }
+        }
+    };
+}
+
+#[inline]
+fn quarter(x: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    x[a] = x[a].wrapping_add(x[b]);
+    x[d] = (x[d] ^ x[a]).rotate_left(16);
+    x[c] = x[c].wrapping_add(x[d]);
+    x[b] = (x[b] ^ x[c]).rotate_left(12);
+    x[a] = x[a].wrapping_add(x[b]);
+    x[d] = (x[d] ^ x[a]).rotate_left(8);
+    x[c] = x[c].wrapping_add(x[d]);
+    x[b] = (x[b] ^ x[c]).rotate_left(7);
+}
+
+chacha_rng!(
+    /// ChaCha with 8 rounds: the fast profile used throughout the workspace.
+    ChaCha8Rng,
+    8
+);
+chacha_rng!(
+    /// ChaCha with 12 rounds.
+    ChaCha12Rng,
+    12
+);
+chacha_rng!(
+    /// ChaCha with 20 rounds (the original cipher strength).
+    ChaCha20Rng,
+    20
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn blocks_advance() {
+        let mut a = ChaCha8Rng::seed_from_u64(9);
+        let first: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let second: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        assert_ne!(first, second);
+    }
+
+    #[test]
+    fn uniformity_smoke() {
+        let mut rng = ChaCha8Rng::seed_from_u64(123);
+        let mut buckets = [0u32; 16];
+        for _ in 0..16_000 {
+            buckets[rng.gen_range(0usize..16)] += 1;
+        }
+        for &b in &buckets {
+            assert!((800..1200).contains(&b), "bucket {b}");
+        }
+    }
+}

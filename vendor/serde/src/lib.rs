@@ -1,0 +1,500 @@
+//! Vendored minimal serialization framework (offline stand-in for `serde`).
+//!
+//! The build container cannot reach crates.io, so this workspace ships a
+//! small, genuinely functional replacement: types convert to and from a
+//! self-describing [`Value`] tree, and the companion `serde_json` crate
+//! renders that tree as real JSON text. The companion `serde_derive` crate
+//! provides `#[derive(Serialize, Deserialize)]` for structs and enums.
+//!
+//! The data model is intentionally simpler than real serde's (no visitors,
+//! no zero-copy); round-trip fidelity is what the workspace needs and what
+//! is tested.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::hash::Hash;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Absent / unit.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed (negative) integer.
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered string-keyed map (also used for struct fields and enum
+    /// variant tagging).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Returns the map entries if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Returns the sequence elements if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Returns the string if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+
+    /// Creates a "expected X" type-mismatch error.
+    pub fn expected(what: &str) -> Self {
+        Error {
+            message: format!("expected {what}"),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Looks up a required struct field in a serialized map.
+pub fn field<'a>(entries: &'a [(String, Value)], name: &str) -> Result<&'a Value, Error> {
+    entries
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| Error::custom(format!("missing field `{name}`")))
+}
+
+/// Types that can be converted to a [`Value`].
+pub trait Serialize {
+    /// Converts `self` to a serialized value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a serialized value tree.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::expected("bool")),
+        }
+    }
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let raw = match value {
+                    Value::U64(u) => *u,
+                    Value::I64(i) if *i >= 0 => *i as u64,
+                    _ => return Err(Error::expected(stringify!($t))),
+                };
+                <$t>::try_from(raw).map_err(|_| Error::expected(stringify!($t)))
+            }
+        }
+    )*};
+}
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::U64(v as u64)
+                } else {
+                    Value::I64(v)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let raw: i64 = match value {
+                    Value::U64(u) => i64::try_from(*u).map_err(|_| Error::expected(stringify!($t)))?,
+                    Value::I64(i) => *i,
+                    _ => return Err(Error::expected(stringify!($t))),
+                };
+                <$t>::try_from(raw).map_err(|_| Error::expected(stringify!($t)))
+            }
+        }
+    )*};
+}
+impl_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::F64(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::F64(f) => Ok(*f as $t),
+                    Value::U64(u) => Ok(*u as $t),
+                    Value::I64(i) => Ok(*i as $t),
+                    _ => Err(Error::expected(stringify!($t))),
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let s = value.as_str().ok_or_else(|| Error::expected("char"))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::expected("single-char string")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::expected("string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => {
+                let inner = v.to_value();
+                // Distinguish Some(Null)-like payloads is unnecessary here:
+                // no workspace type nests Option<Option<_>>.
+                inner
+            }
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(()),
+            _ => Err(Error::expected("null")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_seq()
+            .ok_or_else(|| Error::expected("sequence"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Vec::<T>::from_value(value).map(VecDeque::from)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let items = Vec::<T>::from_value(value)?;
+        let len = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| Error::custom(format!("expected array of length {N}, got {len}")))
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value.as_seq() {
+            Some([a, b]) => Ok((A::from_value(a)?, B::from_value(b)?)),
+            _ => Err(Error::expected("2-tuple")),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value.as_seq() {
+            Some([a, b, c]) => Ok((A::from_value(a)?, B::from_value(b)?, C::from_value(c)?)),
+            _ => Err(Error::expected("3-tuple")),
+        }
+    }
+}
+
+// Maps serialize as sequences of `[key, value]` pairs so that non-string
+// keys (NodeId, VgroupId, …) round-trip without a string conversion.
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Seq(
+            self.iter()
+                .map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Vec::<(K, V)>::from_value(value).map(BTreeMap::from_iter)
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Seq(
+            self.iter()
+                .map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Vec::<(K, V)>::from_value(value).map(HashMap::from_iter)
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Vec::<T>::from_value(value).map(BTreeSet::from_iter)
+    }
+}
+
+impl<T: Serialize> Serialize for HashSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Eq + Hash> Deserialize for HashSet<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Vec::<T>::from_value(value).map(HashSet::from_iter)
+    }
+}
+
+impl Serialize for std::time::Duration {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![
+            Value::U64(self.as_secs()),
+            Value::U64(self.subsec_nanos() as u64),
+        ])
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let (secs, nanos) = <(u64, u32)>::from_value(value)?;
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&2.5f64.to_value()).unwrap(), 2.5);
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+        assert!(bool::from_value(&true.to_value()).unwrap());
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1u64, 2, 3];
+        assert_eq!(Vec::<u64>::from_value(&v.to_value()).unwrap(), v);
+
+        let mut m = BTreeMap::new();
+        m.insert(10u64, "a".to_string());
+        m.insert(20u64, "b".to_string());
+        assert_eq!(
+            BTreeMap::<u64, String>::from_value(&m.to_value()).unwrap(),
+            m
+        );
+
+        let arr = [5u8; 4];
+        assert_eq!(<[u8; 4]>::from_value(&arr.to_value()).unwrap(), arr);
+
+        let opt: Option<u64> = Some(9);
+        assert_eq!(Option::<u64>::from_value(&opt.to_value()).unwrap(), opt);
+        let none: Option<u64> = None;
+        assert_eq!(Option::<u64>::from_value(&none.to_value()).unwrap(), none);
+    }
+
+    #[test]
+    fn wrong_type_errors() {
+        assert!(u8::from_value(&Value::Str("x".into())).is_err());
+        assert!(u8::from_value(&Value::U64(300)).is_err());
+        assert!(Vec::<u64>::from_value(&Value::Bool(true)).is_err());
+    }
+}

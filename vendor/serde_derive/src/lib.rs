@@ -1,0 +1,526 @@
+//! Vendored `#[derive(Serialize, Deserialize)]` for the minimal serde
+//! stand-in in `vendor/serde`.
+//!
+//! The build container cannot reach crates.io, so this derive is written
+//! against `proc_macro` alone (no `syn`/`quote`): it hand-parses the item
+//! token stream far enough to learn the type's shape (named/tuple/unit
+//! struct, enum variants, generic parameters) and emits `to_value` /
+//! `from_value` implementations over the [`serde::Value`] tree model.
+//!
+//! Supported shapes — everything this workspace derives on:
+//! structs with named fields, tuple structs (including newtypes), unit
+//! structs, and enums whose variants are unit, tuple or struct-like,
+//! with optional type parameters (bounds are carried over).
+
+#![forbid(unsafe_code)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (the vendored mini-serde trait).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_serialize(&item).parse().expect("generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize` (the vendored mini-serde trait).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_deserialize(&item).parse().expect("generated Deserialize impl must parse")
+}
+
+struct GenericParam {
+    name: String,
+    bounds: String,
+}
+
+struct Item {
+    name: String,
+    generics: Vec<GenericParam>,
+    kind: Kind,
+}
+
+enum Kind {
+    UnitStruct,
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn is_punct(tok: &TokenTree, ch: char) -> bool {
+    matches!(tok, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+fn is_group(tok: &TokenTree, delim: Delimiter) -> bool {
+    matches!(tok, TokenTree::Group(g) if g.delimiter() == delim)
+}
+
+/// Advances past any `#[...]` attributes (including doc comments, which
+/// reach the macro as `#[doc = "..."]`).
+fn skip_attributes(toks: &[TokenTree], mut i: usize) -> usize {
+    while i < toks.len() && is_punct(&toks[i], '#') {
+        i += 1;
+        if i < toks.len() && is_group(&toks[i], Delimiter::Bracket) {
+            i += 1;
+        }
+    }
+    i
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attributes(&toks, 0);
+
+    // Visibility: `pub`, optionally followed by `(crate)` etc.
+    if matches!(&toks[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+        i += 1;
+        if i < toks.len() && is_group(&toks[i], Delimiter::Parenthesis) {
+            i += 1;
+        }
+    }
+
+    let item_kind = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("derive: expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("derive: expected type name, found {other}"),
+    };
+    i += 1;
+
+    // Generic parameters.
+    let mut generics = Vec::new();
+    if i < toks.len() && is_punct(&toks[i], '<') {
+        i += 1;
+        let mut depth = 1usize;
+        while i < toks.len() && depth > 0 {
+            if is_punct(&toks[i], '<') {
+                depth += 1;
+                i += 1;
+            } else if is_punct(&toks[i], '>') {
+                depth -= 1;
+                i += 1;
+            } else if depth == 1 {
+                match &toks[i] {
+                    TokenTree::Ident(id) if id.to_string() == "const" => {
+                        panic!("derive: const generics are not supported")
+                    }
+                    TokenTree::Punct(p) if p.as_char() == '\'' => {
+                        panic!("derive: lifetime parameters are not supported")
+                    }
+                    TokenTree::Ident(id) => {
+                        let pname = id.to_string();
+                        i += 1;
+                        let mut bounds = String::new();
+                        if i < toks.len() && is_punct(&toks[i], ':') {
+                            i += 1;
+                            let mut bdepth = 0usize;
+                            while i < toks.len() {
+                                if is_punct(&toks[i], '<') {
+                                    bdepth += 1;
+                                } else if is_punct(&toks[i], '>') {
+                                    if bdepth == 0 {
+                                        break;
+                                    }
+                                    bdepth -= 1;
+                                } else if bdepth == 0 && is_punct(&toks[i], ',') {
+                                    break;
+                                }
+                                bounds.push_str(&toks[i].to_string());
+                                bounds.push(' ');
+                                i += 1;
+                            }
+                        }
+                        generics.push(GenericParam {
+                            name: pname,
+                            bounds,
+                        });
+                        if i < toks.len() && is_punct(&toks[i], ',') {
+                            i += 1;
+                        }
+                    }
+                    other => panic!("derive: unexpected token in generics: {other}"),
+                }
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    // Optional where clause: skip until the body.
+    if i < toks.len() && matches!(&toks[i], TokenTree::Ident(id) if id.to_string() == "where") {
+        while i < toks.len() && !is_group(&toks[i], Delimiter::Brace) && !is_punct(&toks[i], ';') {
+            i += 1;
+        }
+    }
+
+    let kind = if item_kind == "struct" {
+        if i >= toks.len() || is_punct(&toks[i], ';') {
+            Kind::UnitStruct
+        } else if is_group(&toks[i], Delimiter::Brace) {
+            match &toks[i] {
+                TokenTree::Group(g) => Kind::NamedStruct(parse_named_fields(g.stream())),
+                _ => unreachable!(),
+            }
+        } else if is_group(&toks[i], Delimiter::Parenthesis) {
+            match &toks[i] {
+                TokenTree::Group(g) => Kind::TupleStruct(count_tuple_fields(g.stream())),
+                _ => unreachable!(),
+            }
+        } else {
+            panic!("derive: malformed struct body")
+        }
+    } else if item_kind == "enum" {
+        match &toks[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("derive: expected enum body, found {other}"),
+        }
+    } else {
+        panic!("derive: only structs and enums are supported, found `{item_kind}`")
+    };
+
+    Item {
+        name,
+        generics,
+        kind,
+    }
+}
+
+/// Extracts the field names of a named-field body (`{ a: T, b: U }`).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        i = skip_attributes(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        if matches!(&toks[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+            i += 1;
+            if i < toks.len() && is_group(&toks[i], Delimiter::Parenthesis) {
+                i += 1;
+            }
+        }
+        match &toks[i] {
+            TokenTree::Ident(id) => fields.push(id.to_string()),
+            other => panic!("derive: expected field name, found {other}"),
+        }
+        i += 1;
+        // Skip `: Type` up to the next top-level comma.
+        let mut depth = 0usize;
+        while i < toks.len() {
+            if is_punct(&toks[i], '<') {
+                depth += 1;
+            } else if is_punct(&toks[i], '>') {
+                depth = depth.saturating_sub(1);
+            } else if depth == 0 && is_punct(&toks[i], ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Counts the fields of a tuple body (`(T, U)`).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut count = 1usize;
+    let mut depth = 0usize;
+    let mut saw_token_since_comma = false;
+    for tok in &toks {
+        if is_punct(tok, '<') {
+            depth += 1;
+        } else if is_punct(tok, '>') {
+            depth = depth.saturating_sub(1);
+        } else if depth == 0 && is_punct(tok, ',') {
+            saw_token_since_comma = false;
+            count += 1;
+            continue;
+        }
+        saw_token_since_comma = true;
+    }
+    if !saw_token_since_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        i = skip_attributes(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("derive: expected variant name, found {other}"),
+        };
+        i += 1;
+        let mut fields = VariantFields::Unit;
+        if i < toks.len() {
+            if let TokenTree::Group(g) = &toks[i] {
+                match g.delimiter() {
+                    Delimiter::Parenthesis => {
+                        fields = VariantFields::Tuple(count_tuple_fields(g.stream()));
+                        i += 1;
+                    }
+                    Delimiter::Brace => {
+                        fields = VariantFields::Named(parse_named_fields(g.stream()));
+                        i += 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // Skip an explicit discriminant (`= expr`) up to the next comma.
+        while i < toks.len() && !is_punct(&toks[i], ',') {
+            i += 1;
+        }
+        if i < toks.len() {
+            i += 1; // the comma
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+/// Renders `impl<...>` generics with an extra trait bound per type param,
+/// and the `<...>` type-argument list.
+fn render_generics(item: &Item, extra_bound: &str) -> (String, String) {
+    if item.generics.is_empty() {
+        return (String::new(), String::new());
+    }
+    let impl_params: Vec<String> = item
+        .generics
+        .iter()
+        .map(|p| {
+            if p.bounds.trim().is_empty() {
+                format!("{}: {extra_bound}", p.name)
+            } else {
+                format!("{}: {} + {extra_bound}", p.name, p.bounds)
+            }
+        })
+        .collect();
+    let ty_params: Vec<String> = item.generics.iter().map(|p| p.name.clone()).collect();
+    (
+        format!("<{}>", impl_params.join(", ")),
+        format!("<{}>", ty_params.join(", ")),
+    )
+}
+
+fn generate_serialize(item: &Item) -> String {
+    let (impl_generics, ty_generics) = render_generics(item, "serde::Serialize");
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::UnitStruct => "serde::Value::Null".to_string(),
+        Kind::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Kind::TupleStruct(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!("serde::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => format!(
+                            "{name}::{vname} => serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+                        ),
+                        VariantFields::Tuple(1) => format!(
+                            "{name}::{vname}(__f0) => serde::Value::Map(::std::vec![(::std::string::String::from(\"{vname}\"), serde::Serialize::to_value(__f0))]),"
+                        ),
+                        VariantFields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|k| format!("serde::Serialize::to_value(__f{k})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => serde::Value::Map(::std::vec![(::std::string::String::from(\"{vname}\"), serde::Value::Seq(::std::vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantFields::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => serde::Value::Map(::std::vec![(::std::string::String::from(\"{vname}\"), serde::Value::Map(::std::vec![{}]))]),",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl{impl_generics} serde::Serialize for {name}{ty_generics} {{\n\
+             fn to_value(&self) -> serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn generate_deserialize(item: &Item) -> String {
+    let (impl_generics, ty_generics) = render_generics(item, "serde::Deserialize");
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::UnitStruct => format!(
+            "match __v {{ serde::Value::Null => ::std::result::Result::Ok({name}), _ => ::std::result::Result::Err(serde::Error::expected(\"null\")) }}"
+        ),
+        Kind::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: serde::Deserialize::from_value(serde::field(__m, \"{f}\")?)?")
+                })
+                .collect();
+            format!(
+                "let __m = __v.as_map().ok_or_else(|| serde::Error::expected(\"map for struct {name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Kind::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(serde::Deserialize::from_value(__v)?))")
+        }
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("serde::Deserialize::from_value(&__s[{k}])?"))
+                .collect();
+            format!(
+                "let __s = __v.as_seq().ok_or_else(|| serde::Error::expected(\"sequence for struct {name}\"))?;\n\
+                 if __s.len() != {n} {{ return ::std::result::Result::Err(serde::Error::expected(\"{n} tuple fields\")); }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, VariantFields::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{0}\" => ::std::result::Result::Ok({name}::{0}),",
+                        v.name
+                    )
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => None,
+                        VariantFields::Tuple(1) => Some(format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(serde::Deserialize::from_value(__payload)?)),"
+                        )),
+                        VariantFields::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|k| format!("serde::Deserialize::from_value(&__s[{k}])?"))
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => {{\n\
+                                     let __s = __payload.as_seq().ok_or_else(|| serde::Error::expected(\"sequence for variant {vname}\"))?;\n\
+                                     if __s.len() != {n} {{ return ::std::result::Result::Err(serde::Error::expected(\"{n} fields for variant {vname}\")); }}\n\
+                                     ::std::result::Result::Ok({name}::{vname}({}))\n\
+                                 }}",
+                                items.join(", ")
+                            ))
+                        }
+                        VariantFields::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: serde::Deserialize::from_value(serde::field(__m, \"{f}\")?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => {{\n\
+                                     let __m = __payload.as_map().ok_or_else(|| serde::Error::expected(\"map for variant {vname}\"))?;\n\
+                                     ::std::result::Result::Ok({name}::{vname} {{ {} }})\n\
+                                 }}",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            let str_arm = if unit_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "serde::Value::Str(__s) => match __s.as_str() {{ {} _ => ::std::result::Result::Err(serde::Error::custom(::std::format!(\"unknown variant `{{__s}}` of {name}\"))) }},",
+                    unit_arms.join(" ")
+                )
+            };
+            let map_arm = if data_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                         let (__tag, __payload) = &__entries[0];\n\
+                         match __tag.as_str() {{ {} _ => ::std::result::Result::Err(serde::Error::custom(::std::format!(\"unknown variant `{{__tag}}` of {name}\"))) }}\n\
+                     }},",
+                    data_arms.join(" ")
+                )
+            };
+            format!(
+                "match __v {{ {str_arm} {map_arm} _ => ::std::result::Result::Err(serde::Error::expected(\"enum {name}\")) }}"
+            )
+        }
+    };
+    format!(
+        "impl{impl_generics} serde::Deserialize for {name}{ty_generics} {{\n\
+             fn from_value(__v: &serde::Value) -> ::std::result::Result<Self, serde::Error> {{ {body} }}\n\
+         }}"
+    )
+}
