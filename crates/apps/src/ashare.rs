@@ -684,9 +684,17 @@ mod tests {
         assert_eq!(meta.owner, NodeId::new(1));
         assert_eq!(meta.digests.len(), 10);
         assert_eq!(ctx.queued_broadcasts().len(), 1);
-        assert!(app.stored_files().contains(&(NodeId::new(1), "movie.mkv".into())));
+        assert!(app
+            .stored_files()
+            .contains(&(NodeId::new(1), "movie.mkv".into())));
         let decoded = Announce::decode(&ctx.queued_broadcasts()[0]).unwrap();
-        assert!(matches!(decoded, Announce::Put { size: 1_000_000, .. }));
+        assert!(matches!(
+            decoded,
+            Announce::Put {
+                size: 1_000_000,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -771,8 +779,7 @@ mod tests {
             for (_, payload, _) in &replies {
                 reader.on_app_message(NodeId::new(1), payload, &mut reader_ctx2);
             }
-            outstanding = reader_ctx2
-                .queued_app_messages().to_vec();
+            outstanding = reader_ctx2.queued_app_messages().to_vec();
         }
         assert_eq!(reader.completed_gets().len(), 1);
         let outcome = &reader.completed_gets()[0];
@@ -843,11 +850,19 @@ mod tests {
         byz.on_app_message(NodeId::new(2), &request.encode(), &mut byz_ctx);
         assert_eq!(byz_ctx.queued_app_messages().len(), 1);
         let mut reader_ctx2 = ctx_for(2, 30);
-        reader.on_app_message(NodeId::new(3), &byz_ctx.queued_app_messages()[0].1, &mut reader_ctx2);
+        reader.on_app_message(
+            NodeId::new(3),
+            &byz_ctx.queued_app_messages()[0].1,
+            &mut reader_ctx2,
+        );
         // The corrupt chunk was rejected: still in flight, one retry issued.
         assert_eq!(reader.completed_gets().len(), 0);
         assert_eq!(reader.gets_in_flight(), 1);
-        assert_eq!(reader_ctx2.queued_app_messages().len(), 1, "a re-pull was issued");
+        assert_eq!(
+            reader_ctx2.queued_app_messages().len(),
+            1,
+            "a re-pull was issued"
+        );
     }
 
     #[test]

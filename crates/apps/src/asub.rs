@@ -83,11 +83,7 @@ impl AsubNode {
     /// # Errors
     ///
     /// Propagates the underlying [`AtumNode::join`] error.
-    pub fn subscribe(
-        &mut self,
-        contact: NodeId,
-        ctx: &mut Context<'_, AtumMessage>,
-    ) -> Result<()> {
+    pub fn subscribe(&mut self, contact: NodeId, ctx: &mut Context<'_, AtumMessage>) -> Result<()> {
         self.node.join(contact, ctx)
     }
 

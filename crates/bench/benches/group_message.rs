@@ -13,8 +13,13 @@ fn collect(messages: u64, group_size: u64) {
     for m in 0..messages {
         let digest = Digest::of(&m.to_be_bytes());
         for sender in 0..group_size {
-            if collector.observe(VgroupId::new(1), &composition, NodeId::new(sender), digest, true)
-            {
+            if collector.observe(
+                VgroupId::new(1),
+                &composition,
+                NodeId::new(sender),
+                digest,
+                true,
+            ) {
                 accepted += 1;
             }
         }

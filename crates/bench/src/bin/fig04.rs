@@ -2,7 +2,7 @@
 //! endpoint distribution is indistinguishable from uniform (Pearson χ²,
 //! confidence 0.99) for each overlay density `hc` and number of vgroups.
 
-use atum_bench::{print_header, scaled};
+use atum_bench::{print_header, scaled, BenchRecord};
 use atum_overlay::{simulate_walk_hits, HGraph};
 use atum_sim::is_uniform_99;
 use atum_types::VgroupId;
@@ -45,8 +45,16 @@ fn main() {
     for &v in &vgroup_counts {
         print!("{v:>10}");
         for &hc in &hcs {
-            let rwl = optimal_rwl(v, hc, walks_per_group, 1000 + v as u64 + hc as u64);
+            let seed = 1000 + v as u64 + hc as u64;
+            let rwl = optimal_rwl(v, hc, walks_per_group, seed);
             print!("{rwl:>6}");
+            atum_bench::emit(
+                &BenchRecord::new("fig04", seed)
+                    .param("vgroups", v)
+                    .param("hc", hc)
+                    .param("walks_per_group", walks_per_group)
+                    .metric("rwl", rwl),
+            );
         }
         println!();
     }

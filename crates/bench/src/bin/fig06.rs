@@ -2,7 +2,7 @@
 //! of the current size per minute, for the synchronous and asynchronous
 //! implementations.
 
-use atum_bench::{experiment_params, print_header, scaled};
+use atum_bench::{experiment_params, print_header, scaled, BenchRecord};
 use atum_sim::run_growth;
 use atum_simnet::NetConfig;
 use atum_types::{Duration, SmrMode};
@@ -23,7 +23,22 @@ fn main() {
                 SmrMode::Synchronous => NetConfig::lan(),
                 SmrMode::Asynchronous => NetConfig::wan(),
             };
-            let report = run_growth(params, net, 6 + target as u64, target, 0.08, max_sim);
+            let seed = 6 + target as u64;
+            let report = run_growth(params, net, seed, target, 0.08, max_sim);
+            let final_members = report.size_over_time.last().map(|&(_, n)| n).unwrap_or(0);
+            atum_bench::emit(
+                &BenchRecord::new("fig06", seed)
+                    .param("mode", format!("{mode:?}"))
+                    .param("target", target)
+                    .param("join_rate", 0.08)
+                    .metric("final_members", final_members)
+                    .metric("reached", report.reached_target)
+                    .metric("elapsed_secs", report.elapsed_secs)
+                    .metric(
+                        "exchange_completion_rate",
+                        report.exchange_completion_rate(),
+                    ),
+            );
             println!();
             println!(
                 "--- {mode:?}, target {target} nodes: reached={} in {:.0}s",

@@ -3,7 +3,7 @@
 //! a classic gossip simulation and a flat synchronous SMR across the whole
 //! system.
 
-use atum_bench::{experiment_params, print_header, scaled};
+use atum_bench::{experiment_params, print_header, scaled, BenchRecord};
 use atum_core::CollectingApp;
 use atum_sim::{
     flat_smr_latency, run_broadcast_workload, simulate_classic_gossip, ClusterBuilder,
@@ -37,6 +37,17 @@ fn atum_series(n: usize, byzantine: usize, mode: SmrMode, broadcasts: usize) -> 
         "  [N={n}, byz={byzantine}, {mode:?}] delivery ratio {:.3}, mean hops {:.1}",
         report.delivery_ratio(),
         report.mean_hops
+    );
+    let mut latencies = report.latencies.clone();
+    atum_bench::emit(
+        &BenchRecord::new("fig08", 8_000 + n as u64 + byzantine as u64)
+            .param("nodes", n)
+            .param("byzantine", byzantine)
+            .param("mode", format!("{mode:?}"))
+            .metric("delivery_ratio", report.delivery_ratio())
+            .metric("mean_hops", report.mean_hops)
+            .metric("latency_mean_secs", latencies.mean())
+            .metric("latency_p90_secs", latencies.percentile(90.0)),
     );
     report.latencies
 }

@@ -5,15 +5,16 @@
 
 use atum_apps::ashare::{chunk_digest, FileMeta};
 use atum_apps::{AShareApp, AShareConfig};
-use atum_bench::{experiment_params, print_header, scaled};
+use atum_bench::{experiment_params, print_header, scaled, BenchRecord};
 use atum_sim::ClusterBuilder;
 use atum_simnet::NetConfig;
 use atum_types::{Duration, NodeId};
 use std::collections::BTreeSet;
 
 /// Runs one read of a synthetic file of `size` bytes with the given chunking
-/// and replica placement, returning seconds per MB.
-fn measure_read(size: u64, chunks: usize, replicas: usize) -> f64 {
+/// and replica placement, returning seconds per MB. `seed` drives the
+/// cluster construction (and is what the bench record reports).
+fn measure_read(size: u64, chunks: usize, replicas: usize, seed: u64) -> f64 {
     let params = experiment_params(10, 250);
     let config = AShareConfig {
         rho: 2,
@@ -25,13 +26,15 @@ fn measure_read(size: u64, chunks: usize, replicas: usize) -> f64 {
     let mut cluster = ClusterBuilder::new(10)
         .params(params)
         .net(NetConfig::lan())
-        .seed(900 + size % 1000 + chunks as u64)
+        .seed(seed)
         .build(|_| AShareApp::new(config.clone()));
 
     let owner = NodeId::new(0);
     let reader = NodeId::new(9);
     let name = "payload.bin".to_string();
-    let digests: Vec<_> = (0..chunks).map(|c| chunk_digest(owner, &name, size, c)).collect();
+    let digests: Vec<_> = (0..chunks)
+        .map(|c| chunk_digest(owner, &name, size, c))
+        .collect();
     let mut replica_set: BTreeSet<NodeId> = BTreeSet::new();
     replica_set.insert(owner);
     for r in 1..replicas as u64 {
@@ -105,19 +108,32 @@ fn main() {
         "size (MB)", "NFS4 (s/MB)", "AShare simple", "AShare parallel"
     );
     for &size in &sizes {
+        // One row spans three runs; the single-chunk configurations share a
+        // cluster seed, the parallel one differs by its chunk count. Both
+        // seeds go into the record so each run can be reproduced.
+        let seed_single = 900 + size % 1000 + 1;
+        let seed_parallel = 900 + size % 1000 + 10;
         // NFS baseline: one server, whole-file transfer (no chunking, no
         // metadata layer).
-        let nfs = measure_read(size, 1, 1);
+        let nfs = measure_read(size, 1, 1, seed_single);
         // AShare simple: single chunk from a single replica.
-        let simple = measure_read(size, 1, 1);
+        let simple = measure_read(size, 1, 1, seed_single);
         // AShare parallel: 10 chunks pulled from two replicas.
-        let parallel = measure_read(size, 10, 2);
+        let parallel = measure_read(size, 10, 2, seed_parallel);
         println!(
             "{:>10} {:>14.3} {:>16.3} {:>18.3}",
             size / mb,
             nfs,
             simple,
             parallel
+        );
+        atum_bench::emit(
+            &BenchRecord::new("fig09", seed_single)
+                .param("size_mb", size / mb)
+                .param("seed_parallel", seed_parallel)
+                .metric("nfs_secs_per_mb", nfs)
+                .metric("simple_secs_per_mb", simple)
+                .metric("parallel_secs_per_mb", parallel),
         );
     }
     println!();

@@ -10,5 +10,5 @@ fn main() {
     );
     let nodes = scaled(20, 50);
     let files = scaled(40, 500);
-    atum_bench::figshare::run(nodes, files, scaled(3, 7), 42);
+    atum_bench::figshare::run("fig10", nodes, files, scaled(3, 7), 42);
 }

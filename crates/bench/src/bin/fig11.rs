@@ -11,5 +11,5 @@ fn main() {
     );
     let nodes = scaled(30, 100);
     let files = scaled(60, 1000);
-    atum_bench::figshare::run(nodes, files, scaled(3, 7), 43);
+    atum_bench::figshare::run("fig11", nodes, files, scaled(3, 7), 43);
 }

@@ -4,7 +4,7 @@
 
 use atum_apps::astream::build_forest;
 use atum_apps::{AStreamApp, AStreamConfig};
-use atum_bench::{experiment_params, print_header, scaled};
+use atum_bench::{experiment_params, print_header, scaled, BenchRecord};
 use atum_sim::{ClusterBuilder, LatencySeries};
 use atum_simnet::NetConfig;
 use atum_types::{Duration, GossipPolicy, NodeId};
@@ -44,9 +44,7 @@ fn run_stream(n: usize, cycles: u8, seed: u64) -> (f64, f64) {
             n.app_call(ctx, |app, actx| app.publish_chunk(i, actx));
         });
     }
-    cluster
-        .sim
-        .run_for(Duration::from_secs(chunks + 60));
+    cluster.sim.run_for(Duration::from_secs(chunks + 60));
 
     // Second-tier latency: receipt time minus the moment tier one delivered
     // the digest at that node (the paper reports the two tiers separately;
@@ -71,9 +69,7 @@ fn run_stream(n: usize, cycles: u8, seed: u64) -> (f64, f64) {
         }
     }
     let expected = (n as u64 - 1) * chunks;
-    println!(
-        "  [N={n}, cycles={cycles}] chunk deliveries {delivered}/{expected}",
-    );
+    println!("  [N={n}, cycles={cycles}] chunk deliveries {delivered}/{expected}",);
     (tier2.mean() * 1000.0, {
         let mut t = tier2;
         t.percentile(90.0) * 1000.0
@@ -92,12 +88,22 @@ fn main() {
     );
     for &n in &sizes {
         for cycles in [1u8, 2] {
-            let (mean_ms, p90_ms) = run_stream(n, cycles, 1_200 + n as u64 + cycles as u64);
+            let seed = 1_200 + n as u64 + cycles as u64;
+            let (mean_ms, p90_ms) = run_stream(n, cycles, seed);
             let label = if cycles == 1 { "Single" } else { "Double" };
             println!("{n:>6} {label:>14} {mean_ms:>20.0} {p90_ms:>20.0}");
+            atum_bench::emit(
+                &BenchRecord::new("fig12", seed)
+                    .param("nodes", n)
+                    .param("cycles", cycles)
+                    .metric("tier2_mean_ms", mean_ms)
+                    .metric("tier2_p90_ms", p90_ms),
+            );
         }
     }
     println!();
     println!("Expected shape: the second tier adds only a few hundred milliseconds; using two");
-    println!("cycles for the digests lowers latency relative to a single cycle (paper: 100-900 ms).");
+    println!(
+        "cycles for the digests lowers latency relative to a single cycle (paper: 100-900 ms)."
+    );
 }

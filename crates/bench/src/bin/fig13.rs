@@ -2,7 +2,7 @@
 //! faster suppresses more shuffle exchanges (lower exchange completion rate)
 //! while reaching the target size sooner.
 
-use atum_bench::{experiment_params, print_header, scaled};
+use atum_bench::{experiment_params, print_header, scaled, BenchRecord};
 use atum_sim::run_growth;
 use atum_simnet::NetConfig;
 use atum_types::Duration;
@@ -20,14 +20,8 @@ fn main() {
     );
     for rate in [0.08, 0.20, 0.24] {
         let params = experiment_params(target, 1_000);
-        let report = run_growth(
-            params,
-            NetConfig::lan(),
-            1_300 + (rate * 100.0) as u64,
-            target,
-            rate,
-            max_sim,
-        );
+        let seed = 1_300 + (rate * 100.0) as u64;
+        let report = run_growth(params, NetConfig::lan(), seed, target, rate, max_sim);
         println!(
             "{:>9}% {:>16.0} {:>14.3} {:>12} {:>12}",
             (rate * 100.0) as u32,
@@ -35,6 +29,19 @@ fn main() {
             report.exchange_completion_rate(),
             report.exchanges_completed,
             report.exchanges_suppressed
+        );
+        atum_bench::emit(
+            &BenchRecord::new("fig13", seed)
+                .param("target", target)
+                .param("join_rate", rate)
+                .metric("time_to_target_secs", report.elapsed_secs)
+                .metric(
+                    "exchange_completion_rate",
+                    report.exchange_completion_rate(),
+                )
+                .metric("exchanges_completed", report.exchanges_completed)
+                .metric("exchanges_suppressed", report.exchanges_suppressed)
+                .metric("reached", report.reached_target),
         );
     }
     println!();

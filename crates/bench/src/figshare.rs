@@ -1,157 +1,173 @@
 //! Shared implementation of the AShare Byzantine-read experiments
 //! (Figures 10 and 11), which differ only in scale.
 
-    use atum_apps::ashare::{chunk_digest, FileMeta};
-    use atum_apps::{AShareApp, AShareConfig};
-    use crate::experiment_params;
-    use atum_sim::{ClusterBuilder, LatencySeries};
-    use atum_simnet::NetConfig;
-    use atum_types::{Duration, NodeId};
-    use rand::seq::SliceRandom;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
-    use std::collections::BTreeSet;
+use crate::experiment_params;
+use atum_apps::ashare::{chunk_digest, FileMeta};
+use atum_apps::{AShareApp, AShareConfig};
+use atum_sim::{ClusterBuilder, LatencySeries};
+use atum_simnet::NetConfig;
+use atum_types::{Duration, NodeId};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeSet;
 
-    /// Runs the experiment and prints the table.
-    pub fn run(nodes: usize, files: usize, byzantine: usize, seed: u64) {
-        let chunk_count = 10usize;
-        let file_size = 10 * 1024 * 1024u64; // 10 chunks of 1 MB, as in the paper
-        let params = experiment_params(nodes, 250);
-        let config = AShareConfig {
-            rho: 8,
-            chunks_per_file: chunk_count,
-            system_size: nodes,
-            corrupt_replicas: false,
-            participate_in_replication: false,
+/// Runs the experiment and prints the table. `figure` names the bench
+/// record this run emits (`fig10` / `fig11`).
+pub fn run(figure: &str, nodes: usize, files: usize, byzantine: usize, seed: u64) {
+    let chunk_count = 10usize;
+    let file_size = 10 * 1024 * 1024u64; // 10 chunks of 1 MB, as in the paper
+    let params = experiment_params(nodes, 250);
+    let config = AShareConfig {
+        rho: 8,
+        chunks_per_file: chunk_count,
+        system_size: nodes,
+        corrupt_replicas: false,
+        participate_in_replication: false,
+    };
+    let mut cluster = ClusterBuilder::new(nodes)
+        .params(params)
+        .net(NetConfig::lan())
+        .seed(seed)
+        .build(|_| AShareApp::new(config.clone()));
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+
+    // The first `byzantine` node ids corrupt every replica they store.
+    let byz: BTreeSet<NodeId> = (0..byzantine as u64).map(NodeId::new).collect();
+    for id in byz.iter() {
+        let byz_config = AShareConfig {
+            corrupt_replicas: true,
+            ..config.clone()
         };
-        let mut cluster = ClusterBuilder::new(nodes)
-            .params(params)
-            .net(NetConfig::lan())
-            .seed(seed)
-            .build(|_| AShareApp::new(config.clone()));
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
-
-        // The first `byzantine` node ids corrupt every replica they store.
-        let byz: BTreeSet<NodeId> = (0..byzantine as u64).map(NodeId::new).collect();
-        for id in byz.iter() {
-            let byz_config = AShareConfig {
-                corrupt_replicas: true,
-                ..config.clone()
-            };
-            cluster.sim.call(*id, move |node, ctx| {
-                node.app_call(ctx, |app, _| *app = AShareApp::new(byz_config.clone()));
-            });
-        }
-
-        // Create the file population: each file gets between 8 and 20
-        // replicas placed on random nodes (never the designated reader).
-        let reader = NodeId::new(nodes as u64 - 1);
-        let all_nodes: Vec<NodeId> = (0..nodes as u64 - 1).map(NodeId::new).collect();
-        let mut plan: Vec<(String, NodeId, BTreeSet<NodeId>)> = Vec::new();
-        for f in 0..files {
-            let replica_count = 8 + (f % 13); // 8..=20
-            // Half of the file population is placed only on correct nodes
-            // (the paper's "all replicas correct" series); the other half
-            // may land on Byzantine holders.
-            let mut candidates: Vec<NodeId> = if f % 2 == 0 {
-                all_nodes.iter().copied().filter(|h| !byz.contains(h)).collect()
-            } else {
-                all_nodes.clone()
-            };
-            candidates.shuffle(&mut rng);
-            let mut holders = candidates;
-            holders.truncate(replica_count);
-            let owner = *holders
-                .iter()
-                .find(|h| !byz.contains(h))
-                .unwrap_or(&holders[0]);
-            plan.push((format!("file-{f}"), owner, holders.into_iter().collect()));
-        }
-
-        // Seed indexes and replicas everywhere.
-        for id in cluster.initial_nodes.clone() {
-            let plan = plan.clone();
-            cluster.sim.call(id, move |node, ctx| {
-                node.app_call(ctx, |app, _| {
-                    for (name, owner, holders) in &plan {
-                        let digests: Vec<_> = (0..10)
-                            .map(|c| chunk_digest(*owner, name, file_size, c))
-                            .collect();
-                        app.seed_file(FileMeta {
-                            owner: *owner,
-                            name: name.clone(),
-                            size: file_size,
-                            digests,
-                            replicas: holders.clone(),
-                        });
-                        if holders.contains(&id) {
-                            app.seed_replica(id, *owner, name);
-                        }
-                    }
-                });
-            });
-        }
-        cluster.sim.run_for(Duration::from_secs(2));
-
-        // The reader reads every file; group latencies by replica count and
-        // by whether any replica holder is Byzantine.
-        let mut gap = Duration::from_secs(0);
-        for (name, owner, _) in &plan {
-            let name = name.clone();
-            let owner = *owner;
-            let at = cluster.sim.now() + gap;
-            cluster.sim.call_at(at, reader, move |node, ctx| {
-                node.app_call(ctx, |app, actx| {
-                    app.get(owner, &name, true, actx);
-                });
-            });
-            gap += Duration::from_millis(1_500);
-        }
-        cluster
-            .sim
-            .run_for(gap + Duration::from_secs(120));
-
-        let outcomes = cluster
-            .sim
-            .node(reader)
-            .unwrap()
-            .app()
-            .completed_gets()
-            .to_vec();
-        let mut buckets: std::collections::BTreeMap<(usize, bool), LatencySeries> =
-            std::collections::BTreeMap::new();
-        for outcome in &outcomes {
-            let entry = plan.iter().find(|(n, _, _)| *n == outcome.name).unwrap();
-            let faulty = entry.2.iter().any(|h| byz.contains(h));
-            buckets
-                .entry((entry.2.len(), faulty))
-                .or_default()
-                .push_secs(outcome.latency_per_mb());
-        }
-
-        println!(
-            "completed {} of {} reads; rows are replica counts",
-            outcomes.len(),
-            plan.len()
-        );
-        println!(
-            "{:>10} {:>26} {:>26}",
-            "replicas", "all replicas correct (s/MB)", "1..6 faulty replicas (s/MB)"
-        );
-        let counts: BTreeSet<usize> = buckets.keys().map(|(c, _)| *c).collect();
-        for count in counts {
-            let clean = buckets
-                .get(&(count, false))
-                .map(|s| s.mean())
-                .unwrap_or(f64::NAN);
-            let faulty = buckets
-                .get(&(count, true))
-                .map(|s| s.mean())
-                .unwrap_or(f64::NAN);
-            println!("{count:>10} {clean:>26.3} {faulty:>26.3}");
-        }
-        println!();
-        println!("Expected shape: reads touching corrupt replicas pay for re-pulled chunks; the");
-        println!("penalty shrinks as the replica count approaches the chunk count (paper: up to");
-        println!("3x for 8-9 replicas, negligible at 10+).");
+        cluster.sim.call(*id, move |node, ctx| {
+            node.app_call(ctx, |app, _| *app = AShareApp::new(byz_config.clone()));
+        });
     }
+
+    // Create the file population: each file gets between 8 and 20
+    // replicas placed on random nodes (never the designated reader).
+    let reader = NodeId::new(nodes as u64 - 1);
+    let all_nodes: Vec<NodeId> = (0..nodes as u64 - 1).map(NodeId::new).collect();
+    let mut plan: Vec<(String, NodeId, BTreeSet<NodeId>)> = Vec::new();
+    for f in 0..files {
+        let replica_count = 8 + (f % 13); // 8..=20
+                                          // Half of the file population is placed only on correct nodes
+                                          // (the paper's "all replicas correct" series); the other half
+                                          // may land on Byzantine holders.
+        let mut candidates: Vec<NodeId> = if f % 2 == 0 {
+            all_nodes
+                .iter()
+                .copied()
+                .filter(|h| !byz.contains(h))
+                .collect()
+        } else {
+            all_nodes.clone()
+        };
+        candidates.shuffle(&mut rng);
+        let mut holders = candidates;
+        holders.truncate(replica_count);
+        let owner = *holders
+            .iter()
+            .find(|h| !byz.contains(h))
+            .unwrap_or(&holders[0]);
+        plan.push((format!("file-{f}"), owner, holders.into_iter().collect()));
+    }
+
+    // Seed indexes and replicas everywhere.
+    for id in cluster.initial_nodes.clone() {
+        let plan = plan.clone();
+        cluster.sim.call(id, move |node, ctx| {
+            node.app_call(ctx, |app, _| {
+                for (name, owner, holders) in &plan {
+                    let digests: Vec<_> = (0..10)
+                        .map(|c| chunk_digest(*owner, name, file_size, c))
+                        .collect();
+                    app.seed_file(FileMeta {
+                        owner: *owner,
+                        name: name.clone(),
+                        size: file_size,
+                        digests,
+                        replicas: holders.clone(),
+                    });
+                    if holders.contains(&id) {
+                        app.seed_replica(id, *owner, name);
+                    }
+                }
+            });
+        });
+    }
+    cluster.sim.run_for(Duration::from_secs(2));
+
+    // The reader reads every file; group latencies by replica count and
+    // by whether any replica holder is Byzantine.
+    let mut gap = Duration::from_secs(0);
+    for (name, owner, _) in &plan {
+        let name = name.clone();
+        let owner = *owner;
+        let at = cluster.sim.now() + gap;
+        cluster.sim.call_at(at, reader, move |node, ctx| {
+            node.app_call(ctx, |app, actx| {
+                app.get(owner, &name, true, actx);
+            });
+        });
+        gap += Duration::from_millis(1_500);
+    }
+    cluster.sim.run_for(gap + Duration::from_secs(120));
+
+    let outcomes = cluster
+        .sim
+        .node(reader)
+        .unwrap()
+        .app()
+        .completed_gets()
+        .to_vec();
+    let mut buckets: std::collections::BTreeMap<(usize, bool), LatencySeries> =
+        std::collections::BTreeMap::new();
+    for outcome in &outcomes {
+        let entry = plan.iter().find(|(n, _, _)| *n == outcome.name).unwrap();
+        let faulty = entry.2.iter().any(|h| byz.contains(h));
+        buckets
+            .entry((entry.2.len(), faulty))
+            .or_default()
+            .push_secs(outcome.latency_per_mb());
+    }
+
+    println!(
+        "completed {} of {} reads; rows are replica counts",
+        outcomes.len(),
+        plan.len()
+    );
+    println!(
+        "{:>10} {:>26} {:>26}",
+        "replicas", "all replicas correct (s/MB)", "1..6 faulty replicas (s/MB)"
+    );
+    let counts: BTreeSet<usize> = buckets.keys().map(|(c, _)| *c).collect();
+    let mut record = crate::BenchRecord::new(figure, seed)
+        .param("nodes", nodes)
+        .param("files", files)
+        .param("byzantine", byzantine)
+        .metric("completed_reads", outcomes.len())
+        .metric("requested_reads", plan.len());
+    for count in counts {
+        let clean = buckets
+            .get(&(count, false))
+            .map(|s| s.mean())
+            .unwrap_or(f64::NAN);
+        let faulty = buckets
+            .get(&(count, true))
+            .map(|s| s.mean())
+            .unwrap_or(f64::NAN);
+        println!("{count:>10} {clean:>26.3} {faulty:>26.3}");
+        if clean.is_finite() {
+            record = record.metric(&format!("clean_secs_per_mb_r{count}"), clean);
+        }
+        if faulty.is_finite() {
+            record = record.metric(&format!("faulty_secs_per_mb_r{count}"), faulty);
+        }
+    }
+    crate::emit(&record);
+    println!();
+    println!("Expected shape: reads touching corrupt replicas pay for re-pulled chunks; the");
+    println!("penalty shrinks as the replica count approaches the chunk count (paper: up to");
+    println!("3x for 8-9 replicas, negligible at 10+).");
+}

@@ -10,13 +10,18 @@
 #![warn(missing_docs)]
 
 pub mod figshare;
+pub mod report;
+
+pub use report::{emit, json_sink, BenchRecord};
 
 use atum_types::{Duration, Params};
 
 /// `true` when the full paper-scale experiment was requested via
 /// `ATUM_FULL=1`.
 pub fn full_scale() -> bool {
-    std::env::var("ATUM_FULL").map(|v| v == "1").unwrap_or(false)
+    std::env::var("ATUM_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Picks the scaled or full value depending on [`full_scale`].
@@ -31,13 +36,27 @@ pub fn scaled<T>(default: T, full: T) -> T {
 /// Parameters used by the experiment binaries: the paper's Table 1 defaults
 /// with a configurable round length and overlay dimensioning from the
 /// Figure 4 guideline.
+///
+/// The expected vgroup count is derived from the Table 1 group-size model
+/// (`g = k·log₂ n`, [`Params::expected_group_size`]) rather than a
+/// hard-coded divisor, so changing `k` or the group bounds flows through to
+/// the overlay dimensioning.
 pub fn experiment_params(expected_nodes: usize, round_ms: u64) -> Params {
-    let groups = (expected_nodes / 7).max(2);
+    let params = Params::default().with_expected_size(expected_nodes);
+    let group_size = params.expected_group_size(expected_nodes).max(1);
+    let groups = (expected_nodes / group_size).max(2);
     let guideline = atum_types::recommended_params(groups);
-    Params::default()
-        .with_expected_size(expected_nodes)
+    params
         .with_overlay(guideline.hc, guideline.rwl)
         .with_round(Duration::from_millis(round_ms))
+        // Growth and churn experiments reconfigure vgroups every few
+        // seconds; stranded composition entries must be detected and healed
+        // on the same timescale, or the damage rate outruns the repair rate
+        // and memberships fragment (see the churny_cluster example for the
+        // same reasoning). The paper's coarse 60 s heartbeat (§5.1) is a
+        // bandwidth optimisation for steady state, not a good fit for the
+        // dynamic experiments.
+        .with_failure_detection(Duration::from_millis(round_ms.saturating_mul(5)), 3)
 }
 
 /// Prints a table header in the same spirit as the paper's figures.

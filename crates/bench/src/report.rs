@@ -1,0 +1,184 @@
+//! Machine-readable bench records: the perf-trajectory output of the
+//! experiment binaries.
+//!
+//! Every figure binary (and `bench_churn`) emits one [`BenchRecord`] per
+//! experimental run when a sink is configured, as one compact JSON object
+//! per line:
+//!
+//! ```json
+//! {"figure":"fig06","scale":"reduced","seed":126,
+//!  "params":{"mode":"Synchronous","target":120},
+//!  "metrics":{"final_members":120,"reached":true}}
+//! ```
+//!
+//! The sink is selected by `--json <path>` on the binary's command line or,
+//! failing that, the `ATUM_BENCH_JSON` environment variable. Records are
+//! *appended*, so successive runs of the same binary extend the file and CI
+//! can archive `BENCH_*.json` artifacts run over run. The record shape
+//! (`figure`, `scale`, `params`, `metrics`, `seed`) is stable: gates read it
+//! with `jq`, so renaming keys is a breaking change.
+
+use serde::{Serialize, Value};
+use std::io::Write;
+use std::path::PathBuf;
+
+/// One experimental run's machine-readable result.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// The figure or experiment this record belongs to (e.g. `"fig06"`,
+    /// `"churn"`).
+    pub figure: String,
+    /// `"reduced"` or `"full"` (see [`full_scale`](crate::full_scale)).
+    pub scale: String,
+    /// The seed the run used (reproducibility).
+    pub seed: u64,
+    /// Input parameters that identify the run within the figure.
+    pub params: Vec<(String, Value)>,
+    /// Measured outputs.
+    pub metrics: Vec<(String, Value)>,
+}
+
+impl BenchRecord {
+    /// Starts a record for `figure`, stamping the current scale.
+    pub fn new(figure: &str, seed: u64) -> Self {
+        BenchRecord {
+            figure: figure.to_string(),
+            scale: if crate::full_scale() {
+                "full"
+            } else {
+                "reduced"
+            }
+            .to_string(),
+            seed,
+            params: Vec::new(),
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Adds an input parameter.
+    pub fn param(mut self, key: &str, value: impl Serialize) -> Self {
+        self.params.push((key.to_string(), value.to_value()));
+        self
+    }
+
+    /// Adds a measured metric.
+    pub fn metric(mut self, key: &str, value: impl Serialize) -> Self {
+        self.metrics.push((key.to_string(), value.to_value()));
+        self
+    }
+
+    /// The record as a JSON value tree.
+    pub fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("figure".to_string(), Value::Str(self.figure.clone())),
+            ("scale".to_string(), Value::Str(self.scale.clone())),
+            ("seed".to_string(), Value::U64(self.seed)),
+            ("params".to_string(), Value::Map(self.params.clone())),
+            ("metrics".to_string(), Value::Map(self.metrics.clone())),
+        ])
+    }
+
+    /// The record as one line of JSON.
+    pub fn to_json_line(&self) -> String {
+        serde_json::to_string(&SerializableValue(self.to_value()))
+            .expect("bench records contain only JSON-safe values")
+    }
+}
+
+/// Adapter: a [`Value`] is its own serialization.
+struct SerializableValue(Value);
+
+impl Serialize for SerializableValue {
+    fn to_value(&self) -> Value {
+        self.0.clone()
+    }
+}
+
+/// The JSON sink for this process, if any: the path after a `--json` flag on
+/// the command line, or the `ATUM_BENCH_JSON` environment variable.
+pub fn json_sink() -> Option<PathBuf> {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == "--json" {
+            if let Some(path) = args.next() {
+                return Some(PathBuf::from(path));
+            }
+        }
+    }
+    std::env::var("ATUM_BENCH_JSON").ok().map(PathBuf::from)
+}
+
+/// Appends `record` to the configured sink (no-op when none is configured).
+/// Emission failures are reported on stderr but never abort an experiment:
+/// the human-readable tables remain the primary output.
+pub fn emit(record: &BenchRecord) {
+    let Some(path) = json_sink() else {
+        return;
+    };
+    let line = record.to_json_line();
+    let result = path
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+        .map(std::fs::create_dir_all)
+        .unwrap_or(Ok(()))
+        .and_then(|()| {
+            std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+        })
+        .and_then(|mut f| writeln!(f, "{line}"));
+    if let Err(e) = result {
+        eprintln!(
+            "warning: could not append bench record to {}: {e}",
+            path.display()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_serialises_with_stable_shape() {
+        let record = BenchRecord::new("fig99", 7)
+            .param("target", 120usize)
+            .param("mode", "Synchronous")
+            .metric("final_members", 119usize)
+            .metric("ratio", 0.5f64)
+            .metric("reached", true);
+        let line = record.to_json_line();
+        assert!(line.starts_with("{\"figure\":\"fig99\""));
+        assert!(line.contains("\"scale\":\"reduced\""));
+        assert!(line.contains("\"seed\":7"));
+        assert!(line.contains("\"params\":{\"target\":120,\"mode\":\"Synchronous\"}"));
+        assert!(line.contains("\"final_members\":119"));
+        assert!(line.contains("\"reached\":true"));
+        // One line, valid JSON: re-parses into a raw value tree whose top
+        // level is a map with the five stable keys.
+        assert!(!line.contains('\n'));
+        struct RawValue(Value);
+        impl serde::Deserialize for RawValue {
+            fn from_value(v: &Value) -> Result<Self, serde::Error> {
+                Ok(RawValue(v.clone()))
+            }
+        }
+        let RawValue(tree) = serde_json::from_str(&line).expect("line re-parses");
+        let keys: Vec<&str> = tree
+            .as_map()
+            .expect("top level is a map")
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(keys, ["figure", "scale", "seed", "params", "metrics"]);
+    }
+
+    #[test]
+    fn sink_defaults_to_none() {
+        // Neither --json nor ATUM_BENCH_JSON is set under the test harness.
+        if std::env::var("ATUM_BENCH_JSON").is_err() {
+            assert!(json_sink().is_none());
+        }
+    }
+}

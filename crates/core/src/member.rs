@@ -147,6 +147,11 @@ pub struct MemberState {
     /// When this member last solicited a catch-up Welcome (throttles the
     /// `StateRequest` traffic of a halted member).
     last_state_request: Option<Instant>,
+    /// Vgroups this member learned have dissolved (absorbed by a merge).
+    /// In-flight walks are re-routed around links that still point at them;
+    /// a walk forwarded to a departed vgroup would die there (no member left
+    /// to relay it) and take a join or shuffle down with it.
+    departed_groups: HashSet<VgroupId>,
     merging: bool,
     /// Statistics for the experiments.
     pub stats: MemberStats,
@@ -230,6 +235,7 @@ impl MemberState {
             last_shuffle: None,
             halted_since: None,
             last_state_request: None,
+            departed_groups: HashSet::new(),
             merging: false,
             stats: MemberStats::default(),
         }
@@ -290,11 +296,19 @@ impl MemberState {
     pub fn on_smr_message(
         &mut self,
         from: NodeId,
+        group: VgroupId,
         epoch: u64,
         msg: SmrMessage<GroupOp>,
         now: Instant,
         effects: &mut Vec<Effect>,
     ) {
+        if group != self.vgroup {
+            // Traffic from a different group instance: not evidence of
+            // anything about *this* vgroup. In particular a higher epoch of
+            // another group (possible when two groups each hold a stale
+            // entry for a member of the other) must not halt our engine.
+            return;
+        }
         self.note_alive(from, now);
         if epoch < self.epoch {
             // The sender is stuck in an earlier configuration (it missed the
@@ -388,8 +402,11 @@ impl MemberState {
         now: Instant,
         effects: &mut Vec<Effect>,
     ) {
+        if group != self.vgroup {
+            return;
+        }
         self.note_alive(from, now);
-        if group == self.vgroup && peer_epoch < self.epoch && self.composition.contains(from) {
+        if peer_epoch < self.epoch && self.composition.contains(from) {
             self.send_welcome(from, effects);
         }
     }
@@ -407,6 +424,7 @@ impl MemberState {
                 Action::Send { to, msg } => effects.push(Effect::Send {
                     to,
                     msg: AtumMessage::Smr {
+                        group: self.vgroup,
                         epoch: self.epoch,
                         msg,
                     },
@@ -449,19 +467,33 @@ impl MemberState {
         self.my_pending.retain(|p| p.digest() != digest);
         let epoch_before = self.epoch;
         match op {
-            GroupOp::HandleJoinRequest { joiner, .. } => {
+            GroupOp::HandleJoinRequest { joiner, rejoin, .. } => {
                 if debug::join() {
                     eprintln!(
-                        "[{now:?}] {}: HandleJoinRequest({}) applied in vgroup {:?}",
+                        "[{now:?}] {}: HandleJoinRequest({}, rejoin={rejoin}) applied in vgroup {:?}",
                         self.me.id, joiner.id, self.vgroup
                     );
                 }
-                self.start_walk(
-                    WalkPurpose::JoinPlacement { joiner: joiner.id },
-                    digest,
-                    now,
-                    effects,
-                );
+                if rejoin {
+                    // Re-join fast path: the joiner was a member until churn
+                    // stranded it. Admit it into the contact vgroup directly,
+                    // reusing the state-transfer (Welcome) path, instead of
+                    // launching a placement walk that can die on a
+                    // reconfiguring overlay. The synthetic walk id is derived
+                    // from the decided op so every member proposes the same
+                    // admission.
+                    follow_ups.push(GroupOp::AdmitJoiner {
+                        joiner,
+                        walk: WalkId::new(self.vgroup, digest.as_u64() ^ self.epoch),
+                    });
+                } else {
+                    self.start_walk(
+                        WalkPurpose::JoinPlacement { joiner: joiner.id },
+                        digest,
+                        now,
+                        effects,
+                    );
+                }
             }
             GroupOp::AdmitJoiner { joiner, .. } => {
                 if debug::join() {
@@ -505,8 +537,32 @@ impl MemberState {
                 }
                 let accusers = self.evict_accusations.entry(node).or_default();
                 accusers.insert(accuser);
-                let needed = self.composition.max_faults(self.params.smr) + 1;
-                if accusers.len() < needed && self.composition.len() > 1 {
+                let accuser_count = accusers.len();
+                // The fault bound is computed over the *effective* group
+                // size: composition entries under corroborated suspicion
+                // (two or more distinct decided accusations, the target
+                // included) do not count. Without this discount a vgroup
+                // whose composition accumulated several dead entries
+                // (stranded admissions, half-failed exchanges) wedges
+                // permanently: the dead entries inflate `f + 1` beyond the
+                // number of live members able to accuse, so they can never
+                // be evicted and the vgroup can never again assemble a
+                // welcome quorum. The discount is deterministic —
+                // `evict_accusations` is only mutated by decided operations,
+                // so every correct member computes the same threshold. The
+                // cost is a slightly weakened frame-up bound: `f` colluding
+                // accusers (rather than `f + 1`) can evict a correct member
+                // by first corroborating an accusation against it; accepted
+                // for this reproduction's fault model (crash churn plus
+                // heartbeat-only Byzantine nodes, which never accuse).
+                let suspected = self
+                    .evict_accusations
+                    .iter()
+                    .filter(|(target, accs)| accs.len() >= 2 && self.composition.contains(**target))
+                    .count();
+                let effective = self.composition.len().saturating_sub(suspected).max(1);
+                let needed = self.params.smr.max_faults(effective) + 1;
+                if accuser_count < needed && self.composition.len() > 1 {
                     return;
                 }
                 self.stats.evictions += 1;
@@ -644,6 +700,11 @@ impl MemberState {
                 if changed {
                     self.stats.merges += 1;
                     self.collector.forget_source(from);
+                    // The absorbed vgroup no longer exists: re-route walks
+                    // around any overlay link that still points at it.
+                    if self.departed_groups.len() < 1024 {
+                        self.departed_groups.insert(from);
+                    }
                     self.after_composition_change(now, effects);
                     for m in &members {
                         self.send_welcome(m.id, effects);
@@ -765,7 +826,14 @@ impl MemberState {
         effects: &mut Vec<Effect>,
         forward_filter: &mut dyn FnMut(&Delivered, VgroupId) -> bool,
     ) {
-        self.note_alive(from, now);
+        // Deliberately *not* a liveness signal: group messages are
+        // vgroup-to-vgroup traffic, so the sender is (almost) never a peer
+        // of this vgroup. The exception is poisonous: a node that moved to
+        // another vgroup while a stale entry for it lingers here would keep
+        // refreshing its own eviction clock through its new vgroup's
+        // neighbour traffic, and the stale entry would never be evicted.
+        // Intra-group liveness comes from heartbeats and SMR traffic only.
+        let _ = now;
         // Use the composition claimed by the envelope for the majority rule.
         // Neighbour tables lag behind during churn (the sending vgroup may
         // have reconfigured since the last CompositionUpdate), and a stale
@@ -775,9 +843,20 @@ impl MemberState {
         // injection never forges envelopes, so the check is elided here.
         let source_comp = envelope.source_composition.clone();
         let digest = envelope.payload.digest();
-        let accepted =
-            self.collector
-                .observe(envelope.source, &source_comp, from, digest, true);
+        // The receiver's own neighbour-table view of the source can be
+        // fresher than the claimed composition (the source may have evicted
+        // ghosts or lost members since sending); the collector accepts on
+        // the smaller of the two majorities so a live neighbour is not held
+        // to the quorum of members that no longer exist.
+        let local_view = self.neighbors.composition_of(envelope.source).cloned();
+        let accepted = self.collector.observe_with_view(
+            envelope.source,
+            &source_comp,
+            local_view.as_ref(),
+            from,
+            digest,
+            true,
+        );
         if !accepted {
             return;
         }
@@ -977,12 +1056,21 @@ impl MemberState {
             self.on_walk_selected(walk, now, effects);
             return;
         }
-        // Pick a random incident overlay link (two per cycle).
+        // Pick a random incident overlay link (two per cycle). Each link's
+        // composition is refreshed from the neighbour table's per-group view
+        // (kept current by CompositionUpdates) so walk copies reach the
+        // members the target vgroup has *now*, not the ones it had when the
+        // cycle entry was written.
         let mut links: Vec<(VgroupId, Composition)> = Vec::new();
         for c in 0..self.neighbors.cycle_count() {
             if let Some(entry) = self.neighbors.cycle(c) {
                 links.push((entry.successor, entry.successor_composition.clone()));
                 links.push((entry.predecessor, entry.predecessor_composition.clone()));
+            }
+        }
+        for (group, comp) in links.iter_mut() {
+            if let Some(fresh) = self.neighbors.composition_of(*group) {
+                *comp = fresh.clone();
             }
         }
         if links.is_empty() {
@@ -994,8 +1082,19 @@ impl MemberState {
             self.on_walk_selected(walk, now, effects);
             return;
         }
-        let choice = walk.current_rng().unwrap_or(0) % links.len() as u64;
-        let (next_group, next_comp) = links[choice as usize].clone();
+        // Re-route around links that still point at dissolved vgroups: a
+        // walk forwarded there has no member left to relay it. The primary
+        // choice stays a pure function of the walk's shared RNG (see
+        // `choose_link_index`), so members that have not yet learned of a
+        // dissolution cannot be steered off a live hop by those that have.
+        let eligible: Vec<usize> = links
+            .iter()
+            .enumerate()
+            .filter(|(_, (group, _))| !self.departed_groups.contains(group))
+            .map(|(i, _)| i)
+            .collect();
+        let choice = walk.choose_link_index(links.len(), &eligible).unwrap_or(0);
+        let (next_group, next_comp) = links[choice].clone();
         walk.advance(next_group);
         if next_group == self.vgroup {
             // Self-loop edge: handle locally without a network round-trip.
@@ -1166,6 +1265,13 @@ impl MemberState {
         } else {
             None
         };
+        // Deliberately no welcome blast here: re-welcoming every
+        // not-yet-activated entry on each epoch bump was tried and turned
+        // transient one-epoch lag (which a member resolves on its own at
+        // the next slot boundary) into full state resets that wiped
+        // exchange bookkeeping. Stragglers are caught up through the
+        // period-gated priority path in `heartbeat_duties` and the epoch
+        // carried on heartbeats instead.
     }
 
     /// Carries session-scoped state from a previous membership of the same
@@ -1247,12 +1353,8 @@ impl MemberState {
                 &self.epoch.to_be_bytes(),
                 &member.raw().to_be_bytes(),
             ]);
-            let walk_id = self.start_walk(
-                WalkPurpose::ShuffleExchange { member },
-                seed,
-                now,
-                effects,
-            );
+            let walk_id =
+                self.start_walk(WalkPurpose::ShuffleExchange { member }, seed, now, effects);
             self.outstanding_exchanges.insert(walk_id, member);
         }
     }
@@ -1383,9 +1485,91 @@ impl MemberState {
         }
     }
 
-    /// Records a heartbeat from a vgroup peer.
-    pub fn on_heartbeat(&mut self, from: NodeId, now: Instant) {
+    /// The composition peers this member's failure detector presumes live
+    /// (heard within the eviction window), plus the member itself. Used by
+    /// the host to bound the catch-up welcome threshold: when half of a
+    /// composition is permanently silent (stranded admissions, half-failed
+    /// exchanges), waiting for a majority of *all* entries would deadlock
+    /// the recovery that would evict them.
+    pub fn presumed_live(&self, now: Instant) -> HashSet<NodeId> {
+        let window = self
+            .params
+            .heartbeat_period
+            .saturating_mul(self.params.eviction_threshold as u64);
+        let mut live: HashSet<NodeId> = self
+            .composition
+            .iter()
+            .filter(|&p| {
+                p != self.me.id
+                    && self
+                        .last_heard
+                        .get(&p)
+                        .is_some_and(|t| now.saturating_since(*t) <= window)
+            })
+            .collect();
+        live.insert(self.me.id);
+        live
+    }
+
+    /// Diagnostic snapshot of the failure-detector state, used by the
+    /// experiment tooling to attribute churn stalls: for every composition
+    /// peer, the seconds since it was last heard, whether it has activated
+    /// in this membership session, and how many decided accusations it has
+    /// accumulated.
+    pub fn liveness_snapshot(&self, now: Instant) -> Vec<(NodeId, f64, bool, usize)> {
+        self.composition
+            .iter()
+            .filter(|&p| p != self.me.id)
+            .map(|p| {
+                let last = self.last_heard.get(&p).copied().unwrap_or(Instant::ZERO);
+                (
+                    p,
+                    now.saturating_since(last).as_secs_f64(),
+                    self.activated.contains(&p),
+                    self.evict_accusations.get(&p).map_or(0, |a| a.len()),
+                )
+            })
+            .collect()
+    }
+
+    /// `true` while this member's SMR engine is running (not halted waiting
+    /// for a catch-up welcome).
+    pub fn engine_running(&self) -> bool {
+        self.engine.is_some() || self.composition.len() == 1
+    }
+
+    /// Records a heartbeat from a vgroup peer. Heartbeats for a different
+    /// vgroup are ignored: they come from a node whose *own* composition has
+    /// a stale entry for us and say nothing about membership here.
+    ///
+    /// The carried epoch doubles as an idle-engine divergence detector: a
+    /// peer heartbeating a newer epoch means the group reconfigured without
+    /// us (halt and re-synchronise, exactly as for newer-epoch SMR traffic);
+    /// a peer heartbeating an older epoch is offered a catch-up welcome,
+    /// once per epoch.
+    pub fn on_heartbeat(
+        &mut self,
+        from: NodeId,
+        group: VgroupId,
+        epoch: u64,
+        now: Instant,
+        effects: &mut Vec<Effect>,
+    ) {
+        if group != self.vgroup {
+            return;
+        }
         self.note_alive(from, now);
+        if !self.composition.contains(from) {
+            return;
+        }
+        if epoch > self.epoch {
+            if self.engine.take().is_some() {
+                self.halted_since = Some(now);
+            }
+        } else if epoch < self.epoch && self.caught_up.get(&from) != Some(&self.epoch) {
+            self.caught_up.insert(from, self.epoch);
+            self.send_welcome(from, effects);
+        }
     }
 
     fn heartbeat_duties(&mut self, now: Instant, effects: &mut Vec<Effect>) {
@@ -1395,7 +1579,10 @@ impl MemberState {
             for peer in self.composition.iter().filter(|&p| p != self.me.id) {
                 effects.push(Effect::Send {
                     to: peer,
-                    msg: AtumMessage::Heartbeat,
+                    msg: AtumMessage::Heartbeat {
+                        group: self.vgroup,
+                        epoch: self.epoch,
+                    },
                 });
             }
             let eviction_after = period.saturating_mul(self.params.eviction_threshold as u64);
@@ -1411,12 +1598,19 @@ impl MemberState {
                 let last = self.last_heard.get(&peer).copied().unwrap_or(Instant::ZERO);
                 let silence = now.saturating_since(last);
                 let activated = self.activated.contains(&peer);
-                if silence > if activated { eviction_after } else { ghost_after } {
+                if silence
+                    > if activated {
+                        eviction_after
+                    } else {
+                        ghost_after
+                    }
+                {
                     accuse.push(peer);
                 } else if silence > period && !activated {
-                    // Welcomes are idempotent and keyed by (group, epoch,
-                    // composition); re-sending lets a stranded node still
-                    // accumulate its quorum and activate.
+                    // Priority catch-up traffic: a never-activated entry is
+                    // re-welcomed once per period so a stranded node can
+                    // still accumulate its quorum — welcomes are idempotent
+                    // and the receiver's pending quorum spans epochs.
                     self.send_welcome(peer, effects);
                 }
             }
@@ -1505,16 +1699,22 @@ mod tests {
         let mut effects = Vec::new();
         m.start_broadcast(b"x".to_vec(), Instant::ZERO, &mut effects);
         // Nothing is delivered yet: agreement is pending.
-        assert!(effects
-            .iter()
-            .all(|e| !matches!(e, Effect::Deliver(_))));
+        assert!(effects.iter().all(|e| !matches!(e, Effect::Deliver(_))));
         // Once the synchronous engine reaches its next slot boundary, the
         // proposal is broadcast to the vgroup peers.
         let later = Instant::ZERO + m.params.round.saturating_mul(4);
         m.tick(later, &mut effects);
         let sends = effects
             .iter()
-            .filter(|e| matches!(e, Effect::Send { msg: AtumMessage::Smr { .. }, .. }))
+            .filter(|e| {
+                matches!(
+                    e,
+                    Effect::Send {
+                        msg: AtumMessage::Smr { .. },
+                        ..
+                    }
+                )
+            })
             .count();
         assert!(sends > 0, "expected SMR messages, got {effects:?}");
     }
@@ -1686,7 +1886,15 @@ mod tests {
         m.tick(later, &mut effects);
         let heartbeats = effects
             .iter()
-            .filter(|e| matches!(e, Effect::Send { msg: AtumMessage::Heartbeat, .. }))
+            .filter(|e| {
+                matches!(
+                    e,
+                    Effect::Send {
+                        msg: AtumMessage::Heartbeat { .. },
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(heartbeats, 2, "one heartbeat per peer");
     }
@@ -1707,12 +1915,17 @@ mod tests {
             GroupOp::HandleJoinRequest {
                 joiner: NodeIdentity::simulated(NodeId::new(1)),
                 nonce: 0,
+                rejoin: false,
             },
             Instant::ZERO,
             &mut effects,
             &mut follow,
         );
-        assert!(m.composition.contains(NodeId::new(1)), "{:?}", m.composition);
+        assert!(
+            m.composition.contains(NodeId::new(1)),
+            "{:?}",
+            m.composition
+        );
         // The joiner received a Welcome.
         assert!(effects.iter().any(|e| matches!(
             e,

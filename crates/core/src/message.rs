@@ -143,9 +143,9 @@ impl GroupPayload {
             GroupPayload::SplitInsert { composition, .. } => 16 + composition.wire_size(),
             GroupPayload::NeighborIntro { composition, .. } => 16 + composition.wire_size(),
             GroupPayload::MergeRequest { members, .. } => 8 + members.len() * 14,
-            GroupPayload::MergeAccept { new_composition, .. } => {
-                8 + new_composition.wire_size()
-            }
+            GroupPayload::MergeAccept {
+                new_composition, ..
+            } => 8 + new_composition.wire_size(),
             GroupPayload::CyclePatch { composition, .. } => 16 + composition.wire_size(),
         }
     }
@@ -180,13 +180,20 @@ impl GroupEnvelope {
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum GroupOp {
     /// The contact vgroup agreed to handle a join request: start a placement
-    /// walk for the joiner.
+    /// walk for the joiner (or admit it directly on the re-join fast path).
     HandleJoinRequest {
         /// The joining node.
         joiner: NodeIdentity,
         /// The joiner's attempt number (distinguishes re-joins of the same
         /// node so the operation is not deduplicated away).
         nonce: u64,
+        /// `true` when the joiner was recently a member and is recovering
+        /// from churn: the contact vgroup admits it directly (reusing the
+        /// state-transfer fast path) instead of starting a placement walk
+        /// that can die on a reconfiguring overlay. Placement uniformity is
+        /// deliberately sacrificed for recovery speed; shuffle exchanges
+        /// re-mix the membership afterwards.
+        rejoin: bool,
     },
     /// The walk-selected vgroup admits the joiner as a member.
     AdmitJoiner {
@@ -320,6 +327,9 @@ pub enum AtumMessage {
         joiner: NodeIdentity,
         /// The joiner's attempt number.
         nonce: u64,
+        /// `true` when the joiner is re-joining after a recent membership
+        /// (see [`GroupOp::HandleJoinRequest::rejoin`]).
+        rejoin: bool,
     },
     /// Sent by every member of the admitting vgroup to the joiner (and to
     /// members transferred by shuffles/merges): the state needed to become a
@@ -343,11 +353,28 @@ pub enum AtumMessage {
         /// The requester's (stale) configuration epoch.
         epoch: u64,
     },
-    /// Periodic liveness signal between vgroup peers.
-    Heartbeat,
-    /// Intra-vgroup SMR traffic, tagged with the configuration epoch so
-    /// replicas never mix messages across reconfigurations.
+    /// Periodic liveness signal between vgroup peers. Scoped to the vgroup:
+    /// a heartbeat only refreshes the sender's liveness clock at receivers
+    /// that share the named vgroup. Without the scope, two vgroups that each
+    /// hold a stale entry for a member of the other keep those entries alive
+    /// forever (the stale member's heartbeats to its *new* group's stale
+    /// list land on the old group and reset its eviction clock there).
+    Heartbeat {
+        /// The vgroup the sender believes it shares with the receiver.
+        group: VgroupId,
+        /// The sender's configuration epoch. Lets peers detect epoch
+        /// divergence even while the SMR engines are idle (an engine with
+        /// nothing to propose sends no SMR traffic, so a lagging member
+        /// would otherwise never learn the group moved on).
+        epoch: u64,
+    },
+    /// Intra-vgroup SMR traffic, tagged with the vgroup and configuration
+    /// epoch so replicas never mix messages across groups or
+    /// reconfigurations (an epoch from a *different* group must not halt
+    /// this group's engine).
     Smr {
+        /// The vgroup whose engine this message belongs to.
+        group: VgroupId,
         /// Configuration epoch the message belongs to.
         epoch: u64,
         /// The SMR protocol message.
@@ -382,7 +409,7 @@ impl WireSize for AtumMessage {
                     + SIGNATURE_SIZE
             }
             AtumMessage::StateRequest { .. } => 24,
-            AtumMessage::Heartbeat => 8,
+            AtumMessage::Heartbeat { .. } => 24,
             AtumMessage::Smr { msg, .. } => 8 + msg.wire_size(),
             AtumMessage::Group(envelope) => envelope.wire_size(),
             AtumMessage::App {
@@ -451,7 +478,10 @@ mod tests {
 
     #[test]
     fn wire_sizes_grow_with_content() {
-        let small = AtumMessage::Heartbeat;
+        let small = AtumMessage::Heartbeat {
+            group: VgroupId::new(1),
+            epoch: 0,
+        };
         let comp5 = comp(&[1, 2, 3, 4, 5]);
         let big = AtumMessage::Group(GroupEnvelope {
             source: VgroupId::new(1),

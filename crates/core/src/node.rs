@@ -4,7 +4,7 @@
 use crate::app::{AppCtx, Application, Delivered};
 use crate::member::{Effect, MemberState};
 use crate::message::AtumMessage;
-use atum_crypto::{Digest, KeyRegistry};
+use atum_crypto::KeyRegistry;
 use atum_overlay::NeighborTable;
 use atum_simnet::{Context, Node};
 use atum_types::{
@@ -63,6 +63,14 @@ pub struct NodeStats {
     pub broadcasts_sent: u64,
 }
 
+/// A welcome quorum being assembled for one vgroup. Welcomes accumulate
+/// *across epochs*: under churn the admitting vgroup reconfigures while its
+/// members send their welcomes, so copies for the same logical admission
+/// arrive tagged with a mix of epochs. Keying the quorum by epoch (the
+/// pre-overhaul behaviour) split those copies into buckets that individually
+/// never reached the threshold, stranding the joiner for a full heartbeat
+/// period per epoch. Instead the newest epoch's content wins and senders
+/// carry over as long as they are still members of the newest composition.
 struct PendingWelcome {
     group: VgroupId,
     composition: Composition,
@@ -79,7 +87,7 @@ pub struct AtumNode<A: Application> {
     app: A,
     phase: NodePhase,
     member: Option<MemberState>,
-    pending_welcomes: HashMap<Digest, PendingWelcome>,
+    pending_welcomes: HashMap<VgroupId, PendingWelcome>,
     byzantine: ByzantineBehavior,
     join_nonce: u64,
     last_byz_heartbeat: Instant,
@@ -90,6 +98,11 @@ pub struct AtumNode<A: Application> {
     fallback_peers: Vec<NodeId>,
     fallback_rotation: usize,
     awaiting_since: Option<Instant>,
+    /// `true` while the node is in [`NodePhase::Left`] because it was
+    /// *involuntarily* removed (evicted, or stranded past its patience). Such
+    /// a node re-joins on its own through a fallback peer; a node that left
+    /// voluntarily stays out until the application calls `join` again.
+    auto_rejoin: bool,
     /// Statistics for experiments.
     pub stats: NodeStats,
 }
@@ -112,6 +125,7 @@ impl<A: Application> AtumNode<A> {
             fallback_peers: Vec::new(),
             fallback_rotation: 0,
             awaiting_since: None,
+            auto_rejoin: false,
             stats: NodeStats::default(),
         }
     }
@@ -155,6 +169,7 @@ impl<A: Application> AtumNode<A> {
             fallback_peers: Vec::new(),
             fallback_rotation: 0,
             awaiting_since: None,
+            auto_rejoin: false,
             stats: NodeStats {
                 joined_at: Some(Instant::ZERO),
                 ..NodeStats::default()
@@ -239,6 +254,7 @@ impl<A: Application> AtumNode<A> {
             return Err(AtumError::AlreadyJoined);
         }
         self.join_nonce += 1;
+        self.auto_rejoin = false;
         self.phase = NodePhase::Joining {
             contact,
             since: ctx.now(),
@@ -350,7 +366,7 @@ impl<A: Application> AtumNode<A> {
                         self.drain_app_ctx(app_ctx, &mut queue, ctx);
                     }
                     Effect::MembershipEnded {
-                        voluntary: _,
+                        voluntary,
                         transferred,
                     } => {
                         if let Some(composition) =
@@ -365,6 +381,11 @@ impl<A: Application> AtumNode<A> {
                         } else {
                             self.phase = NodePhase::Left;
                             self.stats.left_at = Some(ctx.now());
+                            // An evicted node re-joins on its own (its
+                            // session did not end by choice); a voluntary
+                            // leave is final until the application says
+                            // otherwise.
+                            self.auto_rejoin = !voluntary;
                         }
                     }
                 }
@@ -423,27 +444,80 @@ impl<A: Application> AtumNode<A> {
         // legitimately needs welcomes from senders it does not know yet.
         // The hijack self-heals: the abandoned side evicts the silent entry
         // on the fast ghost fuse.
-        let key = Digest::of_parts(&[
-            &group.raw().to_be_bytes(),
-            &epoch.to_be_bytes(),
-            format!("{composition}").as_bytes(),
-        ]);
         let entry = self
             .pending_welcomes
-            .entry(key)
+            .entry(group)
             .or_insert_with(|| PendingWelcome {
                 group,
                 composition: composition.clone(),
-                neighbors,
+                neighbors: neighbors.clone(),
                 epoch,
                 senders: HashSet::new(),
             });
-        entry.senders.insert(from);
-        let threshold = entry
+        if epoch > entry.epoch {
+            // Newer configuration: its content wins. Senders whose earlier
+            // welcome vouched for this node and who are still members of the
+            // new composition keep counting — their vote is about admitting
+            // us, not about one specific epoch's neighbour table.
+            entry.composition = composition.clone();
+            entry.neighbors = neighbors;
+            entry.epoch = epoch;
+            let retained = entry.composition.clone();
+            entry.senders.retain(|s| retained.contains(*s));
+        } else if epoch == entry.epoch && entry.composition != composition {
+            // Conflicting welcomes for the same epoch: keep the first seen
+            // (honest members cannot produce this; a fresher epoch will
+            // resolve it).
+            return;
+        }
+        if entry.composition.contains(from) {
+            entry.senders.insert(from);
+        }
+        let mut threshold = entry
             .composition
             .majority()
             .min(entry.composition.len() - 1)
             .max(1);
+        // Catch-up within our own vgroup: our failure detector knows which
+        // composition entries are long dead. A welcome quorum counted over
+        // *all* entries deadlocks a vgroup whose composition accumulated
+        // silent ones (the very state a catch-up resolves — the live members
+        // can neither re-synchronise nor, while epoch-diverged, decide the
+        // evictions that would shrink the threshold). Bound the threshold by
+        // a majority of the entries that are presumed live or have
+        // themselves vouched for this welcome.
+        if let Some(member) = self.member.as_ref() {
+            if member.vgroup == group {
+                let live = member.presumed_live(ctx.now());
+                let effective = entry
+                    .composition
+                    .iter()
+                    .filter(|p| live.contains(p) || entry.senders.contains(p))
+                    .count();
+                threshold = threshold.min((effective / 2 + 1).max(1));
+                // Same-group catch-up from a presumed-live peer of our own
+                // current composition, for a newer epoch, while our engine
+                // is halted: accept on a single sender. In a deployment a
+                // welcome carries the configuration-chain certificate (each
+                // epoch's quorum signs its successor), which makes one
+                // correct sender sufficient; the simulator elides signatures
+                // throughout (see `on_group_copy`), so the sender's standing
+                // in the state we already trust stands in for the chain.
+                // Without this, two lagging members whose only up-to-date
+                // peer is a single node deadlock: each needs the other to
+                // advance first. The halted-engine gate keeps ordinary
+                // one-epoch transient lag (resolved by the member's own
+                // engine at the next slot boundary) from turning into a
+                // state reset.
+                if entry.epoch > member.epoch
+                    && member.halted_since().is_some()
+                    && member.composition.contains(from)
+                    && live.contains(&from)
+                {
+                    threshold = 1;
+                }
+            }
+        }
         if crate::member::debug::welcome() {
             eprintln!(
                 "[{:?}] {}: welcome for {group:?} epoch {epoch} from {from}: {}/{threshold} senders (phase {:?})",
@@ -463,7 +537,7 @@ impl<A: Application> AtumNode<A> {
                 self.identity.id
             );
         }
-        let welcome = self.pending_welcomes.remove(&key).expect("just inserted");
+        let welcome = self.pending_welcomes.remove(&group).expect("just inserted");
         self.pending_welcomes.clear();
         let mut fresh = MemberState::with_membership(
             self.identity,
@@ -488,6 +562,7 @@ impl<A: Application> AtumNode<A> {
             self.stats.joined_at = Some(ctx.now());
         }
         self.phase = NodePhase::Member;
+        self.auto_rejoin = false;
         if !pending.is_empty() {
             let mut effects = Vec::new();
             if let Some(member) = self.member.as_mut() {
@@ -513,8 +588,9 @@ impl<A: Application> AtumNode<A> {
                 .iter()
                 .filter(|&p| p != self.identity.id)
                 .collect();
+            let (group, epoch) = (member.vgroup, member.epoch);
             for peer in peers {
-                ctx.send(peer, AtumMessage::Heartbeat);
+                ctx.send(peer, AtumMessage::Heartbeat { group, epoch });
             }
         }
     }
@@ -547,7 +623,12 @@ impl<A: Application> AtumNode<A> {
     /// from the new composition entirely — no peer will ever welcome it
     /// back. Give the membership up and re-join through a former peer.
     fn abandon_membership_if_stranded(&mut self, ctx: &mut Context<'_, AtumMessage>) {
-        let timeout = self.params.round.saturating_mul(60);
+        // 20 rounds of soliciting state without an answer means the new
+        // configuration almost certainly dropped us; under sustained churn
+        // the previous 60-round patience burnt a third of a typical session
+        // time doing nothing. Re-joining through a former peer takes the
+        // direct-admission fast path, so giving up early is cheap.
+        let timeout = self.params.round.saturating_mul(20);
         let stranded = self
             .member
             .as_ref()
@@ -561,28 +642,62 @@ impl<A: Application> AtumNode<A> {
         }
         self.phase = NodePhase::Left;
         self.stats.left_at = Some(ctx.now());
+        self.auto_rejoin = true;
+        if let Some(contact) = self.next_fallback_contact() {
+            let _ = self.join(contact, ctx);
+        }
+    }
+
+    /// `true` while this node's last membership ended recently enough to
+    /// count as churn recovery: such a join takes the direct-admission fast
+    /// path instead of a placement walk. The window is session-scale (the
+    /// paper's churn model has session times of a few minutes) but
+    /// deliberately bounded, so a node that left long ago re-enters through
+    /// the uniform placement walk like any fresh joiner — the fast path
+    /// trades placement uniformity for recovery speed and must not become
+    /// the permanent default.
+    fn recently_left(&self, now: Instant) -> bool {
+        let window = self.params.round.saturating_mul(600);
+        self.stats
+            .left_at
+            .is_some_and(|t| now.saturating_since(t) <= window)
+    }
+
+    /// A node that was involuntarily removed (evicted while it was live, or
+    /// welcomed into a configuration that immediately moved on without it)
+    /// ends up in [`NodePhase::Left`] with no join in flight. Re-join
+    /// through a former peer so one unlucky cycle does not permanently
+    /// shrink the system.
+    fn rejoin_if_dropped(&mut self, ctx: &mut Context<'_, AtumMessage>) {
+        if !matches!(self.phase, NodePhase::Left) || !self.auto_rejoin {
+            return;
+        }
         if let Some(contact) = self.next_fallback_contact() {
             let _ = self.join(contact, ctx);
         }
     }
 
     fn retry_join_if_stalled(&mut self, ctx: &mut Context<'_, AtumMessage>) {
-        let timeout = self.params.round.saturating_mul(60);
+        // A join normally completes within a handful of rounds (contact
+        // round-trip, placement walk, welcome quorum); 20 rounds of silence
+        // means the attempt is dead — retry through the next fallback peer.
+        let timeout = self.params.round.saturating_mul(20);
         match self.phase {
             NodePhase::Joining { contact, since }
-                if ctx.now().saturating_since(since) > timeout => {
-                    // A fresh attempt number so the contact vgroup does not
-                    // deduplicate the retried request away if the previous
-                    // attempt was lost mid-protocol; rotate contacts in case
-                    // the previous one left or crashed.
-                    self.join_nonce += 1;
-                    let contact = self.next_fallback_contact().unwrap_or(contact);
-                    self.phase = NodePhase::Joining {
-                        contact,
-                        since: ctx.now(),
-                    };
-                    ctx.send(contact, AtumMessage::JoinContactRequest);
-                }
+                if ctx.now().saturating_since(since) > timeout =>
+            {
+                // A fresh attempt number so the contact vgroup does not
+                // deduplicate the retried request away if the previous
+                // attempt was lost mid-protocol; rotate contacts in case
+                // the previous one left or crashed.
+                self.join_nonce += 1;
+                let contact = self.next_fallback_contact().unwrap_or(contact);
+                self.phase = NodePhase::Joining {
+                    contact,
+                    since: ctx.now(),
+                };
+                ctx.send(contact, AtumMessage::JoinContactRequest);
+            }
             NodePhase::AwaitingTransfer => {
                 // The Welcome of the new vgroup never arrived (its side of
                 // the exchange may have been reconfigured away); recover by
@@ -624,6 +739,7 @@ impl<A: Application> Node<AtumMessage> for AtumNode<A> {
             return;
         }
         self.retry_join_if_stalled(ctx);
+        self.rejoin_if_dropped(ctx);
         if let Some(member) = self.member.as_mut() {
             let mut effects = Vec::new();
             member.tick(ctx.now(), &mut effects);
@@ -664,17 +780,26 @@ impl<A: Application> Node<AtumMessage> for AtumNode<A> {
                     let request = AtumMessage::JoinRequest {
                         joiner: self.identity,
                         nonce: self.join_nonce,
+                        rejoin: self.recently_left(ctx.now()),
                     };
                     for member in composition.iter() {
                         ctx.send(member, request.clone());
                     }
                 }
             }
-            AtumMessage::JoinRequest { joiner, nonce } => {
+            AtumMessage::JoinRequest {
+                joiner,
+                nonce,
+                rejoin,
+            } => {
                 if let Some(member) = self.member.as_mut() {
                     let mut effects = Vec::new();
                     member.propose(
-                        crate::message::GroupOp::HandleJoinRequest { joiner, nonce },
+                        crate::message::GroupOp::HandleJoinRequest {
+                            joiner,
+                            nonce,
+                            rejoin,
+                        },
                         ctx.now(),
                         &mut effects,
                     );
@@ -696,15 +821,17 @@ impl<A: Application> Node<AtumMessage> for AtumNode<A> {
                     self.run_effects(effects, ctx);
                 }
             }
-            AtumMessage::Heartbeat => {
-                if let Some(member) = self.member.as_mut() {
-                    member.on_heartbeat(from, ctx.now());
-                }
-            }
-            AtumMessage::Smr { epoch, msg } => {
+            AtumMessage::Heartbeat { group, epoch } => {
                 if let Some(member) = self.member.as_mut() {
                     let mut effects = Vec::new();
-                    member.on_smr_message(from, epoch, msg, ctx.now(), &mut effects);
+                    member.on_heartbeat(from, group, epoch, ctx.now(), &mut effects);
+                    self.run_effects(effects, ctx);
+                }
+            }
+            AtumMessage::Smr { group, epoch, msg } => {
+                if let Some(member) = self.member.as_mut() {
+                    let mut effects = Vec::new();
+                    member.on_smr_message(from, group, epoch, msg, ctx.now(), &mut effects);
                     self.run_effects(effects, ctx);
                 }
             }
@@ -781,7 +908,9 @@ mod tests {
         let mut sim = make_sim(2, &params, 1);
         sim.call(NodeId::new(0), |n, ctx| n.bootstrap(ctx).unwrap());
         sim.run_for(Duration::from_secs(2));
-        sim.call(NodeId::new(1), |n, ctx| n.join(NodeId::new(0), ctx).unwrap());
+        sim.call(NodeId::new(1), |n, ctx| {
+            n.join(NodeId::new(0), ctx).unwrap()
+        });
         sim.run_for(Duration::from_secs(60));
 
         assert!(sim.node(NodeId::new(1)).unwrap().is_member());
@@ -866,9 +995,7 @@ mod tests {
         for i in 0..n {
             let app = sim.node(NodeId::new(i)).unwrap().app();
             assert!(
-                app.delivered_payloads()
-                    .iter()
-                    .any(|p| p == b"to-everyone"),
+                app.delivered_payloads().iter().any(|p| p == b"to-everyone"),
                 "node {i} did not deliver the broadcast"
             );
             // Exactly once.
@@ -965,10 +1092,7 @@ mod tests {
         }
         sim.call(NodeId::new(3), |n, ctx| n.leave(ctx).unwrap());
         sim.run_for(Duration::from_secs(30));
-        assert_eq!(
-            sim.node(NodeId::new(3)).unwrap().phase(),
-            &NodePhase::Left
-        );
+        assert_eq!(sim.node(NodeId::new(3)).unwrap().phase(), &NodePhase::Left);
         for i in 0..3 {
             let m = sim.node(NodeId::new(i)).unwrap().member().unwrap();
             assert!(

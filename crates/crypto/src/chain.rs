@@ -136,7 +136,9 @@ mod tests {
         for i in 0..n {
             reg.register(NodeId::new(i), 99);
         }
-        let signers = (0..n).map(|i| reg.signer(NodeId::new(i)).unwrap()).collect();
+        let signers = (0..n)
+            .map(|i| reg.signer(NodeId::new(i)).unwrap())
+            .collect();
         (reg, signers)
     }
 

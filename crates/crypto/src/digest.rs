@@ -176,10 +176,7 @@ mod tests {
 
     #[test]
     fn of_parts_equals_concatenation() {
-        assert_eq!(
-            Digest::of_parts(&[b"foo", b"bar"]),
-            Digest::of(b"foobar")
-        );
+        assert_eq!(Digest::of_parts(&[b"foo", b"bar"]), Digest::of(b"foobar"));
     }
 
     #[test]

@@ -154,13 +154,7 @@ impl KeyRegistry {
     }
 
     /// Verifies a MAC produced by `sender` for `receiver`.
-    pub fn verify_mac(
-        &self,
-        sender: NodeId,
-        receiver: NodeId,
-        message: &[u8],
-        mac: &Mac,
-    ) -> bool {
+    pub fn verify_mac(&self, sender: NodeId, receiver: NodeId, message: &[u8], mac: &Mac) -> bool {
         match self.secrets.get(&sender) {
             Some(secret) => {
                 tag(

@@ -32,11 +32,7 @@ impl VgroupDirectory {
     /// # Panics
     ///
     /// Panics if `target_size` is zero.
-    pub fn partition<R: Rng + ?Sized>(
-        nodes: &[NodeId],
-        target_size: usize,
-        rng: &mut R,
-    ) -> Self {
+    pub fn partition<R: Rng + ?Sized>(nodes: &[NodeId], target_size: usize, rng: &mut R) -> Self {
         assert!(target_size > 0, "target size must be positive");
         let mut dir = VgroupDirectory::new();
         if nodes.is_empty() {
@@ -175,9 +171,7 @@ impl VgroupDirectory {
             for node in comp.iter() {
                 match self.node_to_group.get(&node) {
                     Some(g) if *g == *id => {}
-                    Some(g) => {
-                        return Err(format!("{node} indexed under {g} but listed in {id}"))
-                    }
+                    Some(g) => return Err(format!("{node} indexed under {g} but listed in {id}")),
                     None => return Err(format!("{node} listed in {id} but not indexed")),
                 }
             }

@@ -41,11 +41,7 @@ pub struct GossipPlanner;
 impl GossipPlanner {
     /// Returns the set of (cycle, direction) pairs a vgroup should forward a
     /// freshly delivered broadcast along.
-    pub fn plan<R: Rng + ?Sized>(
-        policy: GossipPolicy,
-        hc: u8,
-        rng: &mut R,
-    ) -> Vec<ForwardTarget> {
+    pub fn plan<R: Rng + ?Sized>(policy: GossipPolicy, hc: u8, rng: &mut R) -> Vec<ForwardTarget> {
         let mut out = Vec::new();
         match policy {
             GossipPolicy::Flood => {

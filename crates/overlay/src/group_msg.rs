@@ -76,7 +76,35 @@ impl GroupMessageCollector {
         digest: Digest,
         full_payload: bool,
     ) -> bool {
-        if !source_composition.contains(sender) {
+        self.observe_with_view(
+            source,
+            source_composition,
+            None,
+            sender,
+            digest,
+            full_payload,
+        )
+    }
+
+    /// Like [`observe`](Self::observe), but also consults `local_view` — the
+    /// receiver's own (possibly fresher) view of the source composition, e.g.
+    /// from its neighbour table. The acceptance threshold is the *smaller*
+    /// majority of the two views: during churn the claimed composition can
+    /// still list departed or never-activated members that will never send a
+    /// copy, and holding the message to their inflated majority would make
+    /// the receiver deaf to a live neighbour. Senders present in either view
+    /// are counted.
+    pub fn observe_with_view(
+        &mut self,
+        source: VgroupId,
+        source_composition: &Composition,
+        local_view: Option<&Composition>,
+        sender: NodeId,
+        digest: Digest,
+        full_payload: bool,
+    ) -> bool {
+        let in_local = local_view.is_some_and(|v| v.contains(sender));
+        if !source_composition.contains(sender) && !in_local {
             return false;
         }
         let key = Key { source, digest };
@@ -86,7 +114,12 @@ impl GroupMessageCollector {
         let progress = self.in_progress.entry(key.clone()).or_default();
         progress.senders.insert(sender);
         progress.have_full_payload |= full_payload;
-        let majority = source_composition.majority();
+        let mut majority = source_composition.majority();
+        if let Some(view) = local_view {
+            if !view.is_empty() {
+                majority = majority.min(view.majority());
+            }
+        }
         if progress.senders.len() >= majority && progress.have_full_payload {
             progress.accepted = true;
             self.in_progress.remove(&key);

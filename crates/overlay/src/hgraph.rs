@@ -199,7 +199,9 @@ impl HGraph {
                 return Err(format!("cycle {i} visits a vertex twice"));
             }
             if set != reference {
-                return Err(format!("cycle {i} disagrees with cycle 0 on the vertex set"));
+                return Err(format!(
+                    "cycle {i} disagrees with cycle 0 on the vertex set"
+                ));
             }
         }
         Ok(())

@@ -153,9 +153,7 @@ impl WalkCertificate {
             }
             expected_signers = step.to_composition.clone();
         }
-        self.steps
-            .last()
-            .map(|s| (s.to, s.to_composition.clone()))
+        self.steps.last().map(|s| (s.to, s.to_composition.clone()))
     }
 }
 
@@ -248,6 +246,31 @@ impl WalkState {
         }
         let r = self.current_rng()?;
         Some(neighbors[(r % neighbors.len() as u64) as usize])
+    }
+
+    /// Chooses a link index among `total` incident links, re-routing around
+    /// links the forwarding member knows are dead (`eligible` lists the
+    /// others). The *primary* choice is `rng % total` — a pure function of
+    /// the walk's bulk RNG, identical at every member regardless of local
+    /// knowledge — and is kept whenever it is eligible (or nothing is), so
+    /// members can only ever disagree about a hop whose primary target is
+    /// locally known to have dissolved. Copies forwarded to a dissolved
+    /// vgroup are lost regardless (no member is left there to relay them),
+    /// so the deviation replaces guaranteed-dead copies with copies that
+    /// agree on one deterministic alternative; it never splits a live hop.
+    ///
+    /// Returns `None` when the walk is complete or `total` is zero.
+    pub fn choose_link_index(&self, total: usize, eligible: &[usize]) -> Option<usize> {
+        if total == 0 {
+            return None;
+        }
+        let r = self.current_rng()?;
+        let primary = (r % total as u64) as usize;
+        if eligible.is_empty() || eligible.contains(&primary) {
+            Some(primary)
+        } else {
+            Some(eligible[(r % eligible.len() as u64) as usize])
+        }
     }
 }
 
@@ -353,6 +376,34 @@ mod tests {
     }
 
     #[test]
+    fn link_choice_keeps_primary_unless_it_is_dead() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let walk = WalkState::new(
+            WalkId::new(VgroupId::new(1), 0),
+            WalkPurpose::Sample,
+            VgroupId::new(1),
+            comp(&[1]),
+            4,
+            &mut rng,
+        );
+        let total = 6usize;
+        let primary = (walk.current_rng().unwrap() % total as u64) as usize;
+        // The primary choice is used when eligible, and when the member has
+        // no departed-set knowledge at all — so members with and without
+        // that knowledge agree on every live hop.
+        assert_eq!(walk.choose_link_index(total, &[]), Some(primary));
+        let all: Vec<usize> = (0..total).collect();
+        assert_eq!(walk.choose_link_index(total, &all), Some(primary));
+        // Only when the primary target is known-dead does the choice move,
+        // deterministically, into the eligible subset.
+        let eligible: Vec<usize> = (0..total).filter(|&i| i != primary).collect();
+        let rerouted = walk.choose_link_index(total, &eligible).unwrap();
+        assert_ne!(rerouted, primary);
+        assert!(eligible.contains(&rerouted));
+        assert_eq!(walk.choose_link_index(0, &[]), None);
+    }
+
+    #[test]
     fn certificate_chain_verifies_and_detects_tampering() {
         let mut registry = KeyRegistry::new();
         for i in 0..9 {
@@ -388,8 +439,7 @@ mod tests {
 
         // A chain signed by too few members fails.
         let mut thin = WalkCertificate::new();
-        let signers: Vec<NodeSigner> =
-            vec![registry.signer(NodeId::new(0)).unwrap()]; // 1 of 3 < majority
+        let signers: Vec<NodeSigner> = vec![registry.signer(NodeId::new(0)).unwrap()]; // 1 of 3 < majority
         thin.push_step(walk_id, VgroupId::new(2), mid_comp, &signers);
         assert!(thin.verify(walk_id, &registry, &origin_comp).is_none());
 

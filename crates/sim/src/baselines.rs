@@ -2,9 +2,9 @@
 //! protocol with global membership, and a flat synchronous SMR run across the
 //! whole system.
 
+use atum_types::Duration;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use atum_types::Duration;
 
 /// Result of a classic-gossip simulation.
 #[derive(Debug, Clone, PartialEq)]

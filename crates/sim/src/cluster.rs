@@ -51,12 +51,7 @@ impl<A: Application> Cluster<A> {
     pub fn member_count(&self) -> usize {
         self.initial_nodes
             .iter()
-            .filter(|&&id| {
-                self.sim
-                    .node(id)
-                    .map(|n| n.is_member())
-                    .unwrap_or(false)
-            })
+            .filter(|&&id| self.sim.node(id).map(|n| n.is_member()).unwrap_or(false))
             .count()
     }
 }
@@ -227,7 +222,9 @@ mod tests {
 
     #[test]
     fn builder_creates_consistent_ground_truth() {
-        let params = Params::default().with_group_bounds(3, 10).with_overlay(3, 6);
+        let params = Params::default()
+            .with_group_bounds(3, 10)
+            .with_overlay(3, 6);
         let cluster = ClusterBuilder::new(60)
             .params(params)
             .seed(7)

@@ -2,8 +2,8 @@
 //! (Fig. 7), broadcast latency (Fig. 8) and exchange completion (Fig. 13).
 
 use crate::cluster::Cluster;
-use crate::metrics::LatencySeries;
-use atum_core::{Application, AtumMessage, AtumNode, CollectingApp};
+use crate::metrics::{LatencyHistogram, LatencySeries};
+use atum_core::{Application, AtumMessage, AtumNode, CollectingApp, NodePhase};
 use atum_crypto::KeyRegistry;
 use atum_simnet::{NetConfig, Simulation};
 use atum_types::{BroadcastId, Duration, Instant, NodeId, Params};
@@ -183,18 +183,19 @@ pub fn run_growth(
             break;
         }
         // Launch joins for this interval: rate × size × interval / 60.
-        let per_interval = (join_rate_fraction * members.len() as f64
-            * check_interval.as_secs_f64()
-            / 60.0)
-            .ceil()
-            .max(1.0) as u64;
+        let per_interval =
+            (join_rate_fraction * members.len() as f64 * check_interval.as_secs_f64() / 60.0)
+                .ceil()
+                .max(1.0) as u64;
         for _ in 0..per_interval {
             if next_to_join >= target as u64 {
                 break;
             }
             let joiner = NodeId::new(next_to_join);
             next_to_join += 1;
-            let contact = *members.choose(&mut rng).expect("at least the bootstrap node");
+            let contact = *members
+                .choose(&mut rng)
+                .expect("at least the bootstrap node");
             sim.call(joiner, move |n, ctx| {
                 let _ = n.join(contact, ctx);
             });
@@ -210,11 +211,69 @@ pub fn run_growth(
             report.exchanges_suppressed += stats.suppressed;
         }
     }
+    if std::env::var("ATUM_DEBUG_GROWTH").is_ok() {
+        let mut seen_groups = std::collections::BTreeSet::new();
+        for i in 0..target as u64 {
+            let Some(node) = sim.node(NodeId::new(i)) else {
+                continue;
+            };
+            match node.member() {
+                None => eprintln!("non-member n{i}: phase {:?}", node.phase()),
+                Some(member) => {
+                    if seen_groups.insert(member.vgroup) {
+                        let live = member.presumed_live(sim.now());
+                        eprintln!(
+                            "vgroup {:?} (per n{i}): size {} presumed_live {} epoch {} engine_running {}",
+                            member.vgroup,
+                            member.composition.len(),
+                            live.len(),
+                            member.epoch,
+                            member.engine_running(),
+                        );
+                    }
+                }
+            }
+        }
+    }
     report.elapsed_secs = sim.now().as_secs_f64();
     report
 }
 
 // -------------------------------------------------------------------- churn
+
+/// One leave/re-join cycle of a churn run.
+#[derive(Debug, Clone)]
+pub struct ChurnCycle {
+    /// The node that left and re-joined.
+    pub victim: NodeId,
+    /// Simulated time (seconds) the leave was requested.
+    pub left_at_secs: f64,
+    /// Simulated time (seconds) of the first re-join attempt.
+    pub rejoin_at_secs: f64,
+    /// Simulated time (seconds) the victim was a full member again, if it
+    /// made it back before the end of the run.
+    pub completed_at_secs: Option<f64>,
+}
+
+/// Phase breakdown of the churn cycles that did not complete: where the
+/// victim was stuck when the run ended.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StallBreakdown {
+    /// Out of the system entirely (abandoned with no live contact, or its
+    /// re-join attempts were all refused).
+    pub left: usize,
+    /// A join attempt was still in flight.
+    pub joining: usize,
+    /// Waiting for the welcome of a shuffle-transfer target vgroup.
+    pub awaiting_transfer: usize,
+}
+
+impl StallBreakdown {
+    /// Total stalled cycles.
+    pub fn total(&self) -> usize {
+        self.left + self.joining + self.awaiting_transfer
+    }
+}
 
 /// Result of a churn run (Figure 7).
 #[derive(Debug, Clone, Default)]
@@ -227,6 +286,18 @@ pub struct ChurnReport {
     pub final_members: usize,
     /// The churn rate that was applied (re-joins per minute).
     pub rate_per_minute: f64,
+    /// Per-cycle records (victim, leave/rejoin/completion times).
+    pub cycles: Vec<ChurnCycle>,
+    /// Leave-to-member-again latency of every completed cycle.
+    pub rejoin_latencies: LatencySeries,
+    /// The same latencies in stable histogram buckets (for the bench JSON).
+    pub rejoin_histogram: LatencyHistogram,
+    /// Where the uncompleted cycles were stuck at the end of the run.
+    pub stalls: StallBreakdown,
+    /// Composition entries (across one representative member per vgroup)
+    /// whose node is not actually a member of that vgroup at the end of the
+    /// run. A healthy recovery leaves zero.
+    pub ghost_entries: usize,
 }
 
 impl ChurnReport {
@@ -267,7 +338,7 @@ pub fn run_churn(
     };
 
     let correct = cluster.correct_nodes();
-    let mut churned: Vec<NodeId> = Vec::new();
+    let mut churned: Vec<(NodeId, Instant, Instant)> = Vec::new();
     let deadline = start + duration;
     cluster.sim.run_for(Duration::from_secs(2));
     // Advance the simulation one churn interval at a time so every victim
@@ -289,85 +360,158 @@ pub fn run_churn(
         let candidates: Vec<NodeId> = members
             .iter()
             .copied()
-            .filter(|n| !churned.contains(n))
+            .filter(|n| !churned.iter().any(|(v, _, _)| v == n))
             .collect();
         if let Some(&victim) = candidates.choose(&mut rng) {
-            let contacts: Vec<NodeId> =
-                members.iter().copied().filter(|&n| n != victim).collect();
+            let contacts: Vec<NodeId> = members.iter().copied().filter(|&n| n != victim).collect();
             if let Some(&contact) = contacts.choose(&mut rng) {
-                churned.push(victim);
+                churned.push((victim, cluster.sim.now(), cluster.sim.now() + rejoin_pause));
                 report.attempted += 1;
                 cluster.sim.call(victim, |n, ctx| {
                     let _ = n.leave(ctx);
                 });
+                // The rejoin is attempted a few times with distinct contacts:
+                // the first attempt can race the (asynchronous) leave — the
+                // `Leave` op may not have been decided yet, in which case
+                // `join` refuses with `AlreadyJoined` — and a single contact
+                // can sit in a degraded vgroup. Extra attempts are no-ops
+                // once the node is back in (`join` only acts from
+                // `Idle`/`Left`), so retrying models a user that simply
+                // tries again.
                 let rejoin_at = cluster.sim.now() + rejoin_pause;
-                cluster.sim.call_at(rejoin_at, victim, move |n, ctx| {
-                    let _ = n.join(contact, ctx);
-                });
+                for attempt in 0..3u64 {
+                    let contact = *contacts.choose(&mut rng).unwrap_or(&contact);
+                    let at = rejoin_at + Duration::from_secs(20 * attempt);
+                    cluster.sim.call_at(at, victim, move |n, ctx| {
+                        let _ = n.join(contact, ctx);
+                    });
+                }
             }
         }
         cluster.sim.run_for(interval);
     }
 
-    cluster.sim.run_until(deadline + Duration::from_secs(60));
+    // Drain long enough for the *last* cycles to finish their whole
+    // recovery pipeline: a victim's final rejoin attempt fires up to 40 s
+    // after its leave, and the stale entry it leaves behind needs a full
+    // failure-detection window plus agreement to be evicted. Auditing
+    // before quiescence would report in-flight evictions as ghosts.
+    let eviction_window = cluster
+        .params
+        .heartbeat_period
+        .saturating_mul(cluster.params.eviction_threshold as u64);
+    let drain = Duration::from_secs(60) + eviction_window.saturating_mul(4);
+    cluster.sim.run_until(deadline + drain);
 
-    if std::env::var("ATUM_DEBUG_CHURN").is_ok() {
-        for &n in &correct {
+    // Per-cycle outcomes: a cycle completed if the victim is a member now;
+    // its completion time is the moment it last became one (`joined_at` is
+    // refreshed on every non-member-to-member transition).
+    for &(victim, left_at, rejoin_at) in &churned {
+        let node = cluster.sim.node(victim);
+        let is_member = node.map(|n| n.is_member()).unwrap_or(false);
+        let completed_at = node
+            .and_then(|n| n.stats.joined_at)
+            .filter(|&t| is_member && t >= left_at);
+        let cycle = ChurnCycle {
+            victim,
+            left_at_secs: left_at.as_secs_f64(),
+            rejoin_at_secs: rejoin_at.as_secs_f64(),
+            completed_at_secs: completed_at.map(|t| t.as_secs_f64()),
+        };
+        if let Some(t) = completed_at {
+            report.completed += 1;
+            let latency = t.saturating_since(left_at);
+            report.rejoin_latencies.push(latency);
+            report.rejoin_histogram.record(latency);
+        } else {
+            match node.map(|n| n.phase()) {
+                Some(NodePhase::Joining { .. }) => report.stalls.joining += 1,
+                Some(NodePhase::AwaitingTransfer) => report.stalls.awaiting_transfer += 1,
+                _ => report.stalls.left += 1,
+            }
+        }
+        report.cycles.push(cycle);
+    }
+    report.ghost_entries = ghost_audit(cluster, &correct, &churned);
+    report.final_members = cluster.member_count();
+    report
+}
+
+/// Counts composition entries (one representative member per vgroup) whose
+/// node is not actually a member of that vgroup, optionally dumping the
+/// diagnosis under `ATUM_DEBUG_CHURN`.
+fn ghost_audit(
+    cluster: &Cluster<CollectingApp>,
+    correct: &[NodeId],
+    churned: &[(NodeId, Instant, Instant)],
+) -> usize {
+    let debug = std::env::var("ATUM_DEBUG_CHURN").is_ok();
+    if debug {
+        for &n in correct {
             if let Some(node) = cluster.sim.node(n) {
                 if !node.is_member() {
                     eprintln!(
                         "non-member {n}: churned={} phase {:?}",
-                        churned.contains(&n),
+                        churned.iter().any(|(v, _, _)| *v == n),
                         node.phase()
                     );
                 }
             }
         }
-        // Ghost audit: composition entries whose node is not actually a
-        // member of that vgroup.
-        let mut seen_groups = std::collections::BTreeSet::new();
-        for &n in &correct {
-            let Some(member) = cluster.sim.node(n).and_then(|node| node.member()) else {
-                continue;
-            };
-            if !seen_groups.insert(member.vgroup) {
-                continue;
-            }
-            let ghosts: Vec<NodeId> = member
-                .composition
-                .iter()
-                .filter(|&p| {
-                    cluster
-                        .sim
-                        .node(p)
-                        .map(|other| {
-                            other.member().map(|m| m.vgroup) != Some(member.vgroup)
-                        })
-                        .unwrap_or(true)
-                })
-                .collect();
+    }
+    let mut seen_groups = std::collections::BTreeSet::new();
+    let mut total = 0usize;
+    for &n in correct {
+        let Some(member) = cluster.sim.node(n).and_then(|node| node.member()) else {
+            continue;
+        };
+        if !seen_groups.insert(member.vgroup) {
+            continue;
+        }
+        let ghosts: Vec<NodeId> = member
+            .composition
+            .iter()
+            .filter(|&p| {
+                cluster
+                    .sim
+                    .node(p)
+                    .map(|other| other.member().map(|m| m.vgroup) != Some(member.vgroup))
+                    .unwrap_or(true)
+            })
+            .collect();
+        total += ghosts.len();
+        if debug {
             eprintln!(
-                "vgroup {:?} (per {n}): size {} ghosts {:?} epoch {}",
+                "vgroup {:?} (per {n}): size {} ghosts {:?} epoch {} engine_running {}",
                 member.vgroup,
                 member.composition.len(),
                 ghosts,
-                member.epoch
+                member.epoch,
+                member.engine_running(),
             );
+            if !ghosts.is_empty() {
+                for (peer, silence, activated, accusations) in
+                    member.liveness_snapshot(cluster.sim.now())
+                {
+                    eprintln!(
+                        "    peer {peer}: silent {silence:.1}s activated {activated} accusations {accusations}"
+                    );
+                }
+                for f in member.composition.iter().filter(|p| !ghosts.contains(p)) {
+                    if let Some(fm) = cluster.sim.node(f).and_then(|node| node.member()) {
+                        eprintln!(
+                            "    live member {f}: vgroup {:?} epoch {} engine_running {} comp {}",
+                            fm.vgroup,
+                            fm.epoch,
+                            fm.engine_running(),
+                            fm.composition
+                        );
+                    }
+                }
+            }
         }
     }
-
-    report.completed = churned
-        .iter()
-        .filter(|&&n| {
-            cluster
-                .sim
-                .node(n)
-                .map(|node| node.is_member())
-                .unwrap_or(false)
-        })
-        .count();
-    report.final_members = cluster.member_count();
-    report
+    total
 }
 
 #[cfg(test)]

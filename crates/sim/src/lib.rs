@@ -30,7 +30,7 @@ pub use baselines::{flat_smr_latency, simulate_classic_gossip, GossipBaselineRes
 pub use chi2::{chi2_critical_99, chi2_statistic, is_uniform_99};
 pub use cluster::{Cluster, ClusterBuilder};
 pub use drivers::{
-    run_broadcast_workload, run_churn, run_growth, BroadcastWorkloadReport, ChurnReport,
-    GrowthReport,
+    run_broadcast_workload, run_churn, run_growth, BroadcastWorkloadReport, ChurnCycle,
+    ChurnReport, GrowthReport, StallBreakdown,
 };
-pub use metrics::{percentile, LatencySeries};
+pub use metrics::{percentile, LatencyHistogram, LatencySeries, DEFAULT_LATENCY_BUCKETS};

@@ -15,14 +15,16 @@ type NodeCall<M, N> = Box<dyn FnOnce(&mut N, &mut Context<'_, M>) + Send>;
 /// Type of a queued event.
 enum EventKind<M, N> {
     /// Deliver a message.
-    Deliver { from: NodeId, to: NodeId, msg: M, size: usize },
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        msg: M,
+        size: usize,
+    },
     /// Fire a timer at a node.
     Timer { node: NodeId, tag: u64, handle: u64 },
     /// Run an external call against a node (harness-driven API invocation).
-    Call {
-        node: NodeId,
-        f: NodeCall<M, N>,
-    },
+    Call { node: NodeId, f: NodeCall<M, N> },
     /// Start a node (runs `on_start`).
     Start { node: NodeId },
 }
@@ -247,7 +249,13 @@ where
         F: FnOnce(&mut N, &mut Context<'_, M>) + Send + 'static,
     {
         let at = at.max(self.now);
-        self.push(at, EventKind::Call { node, f: Box::new(f) });
+        self.push(
+            at,
+            EventKind::Call {
+                node,
+                f: Box::new(f),
+            },
+        );
     }
 
     /// Runs events until the queue is empty or `max` simulated time has
@@ -298,7 +306,12 @@ where
         self.now = self.now.max(ev.at);
         self.stats.events_processed += 1;
         match ev.kind {
-            EventKind::Deliver { from, to, msg, size } => self.do_deliver(from, to, msg, size),
+            EventKind::Deliver {
+                from,
+                to,
+                msg,
+                size,
+            } => self.do_deliver(from, to, msg, size),
             EventKind::Timer { node, tag, handle } => self.do_timer(node, tag, handle),
             EventKind::Call { node, f } => self.do_call(node, f),
             EventKind::Start { node } => self.do_start(node),
@@ -406,7 +419,14 @@ where
         }
         for (delay, tag, handle) in new_timers {
             let at = self.now + delay;
-            self.push(at, EventKind::Timer { node: id, tag, handle });
+            self.push(
+                at,
+                EventKind::Timer {
+                    node: id,
+                    tag,
+                    handle,
+                },
+            );
         }
         for OutboundMessage { to, msg, size } in outbox {
             self.route(id, sender_region, to, msg, size);
@@ -421,9 +441,7 @@ where
             self.stats.messages_dropped += 1;
             return;
         }
-        if self.config.loss_probability > 0.0
-            && self.rng.gen_bool(self.config.loss_probability)
-        {
+        if self.config.loss_probability > 0.0 && self.rng.gen_bool(self.config.loss_probability) {
             self.stats.messages_lost += 1;
             return;
         }
@@ -439,7 +457,15 @@ where
         let serialization = self.config.serialization_delay(size);
         let overhead = self.config.processing_overhead;
         let at = self.now + propagation + serialization + overhead;
-        self.push(at, EventKind::Deliver { from, to, msg, size });
+        self.push(
+            at,
+            EventKind::Deliver {
+                from,
+                to,
+                msg,
+                size,
+            },
+        );
     }
 }
 

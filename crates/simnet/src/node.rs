@@ -137,10 +137,7 @@ mod tests {
         assert_eq!(ctx.outbox.len(), 2);
         assert_eq!(ctx.outbox[0].to, NodeId::new(4));
         // 3 bytes + 4-byte length prefix + envelope overhead
-        assert_eq!(
-            ctx.outbox[0].size,
-            7 + atum_types::wire::ENVELOPE_OVERHEAD
-        );
+        assert_eq!(ctx.outbox[0].size, 7 + atum_types::wire::ENVELOPE_OVERHEAD);
         assert_eq!(ctx.outbox[1].size, 9_999);
         assert_eq!(ctx.new_timers.len(), 2);
         assert_eq!(ctx.cancelled_timers, vec![10]);

@@ -18,9 +18,7 @@
 //! immediately, which is adequate for the vgroup sizes Atum uses (a handful
 //! to a few tens of members).
 
-use crate::protocol::{
-    Action, ByzantineMode, Decision, Replication, SmrConfig, SmrMessage, SmrOp,
-};
+use crate::protocol::{Action, ByzantineMode, Decision, Replication, SmrConfig, SmrMessage, SmrOp};
 use atum_crypto::{Digest, KeyRegistry};
 use atum_types::{Composition, Instant, NodeId};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
@@ -184,8 +182,7 @@ impl<O: SmrOp> AsyncSmr<O> {
                 // Partial broadcast: only half of the peers learn the
                 // assignment; the protocol must still make progress via view
                 // change or fail to deliver, but never diverge.
-                let peers: Vec<NodeId> =
-                    self.members.iter().filter(|&p| p != self.me).collect();
+                let peers: Vec<NodeId> = self.members.iter().filter(|&p| p != self.me).collect();
                 for peer in peers.iter().take(peers.len() / 2) {
                     actions.push(Action::Send {
                         to: *peer,
@@ -240,9 +237,7 @@ impl<O: SmrOp> AsyncSmr<O> {
                 continue;
             }
             let ready = match self.log.get(&next) {
-                Some(slot) => {
-                    slot.prepared && slot.commits.len() >= quorum && slot.op.is_some()
-                }
+                Some(slot) => slot.prepared && slot.commits.len() >= quorum && slot.op.is_some(),
                 None => false,
             };
             if !ready {
@@ -341,7 +336,8 @@ impl<O: SmrOp> AsyncSmr<O> {
         self.vc_votes.retain(|v, _| *v > view);
         // Drop stale, never-prepared slots from older views; they are either
         // restated below or covered by the skip set.
-        self.log.retain(|_, slot| slot.prepared || slot.view >= view);
+        self.log
+            .retain(|_, slot| slot.prepared || slot.view >= view);
         for s in &skips {
             if *s > self.last_delivered {
                 self.skips.insert(*s);
@@ -529,10 +525,7 @@ impl<O: SmrOp> Replication<O> for AsyncSmr<O> {
             }
             SmrMessage::SyncValue { .. } => {}
         }
-        if actions
-            .iter()
-            .any(|a| matches!(a, Action::Deliver(_)))
-        {
+        if actions.iter().any(|a| matches!(a, Action::Deliver(_))) {
             self.last_progress = now;
         }
         actions
@@ -671,7 +664,11 @@ mod tests {
         let correct: Vec<NodeId> = (1..4).map(NodeId::new).collect();
         c.assert_agreement_among(&correct);
         for n in &correct {
-            assert_eq!(c.decided(*n).len(), 1, "node {n} should deliver after view change");
+            assert_eq!(
+                c.decided(*n).len(),
+                1,
+                "node {n} should deliver after view change"
+            );
         }
         // The view advanced beyond 0.
         assert!(c.async_view(NodeId::new(1)) > 0);

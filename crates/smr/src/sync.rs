@@ -17,9 +17,7 @@
 //! The engine is passive: the host must call [`tick`](SyncSmr::tick) at the
 //! times requested through [`Action::ScheduleTick`].
 
-use crate::protocol::{
-    Action, ByzantineMode, Decision, Replication, SmrConfig, SmrMessage, SmrOp,
-};
+use crate::protocol::{Action, ByzantineMode, Decision, Replication, SmrConfig, SmrMessage, SmrOp};
 use atum_crypto::{Digest, KeyRegistry, NodeSigner, SignatureChain};
 use atum_types::{Composition, Instant, NodeId};
 use std::collections::{HashMap, VecDeque};
@@ -133,7 +131,11 @@ impl<O: SmrOp> SyncSmr<O> {
 
     /// Digest signed by the Dolev–Strong chain for a batch.
     fn batch_digest(slot: u64, sender: NodeId, batch: &[O]) -> Digest {
-        let mut acc = Digest::of_parts(&[b"sync-slot", &slot.to_be_bytes(), &sender.raw().to_be_bytes()]);
+        let mut acc = Digest::of_parts(&[
+            b"sync-slot",
+            &slot.to_be_bytes(),
+            &sender.raw().to_be_bytes(),
+        ]);
         for op in batch {
             acc = acc.combine(&op.digest());
         }
@@ -304,13 +306,7 @@ impl<O: SmrOp> Replication<O> for SyncSmr<O> {
         let current_round = self.round_at(now).unwrap_or(0);
         let current_slot = self.slot_of_round(current_round);
         // Ignore values for already-finalized slots.
-        if self
-            .slots
-            .get(&slot)
-            .map(|s| s.finalized)
-            .unwrap_or(false)
-            || slot + 1 < current_slot
-        {
+        if self.slots.get(&slot).map(|s| s.finalized).unwrap_or(false) || slot + 1 < current_slot {
             return actions;
         }
 

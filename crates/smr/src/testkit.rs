@@ -7,9 +7,7 @@
 //! `atum-simnet`: no bandwidth modelling, no loss — those aspects are covered
 //! by the full-system simulations.
 
-use crate::protocol::{
-    Action, ByzantineMode, Decision, Replication, SmrConfig, SmrMessage,
-};
+use crate::protocol::{Action, ByzantineMode, Decision, Replication, SmrConfig, SmrMessage};
 use crate::Engine;
 use atum_crypto::KeyRegistry;
 use atum_types::{Composition, Duration, Instant, NodeId, SmrMode};
@@ -153,7 +151,10 @@ impl LockstepCluster {
                     self.last_activity = self.now;
                 }
                 Action::Deliver(decision) => {
-                    self.decided.get_mut(&node).expect("known node").push(decision);
+                    self.decided
+                        .get_mut(&node)
+                        .expect("known node")
+                        .push(decision);
                     self.last_activity = self.now;
                 }
                 Action::ScheduleTick { .. } => {
@@ -218,8 +219,8 @@ impl LockstepCluster {
         let cap = self.now + Duration::from_secs(1200);
         loop {
             self.step();
-            let quiet = self.inflight.is_empty()
-                && self.now.saturating_since(self.last_activity) > grace;
+            let quiet =
+                self.inflight.is_empty() && self.now.saturating_since(self.last_activity) > grace;
             if quiet || self.now >= cap {
                 break;
             }

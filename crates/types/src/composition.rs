@@ -110,13 +110,7 @@ impl Composition {
     /// Maximum number of faults the vgroup tolerates under the given SMR
     /// mode: ⌊(g−1)/2⌋ synchronously, ⌊(g−1)/3⌋ asynchronously.
     pub fn max_faults(&self, mode: SmrMode) -> usize {
-        if self.members.is_empty() {
-            return 0;
-        }
-        match mode {
-            SmrMode::Synchronous => (self.members.len() - 1) / 2,
-            SmrMode::Asynchronous => (self.members.len() - 1) / 3,
-        }
+        mode.max_faults(self.members.len())
     }
 
     /// Quorum size used by the asynchronous SMR protocol: `2f + 1` where
@@ -154,7 +148,11 @@ impl Composition {
     ///
     /// Panics if `order` is not a permutation of `0..self.len()`.
     pub fn split_by_order(&self, order: &[usize]) -> (Composition, Composition) {
-        assert_eq!(order.len(), self.members.len(), "order must cover all members");
+        assert_eq!(
+            order.len(),
+            self.members.len(),
+            "order must cover all members"
+        );
         let mut seen = vec![false; order.len()];
         for &i in order {
             assert!(i < order.len() && !seen[i], "order must be a permutation");

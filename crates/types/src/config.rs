@@ -17,6 +17,20 @@ pub enum SmrMode {
     Asynchronous,
 }
 
+impl SmrMode {
+    /// The number of Byzantine faults a group of `group_size` members
+    /// tolerates under this engine: `⌊(g−1)/2⌋` synchronous, `⌊(g−1)/3⌋`
+    /// asynchronous. The single source of the fault-bound formula — quorum
+    /// and corroboration thresholds everywhere must derive from it.
+    pub fn max_faults(self, group_size: usize) -> usize {
+        let g = group_size.max(1);
+        match self {
+            SmrMode::Synchronous => (g - 1) / 2,
+            SmrMode::Asynchronous => (g - 1) / 3,
+        }
+    }
+}
+
 /// How the default `forward` callback spreads a broadcast across the H-graph
 /// (§3.3.4): applications can trade latency against throughput.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
@@ -232,9 +246,27 @@ mod tests {
     fn invalid_params_are_rejected() {
         let base = Params::default();
         let cases: Vec<(Params, &str)> = vec![
-            (Params { hc: 0, ..base.clone() }, "hc"),
-            (Params { rwl: 0, ..base.clone() }, "rwl"),
-            (Params { gmin: 0, ..base.clone() }, "gmin"),
+            (
+                Params {
+                    hc: 0,
+                    ..base.clone()
+                },
+                "hc",
+            ),
+            (
+                Params {
+                    rwl: 0,
+                    ..base.clone()
+                },
+                "rwl",
+            ),
+            (
+                Params {
+                    gmin: 0,
+                    ..base.clone()
+                },
+                "gmin",
+            ),
             (
                 Params {
                     gmin: 20,
@@ -243,7 +275,14 @@ mod tests {
                 },
                 "gmin",
             ),
-            (Params { gmax: 3, gmin: 2, ..base.clone() }, "gmax"),
+            (
+                Params {
+                    gmax: 3,
+                    gmin: 2,
+                    ..base.clone()
+                },
+                "gmax",
+            ),
             (
                 Params {
                     round: Duration::ZERO,
@@ -265,7 +304,13 @@ mod tests {
                 },
                 "eviction",
             ),
-            (Params { rho: 0, ..base.clone() }, "rho"),
+            (
+                Params {
+                    rho: 0,
+                    ..base.clone()
+                },
+                "rho",
+            ),
             (
                 Params {
                     chunks_per_file: 0,

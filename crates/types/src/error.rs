@@ -118,7 +118,10 @@ impl fmt::Display for AtumError {
             }
             AtumError::NotFound { key } => write!(f, "not found: {key}"),
             AtumError::AllReplicasCorrupt { file, chunk } => {
-                write!(f, "all replicas of chunk {chunk} of file {file:?} are corrupt")
+                write!(
+                    f,
+                    "all replicas of chunk {chunk} of file {file:?} are corrupt"
+                )
             }
             AtumError::AccessDenied { what } => write!(f, "access denied: {what}"),
             AtumError::Internal { reason } => write!(f, "internal error: {reason}"),
@@ -150,10 +153,7 @@ mod tests {
                 },
                 "g9",
             ),
-            (
-                AtumError::PayloadTooLarge { size: 10, max: 5 },
-                "10 bytes",
-            ),
+            (AtumError::PayloadTooLarge { size: 10, max: 5 }, "10 bytes"),
             (AtumError::auth("bad signature"), "bad signature"),
             (AtumError::not_found("file.txt"), "file.txt"),
             (
@@ -173,7 +173,9 @@ mod tests {
         ];
         for (err, needle) in cases {
             assert!(
-                err.to_string().to_lowercase().contains(&needle.to_lowercase()),
+                err.to_string()
+                    .to_lowercase()
+                    .contains(&needle.to_lowercase()),
                 "{err} should mention {needle}"
             );
         }

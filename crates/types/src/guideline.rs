@@ -84,7 +84,10 @@ mod tests {
     fn rwl_shrinks_with_density() {
         let sparse = recommended_rwl(2048, 2);
         let dense = recommended_rwl(2048, 12);
-        assert!(dense < sparse, "dense {dense} should be below sparse {sparse}");
+        assert!(
+            dense < sparse,
+            "dense {dense} should be below sparse {sparse}"
+        );
     }
 
     #[test]
@@ -92,7 +95,10 @@ mod tests {
         for &v in &FIGURE4_VGROUP_COUNTS {
             for hc in 2..=12u8 {
                 let rwl = recommended_rwl(v, hc);
-                assert!((4..=15).contains(&rwl), "rwl {rwl} out of range for v={v} hc={hc}");
+                assert!(
+                    (4..=15).contains(&rwl),
+                    "rwl {rwl} out of range for v={v} hc={hc}"
+                );
             }
         }
     }

@@ -57,7 +57,8 @@ fn main() {
         .into_iter()
         .find(|id| {
             let app = cluster.sim.node(*id).unwrap().app();
-            !app.stored_files().contains(&(owner, "dataset.tar".to_string()))
+            !app.stored_files()
+                .contains(&(owner, "dataset.tar".to_string()))
         })
         .unwrap_or(NodeId::new(1));
     cluster.sim.call(reader, move |node, ctx| {
@@ -67,7 +68,13 @@ fn main() {
     });
     cluster.sim.run_for(Duration::from_secs(60));
 
-    let outcomes = cluster.sim.node(reader).unwrap().app().completed_gets().to_vec();
+    let outcomes = cluster
+        .sim
+        .node(reader)
+        .unwrap()
+        .app()
+        .completed_gets()
+        .to_vec();
     for o in &outcomes {
         println!(
             "reader {reader}: read {} ({} MB) in {:.2}s ({:.3} s/MB, {} retries)",

@@ -34,7 +34,9 @@ fn main() {
     sim.call(NodeId::new(0), |n, ctx| n.bootstrap(ctx).unwrap());
     sim.run_for(Duration::from_secs(2));
     for i in 1..nodes {
-        sim.call(NodeId::new(i), |n, ctx| n.join(NodeId::new(0), ctx).unwrap());
+        sim.call(NodeId::new(i), |n, ctx| {
+            n.join(NodeId::new(0), ctx).unwrap()
+        });
         sim.run_for(Duration::from_secs(45));
     }
 
@@ -44,7 +46,8 @@ fn main() {
     println!("members after joins: {members}/{nodes}");
 
     sim.call(NodeId::new(3), |n, ctx| {
-        n.broadcast(b"hello, volatile groups!".to_vec(), ctx).unwrap();
+        n.broadcast(b"hello, volatile groups!".to_vec(), ctx)
+            .unwrap();
     });
     sim.run_for(Duration::from_secs(30));
 

@@ -1,0 +1,98 @@
+//! Sustained-churn recovery: the headline liveness property of the Atum
+//! evaluation (§6.1.2). A standing cluster endures continuous leave/re-join
+//! cycles; at least 90 % of the cycles must complete, the run must be
+//! deterministic for a fixed seed, and no ghost composition entries (nodes
+//! listed by a vgroup they are not members of) may survive the final cycle.
+
+use atum::core::CollectingApp;
+use atum::sim::{run_churn, ChurnReport, ClusterBuilder};
+use atum::simnet::NetConfig;
+use atum::types::{Duration, Params};
+
+const SEED: u64 = 23;
+
+fn churn_params() -> Params {
+    Params::default()
+        .with_round(Duration::from_millis(500))
+        .with_group_bounds(3, 10)
+        .with_overlay(3, 5)
+        // Tight failure detection, as in the churny_cluster example: churny
+        // deployments must evict stranded entries within seconds.
+        .with_failure_detection(Duration::from_secs(5), 3)
+}
+
+fn run_once() -> ChurnReport {
+    let mut cluster = ClusterBuilder::new(30)
+        .params(churn_params())
+        .net(NetConfig::lan())
+        .seed(SEED)
+        .build(|_| CollectingApp::new());
+    run_churn(
+        &mut cluster,
+        2.0,
+        Duration::from_secs(180),
+        Duration::from_secs(5),
+        SEED,
+    )
+}
+
+#[test]
+fn sustained_churn_completes_ninety_percent_without_ghosts() {
+    let report = run_once();
+    assert!(
+        report.attempted >= 5,
+        "expected a meaningful number of cycles, got {}",
+        report.attempted
+    );
+    assert!(
+        report.completion_ratio() >= 0.9,
+        "completion {}/{} ({:.0}%), stalls {:?}",
+        report.completed,
+        report.attempted,
+        report.completion_ratio() * 100.0,
+        report.stalls
+    );
+    assert_eq!(
+        report.ghost_entries, 0,
+        "ghost composition entries survived the final cycle"
+    );
+    // Every completed cycle has a recovery latency sample and a consistent
+    // per-cycle record.
+    assert_eq!(report.rejoin_latencies.len(), report.completed);
+    assert_eq!(report.cycles.len(), report.attempted);
+    assert_eq!(
+        report.stalls.total(),
+        report.attempted - report.completed,
+        "stall causes must account for every uncompleted cycle"
+    );
+    for cycle in &report.cycles {
+        assert!(cycle.rejoin_at_secs > cycle.left_at_secs);
+        if let Some(t) = cycle.completed_at_secs {
+            assert!(t >= cycle.left_at_secs);
+        }
+    }
+}
+
+#[test]
+fn churn_run_is_deterministic_for_a_fixed_seed() {
+    let a = run_once();
+    let b = run_once();
+    assert_eq!(a.attempted, b.attempted);
+    assert_eq!(a.completed, b.completed);
+    assert_eq!(a.final_members, b.final_members);
+    assert_eq!(a.ghost_entries, b.ghost_entries);
+    assert_eq!(a.stalls, b.stalls);
+    let key = |r: &ChurnReport| -> Vec<(u64, String, Option<String>)> {
+        r.cycles
+            .iter()
+            .map(|c| {
+                (
+                    c.victim.raw(),
+                    format!("{:.6}/{:.6}", c.left_at_secs, c.rejoin_at_secs),
+                    c.completed_at_secs.map(|t| format!("{t:.6}")),
+                )
+            })
+            .collect()
+    };
+    assert_eq!(key(&a), key(&b), "per-cycle records must be identical");
+}

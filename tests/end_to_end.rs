@@ -29,13 +29,20 @@ fn liveness_joining_nodes_eventually_deliver_broadcasts() {
     for i in 0..4u64 {
         sim.add_node(
             NodeId::new(i),
-            AtumNode::new(NodeId::new(i), params.clone(), registry.clone(), CollectingApp::new()),
+            AtumNode::new(
+                NodeId::new(i),
+                params.clone(),
+                registry.clone(),
+                CollectingApp::new(),
+            ),
         );
     }
     sim.call(NodeId::new(0), |n, ctx| n.bootstrap(ctx).unwrap());
     sim.run_for(Duration::from_secs(2));
     for i in 1..4u64 {
-        sim.call(NodeId::new(i), |n, ctx| n.join(NodeId::new(0), ctx).unwrap());
+        sim.call(NodeId::new(i), |n, ctx| {
+            n.join(NodeId::new(0), ctx).unwrap()
+        });
         sim.run_for(Duration::from_secs(60));
     }
     sim.call(NodeId::new(1), |n, ctx| {
@@ -43,11 +50,7 @@ fn liveness_joining_nodes_eventually_deliver_broadcasts() {
     });
     sim.run_for(Duration::from_secs(30));
     for i in 0..4u64 {
-        let delivered = sim
-            .node(NodeId::new(i))
-            .unwrap()
-            .app()
-            .delivered_payloads();
+        let delivered = sim.node(NodeId::new(i)).unwrap().app().delivered_payloads();
         assert!(
             delivered.iter().any(|p| p == b"liveness"),
             "node {i} never delivered"

@@ -36,7 +36,9 @@ fn run_quickstart(seed: u64) -> Vec<(bool, Option<Instant>)> {
     sim.call(NodeId::new(0), |n, ctx| n.bootstrap(ctx).unwrap());
     sim.run_for(Duration::from_secs(2));
     for i in 1..NODES {
-        sim.call(NodeId::new(i), |n, ctx| n.join(NodeId::new(0), ctx).unwrap());
+        sim.call(NodeId::new(i), |n, ctx| {
+            n.join(NodeId::new(0), ctx).unwrap()
+        });
         sim.run_for(Duration::from_secs(45));
     }
 

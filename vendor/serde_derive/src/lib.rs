@@ -20,14 +20,18 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 #[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
-    generate_serialize(&item).parse().expect("generated Serialize impl must parse")
+    generate_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl must parse")
 }
 
 /// Derives `serde::Deserialize` (the vendored mini-serde trait).
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
-    generate_deserialize(&item).parse().expect("generated Deserialize impl must parse")
+    generate_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl must parse")
 }
 
 struct GenericParam {

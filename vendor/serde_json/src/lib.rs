@@ -225,14 +225,18 @@ impl<'a> Parser<'a> {
         let mut out = String::new();
         loop {
             let rest = &self.bytes[self.pos..];
-            let c = *rest.first().ok_or_else(|| Error::new("unterminated string"))?;
+            let c = *rest
+                .first()
+                .ok_or_else(|| Error::new("unterminated string"))?;
             match c {
                 b'"' => {
                     self.pos += 1;
                     return Ok(out);
                 }
                 b'\\' => {
-                    let esc = *rest.get(1).ok_or_else(|| Error::new("unterminated escape"))?;
+                    let esc = *rest
+                        .get(1)
+                        .ok_or_else(|| Error::new("unterminated escape"))?;
                     self.pos += 2;
                     match esc {
                         b'"' => out.push('"'),
@@ -260,10 +264,7 @@ impl<'a> Parser<'a> {
                             out.push(c);
                         }
                         other => {
-                            return Err(Error::new(format!(
-                                "invalid escape `\\{}`",
-                                other as char
-                            )))
+                            return Err(Error::new(format!("invalid escape `\\{}`", other as char)))
                         }
                     }
                 }
@@ -271,7 +272,10 @@ impl<'a> Parser<'a> {
                     // Consume one UTF-8 encoded character.
                     let s = std::str::from_utf8(rest)
                         .map_err(|_| Error::new("invalid UTF-8 in string"))?;
-                    let ch = s.chars().next().ok_or_else(|| Error::new("unterminated string"))?;
+                    let ch = s
+                        .chars()
+                        .next()
+                        .ok_or_else(|| Error::new("unterminated string"))?;
                     out.push(ch);
                     self.pos += ch.len_utf8();
                 }
@@ -298,7 +302,12 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                     return Ok(Value::Seq(items));
                 }
-                _ => return Err(Error::new(format!("expected `,` or `]` at byte {}", self.pos))),
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
@@ -327,7 +336,12 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                     return Ok(Value::Map(entries));
                 }
-                _ => return Err(Error::new(format!("expected `,` or `}}` at byte {}", self.pos))),
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
