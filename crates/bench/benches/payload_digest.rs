@@ -1,0 +1,45 @@
+//! Micro-benchmark: structural digesting of group payloads — the per-message
+//! cost the zero-copy fabric memoizes away on the receive path, and the cost
+//! the sender still pays once per logical group message.
+
+use atum_core::message::GroupPayload;
+use atum_crypto::Digestible;
+use atum_types::{BroadcastId, Composition, NodeId, VgroupId};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn gossip_payload(bytes: usize) -> GroupPayload {
+    GroupPayload::Gossip {
+        id: BroadcastId::new(NodeId::new(7), 42),
+        payload: vec![0x5au8; bytes].into(),
+        hops: 3,
+    }
+}
+
+fn composition_update(members: u64) -> GroupPayload {
+    GroupPayload::CompositionUpdate {
+        group: VgroupId::new(9),
+        composition: (0..members).map(NodeId::new).collect::<Composition>(),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("payload_digest");
+    for size in [64usize, 1024, 16 * 1024] {
+        let payload = gossip_payload(size);
+        group.bench_with_input(BenchmarkId::new("gossip", size), &payload, |b, p| {
+            b.iter(|| black_box(p.structural_digest()))
+        });
+    }
+    for members in [5u64, 13, 21] {
+        let payload = composition_update(members);
+        group.bench_with_input(
+            BenchmarkId::new("composition_update", members),
+            &payload,
+            |b, p| b.iter(|| black_box(p.structural_digest())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -41,6 +41,7 @@ fn main() {
         "cluster: {nodes} nodes in {} vgroups, {byzantine} Byzantine, churn {rate_per_minute}/min for {duration_secs}s"
     , cluster.directory.group_count());
 
+    let wall_start = std::time::Instant::now();
     let report = run_churn(
         &mut cluster,
         rate_per_minute,
@@ -48,6 +49,7 @@ fn main() {
         Duration::from_secs(rejoin_pause_secs),
         17,
     );
+    let wall = wall_start.elapsed();
 
     println!();
     println!(
@@ -124,6 +126,7 @@ fn main() {
         .metric("latency_mean_secs", latencies.mean())
         .metric("latency_p90_secs", latencies.percentile(90.0))
         .metric("latency_max_secs", latencies.max())
-        .metric("latency_buckets", report.rejoin_histogram.buckets());
+        .metric("latency_buckets", report.rejoin_histogram.buckets())
+        .perf(wall, Some(report.events_processed));
     atum_bench::emit(&record);
 }

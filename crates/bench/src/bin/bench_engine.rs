@@ -1,0 +1,183 @@
+//! Engine microbenchmark: raw event-loop throughput, group-message fan-out,
+//! and digest operations, measured in wall-clock time.
+//!
+//! Unlike the figure binaries (which reproduce the paper's *protocol*
+//! results), this binary measures the *simulator and message fabric itself*:
+//! how many discrete events per second the engine sustains, how expensive a
+//! vgroup-to-vgroup fan-out is end to end, and how fast group payloads can
+//! be digested. Its JSONL records (`--json` / `ATUM_BENCH_JSON`) are the
+//! perf trajectory future PRs regress against; CI gates on a conservative
+//! events/sec floor for the fan-out scenario.
+
+use atum_bench::{print_header, scaled, BenchRecord};
+use atum_core::message::GroupPayload;
+use atum_core::CollectingApp;
+use atum_sim::{run_broadcast_workload, ClusterBuilder};
+use atum_simnet::{Context, NetConfig, Node, Simulation};
+use atum_types::{BroadcastId, Composition, Duration, NodeId, Params, VgroupId, WireSize};
+use std::time::Instant as WallInstant;
+
+const SEED: u64 = 0xE46;
+
+/// A minimal actor that relays a countdown token around a ring: every
+/// delivery costs exactly one send, so the scenario is pure engine overhead
+/// (queue, latency sampling, context construction) with no protocol logic.
+struct RingRelay {
+    next: NodeId,
+}
+
+/// The token: remaining hops.
+struct Token(u64);
+
+impl WireSize for Token {
+    fn wire_size(&self) -> usize {
+        8
+    }
+}
+
+impl Node<Token> for RingRelay {
+    fn on_message(&mut self, _from: NodeId, msg: Token, ctx: &mut Context<'_, Token>) {
+        if msg.0 > 0 {
+            ctx.send(self.next, Token(msg.0 - 1));
+        }
+    }
+    fn on_timer(&mut self, _tag: u64, _ctx: &mut Context<'_, Token>) {}
+}
+
+/// Raw event-loop throughput: `tokens` countdown tokens race around a
+/// `nodes`-sized ring until they expire.
+fn event_loop_scenario(nodes: u64, tokens: u64, hops: u64) {
+    let mut sim: Simulation<Token, RingRelay> = Simulation::new(NetConfig::lan(), SEED);
+    for i in 0..nodes {
+        let next = NodeId::new((i + 1) % nodes);
+        sim.add_node(NodeId::new(i), RingRelay { next });
+    }
+    sim.run_until_idle(Duration::from_secs(1)); // drain the Start events
+    sim.stats_mut().events_processed = 0;
+
+    let start = WallInstant::now();
+    for t in 0..tokens {
+        let entry = NodeId::new(t % nodes);
+        let next = NodeId::new((t + 1) % nodes);
+        sim.call(entry, move |_n, ctx| ctx.send(next, Token(hops)));
+    }
+    sim.run_until_idle(Duration::from_secs(1_000_000));
+    let wall = start.elapsed();
+    let events = sim.stats().events_processed;
+
+    println!(
+        "event_loop: {events} events in {:.1} ms ({:.0} events/s)",
+        wall.as_secs_f64() * 1e3,
+        events as f64 / wall.as_secs_f64()
+    );
+    atum_bench::emit(
+        &BenchRecord::new("bench_engine", SEED)
+            .param("scenario", "event_loop")
+            .param("nodes", nodes)
+            .param("tokens", tokens)
+            .param("hops", hops)
+            .metric("events", events)
+            .perf(wall, Some(events)),
+    );
+}
+
+/// Group-message fan-out: a standing Atum cluster disseminates broadcasts
+/// through the full vgroup-to-vgroup fabric (every member of the source
+/// vgroup sends one envelope copy to every member of each target vgroup;
+/// receivers run digest-keyed majority acceptance). This is the scenario the
+/// zero-copy fabric optimises and the one CI gates on.
+fn group_fanout_scenario(nodes: usize, broadcasts: usize) {
+    let params = Params::default()
+        .with_round(Duration::from_millis(500))
+        .with_group_bounds(3, 10)
+        .with_overlay(3, 5);
+    let mut cluster = ClusterBuilder::new(nodes)
+        .params(params)
+        .net(NetConfig::lan())
+        .seed(SEED)
+        .build(|_| CollectingApp::new());
+    cluster.sim.run_for(Duration::from_secs(2));
+    cluster.sim.stats_mut().events_processed = 0;
+
+    let start = WallInstant::now();
+    let report = run_broadcast_workload(
+        &mut cluster,
+        broadcasts,
+        256,
+        Duration::from_millis(500),
+        Duration::from_secs(30),
+        SEED,
+    );
+    let wall = start.elapsed();
+    let events = cluster.sim.stats().events_processed;
+
+    println!(
+        "group_fanout: {events} events, {}/{} deliveries in {:.1} ms ({:.0} events/s)",
+        report.observed_deliveries,
+        report.expected_deliveries,
+        wall.as_secs_f64() * 1e3,
+        events as f64 / wall.as_secs_f64()
+    );
+    atum_bench::emit(
+        &BenchRecord::new("bench_engine", SEED)
+            .param("scenario", "group_fanout")
+            .param("nodes", nodes)
+            .param("broadcasts", broadcasts)
+            .metric("events", events)
+            .metric("delivery_ratio", report.delivery_ratio())
+            .metric("messages_sent", cluster.sim.stats().messages_sent)
+            .perf(wall, Some(events)),
+    );
+}
+
+/// Digest throughput: structural digesting of representative group payloads
+/// (a gossip payload and a composition update), the per-copy cost the
+/// receiver paid before digests were memoized.
+fn digest_scenario(iterations: u64) {
+    let gossip = GroupPayload::Gossip {
+        id: BroadcastId::new(NodeId::new(7), 42),
+        payload: vec![0x5au8; 1024].into(),
+        hops: 3,
+    };
+    let comp: Composition = (0..16).map(NodeId::new).collect();
+    let update = GroupPayload::CompositionUpdate {
+        group: VgroupId::new(9),
+        composition: comp,
+    };
+
+    let start = WallInstant::now();
+    let mut acc = 0u64;
+    for _ in 0..iterations {
+        acc ^= gossip.digest().as_u64();
+        acc ^= update.digest().as_u64();
+    }
+    let wall = start.elapsed();
+    let digests = iterations * 2;
+
+    println!(
+        "digest_ops: {digests} digests in {:.1} ms ({:.0} digests/s, checksum {acc:x})",
+        wall.as_secs_f64() * 1e3,
+        digests as f64 / wall.as_secs_f64()
+    );
+    atum_bench::emit(
+        &BenchRecord::new("bench_engine", SEED)
+            .param("scenario", "digest_ops")
+            .param("iterations", iterations)
+            .metric("digests", digests)
+            .metric(
+                "digests_per_sec",
+                digests as f64 / wall.as_secs_f64().max(1e-9),
+            )
+            .perf(wall, None),
+    );
+}
+
+fn main() {
+    print_header(
+        "Engine bench",
+        "raw event-loop throughput, group-message fan-out, digest ops (wall clock)",
+    );
+    event_loop_scenario(scaled(64, 256), scaled(64, 256), scaled(2_000, 10_000));
+    group_fanout_scenario(scaled(40, 120), scaled(40, 120));
+    digest_scenario(scaled(50_000, 500_000));
+}

@@ -46,6 +46,7 @@ fn main() {
         print!("{v:>10}");
         for &hc in &hcs {
             let seed = 1000 + v as u64 + hc as u64;
+            let wall_start = std::time::Instant::now();
             let rwl = optimal_rwl(v, hc, walks_per_group, seed);
             print!("{rwl:>6}");
             atum_bench::emit(
@@ -53,7 +54,10 @@ fn main() {
                     .param("vgroups", v)
                     .param("hc", hc)
                     .param("walks_per_group", walks_per_group)
-                    .metric("rwl", rwl),
+                    .metric("rwl", rwl)
+                    // Graph-level walks, no discrete-event simulation behind
+                    // this figure: wall clock only.
+                    .perf(wall_start.elapsed(), None),
             );
         }
         println!();

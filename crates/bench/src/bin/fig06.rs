@@ -24,7 +24,9 @@ fn main() {
                 SmrMode::Asynchronous => NetConfig::wan(),
             };
             let seed = 6 + target as u64;
+            let wall_start = std::time::Instant::now();
             let report = run_growth(params, net, seed, target, 0.08, max_sim);
+            let wall = wall_start.elapsed();
             let final_members = report.size_over_time.last().map(|&(_, n)| n).unwrap_or(0);
             atum_bench::emit(
                 &BenchRecord::new("fig06", seed)
@@ -37,7 +39,8 @@ fn main() {
                     .metric(
                         "exchange_completion_rate",
                         report.exchange_completion_rate(),
-                    ),
+                    )
+                    .perf(wall, Some(report.events_processed)),
             );
             println!();
             println!(

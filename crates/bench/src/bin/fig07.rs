@@ -8,9 +8,10 @@ use atum_sim::{run_churn, ClusterBuilder};
 use atum_simnet::NetConfig;
 use atum_types::{Duration, SmrMode};
 
-fn max_sustained_rate(n: usize, rwl: u8, hc: u8, mode: SmrMode, rates: &[f64]) -> (f64, f64) {
+fn max_sustained_rate(n: usize, rwl: u8, hc: u8, mode: SmrMode, rates: &[f64]) -> (f64, f64, u64) {
     let mut best = 0.0f64;
     let mut best_ratio = 0.0f64;
+    let mut events = 0u64;
     for &rate in rates {
         let params = experiment_params(n, 500)
             .with_overlay(hc, rwl)
@@ -28,6 +29,7 @@ fn max_sustained_rate(n: usize, rwl: u8, hc: u8, mode: SmrMode, rates: &[f64]) -
             Duration::from_secs(5),
             3,
         );
+        events += report.events_processed;
         if report.sustained(initial) && rate > best {
             best = rate;
             best_ratio = report.completion_ratio();
@@ -35,7 +37,7 @@ fn max_sustained_rate(n: usize, rwl: u8, hc: u8, mode: SmrMode, rates: &[f64]) -
             best_ratio = best_ratio.max(report.completion_ratio());
         }
     }
-    (best, best_ratio)
+    (best, best_ratio, events)
 }
 
 fn main() {
@@ -61,7 +63,9 @@ fn main() {
     );
     for &n in &sizes {
         for (label, rwl, hc, mode) in &configs {
-            let (rate, ratio) = max_sustained_rate(n, *rwl, *hc, *mode, &rates);
+            let wall_start = std::time::Instant::now();
+            let (rate, ratio, events) = max_sustained_rate(n, *rwl, *hc, *mode, &rates);
+            let wall = wall_start.elapsed();
             println!("{n:>8} {label:>24} {rate:>22.1} {ratio:>18.2}");
             // The record's seed is the cluster seed of the winning probe
             // (`max_sustained_rate` derives it from n and the rate); the
@@ -74,7 +78,8 @@ fn main() {
                     .param("hc", *hc)
                     .param("churn_seed", 3u64)
                     .metric("max_sustained_per_minute", rate)
-                    .metric("completion_ratio", ratio),
+                    .metric("completion_ratio", ratio)
+                    .perf(wall, Some(events)),
             );
         }
     }

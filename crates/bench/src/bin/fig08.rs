@@ -25,6 +25,7 @@ fn atum_series(n: usize, byzantine: usize, mode: SmrMode, broadcasts: usize) -> 
         .seed(8_000 + n as u64 + byzantine as u64)
         .byzantine(byzantine)
         .build(|_| CollectingApp::new());
+    let wall_start = std::time::Instant::now();
     let report = run_broadcast_workload(
         &mut cluster,
         broadcasts,
@@ -33,6 +34,7 @@ fn atum_series(n: usize, byzantine: usize, mode: SmrMode, broadcasts: usize) -> 
         Duration::from_secs(60),
         17,
     );
+    let wall = wall_start.elapsed();
     println!(
         "  [N={n}, byz={byzantine}, {mode:?}] delivery ratio {:.3}, mean hops {:.1}",
         report.delivery_ratio(),
@@ -47,7 +49,8 @@ fn atum_series(n: usize, byzantine: usize, mode: SmrMode, broadcasts: usize) -> 
             .metric("delivery_ratio", report.delivery_ratio())
             .metric("mean_hops", report.mean_hops)
             .metric("latency_mean_secs", latencies.mean())
-            .metric("latency_p90_secs", latencies.percentile(90.0)),
+            .metric("latency_p90_secs", latencies.percentile(90.0))
+            .perf(wall, Some(cluster.sim.stats().events_processed)),
     );
     report.latencies
 }

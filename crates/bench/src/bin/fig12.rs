@@ -9,7 +9,7 @@ use atum_sim::{ClusterBuilder, LatencySeries};
 use atum_simnet::NetConfig;
 use atum_types::{Duration, GossipPolicy, NodeId};
 
-fn run_stream(n: usize, cycles: u8, seed: u64) -> (f64, f64) {
+fn run_stream(n: usize, cycles: u8, seed: u64) -> (f64, f64, u64) {
     let chunk_size = 1u32 << 20; // 1 MiB per second
     let chunks = scaled(10u64, 30);
     let params = experiment_params(n, 1_000).with_gossip(GossipPolicy::Cycles(cycles));
@@ -70,10 +70,14 @@ fn run_stream(n: usize, cycles: u8, seed: u64) -> (f64, f64) {
     }
     let expected = (n as u64 - 1) * chunks;
     println!("  [N={n}, cycles={cycles}] chunk deliveries {delivered}/{expected}",);
-    (tier2.mean() * 1000.0, {
-        let mut t = tier2;
-        t.percentile(90.0) * 1000.0
-    })
+    (
+        tier2.mean() * 1000.0,
+        {
+            let mut t = tier2;
+            t.percentile(90.0) * 1000.0
+        },
+        cluster.sim.stats().events_processed,
+    )
 }
 
 fn main() {
@@ -89,7 +93,9 @@ fn main() {
     for &n in &sizes {
         for cycles in [1u8, 2] {
             let seed = 1_200 + n as u64 + cycles as u64;
-            let (mean_ms, p90_ms) = run_stream(n, cycles, seed);
+            let wall_start = std::time::Instant::now();
+            let (mean_ms, p90_ms, events) = run_stream(n, cycles, seed);
+            let wall = wall_start.elapsed();
             let label = if cycles == 1 { "Single" } else { "Double" };
             println!("{n:>6} {label:>14} {mean_ms:>20.0} {p90_ms:>20.0}");
             atum_bench::emit(
@@ -97,7 +103,8 @@ fn main() {
                     .param("nodes", n)
                     .param("cycles", cycles)
                     .metric("tier2_mean_ms", mean_ms)
-                    .metric("tier2_p90_ms", p90_ms),
+                    .metric("tier2_p90_ms", p90_ms)
+                    .perf(wall, Some(events)),
             );
         }
     }

@@ -21,7 +21,9 @@ fn main() {
     for rate in [0.08, 0.20, 0.24] {
         let params = experiment_params(target, 1_000);
         let seed = 1_300 + (rate * 100.0) as u64;
+        let wall_start = std::time::Instant::now();
         let report = run_growth(params, NetConfig::lan(), seed, target, rate, max_sim);
+        let wall = wall_start.elapsed();
         println!(
             "{:>9}% {:>16.0} {:>14.3} {:>12} {:>12}",
             (rate * 100.0) as u32,
@@ -41,7 +43,8 @@ fn main() {
                 )
                 .metric("exchanges_completed", report.exchanges_completed)
                 .metric("exchanges_suppressed", report.exchanges_suppressed)
-                .metric("reached", report.reached_target),
+                .metric("reached", report.reached_target)
+                .perf(wall, Some(report.events_processed)),
         );
     }
     println!();

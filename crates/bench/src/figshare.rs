@@ -100,6 +100,7 @@ pub fn run(figure: &str, nodes: usize, files: usize, byzantine: usize, seed: u64
 
     // The reader reads every file; group latencies by replica count and
     // by whether any replica holder is Byzantine.
+    let wall_start = std::time::Instant::now();
     let mut gap = Duration::from_secs(0);
     for (name, owner, _) in &plan {
         let name = name.clone();
@@ -165,6 +166,10 @@ pub fn run(figure: &str, nodes: usize, files: usize, byzantine: usize, seed: u64
             record = record.metric(&format!("faulty_secs_per_mb_r{count}"), faulty);
         }
     }
+    record = record.perf(
+        wall_start.elapsed(),
+        Some(cluster.sim.stats().events_processed),
+    );
     crate::emit(&record);
     println!();
     println!("Expected shape: reads touching corrupt replicas pay for re-pulled chunks; the");

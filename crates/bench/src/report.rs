@@ -36,6 +36,11 @@ pub struct BenchRecord {
     pub params: Vec<(String, Value)>,
     /// Measured outputs.
     pub metrics: Vec<(String, Value)>,
+    /// Wall-clock duration of the run in milliseconds (perf trajectory).
+    pub wall_clock_ms: Option<f64>,
+    /// Simulator events processed per wall-clock second (perf trajectory).
+    /// `None` for experiments that do not drive a discrete-event simulation.
+    pub events_per_sec: Option<f64>,
 }
 
 impl BenchRecord {
@@ -52,7 +57,26 @@ impl BenchRecord {
             seed,
             params: Vec::new(),
             metrics: Vec::new(),
+            wall_clock_ms: None,
+            events_per_sec: None,
         }
+    }
+
+    /// Stamps the wall-clock duration of the run and, when the run drove a
+    /// discrete-event simulation, its raw event throughput. These land as
+    /// top-level keys next to `metrics`, giving every figure a comparable
+    /// perf trajectory that future PRs can regress against.
+    pub fn perf(mut self, wall_clock: std::time::Duration, events_processed: Option<u64>) -> Self {
+        let wall_ms = wall_clock.as_secs_f64() * 1e3;
+        self.wall_clock_ms = Some(wall_ms);
+        self.events_per_sec = events_processed.map(|events| {
+            if wall_ms > 0.0 {
+                events as f64 / (wall_ms / 1e3)
+            } else {
+                0.0
+            }
+        });
+        self
     }
 
     /// Adds an input parameter.
@@ -69,13 +93,20 @@ impl BenchRecord {
 
     /// The record as a JSON value tree.
     pub fn to_value(&self) -> Value {
-        Value::Map(vec![
+        let mut entries = vec![
             ("figure".to_string(), Value::Str(self.figure.clone())),
             ("scale".to_string(), Value::Str(self.scale.clone())),
             ("seed".to_string(), Value::U64(self.seed)),
             ("params".to_string(), Value::Map(self.params.clone())),
             ("metrics".to_string(), Value::Map(self.metrics.clone())),
-        ])
+        ];
+        if let Some(wall) = self.wall_clock_ms {
+            entries.push(("wall_clock_ms".to_string(), Value::F64(wall)));
+        }
+        if let Some(eps) = self.events_per_sec {
+            entries.push(("events_per_sec".to_string(), Value::F64(eps)));
+        }
+        Value::Map(entries)
     }
 
     /// The record as one line of JSON.
@@ -172,6 +203,25 @@ mod tests {
             .map(|(k, _)| k.as_str())
             .collect();
         assert_eq!(keys, ["figure", "scale", "seed", "params", "metrics"]);
+    }
+
+    #[test]
+    fn perf_fields_are_optional_top_level_keys() {
+        // Without perf: the pre-existing five-key shape (gates rely on it).
+        let bare = BenchRecord::new("fig99", 1);
+        assert!(!bare.to_json_line().contains("wall_clock_ms"));
+        // With perf: wall clock and events/sec appear as top-level keys.
+        let timed =
+            BenchRecord::new("fig99", 1).perf(std::time::Duration::from_millis(500), Some(1_000));
+        let line = timed.to_json_line();
+        assert!(line.contains("\"wall_clock_ms\":500"));
+        assert!(line.contains("\"events_per_sec\":2000"));
+        // A simulation-free experiment reports wall clock only.
+        let no_events =
+            BenchRecord::new("fig99", 1).perf(std::time::Duration::from_millis(10), None);
+        let line = no_events.to_json_line();
+        assert!(line.contains("wall_clock_ms"));
+        assert!(!line.contains("events_per_sec"));
     }
 
     #[test]

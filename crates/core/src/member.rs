@@ -115,7 +115,10 @@ pub struct MemberState {
     pub epoch: u64,
     engine: Option<Engine<GroupOp>>,
     applied_ops: HashSet<Digest>,
-    my_pending: Vec<GroupOp>,
+    /// Operations this member proposed but has not yet seen applied, keyed
+    /// by their memoized digest so the dedup scan compares cached 32-byte
+    /// values instead of re-hashing every pending op.
+    my_pending: Vec<(Digest, GroupOp)>,
     collector: GroupMessageCollector,
     seen_broadcasts: SeenCache,
     next_broadcast_seq: u64,
@@ -270,8 +273,8 @@ impl MemberState {
         if self.applied_ops.contains(&digest) {
             return;
         }
-        if !self.my_pending.iter().any(|p| p.digest() == digest) {
-            self.my_pending.push(op.clone());
+        if !self.my_pending.iter().any(|(d, _)| *d == digest) {
+            self.my_pending.push((digest, op.clone()));
         }
         if self.composition.len() == 1 && self.composition.contains(self.me.id) {
             // Single-member vgroup: agreement is trivial; apply immediately.
@@ -464,7 +467,7 @@ impl MemberState {
         if !self.applied_ops.insert(digest) {
             return;
         }
-        self.my_pending.retain(|p| p.digest() != digest);
+        self.my_pending.retain(|(d, _)| *d != digest);
         let epoch_before = self.epoch;
         match op {
             GroupOp::HandleJoinRequest { joiner, rejoin, .. } => {
@@ -770,22 +773,30 @@ impl MemberState {
         // into the old engine are gone; hand them to the caller so they are
         // re-proposed into the new configuration.
         if self.epoch != epoch_before && !self.my_pending.is_empty() {
-            follow_ups.extend(std::mem::take(&mut self.my_pending));
+            follow_ups.extend(
+                std::mem::take(&mut self.my_pending)
+                    .into_iter()
+                    .map(|(_, op)| op),
+            );
         }
     }
 
-    /// Sends one copy of a group message to every member of `to`.
+    /// Sends one copy of a group message to every member of `to`. The
+    /// envelope (payload, source composition and memoized digest) is built
+    /// once and shared behind an `Arc` across every per-recipient copy —
+    /// fan-out costs one reference-count bump per recipient, not a deep
+    /// clone.
     fn send_group_message(
         &self,
         to: &Composition,
         payload: GroupPayload,
         effects: &mut Vec<Effect>,
     ) {
-        let envelope = GroupEnvelope {
-            source: self.vgroup,
-            source_composition: self.composition.clone(),
+        let envelope = Arc::new(GroupEnvelope::new(
+            self.vgroup,
+            self.composition.clone(),
             payload,
-        };
+        ));
         for member in to.iter() {
             effects.push(Effect::Send {
                 to: member,
@@ -802,7 +813,14 @@ impl MemberState {
         effects: &mut Vec<Effect>,
     ) -> BroadcastId {
         let id = self.next_broadcast_id();
-        self.propose(GroupOp::Broadcast { id, payload }, now, effects);
+        self.propose(
+            GroupOp::Broadcast {
+                id,
+                payload: payload.into(),
+            },
+            now,
+            effects,
+        );
         id
     }
 
@@ -817,11 +835,14 @@ impl MemberState {
 
     // ------------------------------------------------------ group messages
 
-    /// Handles one physical copy of a group message.
+    /// Handles one physical copy of a group message. The envelope is the
+    /// `Arc`-shared logical message; its digest was memoized at creation, so
+    /// per-copy processing is a hash-map update, not a re-hash of the
+    /// payload.
     pub fn on_group_copy(
         &mut self,
         from: NodeId,
-        envelope: GroupEnvelope,
+        envelope: Arc<GroupEnvelope>,
         now: Instant,
         effects: &mut Vec<Effect>,
         forward_filter: &mut dyn FnMut(&Delivered, VgroupId) -> bool,
@@ -840,9 +861,9 @@ impl MemberState {
         // majority threshold would make the receiver deaf to its neighbour.
         // In a deployment the claimed composition is certified by the
         // previous configuration's signatures; the simulator's fault
-        // injection never forges envelopes, so the check is elided here.
-        let source_comp = envelope.source_composition.clone();
-        let digest = envelope.payload.digest();
+        // injection never forges envelopes, so the check is elided here —
+        // and the memoized digest is trusted for the same reason.
+        let digest = envelope.digest();
         // The receiver's own neighbour-table view of the source can be
         // fresher than the claimed composition (the source may have evicted
         // ghosts or lost members since sending); the collector accepts on
@@ -851,7 +872,7 @@ impl MemberState {
         let local_view = self.neighbors.composition_of(envelope.source).cloned();
         let accepted = self.collector.observe_with_view(
             envelope.source,
-            &source_comp,
+            &envelope.source_composition,
             local_view.as_ref(),
             from,
             digest,
@@ -860,14 +881,16 @@ impl MemberState {
         if !accepted {
             return;
         }
-        self.handle_group_payload(
-            envelope.source,
-            &source_comp,
-            envelope.payload,
-            now,
-            effects,
-            forward_filter,
-        );
+        // Acceptance fires once per logical message: pay for the payload
+        // here (a cheap clone — compositions and gossip bytes are
+        // themselves Arc-backed), never per copy.
+        let source = envelope.source;
+        let source_comp = envelope.source_composition.clone();
+        let payload = match Arc::try_unwrap(envelope) {
+            Ok(owned) => owned.payload,
+            Err(shared) => shared.payload.clone(),
+        };
+        self.handle_group_payload(source, &source_comp, payload, now, effects, forward_filter);
     }
 
     fn handle_group_payload(
@@ -1158,7 +1181,7 @@ impl MemberState {
     fn deliver_and_forward(
         &mut self,
         id: BroadcastId,
-        payload: Vec<u8>,
+        payload: Arc<[u8]>,
         hops: u32,
         now: Instant,
         effects: &mut Vec<Effect>,
@@ -1170,7 +1193,7 @@ impl MemberState {
     fn deliver_and_forward_filtered(
         &mut self,
         id: BroadcastId,
-        payload: Vec<u8>,
+        payload: Arc<[u8]>,
         hops: u32,
         now: Instant,
         effects: &mut Vec<Effect>,
@@ -1178,7 +1201,9 @@ impl MemberState {
     ) {
         let delivered = Delivered {
             id,
-            payload: payload.clone(),
+            // The application owns its copy; every *forwarded* copy below
+            // shares the Arc.
+            payload: payload.to_vec(),
             at: now,
             hops,
         };
@@ -1285,7 +1310,7 @@ impl MemberState {
         self.seen_broadcasts = old.seen_broadcasts;
         self.next_broadcast_seq = old.next_broadcast_seq;
         self.stats = old.stats;
-        old.my_pending
+        old.my_pending.into_iter().map(|(_, op)| op).collect()
     }
 
     fn send_welcome(&self, to: NodeId, effects: &mut Vec<Effect>) {
@@ -1728,14 +1753,10 @@ mod tests {
         let other_comp: Composition = (10..13).map(NodeId::new).collect();
         let payload = GroupPayload::Gossip {
             id: BroadcastId::new(NodeId::new(10), 0),
-            payload: b"hello".to_vec(),
+            payload: b"hello".to_vec().into(),
             hops: 1,
         };
-        let envelope = GroupEnvelope {
-            source: other,
-            source_composition: other_comp.clone(),
-            payload,
-        };
+        let envelope = Arc::new(GroupEnvelope::new(other, other_comp.clone(), payload));
         let mut effects = Vec::new();
         let mut allow = |_d: &Delivered, _g: VgroupId| true;
         for sender in [10u64, 11] {
@@ -1772,15 +1793,15 @@ mod tests {
         let mut m = member(3, 0);
         let other = VgroupId::new(7);
         let other_comp: Composition = (10..13).map(NodeId::new).collect();
-        let envelope = GroupEnvelope {
-            source: other,
-            source_composition: other_comp,
-            payload: GroupPayload::Gossip {
+        let envelope = Arc::new(GroupEnvelope::new(
+            other,
+            other_comp,
+            GroupPayload::Gossip {
                 id: BroadcastId::new(NodeId::new(10), 1),
-                payload: b"quiet".to_vec(),
+                payload: b"quiet".to_vec().into(),
                 hops: 0,
             },
-        };
+        ));
         let mut effects = Vec::new();
         let mut deny = |_d: &Delivered, _g: VgroupId| false;
         for sender in [10u64, 11] {
@@ -1796,17 +1817,12 @@ mod tests {
         assert!(effects.iter().any(|e| matches!(e, Effect::Deliver(_))));
         let gossip_sends = effects
             .iter()
-            .filter(|e| {
-                matches!(
-                    e,
-                    Effect::Send {
-                        msg: AtumMessage::Group(GroupEnvelope {
-                            payload: GroupPayload::Gossip { .. },
-                            ..
-                        }),
-                        ..
-                    }
-                )
+            .filter(|e| match e {
+                Effect::Send {
+                    msg: AtumMessage::Group(env),
+                    ..
+                } => matches!(env.payload, GroupPayload::Gossip { .. }),
+                _ => false,
             })
             .count();
         assert_eq!(gossip_sends, 0);
@@ -1816,14 +1832,14 @@ mod tests {
     fn composition_update_refreshes_neighbor_table() {
         let mut m = member(3, 0);
         let new_comp: Composition = (20..25).map(NodeId::new).collect();
-        let envelope = GroupEnvelope {
-            source: VgroupId::new(500),
-            source_composition: m.composition.clone(),
-            payload: GroupPayload::CompositionUpdate {
+        let envelope = Arc::new(GroupEnvelope::new(
+            VgroupId::new(500),
+            m.composition.clone(),
+            GroupPayload::CompositionUpdate {
                 group: VgroupId::new(500),
                 composition: new_comp.clone(),
             },
-        };
+        ));
         let mut effects = Vec::new();
         let mut allow = |_d: &Delivered, _g: VgroupId| true;
         for sender in [0u64, 1] {
@@ -2010,17 +2026,12 @@ mod tests {
         m.maybe_resize(Instant::ZERO, &mut effects, &mut follow);
         let merge_requests = effects
             .iter()
-            .filter(|e| {
-                matches!(
-                    e,
-                    Effect::Send {
-                        msg: AtumMessage::Group(GroupEnvelope {
-                            payload: GroupPayload::MergeRequest { .. },
-                            ..
-                        }),
-                        ..
-                    }
-                )
+            .filter(|e| match e {
+                Effect::Send {
+                    msg: AtumMessage::Group(env),
+                    ..
+                } => matches!(env.payload, GroupPayload::MergeRequest { .. }),
+                _ => false,
             })
             .count();
         // One copy per member of the target vgroup (5 members).

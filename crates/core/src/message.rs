@@ -1,12 +1,25 @@
 //! Wire messages exchanged by Atum nodes and the operations ordered by the
 //! vgroup SMR engines.
+//!
+//! # Digest memoization invariant
+//!
+//! Group payloads are **immutable after creation**: a [`GroupEnvelope`]
+//! computes its payload's structural digest once, in [`GroupEnvelope::new`],
+//! and every fan-out copy (the envelope is shared behind an `Arc`) as well
+//! as every receiver reuses that cached 32-byte value for majority
+//! acceptance. Nothing may mutate a payload once it is wrapped in an
+//! envelope — there is deliberately no `&mut` access to
+//! [`GroupEnvelope::payload`]. In a deployment the digest would be
+//! recomputed (or signature-checked) at the trust boundary; the simulator's
+//! fault injection never forges envelopes, so the cached value stands.
 
-use atum_crypto::Digest;
+use atum_crypto::{Digest, DigestWriter, Digestible};
 use atum_overlay::WalkState;
 use atum_smr::{SmrMessage, SmrOp};
 use atum_types::wire::{DIGEST_SIZE, ENVELOPE_OVERHEAD, SIGNATURE_SIZE};
 use atum_types::{BroadcastId, Composition, NodeId, NodeIdentity, VgroupId, WalkId, WireSize};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Payload of a vgroup-to-vgroup group message.
 ///
@@ -20,8 +33,8 @@ pub enum GroupPayload {
     Gossip {
         /// Broadcast identifier (origin node + sequence).
         id: BroadcastId,
-        /// Application payload.
-        payload: Vec<u8>,
+        /// Application payload, shared across every forwarded copy.
+        payload: Arc<[u8]>,
         /// Overlay hops travelled so far (for statistics).
         hops: u32,
     },
@@ -117,13 +130,108 @@ pub enum GroupPayload {
     },
 }
 
+impl Digestible for GroupPayload {
+    fn digest_fields(&self, w: &mut DigestWriter) {
+        match self {
+            GroupPayload::Gossip { id, payload, hops } => {
+                w.write_tag(0);
+                id.digest_fields(w);
+                w.write_slice(payload);
+                w.write_u32(*hops);
+            }
+            GroupPayload::Walk(walk) => {
+                w.write_tag(1);
+                walk.digest_fields(w);
+            }
+            GroupPayload::CompositionUpdate { group, composition } => {
+                w.write_tag(2);
+                group.digest_fields(w);
+                composition.digest_fields(w);
+            }
+            GroupPayload::ExchangeOffer {
+                walk,
+                leaving,
+                incoming,
+            } => {
+                w.write_tag(3);
+                walk.digest_fields(w);
+                leaving.digest_fields(w);
+                incoming.digest_fields(w);
+            }
+            GroupPayload::ExchangeRefuse { walk, leaving } => {
+                w.write_tag(4);
+                walk.digest_fields(w);
+                leaving.digest_fields(w);
+            }
+            GroupPayload::ExchangeAccept {
+                walk,
+                given,
+                adopted,
+            } => {
+                w.write_tag(5);
+                walk.digest_fields(w);
+                given.digest_fields(w);
+                adopted.digest_fields(w);
+            }
+            GroupPayload::SplitInsert {
+                cycle,
+                new_group,
+                composition,
+            } => {
+                w.write_tag(6);
+                w.write_u8(*cycle);
+                new_group.digest_fields(w);
+                composition.digest_fields(w);
+            }
+            GroupPayload::NeighborIntro {
+                cycle,
+                sender_is_predecessor,
+                group,
+                composition,
+            } => {
+                w.write_tag(7);
+                w.write_u8(*cycle);
+                w.write_bool(*sender_is_predecessor);
+                group.digest_fields(w);
+                composition.digest_fields(w);
+            }
+            GroupPayload::MergeRequest { from, members } => {
+                w.write_tag(8);
+                from.digest_fields(w);
+                w.write_seq(members);
+            }
+            GroupPayload::MergeAccept {
+                into,
+                new_composition,
+            } => {
+                w.write_tag(9);
+                into.digest_fields(w);
+                new_composition.digest_fields(w);
+            }
+            GroupPayload::CyclePatch {
+                cycle,
+                new_is_successor,
+                group,
+                composition,
+            } => {
+                w.write_tag(10);
+                w.write_u8(*cycle);
+                w.write_bool(*new_is_successor);
+                group.digest_fields(w);
+                composition.digest_fields(w);
+            }
+        }
+    }
+}
+
 impl GroupPayload {
-    /// Digest of the payload, used for majority acceptance.
+    /// Digest of the payload, used for majority acceptance. Streams the
+    /// payload's fields straight into the hasher (see [`Digestible`]) —
+    /// collisions between distinct payloads would require SHA-256
+    /// collisions. Hot-path callers should use the digest memoized by
+    /// [`GroupEnvelope::new`] rather than recomputing.
     pub fn digest(&self) -> Digest {
-        // A structural encoding is enough: collisions between distinct
-        // payloads would require SHA-256 collisions.
-        let encoded = format!("{self:?}");
-        Digest::of(encoded.as_bytes())
+        self.structural_digest()
     }
 
     /// Approximate encoded size in bytes.
@@ -151,7 +259,15 @@ impl GroupPayload {
     }
 }
 
-/// One physical copy of a group message.
+/// One logical group message, shared (behind an `Arc`) across every
+/// physical per-recipient copy.
+///
+/// The payload digest is computed once here and memoized: senders fan one
+/// envelope out to every member of the destination vgroup without
+/// re-serialising or re-hashing, and receivers feed the cached digest to
+/// the majority-acceptance collector instead of re-digesting each copy.
+/// This relies on the immutability invariant in the module docs — payloads
+/// are never mutated after the envelope is created.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct GroupEnvelope {
     /// The sending vgroup.
@@ -160,11 +276,29 @@ pub struct GroupEnvelope {
     /// majority rule even if it does not know the source as a neighbour,
     /// e.g. for walk results).
     pub source_composition: Composition,
-    /// The logical payload.
+    /// The logical payload. Read-only by design (see module docs).
     pub payload: GroupPayload,
+    /// Memoized structural digest of `payload`.
+    digest: Digest,
 }
 
 impl GroupEnvelope {
+    /// Wraps a payload, memoizing its digest.
+    pub fn new(source: VgroupId, source_composition: Composition, payload: GroupPayload) -> Self {
+        let digest = payload.digest();
+        GroupEnvelope {
+            source,
+            source_composition,
+            payload,
+            digest,
+        }
+    }
+
+    /// The payload's digest, computed once at envelope creation.
+    pub fn digest(&self) -> Digest {
+        self.digest
+    }
+
     /// Approximate encoded size in bytes.
     pub fn wire_size(&self) -> usize {
         8 + self.source_composition.wire_size() + self.payload.wire_size() + DIGEST_SIZE
@@ -226,8 +360,9 @@ pub enum GroupOp {
     Broadcast {
         /// Broadcast identifier.
         id: BroadcastId,
-        /// Application payload.
-        payload: Vec<u8>,
+        /// Application payload, shared with the gossip phase's forwarded
+        /// copies.
+        payload: Arc<[u8]>,
     },
     /// Shuffle, offering side: reserve one of our members as the exchange
     /// partner for the walk's subject (or refuse if none is available).
@@ -285,10 +420,102 @@ pub enum GroupOp {
     },
 }
 
+impl Digestible for GroupOp {
+    fn digest_fields(&self, w: &mut DigestWriter) {
+        match self {
+            GroupOp::HandleJoinRequest {
+                joiner,
+                nonce,
+                rejoin,
+            } => {
+                w.write_tag(0);
+                joiner.digest_fields(w);
+                w.write_u64(*nonce);
+                w.write_bool(*rejoin);
+            }
+            GroupOp::AdmitJoiner { joiner, walk } => {
+                w.write_tag(1);
+                joiner.digest_fields(w);
+                walk.digest_fields(w);
+            }
+            GroupOp::Leave { node, nonce } => {
+                w.write_tag(2);
+                node.digest_fields(w);
+                w.write_u64(*nonce);
+            }
+            GroupOp::Evict {
+                node,
+                accuser,
+                nonce,
+            } => {
+                w.write_tag(3);
+                node.digest_fields(w);
+                accuser.digest_fields(w);
+                w.write_u64(*nonce);
+            }
+            GroupOp::Broadcast { id, payload } => {
+                w.write_tag(4);
+                id.digest_fields(w);
+                w.write_slice(payload);
+            }
+            GroupOp::OfferExchange {
+                walk,
+                leaving,
+                origin,
+                origin_composition,
+            } => {
+                w.write_tag(5);
+                walk.digest_fields(w);
+                leaving.digest_fields(w);
+                origin.digest_fields(w);
+                origin_composition.digest_fields(w);
+            }
+            GroupOp::CompleteExchange {
+                walk,
+                leaving,
+                incoming,
+                partner,
+                partner_composition,
+            } => {
+                w.write_tag(6);
+                walk.digest_fields(w);
+                leaving.digest_fields(w);
+                incoming.digest_fields(w);
+                partner.digest_fields(w);
+                partner_composition.digest_fields(w);
+            }
+            GroupOp::FinishExchange {
+                walk,
+                given,
+                adopted,
+            } => {
+                w.write_tag(7);
+                walk.digest_fields(w);
+                given.digest_fields(w);
+                adopted.digest_fields(w);
+            }
+            GroupOp::AcceptMerge { from, members } => {
+                w.write_tag(8);
+                from.digest_fields(w);
+                w.write_seq(members);
+            }
+            GroupOp::InsertOverlayNeighbor {
+                cycle,
+                new_group,
+                composition,
+            } => {
+                w.write_tag(9);
+                w.write_u8(*cycle);
+                new_group.digest_fields(w);
+                composition.digest_fields(w);
+            }
+        }
+    }
+}
+
 impl SmrOp for GroupOp {
     fn digest(&self) -> Digest {
-        let encoded = format!("{self:?}");
-        Digest::of(encoded.as_bytes())
+        self.structural_digest()
     }
 
     fn wire_size(&self) -> usize {
@@ -380,8 +607,9 @@ pub enum AtumMessage {
         /// The SMR protocol message.
         msg: SmrMessage<GroupOp>,
     },
-    /// One copy of a vgroup-to-vgroup group message.
-    Group(GroupEnvelope),
+    /// One copy of a vgroup-to-vgroup group message. All per-recipient
+    /// copies of the same logical message share one envelope allocation.
+    Group(Arc<GroupEnvelope>),
     /// Application-level payload (file chunks, stream data, ...); opaque to
     /// Atum.
     App {
@@ -465,15 +693,252 @@ mod tests {
     fn payload_digests_distinguish_payloads() {
         let g1 = GroupPayload::Gossip {
             id: BroadcastId::new(NodeId::new(1), 0),
-            payload: b"x".to_vec(),
+            payload: b"x".to_vec().into(),
             hops: 0,
         };
         let g2 = GroupPayload::Gossip {
             id: BroadcastId::new(NodeId::new(1), 0),
-            payload: b"x".to_vec(),
+            payload: b"x".to_vec().into(),
             hops: 1,
         };
         assert_ne!(g1.digest(), g2.digest());
+    }
+
+    #[test]
+    fn envelope_memoizes_payload_digest() {
+        let payload = GroupPayload::Gossip {
+            id: BroadcastId::new(NodeId::new(1), 0),
+            payload: b"shared".to_vec().into(),
+            hops: 0,
+        };
+        let expected = payload.digest();
+        let envelope = GroupEnvelope::new(VgroupId::new(3), comp(&[1, 2, 3]), payload);
+        assert_eq!(envelope.digest(), expected);
+        // Arc-shared fan-out copies carry the same cached digest.
+        let shared = std::sync::Arc::new(envelope);
+        assert_eq!(shared.clone().digest(), expected);
+    }
+
+    fn all_payload_variants() -> Vec<GroupPayload> {
+        let walk = {
+            use rand::SeedableRng;
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+            atum_overlay::WalkState::new(
+                WalkId::new(VgroupId::new(2), 9),
+                atum_overlay::WalkPurpose::Sample,
+                VgroupId::new(2),
+                comp(&[4, 5]),
+                3,
+                &mut rng,
+            )
+        };
+        vec![
+            GroupPayload::Gossip {
+                id: BroadcastId::new(NodeId::new(1), 2),
+                payload: b"abc".to_vec().into(),
+                hops: 3,
+            },
+            GroupPayload::Walk(walk),
+            GroupPayload::CompositionUpdate {
+                group: VgroupId::new(1),
+                composition: comp(&[1, 2]),
+            },
+            GroupPayload::ExchangeOffer {
+                walk: WalkId::new(VgroupId::new(1), 2),
+                leaving: NodeId::new(3),
+                incoming: NodeIdentity::simulated(NodeId::new(4)),
+            },
+            GroupPayload::ExchangeRefuse {
+                walk: WalkId::new(VgroupId::new(1), 2),
+                leaving: NodeId::new(3),
+            },
+            GroupPayload::ExchangeAccept {
+                walk: WalkId::new(VgroupId::new(1), 2),
+                given: NodeId::new(3),
+                adopted: NodeIdentity::simulated(NodeId::new(4)),
+            },
+            GroupPayload::SplitInsert {
+                cycle: 1,
+                new_group: VgroupId::new(7),
+                composition: comp(&[1, 2]),
+            },
+            GroupPayload::NeighborIntro {
+                cycle: 1,
+                sender_is_predecessor: true,
+                group: VgroupId::new(7),
+                composition: comp(&[1, 2]),
+            },
+            GroupPayload::MergeRequest {
+                from: VgroupId::new(7),
+                members: vec![NodeIdentity::simulated(NodeId::new(1))],
+            },
+            GroupPayload::MergeAccept {
+                into: VgroupId::new(7),
+                new_composition: comp(&[1, 2]),
+            },
+            GroupPayload::CyclePatch {
+                cycle: 1,
+                new_is_successor: true,
+                group: VgroupId::new(7),
+                composition: comp(&[1, 2]),
+            },
+        ]
+    }
+
+    fn all_op_variants() -> Vec<GroupOp> {
+        vec![
+            GroupOp::HandleJoinRequest {
+                joiner: NodeIdentity::simulated(NodeId::new(1)),
+                nonce: 2,
+                rejoin: false,
+            },
+            GroupOp::AdmitJoiner {
+                joiner: NodeIdentity::simulated(NodeId::new(1)),
+                walk: WalkId::new(VgroupId::new(2), 3),
+            },
+            GroupOp::Leave {
+                node: NodeId::new(1),
+                nonce: 2,
+            },
+            GroupOp::Evict {
+                node: NodeId::new(1),
+                accuser: NodeId::new(2),
+                nonce: 3,
+            },
+            GroupOp::Broadcast {
+                id: BroadcastId::new(NodeId::new(1), 2),
+                payload: b"xyz".to_vec().into(),
+            },
+            GroupOp::OfferExchange {
+                walk: WalkId::new(VgroupId::new(1), 2),
+                leaving: NodeIdentity::simulated(NodeId::new(3)),
+                origin: VgroupId::new(4),
+                origin_composition: comp(&[5, 6]),
+            },
+            GroupOp::CompleteExchange {
+                walk: WalkId::new(VgroupId::new(1), 2),
+                leaving: NodeId::new(3),
+                incoming: NodeIdentity::simulated(NodeId::new(4)),
+                partner: VgroupId::new(5),
+                partner_composition: comp(&[6, 7]),
+            },
+            GroupOp::FinishExchange {
+                walk: WalkId::new(VgroupId::new(1), 2),
+                given: NodeId::new(3),
+                adopted: NodeIdentity::simulated(NodeId::new(4)),
+            },
+            GroupOp::AcceptMerge {
+                from: VgroupId::new(1),
+                members: vec![NodeIdentity::simulated(NodeId::new(2))],
+            },
+            GroupOp::InsertOverlayNeighbor {
+                cycle: 1,
+                new_group: VgroupId::new(2),
+                composition: comp(&[3, 4]),
+            },
+        ]
+    }
+
+    /// The structural digest must distinguish everything the old
+    /// Debug-format digest distinguished: every variant from every other,
+    /// and every single-field change within a variant.
+    #[test]
+    fn structural_digests_distinguish_all_variants() {
+        let payloads = all_payload_variants();
+        assert_eq!(payloads.len(), 11, "cover every GroupPayload variant");
+        for (i, a) in payloads.iter().enumerate() {
+            assert_eq!(a.digest(), a.clone().digest(), "digest must be stable");
+            for b in payloads.iter().skip(i + 1) {
+                assert_ne!(a.digest(), b.digest(), "{a:?} vs {b:?}");
+            }
+        }
+        let ops = all_op_variants();
+        assert_eq!(ops.len(), 10, "cover every GroupOp variant");
+        for (i, a) in ops.iter().enumerate() {
+            assert_eq!(SmrOp::digest(a), SmrOp::digest(&a.clone()));
+            for b in ops.iter().skip(i + 1) {
+                assert_ne!(SmrOp::digest(a), SmrOp::digest(b), "{a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn structural_digests_distinguish_field_permutations() {
+        // Exhaustive per-field sensitivity for a representative sample of
+        // variants, including the boolean and integer fields a positional
+        // encoding could silently conflate.
+        let base = GroupPayload::NeighborIntro {
+            cycle: 1,
+            sender_is_predecessor: true,
+            group: VgroupId::new(7),
+            composition: comp(&[1, 2]),
+        };
+        let variants = [
+            GroupPayload::NeighborIntro {
+                cycle: 2,
+                sender_is_predecessor: true,
+                group: VgroupId::new(7),
+                composition: comp(&[1, 2]),
+            },
+            GroupPayload::NeighborIntro {
+                cycle: 1,
+                sender_is_predecessor: false,
+                group: VgroupId::new(7),
+                composition: comp(&[1, 2]),
+            },
+            GroupPayload::NeighborIntro {
+                cycle: 1,
+                sender_is_predecessor: true,
+                group: VgroupId::new(8),
+                composition: comp(&[1, 2]),
+            },
+            GroupPayload::NeighborIntro {
+                cycle: 1,
+                sender_is_predecessor: true,
+                group: VgroupId::new(7),
+                composition: comp(&[1, 3]),
+            },
+        ];
+        for v in &variants {
+            assert_ne!(base.digest(), v.digest(), "{v:?}");
+        }
+
+        let op = GroupOp::Evict {
+            node: NodeId::new(1),
+            accuser: NodeId::new(2),
+            nonce: 3,
+        };
+        // Swapping node and accuser must change the digest (same field
+        // types, different roles).
+        let swapped = GroupOp::Evict {
+            node: NodeId::new(2),
+            accuser: NodeId::new(1),
+            nonce: 3,
+        };
+        assert_ne!(SmrOp::digest(&op), SmrOp::digest(&swapped));
+        let renonced = GroupOp::Evict {
+            node: NodeId::new(1),
+            accuser: NodeId::new(2),
+            nonce: 4,
+        };
+        assert_ne!(SmrOp::digest(&op), SmrOp::digest(&renonced));
+
+        // Rejoin flag flips the join-request digest.
+        let join = |rejoin| GroupOp::HandleJoinRequest {
+            joiner: NodeIdentity::simulated(NodeId::new(1)),
+            nonce: 2,
+            rejoin,
+        };
+        assert_ne!(SmrOp::digest(&join(false)), SmrOp::digest(&join(true)));
+
+        // Gossip payload bytes and hops both count.
+        let gossip = |payload: &[u8], hops| GroupPayload::Gossip {
+            id: BroadcastId::new(NodeId::new(1), 2),
+            payload: payload.to_vec().into(),
+            hops,
+        };
+        assert_ne!(gossip(b"abc", 0).digest(), gossip(b"abd", 0).digest());
+        assert_ne!(gossip(b"abc", 0).digest(), gossip(b"abc", 1).digest());
     }
 
     #[test]
@@ -483,15 +948,15 @@ mod tests {
             epoch: 0,
         };
         let comp5 = comp(&[1, 2, 3, 4, 5]);
-        let big = AtumMessage::Group(GroupEnvelope {
-            source: VgroupId::new(1),
-            source_composition: comp5.clone(),
-            payload: GroupPayload::Gossip {
+        let big = AtumMessage::Group(std::sync::Arc::new(GroupEnvelope::new(
+            VgroupId::new(1),
+            comp5.clone(),
+            GroupPayload::Gossip {
                 id: BroadcastId::new(NodeId::new(1), 0),
-                payload: vec![0u8; 1000],
+                payload: vec![0u8; 1000].into(),
                 hops: 0,
             },
-        });
+        )));
         assert!(big.wire_size() > small.wire_size() + 1000);
         let app_logical = AtumMessage::App {
             payload: vec![1, 2, 3],
@@ -508,7 +973,7 @@ mod tests {
     fn group_op_wire_sizes_reflect_payloads() {
         let broadcast = GroupOp::Broadcast {
             id: BroadcastId::new(NodeId::new(1), 0),
-            payload: vec![0u8; 500],
+            payload: vec![0u8; 500].into(),
         };
         let leave = GroupOp::Leave {
             node: NodeId::new(1),

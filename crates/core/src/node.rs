@@ -90,6 +90,14 @@ pub struct AtumNode<A: Application> {
     pending_welcomes: HashMap<VgroupId, PendingWelcome>,
     byzantine: ByzantineBehavior,
     join_nonce: u64,
+    /// Timed-out attempts of the current join (reset by [`Self::join`]).
+    /// After two dead attempts the joiner requests direct admission at the
+    /// contact vgroup instead of another placement walk — on a degraded
+    /// overlay (walks dying in ghost-heavy or dissolved vgroups) endless
+    /// re-walks starve joins entirely, and the uniformity loss is the same
+    /// trade the re-join fast path already makes: shuffle exchanges re-mix
+    /// the membership afterwards.
+    join_attempts: u32,
     last_byz_heartbeat: Instant,
     /// Peers from the last vgroup this node belonged to (and from join
     /// replies), used to recover if a shuffle transfer never completes or a
@@ -98,6 +106,10 @@ pub struct AtumNode<A: Application> {
     fallback_peers: Vec<NodeId>,
     fallback_rotation: usize,
     awaiting_since: Option<Instant>,
+    /// When this node's failure detector first presumed *every* composition
+    /// peer dead (see [`Self::abandon_membership_if_isolated`]); `None`
+    /// while at least one peer is presumed live.
+    isolated_since: Option<Instant>,
     /// `true` while the node is in [`NodePhase::Left`] because it was
     /// *involuntarily* removed (evicted, or stranded past its patience). Such
     /// a node re-joins on its own through a fallback peer; a node that left
@@ -121,10 +133,12 @@ impl<A: Application> AtumNode<A> {
             pending_welcomes: HashMap::new(),
             byzantine: ByzantineBehavior::Correct,
             join_nonce: 0,
+            join_attempts: 0,
             last_byz_heartbeat: Instant::ZERO,
             fallback_peers: Vec::new(),
             fallback_rotation: 0,
             awaiting_since: None,
+            isolated_since: None,
             auto_rejoin: false,
             stats: NodeStats::default(),
         }
@@ -165,10 +179,12 @@ impl<A: Application> AtumNode<A> {
             pending_welcomes: HashMap::new(),
             byzantine: ByzantineBehavior::Correct,
             join_nonce: 0,
+            join_attempts: 0,
             last_byz_heartbeat: Instant::ZERO,
             fallback_peers: Vec::new(),
             fallback_rotation: 0,
             awaiting_since: None,
+            isolated_since: None,
             auto_rejoin: false,
             stats: NodeStats {
                 joined_at: Some(Instant::ZERO),
@@ -254,6 +270,7 @@ impl<A: Application> AtumNode<A> {
             return Err(AtumError::AlreadyJoined);
         }
         self.join_nonce += 1;
+        self.join_attempts = 0;
         self.auto_rejoin = false;
         self.phase = NodePhase::Joining {
             contact,
@@ -648,6 +665,58 @@ impl<A: Application> AtumNode<A> {
         }
     }
 
+    /// A member whose failure detector has presumed *every* composition peer
+    /// dead for a sustained stretch is functionally isolated, and for
+    /// compositions of three or more its membership is wedged beyond repair:
+    /// eviction corroboration needs at least two decided accusations per
+    /// target before the suspected-entry discount applies, and the fault
+    /// bound needs more distinct accusers than the one node still alive, so
+    /// a lone survivor can never shrink its composition back to a working
+    /// quorum (asynchronously it cannot even decide the accusations). Give
+    /// the membership up and re-join through a fallback or overlay peer.
+    /// The decision is purely local and fail-safe: leaving is always safe,
+    /// and the re-join takes the direct-admission fast path.
+    fn abandon_membership_if_isolated(&mut self, ctx: &mut Context<'_, AtumMessage>) {
+        let now = ctx.now();
+        let isolated = self
+            .member
+            .as_ref()
+            .is_some_and(|m| m.composition.len() > 1 && m.presumed_live(now).len() <= 1);
+        if !isolated {
+            self.isolated_since = None;
+            return;
+        }
+        let since = *self.isolated_since.get_or_insert(now);
+        // Isolation is only declared after a full eviction window of
+        // silence, so waiting two more windows gives the normal eviction
+        // machinery (and any catch-up welcome) ample time to win first.
+        let patience = self
+            .params
+            .heartbeat_period
+            .saturating_mul(self.params.eviction_threshold as u64)
+            .saturating_mul(2);
+        if now.saturating_since(since) <= patience {
+            return;
+        }
+        self.isolated_since = None;
+        if let Some(member) = self.member.take() {
+            // The dead composition peers are poor re-join contacts; the
+            // neighbour table's vgroups are the live overlay. Merge both
+            // into the fallback pool (the rotation skips the dead ones).
+            let mut pool = member.composition.clone();
+            for (_, comp) in member.neighbors.distinct_neighbors() {
+                pool = pool.union(&comp);
+            }
+            self.remember_fallbacks(&pool);
+        }
+        self.phase = NodePhase::Left;
+        self.stats.left_at = Some(now);
+        self.auto_rejoin = true;
+        if let Some(contact) = self.next_fallback_contact() {
+            let _ = self.join(contact, ctx);
+        }
+    }
+
     /// `true` while this node's last membership ended recently enough to
     /// count as churn recovery: such a join takes the direct-admission fast
     /// path instead of a placement walk. The window is session-scale (the
@@ -691,6 +760,7 @@ impl<A: Application> AtumNode<A> {
                 // attempt was lost mid-protocol; rotate contacts in case
                 // the previous one left or crashed.
                 self.join_nonce += 1;
+                self.join_attempts += 1;
                 let contact = self.next_fallback_contact().unwrap_or(contact);
                 self.phase = NodePhase::Joining {
                     contact,
@@ -746,6 +816,7 @@ impl<A: Application> Node<AtumMessage> for AtumNode<A> {
             self.run_effects(effects, ctx);
         }
         self.abandon_membership_if_stranded(ctx);
+        self.abandon_membership_if_isolated(ctx);
     }
 
     fn on_message(&mut self, from: NodeId, msg: AtumMessage, ctx: &mut Context<'_, AtumMessage>) {
@@ -780,7 +851,10 @@ impl<A: Application> Node<AtumMessage> for AtumNode<A> {
                     let request = AtumMessage::JoinRequest {
                         joiner: self.identity,
                         nonce: self.join_nonce,
-                        rejoin: self.recently_left(ctx.now()),
+                        // Direct admission for recent members (churn
+                        // recovery) and for joiners whose placement walks
+                        // keep dying (degraded-overlay fallback).
+                        rejoin: self.recently_left(ctx.now()) || self.join_attempts >= 2,
                     };
                     for member in composition.iter() {
                         ctx.send(member, request.clone());

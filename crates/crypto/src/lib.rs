@@ -38,8 +38,10 @@
 
 pub mod chain;
 pub mod digest;
+pub mod digestible;
 pub mod keys;
 
 pub use chain::SignatureChain;
 pub use digest::{chunk_ranges, ChunkDigests, Digest};
+pub use digestible::{DigestWriter, Digestible};
 pub use keys::{KeyRegistry, Mac, NodeSigner, Signature};

@@ -17,7 +17,7 @@
 //!   vgroup it forwarded to.
 
 use crate::hgraph::HGraph;
-use atum_crypto::{Digest, KeyRegistry, NodeSigner, Signature};
+use atum_crypto::{Digest, DigestWriter, Digestible, KeyRegistry, NodeSigner, Signature};
 use atum_types::{Composition, NodeId, VgroupId, WalkId};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -53,6 +53,32 @@ pub enum WalkPurpose {
     Sample,
 }
 
+impl Digestible for WalkPurpose {
+    fn digest_fields(&self, w: &mut DigestWriter) {
+        match self {
+            WalkPurpose::JoinPlacement { joiner } => {
+                w.write_tag(0);
+                joiner.digest_fields(w);
+            }
+            WalkPurpose::ShuffleExchange { member } => {
+                w.write_tag(1);
+                member.digest_fields(w);
+            }
+            WalkPurpose::SplitAnchor {
+                cycle,
+                new_group,
+                composition,
+            } => {
+                w.write_tag(2);
+                w.write_u8(*cycle);
+                new_group.digest_fields(w);
+                composition.digest_fields(w);
+            }
+            WalkPurpose::Sample => w.write_tag(3),
+        }
+    }
+}
+
 /// One step of a walk certificate: the forwarding vgroup attests which vgroup
 /// it forwarded the walk to.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -65,10 +91,28 @@ pub struct CertStep {
     pub signatures: Vec<(NodeId, Signature)>,
 }
 
+impl Digestible for CertStep {
+    fn digest_fields(&self, w: &mut DigestWriter) {
+        self.to.digest_fields(w);
+        self.to_composition.digest_fields(w);
+        w.write_len(self.signatures.len());
+        for (node, sig) in &self.signatures {
+            node.digest_fields(w);
+            sig.digest_fields(w);
+        }
+    }
+}
+
 /// A chain of [`CertStep`]s proving the path a walk took.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub struct WalkCertificate {
     steps: Vec<CertStep>,
+}
+
+impl Digestible for WalkCertificate {
+    fn digest_fields(&self, w: &mut DigestWriter) {
+        w.write_seq(&self.steps);
+    }
 }
 
 impl WalkCertificate {
@@ -179,6 +223,19 @@ pub struct WalkState {
     pub path: Vec<VgroupId>,
     /// Certificate chain (used by the asynchronous implementation).
     pub certificate: WalkCertificate,
+}
+
+impl Digestible for WalkState {
+    fn digest_fields(&self, w: &mut DigestWriter) {
+        self.id.digest_fields(w);
+        self.purpose.digest_fields(w);
+        self.origin.digest_fields(w);
+        self.origin_composition.digest_fields(w);
+        w.write_u8(self.remaining);
+        w.write_seq(&self.rng_values);
+        w.write_seq(&self.path);
+        self.certificate.digest_fields(w);
+    }
 }
 
 impl WalkState {

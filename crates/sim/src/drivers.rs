@@ -116,6 +116,8 @@ pub struct GrowthReport {
     pub reached_target: bool,
     /// Simulated time at the end of the run.
     pub elapsed_secs: f64,
+    /// Simulator events processed over the run (perf-trajectory numerator).
+    pub events_processed: u64,
 }
 
 impl GrowthReport {
@@ -236,6 +238,7 @@ pub fn run_growth(
         }
     }
     report.elapsed_secs = sim.now().as_secs_f64();
+    report.events_processed = sim.stats().events_processed;
     report
 }
 
@@ -298,6 +301,8 @@ pub struct ChurnReport {
     /// whose node is not actually a member of that vgroup at the end of the
     /// run. A healthy recovery leaves zero.
     pub ghost_entries: usize,
+    /// Simulator events processed over the run (perf-trajectory numerator).
+    pub events_processed: u64,
 }
 
 impl ChurnReport {
@@ -394,13 +399,17 @@ pub fn run_churn(
     // Drain long enough for the *last* cycles to finish their whole
     // recovery pipeline: a victim's final rejoin attempt fires up to 40 s
     // after its leave, and the stale entry it leaves behind needs a full
-    // failure-detection window plus agreement to be evicted. Auditing
-    // before quiescence would report in-flight evictions as ghosts.
+    // failure-detection window plus agreement to be evicted. On top of
+    // that, a member stranded as the lone survivor of a wedged vgroup only
+    // abandons it after a further two windows of declared isolation, then
+    // re-joins and its stale entries need their own eviction round — so
+    // the full recovery chain spans several windows. Auditing before
+    // quiescence would report in-flight recoveries as ghosts.
     let eviction_window = cluster
         .params
         .heartbeat_period
         .saturating_mul(cluster.params.eviction_threshold as u64);
-    let drain = Duration::from_secs(60) + eviction_window.saturating_mul(4);
+    let drain = Duration::from_secs(60) + eviction_window.saturating_mul(16);
     cluster.sim.run_until(deadline + drain);
 
     // Per-cycle outcomes: a cycle completed if the victim is a member now;
@@ -434,6 +443,7 @@ pub fn run_churn(
     }
     report.ghost_entries = ghost_audit(cluster, &correct, &churned);
     report.final_members = cluster.member_count();
+    report.events_processed = cluster.sim.stats().events_processed;
     report
 }
 

@@ -80,7 +80,11 @@ pub struct AsyncSmr<O: SmrOp> {
     /// that did not originate the request, as PBFT does.
     observed: Vec<PendingOp<O>>,
     /// View-change votes per target view: voter -> prepared ops they carry.
-    vc_votes: HashMap<u64, HashMap<NodeId, Vec<(u64, O)>>>,
+    /// The inner map is ordered: `maybe_enter_new_view` unions the votes
+    /// first-wins, so iteration order is behaviour — a hash map here made
+    /// the new-view op assignment (and with it whole async runs) differ
+    /// between processes for the same seed.
+    vc_votes: HashMap<u64, BTreeMap<NodeId, Vec<(u64, O)>>>,
     /// The view this replica is currently trying to move to, if any.
     vc_target: Option<u64>,
     /// Last time this replica delivered something or reset its patience.

@@ -5,13 +5,19 @@ use crate::config::SmrMode;
 use crate::id::NodeId;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// The membership of a volatile group: a sorted, duplicate-free set of node
 /// identifiers.
 ///
-/// Compositions are small (logarithmic in system size) and copied around a
-/// lot — inside group messages, neighbour tables and random-walk replies — so
-/// they are kept as a sorted `Vec` rather than a tree/hash set.
+/// Compositions are small (logarithmic in system size) but travel inside
+/// every group-message envelope, neighbour-table entry and random-walk
+/// reply, so the member list lives behind an `Arc<[NodeId]>`: cloning a
+/// composition is a reference-count bump, and the fan-out paths that send
+/// one envelope to every member of a destination vgroup share a single
+/// allocation across all copies. Mutation (`insert` / `remove` / `extend`)
+/// is copy-on-write — it builds a fresh member slice and leaves every
+/// previously handed-out clone untouched.
 ///
 /// # Example
 ///
@@ -22,17 +28,24 @@ use std::fmt;
 /// assert_eq!(comp.len(), 3); // duplicates removed
 /// assert_eq!(comp.majority(), 2);
 /// assert_eq!(comp.max_faults(SmrMode::Asynchronous), 0);
+///
+/// // Clones share storage; mutation copies instead of aliasing.
+/// let before = comp.clone();
+/// let mut grown = comp.clone();
+/// grown.insert(NodeId::new(9));
+/// assert_eq!(before.len(), 3);
+/// assert_eq!(grown.len(), 4);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Default, PartialOrd, Ord)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize, PartialOrd, Ord)]
 pub struct Composition {
-    members: Vec<NodeId>,
+    members: Arc<[NodeId]>,
 }
 
 impl Composition {
     /// Creates an empty composition.
     pub fn new() -> Self {
         Composition {
-            members: Vec::new(),
+            members: Arc::from(Vec::new()),
         }
     }
 
@@ -42,14 +55,22 @@ impl Composition {
         let mut v: Vec<NodeId> = members.into_iter().collect();
         v.sort_unstable();
         v.dedup();
-        Composition { members: v }
+        Composition {
+            members: Arc::from(v),
+        }
     }
 
     /// Creates a composition containing a single node.
     pub fn singleton(node: NodeId) -> Self {
         Composition {
-            members: vec![node],
+            members: Arc::from(vec![node]),
         }
+    }
+
+    /// `true` when `self` and `other` share the same member-slice
+    /// allocation (test hook for the copy-on-write contract).
+    pub fn shares_storage_with(&self, other: &Composition) -> bool {
+        Arc::ptr_eq(&self.members, &other.members)
     }
 
     /// Number of members.
@@ -68,22 +89,31 @@ impl Composition {
     }
 
     /// Adds a member, keeping the set sorted. Returns `false` if it was
-    /// already present.
+    /// already present. Copy-on-write: clones sharing the old slice are
+    /// unaffected.
     pub fn insert(&mut self, node: NodeId) -> bool {
         match self.members.binary_search(&node) {
             Ok(_) => false,
             Err(pos) => {
-                self.members.insert(pos, node);
+                let mut v = Vec::with_capacity(self.members.len() + 1);
+                v.extend_from_slice(&self.members[..pos]);
+                v.push(node);
+                v.extend_from_slice(&self.members[pos..]);
+                self.members = Arc::from(v);
                 true
             }
         }
     }
 
     /// Removes a member. Returns `false` if it was not present.
+    /// Copy-on-write: clones sharing the old slice are unaffected.
     pub fn remove(&mut self, node: NodeId) -> bool {
         match self.members.binary_search(&node) {
             Ok(pos) => {
-                self.members.remove(pos);
+                let mut v = Vec::with_capacity(self.members.len() - 1);
+                v.extend_from_slice(&self.members[..pos]);
+                v.extend_from_slice(&self.members[pos + 1..]);
+                self.members = Arc::from(v);
                 true
             }
             Err(_) => false,
@@ -183,6 +213,12 @@ impl Composition {
     }
 }
 
+impl Default for Composition {
+    fn default() -> Self {
+        Composition::new()
+    }
+}
+
 impl FromIterator<NodeId> for Composition {
     fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> Self {
         Composition::from_members(iter)
@@ -191,9 +227,8 @@ impl FromIterator<NodeId> for Composition {
 
 impl Extend<NodeId> for Composition {
     fn extend<I: IntoIterator<Item = NodeId>>(&mut self, iter: I) {
-        for n in iter {
-            self.insert(n);
-        }
+        // One copy-on-write rebuild for the whole batch, not one per item.
+        *self = Composition::from_members(self.iter().chain(iter));
     }
 }
 
@@ -308,6 +343,40 @@ mod tests {
     #[should_panic(expected = "permutation")]
     fn split_by_order_rejects_non_permutation() {
         comp(&[1, 2, 3]).split_by_order(&[0, 0, 1]);
+    }
+
+    #[test]
+    fn clones_share_storage_until_mutation() {
+        let a = comp(&[1, 2, 3]);
+        let b = a.clone();
+        assert!(a.shares_storage_with(&b));
+
+        // Copy-on-write: mutating one side leaves the other untouched and
+        // un-aliased.
+        let mut c = a.clone();
+        assert!(c.insert(NodeId::new(9)));
+        assert!(!c.shares_storage_with(&a));
+        assert_eq!(a.len(), 3);
+        assert_eq!(c.len(), 4);
+
+        let mut d = a.clone();
+        assert!(d.remove(NodeId::new(2)));
+        assert_eq!(a.len(), 3);
+        assert_eq!(d.len(), 2);
+        assert!(a.contains(NodeId::new(2)));
+
+        // No-op mutations keep the shared allocation.
+        let mut e = a.clone();
+        assert!(!e.insert(NodeId::new(1)));
+        assert!(!e.remove(NodeId::new(99)));
+        assert!(e.shares_storage_with(&a));
+    }
+
+    #[test]
+    fn extend_rebuilds_once_and_dedups() {
+        let mut c = comp(&[1, 3]);
+        c.extend([2, 3, 4].iter().map(|&i| NodeId::new(i)));
+        assert_eq!(c, comp(&[1, 2, 3, 4]));
     }
 
     #[test]

@@ -345,6 +345,46 @@ impl<T: Deserialize> Deserialize for Box<T> {
     }
 }
 
+// Shared-ownership containers serialize transparently (like Box); slices
+// behind an Arc round-trip through a Vec. Sharing is not preserved across a
+// round trip — each deserialized value owns a fresh allocation — which
+// matches real serde's behaviour (without its opt-in `rc` feature's caveats).
+impl<T: Serialize> Serialize for std::sync::Arc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::sync::Arc<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        T::from_value(value).map(std::sync::Arc::new)
+    }
+}
+
+impl<T: Serialize> Serialize for std::sync::Arc<[T]> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::sync::Arc<[T]> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Vec::<T>::from_value(value).map(std::sync::Arc::from)
+    }
+}
+
+impl<T: Serialize> Serialize for std::rc::Rc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::rc::Rc<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        T::from_value(value).map(std::rc::Rc::new)
+    }
+}
+
 impl<A: Serialize, B: Serialize> Serialize for (A, B) {
     fn to_value(&self) -> Value {
         Value::Seq(vec![self.0.to_value(), self.1.to_value()])
@@ -489,6 +529,19 @@ mod tests {
         assert_eq!(Option::<u64>::from_value(&opt.to_value()).unwrap(), opt);
         let none: Option<u64> = None;
         assert_eq!(Option::<u64>::from_value(&none.to_value()).unwrap(), none);
+    }
+
+    #[test]
+    fn shared_pointers_round_trip() {
+        use std::sync::Arc;
+        let boxed: Arc<u64> = Arc::new(9);
+        assert_eq!(Arc::<u64>::from_value(&boxed.to_value()).unwrap(), boxed);
+        let slice: Arc<[u64]> = vec![1u64, 2, 3].into();
+        let back = Arc::<[u64]>::from_value(&slice.to_value()).unwrap();
+        assert_eq!(&back[..], &slice[..]);
+        let empty: Arc<[u64]> = Vec::new().into();
+        let back = Arc::<[u64]>::from_value(&empty.to_value()).unwrap();
+        assert!(back.is_empty());
     }
 
     #[test]
