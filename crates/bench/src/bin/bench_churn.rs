@@ -100,11 +100,13 @@ fn main() {
         println!(" overflow:{}", report.rejoin_histogram.overflow());
     }
     println!(
-        "stalls: {} left, {} joining, {} awaiting transfer; ghost entries: {}",
+        "stalls: {} left, {} joining, {} awaiting transfer; ghost entries: {} ({} unhealable by construction, in {} vgroups)",
         report.stalls.left,
         report.stalls.joining,
         report.stalls.awaiting_transfer,
-        report.ghost_entries
+        report.ghost_entries,
+        report.ghost_audit.unhealable,
+        report.ghost_audit.vgroups_with_ghosts,
     );
 
     let record = BenchRecord::new("churn", seed)
@@ -120,6 +122,9 @@ fn main() {
         .metric("initial_members", initial)
         .metric("final_members", report.final_members)
         .metric("ghost_entries", report.ghost_entries)
+        .metric("ghost_unhealable", report.ghost_audit.unhealable)
+        .metric("ghost_healable", report.ghost_audit.healable())
+        .metric("ghost_vgroups", report.ghost_audit.vgroups_with_ghosts)
         .metric("stalls_left", report.stalls.left)
         .metric("stalls_joining", report.stalls.joining)
         .metric("stalls_awaiting_transfer", report.stalls.awaiting_transfer)

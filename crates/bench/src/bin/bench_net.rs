@@ -1,0 +1,213 @@
+//! Wall-clock benchmark of the `atum-net` TCP runtime: an in-process
+//! loopback cluster bootstraps, grows to its target membership through the
+//! real join protocol, then serves an application broadcast workload — all
+//! over real sockets.
+//!
+//! Unlike the fig binaries this measures *wall-clock* behaviour, so records
+//! are stamped `runtime: "tcp"` and their latencies are not comparable to
+//! the simulated figures. The peak outbound and inbound queue depths are
+//! recorded as the runtime's RSS-ish memory proxies (the only places
+//! frames queue).
+//!
+//! Run with `--json BENCH_net.json` (or `ATUM_BENCH_JSON=...`) to append
+//! records; `--reduced` is the default scale, `ATUM_FULL=1` the paper-ish
+//! one.
+
+use atum_bench::{print_header, scaled, BenchRecord};
+use atum_core::CollectingApp;
+use atum_net::NetClusterBuilder;
+use atum_sim::LatencySeries;
+use atum_types::{BroadcastId, Duration, NodeId, Params};
+use std::time::{Duration as StdDuration, Instant as StdInstant};
+
+fn main() {
+    print_header(
+        "Net bench",
+        "loopback TCP runtime: wall-clock join latency, growth time, broadcast delivery",
+    );
+    let seeded = scaled(12usize, 24);
+    let joiners = scaled(8usize, 24);
+    let total = seeded + joiners;
+    let broadcasts = scaled(8usize, 32);
+    let payload_size = 256usize;
+    let seed = 31u64;
+
+    // Same wall-clock reasoning as `tests/net_cluster.rs`: lazy failure
+    // detection (nothing crashes here) and group bounds that keep the
+    // seeded cycle structure fixed while membership doubles.
+    let params = Params::default()
+        .with_round(Duration::from_millis(200))
+        .with_group_bounds(3, 18)
+        .with_overlay(3, 5)
+        .with_failure_detection(Duration::from_secs(8), 3);
+
+    let wall_start = StdInstant::now();
+    let cluster = NetClusterBuilder::new(seeded, joiners)
+        .params(params)
+        .group_size(4)
+        .seed(seed)
+        .build(|_| CollectingApp::new());
+    println!("cluster: {seeded} seeded members + {joiners} joiners on loopback TCP");
+
+    // ------------------------------------------------------------- growth
+    let growth_start = StdInstant::now();
+    let joiner_ids = cluster.joiners.clone();
+    for (wave_idx, wave) in joiner_ids.chunks(4).enumerate() {
+        for (i, &joiner) in wave.iter().enumerate() {
+            let contact = NodeId::new(((wave_idx * 4 + i) % seeded) as u64);
+            cluster.join(joiner, contact);
+        }
+        cluster.wait_for_members(
+            (seeded + (wave_idx + 1) * 4).min(total),
+            StdDuration::from_secs(60),
+        );
+    }
+    let members = cluster.wait_for_members(total, StdDuration::from_secs(120));
+    let growth_wall = growth_start.elapsed();
+
+    let mut join_latency = LatencySeries::new();
+    for (_, latency) in cluster.map_nodes(|n| {
+        n.stats
+            .join_requested_at
+            .zip(n.stats.joined_at)
+            .map(|(req, joined)| joined.saturating_since(req))
+    }) {
+        if let Some(latency) = latency {
+            join_latency.push(latency);
+        }
+    }
+    println!(
+        "growth: {members}/{total} members in {:.1}s wall; join latency mean {:.2}s p90 {:.2}s max {:.2}s ({} joins)",
+        growth_wall.as_secs_f64(),
+        join_latency.mean(),
+        join_latency.percentile(90.0),
+        join_latency.max(),
+        join_latency.len(),
+    );
+
+    // ---------------------------------------------------------- broadcast
+    // Let the admission-triggered shuffle waves drain first: broadcasting
+    // into members mid-transfer measures churn losses, not the runtime.
+    std::thread::sleep(StdDuration::from_secs(10));
+    let bcast_start = StdInstant::now();
+    let mut sent: Vec<(BroadcastId, atum_types::Instant)> = Vec::new();
+    for i in 0..broadcasts {
+        // Rotate origins across the whole membership, seeded and joined.
+        let origin = NodeId::new((i * 7 % total) as u64);
+        let sent_at = atum_types::Instant::from_micros(cluster.elapsed().as_micros() as u64);
+        if let Some(id) = cluster.broadcast_tracked(origin, vec![0x5a; payload_size]) {
+            sent.push((id, sent_at));
+        }
+        std::thread::sleep(StdDuration::from_millis(500));
+    }
+    // Settle until every member delivered every tracked broadcast (or the
+    // timeout expires — delivery under churn is a ratio, not a certainty).
+    let expected_ids: Vec<BroadcastId> = sent.iter().map(|&(id, _)| id).collect();
+    let want = expected_ids.clone();
+    cluster.wait_for_nodes(total, StdDuration::from_secs(60), move |n| {
+        n.member().is_some_and(|m| {
+            want.iter()
+                .all(|id| m.stats.delivered.iter().any(|(d, _, _)| d == id))
+        })
+    });
+    let bcast_wall = bcast_start.elapsed();
+
+    let mut delivery_latency = LatencySeries::new();
+    let mut observed = 0usize;
+    for (_, deliveries) in cluster.map_nodes(|n| {
+        n.member()
+            .map(|m| m.stats.delivered.clone())
+            .unwrap_or_default()
+    }) {
+        for (id, at, _hops) in deliveries {
+            if let Some(&(_, sent_at)) = sent.iter().find(|&&(s, _)| s == id) {
+                observed += 1;
+                delivery_latency.push(at.saturating_since(sent_at));
+            }
+        }
+    }
+    let expected = sent.len() * members;
+    let ratio = if expected == 0 {
+        0.0
+    } else {
+        observed as f64 / expected as f64
+    };
+    println!(
+        "broadcast: {observed}/{expected} deliveries ({:.1}%), latency mean {:.2}s p50 {:.2}s p90 {:.2}s max {:.2}s",
+        ratio * 100.0,
+        delivery_latency.mean(),
+        delivery_latency.percentile(50.0),
+        delivery_latency.percentile(90.0),
+        delivery_latency.max(),
+    );
+
+    if std::env::var("ATUM_DEBUG_NET").is_ok() {
+        for (id, line) in cluster.map_nodes(|n| match n.member() {
+            Some(m) => format!(
+                "phase {:?} vgroup {:?} epoch {} comp {} engine {} delivered {}",
+                n.phase(),
+                m.vgroup,
+                m.epoch,
+                m.composition.len(),
+                m.engine_running(),
+                m.stats.delivered.len(),
+            ),
+            None => format!("phase {:?}", n.phase()),
+        }) {
+            eprintln!("{id}: {line}");
+        }
+    }
+
+    let stats = cluster.stats();
+    let wall = wall_start.elapsed();
+    println!(
+        "runtime: {} frames sent, {} dropped, {} decode errors, {:.1} MiB, peak outbound queue {}",
+        stats.frames_sent,
+        stats.frames_dropped,
+        stats.decode_errors,
+        stats.bytes_sent as f64 / (1024.0 * 1024.0),
+        stats.peak_outbound_queue,
+    );
+
+    let record = BenchRecord::new("net", seed)
+        .runtime("tcp")
+        .param("seeded", seeded)
+        .param("joiners", joiners)
+        .param("broadcasts", broadcasts)
+        .param("payload_size", payload_size)
+        .metric("final_members", members)
+        .metric("reached", members == total)
+        .metric("growth_wall_secs", growth_wall.as_secs_f64())
+        .metric("join_latency_mean_secs", join_latency.mean())
+        .metric("join_latency_p90_secs", join_latency.percentile(90.0))
+        .metric("join_latency_max_secs", join_latency.max())
+        .metric("broadcasts_sent", sent.len())
+        .metric("delivery_ratio", ratio)
+        .metric("delivery_latency_mean_secs", delivery_latency.mean())
+        .metric(
+            "delivery_latency_p50_secs",
+            delivery_latency.percentile(50.0),
+        )
+        .metric(
+            "delivery_latency_p90_secs",
+            delivery_latency.percentile(90.0),
+        )
+        .metric(
+            "broadcast_throughput_per_sec",
+            if bcast_wall.as_secs_f64() > 0.0 {
+                observed as f64 / bcast_wall.as_secs_f64()
+            } else {
+                0.0
+            },
+        )
+        .metric("frames_sent", stats.frames_sent)
+        .metric("frames_dropped", stats.frames_dropped)
+        .metric("decode_errors", stats.decode_errors)
+        .metric("bytes_sent", stats.bytes_sent)
+        .metric("peak_outbound_queue", stats.peak_outbound_queue)
+        .metric("peak_inbound_queue", stats.peak_inbound_queue)
+        .perf(wall, Some(stats.events_processed));
+    atum_bench::emit(&record);
+
+    cluster.shutdown();
+}

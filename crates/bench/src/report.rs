@@ -6,7 +6,7 @@
 //! per line:
 //!
 //! ```json
-//! {"figure":"fig06","scale":"reduced","seed":126,
+//! {"figure":"fig06","scale":"reduced","runtime":"simnet","seed":126,
 //!  "params":{"mode":"Synchronous","target":120},
 //!  "metrics":{"final_members":120,"reached":true}}
 //! ```
@@ -15,8 +15,10 @@
 //! failing that, the `ATUM_BENCH_JSON` environment variable. Records are
 //! *appended*, so successive runs of the same binary extend the file and CI
 //! can archive `BENCH_*.json` artifacts run over run. The record shape
-//! (`figure`, `scale`, `params`, `metrics`, `seed`) is stable: gates read it
-//! with `jq`, so renaming keys is a breaking change.
+//! (`figure`, `scale`, `runtime`, `params`, `metrics`, `seed`) is stable:
+//! gates read it with `jq`, so renaming keys is a breaking change. The
+//! `runtime` key distinguishes simulator records (`"simnet"`, simulated
+//! time) from `atum-net` records (`"tcp"`, wall-clock time).
 
 use serde::{Serialize, Value};
 use std::io::Write;
@@ -30,6 +32,12 @@ pub struct BenchRecord {
     pub figure: String,
     /// `"reduced"` or `"full"` (see [`full_scale`](crate::full_scale)).
     pub scale: String,
+    /// Which runtime hosted the run: `"simnet"` (the discrete-event
+    /// simulator; the default) or `"tcp"` (the `atum-net` socket runtime).
+    /// Records from the two substrates measure different things — simulated
+    /// versus wall-clock time — so the trajectory tooling must be able to
+    /// tell them apart.
+    pub runtime: String,
     /// The seed the run used (reproducibility).
     pub seed: u64,
     /// Input parameters that identify the run within the figure.
@@ -54,12 +62,19 @@ impl BenchRecord {
                 "reduced"
             }
             .to_string(),
+            runtime: "simnet".to_string(),
             seed,
             params: Vec::new(),
             metrics: Vec::new(),
             wall_clock_ms: None,
             events_per_sec: None,
         }
+    }
+
+    /// Stamps which runtime hosted the run (`"simnet"` is the default).
+    pub fn runtime(mut self, runtime: &str) -> Self {
+        self.runtime = runtime.to_string();
+        self
     }
 
     /// Stamps the wall-clock duration of the run and, when the run drove a
@@ -96,6 +111,7 @@ impl BenchRecord {
         let mut entries = vec![
             ("figure".to_string(), Value::Str(self.figure.clone())),
             ("scale".to_string(), Value::Str(self.scale.clone())),
+            ("runtime".to_string(), Value::Str(self.runtime.clone())),
             ("seed".to_string(), Value::U64(self.seed)),
             ("params".to_string(), Value::Map(self.params.clone())),
             ("metrics".to_string(), Value::Map(self.metrics.clone())),
@@ -182,6 +198,7 @@ mod tests {
         let line = record.to_json_line();
         assert!(line.starts_with("{\"figure\":\"fig99\""));
         assert!(line.contains("\"scale\":\"reduced\""));
+        assert!(line.contains("\"runtime\":\"simnet\""));
         assert!(line.contains("\"seed\":7"));
         assert!(line.contains("\"params\":{\"target\":120,\"mode\":\"Synchronous\"}"));
         assert!(line.contains("\"final_members\":119"));
@@ -202,7 +219,14 @@ mod tests {
             .iter()
             .map(|(k, _)| k.as_str())
             .collect();
-        assert_eq!(keys, ["figure", "scale", "seed", "params", "metrics"]);
+        assert_eq!(
+            keys,
+            ["figure", "scale", "runtime", "seed", "params", "metrics"]
+        );
+
+        // The tcp runtime stamps itself.
+        let tcp = BenchRecord::new("net", 1).runtime("tcp");
+        assert!(tcp.to_json_line().contains("\"runtime\":\"tcp\""));
     }
 
     #[test]

@@ -19,7 +19,7 @@ use atum_types::{
 };
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 
 pub(crate) mod debug {
@@ -155,6 +155,19 @@ pub struct MemberState {
     /// a walk forwarded to a departed vgroup would die there (no member left
     /// to relay it) and take a join or shuffle down with it.
     departed_groups: HashSet<VgroupId>,
+    /// Vgroups whose accepted group messages this member recently received,
+    /// with the composition their envelopes claimed and when. This is the
+    /// *reverse* edge of the overlay as observed from traffic: splits and
+    /// merges can leave a link one-directional (X still forwards to us, but
+    /// our table no longer lists X), and a vgroup X we never announce to
+    /// keeps addressing us through an ever-staler composition until our
+    /// newer members stop receiving copies at all. Announcing to
+    /// correspondents as well as table neighbours closes the loop (see
+    /// [`Self::announce_composition`]). Bounded and pruned by age.
+    correspondents: BTreeMap<VgroupId, (Composition, Instant)>,
+    /// When this member last ran the periodic composition anti-entropy (see
+    /// [`Self::heartbeat_duties`]).
+    last_announce: Instant,
     merging: bool,
     /// Statistics for the experiments.
     pub stats: MemberStats,
@@ -239,6 +252,8 @@ impl MemberState {
             halted_since: None,
             last_state_request: None,
             departed_groups: HashSet::new(),
+            correspondents: BTreeMap::new(),
+            last_announce: now,
             merging: false,
             stats: MemberStats::default(),
         }
@@ -707,6 +722,7 @@ impl MemberState {
                     // around any overlay link that still points at it.
                     if self.departed_groups.len() < 1024 {
                         self.departed_groups.insert(from);
+                        self.correspondents.remove(&from);
                     }
                     self.after_composition_change(now, effects);
                     for m in &members {
@@ -902,6 +918,17 @@ impl MemberState {
         effects: &mut Vec<Effect>,
         forward_filter: &mut dyn FnMut(&Delivered, VgroupId) -> bool,
     ) {
+        if source != self.vgroup {
+            // Record the reverse link. The claimed composition is only the
+            // *addressing fallback* for our announcements back to the
+            // source — deliberately not written into the neighbour table
+            // here: an in-flight envelope can be older than the view a
+            // `CompositionUpdate` just installed, and regressing a fresh
+            // view breaks the exchanges in flight against it. Explicit
+            // `CompositionUpdate` payloads (on-change and periodic) remain
+            // the one path that rewrites views.
+            self.note_correspondent(source, source_comp.clone(), now);
+        }
         match payload {
             GroupPayload::Gossip { id, payload, hops } => {
                 if self.seen_broadcasts.insert(id) {
@@ -1310,6 +1337,11 @@ impl MemberState {
         self.seen_broadcasts = old.seen_broadcasts;
         self.next_broadcast_seq = old.next_broadcast_seq;
         self.stats = old.stats;
+        if old.vgroup == self.vgroup {
+            // Same vgroup, newer epoch: the traffic-observed reverse links
+            // are still ours to answer.
+            self.correspondents = old.correspondents;
+        }
         old.my_pending.into_iter().map(|(_, op)| op).collect()
     }
 
@@ -1325,12 +1357,48 @@ impl MemberState {
         });
     }
 
+    /// Remembers that `group` sent this vgroup accepted traffic, with the
+    /// composition its envelope claimed. Bounded: the oldest entry is
+    /// evicted beyond 32 correspondents (far above any real neighbourhood).
+    fn note_correspondent(&mut self, group: VgroupId, composition: Composition, now: Instant) {
+        if group == self.vgroup || self.departed_groups.contains(&group) {
+            return;
+        }
+        self.correspondents.insert(group, (composition, now));
+        if self.correspondents.len() > 32 {
+            if let Some(oldest) = self
+                .correspondents
+                .iter()
+                .min_by_key(|(g, (_, t))| (*t, **g))
+                .map(|(g, _)| *g)
+            {
+                self.correspondents.remove(&oldest);
+            }
+        }
+    }
+
+    /// Announces this vgroup's composition to every overlay neighbour *and*
+    /// every recent correspondent.
+    ///
+    /// The correspondent half is what heals one-directional links: a vgroup
+    /// that keeps forwarding to us without appearing in our table would
+    /// otherwise never learn our membership changed, and its stale
+    /// addressing would permanently starve our newer members of gossip.
+    /// Called on every composition change and periodically from
+    /// [`Self::heartbeat_duties`] (anti-entropy for quiescent stretches).
     fn announce_composition(&mut self, effects: &mut Vec<Effect>) {
         let payload = GroupPayload::CompositionUpdate {
             group: self.vgroup,
             composition: self.composition.clone(),
         };
-        for (_group, comp) in self.neighbors.distinct_neighbors() {
+        let mut targets = self.neighbors.distinct_neighbors();
+        for (group, (comp, _)) in &self.correspondents {
+            targets.entry(*group).or_insert_with(|| comp.clone());
+        }
+        for (group, comp) in targets {
+            if self.departed_groups.contains(&group) {
+                continue;
+            }
             self.send_group_message(&comp, payload.clone(), effects);
         }
     }
@@ -1599,6 +1667,18 @@ impl MemberState {
 
     fn heartbeat_duties(&mut self, now: Instant, effects: &mut Vec<Effect>) {
         let period = self.params.heartbeat_period;
+        // Composition anti-entropy, at half the heartbeat cadence: neighbour
+        // views must converge even while the overlay is quiescent (the
+        // on-change announcements cover the churny stretches). Correspondent
+        // entries that stayed silent for eight periods have dissolved or
+        // moved on and are dropped.
+        if now.saturating_since(self.last_announce) >= period.saturating_mul(2) {
+            self.last_announce = now;
+            let stale_after = period.saturating_mul(8);
+            self.correspondents
+                .retain(|_, (_, heard)| now.saturating_since(*heard) <= stale_after);
+            self.announce_composition(effects);
+        }
         if now.saturating_since(self.last_heartbeat_sent) >= period {
             self.last_heartbeat_sent = now;
             for peer in self.composition.iter().filter(|&p| p != self.me.id) {

@@ -14,10 +14,13 @@
 //! fault injection never forges envelopes, so the cached value stands.
 
 use atum_crypto::{Digest, DigestWriter, Digestible};
-use atum_overlay::WalkState;
+use atum_overlay::{NeighborTable, WalkState};
 use atum_smr::{SmrMessage, SmrOp};
-use atum_types::wire::{DIGEST_SIZE, ENVELOPE_OVERHEAD, SIGNATURE_SIZE};
-use atum_types::{BroadcastId, Composition, NodeId, NodeIdentity, VgroupId, WalkId, WireSize};
+use atum_types::wire::{self, FRAME_HEADER_LEN};
+use atum_types::{
+    BroadcastId, Composition, NodeId, NodeIdentity, VgroupId, WalkId, WireDecode, WireEncode,
+    WireError, WireReader, WireSize, WireWriter,
+};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -234,28 +237,160 @@ impl GroupPayload {
         self.structural_digest()
     }
 
-    /// Approximate encoded size in bytes.
+    /// Exact encoded size in bytes (counting pass over the wire codec).
     pub fn wire_size(&self) -> usize {
+        wire::wire_len(self)
+    }
+}
+
+impl WireEncode for GroupPayload {
+    fn wire_encode(&self, w: &mut WireWriter<'_>) {
         match self {
-            GroupPayload::Gossip { payload, .. } => 24 + payload.len(),
-            GroupPayload::Walk(walk) => {
-                32 + walk.origin_composition.wire_size()
-                    + walk.rng_values.len() * 8
-                    + walk.path.len() * 8
-                    + walk.certificate.len() * (8 + SIGNATURE_SIZE)
+            GroupPayload::Gossip { id, payload, hops } => {
+                w.put_u8(0);
+                id.wire_encode(w);
+                payload.wire_encode(w);
+                w.put_u32(*hops);
             }
-            GroupPayload::CompositionUpdate { composition, .. } => 8 + composition.wire_size(),
-            GroupPayload::ExchangeOffer { .. } => 16 + 8 + 14,
-            GroupPayload::ExchangeRefuse { .. } => 16 + 8,
-            GroupPayload::ExchangeAccept { .. } => 16 + 8 + 14,
-            GroupPayload::SplitInsert { composition, .. } => 16 + composition.wire_size(),
-            GroupPayload::NeighborIntro { composition, .. } => 16 + composition.wire_size(),
-            GroupPayload::MergeRequest { members, .. } => 8 + members.len() * 14,
+            GroupPayload::Walk(walk) => {
+                w.put_u8(1);
+                walk.wire_encode(w);
+            }
+            GroupPayload::CompositionUpdate { group, composition } => {
+                w.put_u8(2);
+                group.wire_encode(w);
+                composition.wire_encode(w);
+            }
+            GroupPayload::ExchangeOffer {
+                walk,
+                leaving,
+                incoming,
+            } => {
+                w.put_u8(3);
+                walk.wire_encode(w);
+                leaving.wire_encode(w);
+                incoming.wire_encode(w);
+            }
+            GroupPayload::ExchangeRefuse { walk, leaving } => {
+                w.put_u8(4);
+                walk.wire_encode(w);
+                leaving.wire_encode(w);
+            }
+            GroupPayload::ExchangeAccept {
+                walk,
+                given,
+                adopted,
+            } => {
+                w.put_u8(5);
+                walk.wire_encode(w);
+                given.wire_encode(w);
+                adopted.wire_encode(w);
+            }
+            GroupPayload::SplitInsert {
+                cycle,
+                new_group,
+                composition,
+            } => {
+                w.put_u8(6);
+                w.put_u8(*cycle);
+                new_group.wire_encode(w);
+                composition.wire_encode(w);
+            }
+            GroupPayload::NeighborIntro {
+                cycle,
+                sender_is_predecessor,
+                group,
+                composition,
+            } => {
+                w.put_u8(7);
+                w.put_u8(*cycle);
+                w.put_bool(*sender_is_predecessor);
+                group.wire_encode(w);
+                composition.wire_encode(w);
+            }
+            GroupPayload::MergeRequest { from, members } => {
+                w.put_u8(8);
+                from.wire_encode(w);
+                w.put_seq(members);
+            }
             GroupPayload::MergeAccept {
-                new_composition, ..
-            } => 8 + new_composition.wire_size(),
-            GroupPayload::CyclePatch { composition, .. } => 16 + composition.wire_size(),
+                into,
+                new_composition,
+            } => {
+                w.put_u8(9);
+                into.wire_encode(w);
+                new_composition.wire_encode(w);
+            }
+            GroupPayload::CyclePatch {
+                cycle,
+                new_is_successor,
+                group,
+                composition,
+            } => {
+                w.put_u8(10);
+                w.put_u8(*cycle);
+                w.put_bool(*new_is_successor);
+                group.wire_encode(w);
+                composition.wire_encode(w);
+            }
         }
+    }
+}
+
+impl WireDecode for GroupPayload {
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(match r.take_u8()? {
+            0 => GroupPayload::Gossip {
+                id: BroadcastId::wire_decode(r)?,
+                payload: Arc::<[u8]>::wire_decode(r)?,
+                hops: r.take_u32()?,
+            },
+            1 => GroupPayload::Walk(WalkState::wire_decode(r)?),
+            2 => GroupPayload::CompositionUpdate {
+                group: VgroupId::wire_decode(r)?,
+                composition: Composition::wire_decode(r)?,
+            },
+            3 => GroupPayload::ExchangeOffer {
+                walk: WalkId::wire_decode(r)?,
+                leaving: NodeId::wire_decode(r)?,
+                incoming: NodeIdentity::wire_decode(r)?,
+            },
+            4 => GroupPayload::ExchangeRefuse {
+                walk: WalkId::wire_decode(r)?,
+                leaving: NodeId::wire_decode(r)?,
+            },
+            5 => GroupPayload::ExchangeAccept {
+                walk: WalkId::wire_decode(r)?,
+                given: NodeId::wire_decode(r)?,
+                adopted: NodeIdentity::wire_decode(r)?,
+            },
+            6 => GroupPayload::SplitInsert {
+                cycle: r.take_u8()?,
+                new_group: VgroupId::wire_decode(r)?,
+                composition: Composition::wire_decode(r)?,
+            },
+            7 => GroupPayload::NeighborIntro {
+                cycle: r.take_u8()?,
+                sender_is_predecessor: r.take_bool()?,
+                group: VgroupId::wire_decode(r)?,
+                composition: Composition::wire_decode(r)?,
+            },
+            8 => GroupPayload::MergeRequest {
+                from: VgroupId::wire_decode(r)?,
+                members: r.take_seq(14)?,
+            },
+            9 => GroupPayload::MergeAccept {
+                into: VgroupId::wire_decode(r)?,
+                new_composition: Composition::wire_decode(r)?,
+            },
+            10 => GroupPayload::CyclePatch {
+                cycle: r.take_u8()?,
+                new_is_successor: r.take_bool()?,
+                group: VgroupId::wire_decode(r)?,
+                composition: Composition::wire_decode(r)?,
+            },
+            _ => return Err(WireError::Malformed("group-payload tag")),
+        })
     }
 }
 
@@ -299,9 +434,30 @@ impl GroupEnvelope {
         self.digest
     }
 
-    /// Approximate encoded size in bytes.
+    /// Exact encoded size in bytes (counting pass over the wire codec).
     pub fn wire_size(&self) -> usize {
-        8 + self.source_composition.wire_size() + self.payload.wire_size() + DIGEST_SIZE
+        wire::wire_len(self)
+    }
+}
+
+/// The memoized digest is deliberately *not* carried on the wire: a receiver
+/// recomputes it from the decoded payload in [`GroupEnvelope::new`], so a
+/// forged digest field cannot subvert majority acceptance — the codec is the
+/// trust boundary the module docs promise.
+impl WireEncode for GroupEnvelope {
+    fn wire_encode(&self, w: &mut WireWriter<'_>) {
+        self.source.wire_encode(w);
+        self.source_composition.wire_encode(w);
+        self.payload.wire_encode(w);
+    }
+}
+
+impl WireDecode for GroupEnvelope {
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let source = VgroupId::wire_decode(r)?;
+        let source_composition = Composition::wire_decode(r)?;
+        let payload = GroupPayload::wire_decode(r)?;
+        Ok(GroupEnvelope::new(source, source_composition, payload))
     }
 }
 
@@ -519,19 +675,157 @@ impl SmrOp for GroupOp {
     }
 
     fn wire_size(&self) -> usize {
+        wire::wire_len(self)
+    }
+}
+
+impl WireEncode for GroupOp {
+    fn wire_encode(&self, w: &mut WireWriter<'_>) {
         match self {
-            GroupOp::Broadcast { payload, .. } => 24 + payload.len(),
-            GroupOp::AcceptMerge { members, .. } => 8 + members.len() * 14,
-            GroupOp::CompleteExchange {
-                partner_composition,
-                ..
-            } => 40 + partner_composition.wire_size(),
+            GroupOp::HandleJoinRequest {
+                joiner,
+                nonce,
+                rejoin,
+            } => {
+                w.put_u8(0);
+                joiner.wire_encode(w);
+                w.put_u64(*nonce);
+                w.put_bool(*rejoin);
+            }
+            GroupOp::AdmitJoiner { joiner, walk } => {
+                w.put_u8(1);
+                joiner.wire_encode(w);
+                walk.wire_encode(w);
+            }
+            GroupOp::Leave { node, nonce } => {
+                w.put_u8(2);
+                node.wire_encode(w);
+                w.put_u64(*nonce);
+            }
+            GroupOp::Evict {
+                node,
+                accuser,
+                nonce,
+            } => {
+                w.put_u8(3);
+                node.wire_encode(w);
+                accuser.wire_encode(w);
+                w.put_u64(*nonce);
+            }
+            GroupOp::Broadcast { id, payload } => {
+                w.put_u8(4);
+                id.wire_encode(w);
+                payload.wire_encode(w);
+            }
             GroupOp::OfferExchange {
-                origin_composition, ..
-            } => 40 + origin_composition.wire_size(),
-            GroupOp::InsertOverlayNeighbor { composition, .. } => 16 + composition.wire_size(),
-            _ => 32,
+                walk,
+                leaving,
+                origin,
+                origin_composition,
+            } => {
+                w.put_u8(5);
+                walk.wire_encode(w);
+                leaving.wire_encode(w);
+                origin.wire_encode(w);
+                origin_composition.wire_encode(w);
+            }
+            GroupOp::CompleteExchange {
+                walk,
+                leaving,
+                incoming,
+                partner,
+                partner_composition,
+            } => {
+                w.put_u8(6);
+                walk.wire_encode(w);
+                leaving.wire_encode(w);
+                incoming.wire_encode(w);
+                partner.wire_encode(w);
+                partner_composition.wire_encode(w);
+            }
+            GroupOp::FinishExchange {
+                walk,
+                given,
+                adopted,
+            } => {
+                w.put_u8(7);
+                walk.wire_encode(w);
+                given.wire_encode(w);
+                adopted.wire_encode(w);
+            }
+            GroupOp::AcceptMerge { from, members } => {
+                w.put_u8(8);
+                from.wire_encode(w);
+                w.put_seq(members);
+            }
+            GroupOp::InsertOverlayNeighbor {
+                cycle,
+                new_group,
+                composition,
+            } => {
+                w.put_u8(9);
+                w.put_u8(*cycle);
+                new_group.wire_encode(w);
+                composition.wire_encode(w);
+            }
         }
+    }
+}
+
+impl WireDecode for GroupOp {
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(match r.take_u8()? {
+            0 => GroupOp::HandleJoinRequest {
+                joiner: NodeIdentity::wire_decode(r)?,
+                nonce: r.take_u64()?,
+                rejoin: r.take_bool()?,
+            },
+            1 => GroupOp::AdmitJoiner {
+                joiner: NodeIdentity::wire_decode(r)?,
+                walk: WalkId::wire_decode(r)?,
+            },
+            2 => GroupOp::Leave {
+                node: NodeId::wire_decode(r)?,
+                nonce: r.take_u64()?,
+            },
+            3 => GroupOp::Evict {
+                node: NodeId::wire_decode(r)?,
+                accuser: NodeId::wire_decode(r)?,
+                nonce: r.take_u64()?,
+            },
+            4 => GroupOp::Broadcast {
+                id: BroadcastId::wire_decode(r)?,
+                payload: Arc::<[u8]>::wire_decode(r)?,
+            },
+            5 => GroupOp::OfferExchange {
+                walk: WalkId::wire_decode(r)?,
+                leaving: NodeIdentity::wire_decode(r)?,
+                origin: VgroupId::wire_decode(r)?,
+                origin_composition: Composition::wire_decode(r)?,
+            },
+            6 => GroupOp::CompleteExchange {
+                walk: WalkId::wire_decode(r)?,
+                leaving: NodeId::wire_decode(r)?,
+                incoming: NodeIdentity::wire_decode(r)?,
+                partner: VgroupId::wire_decode(r)?,
+                partner_composition: Composition::wire_decode(r)?,
+            },
+            7 => GroupOp::FinishExchange {
+                walk: WalkId::wire_decode(r)?,
+                given: NodeId::wire_decode(r)?,
+                adopted: NodeIdentity::wire_decode(r)?,
+            },
+            8 => GroupOp::AcceptMerge {
+                from: VgroupId::wire_decode(r)?,
+                members: r.take_seq(14)?,
+            },
+            9 => GroupOp::InsertOverlayNeighbor {
+                cycle: r.take_u8()?,
+                new_group: VgroupId::wire_decode(r)?,
+                composition: Composition::wire_decode(r)?,
+            },
+            _ => return Err(WireError::Malformed("group-op tag")),
+        })
     }
 }
 
@@ -621,37 +915,138 @@ pub enum AtumMessage {
     },
 }
 
-impl WireSize for AtumMessage {
-    fn wire_size(&self) -> usize {
-        let body = match self {
-            AtumMessage::JoinContactRequest => 8,
-            AtumMessage::JoinContactReply { composition, .. } => 8 + composition.wire_size(),
-            AtumMessage::JoinRequest { .. } => 14 + SIGNATURE_SIZE,
+impl AtumMessage {
+    /// Encodes the message body (no frame header) into a fresh buffer.
+    pub fn encode_body(&self) -> Vec<u8> {
+        wire::encode_to_vec(self)
+    }
+
+    /// Decodes a message body, requiring every byte to be consumed.
+    pub fn decode_body(bytes: &[u8]) -> Result<Self, WireError> {
+        wire::decode_exact(bytes)
+    }
+}
+
+impl WireEncode for AtumMessage {
+    fn wire_encode(&self, w: &mut WireWriter<'_>) {
+        match self {
+            AtumMessage::JoinContactRequest => w.put_u8(0),
+            AtumMessage::JoinContactReply { group, composition } => {
+                w.put_u8(1);
+                group.wire_encode(w);
+                composition.wire_encode(w);
+            }
+            AtumMessage::JoinRequest {
+                joiner,
+                nonce,
+                rejoin,
+            } => {
+                w.put_u8(2);
+                joiner.wire_encode(w);
+                w.put_u64(*nonce);
+                w.put_bool(*rejoin);
+            }
             AtumMessage::Welcome {
+                group,
                 composition,
                 neighbors,
-                ..
+                epoch,
             } => {
-                16 + composition.wire_size()
-                    + neighbors.distinct_neighbors().len() * 64
-                    + SIGNATURE_SIZE
+                w.put_u8(3);
+                group.wire_encode(w);
+                composition.wire_encode(w);
+                neighbors.wire_encode(w);
+                w.put_u64(*epoch);
             }
-            AtumMessage::StateRequest { .. } => 24,
-            AtumMessage::Heartbeat { .. } => 24,
-            AtumMessage::Smr { msg, .. } => 8 + msg.wire_size(),
-            AtumMessage::Group(envelope) => envelope.wire_size(),
+            AtumMessage::StateRequest { group, epoch } => {
+                w.put_u8(4);
+                group.wire_encode(w);
+                w.put_u64(*epoch);
+            }
+            AtumMessage::Heartbeat { group, epoch } => {
+                w.put_u8(5);
+                group.wire_encode(w);
+                w.put_u64(*epoch);
+            }
+            AtumMessage::Smr { group, epoch, msg } => {
+                w.put_u8(6);
+                group.wire_encode(w);
+                w.put_u64(*epoch);
+                msg.wire_encode(w);
+            }
+            AtumMessage::Group(envelope) => {
+                w.put_u8(7);
+                envelope.wire_encode(w);
+            }
             AtumMessage::App {
                 payload,
                 advertised_size,
             } => {
-                if *advertised_size > 0 {
-                    *advertised_size as usize
-                } else {
-                    payload.len() + 16
-                }
+                w.put_u8(8);
+                payload.wire_encode(w);
+                w.put_u32(*advertised_size);
             }
-        };
-        body + ENVELOPE_OVERHEAD
+        }
+    }
+}
+
+impl WireDecode for AtumMessage {
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(match r.take_u8()? {
+            0 => AtumMessage::JoinContactRequest,
+            1 => AtumMessage::JoinContactReply {
+                group: VgroupId::wire_decode(r)?,
+                composition: Composition::wire_decode(r)?,
+            },
+            2 => AtumMessage::JoinRequest {
+                joiner: NodeIdentity::wire_decode(r)?,
+                nonce: r.take_u64()?,
+                rejoin: r.take_bool()?,
+            },
+            3 => AtumMessage::Welcome {
+                group: VgroupId::wire_decode(r)?,
+                composition: Composition::wire_decode(r)?,
+                neighbors: NeighborTable::wire_decode(r)?,
+                epoch: r.take_u64()?,
+            },
+            4 => AtumMessage::StateRequest {
+                group: VgroupId::wire_decode(r)?,
+                epoch: r.take_u64()?,
+            },
+            5 => AtumMessage::Heartbeat {
+                group: VgroupId::wire_decode(r)?,
+                epoch: r.take_u64()?,
+            },
+            6 => AtumMessage::Smr {
+                group: VgroupId::wire_decode(r)?,
+                epoch: r.take_u64()?,
+                msg: SmrMessage::wire_decode(r)?,
+            },
+            7 => AtumMessage::Group(Arc::new(GroupEnvelope::wire_decode(r)?)),
+            8 => AtumMessage::App {
+                payload: Vec::<u8>::wire_decode(r)?,
+                advertised_size: r.take_u32()?,
+            },
+            _ => return Err(WireError::Malformed("atum-message tag")),
+        })
+    }
+}
+
+/// The simulator's per-message byte count is the *exact* encoded frame this
+/// message occupies on a real socket: header plus codec body. The `App`
+/// variant keeps honouring `advertised_size` (the logical payload stands in
+/// for a larger physical transfer, e.g. AShare file chunks).
+impl WireSize for AtumMessage {
+    fn wire_size(&self) -> usize {
+        if let AtumMessage::App {
+            advertised_size, ..
+        } = self
+        {
+            if *advertised_size > 0 {
+                return FRAME_HEADER_LEN + *advertised_size as usize;
+            }
+        }
+        FRAME_HEADER_LEN + wire::wire_len(self)
     }
 }
 

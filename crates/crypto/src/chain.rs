@@ -10,7 +10,7 @@
 
 use crate::digest::Digest;
 use crate::keys::{KeyRegistry, NodeSigner, Signature};
-use atum_types::NodeId;
+use atum_types::{NodeId, WireDecode, WireEncode, WireError, WireReader, WireWriter};
 use serde::{Deserialize, Serialize};
 
 /// A chain of signatures over a common payload digest.
@@ -75,6 +75,19 @@ impl SignatureChain {
         self.links.iter().any(|(n, _)| *n == node)
     }
 
+    /// The links (signer, signature) in chain order.
+    pub fn links(&self) -> &[(NodeId, Signature)] {
+        &self.links
+    }
+
+    /// Reassembles a chain from its parts (wire decoding). The result is
+    /// *unverified*: receivers must still run the protocol's verification
+    /// against the key registry, exactly as they do for simulator-delivered
+    /// chains.
+    pub fn from_parts(payload: Digest, links: Vec<(NodeId, Signature)>) -> Self {
+        SignatureChain { payload, links }
+    }
+
     /// Digest that the next link signs: payload plus every existing link.
     fn binding_digest(&self) -> Digest {
         let mut parts: Vec<Vec<u8>> = vec![self.payload.as_bytes().to_vec()];
@@ -124,6 +137,22 @@ impl SignatureChain {
             partial.links.push((*node, *sig));
         }
         true
+    }
+}
+
+impl WireEncode for SignatureChain {
+    fn wire_encode(&self, w: &mut WireWriter<'_>) {
+        self.payload.wire_encode(w);
+        w.put_seq(&self.links);
+    }
+}
+
+impl WireDecode for SignatureChain {
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let payload = Digest::wire_decode(r)?;
+        // Each link is a NodeId (8) + a 32-byte signature tag.
+        let links = r.take_seq(40)?;
+        Ok(SignatureChain::from_parts(payload, links))
     }
 }
 

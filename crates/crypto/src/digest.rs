@@ -62,6 +62,18 @@ impl Digest {
     }
 }
 
+impl atum_types::WireEncode for Digest {
+    fn wire_encode(&self, w: &mut atum_types::WireWriter<'_>) {
+        w.put_bytes(&self.0);
+    }
+}
+
+impl atum_types::WireDecode for Digest {
+    fn wire_decode(r: &mut atum_types::WireReader<'_>) -> Result<Self, atum_types::WireError> {
+        Ok(Digest(r.take_bytes(32)?.try_into().unwrap()))
+    }
+}
+
 impl fmt::Debug for Digest {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Digest({}…)", self.short_hex())

@@ -30,6 +30,18 @@ impl fmt::Debug for Signature {
     }
 }
 
+impl atum_types::WireEncode for Signature {
+    fn wire_encode(&self, w: &mut atum_types::WireWriter<'_>) {
+        self.0.wire_encode(w);
+    }
+}
+
+impl atum_types::WireDecode for Signature {
+    fn wire_decode(r: &mut atum_types::WireReader<'_>) -> Result<Self, atum_types::WireError> {
+        Digest::wire_decode(r).map(Signature)
+    }
+}
+
 /// A message-authentication code for a specific (sender, receiver) pair.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub struct Mac(Digest);

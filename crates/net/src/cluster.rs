@@ -1,0 +1,377 @@
+//! In-process loopback clusters: the TCP runtime's analogue of
+//! `atum_sim::ClusterBuilder`.
+//!
+//! A [`NetCluster`] hosts every node in this process, each with its own
+//! listener on an ephemeral loopback port, all sharing one [`AddressBook`]
+//! and one wall-clock epoch. Like the simulator harness it seeds a standing
+//! system directly from ground truth (`VgroupDirectory` + `HGraph`) and then
+//! grows it with the *real* join protocol — except here "real" means real
+//! sockets: every contact round-trip, placement walk, welcome quorum and
+//! heartbeat crosses TCP.
+
+use crate::runtime::{AddressBook, NetNode, RuntimeConfig, RuntimeStats};
+use atum_core::{Application, AtumMessage, AtumNode};
+use atum_crypto::KeyRegistry;
+use atum_overlay::{CycleNeighbors, HGraph, NeighborTable, VgroupDirectory};
+use atum_types::{Composition, NodeId, Params, VgroupId};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration as StdDuration, Instant as StdInstant};
+
+/// Aggregated runtime counters across every node of a cluster.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AggregateStats {
+    /// Frames written to sockets.
+    pub frames_sent: u64,
+    /// Frames dropped (bounded queues, unreachable peers).
+    pub frames_dropped: u64,
+    /// Message frames received and decoded.
+    pub frames_received: u64,
+    /// Frames rejected by the decoder.
+    pub decode_errors: u64,
+    /// Bytes written.
+    pub bytes_sent: u64,
+    /// Events processed across all event loops.
+    pub events_processed: u64,
+    /// Highest outbound queue depth any node reached (RSS-ish proxy).
+    pub peak_outbound_queue: u64,
+    /// Highest inbound event-queue depth any node reached (the unbounded
+    /// queue; the other RSS-ish proxy).
+    pub peak_inbound_queue: u64,
+}
+
+/// Builder for [`NetCluster`].
+#[derive(Debug, Clone)]
+pub struct NetClusterBuilder {
+    seeded: usize,
+    joiners: usize,
+    params: Params,
+    seed: u64,
+    group_size: Option<usize>,
+    runtime: RuntimeConfig,
+}
+
+impl NetClusterBuilder {
+    /// A cluster seeded with `seeded` standing members; `joiners` further
+    /// idle nodes are spawned for growth via the join protocol.
+    pub fn new(seeded: usize, joiners: usize) -> Self {
+        NetClusterBuilder {
+            seeded,
+            joiners,
+            params: Params::default(),
+            seed: 42,
+            group_size: None,
+            runtime: RuntimeConfig::default(),
+        }
+    }
+
+    /// Sets the Atum parameters used by every node.
+    pub fn params(mut self, params: Params) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Sets the seed driving vgroup partitioning, the overlay and node RNGs.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self.runtime.seed = seed;
+        self
+    }
+
+    /// Overrides the initial vgroup size (default: midway between `gmin` and
+    /// `gmax`).
+    pub fn group_size(mut self, size: usize) -> Self {
+        self.group_size = Some(size);
+        self
+    }
+
+    /// Overrides the runtime tuning knobs.
+    pub fn runtime(mut self, runtime: RuntimeConfig) -> Self {
+        self.runtime = runtime;
+        self
+    }
+
+    /// Builds and starts the cluster, creating each node's application with
+    /// `make_app`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a listener cannot be bound or the parameters are invalid.
+    pub fn build<A, F>(self, mut make_app: F) -> NetCluster<A>
+    where
+        A: Application + Send + 'static,
+        F: FnMut(NodeId) -> A,
+    {
+        let NetClusterBuilder {
+            seeded,
+            joiners,
+            params,
+            seed,
+            group_size,
+            runtime,
+        } = self;
+        assert!(seeded > 0, "a cluster needs at least one seeded member");
+        params.validate().expect("invalid Atum parameters");
+
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut registry = KeyRegistry::new();
+        for i in 0..(seeded + joiners) as u64 {
+            registry.register(NodeId::new(i), seed);
+        }
+        let registry = registry.shared();
+
+        let members: Vec<NodeId> = (0..seeded as u64).map(NodeId::new).collect();
+        let group_size = group_size.unwrap_or((params.gmin + params.gmax) / 2).max(1);
+        let directory = VgroupDirectory::partition(&members, group_size, &mut rng);
+        let group_ids = directory.group_ids();
+        let hgraph = HGraph::random(&group_ids, params.hc, &mut rng);
+        let neighbor_table_of = |group: VgroupId| -> NeighborTable {
+            let mut table = NeighborTable::new(params.hc);
+            for cycle in 0..params.hc as usize {
+                let pred = hgraph.predecessor(cycle, group).expect("member of graph");
+                let succ = hgraph.successor(cycle, group).expect("member of graph");
+                table.set_cycle(
+                    cycle,
+                    CycleNeighbors {
+                        predecessor: pred,
+                        predecessor_composition: directory
+                            .composition(pred)
+                            .expect("group exists")
+                            .clone(),
+                        successor: succ,
+                        successor_composition: directory
+                            .composition(succ)
+                            .expect("group exists")
+                            .clone(),
+                    },
+                );
+            }
+            table
+        };
+
+        let book = AddressBook::new();
+        let epoch = StdInstant::now();
+        let mut nodes = BTreeMap::new();
+        for group in &group_ids {
+            let composition: Composition = directory.composition(*group).expect("exists").clone();
+            let table = neighbor_table_of(*group);
+            for node_id in composition.iter() {
+                let node = AtumNode::with_membership(
+                    node_id,
+                    params.clone(),
+                    registry.clone(),
+                    make_app(node_id),
+                    *group,
+                    composition.clone(),
+                    table.clone(),
+                    0,
+                );
+                let handle = NetNode::spawn(node_id, node, &book, epoch, runtime.clone())
+                    .expect("bind loopback listener");
+                nodes.insert(node_id, handle);
+            }
+        }
+        let joiner_ids: Vec<NodeId> = (seeded as u64..(seeded + joiners) as u64)
+            .map(NodeId::new)
+            .collect();
+        for &node_id in &joiner_ids {
+            let node = AtumNode::new(node_id, params.clone(), registry.clone(), make_app(node_id));
+            let handle = NetNode::spawn(node_id, node, &book, epoch, runtime.clone())
+                .expect("bind loopback listener");
+            nodes.insert(node_id, handle);
+        }
+
+        NetCluster {
+            nodes,
+            book,
+            params,
+            registry,
+            seeded: members,
+            joiners: joiner_ids,
+            epoch,
+        }
+    }
+}
+
+/// A standing Atum system running over loopback TCP.
+pub struct NetCluster<A: Application + Send + 'static> {
+    nodes: BTreeMap<NodeId, NetNode<AtumMessage, AtumNode<A>>>,
+    /// The shared node-address directory.
+    pub book: AddressBook,
+    /// The parameters every node runs with.
+    pub params: Params,
+    /// The shared key registry.
+    pub registry: Arc<KeyRegistry>,
+    /// Identifiers of the pre-formed members.
+    pub seeded: Vec<NodeId>,
+    /// Identifiers of the nodes spawned idle for protocol-driven growth.
+    pub joiners: Vec<NodeId>,
+    epoch: StdInstant,
+}
+
+impl<A: Application + Send + 'static> NetCluster<A> {
+    /// Every node identifier, sorted.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        self.nodes.keys().copied().collect()
+    }
+
+    /// Handle of one node.
+    pub fn node(&self, id: NodeId) -> Option<&NetNode<AtumMessage, AtumNode<A>>> {
+        self.nodes.get(&id)
+    }
+
+    /// Wall-clock elapsed since the cluster's epoch.
+    pub fn elapsed(&self) -> StdDuration {
+        self.epoch.elapsed()
+    }
+
+    /// Starts a join of `joiner` through `contact` (returns immediately; the
+    /// protocol runs over the sockets).
+    pub fn join(&self, joiner: NodeId, contact: NodeId) {
+        if let Some(node) = self.nodes.get(&joiner) {
+            node.call(move |n, ctx| {
+                let _ = n.join(contact, ctx);
+            });
+        }
+    }
+
+    /// Broadcasts `payload` from `origin`.
+    pub fn broadcast(&self, origin: NodeId, payload: Vec<u8>) {
+        if let Some(node) = self.nodes.get(&origin) {
+            node.call(move |n, ctx| {
+                let _ = n.broadcast(payload, ctx);
+            });
+        }
+    }
+
+    /// Broadcasts `payload` from `origin` and returns the broadcast
+    /// identifier (for latency correlation), or `None` when the origin is
+    /// unknown, not a member, or did not answer within five seconds.
+    pub fn broadcast_tracked(
+        &self,
+        origin: NodeId,
+        payload: Vec<u8>,
+    ) -> Option<atum_types::BroadcastId> {
+        let node = self.nodes.get(&origin)?;
+        let (tx, rx) = std::sync::mpsc::channel();
+        node.call(move |n, ctx| {
+            let _ = tx.send(n.broadcast(payload, ctx).ok());
+        });
+        rx.recv_timeout(StdDuration::from_secs(5)).ok().flatten()
+    }
+
+    /// Evaluates `f` on every node (in id order), skipping nodes whose event
+    /// loop did not answer.
+    pub fn map_nodes<R, F>(&self, f: F) -> Vec<(NodeId, R)>
+    where
+        R: Send + 'static,
+        F: Fn(&AtumNode<A>) -> R + Clone + Send + 'static,
+    {
+        self.nodes
+            .iter()
+            .filter_map(|(&id, node)| node.with_node(f.clone()).map(|r| (id, r)))
+            .collect()
+    }
+
+    /// Number of nodes that currently consider themselves members.
+    pub fn member_count(&self) -> usize {
+        self.map_nodes(|n| n.is_member())
+            .into_iter()
+            .filter(|&(_, m)| m)
+            .count()
+    }
+
+    /// Polls until at least `target` nodes are members or `timeout` elapses;
+    /// returns the final member count.
+    pub fn wait_for_members(&self, target: usize, timeout: StdDuration) -> usize {
+        let deadline = StdInstant::now() + timeout;
+        loop {
+            let count = self.member_count();
+            if count >= target || StdInstant::now() >= deadline {
+                return count;
+            }
+            std::thread::sleep(StdDuration::from_millis(100));
+        }
+    }
+
+    /// Polls until `pred` holds on at least `target` nodes or `timeout`
+    /// elapses; returns how many nodes satisfied it last.
+    pub fn wait_for_nodes<F>(&self, target: usize, timeout: StdDuration, pred: F) -> usize
+    where
+        F: Fn(&AtumNode<A>) -> bool + Clone + Send + 'static,
+    {
+        let deadline = StdInstant::now() + timeout;
+        loop {
+            let count = self
+                .map_nodes(pred.clone())
+                .into_iter()
+                .filter(|&(_, ok)| ok)
+                .count();
+            if count >= target || StdInstant::now() >= deadline {
+                return count;
+            }
+            std::thread::sleep(StdDuration::from_millis(100));
+        }
+    }
+
+    /// Aggregated runtime counters across all nodes.
+    pub fn stats(&self) -> AggregateStats {
+        let mut agg = AggregateStats::default();
+        for node in self.nodes.values() {
+            let s: &Arc<RuntimeStats> = node.stats();
+            agg.frames_sent += s.frames_sent.load(Ordering::Relaxed);
+            agg.frames_dropped += s.frames_dropped.load(Ordering::Relaxed);
+            agg.frames_received += s.frames_received.load(Ordering::Relaxed);
+            agg.decode_errors += s.decode_errors.load(Ordering::Relaxed);
+            agg.bytes_sent += s.bytes_sent.load(Ordering::Relaxed);
+            agg.events_processed += s.events_processed.load(Ordering::Relaxed);
+            agg.peak_outbound_queue = agg
+                .peak_outbound_queue
+                .max(s.peak_outbound_queue.load(Ordering::Relaxed));
+            agg.peak_inbound_queue = agg
+                .peak_inbound_queue
+                .max(s.peak_inbound_queue.load(Ordering::Relaxed));
+        }
+        agg
+    }
+
+    /// Stops every node.
+    pub fn shutdown(self) {
+        for (_, node) in self.nodes {
+            node.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atum_core::CollectingApp;
+    use atum_types::Duration;
+
+    #[test]
+    fn seeded_vgroup_broadcasts_over_loopback() {
+        let params = Params::default()
+            .with_round(Duration::from_millis(100))
+            .with_group_bounds(3, 10)
+            .with_overlay(2, 4)
+            .with_failure_detection(Duration::from_secs(2), 3);
+        let cluster = NetClusterBuilder::new(4, 0)
+            .params(params)
+            .seed(5)
+            .build(|_| CollectingApp::new());
+        assert_eq!(cluster.member_count(), 4);
+        cluster.broadcast(NodeId::new(1), b"net-hello".to_vec());
+        let delivered = cluster.wait_for_nodes(4, StdDuration::from_secs(30), |n| {
+            n.app()
+                .delivered_payloads()
+                .iter()
+                .any(|p| p == b"net-hello")
+        });
+        assert_eq!(delivered, 4, "stats: {:?}", cluster.stats());
+        cluster.shutdown();
+    }
+}

@@ -1,0 +1,212 @@
+//! Length-prefixed binary framing over byte streams.
+//!
+//! Every frame is an 8-byte header — magic (2), wire version (1), frame kind
+//! (1), body length (`u32` little-endian) — followed by the body bytes. The
+//! first frame on every connection must be a [`Hello`]
+//! ([`FRAME_KIND_HELLO`]): it names the sending node and the port its own
+//! listener accepts connections on, so the receiver can both attribute
+//! subsequent message frames and learn a return address. All later frames
+//! carry encoded `AtumMessage` bodies ([`FRAME_KIND_MESSAGE`]).
+//!
+//! Decode hardening: the magic, version and kind are checked before the body
+//! length is honoured, bodies above [`MAX_FRAME_LEN`] are rejected *before*
+//! any allocation, and message bodies must decode to exactly their length
+//! (trailing garbage closes the connection deliberately; see the runtime).
+
+use atum_types::wire::{
+    decode_exact, encode_to_vec, WireDecode, WireEncode, WireError, WireReader, WireWriter,
+    FRAME_HEADER_LEN, FRAME_KIND_HELLO, FRAME_KIND_MESSAGE, FRAME_MAGIC, MAX_FRAME_LEN,
+    WIRE_VERSION,
+};
+use atum_types::NodeId;
+use std::io::{Read, Write};
+
+/// Errors crossing the framing layer: transport failures and codec
+/// violations are distinguished so the runtime can count them separately.
+#[derive(Debug)]
+pub enum NetError {
+    /// The underlying socket failed.
+    Io(std::io::Error),
+    /// The peer sent bytes that violate the wire format.
+    Wire(WireError),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "i/o error: {e}"),
+            NetError::Wire(e) => write!(f, "wire error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<WireError> for NetError {
+    fn from(e: WireError) -> Self {
+        NetError::Wire(e)
+    }
+}
+
+/// The handshake opening every connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hello {
+    /// The connecting node.
+    pub node: NodeId,
+    /// The TCP port the connecting node's own listener accepts on (its IP is
+    /// whatever the accepted socket reports).
+    pub listen_port: u16,
+}
+
+impl WireEncode for Hello {
+    fn wire_encode(&self, w: &mut WireWriter<'_>) {
+        self.node.wire_encode(w);
+        w.put_u16(self.listen_port);
+    }
+}
+
+impl WireDecode for Hello {
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Hello {
+            node: NodeId::wire_decode(r)?,
+            listen_port: r.take_u16()?,
+        })
+    }
+}
+
+/// Encodes a frame (header + body) into a fresh buffer, ready for one
+/// `write_all`.
+pub fn frame_bytes(kind: u8, body: &[u8]) -> Vec<u8> {
+    assert!(body.len() <= MAX_FRAME_LEN, "frame body exceeds cap");
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + body.len());
+    out.extend_from_slice(&FRAME_MAGIC);
+    out.push(WIRE_VERSION);
+    out.push(kind);
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+/// Encodes a value as a single frame of the given kind.
+pub fn encode_frame<T: WireEncode + ?Sized>(kind: u8, value: &T) -> Vec<u8> {
+    frame_bytes(kind, &encode_to_vec(value))
+}
+
+/// Writes one frame to a stream.
+pub fn write_frame<W: Write>(w: &mut W, kind: u8, body: &[u8]) -> Result<(), NetError> {
+    w.write_all(&frame_bytes(kind, body))?;
+    Ok(())
+}
+
+/// Reads one frame header + body. Returns the frame kind and body bytes.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<(u8, Vec<u8>), NetError> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    r.read_exact(&mut header)?;
+    if header[0..2] != FRAME_MAGIC {
+        return Err(WireError::BadMagic.into());
+    }
+    if header[2] != WIRE_VERSION {
+        return Err(WireError::BadVersion(header[2]).into());
+    }
+    let kind = header[3];
+    if kind != FRAME_KIND_HELLO && kind != FRAME_KIND_MESSAGE {
+        return Err(WireError::Malformed("frame kind").into());
+    }
+    let len = u32::from_le_bytes(header[4..8].try_into().unwrap()) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(WireError::FrameTooLarge(len).into());
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok((kind, body))
+}
+
+/// Reads one frame and decodes its body as `T`, requiring the body to be
+/// consumed exactly and the kind to match.
+pub fn read_decoded<R: Read, T: WireDecode>(r: &mut R, expected_kind: u8) -> Result<T, NetError> {
+    let (kind, body) = read_frame(r)?;
+    if kind != expected_kind {
+        return Err(WireError::Malformed("unexpected frame kind").into());
+    }
+    Ok(decode_exact(&body)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn hello_round_trips_through_a_frame() {
+        let hello = Hello {
+            node: NodeId::new(7),
+            listen_port: 9_100,
+        };
+        let bytes = encode_frame(FRAME_KIND_HELLO, &hello);
+        let mut cursor = Cursor::new(bytes);
+        let back: Hello = read_decoded(&mut cursor, FRAME_KIND_HELLO).unwrap();
+        assert_eq!(back, hello);
+    }
+
+    #[test]
+    fn bad_magic_version_kind_and_oversize_are_rejected() {
+        let good = encode_frame(
+            FRAME_KIND_HELLO,
+            &Hello {
+                node: NodeId::new(1),
+                listen_port: 1,
+            },
+        );
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        assert!(matches!(
+            read_frame(&mut Cursor::new(bad_magic)),
+            Err(NetError::Wire(WireError::BadMagic))
+        ));
+
+        let mut bad_version = good.clone();
+        bad_version[2] = 99;
+        assert!(matches!(
+            read_frame(&mut Cursor::new(bad_version)),
+            Err(NetError::Wire(WireError::BadVersion(99)))
+        ));
+
+        let mut bad_kind = good.clone();
+        bad_kind[3] = 42;
+        assert!(matches!(
+            read_frame(&mut Cursor::new(bad_kind)),
+            Err(NetError::Wire(WireError::Malformed("frame kind")))
+        ));
+
+        // A length prefix over the cap is rejected without allocating; only
+        // the header needs to be present.
+        let mut oversized = good[..FRAME_HEADER_LEN].to_vec();
+        oversized[4..8].copy_from_slice(&(MAX_FRAME_LEN as u32 + 1).to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut Cursor::new(oversized)),
+            Err(NetError::Wire(WireError::FrameTooLarge(_)))
+        ));
+    }
+
+    #[test]
+    fn truncated_frames_surface_as_io_errors() {
+        let good = encode_frame(
+            FRAME_KIND_HELLO,
+            &Hello {
+                node: NodeId::new(1),
+                listen_port: 1,
+            },
+        );
+        for cut in [1, FRAME_HEADER_LEN - 1, good.len() - 1] {
+            let r = read_frame(&mut Cursor::new(good[..cut].to_vec()));
+            assert!(matches!(r, Err(NetError::Io(_))), "cut at {cut}");
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! `atum-net`: the real-socket TCP runtime for Atum nodes.
+//!
+//! The reproduction's protocol logic is written against the runtime-neutral
+//! effect surface of `atum_simnet` ([`atum_simnet::Node`] +
+//! [`atum_simnet::Context`]). This crate supplies the second runtime for
+//! that surface: instead of a discrete-event scheduler, every node gets a
+//! TCP listener, a threaded event loop with a timer heap, and per-peer
+//! outbound writers — the same `AtumNode` state machine then runs over
+//! loopback or LAN sockets with no protocol changes whatsoever.
+//!
+//! * [`frame`] — versioned length-prefixed framing with decode hardening
+//!   (max-frame cap, magic/version checks, exact-consumption bodies) and the
+//!   per-connection `Hello` handshake.
+//! * [`runtime`] — [`NetNode`](runtime::NetNode): the per-node thread
+//!   bundle, [`AddressBook`](runtime::AddressBook) and runtime counters.
+//! * [`cluster`] — [`NetCluster`](cluster::NetCluster): an in-process
+//!   loopback harness mirroring `atum_sim::ClusterBuilder`, used by the
+//!   `net_cluster` system test and the `bench_net` benchmark.
+//!
+//! Determinism note: wall-clock scheduling is inherently nondeterministic,
+//! so TCP runs are *not* reproducible the way simulations are. The codec and
+//! the node state machines are shared with the simulator; the
+//! `fabric_equivalence` golden tests pin that hosting them here never
+//! perturbs simulated trajectories.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod frame;
+pub mod runtime;
+
+pub use cluster::{AggregateStats, NetCluster, NetClusterBuilder};
+pub use frame::{Hello, NetError};
+pub use runtime::{AddressBook, NetMessage, NetNode, RuntimeConfig, RuntimeStats};

@@ -1,0 +1,995 @@
+//! The threaded TCP runtime: one listener, one event loop and a timer wheel
+//! per node, plus per-peer outbound writer threads with bounded queues and
+//! reconnect/backoff.
+//!
+//! The runtime hosts *unmodified* protocol state machines: anything
+//! implementing [`atum_simnet::Node`] runs here exactly as it runs on the
+//! simulator, because both runtimes drive it through the same
+//! [`Context`]/[`ContextEffects`] surface and apply effects in the same
+//! order (sends, then new timers, then cancellations, then the halt flag).
+//! What differs is the substrate: `now` is wall-clock time since the
+//! runtime's epoch, messages cross real TCP sockets framed by
+//! [`crate::frame`], and delivery timing is whatever the kernel provides —
+//! the simulator remains the deterministic environment (see the
+//! `atum_simnet::node` module docs for the invariant).
+//!
+//! # Threads per node
+//!
+//! * **listener** — accepts connections; each accepted socket gets a
+//!   **reader** thread that performs the [`Hello`](crate::frame::Hello)
+//!   handshake, registers the peer's return address, then decodes message
+//!   frames into the event queue. A frame that fails to decode closes the
+//!   connection deliberately (and is counted); the node itself is never
+//!   affected.
+//! * **event loop** — owns the node state, its RNG and the timer heap;
+//!   processes inbound messages, external calls and due timers, then applies
+//!   the recorded effects.
+//! * **writers** — one per peer this node has sent to, created lazily. Each
+//!   owns a bounded frame queue (new frames are dropped, and counted, when
+//!   the peer cannot drain fast enough) and reconnects with exponential
+//!   backoff when the connection breaks.
+
+use crate::frame::{self, Hello, NetError};
+use atum_simnet::{Context, ContextEffects, Node, OutboundMessage, TimerRequest};
+use atum_types::wire::{self, FRAME_KIND_HELLO, FRAME_KIND_MESSAGE};
+use atum_types::{Instant, NodeId, WireDecode, WireEncode, WireSize};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration as StdDuration;
+
+/// Messages the TCP runtime can carry: encodable, decodable, sized, and
+/// movable across threads.
+pub trait NetMessage: WireEncode + WireDecode + WireSize + Send + 'static {}
+impl<T: WireEncode + WireDecode + WireSize + Send + 'static> NetMessage for T {}
+
+/// Tuning knobs of the runtime.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Seed for the per-node deterministic RNG handed to protocol code.
+    /// The per-node stream mixes the node id with the same constant the
+    /// simulator uses, but the simulator additionally folds in a draw from
+    /// its engine RNG — the streams are *not* cross-runtime reproducible.
+    pub seed: u64,
+    /// Per-peer outbound queue bound; frames beyond it are dropped and
+    /// counted in [`RuntimeStats::frames_dropped`].
+    pub queue_capacity: usize,
+    /// Timeout of each TCP connect attempt.
+    pub connect_timeout: StdDuration,
+    /// Connect attempts per frame before it is dropped.
+    pub max_connect_attempts: u32,
+    /// Base reconnect backoff; doubles per failed attempt.
+    pub reconnect_backoff: StdDuration,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            seed: 42,
+            queue_capacity: 1024,
+            connect_timeout: StdDuration::from_millis(500),
+            max_connect_attempts: 4,
+            reconnect_backoff: StdDuration::from_millis(25),
+        }
+    }
+}
+
+/// Shared counters of one node's runtime. The two queue peaks (bounded
+/// per-peer outbound queues, unbounded inbound event queue) are the places
+/// a node's memory actually grows, which is why the bench records them as
+/// its RSS-ish proxies.
+#[derive(Debug, Default)]
+pub struct RuntimeStats {
+    /// Frames written to sockets.
+    pub frames_sent: AtomicU64,
+    /// Frames dropped: queue full, peer unreachable, or address unknown.
+    pub frames_dropped: AtomicU64,
+    /// Message frames received and decoded.
+    pub frames_received: AtomicU64,
+    /// Frames that failed to decode (the connection is closed deliberately).
+    pub decode_errors: AtomicU64,
+    /// Bytes written to sockets (frame headers included).
+    pub bytes_sent: AtomicU64,
+    /// Bytes received in decoded message frames (headers included).
+    pub bytes_received: AtomicU64,
+    /// Timers fired.
+    pub timers_fired: AtomicU64,
+    /// Events processed by the event loop (messages + calls + timers).
+    pub events_processed: AtomicU64,
+    /// Highest depth any outbound peer queue reached.
+    pub peak_outbound_queue: AtomicU64,
+    /// Decoded inbound messages currently awaiting the event loop.
+    pub inbound_pending: AtomicU64,
+    /// Highest depth the inbound event queue reached. The inbound channel is
+    /// unbounded (a bounded one would deadlock the event loop's own
+    /// self-sends), so together with `peak_outbound_queue` this is where a
+    /// node's memory can actually grow — both peaks are the bench's memory
+    /// proxies.
+    pub peak_inbound_queue: AtomicU64,
+}
+
+impl RuntimeStats {
+    fn note_queue_depth(&self, depth: usize) {
+        self.peak_outbound_queue
+            .fetch_max(depth as u64, Ordering::Relaxed);
+    }
+
+    fn note_inbound_enqueued(&self) {
+        let depth = self.inbound_pending.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak_inbound_queue.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    fn note_inbound_drained(&self) {
+        self.inbound_pending.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Bounded registry of live sockets, so shutdown can unblock every blocking
+/// read/write. Slots are freed by the owning reader/writer thread when its
+/// connection dies — without that, a long-running node would leak one file
+/// descriptor per broken connection.
+#[derive(Default)]
+struct ConnRegistry {
+    slots: Mutex<Vec<Option<TcpStream>>>,
+}
+
+impl ConnRegistry {
+    /// Stores a stream clone, returning the slot to free later.
+    fn add(&self, stream: TcpStream) -> usize {
+        let mut slots = self.slots.lock().expect("conn registry lock");
+        if let Some(idx) = slots.iter().position(Option::is_none) {
+            slots[idx] = Some(stream);
+            idx
+        } else {
+            slots.push(Some(stream));
+            slots.len() - 1
+        }
+    }
+
+    /// Frees a slot (closing the clone).
+    fn remove(&self, idx: usize) {
+        self.slots.lock().expect("conn registry lock")[idx] = None;
+    }
+
+    /// Shuts every registered socket down (read and write halves).
+    fn shutdown_all(&self) {
+        for stream in self
+            .slots
+            .lock()
+            .expect("conn registry lock")
+            .iter()
+            .flatten()
+        {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+    }
+}
+
+/// Shared directory mapping node identifiers to socket addresses.
+///
+/// Harnesses pre-register every node; the listener additionally registers
+/// peers from their [`Hello`] handshake (socket IP + advertised listen
+/// port), which is how a cross-process contact learns a joiner's return
+/// address without prior configuration.
+#[derive(Debug, Clone, Default)]
+pub struct AddressBook {
+    inner: Arc<RwLock<HashMap<NodeId, SocketAddr>>>,
+}
+
+impl AddressBook {
+    /// An empty book.
+    pub fn new() -> Self {
+        AddressBook::default()
+    }
+
+    /// Registers (or updates) a node's address.
+    pub fn register(&self, node: NodeId, addr: SocketAddr) {
+        self.inner
+            .write()
+            .expect("address book lock")
+            .insert(node, addr);
+    }
+
+    /// Registers a node's address only if none is known yet. The `Hello`
+    /// learning path uses this so an unauthenticated handshake can teach a
+    /// node a *new* peer's return address but can never overwrite (hijack)
+    /// the address of a node the book already knows — a deployment would
+    /// authenticate the handshake instead; the corresponding restriction
+    /// here is that a node that restarts on a new port must be re-registered
+    /// by the harness.
+    pub fn register_if_absent(&self, node: NodeId, addr: SocketAddr) {
+        self.inner
+            .write()
+            .expect("address book lock")
+            .entry(node)
+            .or_insert(addr);
+    }
+
+    /// Looks a node's address up.
+    pub fn lookup(&self, node: NodeId) -> Option<SocketAddr> {
+        self.inner
+            .read()
+            .expect("address book lock")
+            .get(&node)
+            .copied()
+    }
+
+    /// Number of registered nodes.
+    pub fn len(&self) -> usize {
+        self.inner.read().expect("address book lock").len()
+    }
+
+    /// `true` when no node is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// External call executed against the node on its event loop.
+type Call<M, N> = Box<dyn FnOnce(&mut N, &mut Context<'_, M>) + Send>;
+
+enum Event<M, N> {
+    Inbound { from: NodeId, msg: M },
+    Call(Call<M, N>),
+    Shutdown,
+}
+
+// ------------------------------------------------------------ peer writers
+
+struct PeerQueueState {
+    frames: VecDeque<Vec<u8>>,
+    closed: bool,
+}
+
+struct PeerQueue {
+    state: Mutex<PeerQueueState>,
+    cv: Condvar,
+    capacity: usize,
+}
+
+impl PeerQueue {
+    fn new(capacity: usize) -> Self {
+        PeerQueue {
+            state: Mutex::new(PeerQueueState {
+                frames: VecDeque::new(),
+                closed: false,
+            }),
+            cv: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Enqueues a frame; returns the queue depth after the push, or `None`
+    /// when the frame was rejected (queue full or closed).
+    fn push(&self, frame: Vec<u8>) -> Option<usize> {
+        let mut state = self.state.lock().expect("peer queue lock");
+        if state.closed || state.frames.len() >= self.capacity {
+            return None;
+        }
+        state.frames.push_back(frame);
+        let depth = state.frames.len();
+        self.cv.notify_one();
+        Some(depth)
+    }
+
+    /// Blocks until a frame is available or the queue is closed.
+    fn pop(&self) -> Option<Vec<u8>> {
+        let mut state = self.state.lock().expect("peer queue lock");
+        loop {
+            if let Some(frame) = state.frames.pop_front() {
+                return Some(frame);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.cv.wait(state).expect("peer queue lock");
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().expect("peer queue lock").closed = true;
+        self.cv.notify_all();
+    }
+}
+
+/// The writer thread for one peer: drains the queue, (re)connecting with
+/// exponential backoff and performing the `Hello` handshake on each fresh
+/// connection.
+#[allow(clippy::too_many_arguments)]
+fn writer_loop(
+    peer: NodeId,
+    queue: Arc<PeerQueue>,
+    book: AddressBook,
+    hello_frame: Vec<u8>,
+    cfg: RuntimeConfig,
+    stats: Arc<RuntimeStats>,
+    conns: Arc<ConnRegistry>,
+    shutdown: Arc<AtomicBool>,
+) {
+    use std::io::Write;
+    // The live connection plus its registry slot, freed on every disconnect.
+    let mut stream: Option<(TcpStream, usize)> = None;
+    let drop_conn = |conn: &mut Option<(TcpStream, usize)>| {
+        if let Some((_, slot)) = conn.take() {
+            conns.remove(slot);
+        }
+    };
+    while let Some(frame) = queue.pop() {
+        if shutdown.load(Ordering::Relaxed) {
+            break;
+        }
+        let mut delivered = false;
+        let mut backoff = cfg.reconnect_backoff;
+        for _attempt in 0..cfg.max_connect_attempts.max(1) {
+            if stream.is_none() {
+                let Some(addr) = book.lookup(peer) else {
+                    break; // No known address: drop the frame.
+                };
+                match TcpStream::connect_timeout(&addr, cfg.connect_timeout) {
+                    Ok(mut s) => {
+                        let _ = s.set_nodelay(true);
+                        if s.write_all(&hello_frame).is_ok() {
+                            stats
+                                .bytes_sent
+                                .fetch_add(hello_frame.len() as u64, Ordering::Relaxed);
+                            if let Ok(clone) = s.try_clone() {
+                                let slot = conns.add(clone);
+                                stream = Some((s, slot));
+                            }
+                        }
+                    }
+                    Err(_) => {
+                        if shutdown.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        std::thread::sleep(backoff);
+                        backoff = backoff.saturating_mul(2);
+                        continue;
+                    }
+                }
+            }
+            if let Some((s, _)) = stream.as_mut() {
+                match s.write_all(&frame) {
+                    Ok(()) => {
+                        stats.frames_sent.fetch_add(1, Ordering::Relaxed);
+                        stats
+                            .bytes_sent
+                            .fetch_add(frame.len() as u64, Ordering::Relaxed);
+                        delivered = true;
+                        break;
+                    }
+                    Err(_) => {
+                        // Broken connection: reconnect and retry the frame.
+                        drop_conn(&mut stream);
+                    }
+                }
+            }
+        }
+        if !delivered {
+            stats.frames_dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    drop_conn(&mut stream);
+}
+
+// -------------------------------------------------------------- event loop
+
+#[derive(PartialEq, Eq)]
+struct ArmedTimer {
+    at: Instant,
+    seq: u64,
+    tag: u64,
+    handle: u64,
+}
+
+impl Ord for ArmedTimer {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap: invert so the earliest timer is on top.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+impl PartialOrd for ArmedTimer {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct EventLoop<M: NetMessage, N: Node<M> + Send + 'static> {
+    id: NodeId,
+    node: N,
+    rng: ChaCha8Rng,
+    next_timer_handle: u64,
+    timers: BinaryHeap<ArmedTimer>,
+    timer_seq: u64,
+    pending_timers: HashSet<u64>,
+    effects: ContextEffects<M>,
+    peers: HashMap<NodeId, (Arc<PeerQueue>, JoinHandle<()>)>,
+    rx: Receiver<Event<M, N>>,
+    self_tx: Sender<Event<M, N>>,
+    book: AddressBook,
+    hello_frame: Vec<u8>,
+    cfg: RuntimeConfig,
+    stats: Arc<RuntimeStats>,
+    conns: Arc<ConnRegistry>,
+    shutdown: Arc<AtomicBool>,
+    epoch: std::time::Instant,
+    halted: bool,
+}
+
+impl<M: NetMessage, N: Node<M> + Send + 'static> EventLoop<M, N> {
+    fn now(&self) -> Instant {
+        Instant::from_micros(self.epoch.elapsed().as_micros() as u64)
+    }
+
+    fn run(mut self) {
+        self.dispatch(|node, ctx| node.on_start(ctx));
+        while !self.halted && !self.shutdown.load(Ordering::Relaxed) {
+            self.fire_due_timers();
+            if self.halted {
+                break;
+            }
+            let timeout = match self.timers.peek() {
+                Some(t) => {
+                    let now = self.now();
+                    StdDuration::from_micros(t.at.as_micros().saturating_sub(now.as_micros()))
+                }
+                None => StdDuration::from_millis(200),
+            };
+            match self.rx.recv_timeout(timeout) {
+                Ok(Event::Inbound { from, msg }) => {
+                    self.stats.note_inbound_drained();
+                    self.stats.events_processed.fetch_add(1, Ordering::Relaxed);
+                    self.dispatch(|node, ctx| node.on_message(from, msg, ctx));
+                }
+                Ok(Event::Call(f)) => {
+                    self.stats.events_processed.fetch_add(1, Ordering::Relaxed);
+                    self.dispatch(f);
+                }
+                Ok(Event::Shutdown) | Err(RecvTimeoutError::Disconnected) => break,
+                Err(RecvTimeoutError::Timeout) => {}
+            }
+        }
+        for (queue, handle) in self.peers.into_values() {
+            queue.close();
+            let _ = handle.join();
+        }
+    }
+
+    fn fire_due_timers(&mut self) {
+        loop {
+            let now = self.now();
+            let due = matches!(self.timers.peek(), Some(t) if t.at <= now);
+            if !due || self.halted {
+                return;
+            }
+            let timer = self.timers.pop().expect("peeked");
+            if !self.pending_timers.remove(&timer.handle) {
+                continue; // Cancelled before firing.
+            }
+            self.stats.timers_fired.fetch_add(1, Ordering::Relaxed);
+            self.stats.events_processed.fetch_add(1, Ordering::Relaxed);
+            let tag = timer.tag;
+            self.dispatch(move |node, ctx| node.on_timer(tag, ctx));
+        }
+    }
+
+    /// Runs one callback against the node and applies its effects in the
+    /// contract order: sends, new timers, cancellations, halt.
+    fn dispatch<F>(&mut self, f: F)
+    where
+        F: FnOnce(&mut N, &mut Context<'_, M>),
+    {
+        let effects = std::mem::take(&mut self.effects);
+        let now = self.now();
+        let mut ctx = Context::for_runtime(
+            self.id,
+            now,
+            &mut self.rng,
+            &mut self.next_timer_handle,
+            effects,
+        );
+        f(&mut self.node, &mut ctx);
+        let mut effects = ctx.into_effects();
+
+        for OutboundMessage { to, msg, .. } in effects.outbox.drain(..) {
+            self.send_to_peer(to, msg);
+        }
+        for &TimerRequest { delay, tag, handle } in &effects.new_timers {
+            self.pending_timers.insert(handle);
+            self.timer_seq += 1;
+            self.timers.push(ArmedTimer {
+                at: now + delay,
+                seq: self.timer_seq,
+                tag,
+                handle,
+            });
+        }
+        for handle in effects.cancelled_timers.drain(..) {
+            self.pending_timers.remove(&handle);
+        }
+        if effects.halted {
+            self.halted = true;
+        }
+        effects.clear();
+        self.effects = effects;
+    }
+
+    fn send_to_peer(&mut self, to: NodeId, msg: M) {
+        if to == self.id {
+            // Self-sends are real deliveries in the simulator (group-message
+            // fan-out includes the sender); preserve that by looping the
+            // message through this node's own event queue.
+            self.stats.note_inbound_enqueued();
+            let _ = self.self_tx.send(Event::Inbound { from: self.id, msg });
+            return;
+        }
+        let frame = frame::frame_bytes(FRAME_KIND_MESSAGE, &wire::encode_to_vec(&msg));
+        let queue = match self.peers.get(&to) {
+            Some((queue, _)) => queue.clone(),
+            None => {
+                let queue = Arc::new(PeerQueue::new(self.cfg.queue_capacity));
+                let handle = {
+                    let queue = queue.clone();
+                    let book = self.book.clone();
+                    let hello = self.hello_frame.clone();
+                    let cfg = self.cfg.clone();
+                    let stats = self.stats.clone();
+                    let conns = self.conns.clone();
+                    let shutdown = self.shutdown.clone();
+                    std::thread::Builder::new()
+                        .name(format!("atum-net-w{}-{to}", self.id))
+                        .spawn(move || {
+                            writer_loop(to, queue, book, hello, cfg, stats, conns, shutdown)
+                        })
+                        .expect("spawn writer thread")
+                };
+                self.peers.insert(to, (queue.clone(), handle));
+                queue
+            }
+        };
+        match queue.push(frame) {
+            Some(depth) => self.stats.note_queue_depth(depth),
+            None => {
+                self.stats.frames_dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------------ reader
+
+fn reader_loop<M: NetMessage, N: Node<M> + Send + 'static>(
+    mut stream: TcpStream,
+    tx: Sender<Event<M, N>>,
+    book: AddressBook,
+    stats: Arc<RuntimeStats>,
+) {
+    // Handshake first: without a Hello the connection carries nothing.
+    let peer_ip = match stream.peer_addr() {
+        Ok(addr) => addr.ip(),
+        Err(_) => return,
+    };
+    let hello: Hello = match frame::read_decoded(&mut stream, FRAME_KIND_HELLO) {
+        Ok(h) => h,
+        Err(e) => {
+            if matches!(e, NetError::Wire(_)) {
+                stats.decode_errors.fetch_add(1, Ordering::Relaxed);
+            }
+            return;
+        }
+    };
+    // First registration wins: the unauthenticated handshake may teach us a
+    // new peer's return address but never rebind a known node's (see
+    // [`AddressBook::register_if_absent`]).
+    book.register_if_absent(hello.node, SocketAddr::new(peer_ip, hello.listen_port));
+    loop {
+        match frame::read_frame(&mut stream) {
+            Ok((kind, body)) if kind == FRAME_KIND_MESSAGE => {
+                match wire::decode_exact::<M>(&body) {
+                    Ok(msg) => {
+                        stats.frames_received.fetch_add(1, Ordering::Relaxed);
+                        stats.bytes_received.fetch_add(
+                            (body.len() + wire::FRAME_HEADER_LEN) as u64,
+                            Ordering::Relaxed,
+                        );
+                        stats.note_inbound_enqueued();
+                        if tx
+                            .send(Event::Inbound {
+                                from: hello.node,
+                                msg,
+                            })
+                            .is_err()
+                        {
+                            return; // Event loop is gone.
+                        }
+                    }
+                    Err(_) => {
+                        // Garbage that passed framing: close deliberately.
+                        // The peer can reconnect; this node is unaffected.
+                        stats.decode_errors.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                }
+            }
+            Ok(_) => {
+                // A second handshake (or any non-message kind) mid-stream is
+                // a protocol violation, not a payload to decode.
+                stats.decode_errors.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            Err(NetError::Wire(_)) => {
+                stats.decode_errors.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            Err(NetError::Io(_)) => return, // Closed or shut down.
+        }
+    }
+}
+
+// ----------------------------------------------------------------- NetNode
+
+/// One protocol node hosted on real sockets.
+///
+/// Dropping the handle does *not* stop the threads; call
+/// [`NetNode::shutdown`].
+pub struct NetNode<M: NetMessage, N: Node<M> + Send + 'static> {
+    id: NodeId,
+    addr: SocketAddr,
+    tx: Sender<Event<M, N>>,
+    stats: Arc<RuntimeStats>,
+    shutdown: Arc<AtomicBool>,
+    conns: Arc<ConnRegistry>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl<M: NetMessage, N: Node<M> + Send + 'static> NetNode<M, N> {
+    /// Binds a loopback listener and spawns the node's threads. The node's
+    /// address is registered in `book`, and `on_start` runs on the event
+    /// loop before any message is processed.
+    ///
+    /// `epoch` anchors the wall clock every context reports; a harness
+    /// passes one shared epoch so all of its nodes agree on `now`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when binding the listener fails.
+    pub fn spawn(
+        id: NodeId,
+        node: N,
+        book: &AddressBook,
+        epoch: std::time::Instant,
+        cfg: RuntimeConfig,
+    ) -> std::io::Result<Self> {
+        Self::spawn_on(id, node, book, epoch, cfg, "127.0.0.1:0".parse().unwrap())
+    }
+
+    /// Like [`NetNode::spawn`] with an explicit bind address (for the
+    /// cross-process example, where nodes listen on configured ports).
+    pub fn spawn_on(
+        id: NodeId,
+        node: N,
+        book: &AddressBook,
+        epoch: std::time::Instant,
+        cfg: RuntimeConfig,
+        bind: SocketAddr,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(bind)?;
+        let addr = listener.local_addr()?;
+        book.register(id, addr);
+        let (tx, rx) = mpsc::channel();
+        let stats = Arc::new(RuntimeStats::default());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let conns: Arc<ConnRegistry> = Arc::new(ConnRegistry::default());
+        let hello_frame = frame::encode_frame(
+            FRAME_KIND_HELLO,
+            &Hello {
+                node: id,
+                listen_port: addr.port(),
+            },
+        );
+
+        let mut threads = Vec::new();
+        {
+            // Listener/acceptor thread.
+            let tx = tx.clone();
+            let book = book.clone();
+            let stats = stats.clone();
+            let conns = conns.clone();
+            let shutdown = shutdown.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("atum-net-l{id}"))
+                    .spawn(move || {
+                        for stream in listener.incoming() {
+                            if shutdown.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            let Ok(stream) = stream else { continue };
+                            let _ = stream.set_nodelay(true);
+                            let slot = stream.try_clone().ok().map(|clone| conns.add(clone));
+                            let tx = tx.clone();
+                            let book = book.clone();
+                            let stats = stats.clone();
+                            let conns = conns.clone();
+                            let _ = std::thread::Builder::new()
+                                .name(format!("atum-net-r{id}"))
+                                .spawn(move || {
+                                    reader_loop(stream, tx, book, stats);
+                                    // Free the registry slot with the
+                                    // connection, whatever ended it.
+                                    if let Some(slot) = slot {
+                                        conns.remove(slot);
+                                    }
+                                });
+                        }
+                    })
+                    .expect("spawn listener thread"),
+            );
+        }
+        {
+            // Event-loop thread.
+            let seed = cfg.seed ^ id.raw().wrapping_mul(0x9E3779B97F4A7C15);
+            let event_loop = EventLoop {
+                id,
+                node,
+                rng: ChaCha8Rng::seed_from_u64(seed),
+                next_timer_handle: 0,
+                timers: BinaryHeap::new(),
+                timer_seq: 0,
+                pending_timers: HashSet::new(),
+                effects: ContextEffects::new(),
+                peers: HashMap::new(),
+                rx,
+                self_tx: tx.clone(),
+                book: book.clone(),
+                hello_frame,
+                cfg,
+                stats: stats.clone(),
+                conns: conns.clone(),
+                shutdown: shutdown.clone(),
+                epoch,
+                halted: false,
+            };
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("atum-net-e{id}"))
+                    .spawn(move || event_loop.run())
+                    .expect("spawn event loop thread"),
+            );
+        }
+        Ok(NetNode {
+            id,
+            addr,
+            tx,
+            stats,
+            shutdown,
+            conns,
+            threads,
+        })
+    }
+
+    /// This node's identifier.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The address the node's listener accepts on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The node's runtime counters.
+    pub fn stats(&self) -> &Arc<RuntimeStats> {
+        &self.stats
+    }
+
+    /// Schedules `f` against the node on its event loop (the TCP runtime's
+    /// analogue of `Simulation::call`).
+    pub fn call<F>(&self, f: F)
+    where
+        F: FnOnce(&mut N, &mut Context<'_, M>) + Send + 'static,
+    {
+        let _ = self.tx.send(Event::Call(Box::new(f)));
+    }
+
+    /// Runs a read-only closure against the node state and returns its
+    /// result, or `None` when the event loop is gone or does not answer
+    /// within five seconds.
+    pub fn with_node<R, F>(&self, f: F) -> Option<R>
+    where
+        R: Send + 'static,
+        F: FnOnce(&N) -> R + Send + 'static,
+    {
+        let (tx, rx) = mpsc::channel();
+        self.call(move |node, _ctx| {
+            let _ = tx.send(f(node));
+        });
+        rx.recv_timeout(StdDuration::from_secs(5)).ok()
+    }
+
+    /// Stops every thread of this node: the event loop drains its peers, the
+    /// listener unblocks, and all sockets are shut down.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        let _ = self.tx.send(Event::Shutdown);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, StdDuration::from_millis(200));
+        self.conns.shutdown_all();
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atum_types::Duration;
+
+    /// A node that records what it sees and ping-pongs small counters.
+    #[derive(Default)]
+    struct Recorder {
+        started: bool,
+        messages: Vec<(NodeId, u64)>,
+        timers: Vec<u64>,
+    }
+
+    impl Node<u64> for Recorder {
+        fn on_start(&mut self, _ctx: &mut Context<'_, u64>) {
+            self.started = true;
+        }
+        fn on_message(&mut self, from: NodeId, msg: u64, ctx: &mut Context<'_, u64>) {
+            self.messages.push((from, msg));
+            if msg < 3 {
+                ctx.send(from, msg + 1);
+            }
+        }
+        fn on_timer(&mut self, tag: u64, _ctx: &mut Context<'_, u64>) {
+            self.timers.push(tag);
+        }
+    }
+
+    fn wait_until(timeout: StdDuration, mut pred: impl FnMut() -> bool) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        while std::time::Instant::now() < deadline {
+            if pred() {
+                return true;
+            }
+            std::thread::sleep(StdDuration::from_millis(20));
+        }
+        pred()
+    }
+
+    #[test]
+    fn ping_pong_crosses_real_sockets() {
+        let book = AddressBook::new();
+        let epoch = std::time::Instant::now();
+        let cfg = RuntimeConfig::default();
+        let a = NetNode::spawn(
+            NodeId::new(0),
+            Recorder::default(),
+            &book,
+            epoch,
+            cfg.clone(),
+        )
+        .unwrap();
+        let b = NetNode::spawn(NodeId::new(1), Recorder::default(), &book, epoch, cfg).unwrap();
+        assert_ne!(a.addr(), b.addr());
+
+        let to = b.id();
+        a.call(move |_n, ctx| ctx.send(to, 0));
+        assert!(
+            wait_until(StdDuration::from_secs(10), || {
+                a.with_node(|n| n.messages.clone()).unwrap_or_default()
+                    == vec![(NodeId::new(1), 1), (NodeId::new(1), 3)]
+            }),
+            "ping-pong did not complete: a saw {:?}, b saw {:?}",
+            a.with_node(|n| n.messages.clone()),
+            b.with_node(|n| n.messages.clone()),
+        );
+        assert_eq!(
+            b.with_node(|n| n.messages.clone()).unwrap(),
+            vec![(NodeId::new(0), 0), (NodeId::new(0), 2)]
+        );
+        assert!(a.with_node(|n| n.started).unwrap());
+        assert!(a.stats().frames_sent.load(Ordering::Relaxed) >= 2);
+        assert!(b.stats().frames_received.load(Ordering::Relaxed) >= 2);
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn timers_fire_and_cancel_on_the_wall_clock() {
+        let book = AddressBook::new();
+        let epoch = std::time::Instant::now();
+        let node = NetNode::spawn(
+            NodeId::new(7),
+            Recorder::default(),
+            &book,
+            epoch,
+            RuntimeConfig::default(),
+        )
+        .unwrap();
+        node.call(|_n, ctx| {
+            let _keep = ctx.set_timer(Duration::from_millis(30), 11);
+            let cancel = ctx.set_timer(Duration::from_millis(60), 22);
+            let _later = ctx.set_timer(Duration::from_millis(90), 33);
+            ctx.cancel_timer(cancel);
+        });
+        assert!(
+            wait_until(StdDuration::from_secs(5), || {
+                node.with_node(|n| n.timers.clone()).unwrap_or_default() == vec![11, 33]
+            }),
+            "timers fired as {:?}",
+            node.with_node(|n| n.timers.clone()),
+        );
+        node.shutdown();
+    }
+
+    #[test]
+    fn garbage_frames_close_the_connection_but_not_the_node() {
+        use std::io::{Read, Write};
+        let book = AddressBook::new();
+        let epoch = std::time::Instant::now();
+        let node: NetNode<u64, Recorder> = NetNode::spawn(
+            NodeId::new(3),
+            Recorder::default(),
+            &book,
+            epoch,
+            RuntimeConfig::default(),
+        )
+        .unwrap();
+
+        // A connection that sends a valid hello, one valid message, then a
+        // frame whose body does not decode: the message is delivered, the
+        // error is counted, the connection dies, the node lives.
+        let mut stream = TcpStream::connect(node.addr()).unwrap();
+        stream
+            .write_all(&frame::encode_frame(
+                FRAME_KIND_HELLO,
+                &Hello {
+                    node: NodeId::new(9),
+                    listen_port: 1,
+                },
+            ))
+            .unwrap();
+        stream
+            .write_all(&frame::frame_bytes(
+                FRAME_KIND_MESSAGE,
+                &wire::encode_to_vec(&77u64),
+            ))
+            .unwrap();
+        // Trailing garbage after a valid u64 violates exact consumption.
+        let mut bad_body = wire::encode_to_vec(&5u64);
+        bad_body.push(0xFF);
+        stream
+            .write_all(&frame::frame_bytes(FRAME_KIND_MESSAGE, &bad_body))
+            .unwrap();
+        stream.flush().unwrap();
+
+        assert!(
+            wait_until(StdDuration::from_secs(5), || {
+                node.stats().decode_errors.load(Ordering::Relaxed) == 1
+            }),
+            "decode error was not counted"
+        );
+        // The valid message before the garbage arrived.
+        assert_eq!(
+            node.with_node(|n| n.messages.clone()).unwrap(),
+            vec![(NodeId::new(9), 77)]
+        );
+        // The connection was closed by the node (read returns 0 / error).
+        let mut probe = [0u8; 1];
+        let _ = stream.set_read_timeout(Some(StdDuration::from_secs(5)));
+        assert!(matches!(stream.read(&mut probe), Ok(0) | Err(_)));
+        // And the node still processes events.
+        assert!(node.with_node(|n| n.started).is_some());
+        node.shutdown();
+    }
+}

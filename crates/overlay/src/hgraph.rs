@@ -1,7 +1,9 @@
 //! The H-graph: a multigraph over vgroups made of `hc` random Hamiltonian
 //! cycles, plus the per-vgroup neighbour tables nodes actually hold.
 
-use atum_types::{Composition, VgroupId};
+use atum_types::{
+    Composition, VgroupId, WireDecode, WireEncode, WireError, WireReader, WireWriter,
+};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -221,6 +223,26 @@ pub struct CycleNeighbors {
     pub successor_composition: Composition,
 }
 
+impl WireEncode for CycleNeighbors {
+    fn wire_encode(&self, w: &mut WireWriter<'_>) {
+        self.predecessor.wire_encode(w);
+        self.predecessor_composition.wire_encode(w);
+        self.successor.wire_encode(w);
+        self.successor_composition.wire_encode(w);
+    }
+}
+
+impl WireDecode for CycleNeighbors {
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(CycleNeighbors {
+            predecessor: VgroupId::wire_decode(r)?,
+            predecessor_composition: Composition::wire_decode(r)?,
+            successor: VgroupId::wire_decode(r)?,
+            successor_composition: Composition::wire_decode(r)?,
+        })
+    }
+}
+
 /// A vgroup's local view of the overlay: its neighbours on every cycle.
 ///
 /// This is part of the replicated state of every vgroup (each pair of
@@ -330,6 +352,20 @@ impl NeighborTable {
     /// `true` when the table has an entry for every cycle.
     pub fn is_complete(&self) -> bool {
         self.per_cycle.iter().all(|c| c.is_some())
+    }
+}
+
+impl WireEncode for NeighborTable {
+    fn wire_encode(&self, w: &mut WireWriter<'_>) {
+        w.put_seq(&self.per_cycle);
+    }
+}
+
+impl WireDecode for NeighborTable {
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        // Each per-cycle slot is at least its one-byte presence tag.
+        let per_cycle = r.take_seq(1)?;
+        Ok(NeighborTable { per_cycle })
     }
 }
 

@@ -18,7 +18,10 @@
 
 use crate::hgraph::HGraph;
 use atum_crypto::{Digest, DigestWriter, Digestible, KeyRegistry, NodeSigner, Signature};
-use atum_types::{Composition, NodeId, VgroupId, WalkId};
+use atum_types::{
+    Composition, NodeId, VgroupId, WalkId, WireDecode, WireEncode, WireError, WireReader,
+    WireWriter,
+};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -79,6 +82,52 @@ impl Digestible for WalkPurpose {
     }
 }
 
+impl WireEncode for WalkPurpose {
+    fn wire_encode(&self, w: &mut WireWriter<'_>) {
+        match self {
+            WalkPurpose::JoinPlacement { joiner } => {
+                w.put_u8(0);
+                joiner.wire_encode(w);
+            }
+            WalkPurpose::ShuffleExchange { member } => {
+                w.put_u8(1);
+                member.wire_encode(w);
+            }
+            WalkPurpose::SplitAnchor {
+                cycle,
+                new_group,
+                composition,
+            } => {
+                w.put_u8(2);
+                w.put_u8(*cycle);
+                new_group.wire_encode(w);
+                composition.wire_encode(w);
+            }
+            WalkPurpose::Sample => w.put_u8(3),
+        }
+    }
+}
+
+impl WireDecode for WalkPurpose {
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(match r.take_u8()? {
+            0 => WalkPurpose::JoinPlacement {
+                joiner: NodeId::wire_decode(r)?,
+            },
+            1 => WalkPurpose::ShuffleExchange {
+                member: NodeId::wire_decode(r)?,
+            },
+            2 => WalkPurpose::SplitAnchor {
+                cycle: r.take_u8()?,
+                new_group: VgroupId::wire_decode(r)?,
+                composition: Composition::wire_decode(r)?,
+            },
+            3 => WalkPurpose::Sample,
+            _ => return Err(WireError::Malformed("walk-purpose tag")),
+        })
+    }
+}
+
 /// One step of a walk certificate: the forwarding vgroup attests which vgroup
 /// it forwarded the walk to.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -100,6 +149,25 @@ impl Digestible for CertStep {
             node.digest_fields(w);
             sig.digest_fields(w);
         }
+    }
+}
+
+impl WireEncode for CertStep {
+    fn wire_encode(&self, w: &mut WireWriter<'_>) {
+        self.to.wire_encode(w);
+        self.to_composition.wire_encode(w);
+        w.put_seq(&self.signatures);
+    }
+}
+
+impl WireDecode for CertStep {
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(CertStep {
+            to: VgroupId::wire_decode(r)?,
+            to_composition: Composition::wire_decode(r)?,
+            // Each signature entry is a NodeId (8) + a 32-byte tag.
+            signatures: r.take_seq(40)?,
+        })
     }
 }
 
@@ -201,6 +269,20 @@ impl WalkCertificate {
     }
 }
 
+impl WireEncode for WalkCertificate {
+    fn wire_encode(&self, w: &mut WireWriter<'_>) {
+        w.put_seq(&self.steps);
+    }
+}
+
+impl WireDecode for WalkCertificate {
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        // A step is at minimum a VgroupId (8) + two empty length prefixes.
+        let steps = r.take_seq(16)?;
+        Ok(WalkCertificate { steps })
+    }
+}
+
 /// The state carried by a random walk message.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct WalkState {
@@ -235,6 +317,50 @@ impl Digestible for WalkState {
         w.write_seq(&self.rng_values);
         w.write_seq(&self.path);
         self.certificate.digest_fields(w);
+    }
+}
+
+impl WireEncode for WalkState {
+    fn wire_encode(&self, w: &mut WireWriter<'_>) {
+        self.id.wire_encode(w);
+        self.purpose.wire_encode(w);
+        self.origin.wire_encode(w);
+        self.origin_composition.wire_encode(w);
+        w.put_u8(self.remaining);
+        w.put_seq(&self.rng_values);
+        w.put_seq(&self.path);
+        self.certificate.wire_encode(w);
+    }
+}
+
+impl WireDecode for WalkState {
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let id = WalkId::wire_decode(r)?;
+        let purpose = WalkPurpose::wire_decode(r)?;
+        let origin = VgroupId::wire_decode(r)?;
+        let origin_composition = Composition::wire_decode(r)?;
+        let remaining = r.take_u8()?;
+        let rng_values: Vec<u64> = r.take_seq(8)?;
+        let path: Vec<VgroupId> = r.take_seq(8)?;
+        let certificate = WalkCertificate::wire_decode(r)?;
+        // `current()` expects a non-empty path, and `current_rng` indexes
+        // `rng_values[len - remaining]`: reject encodings that would panic.
+        if path.is_empty() {
+            return Err(WireError::Malformed("walk path must contain the origin"));
+        }
+        if (remaining as usize) > rng_values.len() {
+            return Err(WireError::Malformed("walk remaining exceeds bulk RNG pool"));
+        }
+        Ok(WalkState {
+            id,
+            purpose,
+            origin,
+            origin_composition,
+            remaining,
+            rng_values,
+            path,
+            certificate,
+        })
     }
 }
 

@@ -278,6 +278,38 @@ impl StallBreakdown {
     }
 }
 
+/// Classification of the ghost entries left at the end of a churn run.
+///
+/// A ghost is a composition entry (at one representative member per vgroup)
+/// whose node is not actually a member of that vgroup. Ghosts in a vgroup
+/// that still has at least two live correct members are *healable*: the
+/// eviction machinery (which requires corroboration from at least two
+/// distinct accusers before the suspected-entry discount applies) can still
+/// decide the evictions, so any such residue is a liveness bug. Ghosts in a
+/// vgroup with fewer than two live correct members are **unhealable by
+/// construction** — one correct member can never corroborate an accusation,
+/// so the composition is wedged by the fault model, not by the protocol
+/// (e.g. PR 3's residual case: 1 correct + 2 Byzantine + 2 dead in a
+/// 5-entry composition).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GhostAudit {
+    /// Total ghost entries across the audited vgroups.
+    pub entries: usize,
+    /// Ghost entries in vgroups that cannot heal by construction (< 2 live
+    /// correct members remain).
+    pub unhealable: usize,
+    /// Number of vgroups carrying at least one ghost entry.
+    pub vgroups_with_ghosts: usize,
+}
+
+impl GhostAudit {
+    /// Ghost entries the protocol could still have healed — the quantity
+    /// that must be zero after a recovered churn run.
+    pub fn healable(&self) -> usize {
+        self.entries - self.unhealable
+    }
+}
+
 /// Result of a churn run (Figure 7).
 #[derive(Debug, Clone, Default)]
 pub struct ChurnReport {
@@ -299,8 +331,12 @@ pub struct ChurnReport {
     pub stalls: StallBreakdown,
     /// Composition entries (across one representative member per vgroup)
     /// whose node is not actually a member of that vgroup at the end of the
-    /// run. A healthy recovery leaves zero.
+    /// run. A healthy recovery leaves zero *healable* ones (see
+    /// [`ChurnReport::ghost_audit`]).
     pub ghost_entries: usize,
+    /// The same entries classified by whether their vgroup could still have
+    /// healed them.
+    pub ghost_audit: GhostAudit,
     /// Simulator events processed over the run (perf-trajectory numerator).
     pub events_processed: u64,
 }
@@ -441,20 +477,22 @@ pub fn run_churn(
         }
         report.cycles.push(cycle);
     }
-    report.ghost_entries = ghost_audit(cluster, &correct, &churned);
+    report.ghost_audit = ghost_audit(cluster, &correct, &churned);
+    report.ghost_entries = report.ghost_audit.entries;
     report.final_members = cluster.member_count();
     report.events_processed = cluster.sim.stats().events_processed;
     report
 }
 
-/// Counts composition entries (one representative member per vgroup) whose
-/// node is not actually a member of that vgroup, optionally dumping the
-/// diagnosis under `ATUM_DEBUG_CHURN`.
+/// Audits composition entries (one representative member per vgroup) whose
+/// node is not actually a member of that vgroup, classifying each ghost by
+/// whether its vgroup could still have healed it (see [`GhostAudit`]);
+/// optionally dumps the diagnosis under `ATUM_DEBUG_CHURN`.
 fn ghost_audit(
     cluster: &Cluster<CollectingApp>,
     correct: &[NodeId],
     churned: &[(NodeId, Instant, Instant)],
-) -> usize {
+) -> GhostAudit {
     let debug = std::env::var("ATUM_DEBUG_CHURN").is_ok();
     if debug {
         for &n in correct {
@@ -470,7 +508,7 @@ fn ghost_audit(
         }
     }
     let mut seen_groups = std::collections::BTreeSet::new();
-    let mut total = 0usize;
+    let mut audit = GhostAudit::default();
     for &n in correct {
         let Some(member) = cluster.sim.node(n).and_then(|node| node.member()) else {
             continue;
@@ -489,7 +527,22 @@ fn ghost_audit(
                     .unwrap_or(true)
             })
             .collect();
-        total += ghosts.len();
+        audit.entries += ghosts.len();
+        if !ghosts.is_empty() {
+            audit.vgroups_with_ghosts += 1;
+            // Eviction corroboration needs at least two distinct live
+            // correct accusers; with fewer, the residue is unhealable by
+            // construction (Byzantine heartbeat-only entries never accuse,
+            // ghosts cannot).
+            let live_correct = member
+                .composition
+                .iter()
+                .filter(|&p| !ghosts.contains(&p) && !cluster.byzantine.contains(&p))
+                .count();
+            if live_correct < 2 {
+                audit.unhealable += ghosts.len();
+            }
+        }
         if debug {
             eprintln!(
                 "vgroup {:?} (per {n}): size {} ghosts {:?} epoch {} engine_running {}",
@@ -521,7 +574,7 @@ fn ghost_audit(
             }
         }
     }
-    total
+    audit
 }
 
 #[cfg(test)]

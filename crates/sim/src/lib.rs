@@ -31,6 +31,6 @@ pub use chi2::{chi2_critical_99, chi2_statistic, is_uniform_99};
 pub use cluster::{Cluster, ClusterBuilder};
 pub use drivers::{
     run_broadcast_workload, run_churn, run_growth, BroadcastWorkloadReport, ChurnCycle,
-    ChurnReport, GrowthReport, StallBreakdown,
+    ChurnReport, GhostAudit, GrowthReport, StallBreakdown,
 };
 pub use metrics::{percentile, LatencyHistogram, LatencySeries, DEFAULT_LATENCY_BUCKETS};

@@ -1,7 +1,7 @@
 //! The discrete-event simulation engine.
 
 use crate::latency::{NetConfig, Region};
-use crate::node::{Context, Node, OutboundMessage};
+use crate::node::{Context, ContextEffects, Node, OutboundMessage, TimerRequest};
 use crate::stats::NetStats;
 use atum_types::{Duration, Instant, NodeId, WireSize};
 use rand::{Rng, RngCore, SeedableRng};
@@ -86,11 +86,9 @@ pub struct Simulation<M, N> {
     stats: NetStats,
     rng: ChaCha8Rng,
     seed: u64,
-    /// Scratch buffers recycled across `with_context` calls so the per-event
+    /// Effect buffers recycled across `with_context` calls so the per-event
     /// hot loop allocates nothing in steady state.
-    scratch_outbox: Vec<OutboundMessage<M>>,
-    scratch_timers: Vec<(Duration, u64, u64)>,
-    scratch_cancelled: Vec<u64>,
+    scratch_effects: ContextEffects<M>,
 }
 
 impl<M, N> Simulation<M, N>
@@ -114,9 +112,7 @@ where
             stats: NetStats::default(),
             rng: ChaCha8Rng::seed_from_u64(seed),
             seed,
-            scratch_outbox: Vec::new(),
-            scratch_timers: Vec::new(),
-            scratch_cancelled: Vec::new(),
+            scratch_effects: ContextEffects::new(),
         }
     }
 
@@ -393,7 +389,9 @@ where
     }
 
     /// Builds a context for `id`, runs `f`, then applies the context's
-    /// effects (outgoing messages, timers, cancellations, halt flag).
+    /// effects (outgoing messages, timers, cancellations, halt flag) in the
+    /// order the `node` module docs prescribe — the same contract the TCP
+    /// runtime follows, so both runtimes drive identical state machines.
     ///
     /// This is the innermost frame of the event loop, so it is kept
     /// allocation- and copy-free: the context borrows the node's RNG in
@@ -404,37 +402,18 @@ where
     where
         F: FnOnce(&mut N, &mut Context<'_, M>),
     {
-        let outbox = std::mem::take(&mut self.scratch_outbox);
-        let new_timers = std::mem::take(&mut self.scratch_timers);
-        let cancelled_timers = std::mem::take(&mut self.scratch_cancelled);
+        let effects = std::mem::take(&mut self.scratch_effects);
         let Some(slot) = self.nodes.get_mut(&id) else {
-            self.scratch_outbox = outbox;
-            self.scratch_timers = new_timers;
-            self.scratch_cancelled = cancelled_timers;
+            self.scratch_effects = effects;
             return;
         };
         let mut next_handle = self.timer_handles;
-        let mut ctx = Context {
-            own_id: id,
-            now: self.now,
-            rng: &mut slot.rng,
-            outbox,
-            new_timers,
-            cancelled_timers,
-            next_timer_handle: &mut next_handle,
-            halted: false,
-        };
+        let mut ctx = Context::for_runtime(id, self.now, &mut slot.rng, &mut next_handle, effects);
         f(&mut slot.node, &mut ctx);
 
-        let Context {
-            mut outbox,
-            mut new_timers,
-            mut cancelled_timers,
-            halted,
-            ..
-        } = ctx;
+        let mut effects = ctx.into_effects();
         self.timer_handles = next_handle;
-        if halted {
+        if effects.halted {
             slot.halted = true;
         }
         let sender_region = slot.region;
@@ -442,7 +421,7 @@ where
         // New timers enter the pending set before cancellations are applied
         // so a timer set and cancelled within the same callback stays
         // cancelled.
-        for &(delay, tag, handle) in &new_timers {
+        for &TimerRequest { delay, tag, handle } in &effects.new_timers {
             let at = self.now + delay;
             self.pending_timers.insert(handle);
             self.push(
@@ -454,16 +433,14 @@ where
                 },
             );
         }
-        for handle in cancelled_timers.drain(..) {
+        for handle in effects.cancelled_timers.drain(..) {
             self.pending_timers.remove(&handle);
         }
-        new_timers.clear();
-        for OutboundMessage { to, msg, size } in outbox.drain(..) {
+        for OutboundMessage { to, msg, size } in effects.outbox.drain(..) {
             self.route(id, sender_region, to, msg, size);
         }
-        self.scratch_outbox = outbox;
-        self.scratch_timers = new_timers;
-        self.scratch_cancelled = cancelled_timers;
+        effects.clear();
+        self.scratch_effects = effects;
     }
 
     fn route(&mut self, from: NodeId, from_region: Region, to: NodeId, msg: M, size: usize) {

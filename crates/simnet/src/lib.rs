@@ -51,5 +51,5 @@ pub mod stats;
 
 pub use engine::Simulation;
 pub use latency::{LatencyModel, NetConfig, Region};
-pub use node::{Context, Node, OutboundMessage};
+pub use node::{Context, ContextEffects, Node, OutboundMessage, TimerHandle, TimerRequest};
 pub use stats::NetStats;

@@ -1,5 +1,35 @@
-//! The [`Node`] actor trait and the [`Context`] through which actors interact
-//! with the simulated world.
+//! The runtime-neutral actor surface: the [`Node`] trait, the [`Context`]
+//! through which actors act on the world, and the [`ContextEffects`] buffer
+//! a runtime applies after each callback.
+//!
+//! # One state machine, two runtimes
+//!
+//! A [`Context`] is a pure *effect buffer*: a callback records sends, timer
+//! requests, cancellations and an optional halt, and whoever constructed the
+//! context applies them afterwards. Nothing in here is specific to the
+//! discrete-event simulator — the engine in this crate builds contexts for
+//! simulated time, and the `atum-net` TCP runtime builds the very same
+//! contexts ([`Context::for_runtime`]) for wall-clock time and real sockets.
+//! The protocol state machines ([`Node`] implementations) are byte-for-byte
+//! identical in both worlds.
+//!
+//! # The simnet-determinism invariant
+//!
+//! Simulation runs must stay **bit-identical for a fixed seed** (the
+//! `fabric_equivalence` golden tests pin this). Everything a [`Node`] can
+//! observe through a [`Context`] is therefore deterministic in the
+//! simulator: `now` is simulated time, `rng` is the node's seeded ChaCha8
+//! stream, and timer handles come from the engine's counter. Runtime
+//! integrations must preserve this contract:
+//!
+//! * apply effects in buffer order — sends in `outbox` order, then timers,
+//!   then cancellations (a timer set *and* cancelled in one callback stays
+//!   cancelled);
+//! * never reach into a node between callbacks;
+//! * never add observable inputs (real time, OS randomness, thread identity)
+//!   to this surface. A real runtime is free to be nondeterministic in when
+//!   callbacks run, but the *API* through which nodes act must not grow
+//!   nondeterministic observables that would leak into simulated runs.
 
 use atum_types::{Duration, Instant, NodeId, WireSize};
 use rand_chacha::ChaCha8Rng;
@@ -20,29 +50,113 @@ pub struct OutboundMessage<M> {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TimerHandle(pub(crate) u64);
 
+impl TimerHandle {
+    /// The raw handle value (runtime bookkeeping).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// A timer requested through [`Context::set_timer`], waiting to be armed by
+/// the runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimerRequest {
+    /// Delay from the callback's `now`.
+    pub delay: Duration,
+    /// Tag passed back to [`Node::on_timer`].
+    pub tag: u64,
+    /// Handle identifying this timer for cancellation.
+    pub handle: u64,
+}
+
+/// The effects one callback produced, for the hosting runtime to apply:
+/// sends in order, then new timers, then cancellations, then the halt flag.
+#[derive(Debug)]
+pub struct ContextEffects<M> {
+    /// Messages to transmit, in send order.
+    pub outbox: Vec<OutboundMessage<M>>,
+    /// Timers to arm.
+    pub new_timers: Vec<TimerRequest>,
+    /// Handles of timers to disarm. Applied *after* `new_timers`, so a timer
+    /// set and cancelled within the same callback stays cancelled.
+    pub cancelled_timers: Vec<u64>,
+    /// The node asked to halt (no further events must be delivered to it).
+    pub halted: bool,
+}
+
+impl<M> Default for ContextEffects<M> {
+    fn default() -> Self {
+        ContextEffects::new()
+    }
+}
+
+impl<M> ContextEffects<M> {
+    /// Empty effect buffers.
+    pub fn new() -> Self {
+        ContextEffects {
+            outbox: Vec::new(),
+            new_timers: Vec::new(),
+            cancelled_timers: Vec::new(),
+            halted: false,
+        }
+    }
+
+    /// Clears the buffers, keeping their capacity for reuse across events.
+    pub fn clear(&mut self) {
+        self.outbox.clear();
+        self.new_timers.clear();
+        self.cancelled_timers.clear();
+        self.halted = false;
+    }
+}
+
 /// The interface a node uses to act on the world during a callback.
 ///
 /// A `Context` is only valid for the duration of one callback invocation; all
-/// effects (sends, timers) are applied by the engine when the callback
-/// returns.
+/// effects (sends, timers) are applied by the hosting runtime when the
+/// callback returns (see the module docs for the ordering contract).
 pub struct Context<'a, M> {
     pub(crate) own_id: NodeId,
     pub(crate) now: Instant,
     pub(crate) rng: &'a mut ChaCha8Rng,
-    pub(crate) outbox: Vec<OutboundMessage<M>>,
-    pub(crate) new_timers: Vec<(Duration, u64, u64)>, // (delay, tag, handle id)
-    pub(crate) cancelled_timers: Vec<u64>,
+    pub(crate) effects: ContextEffects<M>,
     pub(crate) next_timer_handle: &'a mut u64,
-    pub(crate) halted: bool,
 }
 
 impl<'a, M: WireSize> Context<'a, M> {
+    /// Builds a context for an external runtime (the TCP runtime, tests).
+    ///
+    /// `effects` may carry recycled (cleared) buffers; retrieve the recorded
+    /// effects afterwards with [`Context::into_effects`] and apply them in
+    /// the order the module docs specify. `next_timer_handle` must be a
+    /// counter the runtime keeps per node so handles stay unique.
+    pub fn for_runtime(
+        own_id: NodeId,
+        now: Instant,
+        rng: &'a mut ChaCha8Rng,
+        next_timer_handle: &'a mut u64,
+        effects: ContextEffects<M>,
+    ) -> Self {
+        Context {
+            own_id,
+            now,
+            rng,
+            effects,
+            next_timer_handle,
+        }
+    }
+
+    /// Consumes the context, returning the effects the callback recorded.
+    pub fn into_effects(self) -> ContextEffects<M> {
+        self.effects
+    }
+
     /// The identifier of the node this context belongs to.
     pub fn id(&self) -> NodeId {
         self.own_id
     }
 
-    /// Current simulated time.
+    /// Current time (simulated or wall-clock, depending on the runtime).
     pub fn now(&self) -> Instant {
         self.now
     }
@@ -61,27 +175,29 @@ impl<'a, M: WireSize> Context<'a, M> {
     /// Sends `msg` to `to` charging an explicit size (used when the logical
     /// payload stands in for a larger physical one, e.g. file chunks).
     pub fn send_sized(&mut self, to: NodeId, msg: M, size: usize) {
-        self.outbox.push(OutboundMessage { to, msg, size });
+        self.effects.outbox.push(OutboundMessage { to, msg, size });
     }
 
     /// Schedules a timer to fire after `delay` with the given tag.
     pub fn set_timer(&mut self, delay: Duration, tag: u64) -> TimerHandle {
         let handle = *self.next_timer_handle;
         *self.next_timer_handle += 1;
-        self.new_timers.push((delay, tag, handle));
+        self.effects
+            .new_timers
+            .push(TimerRequest { delay, tag, handle });
         TimerHandle(handle)
     }
 
     /// Cancels a previously scheduled timer. Cancelling an already-fired or
     /// unknown timer is a no-op.
     pub fn cancel_timer(&mut self, handle: TimerHandle) {
-        self.cancelled_timers.push(handle.0);
+        self.effects.cancelled_timers.push(handle.0);
     }
 
-    /// Marks this node as halted: the engine will deliver no further events
+    /// Marks this node as halted: the runtime will deliver no further events
     /// to it (used by `leave` once a node has fully departed).
     pub fn halt(&mut self) {
-        self.halted = true;
+        self.effects.halted = true;
     }
 }
 
@@ -105,18 +221,15 @@ mod tests {
     use super::*;
     use rand::SeedableRng;
 
-    fn make_ctx<'a, M>(rng: &'a mut ChaCha8Rng, next: &'a mut u64) -> Context<'a, M> {
-        // Helper mirroring how the engine constructs contexts.
-        Context {
-            own_id: NodeId::new(3),
-            now: Instant::from_micros(500),
+    fn make_ctx<'a, M: WireSize>(rng: &'a mut ChaCha8Rng, next: &'a mut u64) -> Context<'a, M> {
+        // The same constructor an external runtime uses.
+        Context::for_runtime(
+            NodeId::new(3),
+            Instant::from_micros(500),
             rng,
-            outbox: Vec::new(),
-            new_timers: Vec::new(),
-            cancelled_timers: Vec::new(),
-            next_timer_handle: next,
-            halted: false,
-        }
+            next,
+            ContextEffects::new(),
+        )
     }
 
     #[test]
@@ -134,13 +247,17 @@ mod tests {
         ctx.cancel_timer(t1);
         assert_ne!(t1, t2);
 
-        assert_eq!(ctx.outbox.len(), 2);
-        assert_eq!(ctx.outbox[0].to, NodeId::new(4));
+        let effects = ctx.into_effects();
+        assert_eq!(effects.outbox.len(), 2);
+        assert_eq!(effects.outbox[0].to, NodeId::new(4));
         // 3 bytes + 4-byte length prefix + envelope overhead
-        assert_eq!(ctx.outbox[0].size, 7 + atum_types::wire::ENVELOPE_OVERHEAD);
-        assert_eq!(ctx.outbox[1].size, 9_999);
-        assert_eq!(ctx.new_timers.len(), 2);
-        assert_eq!(ctx.cancelled_timers, vec![10]);
+        assert_eq!(
+            effects.outbox[0].size,
+            7 + atum_types::wire::ENVELOPE_OVERHEAD
+        );
+        assert_eq!(effects.outbox[1].size, 9_999);
+        assert_eq!(effects.new_timers.len(), 2);
+        assert_eq!(effects.cancelled_timers, vec![10]);
         assert_eq!(next, 12);
     }
 
@@ -149,9 +266,9 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         let mut next = 0u64;
         let mut ctx: Context<'_, Vec<u8>> = make_ctx(&mut rng, &mut next);
-        assert!(!ctx.halted);
+        assert!(!ctx.effects.halted);
         ctx.halt();
-        assert!(ctx.halted);
+        assert!(ctx.into_effects().halted);
     }
 
     #[test]

@@ -2,7 +2,10 @@
 //! message / action / configuration types.
 
 use atum_crypto::{Digest, SignatureChain};
-use atum_types::{Composition, Duration, Instant, NodeId};
+use atum_types::{
+    Composition, Duration, Instant, NodeId, WireDecode, WireEncode, WireError, WireReader,
+    WireWriter,
+};
 use serde::{Deserialize, Serialize};
 
 /// An operation that can be ordered by the SMR engines.
@@ -132,35 +135,107 @@ pub enum SmrMessage<O> {
 }
 
 impl<O: SmrOp> SmrMessage<O> {
-    /// Approximate wire size of the message (operations + fixed overhead per
-    /// variant, including signature material where applicable).
-    pub fn wire_size(&self) -> usize {
-        use atum_types::wire::{DIGEST_SIZE, SIGNATURE_SIZE};
+    /// Exact encoded wire size of the message when `O` has a codec
+    /// implementation (one allocation-free counting pass); falls back to an
+    /// estimate per operation via [`SmrOp::wire_size`] otherwise.
+    pub fn wire_size(&self) -> usize
+    where
+        O: WireEncode,
+    {
+        atum_types::wire::wire_len(self)
+    }
+}
+
+impl<O: WireEncode> WireEncode for SmrMessage<O> {
+    fn wire_encode(&self, w: &mut WireWriter<'_>) {
         match self {
-            SmrMessage::SyncValue { batch, chain, .. } => {
-                16 + 8
-                    + batch.iter().map(SmrOp::wire_size).sum::<usize>()
-                    + chain.len() * (8 + SIGNATURE_SIZE)
-                    + DIGEST_SIZE
+            SmrMessage::SyncValue {
+                slot,
+                sender,
+                batch,
+                chain,
+            } => {
+                w.put_u8(0);
+                w.put_u64(*slot);
+                sender.wire_encode(w);
+                w.put_seq(batch);
+                chain.wire_encode(w);
             }
-            SmrMessage::Request { op } => 8 + op.wire_size(),
-            SmrMessage::PrePrepare { op, .. } => 24 + op.wire_size() + SIGNATURE_SIZE,
-            SmrMessage::Prepare { .. } | SmrMessage::Commit { .. } => {
-                24 + DIGEST_SIZE + SIGNATURE_SIZE
+            SmrMessage::Request { op } => {
+                w.put_u8(1);
+                op.wire_encode(w);
             }
-            SmrMessage::ViewChange { prepared, .. } => {
-                16 + prepared
-                    .iter()
-                    .map(|(_, op)| 8 + op.wire_size())
-                    .sum::<usize>()
-                    + SIGNATURE_SIZE
+            SmrMessage::PrePrepare { view, seq, op } => {
+                w.put_u8(2);
+                w.put_u64(*view);
+                w.put_u64(*seq);
+                op.wire_encode(w);
             }
-            SmrMessage::NewView { ops, skips, .. } => {
-                16 + ops.iter().map(|(_, op)| 8 + op.wire_size()).sum::<usize>()
-                    + skips.len() * 8
-                    + SIGNATURE_SIZE
+            SmrMessage::Prepare { view, seq, digest } => {
+                w.put_u8(3);
+                w.put_u64(*view);
+                w.put_u64(*seq);
+                digest.wire_encode(w);
+            }
+            SmrMessage::Commit { view, seq, digest } => {
+                w.put_u8(4);
+                w.put_u64(*view);
+                w.put_u64(*seq);
+                digest.wire_encode(w);
+            }
+            SmrMessage::ViewChange { new_view, prepared } => {
+                w.put_u8(5);
+                w.put_u64(*new_view);
+                w.put_seq(prepared);
+            }
+            SmrMessage::NewView { view, ops, skips } => {
+                w.put_u8(6);
+                w.put_u64(*view);
+                w.put_seq(ops);
+                w.put_seq(skips);
             }
         }
+    }
+}
+
+impl<O: WireDecode> WireDecode for SmrMessage<O> {
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(match r.take_u8()? {
+            0 => SmrMessage::SyncValue {
+                slot: r.take_u64()?,
+                sender: NodeId::wire_decode(r)?,
+                batch: r.take_seq(1)?,
+                chain: SignatureChain::wire_decode(r)?,
+            },
+            1 => SmrMessage::Request {
+                op: O::wire_decode(r)?,
+            },
+            2 => SmrMessage::PrePrepare {
+                view: r.take_u64()?,
+                seq: r.take_u64()?,
+                op: O::wire_decode(r)?,
+            },
+            3 => SmrMessage::Prepare {
+                view: r.take_u64()?,
+                seq: r.take_u64()?,
+                digest: Digest::wire_decode(r)?,
+            },
+            4 => SmrMessage::Commit {
+                view: r.take_u64()?,
+                seq: r.take_u64()?,
+                digest: Digest::wire_decode(r)?,
+            },
+            5 => SmrMessage::ViewChange {
+                new_view: r.take_u64()?,
+                prepared: r.take_seq(9)?,
+            },
+            6 => SmrMessage::NewView {
+                view: r.take_u64()?,
+                ops: r.take_seq(9)?,
+                skips: r.take_seq(8)?,
+            },
+            _ => return Err(WireError::Malformed("smr-message tag")),
+        })
     }
 }
 

@@ -1,22 +1,509 @@
-//! Byte-size accounting for bandwidth and serialisation-delay modelling.
+//! The wire codec and byte-size accounting shared by the simulator and the
+//! TCP runtime.
 //!
-//! The network simulator charges every message a transmission delay
-//! proportional to its size. Rather than serialising every message for real
-//! (which would dominate simulation cost), message types implement
-//! [`WireSize`] and report a size estimate modelled on a compact binary
-//! encoding, including the cryptographic material (64-byte signatures,
-//! 32-byte digests/MACs) a deployment would carry.
+//! Two related facilities live here:
+//!
+//! * **The binary codec** — [`WireEncode`]/[`WireDecode`] over
+//!   [`WireWriter`]/[`WireReader`]: the compact, positional, little-endian
+//!   encoding every Atum protocol type implements in its own crate (ids and
+//!   compositions here, digests and signature chains in `atum-crypto`, walks
+//!   and neighbour tables in `atum-overlay`, SMR messages in `atum-smr`, the
+//!   full message tree in `atum-core`). The TCP runtime (`atum-net`) frames
+//!   these encodings onto sockets; see the frame constants below.
+//! * **[`WireSize`]** — the per-message byte count the simulator charges for
+//!   serialisation delay and bandwidth statistics. Message types whose codec
+//!   implementation exists delegate to the *exact* encoded size (a counting
+//!   [`WireWriter`] pass, no allocation); the remaining impls are estimates
+//!   for types that never travel alone.
+//!
+//! # Encoding conventions
+//!
+//! Integers are fixed-width little-endian; `bool` is one byte (`0`/`1`,
+//! decoders reject anything else); sequences are a `u32` length prefix
+//! followed by the elements; `Option` is a one-byte presence tag; enums are a
+//! one-byte variant tag followed by the fields in declaration order. Variant
+//! tags are wire ABI — append new variants, never renumber.
+//!
+//! # Decode hardening
+//!
+//! Every read is bounds-checked ([`WireError::Truncated`] instead of a
+//! panic), sequence lengths are validated against the bytes actually
+//! remaining before any allocation ([`WireReader::take_len`]), and top-level
+//! decoders require exact consumption ([`WireReader::finish`] turns trailing
+//! garbage into [`WireError::TrailingBytes`]).
 
 use crate::composition::Composition;
-use crate::id::{BroadcastId, NodeId, NodeIdentity, VgroupId, WalkId};
+use crate::id::{BroadcastId, NetAddr, NodeId, NodeIdentity, VgroupId, WalkId};
+use std::fmt;
+use std::sync::Arc;
 
-/// Size of a signature on the wire, modelled on Ed25519 (bytes).
-pub const SIGNATURE_SIZE: usize = 64;
+/// Size of a signature on the wire (bytes). The workspace's keyed-hash
+/// signature scheme produces 32-byte tags, and that is what the codec
+/// actually encodes; an Ed25519 deployment would carry 64.
+pub const SIGNATURE_SIZE: usize = 32;
 /// Size of a digest or MAC on the wire, modelled on SHA-256/HMAC (bytes).
 pub const DIGEST_SIZE: usize = 32;
-/// Fixed per-message envelope overhead (type tags, lengths, sender, sequence
-/// numbers, transport framing).
+/// Modelled per-message transport overhead (TCP/IP headers and ACK share)
+/// charged by the simulator on top of the encoded frame.
 pub const ENVELOPE_OVERHEAD: usize = 48;
+
+// ---------------------------------------------------------------- framing
+
+/// Magic bytes opening every frame.
+pub const FRAME_MAGIC: [u8; 2] = *b"AT";
+/// Wire-format version carried in every frame header.
+pub const WIRE_VERSION: u8 = 1;
+/// Frame kind: connection handshake (`Hello`).
+pub const FRAME_KIND_HELLO: u8 = 0;
+/// Frame kind: an encoded `AtumMessage`.
+pub const FRAME_KIND_MESSAGE: u8 = 1;
+/// Bytes of the frame header: magic (2), version (1), kind (1), body length
+/// (`u32` little-endian).
+pub const FRAME_HEADER_LEN: usize = 8;
+/// Maximum accepted frame body. Larger length prefixes are rejected before
+/// any allocation, so a hostile peer cannot make a node reserve gigabytes.
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+// ----------------------------------------------------------------- errors
+
+/// Why a decode failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The input ended before the value was complete.
+    Truncated,
+    /// A tag, length or invariant check failed; the message names it.
+    Malformed(&'static str),
+    /// The frame header's magic bytes were wrong.
+    BadMagic,
+    /// The frame header carried an unsupported wire-format version.
+    BadVersion(u8),
+    /// A frame's length prefix exceeded [`MAX_FRAME_LEN`].
+    FrameTooLarge(usize),
+    /// A top-level value decoded successfully but bytes were left over.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "input truncated"),
+            WireError::Malformed(what) => write!(f, "malformed {what}"),
+            WireError::BadMagic => write!(f, "bad frame magic"),
+            WireError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::FrameTooLarge(n) => {
+                write!(f, "frame body of {n} bytes exceeds cap {MAX_FRAME_LEN}")
+            }
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+// ----------------------------------------------------------------- writer
+
+/// Byte sink for [`WireEncode`]. In *counting* mode it only tallies the
+/// length, so the exact encoded size of a message costs one allocation-free
+/// traversal — cheap enough for the simulator's per-send accounting.
+pub struct WireWriter<'a> {
+    buf: Option<&'a mut Vec<u8>>,
+    written: usize,
+}
+
+impl<'a> WireWriter<'a> {
+    /// A writer appending to `buf`.
+    pub fn to_buf(buf: &'a mut Vec<u8>) -> Self {
+        WireWriter {
+            buf: Some(buf),
+            written: 0,
+        }
+    }
+
+    /// A counting writer: discards bytes, remembers only the length.
+    pub fn counting() -> WireWriter<'static> {
+        WireWriter {
+            buf: None,
+            written: 0,
+        }
+    }
+
+    /// Bytes written (or counted) so far.
+    pub fn written(&self) -> usize {
+        self.written
+    }
+
+    /// Appends raw bytes.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        if let Some(buf) = self.buf.as_deref_mut() {
+            buf.extend_from_slice(bytes);
+        }
+        self.written += bytes.len();
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.put_bytes(&[v]);
+    }
+
+    /// Appends a little-endian `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.put_bytes(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.put_bytes(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.put_bytes(&v.to_le_bytes());
+    }
+
+    /// Appends a boolean as `0`/`1`.
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(v as u8);
+    }
+
+    /// Appends a sequence length prefix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` does not fit a `u32`; no protocol collection comes
+    /// within orders of magnitude of that.
+    pub fn put_len(&mut self, len: usize) {
+        self.put_u32(u32::try_from(len).expect("sequence length fits u32"));
+    }
+
+    /// Appends a length-prefixed sequence of encodable items.
+    pub fn put_seq<T: WireEncode>(&mut self, items: &[T]) {
+        self.put_len(items.len());
+        for item in items {
+            item.wire_encode(self);
+        }
+    }
+}
+
+// ----------------------------------------------------------------- reader
+
+/// Bounds-checked cursor over an encoded byte slice.
+pub struct WireReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// A reader over `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        WireReader { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Takes `n` raw bytes.
+    pub fn take_bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Takes one byte.
+    pub fn take_u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take_bytes(1)?[0])
+    }
+
+    /// Takes a little-endian `u16`.
+    pub fn take_u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take_bytes(2)?.try_into().unwrap()))
+    }
+
+    /// Takes a little-endian `u32`.
+    pub fn take_u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take_bytes(4)?.try_into().unwrap()))
+    }
+
+    /// Takes a little-endian `u64`.
+    pub fn take_u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take_bytes(8)?.try_into().unwrap()))
+    }
+
+    /// Takes a boolean, rejecting anything but `0`/`1`.
+    pub fn take_bool(&mut self) -> Result<bool, WireError> {
+        match self.take_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError::Malformed("bool")),
+        }
+    }
+
+    /// Takes a sequence length prefix, validating it against the bytes that
+    /// actually remain (`min_elem_size` bytes per element) *before* the
+    /// caller allocates — an oversized length prefix fails cleanly instead
+    /// of reserving unbounded memory.
+    pub fn take_len(&mut self, min_elem_size: usize) -> Result<usize, WireError> {
+        let len = self.take_u32()? as usize;
+        if len.saturating_mul(min_elem_size.max(1)) > self.remaining() {
+            return Err(WireError::Malformed("sequence length exceeds input"));
+        }
+        Ok(len)
+    }
+
+    /// Takes a length-prefixed sequence of decodable items, assuming each
+    /// item occupies at least `min_elem_size` bytes.
+    pub fn take_seq<T: WireDecode>(&mut self, min_elem_size: usize) -> Result<Vec<T>, WireError> {
+        let len = self.take_len(min_elem_size)?;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(T::wire_decode(self)?);
+        }
+        Ok(out)
+    }
+
+    /// Succeeds only when every input byte was consumed. Top-level decoders
+    /// call this so trailing garbage is an error, not silently ignored.
+    pub fn finish(self) -> Result<(), WireError> {
+        match self.remaining() {
+            0 => Ok(()),
+            n => Err(WireError::TrailingBytes(n)),
+        }
+    }
+}
+
+// ----------------------------------------------------------------- traits
+
+/// Types with a binary wire encoding.
+pub trait WireEncode {
+    /// Appends this value's encoding to the writer.
+    fn wire_encode(&self, w: &mut WireWriter<'_>);
+}
+
+/// Types that can be decoded from their binary wire encoding.
+pub trait WireDecode: Sized {
+    /// Decodes one value, advancing the reader past it.
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, WireError>;
+}
+
+/// Exact encoded size of a value: one counting traversal, no allocation.
+pub fn wire_len<T: WireEncode + ?Sized>(value: &T) -> usize {
+    let mut w = WireWriter::counting();
+    value.wire_encode(&mut w);
+    w.written()
+}
+
+/// Encodes a value into a fresh buffer.
+pub fn encode_to_vec<T: WireEncode + ?Sized>(value: &T) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(wire_len(value));
+    let mut w = WireWriter::to_buf(&mut buf);
+    value.wire_encode(&mut w);
+    buf
+}
+
+/// Decodes a value that must span the entire input (trailing bytes error).
+pub fn decode_exact<T: WireDecode>(bytes: &[u8]) -> Result<T, WireError> {
+    let mut r = WireReader::new(bytes);
+    let value = T::wire_decode(&mut r)?;
+    r.finish()?;
+    Ok(value)
+}
+
+// ------------------------------------------------- codec impls (primitives)
+
+impl WireEncode for u64 {
+    fn wire_encode(&self, w: &mut WireWriter<'_>) {
+        w.put_u64(*self);
+    }
+}
+
+impl WireDecode for u64 {
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        r.take_u64()
+    }
+}
+
+impl WireEncode for Vec<u8> {
+    fn wire_encode(&self, w: &mut WireWriter<'_>) {
+        w.put_len(self.len());
+        w.put_bytes(self);
+    }
+}
+
+impl WireDecode for Vec<u8> {
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let len = r.take_len(1)?;
+        Ok(r.take_bytes(len)?.to_vec())
+    }
+}
+
+impl WireEncode for Arc<[u8]> {
+    fn wire_encode(&self, w: &mut WireWriter<'_>) {
+        w.put_len(self.len());
+        w.put_bytes(self);
+    }
+}
+
+impl WireDecode for Arc<[u8]> {
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let len = r.take_len(1)?;
+        Ok(Arc::from(r.take_bytes(len)?))
+    }
+}
+
+impl<T: WireEncode> WireEncode for Arc<T> {
+    fn wire_encode(&self, w: &mut WireWriter<'_>) {
+        (**self).wire_encode(w);
+    }
+}
+
+impl<T: WireDecode> WireDecode for Arc<T> {
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        T::wire_decode(r).map(Arc::new)
+    }
+}
+
+impl<A: WireEncode, B: WireEncode> WireEncode for (A, B) {
+    fn wire_encode(&self, w: &mut WireWriter<'_>) {
+        self.0.wire_encode(w);
+        self.1.wire_encode(w);
+    }
+}
+
+impl<A: WireDecode, B: WireDecode> WireDecode for (A, B) {
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok((A::wire_decode(r)?, B::wire_decode(r)?))
+    }
+}
+
+impl<T: WireEncode> WireEncode for Option<T> {
+    fn wire_encode(&self, w: &mut WireWriter<'_>) {
+        match self {
+            None => w.put_u8(0),
+            Some(v) => {
+                w.put_u8(1);
+                v.wire_encode(w);
+            }
+        }
+    }
+}
+
+impl<T: WireDecode> WireDecode for Option<T> {
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.take_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::wire_decode(r)?)),
+            _ => Err(WireError::Malformed("option tag")),
+        }
+    }
+}
+
+// ------------------------------------------------------ codec impls (ids)
+
+impl WireEncode for NodeId {
+    fn wire_encode(&self, w: &mut WireWriter<'_>) {
+        w.put_u64(self.raw());
+    }
+}
+
+impl WireDecode for NodeId {
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        r.take_u64().map(NodeId::new)
+    }
+}
+
+impl WireEncode for VgroupId {
+    fn wire_encode(&self, w: &mut WireWriter<'_>) {
+        w.put_u64(self.raw());
+    }
+}
+
+impl WireDecode for VgroupId {
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        r.take_u64().map(VgroupId::new)
+    }
+}
+
+impl WireEncode for BroadcastId {
+    fn wire_encode(&self, w: &mut WireWriter<'_>) {
+        self.origin.wire_encode(w);
+        w.put_u64(self.seq);
+    }
+}
+
+impl WireDecode for BroadcastId {
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(BroadcastId::new(NodeId::wire_decode(r)?, r.take_u64()?))
+    }
+}
+
+impl WireEncode for WalkId {
+    fn wire_encode(&self, w: &mut WireWriter<'_>) {
+        self.origin.wire_encode(w);
+        w.put_u64(self.seq);
+    }
+}
+
+impl WireDecode for WalkId {
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(WalkId::new(VgroupId::wire_decode(r)?, r.take_u64()?))
+    }
+}
+
+impl WireEncode for NetAddr {
+    fn wire_encode(&self, w: &mut WireWriter<'_>) {
+        w.put_bytes(&self.ip);
+        w.put_u16(self.port);
+    }
+}
+
+impl WireDecode for NetAddr {
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let ip: [u8; 4] = r.take_bytes(4)?.try_into().unwrap();
+        Ok(NetAddr::new(ip, r.take_u16()?))
+    }
+}
+
+impl WireEncode for NodeIdentity {
+    fn wire_encode(&self, w: &mut WireWriter<'_>) {
+        self.id.wire_encode(w);
+        self.addr.wire_encode(w);
+    }
+}
+
+impl WireDecode for NodeIdentity {
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(NodeIdentity::new(
+            NodeId::wire_decode(r)?,
+            NetAddr::wire_decode(r)?,
+        ))
+    }
+}
+
+impl WireEncode for Composition {
+    fn wire_encode(&self, w: &mut WireWriter<'_>) {
+        w.put_len(self.len());
+        for member in self.iter() {
+            w.put_u64(member.raw());
+        }
+    }
+}
+
+impl WireDecode for Composition {
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let len = r.take_len(8)?;
+        let mut members = Vec::with_capacity(len);
+        for _ in 0..len {
+            members.push(NodeId::new(r.take_u64()?));
+        }
+        // `from_members` sorts and deduplicates: the boundary canonicalises,
+        // so a hostile encoding cannot smuggle in a duplicate-bearing set.
+        Ok(Composition::from_members(members))
+    }
+}
 
 /// Types that know their approximate encoded size in bytes.
 pub trait WireSize {

@@ -9,6 +9,8 @@
 //!   (identifiers and configuration, digests and signatures, the
 //!   discrete-event network simulator, the BFT replication engines, and the
 //!   H-graph overlay).
+//! * [`net`] — the real-socket TCP runtime: the same node state machines
+//!   over loopback/LAN sockets, with the `NetCluster` harness.
 //! * [`apps`] — the three applications from the paper: ASub, AShare and
 //!   AStream.
 //! * [`sim`] — the experiment harness (cluster construction, fault
@@ -23,6 +25,7 @@
 pub use atum_apps as apps;
 pub use atum_core as core;
 pub use atum_crypto as crypto;
+pub use atum_net as net;
 pub use atum_overlay as overlay;
 pub use atum_sim as sim;
 pub use atum_simnet as simnet;

@@ -56,6 +56,19 @@ fn sustained_churn_completes_ninety_percent_without_ghosts() {
         report.ghost_entries, 0,
         "ghost composition entries survived the final cycle"
     );
+    // The audit's classification must be internally consistent, and — the
+    // stronger, always-true form of the zero-ghosts bar — every ghost the
+    // protocol *could* have healed must be healed. With no Byzantine
+    // members in this run no vgroup can be wedged by construction, so both
+    // counts are zero.
+    assert_eq!(report.ghost_audit.entries, report.ghost_entries);
+    assert_eq!(
+        report.ghost_audit.healable(),
+        0,
+        "healable ghost entries survived: {:?}",
+        report.ghost_audit
+    );
+    assert_eq!(report.ghost_audit.unhealable, 0);
     // Every completed cycle has a recovery latency sample and a consistent
     // per-cycle record.
     assert_eq!(report.rejoin_latencies.len(), report.completed);

@@ -97,9 +97,15 @@ fn growth_metrics_are_pinned_for_fixed_seed() {
         report.exchanges_completed,
         report.exchanges_suppressed,
     );
+    // Re-baselined in the atum-net PR: the composition anti-entropy
+    // (periodic `CompositionUpdate`s + correspondent back-links, added to
+    // heal the stale-addressing gossip starvation the loopback TCP test
+    // exposed) is a deliberate protocol change; it shifts shuffle-walk
+    // trajectories, which shows up here as more suppressed exchanges
+    // (28 → 34) while reach, time-to-target and completions are unchanged.
     assert_eq!(
         summary,
-        (14, 141, 5, 28),
+        (14, 141, 5, 34),
         "growth protocol metrics moved for a fixed seed: {summary:?}"
     );
     let again = growth_once();

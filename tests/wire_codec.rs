@@ -1,0 +1,523 @@
+//! Wire-codec coverage: round trips over every `AtumMessage` variant
+//! (including the Arc-backed fabric types from the zero-copy PR), the
+//! wire-size/encoding agreement bound, and adversarial decodes (truncation,
+//! oversized length prefixes, trailing garbage) that must fail cleanly.
+
+use atum::core::{AtumMessage, GroupEnvelope, GroupOp, GroupPayload};
+use atum::crypto::{KeyRegistry, SignatureChain};
+use atum::overlay::{CycleNeighbors, NeighborTable, WalkCertificate, WalkPurpose, WalkState};
+use atum::smr::SmrMessage;
+use atum::types::wire::{wire_len, WireError, FRAME_HEADER_LEN, MAX_FRAME_LEN};
+use atum::types::{BroadcastId, Composition, NodeId, NodeIdentity, VgroupId, WalkId, WireSize};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+fn comp(ids: &[u64]) -> Composition {
+    ids.iter().map(|&i| NodeId::new(i)).collect()
+}
+
+fn sample_walk(seed: u64) -> WalkState {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut walk = WalkState::new(
+        WalkId::new(VgroupId::new(2), 9),
+        WalkPurpose::JoinPlacement {
+            joiner: NodeId::new(7),
+        },
+        VgroupId::new(2),
+        comp(&[4, 5, 6]),
+        3,
+        &mut rng,
+    );
+    walk.advance(VgroupId::new(3));
+    walk
+}
+
+fn sample_certificate() -> WalkCertificate {
+    let mut registry = KeyRegistry::new();
+    for i in 0..6 {
+        registry.register(NodeId::new(i), 5);
+    }
+    let walk_id = WalkId::new(VgroupId::new(1), 3);
+    let mut cert = WalkCertificate::new();
+    let signers: Vec<_> = [0u64, 1]
+        .iter()
+        .map(|&i| registry.signer(NodeId::new(i)).unwrap())
+        .collect();
+    cert.push_step(walk_id, VgroupId::new(2), comp(&[3, 4, 5]), &signers);
+    cert
+}
+
+fn sample_chain() -> SignatureChain {
+    let mut registry = KeyRegistry::new();
+    registry.register(NodeId::new(1), 9);
+    registry.register(NodeId::new(2), 9);
+    let digest = atum::crypto::Digest::of(b"batch");
+    let mut chain = SignatureChain::new(digest, &registry.signer(NodeId::new(1)).unwrap());
+    chain.append(&registry.signer(NodeId::new(2)).unwrap());
+    chain
+}
+
+fn sample_neighbors() -> NeighborTable {
+    let mut table = NeighborTable::new(3);
+    table.set_cycle(
+        0,
+        CycleNeighbors {
+            predecessor: VgroupId::new(8),
+            predecessor_composition: comp(&[1, 2]),
+            successor: VgroupId::new(9),
+            successor_composition: comp(&[3, 4]),
+        },
+    );
+    // Cycle 1 stays unknown (None) on purpose; cycle 2 is set.
+    table.set_cycle(
+        2,
+        CycleNeighbors {
+            predecessor: VgroupId::new(9),
+            predecessor_composition: comp(&[3, 4]),
+            successor: VgroupId::new(8),
+            successor_composition: comp(&[1, 2]),
+        },
+    );
+    table
+}
+
+fn all_payload_variants() -> Vec<GroupPayload> {
+    vec![
+        GroupPayload::Gossip {
+            id: BroadcastId::new(NodeId::new(1), 2),
+            payload: b"abc".to_vec().into(),
+            hops: 3,
+        },
+        GroupPayload::Walk(sample_walk(5)),
+        GroupPayload::CompositionUpdate {
+            group: VgroupId::new(1),
+            composition: comp(&[1, 2]),
+        },
+        GroupPayload::ExchangeOffer {
+            walk: WalkId::new(VgroupId::new(1), 2),
+            leaving: NodeId::new(3),
+            incoming: NodeIdentity::simulated(NodeId::new(4)),
+        },
+        GroupPayload::ExchangeRefuse {
+            walk: WalkId::new(VgroupId::new(1), 2),
+            leaving: NodeId::new(3),
+        },
+        GroupPayload::ExchangeAccept {
+            walk: WalkId::new(VgroupId::new(1), 2),
+            given: NodeId::new(3),
+            adopted: NodeIdentity::simulated(NodeId::new(4)),
+        },
+        GroupPayload::SplitInsert {
+            cycle: 1,
+            new_group: VgroupId::new(7),
+            composition: comp(&[1, 2]),
+        },
+        GroupPayload::NeighborIntro {
+            cycle: 1,
+            sender_is_predecessor: true,
+            group: VgroupId::new(7),
+            composition: comp(&[1, 2]),
+        },
+        GroupPayload::MergeRequest {
+            from: VgroupId::new(7),
+            members: vec![NodeIdentity::simulated(NodeId::new(1))],
+        },
+        GroupPayload::MergeAccept {
+            into: VgroupId::new(7),
+            new_composition: comp(&[1, 2]),
+        },
+        GroupPayload::CyclePatch {
+            cycle: 1,
+            new_is_successor: true,
+            group: VgroupId::new(7),
+            composition: comp(&[1, 2]),
+        },
+    ]
+}
+
+fn all_op_variants() -> Vec<GroupOp> {
+    vec![
+        GroupOp::HandleJoinRequest {
+            joiner: NodeIdentity::simulated(NodeId::new(1)),
+            nonce: 2,
+            rejoin: true,
+        },
+        GroupOp::AdmitJoiner {
+            joiner: NodeIdentity::simulated(NodeId::new(1)),
+            walk: WalkId::new(VgroupId::new(2), 3),
+        },
+        GroupOp::Leave {
+            node: NodeId::new(1),
+            nonce: 2,
+        },
+        GroupOp::Evict {
+            node: NodeId::new(1),
+            accuser: NodeId::new(2),
+            nonce: 3,
+        },
+        GroupOp::Broadcast {
+            id: BroadcastId::new(NodeId::new(1), 2),
+            payload: b"xyz".to_vec().into(),
+        },
+        GroupOp::OfferExchange {
+            walk: WalkId::new(VgroupId::new(1), 2),
+            leaving: NodeIdentity::simulated(NodeId::new(3)),
+            origin: VgroupId::new(4),
+            origin_composition: comp(&[5, 6]),
+        },
+        GroupOp::CompleteExchange {
+            walk: WalkId::new(VgroupId::new(1), 2),
+            leaving: NodeId::new(3),
+            incoming: NodeIdentity::simulated(NodeId::new(4)),
+            partner: VgroupId::new(5),
+            partner_composition: comp(&[6, 7]),
+        },
+        GroupOp::FinishExchange {
+            walk: WalkId::new(VgroupId::new(1), 2),
+            given: NodeId::new(3),
+            adopted: NodeIdentity::simulated(NodeId::new(4)),
+        },
+        GroupOp::AcceptMerge {
+            from: VgroupId::new(1),
+            members: vec![NodeIdentity::simulated(NodeId::new(2))],
+        },
+        GroupOp::InsertOverlayNeighbor {
+            cycle: 1,
+            new_group: VgroupId::new(2),
+            composition: comp(&[3, 4]),
+        },
+    ]
+}
+
+fn all_message_variants() -> Vec<AtumMessage> {
+    let mut messages = vec![
+        AtumMessage::JoinContactRequest,
+        AtumMessage::JoinContactReply {
+            group: VgroupId::new(3),
+            composition: comp(&[1, 2, 3]),
+        },
+        AtumMessage::JoinRequest {
+            joiner: NodeIdentity::simulated(NodeId::new(9)),
+            nonce: 4,
+            rejoin: false,
+        },
+        AtumMessage::Welcome {
+            group: VgroupId::new(3),
+            composition: comp(&[1, 2, 9]),
+            neighbors: sample_neighbors(),
+            epoch: 17,
+        },
+        AtumMessage::StateRequest {
+            group: VgroupId::new(3),
+            epoch: 16,
+        },
+        AtumMessage::Heartbeat {
+            group: VgroupId::new(3),
+            epoch: 17,
+        },
+        AtumMessage::Smr {
+            group: VgroupId::new(3),
+            epoch: 17,
+            msg: SmrMessage::SyncValue {
+                slot: 8,
+                sender: NodeId::new(1),
+                batch: all_op_variants(),
+                chain: sample_chain(),
+            },
+        },
+        AtumMessage::Smr {
+            group: VgroupId::new(3),
+            epoch: 17,
+            msg: SmrMessage::ViewChange {
+                new_view: 2,
+                prepared: vec![(
+                    4,
+                    GroupOp::Leave {
+                        node: NodeId::new(1),
+                        nonce: 0,
+                    },
+                )],
+            },
+        },
+        AtumMessage::Smr {
+            group: VgroupId::new(3),
+            epoch: 17,
+            msg: SmrMessage::NewView {
+                view: 2,
+                ops: vec![(
+                    4,
+                    GroupOp::Leave {
+                        node: NodeId::new(1),
+                        nonce: 0,
+                    },
+                )],
+                skips: vec![5, 6],
+            },
+        },
+        AtumMessage::App {
+            payload: vec![7; 100],
+            advertised_size: 0,
+        },
+    ];
+    // One Group message per payload variant, with a walk carrying a signed
+    // certificate thrown in.
+    for payload in all_payload_variants() {
+        messages.push(AtumMessage::Group(Arc::new(GroupEnvelope::new(
+            VgroupId::new(5),
+            comp(&[1, 2, 3, 4, 5]),
+            payload,
+        ))));
+    }
+    let mut walk = sample_walk(6);
+    walk.certificate = sample_certificate();
+    messages.push(AtumMessage::Group(Arc::new(GroupEnvelope::new(
+        VgroupId::new(5),
+        comp(&[1, 2, 3]),
+        GroupPayload::Walk(walk),
+    ))));
+    messages
+}
+
+#[test]
+fn every_message_variant_round_trips() {
+    let messages = all_message_variants();
+    assert!(messages.len() >= 21, "cover every variant");
+    for msg in &messages {
+        let bytes = msg.encode_body();
+        let back = AtumMessage::decode_body(&bytes).unwrap_or_else(|e| {
+            panic!("decode failed for {msg:?}: {e}");
+        });
+        assert_eq!(&back, msg, "round trip changed the message");
+    }
+}
+
+#[test]
+fn group_envelopes_recompute_their_digest_on_decode() {
+    // The digest is memoized sender-side but never trusted from the wire:
+    // the decoder recomputes it from the payload, so the round-tripped
+    // envelope carries the same digest without it ever being encoded.
+    let envelope = GroupEnvelope::new(
+        VgroupId::new(5),
+        comp(&[1, 2, 3]),
+        GroupPayload::Gossip {
+            id: BroadcastId::new(NodeId::new(1), 0),
+            payload: vec![9u8; 64].into(),
+            hops: 2,
+        },
+    );
+    let msg = AtumMessage::Group(Arc::new(envelope.clone()));
+    let AtumMessage::Group(back) = AtumMessage::decode_body(&msg.encode_body()).unwrap() else {
+        panic!("variant changed");
+    };
+    assert_eq!(back.digest(), envelope.digest());
+}
+
+#[test]
+fn arc_sharing_survives_encoding_of_fanout_copies() {
+    // Fan-out copies share one envelope allocation; encoding each copy must
+    // not clone the envelope (encode takes &self through the Arc).
+    let envelope = Arc::new(GroupEnvelope::new(
+        VgroupId::new(5),
+        comp(&[1, 2, 3]),
+        GroupPayload::Gossip {
+            id: BroadcastId::new(NodeId::new(1), 0),
+            payload: vec![1u8; 32].into(),
+            hops: 0,
+        },
+    ));
+    let copies: Vec<AtumMessage> = (0..4)
+        .map(|_| AtumMessage::Group(envelope.clone()))
+        .collect();
+    assert_eq!(Arc::strong_count(&envelope), 5);
+    let encodings: Vec<Vec<u8>> = copies.iter().map(|m| m.encode_body()).collect();
+    assert_eq!(Arc::strong_count(&envelope), 5, "encoding cloned the Arc");
+    assert!(encodings.windows(2).all(|w| w[0] == w[1]));
+}
+
+#[test]
+fn wire_size_is_the_exact_frame_size() {
+    // The satellite bound: WireSize and the codec agree exactly (bound 0)
+    // for every variant; `App` with an advertised size is the documented
+    // exception (the logical payload stands in for a larger transfer).
+    for msg in &all_message_variants() {
+        assert_eq!(
+            msg.wire_size(),
+            FRAME_HEADER_LEN + wire_len(msg),
+            "wire_size diverged from the encoding for {msg:?}"
+        );
+        assert_eq!(wire_len(msg), msg.encode_body().len());
+    }
+    let advertised = AtumMessage::App {
+        payload: vec![1, 2, 3],
+        advertised_size: 1_000_000,
+    };
+    assert_eq!(advertised.wire_size(), FRAME_HEADER_LEN + 1_000_000);
+}
+
+#[test]
+fn truncated_encodings_fail_cleanly_at_every_cut() {
+    for msg in &all_message_variants() {
+        let bytes = msg.encode_body();
+        // Every strict prefix must fail with a clean error, never panic.
+        let step = (bytes.len() / 23).max(1);
+        for cut in (0..bytes.len()).step_by(step) {
+            let err = AtumMessage::decode_body(&bytes[..cut]);
+            assert!(
+                err.is_err(),
+                "decode of {cut}/{} bytes succeeded",
+                bytes.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn trailing_garbage_is_rejected() {
+    let msg = AtumMessage::Heartbeat {
+        group: VgroupId::new(3),
+        epoch: 17,
+    };
+    let mut bytes = msg.encode_body();
+    bytes.push(0x00);
+    assert!(matches!(
+        AtumMessage::decode_body(&bytes),
+        Err(WireError::TrailingBytes(1))
+    ));
+}
+
+#[test]
+fn oversized_length_prefixes_are_rejected_before_allocation() {
+    // A Welcome whose composition claims u32::MAX entries: the length check
+    // runs against the remaining bytes before any Vec is reserved.
+    let mut bytes = vec![3u8]; // Welcome tag
+    bytes.extend_from_slice(&3u64.to_le_bytes()); // group
+    bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // composition length
+    bytes.extend_from_slice(&[0u8; 16]); // far fewer bytes than claimed
+    assert!(matches!(
+        AtumMessage::decode_body(&bytes),
+        Err(WireError::Malformed(_))
+    ));
+
+    // Same for an App payload length prefix.
+    let mut bytes = vec![8u8]; // App tag
+    bytes.extend_from_slice(&(MAX_FRAME_LEN as u32).to_le_bytes());
+    bytes.extend_from_slice(&[0u8; 8]);
+    assert!(AtumMessage::decode_body(&bytes).is_err());
+}
+
+#[test]
+fn unknown_tags_and_malformed_scalars_are_rejected() {
+    // Unknown top-level variant tag.
+    assert!(matches!(
+        AtumMessage::decode_body(&[250u8]),
+        Err(WireError::Malformed("atum-message tag"))
+    ));
+    // A bool byte that is neither 0 nor 1 (JoinRequest.rejoin).
+    let mut bytes = vec![2u8]; // JoinRequest tag
+    NodeIdentity::simulated(NodeId::new(9));
+    bytes.extend_from_slice(&9u64.to_le_bytes()); // identity id
+    bytes.extend_from_slice(&[10, 0, 0, 9]); // identity ip
+    bytes.extend_from_slice(&7009u16.to_le_bytes()); // identity port
+    bytes.extend_from_slice(&4u64.to_le_bytes()); // nonce
+    bytes.push(7); // rejoin: invalid bool
+    assert!(matches!(
+        AtumMessage::decode_body(&bytes),
+        Err(WireError::Malformed("bool"))
+    ));
+}
+
+#[test]
+fn random_garbage_never_panics_the_decoder() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xC0DEC);
+    for len in [0usize, 1, 7, 64, 512] {
+        for _ in 0..2_000 {
+            let bytes: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+            // Either error or (vanishingly unlikely) a valid message; both
+            // are fine — what is being tested is the absence of panics and
+            // runaway allocations.
+            let _ = AtumMessage::decode_body(&bytes);
+        }
+    }
+}
+
+#[test]
+fn mutated_valid_encodings_never_panic_the_decoder() {
+    // Bit-flip fuzzing seeded from real encodings: this reaches deep
+    // decoder states that pure random bytes rarely hit.
+    let mut rng = ChaCha8Rng::seed_from_u64(0xF1235);
+    for msg in &all_message_variants() {
+        let bytes = msg.encode_body();
+        for _ in 0..200 {
+            let mut mutated = bytes.clone();
+            let flips = rng.gen_range(1..4);
+            for _ in 0..flips {
+                let idx = rng.gen_range(0..mutated.len());
+                mutated[idx] ^= 1u8 << rng.gen_range(0..8u32);
+            }
+            let _ = AtumMessage::decode_body(&mutated);
+        }
+    }
+}
+
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn gossip_round_trips_for_arbitrary_payloads(
+            payload in proptest::collection::vec(0u8..=255, 0..2048),
+            origin in 0u64..1_000,
+            seq in 0u64..1_000,
+            hops in 0u32..64,
+        ) {
+            let msg = AtumMessage::Group(Arc::new(GroupEnvelope::new(
+                VgroupId::new(5),
+                comp(&[origin, origin + 1, origin + 2]),
+                GroupPayload::Gossip {
+                    id: BroadcastId::new(NodeId::new(origin), seq),
+                    payload: payload.into(),
+                    hops,
+                },
+            )));
+            let back = AtumMessage::decode_body(&msg.encode_body()).unwrap();
+            prop_assert_eq!(back, msg);
+        }
+
+        #[test]
+        fn welcomes_round_trip_for_arbitrary_compositions(
+            members in proptest::collection::vec(0u64..10_000, 1..40),
+            epoch in 0u64..1_000_000,
+        ) {
+            let msg = AtumMessage::Welcome {
+                group: VgroupId::new(epoch),
+                composition: members.iter().map(|&m| NodeId::new(m)).collect(),
+                neighbors: sample_neighbors(),
+                epoch,
+            };
+            let back = AtumMessage::decode_body(&msg.encode_body()).unwrap();
+            prop_assert_eq!(back, msg);
+        }
+
+        #[test]
+        fn broadcast_ops_round_trip_inside_smr(
+            payload in proptest::collection::vec(0u8..=255, 0..512),
+            slot in 0u64..10_000,
+        ) {
+            let op = GroupOp::Broadcast {
+                id: BroadcastId::new(NodeId::new(slot), slot),
+                payload: payload.into(),
+            };
+            let msg = AtumMessage::Smr {
+                group: VgroupId::new(1),
+                epoch: slot,
+                msg: SmrMessage::PrePrepare { view: 0, seq: slot, op },
+            };
+            let back = AtumMessage::decode_body(&msg.encode_body()).unwrap();
+            prop_assert_eq!(back, msg);
+        }
+    }
+}

@@ -57,7 +57,9 @@ macro_rules! impl_range_strategy {
         impl Strategy for core::ops::RangeInclusive<$t> {
             type Value = $t;
             fn generate(&self, rng: &mut TestRng) -> $t {
-                rng.gen_range(*self.start()..*self.end() + 1)
+                // Sampled inclusively: `end + 1` would overflow for ranges
+                // ending at the type's maximum (e.g. `0u8..=255`).
+                rng.gen_range(self.clone())
             }
         }
     )*};

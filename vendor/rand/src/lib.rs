@@ -136,10 +136,22 @@ macro_rules! impl_range_uint {
             fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
                 let (start, end) = (*self.start(), *self.end());
                 assert!(start <= end, "gen_range: empty range");
-                if start == 0 && end as u128 == <$t>::MAX as u128 {
+                // The inclusive span is computed in u128 so ranges ending at
+                // the type's maximum (`0u8..=255`, `5u64..=u64::MAX`, …)
+                // never overflow.
+                let span = (end as u128) - (start as u128) + 1;
+                if span > u64::MAX as u128 {
+                    // Only the full u64/usize domain reaches here.
                     return rng.next_u64() as $t;
                 }
-                (start..end + 1).sample_single(rng)
+                let span = span as u64;
+                let zone = u64::MAX - (u64::MAX - span + 1) % span;
+                loop {
+                    let v = rng.next_u64();
+                    if v <= zone {
+                        return start.wrapping_add((v % span) as $t);
+                    }
+                }
             }
         }
     )*};
@@ -154,6 +166,15 @@ macro_rules! impl_range_int {
                 let span = (self.end as $u).wrapping_sub(self.start as $u);
                 let drawn = (0..span).sample_single(rng);
                 (self.start as $u).wrapping_add(drawn) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let span = (end as $u).wrapping_sub(start as $u);
+                let drawn = ((0 as $u)..=span).sample_single(rng);
+                (start as $u).wrapping_add(drawn) as $t
             }
         }
     )*};
