@@ -1,0 +1,88 @@
+//! Micro-benchmark: the wire codec in isolation — encode and decode of the
+//! `AtumMessage` shapes the TCP runtime actually carries. The saturation
+//! bench measures the whole message path; this pins the codec's share so a
+//! codec regression is visible without running a cluster.
+
+use atum_core::message::{AtumMessage, GroupEnvelope, GroupPayload};
+use atum_types::wire::encode_to_vec;
+use atum_types::{BroadcastId, Composition, NodeId, VgroupId};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+
+fn comp(n: u64) -> Composition {
+    (0..n).map(NodeId::new).collect()
+}
+
+fn gossip_message(payload_bytes: usize, members: u64) -> AtumMessage {
+    AtumMessage::Group(Arc::new(GroupEnvelope::new(
+        VgroupId::new(7),
+        comp(members),
+        GroupPayload::Gossip {
+            id: BroadcastId::new(NodeId::new(3), 42),
+            payload: vec![0x5au8; payload_bytes].into(),
+            hops: 2,
+        },
+    )))
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire_roundtrip");
+
+    // Small gossip (heartbeat-sized payload), a 1 KiB payload (the
+    // saturation storm's shape), and a full envelope with a large
+    // composition (the worst per-message codec cost group traffic pays).
+    let cases = [
+        ("gossip_small", gossip_message(64, 4)),
+        ("gossip_1k", gossip_message(1024, 4)),
+        ("envelope_full", gossip_message(1024, 21)),
+        (
+            "heartbeat",
+            AtumMessage::Heartbeat {
+                group: VgroupId::new(3),
+                epoch: 17,
+            },
+        ),
+    ];
+
+    for (name, msg) in &cases {
+        group.bench_with_input(BenchmarkId::new("encode", name), msg, |b, m| {
+            b.iter(|| black_box(encode_to_vec(m)))
+        });
+        // Re-decoding one byte string hits the verified-digest cache after
+        // the first iteration, so this case measures the *duplicate-arrival*
+        // decode path (the common case under gossip).
+        let bytes = encode_to_vec(msg);
+        group.bench_with_input(BenchmarkId::new("decode_warm", name), &bytes, |b, bytes| {
+            b.iter(|| black_box(AtumMessage::decode_body(bytes).expect("valid")))
+        });
+    }
+
+    // First-arrival decode: cycle through more distinct payloads than the
+    // verified-digest cache holds (512), so every iteration misses and pays
+    // the full SHA-256 recompute — a digest regression shows up here even
+    // though the warm case hides it.
+    let cold: Vec<Vec<u8>> = (0..1024u64)
+        .map(|i| {
+            encode_to_vec(&AtumMessage::Group(Arc::new(GroupEnvelope::new(
+                VgroupId::new(7),
+                comp(4),
+                GroupPayload::Gossip {
+                    id: BroadcastId::new(NodeId::new(3), i),
+                    payload: vec![0x5au8; 1024].into(),
+                    hops: 2,
+                },
+            ))))
+        })
+        .collect();
+    group.bench_function("decode_cold/gossip_1k", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % cold.len();
+            black_box(AtumMessage::decode_body(&cold[i]).expect("valid"))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

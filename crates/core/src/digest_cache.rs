@@ -1,0 +1,135 @@
+//! A process-wide bounded cache of *verified* payload digests, keyed by the
+//! exact encoded payload bytes.
+//!
+//! Receivers recompute a [`GroupEnvelope`](crate::GroupEnvelope)'s payload
+//! digest at the trust boundary (the wire decoder) so a forged digest can
+//! never subvert majority acceptance. Gossip makes byte-identical payloads
+//! the common case *by design*: every member of the sending vgroup
+//! transmits the same envelope to every member of the receiving vgroup, so
+//! a node decodes the same payload bytes once per sender — and a process
+//! hosting many nodes (loopback harnesses, benches) decodes them once per
+//! (sender, receiver) pair. This cache lets every arrival after the first
+//! skip the SHA-256 recompute.
+//!
+//! Soundness: the key is the *entire* encoded payload byte string and the
+//! codec is deterministic, so byte equality implies the decoded payload —
+//! and therefore its structural digest — is equal. Nothing weaker than full
+//! byte equality (no truncated hashing, no pointer identity) is ever used,
+//! which keeps the trust-boundary guarantee intact.
+//!
+//! The cache is bounded two ways: at most [`CACHE_CAPACITY`] entries
+//! (FIFO-evicted) and only payloads up to [`MAX_ENTRY_BYTES`] are cached
+//! (larger ones are rare and their SHA-256 is a smaller *fraction* of their
+//! handling cost). The simulator never decodes wire bytes, so this cache is
+//! invisible to simulated trajectories (`fabric_equivalence` goldens).
+
+use atum_crypto::Digest;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Maximum number of cached digests.
+const CACHE_CAPACITY: usize = 512;
+/// Payloads larger than this are not cached.
+const MAX_ENTRY_BYTES: usize = 16 * 1024;
+
+#[derive(Default)]
+struct Inner {
+    map: HashMap<Arc<[u8]>, Digest>,
+    // Insertion order for FIFO eviction; shares the key allocation with the
+    // map.
+    order: VecDeque<Arc<[u8]>>,
+}
+
+static CACHE: OnceLock<Mutex<Inner>> = OnceLock::new();
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+
+fn cache() -> &'static Mutex<Inner> {
+    CACHE.get_or_init(Mutex::default)
+}
+
+/// Looks up the verified digest of an encoded payload, if a byte-identical
+/// payload was decoded recently.
+pub(crate) fn lookup(encoded_payload: &[u8]) -> Option<Digest> {
+    if encoded_payload.len() > MAX_ENTRY_BYTES {
+        return None;
+    }
+    let found = cache()
+        .lock()
+        .expect("digest cache lock")
+        .map
+        .get(encoded_payload)
+        .copied();
+    match found {
+        Some(d) => {
+            HITS.fetch_add(1, Ordering::Relaxed);
+            Some(d)
+        }
+        None => {
+            MISSES.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    }
+}
+
+/// Records the digest a decoder computed (and thereby verified) for an
+/// encoded payload.
+pub(crate) fn insert(encoded_payload: &[u8], digest: Digest) {
+    if encoded_payload.len() > MAX_ENTRY_BYTES {
+        return;
+    }
+    let key: Arc<[u8]> = Arc::from(encoded_payload);
+    let mut inner = cache().lock().expect("digest cache lock");
+    if inner.map.insert(key.clone(), digest).is_none() {
+        inner.order.push_back(key);
+        while inner.order.len() > CACHE_CAPACITY {
+            if let Some(evicted) = inner.order.pop_front() {
+                inner.map.remove(&evicted);
+            }
+        }
+    }
+}
+
+/// Hit/miss counters of the verified-digest cache since process start
+/// (`(hits, misses)`). Benches report these; tests assert duplicates hit.
+pub fn verified_digest_stats() -> (u64, u64) {
+    (HITS.load(Ordering::Relaxed), MISSES.load(Ordering::Relaxed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_bytes_hit_after_first_insert() {
+        let bytes = b"digest-cache-unit-test-payload".as_slice();
+        let digest = Digest::of(bytes);
+        // The first lookup may or may not miss (other tests share the
+        // process-wide cache), so assert through this key's own lifecycle.
+        insert(bytes, digest);
+        assert_eq!(lookup(bytes), Some(digest));
+        // A different byte string never aliases.
+        assert_eq!(lookup(b"digest-cache-unit-test-other"), None);
+    }
+
+    #[test]
+    fn oversized_payloads_are_never_cached() {
+        let big = vec![7u8; MAX_ENTRY_BYTES + 1];
+        insert(&big, Digest::of(&big));
+        assert_eq!(lookup(&big), None);
+    }
+
+    #[test]
+    fn capacity_is_bounded_fifo() {
+        // Fill well past capacity with unique keys; the cache must stay at
+        // its bound and the oldest of *these* keys must be gone.
+        for i in 0..(CACHE_CAPACITY as u64 + 64) {
+            let key = format!("digest-cache-capacity-{i}");
+            insert(key.as_bytes(), Digest::of(key.as_bytes()));
+        }
+        let inner = cache().lock().unwrap();
+        assert!(inner.map.len() <= CACHE_CAPACITY);
+        assert_eq!(inner.map.len(), inner.order.len());
+    }
+}

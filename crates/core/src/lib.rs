@@ -71,11 +71,13 @@
 #![warn(missing_docs)]
 
 pub mod app;
+pub mod digest_cache;
 pub mod member;
 pub mod message;
 pub mod node;
 
 pub use app::{AppCtx, Application, CollectingApp, Delivered};
+pub use digest_cache::verified_digest_stats;
 pub use member::MemberState;
 pub use message::{AtumMessage, GroupEnvelope, GroupOp, GroupPayload};
 pub use node::{AtumNode, ByzantineBehavior, NodePhase, NodeStats};

@@ -18,11 +18,11 @@ use atum_overlay::{NeighborTable, WalkState};
 use atum_smr::{SmrMessage, SmrOp};
 use atum_types::wire::{self, FRAME_HEADER_LEN};
 use atum_types::{
-    BroadcastId, Composition, NodeId, NodeIdentity, VgroupId, WalkId, WireDecode, WireEncode,
-    WireError, WireReader, WireSize, WireWriter,
+    BroadcastId, Composition, FrameMemo, NodeId, NodeIdentity, VgroupId, WalkId, WireDecode,
+    WireEncode, WireError, WireReader, WireSize, WireWriter,
 };
 use serde::{Deserialize, Serialize};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Payload of a vgroup-to-vgroup group message.
 ///
@@ -394,6 +394,61 @@ impl WireDecode for GroupPayload {
     }
 }
 
+/// Memoized framed encoding of the `AtumMessage::Group` frame wrapping an
+/// envelope, so fan-out and re-gossip of one envelope encode it at most
+/// once (see [`FrameMemo`]).
+///
+/// Deliberately inert everywhere except the memo itself: equality ignores
+/// it (it is derived data), serde skips it, and **cloning an envelope drops
+/// it** — an owned clone has public fields a caller could mutate, which
+/// would make an inherited frame stale. Arc-shared fan-out copies (the hot
+/// path) never clone the envelope, so they keep the memo.
+#[derive(Default)]
+struct FrameCache(OnceLock<Arc<[u8]>>);
+
+impl FrameCache {
+    fn get(&self) -> Option<Arc<[u8]>> {
+        self.0.get().cloned()
+    }
+
+    fn set(&self, frame: &Arc<[u8]>) {
+        // First write wins; identical bytes by the FrameMemo contract.
+        let _ = self.0.set(frame.clone());
+    }
+}
+
+impl Clone for FrameCache {
+    fn clone(&self) -> Self {
+        FrameCache::default()
+    }
+}
+
+impl PartialEq for FrameCache {
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+
+impl Eq for FrameCache {}
+
+impl std::fmt::Debug for FrameCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FrameCache({})", self.0.get().map_or("empty", |_| "set"))
+    }
+}
+
+impl serde::Serialize for FrameCache {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Null
+    }
+}
+
+impl serde::Deserialize for FrameCache {
+    fn from_value(_value: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(FrameCache::default())
+    }
+}
+
 /// One logical group message, shared (behind an `Arc`) across every
 /// physical per-recipient copy.
 ///
@@ -415,6 +470,8 @@ pub struct GroupEnvelope {
     pub payload: GroupPayload,
     /// Memoized structural digest of `payload`.
     digest: Digest,
+    /// Memoized framed encoding (encode-once fan-out; never on the wire).
+    frame: FrameCache,
 }
 
 impl GroupEnvelope {
@@ -426,6 +483,7 @@ impl GroupEnvelope {
             source_composition,
             payload,
             digest,
+            frame: FrameCache::default(),
         }
     }
 
@@ -456,8 +514,29 @@ impl WireDecode for GroupEnvelope {
     fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
         let source = VgroupId::wire_decode(r)?;
         let source_composition = Composition::wire_decode(r)?;
+        // The digest is still always derived from the decoded bytes, never
+        // read off the wire — but gossip re-delivers byte-identical payloads
+        // by design, so a bounded cache keyed by the exact encoded payload
+        // bytes lets duplicates skip the SHA-256 recompute (byte equality
+        // implies payload equality implies digest equality).
+        let rest = r.rest();
         let payload = GroupPayload::wire_decode(r)?;
-        Ok(GroupEnvelope::new(source, source_composition, payload))
+        let payload_bytes = &rest[..rest.len() - r.remaining()];
+        let digest = match crate::digest_cache::lookup(payload_bytes) {
+            Some(digest) => digest,
+            None => {
+                let digest = payload.digest();
+                crate::digest_cache::insert(payload_bytes, digest);
+                digest
+            }
+        };
+        Ok(GroupEnvelope {
+            source,
+            source_composition,
+            payload,
+            digest,
+            frame: FrameCache::default(),
+        })
     }
 }
 
@@ -924,6 +1003,36 @@ impl AtumMessage {
     /// Decodes a message body, requiring every byte to be consumed.
     pub fn decode_body(bytes: &[u8]) -> Result<Self, WireError> {
         wire::decode_exact(bytes)
+    }
+}
+
+/// Encode-once fan-out: `Group` messages expose the shared envelope's
+/// pointer as their logical identity and memoize their framed encoding on
+/// the envelope, so a runtime encodes each logical group message once no
+/// matter how many recipients (and re-gossip of the same envelope reuses
+/// the bytes too). Every other variant is unicast-shaped and opts out.
+impl FrameMemo for AtumMessage {
+    fn fanout_identity(&self) -> Option<usize> {
+        match self {
+            // Fan-out copies share one Arc; its address identifies the
+            // logical message. Only valid while the copies coexist — see
+            // the trait docs for the scoping rule.
+            AtumMessage::Group(envelope) => Some(Arc::as_ptr(envelope) as usize),
+            _ => None,
+        }
+    }
+
+    fn cached_frame(&self) -> Option<Arc<[u8]>> {
+        match self {
+            AtumMessage::Group(envelope) => envelope.frame.get(),
+            _ => None,
+        }
+    }
+
+    fn memoize_frame(&self, frame: &Arc<[u8]>) {
+        if let AtumMessage::Group(envelope) = self {
+            envelope.frame.set(frame);
+        }
     }
 }
 

@@ -32,8 +32,15 @@ pub struct AggregateStats {
     pub frames_received: u64,
     /// Frames rejected by the decoder.
     pub decode_errors: u64,
+    /// Logical message encodings (encode-once fan-out keeps this far below
+    /// `frames_sent` under group traffic).
+    pub messages_encoded: u64,
+    /// Socket `write` syscalls (handshakes + coalesced batches).
+    pub writes: u64,
     /// Bytes written.
     pub bytes_sent: u64,
+    /// Bytes received in decoded message frames.
+    pub bytes_received: u64,
     /// Events processed across all event loops.
     pub events_processed: u64,
     /// Highest outbound queue depth any node reached (RSS-ish proxy).
@@ -326,7 +333,10 @@ impl<A: Application + Send + 'static> NetCluster<A> {
             agg.frames_dropped += s.frames_dropped.load(Ordering::Relaxed);
             agg.frames_received += s.frames_received.load(Ordering::Relaxed);
             agg.decode_errors += s.decode_errors.load(Ordering::Relaxed);
+            agg.messages_encoded += s.messages_encoded.load(Ordering::Relaxed);
+            agg.writes += s.writes.load(Ordering::Relaxed);
             agg.bytes_sent += s.bytes_sent.load(Ordering::Relaxed);
+            agg.bytes_received += s.bytes_received.load(Ordering::Relaxed);
             agg.events_processed += s.events_processed.load(Ordering::Relaxed);
             agg.peak_outbound_queue = agg
                 .peak_outbound_queue

@@ -14,12 +14,13 @@
 //! (trailing garbage closes the connection deliberately; see the runtime).
 
 use atum_types::wire::{
-    decode_exact, encode_to_vec, WireDecode, WireEncode, WireError, WireReader, WireWriter,
-    FRAME_HEADER_LEN, FRAME_KIND_HELLO, FRAME_KIND_MESSAGE, FRAME_MAGIC, MAX_FRAME_LEN,
+    decode_exact, encode_to_vec, FrameMemo, WireDecode, WireEncode, WireError, WireReader,
+    WireWriter, FRAME_HEADER_LEN, FRAME_KIND_HELLO, FRAME_KIND_MESSAGE, FRAME_MAGIC, MAX_FRAME_LEN,
     WIRE_VERSION,
 };
 use atum_types::NodeId;
 use std::io::{Read, Write};
+use std::sync::Arc;
 
 /// Errors crossing the framing layer: transport failures and codec
 /// violations are distinguished so the runtime can count them separately.
@@ -98,6 +99,21 @@ pub fn encode_frame<T: WireEncode + ?Sized>(kind: u8, value: &T) -> Vec<u8> {
     frame_bytes(kind, &encode_to_vec(value))
 }
 
+/// The shareable [`FRAME_KIND_MESSAGE`] frame for a message, encoding at
+/// most once per logical message: a frame memoized on the message (see
+/// [`FrameMemo`]) is returned as-is; otherwise the message is encoded,
+/// framed, offered back for memoization and returned. The boolean reports
+/// whether an encoding pass actually ran (the runtime's
+/// `messages_encoded` counter).
+pub fn message_frame_shared<M: WireEncode + FrameMemo>(msg: &M) -> (Arc<[u8]>, bool) {
+    if let Some(frame) = msg.cached_frame() {
+        return (frame, false);
+    }
+    let frame: Arc<[u8]> = frame_bytes(FRAME_KIND_MESSAGE, &encode_to_vec(msg)).into();
+    msg.memoize_frame(&frame);
+    (frame, true)
+}
+
 /// Writes one frame to a stream.
 pub fn write_frame<W: Write>(w: &mut W, kind: u8, body: &[u8]) -> Result<(), NetError> {
     w.write_all(&frame_bytes(kind, body))?;
@@ -106,6 +122,16 @@ pub fn write_frame<W: Write>(w: &mut W, kind: u8, body: &[u8]) -> Result<(), Net
 
 /// Reads one frame header + body. Returns the frame kind and body bytes.
 pub fn read_frame<R: Read>(r: &mut R) -> Result<(u8, Vec<u8>), NetError> {
+    let mut body = Vec::new();
+    let kind = read_frame_into(r, &mut body)?;
+    Ok((kind, body))
+}
+
+/// Reads one frame into a reused body buffer, returning the frame kind.
+/// `body` is cleared and resized to the frame's body length; reusing one
+/// buffer per connection makes the steady-state read path allocation-free
+/// (the buffer's capacity ratchets up to the largest frame seen).
+pub fn read_frame_into<R: Read>(r: &mut R, body: &mut Vec<u8>) -> Result<u8, NetError> {
     let mut header = [0u8; FRAME_HEADER_LEN];
     r.read_exact(&mut header)?;
     if header[0..2] != FRAME_MAGIC {
@@ -122,9 +148,12 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<(u8, Vec<u8>), NetError> {
     if len > MAX_FRAME_LEN {
         return Err(WireError::FrameTooLarge(len).into());
     }
-    let mut body = vec![0u8; len];
-    r.read_exact(&mut body)?;
-    Ok((kind, body))
+    // The cap check above bounds this resize; a hostile length prefix is
+    // rejected before the buffer grows.
+    body.clear();
+    body.resize(len, 0);
+    r.read_exact(body)?;
+    Ok(kind)
 }
 
 /// Reads one frame and decodes its body as `T`, requiring the body to be

@@ -26,13 +26,28 @@
 //!   the recorded effects.
 //! * **writers** — one per peer this node has sent to, created lazily. Each
 //!   owns a bounded frame queue (new frames are dropped, and counted, when
-//!   the peer cannot drain fast enough) and reconnects with exponential
-//!   backoff when the connection breaks.
+//!   the peer cannot drain fast enough), drains it in batches — every
+//!   available frame is coalesced into one buffered `write_all`, bounded by
+//!   [`MAX_BATCH_FRAMES`]/[`MAX_BATCH_BYTES`] — and reconnects with
+//!   exponential backoff when the connection breaks.
+//!
+//! # Allocation- and syscall-frugal message path
+//!
+//! Outbound: the event loop encodes each *logical* message once
+//! ([`FrameMemo`]) and shares the frame bytes (`Arc<[u8]>`) across every
+//! per-peer queue; group envelopes additionally memoize their frame so
+//! re-gossip does not re-encode. Writers coalesce queued frames into one
+//! syscall per batch. Inbound: readers are buffered and reuse a
+//! per-connection body buffer, so the steady-state read path performs no
+//! per-frame allocation, and duplicate group payloads skip the digest
+//! recompute via `atum_core`'s verified-digest cache. `RuntimeStats` exposes
+//! the ratios (`frames_sent / writes`, `messages_encoded`) so benches can
+//! gate on the amortisation actually happening.
 
 use crate::frame::{self, Hello, NetError};
 use atum_simnet::{Context, ContextEffects, Node, OutboundMessage, TimerRequest};
 use atum_types::wire::{self, FRAME_KIND_HELLO, FRAME_KIND_MESSAGE};
-use atum_types::{Instant, NodeId, WireDecode, WireEncode, WireSize};
+use atum_types::{FrameMemo, Instant, NodeId, WireDecode, WireEncode, WireSize};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
@@ -43,10 +58,11 @@ use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::Duration as StdDuration;
 
-/// Messages the TCP runtime can carry: encodable, decodable, sized, and
-/// movable across threads.
-pub trait NetMessage: WireEncode + WireDecode + WireSize + Send + 'static {}
-impl<T: WireEncode + WireDecode + WireSize + Send + 'static> NetMessage for T {}
+/// Messages the TCP runtime can carry: encodable, decodable, sized, movable
+/// across threads, and queryable for encode-once fan-out ([`FrameMemo`] —
+/// the default no-memo implementation is always correct).
+pub trait NetMessage: WireEncode + WireDecode + WireSize + FrameMemo + Send + 'static {}
+impl<T: WireEncode + WireDecode + WireSize + FrameMemo + Send + 'static> NetMessage for T {}
 
 /// Tuning knobs of the runtime.
 #[derive(Debug, Clone)]
@@ -93,6 +109,15 @@ pub struct RuntimeStats {
     pub frames_received: AtomicU64,
     /// Frames that failed to decode (the connection is closed deliberately).
     pub decode_errors: AtomicU64,
+    /// Logical message encodings performed. With encode-once fan-out a
+    /// message shared across many per-peer queues is encoded exactly once,
+    /// so this can sit far below `frames_sent`; the ratio is the fan-out
+    /// amortisation the bench reports.
+    pub messages_encoded: AtomicU64,
+    /// `write` syscalls issued to sockets (handshakes plus coalesced frame
+    /// batches). `frames_sent / writes` is the frames-per-write coalescing
+    /// factor.
+    pub writes: AtomicU64,
     /// Bytes written to sockets (frame headers included).
     pub bytes_sent: AtomicU64,
     /// Bytes received in decoded message frames (headers included).
@@ -241,8 +266,17 @@ enum Event<M, N> {
 
 // ------------------------------------------------------------ peer writers
 
+/// Frames per coalesced write: the upper bound on how many queued frames a
+/// writer drains into one `write_all`.
+const MAX_BATCH_FRAMES: usize = 64;
+/// Byte budget per coalesced write. A single frame larger than this still
+/// goes out (alone); the bound only stops *accumulation*.
+const MAX_BATCH_BYTES: usize = 256 * 1024;
+
 struct PeerQueueState {
-    frames: VecDeque<Vec<u8>>,
+    // Shared encode-once frames: fan-out pushes the same `Arc` into many
+    // peers' queues, so a queued frame is a pointer, not a byte copy.
+    frames: VecDeque<Arc<[u8]>>,
     closed: bool,
 }
 
@@ -266,7 +300,7 @@ impl PeerQueue {
 
     /// Enqueues a frame; returns the queue depth after the push, or `None`
     /// when the frame was rejected (queue full or closed).
-    fn push(&self, frame: Vec<u8>) -> Option<usize> {
+    fn push(&self, frame: Arc<[u8]>) -> Option<usize> {
         let mut state = self.state.lock().expect("peer queue lock");
         if state.closed || state.frames.len() >= self.capacity {
             return None;
@@ -277,15 +311,31 @@ impl PeerQueue {
         Some(depth)
     }
 
-    /// Blocks until a frame is available or the queue is closed.
-    fn pop(&self) -> Option<Vec<u8>> {
+    /// Blocks until at least one frame is available (or the queue is closed
+    /// and drained — returns `false`), then moves every immediately
+    /// available frame into `out`, up to `max_frames` frames and `max_bytes`
+    /// accumulated bytes. The first frame is always taken regardless of its
+    /// size, so an oversized frame cannot wedge the queue.
+    fn pop_batch(&self, out: &mut Vec<Arc<[u8]>>, max_frames: usize, max_bytes: usize) -> bool {
+        debug_assert!(out.is_empty());
         let mut state = self.state.lock().expect("peer queue lock");
         loop {
-            if let Some(frame) = state.frames.pop_front() {
-                return Some(frame);
+            if !state.frames.is_empty() {
+                let mut bytes = 0usize;
+                while out.len() < max_frames {
+                    let Some(front) = state.frames.front() else {
+                        break;
+                    };
+                    if !out.is_empty() && bytes + front.len() > max_bytes {
+                        break;
+                    }
+                    bytes += front.len();
+                    out.push(state.frames.pop_front().expect("peeked"));
+                }
+                return true;
             }
             if state.closed {
-                return None;
+                return false;
             }
             state = self.cv.wait(state).expect("peer queue lock");
         }
@@ -297,9 +347,10 @@ impl PeerQueue {
     }
 }
 
-/// The writer thread for one peer: drains the queue, (re)connecting with
-/// exponential backoff and performing the `Hello` handshake on each fresh
-/// connection.
+/// The writer thread for one peer: drains the queue in batches, coalescing
+/// every available frame into one buffered `write_all` (reused accumulation
+/// buffer, bounded batch size), (re)connecting with exponential backoff and
+/// performing the `Hello` handshake on each fresh connection.
 #[allow(clippy::too_many_arguments)]
 fn writer_loop(
     peer: NodeId,
@@ -319,21 +370,35 @@ fn writer_loop(
             conns.remove(slot);
         }
     };
-    while let Some(frame) = queue.pop() {
+    let mut batch: Vec<Arc<[u8]>> = Vec::with_capacity(MAX_BATCH_FRAMES);
+    let mut acc: Vec<u8> = Vec::new();
+    while queue.pop_batch(&mut batch, MAX_BATCH_FRAMES, MAX_BATCH_BYTES) {
         if shutdown.load(Ordering::Relaxed) {
             break;
         }
+        // One write per batch: a lone frame goes straight from its shared
+        // bytes; multiple frames are coalesced into the reused buffer.
+        let bytes: &[u8] = if batch.len() == 1 {
+            &batch[0]
+        } else {
+            acc.clear();
+            for frame in &batch {
+                acc.extend_from_slice(frame);
+            }
+            &acc
+        };
         let mut delivered = false;
         let mut backoff = cfg.reconnect_backoff;
         for _attempt in 0..cfg.max_connect_attempts.max(1) {
             if stream.is_none() {
                 let Some(addr) = book.lookup(peer) else {
-                    break; // No known address: drop the frame.
+                    break; // No known address: drop the batch.
                 };
                 match TcpStream::connect_timeout(&addr, cfg.connect_timeout) {
                     Ok(mut s) => {
                         let _ = s.set_nodelay(true);
                         if s.write_all(&hello_frame).is_ok() {
+                            stats.writes.fetch_add(1, Ordering::Relaxed);
                             stats
                                 .bytes_sent
                                 .fetch_add(hello_frame.len() as u64, Ordering::Relaxed);
@@ -354,25 +419,40 @@ fn writer_loop(
                 }
             }
             if let Some((s, _)) = stream.as_mut() {
-                match s.write_all(&frame) {
+                match s.write_all(bytes) {
                     Ok(()) => {
-                        stats.frames_sent.fetch_add(1, Ordering::Relaxed);
+                        stats
+                            .frames_sent
+                            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                        stats.writes.fetch_add(1, Ordering::Relaxed);
                         stats
                             .bytes_sent
-                            .fetch_add(frame.len() as u64, Ordering::Relaxed);
+                            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
                         delivered = true;
                         break;
                     }
                     Err(_) => {
-                        // Broken connection: reconnect and retry the frame.
+                        // Broken connection: reconnect and retry the batch.
+                        // This is at-least-once, exactly like the pre-batch
+                        // per-frame retry: frames fully flushed before the
+                        // break may reach the peer *and* be resent (TCP gives
+                        // no delivery feedback), while the frame that died
+                        // mid-write arrives truncated and is discarded with
+                        // the connection. Duplicates are protocol-safe —
+                        // group acceptance counts distinct senders per
+                        // digest (`GroupMessageCollector`) and SMR votes are
+                        // keyed by sender.
                         drop_conn(&mut stream);
                     }
                 }
             }
         }
         if !delivered {
-            stats.frames_dropped.fetch_add(1, Ordering::Relaxed);
+            stats
+                .frames_dropped
+                .fetch_add(batch.len() as u64, Ordering::Relaxed);
         }
+        batch.clear();
     }
     drop_conn(&mut stream);
 }
@@ -409,6 +489,11 @@ struct EventLoop<M: NetMessage, N: Node<M> + Send + 'static> {
     timer_seq: u64,
     pending_timers: HashSet<u64>,
     effects: ContextEffects<M>,
+    /// Per-effect-batch encode-once memo: fan-out identity → shared frame.
+    /// Cleared before each batch is applied, so pointer-derived identities
+    /// are only ever compared between messages that coexist in one outbox
+    /// (see [`FrameMemo::fanout_identity`]).
+    fanout_frames: HashMap<usize, Arc<[u8]>>,
     peers: HashMap<NodeId, (Arc<PeerQueue>, JoinHandle<()>)>,
     rx: Receiver<Event<M, N>>,
     self_tx: Sender<Event<M, N>>,
@@ -497,6 +582,7 @@ impl<M: NetMessage, N: Node<M> + Send + 'static> EventLoop<M, N> {
         f(&mut self.node, &mut ctx);
         let mut effects = ctx.into_effects();
 
+        self.fanout_frames.clear();
         for OutboundMessage { to, msg, .. } in effects.outbox.drain(..) {
             self.send_to_peer(to, msg);
         }
@@ -520,6 +606,29 @@ impl<M: NetMessage, N: Node<M> + Send + 'static> EventLoop<M, N> {
         self.effects = effects;
     }
 
+    /// The shared frame for one outbound copy, encoding each logical
+    /// message at most once: an identity-bearing copy (group fan-out) hits
+    /// the per-batch memo, a message carrying a memoized frame (re-gossip
+    /// of an envelope encoded in an earlier batch) skips encoding entirely,
+    /// and everything else is encoded here — exactly once, because the
+    /// result is memoized both places.
+    fn shared_frame(&mut self, msg: &M) -> Arc<[u8]> {
+        let identity = msg.fanout_identity();
+        if let Some(key) = identity {
+            if let Some(frame) = self.fanout_frames.get(&key) {
+                return frame.clone();
+            }
+        }
+        let (frame, encoded) = frame::message_frame_shared(msg);
+        if encoded {
+            self.stats.messages_encoded.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(key) = identity {
+            self.fanout_frames.insert(key, frame.clone());
+        }
+        frame
+    }
+
     fn send_to_peer(&mut self, to: NodeId, msg: M) {
         if to == self.id {
             // Self-sends are real deliveries in the simulator (group-message
@@ -529,7 +638,7 @@ impl<M: NetMessage, N: Node<M> + Send + 'static> EventLoop<M, N> {
             let _ = self.self_tx.send(Event::Inbound { from: self.id, msg });
             return;
         }
-        let frame = frame::frame_bytes(FRAME_KIND_MESSAGE, &wire::encode_to_vec(&msg));
+        let frame = self.shared_frame(&msg);
         let queue = match self.peers.get(&to) {
             Some((queue, _)) => queue.clone(),
             None => {
@@ -565,7 +674,7 @@ impl<M: NetMessage, N: Node<M> + Send + 'static> EventLoop<M, N> {
 // ------------------------------------------------------------------ reader
 
 fn reader_loop<M: NetMessage, N: Node<M> + Send + 'static>(
-    mut stream: TcpStream,
+    stream: TcpStream,
     tx: Sender<Event<M, N>>,
     book: AddressBook,
     stats: Arc<RuntimeStats>,
@@ -575,6 +684,10 @@ fn reader_loop<M: NetMessage, N: Node<M> + Send + 'static>(
         Ok(addr) => addr.ip(),
         Err(_) => return,
     };
+    // Coalesced sender batches arrive as one TCP segment train; a buffered
+    // reader turns the per-frame header+body reads into memcpys from the
+    // buffer instead of two syscalls per frame.
+    let mut stream = std::io::BufReader::with_capacity(MAX_BATCH_BYTES.min(64 * 1024), stream);
     let hello: Hello = match frame::read_decoded(&mut stream, FRAME_KIND_HELLO) {
         Ok(h) => h,
         Err(e) => {
@@ -588,9 +701,12 @@ fn reader_loop<M: NetMessage, N: Node<M> + Send + 'static>(
     // new peer's return address but never rebind a known node's (see
     // [`AddressBook::register_if_absent`]).
     book.register_if_absent(hello.node, SocketAddr::new(peer_ip, hello.listen_port));
+    // Per-connection scratch body buffer, reused across frames: the
+    // steady-state read path allocates only for the decoded message itself.
+    let mut body: Vec<u8> = Vec::new();
     loop {
-        match frame::read_frame(&mut stream) {
-            Ok((kind, body)) if kind == FRAME_KIND_MESSAGE => {
+        match frame::read_frame_into(&mut stream, &mut body) {
+            Ok(kind) if kind == FRAME_KIND_MESSAGE => {
                 match wire::decode_exact::<M>(&body) {
                     Ok(msg) => {
                         stats.frames_received.fetch_add(1, Ordering::Relaxed);
@@ -744,6 +860,7 @@ impl<M: NetMessage, N: Node<M> + Send + 'static> NetNode<M, N> {
                 timer_seq: 0,
                 pending_timers: HashSet::new(),
                 effects: ContextEffects::new(),
+                fanout_frames: HashMap::new(),
                 peers: HashMap::new(),
                 rx,
                 self_tx: tx.clone(),
@@ -930,6 +1047,238 @@ mod tests {
             node.with_node(|n| n.timers.clone()),
         );
         node.shutdown();
+    }
+
+    #[test]
+    fn pop_batch_honours_frame_and_byte_bounds() {
+        let queue = PeerQueue::new(16);
+        let frame = |len: usize| -> Arc<[u8]> { vec![0u8; len].into() };
+        for _ in 0..5 {
+            queue.push(frame(100)).expect("push");
+        }
+        let mut out = Vec::new();
+        // Frame bound: 3 of the 5 queued frames.
+        assert!(queue.pop_batch(&mut out, 3, usize::MAX));
+        assert_eq!(out.len(), 3);
+        out.clear();
+        // Remainder drains in one batch.
+        assert!(queue.pop_batch(&mut out, 64, usize::MAX));
+        assert_eq!(out.len(), 2);
+        out.clear();
+
+        // Byte bound: 100 + 100 <= 250, the third would exceed it.
+        for _ in 0..3 {
+            queue.push(frame(100)).expect("push");
+        }
+        assert!(queue.pop_batch(&mut out, 64, 250));
+        assert_eq!(out.len(), 2);
+        out.clear();
+        assert!(queue.pop_batch(&mut out, 64, 250));
+        assert_eq!(out.len(), 1);
+        out.clear();
+
+        // An oversized frame is still taken (alone), never wedged.
+        queue.push(frame(1000)).expect("push");
+        queue.push(frame(10)).expect("push");
+        assert!(queue.pop_batch(&mut out, 64, 250));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].len(), 1000);
+        out.clear();
+
+        // Closed and drained: pop_batch reports the end.
+        queue.close();
+        assert!(queue.pop_batch(&mut out, 64, 250));
+        assert_eq!(out.len(), 1);
+        out.clear();
+        assert!(!queue.pop_batch(&mut out, 64, 250));
+    }
+
+    /// A sink for `AtumMessage` traffic (the encode-once test drives real
+    /// group envelopes through the runtime).
+    #[derive(Default)]
+    struct GroupSink {
+        received: u64,
+    }
+
+    impl Node<atum_core::AtumMessage> for GroupSink {
+        fn on_message(
+            &mut self,
+            _from: NodeId,
+            _msg: atum_core::AtumMessage,
+            _ctx: &mut Context<'_, atum_core::AtumMessage>,
+        ) {
+            self.received += 1;
+        }
+        fn on_timer(&mut self, _tag: u64, _ctx: &mut Context<'_, atum_core::AtumMessage>) {}
+    }
+
+    #[test]
+    fn group_fanout_is_encoded_exactly_once() {
+        use atum_core::{AtumMessage, GroupEnvelope, GroupPayload};
+        use atum_types::{BroadcastId, Composition, VgroupId};
+
+        let book = AddressBook::new();
+        let epoch = std::time::Instant::now();
+        let cfg = RuntimeConfig::default();
+        let sender = NetNode::spawn(
+            NodeId::new(0),
+            GroupSink::default(),
+            &book,
+            epoch,
+            cfg.clone(),
+        )
+        .unwrap();
+        let receivers: Vec<_> = (1..=3u64)
+            .map(|i| {
+                NetNode::spawn(
+                    NodeId::new(i),
+                    GroupSink::default(),
+                    &book,
+                    epoch,
+                    cfg.clone(),
+                )
+                .unwrap()
+            })
+            .collect();
+
+        let envelope = Arc::new(GroupEnvelope::new(
+            VgroupId::new(1),
+            (0..4).map(NodeId::new).collect::<Composition>(),
+            GroupPayload::Gossip {
+                id: BroadcastId::new(NodeId::new(0), 7),
+                payload: vec![0x5a; 512].into(),
+                hops: 0,
+            },
+        ));
+
+        // One logical message, three recipients: one encoding.
+        let fanout = envelope.clone();
+        sender.call(move |_n, ctx| {
+            for peer in 1..=3u64 {
+                ctx.send(NodeId::new(peer), AtumMessage::Group(fanout.clone()));
+            }
+        });
+        assert!(
+            wait_until(StdDuration::from_secs(10), || {
+                receivers
+                    .iter()
+                    .all(|r| r.with_node(|n| n.received).unwrap_or(0) == 1)
+            }),
+            "fan-out did not arrive"
+        );
+        assert_eq!(sender.stats().messages_encoded.load(Ordering::Relaxed), 1);
+        assert_eq!(sender.stats().frames_sent.load(Ordering::Relaxed), 3);
+
+        // Re-gossip of the same envelope in a *later* dispatch: the frame
+        // memoized on the envelope is reused, still one encoding in total.
+        let regossip = envelope.clone();
+        sender.call(move |_n, ctx| {
+            for peer in 1..=3u64 {
+                ctx.send(NodeId::new(peer), AtumMessage::Group(regossip.clone()));
+            }
+        });
+        assert!(
+            wait_until(StdDuration::from_secs(10), || {
+                receivers
+                    .iter()
+                    .all(|r| r.with_node(|n| n.received).unwrap_or(0) == 2)
+            }),
+            "re-gossip did not arrive"
+        );
+        assert_eq!(
+            sender.stats().messages_encoded.load(Ordering::Relaxed),
+            1,
+            "re-gossip of a memoized envelope must not re-encode"
+        );
+        assert_eq!(sender.stats().frames_sent.load(Ordering::Relaxed), 6);
+
+        sender.shutdown();
+        for r in receivers {
+            r.shutdown();
+        }
+    }
+
+    #[test]
+    fn coalesced_writer_is_exactly_once_in_order_under_backpressure() {
+        // A bursty sender against a slow reader: the bounded queue drops the
+        // overflow (counted), and everything that was accepted arrives
+        // exactly once, in order, across coalesced batches. (Exactly-once
+        // holds on an unbroken connection, as here; across reconnects the
+        // writer is deliberately at-least-once — see `writer_loop`.)
+        let book = AddressBook::new();
+        let epoch = std::time::Instant::now();
+        let cfg = RuntimeConfig {
+            queue_capacity: 8,
+            ..RuntimeConfig::default()
+        };
+        let node: NetNode<Vec<u8>, Recorder2> =
+            NetNode::spawn(NodeId::new(0), Recorder2, &book, epoch, cfg).unwrap();
+
+        // The "peer" is this test: a raw listener that reads the hello, then
+        // stalls long enough for the burst to overrun the queue.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        book.register(NodeId::new(9), listener.local_addr().unwrap());
+
+        const BURST: usize = 40;
+        const FRAME_PAYLOAD: usize = 512 * 1024; // >> loopback socket buffers
+        node.call(|_n, ctx| {
+            for seq in 0..BURST as u64 {
+                let mut payload = vec![0u8; FRAME_PAYLOAD];
+                payload[..8].copy_from_slice(&seq.to_le_bytes());
+                ctx.send(NodeId::new(9), payload);
+            }
+        });
+
+        let (mut stream, _) = listener.accept().unwrap();
+        let _hello: Hello = frame::read_decoded(&mut stream, FRAME_KIND_HELLO).unwrap();
+        // Stall: the writer fills the socket buffer and blocks; the event
+        // loop keeps pushing until the queue bound drops the rest.
+        std::thread::sleep(StdDuration::from_millis(600));
+        stream
+            .set_read_timeout(Some(StdDuration::from_secs(2)))
+            .unwrap();
+        let mut seqs = Vec::new();
+        let mut body = Vec::new();
+        // Read until a timeout signals the writer has nothing left.
+        while let Ok(kind) = frame::read_frame_into(&mut stream, &mut body) {
+            assert_eq!(kind, FRAME_KIND_MESSAGE);
+            let payload: Vec<u8> = wire::decode_exact(&body).unwrap();
+            assert_eq!(payload.len(), FRAME_PAYLOAD);
+            seqs.push(u64::from_le_bytes(payload[..8].try_into().unwrap()));
+        }
+
+        let delivered = seqs.len() as u64;
+        let dropped = node.stats().frames_dropped.load(Ordering::Relaxed);
+        // Exactly once, in order: the sequence numbers are strictly
+        // increasing (drops may skip, but nothing reorders or duplicates).
+        assert!(
+            seqs.windows(2).all(|w| w[0] < w[1]),
+            "out of order or duplicated: {seqs:?}"
+        );
+        // The queue bound was actually exercised, and accounting adds up.
+        assert!(dropped > 0, "burst never overran the queue bound");
+        assert_eq!(
+            delivered + dropped,
+            BURST as u64,
+            "every frame is either delivered once or counted dropped"
+        );
+        assert_eq!(
+            node.stats().frames_sent.load(Ordering::Relaxed),
+            delivered,
+            "frames_sent matches what actually crossed the socket"
+        );
+        // Read side of the accounting: what the peer drained in batches is
+        // what the writer coalesced.
+        assert!(node.stats().writes.load(Ordering::Relaxed) >= 1);
+        node.shutdown();
+    }
+
+    /// Trivial `Vec<u8>` node for writer-side tests.
+    struct Recorder2;
+
+    impl Node<Vec<u8>> for Recorder2 {
+        fn on_message(&mut self, _from: NodeId, _msg: Vec<u8>, _ctx: &mut Context<'_, Vec<u8>>) {}
+        fn on_timer(&mut self, _tag: u64, _ctx: &mut Context<'_, Vec<u8>>) {}
     }
 
     #[test]

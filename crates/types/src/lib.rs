@@ -50,4 +50,4 @@ pub use error::{AtumError, Result};
 pub use guideline::{recommended_params, GuidelineEntry};
 pub use id::{BroadcastId, NetAddr, NodeId, NodeIdentity, TopicId, VgroupId, WalkId};
 pub use time::{Duration, Instant};
-pub use wire::{WireDecode, WireEncode, WireError, WireReader, WireSize, WireWriter};
+pub use wire::{FrameMemo, WireDecode, WireEncode, WireError, WireReader, WireSize, WireWriter};

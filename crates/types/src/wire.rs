@@ -265,6 +265,14 @@ impl<'a> WireReader<'a> {
         Ok(out)
     }
 
+    /// The not-yet-consumed tail of the input. Decoders that need the raw
+    /// bytes a sub-value occupied (e.g. to key a verified-digest cache) take
+    /// this before the sub-decode and slice it by how much `remaining()`
+    /// shrank.
+    pub fn rest(&self) -> &'a [u8] {
+        &self.bytes[self.pos..]
+    }
+
     /// Succeeds only when every input byte was consumed. Top-level decoders
     /// call this so trailing garbage is an error, not silently ignored.
     pub fn finish(self) -> Result<(), WireError> {
@@ -288,6 +296,41 @@ pub trait WireDecode: Sized {
     /// Decodes one value, advancing the reader past it.
     fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, WireError>;
 }
+
+/// Hooks for **encode-once fan-out**: a runtime that frames messages onto
+/// sockets asks the message for a logical identity and a memoized frame, so
+/// one logical message fanned out to many recipients is encoded exactly
+/// once and the frame bytes are shared (`Arc<[u8]>`) across every per-peer
+/// queue.
+///
+/// The default implementations opt out of both (every copy is encoded
+/// independently), which is always correct; messages backed by shared
+/// allocations (e.g. `Arc`-wrapped envelopes) override them.
+pub trait FrameMemo {
+    /// Identity of the logical message this value is a fan-out copy of, or
+    /// `None` when copies carry no shared identity. Pointer-derived
+    /// identities are only stable while the message is alive, so callers
+    /// must scope any identity-keyed memo to a window in which all compared
+    /// messages coexist (e.g. one effect batch).
+    fn fanout_identity(&self) -> Option<usize> {
+        None
+    }
+
+    /// A previously memoized framed encoding of this message, if any. The
+    /// bytes must be exactly what the runtime's framing produced for this
+    /// message — byte-identical to a fresh encoding.
+    fn cached_frame(&self) -> Option<Arc<[u8]>> {
+        None
+    }
+
+    /// Offers the framed encoding for memoization. Callers must pass the
+    /// complete frame exactly as produced for this message; implementations
+    /// may ignore it (the default) or store it for [`FrameMemo::cached_frame`].
+    fn memoize_frame(&self, _frame: &Arc<[u8]>) {}
+}
+
+impl FrameMemo for u64 {}
+impl FrameMemo for Vec<u8> {}
 
 /// Exact encoded size of a value: one counting traversal, no allocation.
 pub fn wire_len<T: WireEncode + ?Sized>(value: &T) -> usize {

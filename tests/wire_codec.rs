@@ -356,6 +356,113 @@ fn wire_size_is_the_exact_frame_size() {
 }
 
 #[test]
+fn encoded_frame_cache_is_byte_identical_for_every_variant() {
+    use atum::net::frame::{frame_bytes, message_frame_shared};
+    use atum::types::wire::FRAME_KIND_MESSAGE;
+    use atum::types::FrameMemo;
+
+    for msg in &all_message_variants() {
+        let fresh = frame_bytes(FRAME_KIND_MESSAGE, &msg.encode_body());
+        let (frame, encoded) = message_frame_shared(msg);
+        assert!(encoded, "first framing must encode");
+        assert_eq!(&frame[..], &fresh[..], "cached frame diverged for {msg:?}");
+        // `wire_size` is the exact frame size, so it must also be the exact
+        // length of the shareable frame.
+        if !matches!(
+            msg,
+            AtumMessage::App {
+                advertised_size: 1..,
+                ..
+            }
+        ) {
+            assert_eq!(msg.wire_size(), frame.len());
+        }
+        let (again, encoded_again) = message_frame_shared(msg);
+        assert_eq!(&again[..], &fresh[..]);
+        match msg {
+            AtumMessage::Group(_) => {
+                // Group frames are memoized on the shared envelope: the
+                // second framing reuses the same allocation.
+                assert!(!encoded_again, "group re-framing must hit the memo");
+                assert!(Arc::ptr_eq(&frame, &again));
+                assert!(msg.cached_frame().is_some());
+                assert!(msg.fanout_identity().is_some());
+            }
+            _ => {
+                // Unicast-shaped messages opt out of the memo.
+                assert!(encoded_again);
+                assert!(msg.cached_frame().is_none());
+                assert!(msg.fanout_identity().is_none());
+            }
+        }
+    }
+}
+
+#[test]
+fn cloned_envelopes_do_not_inherit_the_frame_memo() {
+    use atum::net::frame::message_frame_shared;
+    use atum::types::FrameMemo;
+
+    let envelope = Arc::new(GroupEnvelope::new(
+        VgroupId::new(5),
+        comp(&[1, 2, 3]),
+        GroupPayload::Gossip {
+            id: BroadcastId::new(NodeId::new(4), 4),
+            payload: b"memo".to_vec().into(),
+            hops: 0,
+        },
+    ));
+    let msg = AtumMessage::Group(envelope.clone());
+    let (_, encoded) = message_frame_shared(&msg);
+    assert!(encoded);
+    assert!(msg.cached_frame().is_some());
+    // An owned clone has mutable public fields, so it must start with an
+    // empty memo (a stale frame would otherwise survive a field edit).
+    let cloned = AtumMessage::Group(Arc::new((*envelope).clone()));
+    assert!(cloned.cached_frame().is_none());
+    let (_, encoded_clone) = message_frame_shared(&cloned);
+    assert!(encoded_clone);
+}
+
+#[test]
+fn duplicate_group_decodes_hit_the_verified_digest_cache() {
+    // Gossip re-delivers byte-identical envelopes by design; the receive
+    // path must verify the digest once and serve duplicates from the
+    // bounded cache. The digest itself must stay exactly the
+    // recompute-from-payload value.
+    let envelope = GroupEnvelope::new(
+        VgroupId::new(11),
+        comp(&[1, 2, 3]),
+        GroupPayload::Gossip {
+            id: BroadcastId::new(NodeId::new(2), 0xD16E57),
+            payload: b"digest-cache-duplicate-arrival-test".to_vec().into(),
+            hops: 1,
+        },
+    );
+    let bytes = AtumMessage::Group(Arc::new(envelope.clone())).encode_body();
+
+    let decode = |bytes: &[u8]| -> GroupEnvelope {
+        let AtumMessage::Group(back) = AtumMessage::decode_body(bytes).unwrap() else {
+            panic!("variant changed");
+        };
+        (*back).clone()
+    };
+    // First arrival verifies (computes) the digest and seeds the cache.
+    let first = decode(&bytes);
+    assert_eq!(first.digest(), envelope.digest());
+    let (hits_before, _) = atum::core::verified_digest_stats();
+    // Duplicate arrivals are served from the cache — and still carry the
+    // exact recomputed digest.
+    let second = decode(&bytes);
+    assert_eq!(second.digest(), envelope.digest());
+    let (hits_after, _) = atum::core::verified_digest_stats();
+    assert!(
+        hits_after > hits_before,
+        "duplicate decode did not hit the verified-digest cache"
+    );
+}
+
+#[test]
 fn truncated_encodings_fail_cleanly_at_every_cut() {
     for msg in &all_message_variants() {
         let bytes = msg.encode_body();
