@@ -34,6 +34,7 @@ impl AsubEvent {
 
 /// A participant in one ASub topic: an Atum node whose pub/sub operations
 /// map directly onto the Atum API.
+#[derive(Debug)]
 pub struct AsubNode {
     topic: TopicId,
     node: AtumNode<CollectingApp>,

@@ -24,6 +24,7 @@
 //! invisible to simulated trajectories (`fabric_equivalence` goldens).
 
 use atum_crypto::Digest;
+// determinism-lint: allow (keyed lookups only; iteration order never observed)
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -35,6 +36,7 @@ const MAX_ENTRY_BYTES: usize = 16 * 1024;
 
 #[derive(Default)]
 struct Inner {
+    // determinism-lint: allow (keyed lookups only; iteration order never observed)
     map: HashMap<Arc<[u8]>, Digest>,
     // Insertion order for FIFO eviction; shares the key allocation with the
     // map.

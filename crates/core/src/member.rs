@@ -19,7 +19,7 @@ use atum_types::{
 };
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 pub(crate) mod debug {
@@ -101,6 +101,12 @@ pub struct MemberStats {
 }
 
 /// The vgroup-membership state of one node.
+///
+/// All associative containers are ordered (`BTreeMap`/`BTreeSet`, enforced
+/// by the determinism lint): iteration order leaks into protocol behaviour
+/// and into the model checker's state fingerprints, so it must not depend
+/// on process-local hash seeds.
+#[derive(Clone)]
 pub struct MemberState {
     me: NodeIdentity,
     params: Params,
@@ -114,7 +120,7 @@ pub struct MemberState {
     /// Configuration epoch (bumped on every composition change).
     pub epoch: u64,
     engine: Option<Engine<GroupOp>>,
-    applied_ops: HashSet<Digest>,
+    applied_ops: BTreeSet<Digest>,
     /// Operations this member proposed but has not yet seen applied, keyed
     /// by their memoized digest so the dedup scan compares cached 32-byte
     /// values instead of re-hashing every pending op.
@@ -123,23 +129,23 @@ pub struct MemberState {
     seen_broadcasts: SeenCache,
     next_broadcast_seq: u64,
     /// Shuffle walks this vgroup started: walk → the member to exchange.
-    outstanding_exchanges: HashMap<WalkId, NodeId>,
+    outstanding_exchanges: BTreeMap<WalkId, NodeId>,
     /// Members this vgroup reserved as exchange partners: walk → member.
-    reserved: HashMap<WalkId, NodeId>,
+    reserved: BTreeMap<WalkId, NodeId>,
     /// Accusations collected towards evictions: target → accusers.
-    evict_accusations: HashMap<NodeId, HashSet<NodeId>>,
-    last_heard: HashMap<NodeId, Instant>,
+    evict_accusations: BTreeMap<NodeId, BTreeSet<NodeId>>,
+    last_heard: BTreeMap<NodeId, Instant>,
     /// Peers we have actually received a message from since they (or we)
     /// entered this composition. A composition entry that never activates is
     /// a stranded admission ("ghost") and is evicted on a much shorter fuse
     /// than a member that was alive and went silent.
-    activated: HashSet<NodeId>,
+    activated: BTreeSet<NodeId>,
     last_heartbeat_sent: Instant,
     /// Per-peer record of the configuration epoch we last offered a
     /// catch-up [`AtumMessage::Welcome`] for, so a lagging member's
     /// retransmissions do not get answered with a full state transfer each
     /// time (once per epoch per peer is exactly what its quorum needs).
-    caught_up: HashMap<NodeId, u64>,
+    caught_up: BTreeMap<NodeId, u64>,
     /// When this member last launched shuffle walks (see
     /// [`Self::start_shuffle`] for why this damping is local-time based).
     last_shuffle: Option<Instant>,
@@ -154,7 +160,7 @@ pub struct MemberState {
     /// In-flight walks are re-routed around links that still point at them;
     /// a walk forwarded to a departed vgroup would die there (no member left
     /// to relay it) and take a join or shuffle down with it.
-    departed_groups: HashSet<VgroupId>,
+    departed_groups: BTreeSet<VgroupId>,
     /// Vgroups whose accepted group messages this member recently received,
     /// with the composition their envelopes claimed and when. This is the
     /// *reverse* edge of the overlay as observed from traffic: splits and
@@ -168,12 +174,94 @@ pub struct MemberState {
     /// When this member last ran the periodic composition anti-entropy (see
     /// [`Self::heartbeat_duties`]).
     last_announce: Instant,
+    /// Link-repair bookkeeping: consecutive unanswered bidirectionality
+    /// probes per `(cycle, toward_successor)` direction. A probe rides the
+    /// announce cadence; a [`GroupPayload::LinkConfirm`] (or any rewrite of
+    /// that direction's table entry) resets the counter. Several consecutive
+    /// unanswered probes mean the far side no longer links back — the
+    /// symptom of split/merge surgery racing churn — and trigger an orphan
+    /// re-insertion walk. Empty when `params.link_repair` is off.
+    link_probes: BTreeMap<(u8, bool), u32>,
     merging: bool,
     /// Statistics for the experiments.
     pub stats: MemberStats,
 }
 
+impl std::fmt::Debug for MemberState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Skips the key registry: shared immutable infrastructure, not
+        // per-member protocol state.
+        f.debug_struct("MemberState")
+            .field("me", &self.me.id)
+            .field("vgroup", &self.vgroup)
+            .field("composition", &self.composition)
+            .field("neighbors", &self.neighbors)
+            .field("epoch", &self.epoch)
+            .field("engine", &self.engine)
+            .field("applied_ops", &self.applied_ops)
+            .field("my_pending", &self.my_pending)
+            .field("collector", &self.collector)
+            .field("outstanding_exchanges", &self.outstanding_exchanges)
+            .field("reserved", &self.reserved)
+            .field("evict_accusations", &self.evict_accusations)
+            .field("last_heard", &self.last_heard)
+            .field("activated", &self.activated)
+            .field("caught_up", &self.caught_up)
+            .field("departed_groups", &self.departed_groups)
+            .field("correspondents", &self.correspondents)
+            .field("link_probes", &self.link_probes)
+            .field("merging", &self.merging)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
 impl MemberState {
+    /// Canonical rendering of the protocol-relevant member state, used by
+    /// the model checker to fingerprint global states for visited-set
+    /// dedup. Every container rendered here is ordered (`BTreeMap`,
+    /// `BTreeSet`, `Composition`), so equal protocol states produce equal
+    /// strings regardless of the history that led to them. Excludes the key
+    /// registry (shared infrastructure) and the experiment statistics
+    /// (passive observers that would needlessly split equivalent states).
+    pub fn canonical_state(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::with_capacity(512);
+        let _ = write!(
+            s,
+            "{:?}|{:?}|{:?}|{:?}|{}|{:?}|{:?}|{:?}|{:?}",
+            self.me.id,
+            self.vgroup,
+            self.composition,
+            self.neighbors,
+            self.epoch,
+            self.engine,
+            self.applied_ops,
+            self.my_pending,
+            self.collector,
+        );
+        let _ = write!(
+            s,
+            "|{}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{}",
+            self.next_broadcast_seq,
+            self.seen_broadcasts,
+            self.outstanding_exchanges,
+            self.reserved,
+            self.evict_accusations,
+            self.last_heard,
+            self.activated,
+            self.caught_up,
+            self.last_shuffle,
+            self.halted_since,
+            self.departed_groups,
+            self.correspondents,
+            self.link_probes,
+            (self.last_heartbeat_sent, self.last_announce),
+            self.merging,
+        );
+        s
+    }
+
     /// Creates the member state of a node that bootstraps a fresh system: a
     /// single vgroup containing only this node, neighbouring itself on every
     /// cycle.
@@ -222,7 +310,7 @@ impl MemberState {
         // only relative to the moment we learned this composition, otherwise
         // a freshly welcomed member instantly accuses everyone it has not
         // heard from yet.
-        let last_heard: HashMap<NodeId, Instant> = composition
+        let last_heard: BTreeMap<NodeId, Instant> = composition
             .iter()
             .filter(|&p| p != me.id)
             .map(|p| (p, now))
@@ -236,24 +324,25 @@ impl MemberState {
             neighbors,
             epoch,
             engine,
-            applied_ops: HashSet::new(),
+            applied_ops: BTreeSet::new(),
             my_pending: Vec::new(),
             collector: GroupMessageCollector::new(4096),
             seen_broadcasts: SeenCache::new(65536),
             next_broadcast_seq: 0,
-            outstanding_exchanges: HashMap::new(),
-            reserved: HashMap::new(),
-            evict_accusations: HashMap::new(),
+            outstanding_exchanges: BTreeMap::new(),
+            reserved: BTreeMap::new(),
+            evict_accusations: BTreeMap::new(),
             last_heard,
-            activated: HashSet::new(),
+            activated: BTreeSet::new(),
             last_heartbeat_sent: now,
-            caught_up: HashMap::new(),
+            caught_up: BTreeMap::new(),
             last_shuffle: None,
             halted_since: None,
             last_state_request: None,
-            departed_groups: HashSet::new(),
+            departed_groups: BTreeSet::new(),
             correspondents: BTreeMap::new(),
             last_announce: now,
+            link_probes: BTreeMap::new(),
             merging: false,
             stats: MemberStats::default(),
         }
@@ -613,7 +702,7 @@ impl MemberState {
                 // Pick a member that is not already reserved and is not us if
                 // avoidable; refuse when nothing is available (suppressed
                 // exchange).
-                let reserved: HashSet<NodeId> = self.reserved.values().copied().collect();
+                let reserved: BTreeSet<NodeId> = self.reserved.values().copied().collect();
                 let candidate = self
                     .composition
                     .iter()
@@ -738,6 +827,12 @@ impl MemberState {
                 new_group,
                 composition,
             } => {
+                if new_group == self.vgroup {
+                    // An orphan re-insertion walk (link repair) landed back
+                    // at the orphan itself: inserting a vgroup as its own
+                    // successor would sever it from the cycle for good.
+                    return;
+                }
                 let cycle_idx = cycle as usize;
                 let Some(current) = self.neighbors.cycle(cycle_idx).cloned() else {
                     return;
@@ -1029,6 +1124,8 @@ impl MemberState {
                     entry.successor_composition = composition;
                 }
                 self.neighbors.set_cycle(cycle_idx, entry);
+                // The rewritten direction gets a fresh probing clock.
+                self.link_probes.remove(&(cycle, !sender_is_predecessor));
             }
             GroupPayload::MergeRequest { from, members } => {
                 self.propose(GroupOp::AcceptMerge { from, members }, now, effects);
@@ -1053,9 +1150,118 @@ impl MemberState {
                         entry.predecessor_composition = composition;
                     }
                     self.neighbors.set_cycle(cycle_idx, entry);
+                    // The rewritten direction gets a fresh probing clock.
+                    self.link_probes.remove(&(cycle, new_is_successor));
                 }
             }
+            GroupPayload::LinkProbe {
+                cycle,
+                sender_is_predecessor,
+                far_neighbor,
+                nonce,
+            } => {
+                self.on_link_probe(
+                    source,
+                    source_comp,
+                    cycle,
+                    sender_is_predecessor,
+                    far_neighbor,
+                    nonce,
+                    effects,
+                );
+            }
+            GroupPayload::LinkConfirm {
+                cycle,
+                sender_is_predecessor,
+                nonce: _,
+            } => {
+                // Echo of our own probe: the direction we probed is the one
+                // the claim was made for (we claimed to be the far side's
+                // predecessor exactly when probing towards our successor).
+                self.link_probes.remove(&(cycle, sender_is_predecessor));
+            }
         }
+    }
+
+    /// Answers a link bidirectionality probe (link repair, see
+    /// [`Self::heartbeat_duties`]). The prober claims an overlay relation
+    /// (`sender_is_predecessor`: it believes we are its cycle successor) and
+    /// carries its own far-side neighbour as evidence. Three cases:
+    ///
+    /// 1. our table agrees → confirm;
+    /// 2. our stale entry still names the prober's far neighbour (the
+    ///    classic dropped-`CyclePatch` one-directional link left by split
+    ///    insertion racing churn) → adopt the prober and confirm;
+    /// 3. genuine disagreement → answer with a `CyclePatch` pointing the
+    ///    prober at the vgroup our table holds, so repeated probe rounds
+    ///    converge pairwise along the chain instead of thrashing.
+    #[allow(clippy::too_many_arguments)]
+    fn on_link_probe(
+        &mut self,
+        source: VgroupId,
+        source_comp: &Composition,
+        cycle: u8,
+        sender_is_predecessor: bool,
+        far_neighbor: VgroupId,
+        nonce: u64,
+        effects: &mut Vec<Effect>,
+    ) {
+        let cycle_idx = cycle as usize;
+        let Some(mut entry) = self.neighbors.cycle(cycle_idx).cloned() else {
+            return;
+        };
+        let ours = if sender_is_predecessor {
+            entry.predecessor
+        } else {
+            entry.successor
+        };
+        let confirm = GroupPayload::LinkConfirm {
+            cycle,
+            sender_is_predecessor,
+            nonce,
+        };
+        if ours == source {
+            self.send_group_message(source_comp, confirm, effects);
+            return;
+        }
+        if ours == far_neighbor || ours == self.vgroup {
+            // Stale or self-looped entry superseded by the prober's view:
+            // either we still point at the vgroup the prober knows as its
+            // *other* neighbour (we missed the patch that should have
+            // re-pointed us at the prober), or we point at ourselves (our
+            // entry was never initialised for this link). Adopt the prober.
+            if sender_is_predecessor {
+                entry.predecessor = source;
+                entry.predecessor_composition = source_comp.clone();
+            } else {
+                entry.successor = source;
+                entry.successor_composition = source_comp.clone();
+            }
+            self.neighbors.set_cycle(cycle_idx, entry);
+            self.link_probes.remove(&(cycle, !sender_is_predecessor));
+            self.send_group_message(source_comp, confirm, effects);
+            return;
+        }
+        // Disagreement: our table holds someone else between us. Point the
+        // prober at them; its next probe goes to that vgroup and the chain
+        // re-links one pair at a time.
+        let (group, composition) = if sender_is_predecessor {
+            (entry.predecessor, entry.predecessor_composition.clone())
+        } else {
+            (entry.successor, entry.successor_composition.clone())
+        };
+        self.send_group_message(
+            source_comp,
+            GroupPayload::CyclePatch {
+                cycle,
+                // The prober probed towards its successor iff it claimed to
+                // be our predecessor; that is the direction it must re-point.
+                new_is_successor: sender_is_predecessor,
+                group,
+                composition,
+            },
+            effects,
+        );
     }
 
     // -------------------------------------------------------------- walks
@@ -1249,7 +1455,7 @@ impl MemberState {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let plan: Vec<ForwardTarget> =
             GossipPlanner::plan(self.params.gossip, self.params.hc, &mut rng);
-        let mut already: HashSet<VgroupId> = HashSet::new();
+        let mut already: BTreeSet<VgroupId> = BTreeSet::new();
         for target in plan {
             let Some(entry) = self.neighbors.cycle(target.cycle as usize) else {
                 continue;
@@ -1584,12 +1790,12 @@ impl MemberState {
     /// composition is permanently silent (stranded admissions, half-failed
     /// exchanges), waiting for a majority of *all* entries would deadlock
     /// the recovery that would evict them.
-    pub fn presumed_live(&self, now: Instant) -> HashSet<NodeId> {
+    pub fn presumed_live(&self, now: Instant) -> BTreeSet<NodeId> {
         let window = self
             .params
             .heartbeat_period
             .saturating_mul(self.params.eviction_threshold as u64);
-        let mut live: HashSet<NodeId> = self
+        let mut live: BTreeSet<NodeId> = self
             .composition
             .iter()
             .filter(|&p| {
@@ -1678,6 +1884,9 @@ impl MemberState {
             self.correspondents
                 .retain(|_, (_, heard)| now.saturating_since(*heard) <= stale_after);
             self.announce_composition(effects);
+            if self.params.link_repair {
+                self.probe_links(now, effects);
+            }
         }
         if now.saturating_since(self.last_heartbeat_sent) >= period {
             self.last_heartbeat_sent = now;
@@ -1727,6 +1936,114 @@ impl MemberState {
                 };
                 self.propose(op, now, effects);
             }
+        }
+    }
+
+    /// Consecutive unanswered probes per direction before a link is declared
+    /// dead and an orphan re-insertion walk is launched.
+    const LINK_PROBE_PATIENCE: u32 = 3;
+
+    /// Link repair, part 1 (probing): at the announce cadence, ask every
+    /// cycle neighbour whether it links back to us. Overlay surgery (split
+    /// insertion, merge cycle-patching) racing admission churn can leave a
+    /// link one-directional — our table names a successor whose own table
+    /// still names our *old* neighbour as predecessor (its `CyclePatch`
+    /// majority never assembled). A probe carries our far-side neighbour as
+    /// evidence so the receiver can tell "stale entry, adopt the prober"
+    /// from "genuine disagreement, re-point the prober" (see
+    /// [`Self::on_link_probe`]). A direction that stays unanswered for
+    /// [`Self::LINK_PROBE_PATIENCE`] rounds means nobody on the far side
+    /// links back at all: this vgroup has been orphaned from the cycle, and
+    /// re-inserts itself with a split-anchor walk (part 2).
+    ///
+    /// Every member probes independently on its own clock; the receiver's
+    /// majority collector aggregates the per-member copies exactly as it
+    /// does for composition announcements. The nonce (announce-period
+    /// bucket) keeps successive rounds distinct, so a round is not
+    /// swallowed by the receiver's accepted-duplicate cache.
+    fn probe_links(&mut self, now: Instant, effects: &mut Vec<Effect>) {
+        let announce = self.params.heartbeat_period.saturating_mul(2);
+        let nonce = now.as_micros() / announce.as_micros().max(1);
+        let mut orphaned: Vec<u8> = Vec::new();
+        for cycle_idx in 0..self.neighbors.cycle_count() {
+            let Some(entry) = self.neighbors.cycle(cycle_idx).cloned() else {
+                continue;
+            };
+            let cycle = cycle_idx as u8;
+            let directions = [
+                (
+                    true,
+                    entry.successor,
+                    entry.successor_composition.clone(),
+                    entry.predecessor,
+                ),
+                (
+                    false,
+                    entry.predecessor,
+                    entry.predecessor_composition.clone(),
+                    entry.successor,
+                ),
+            ];
+            for (toward_successor, target, comp, far) in directions {
+                if target == self.vgroup || self.departed_groups.contains(&target) {
+                    // Self-loops (bootstrap) and links already known dead
+                    // are not probed; the latter are re-routed by walks.
+                    self.link_probes.remove(&(cycle, toward_successor));
+                    continue;
+                }
+                let unanswered = self
+                    .link_probes
+                    .entry((cycle, toward_successor))
+                    .or_insert(0);
+                if *unanswered >= Self::LINK_PROBE_PATIENCE {
+                    *unanswered = 0;
+                    orphaned.push(cycle);
+                    continue;
+                }
+                *unanswered += 1;
+                // Address the probe through the freshest composition we hold
+                // for the target (CompositionUpdates may be newer than the
+                // cycle entry), like walk routing does.
+                let comp = self
+                    .neighbors
+                    .composition_of(target)
+                    .cloned()
+                    .unwrap_or(comp);
+                self.send_group_message(
+                    &comp,
+                    GroupPayload::LinkProbe {
+                        cycle,
+                        sender_is_predecessor: toward_successor,
+                        far_neighbor: far,
+                        nonce,
+                    },
+                    effects,
+                );
+            }
+        }
+        // Link repair, part 2 (orphan re-insertion): nobody on the far side
+        // of `cycle` acknowledges us — walk to a random live vgroup and have
+        // it splice us in as its successor, re-using the split-anchor
+        // machinery (`InsertOverlayNeighbor` refuses self-insertion, so a
+        // walk that dies back at this vgroup is a no-op, not a self-loop).
+        for cycle in orphaned {
+            let walk_seed = Digest::of_parts(&[
+                b"link-repair",
+                &self.vgroup.raw().to_be_bytes(),
+                &self.epoch.to_be_bytes(),
+                &nonce.to_be_bytes(),
+                &[cycle],
+            ]);
+            self.start_walk(
+                WalkPurpose::SplitAnchor {
+                    cycle,
+                    new_group: self.vgroup,
+                    composition: self.composition.clone(),
+                },
+                walk_seed,
+                now,
+                effects,
+            );
         }
     }
 }
@@ -2061,13 +2378,13 @@ mod tests {
         // All members agree on the partition: exactly two distinct vgroups,
         // each member's stored composition contains itself, and the two
         // halves are disjoint and cover everyone.
-        let distinct: HashSet<VgroupId> = groups.iter().map(|(g, _)| *g).collect();
+        let distinct: BTreeSet<VgroupId> = groups.iter().map(|(g, _)| *g).collect();
         assert_eq!(distinct.len(), 2);
         for (i, (_, comp)) in groups.iter().enumerate() {
             assert!(comp.contains(NodeId::new(i as u64)));
             assert!(comp.len() >= 4);
         }
-        let union: HashSet<NodeId> = groups
+        let union: BTreeSet<NodeId> = groups
             .iter()
             .flat_map(|(_, c)| c.iter().collect::<Vec<_>>())
             .collect();

@@ -131,6 +131,36 @@ pub enum GroupPayload {
         /// Its composition.
         composition: Composition,
     },
+    /// Link repair: a vgroup asks a neighbour to confirm the link between
+    /// them is recorded on *both* sides. Overlay surgery (splits and merges
+    /// racing admission churn) can leave one-directional links when a
+    /// `CyclePatch` majority is lost; the periodic probe detects the
+    /// asymmetry so it can be healed.
+    LinkProbe {
+        /// Cycle index being probed.
+        cycle: u8,
+        /// `true` when the probing vgroup believes it is the receiver's
+        /// *predecessor* on the cycle (it probed towards its successor).
+        sender_is_predecessor: bool,
+        /// The prober's neighbour on the *opposite* side of the probed
+        /// direction; a receiver whose table still names this vgroup holds
+        /// a stale pre-surgery entry and adopts the prober.
+        far_neighbor: VgroupId,
+        /// Probe round (announce-period bucket): keeps successive probe
+        /// rounds distinct under the receiver's duplicate suppression while
+        /// copies from one round still aggregate to a majority.
+        nonce: u64,
+    },
+    /// Link repair: positive answer to a [`GroupPayload::LinkProbe`] whose
+    /// claim matched the receiver's neighbour table.
+    LinkConfirm {
+        /// Cycle index that was probed.
+        cycle: u8,
+        /// Echo of the probe's `sender_is_predecessor` claim.
+        sender_is_predecessor: bool,
+        /// Echo of the probe's round.
+        nonce: u64,
+    },
 }
 
 impl Digestible for GroupPayload {
@@ -222,6 +252,28 @@ impl Digestible for GroupPayload {
                 w.write_bool(*new_is_successor);
                 group.digest_fields(w);
                 composition.digest_fields(w);
+            }
+            GroupPayload::LinkProbe {
+                cycle,
+                sender_is_predecessor,
+                far_neighbor,
+                nonce,
+            } => {
+                w.write_tag(11);
+                w.write_u8(*cycle);
+                w.write_bool(*sender_is_predecessor);
+                far_neighbor.digest_fields(w);
+                w.write_u64(*nonce);
+            }
+            GroupPayload::LinkConfirm {
+                cycle,
+                sender_is_predecessor,
+                nonce,
+            } => {
+                w.write_tag(12);
+                w.write_u8(*cycle);
+                w.write_bool(*sender_is_predecessor);
+                w.write_u64(*nonce);
             }
         }
     }
@@ -333,6 +385,28 @@ impl WireEncode for GroupPayload {
                 group.wire_encode(w);
                 composition.wire_encode(w);
             }
+            GroupPayload::LinkProbe {
+                cycle,
+                sender_is_predecessor,
+                far_neighbor,
+                nonce,
+            } => {
+                w.put_u8(11);
+                w.put_u8(*cycle);
+                w.put_bool(*sender_is_predecessor);
+                far_neighbor.wire_encode(w);
+                w.put_u64(*nonce);
+            }
+            GroupPayload::LinkConfirm {
+                cycle,
+                sender_is_predecessor,
+                nonce,
+            } => {
+                w.put_u8(12);
+                w.put_u8(*cycle);
+                w.put_bool(*sender_is_predecessor);
+                w.put_u64(*nonce);
+            }
         }
     }
 }
@@ -388,6 +462,17 @@ impl WireDecode for GroupPayload {
                 new_is_successor: r.take_bool()?,
                 group: VgroupId::wire_decode(r)?,
                 composition: Composition::wire_decode(r)?,
+            },
+            11 => GroupPayload::LinkProbe {
+                cycle: r.take_u8()?,
+                sender_is_predecessor: r.take_bool()?,
+                far_neighbor: VgroupId::wire_decode(r)?,
+                nonce: r.take_u64()?,
+            },
+            12 => GroupPayload::LinkConfirm {
+                cycle: r.take_u8()?,
+                sender_is_predecessor: r.take_bool()?,
+                nonce: r.take_u64()?,
             },
             _ => return Err(WireError::Malformed("group-payload tag")),
         })
@@ -1286,6 +1371,17 @@ mod tests {
                 group: VgroupId::new(7),
                 composition: comp(&[1, 2]),
             },
+            GroupPayload::LinkProbe {
+                cycle: 1,
+                sender_is_predecessor: true,
+                far_neighbor: VgroupId::new(7),
+                nonce: 3,
+            },
+            GroupPayload::LinkConfirm {
+                cycle: 1,
+                sender_is_predecessor: true,
+                nonce: 3,
+            },
         ]
     }
 
@@ -1349,7 +1445,7 @@ mod tests {
     #[test]
     fn structural_digests_distinguish_all_variants() {
         let payloads = all_payload_variants();
-        assert_eq!(payloads.len(), 11, "cover every GroupPayload variant");
+        assert_eq!(payloads.len(), 13, "cover every GroupPayload variant");
         for (i, a) in payloads.iter().enumerate() {
             assert_eq!(a.digest(), a.clone().digest(), "digest must be stable");
             for b in payloads.iter().skip(i + 1) {

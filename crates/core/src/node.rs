@@ -11,7 +11,7 @@ use atum_types::{
     AtumError, BroadcastId, Composition, Duration, Instant, NodeId, NodeIdentity, Params, Result,
     VgroupId,
 };
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 /// Timer tag of the node's single periodic maintenance timer.
@@ -71,15 +71,20 @@ pub struct NodeStats {
 /// never reached the threshold, stranding the joiner for a full heartbeat
 /// period per epoch. Instead the newest epoch's content wins and senders
 /// carry over as long as they are still members of the newest composition.
+#[derive(Debug, Clone)]
 struct PendingWelcome {
     group: VgroupId,
     composition: Composition,
     neighbors: NeighborTable,
     epoch: u64,
-    senders: HashSet<NodeId>,
+    senders: BTreeSet<NodeId>,
 }
 
 /// An Atum node: the unit the application embeds and the simulator hosts.
+///
+/// Ordered containers throughout (determinism lint), and `Clone` so the
+/// model checker can branch a node's state along alternative interleavings.
+#[derive(Clone)]
 pub struct AtumNode<A: Application> {
     identity: NodeIdentity,
     params: Params,
@@ -87,7 +92,7 @@ pub struct AtumNode<A: Application> {
     app: A,
     phase: NodePhase,
     member: Option<MemberState>,
-    pending_welcomes: HashMap<VgroupId, PendingWelcome>,
+    pending_welcomes: BTreeMap<VgroupId, PendingWelcome>,
     byzantine: ByzantineBehavior,
     join_nonce: u64,
     /// Timed-out attempts of the current join (reset by [`Self::join`]).
@@ -130,7 +135,7 @@ impl<A: Application> AtumNode<A> {
             app,
             phase: NodePhase::Idle,
             member: None,
-            pending_welcomes: HashMap::new(),
+            pending_welcomes: BTreeMap::new(),
             byzantine: ByzantineBehavior::Correct,
             join_nonce: 0,
             join_attempts: 0,
@@ -176,7 +181,7 @@ impl<A: Application> AtumNode<A> {
             app,
             phase: NodePhase::Member,
             member: Some(member),
-            pending_welcomes: HashMap::new(),
+            pending_welcomes: BTreeMap::new(),
             byzantine: ByzantineBehavior::Correct,
             join_nonce: 0,
             join_attempts: 0,
@@ -469,7 +474,7 @@ impl<A: Application> AtumNode<A> {
                 composition: composition.clone(),
                 neighbors: neighbors.clone(),
                 epoch,
-                senders: HashSet::new(),
+                senders: BTreeSet::new(),
             });
         if epoch > entry.epoch {
             // Newer configuration: its content wins. Senders whose earlier
@@ -786,6 +791,69 @@ impl<A: Application> AtumNode<A> {
             }
             _ => {}
         }
+    }
+}
+
+impl<A: Application> std::fmt::Debug for AtumNode<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The hosted application and the shared key registry are opaque
+        // (neither is required to implement Debug).
+        f.debug_struct("AtumNode")
+            .field("identity", &self.identity)
+            .field("phase", &self.phase)
+            .field("member", &self.member)
+            .field("pending_welcomes", &self.pending_welcomes)
+            .field("byzantine", &self.byzantine)
+            .field("join_nonce", &self.join_nonce)
+            .field("join_attempts", &self.join_attempts)
+            .field("fallback_peers", &self.fallback_peers)
+            .field("auto_rejoin", &self.auto_rejoin)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<A: Application> AtumNode<A> {
+    /// Canonical text rendering of the node's protocol state, used by the
+    /// model checker to fingerprint and deduplicate global states. Excludes
+    /// the application, the key registry and the statistics (passive
+    /// observers: two states that differ only in counters behave
+    /// identically going forward).
+    pub fn canonical_state(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        write!(
+            out,
+            "id:{:?} phase:{:?} byz:{:?} nonce:{} attempts:{} fb:{:?}/{} await:{:?} iso:{:?} rejoin:{} byzhb:{:?}",
+            self.identity.id,
+            self.phase,
+            self.byzantine,
+            self.join_nonce,
+            self.join_attempts,
+            self.fallback_peers,
+            self.fallback_rotation,
+            self.awaiting_since,
+            self.isolated_since,
+            self.auto_rejoin,
+            self.last_byz_heartbeat,
+        )
+        .expect("writing to a String cannot fail");
+        for (group, pw) in &self.pending_welcomes {
+            write!(
+                out,
+                " pw:{group:?}<-{:?}@{}x{:?}",
+                pw.composition, pw.epoch, pw.senders
+            )
+            .expect("writing to a String cannot fail");
+        }
+        match &self.member {
+            Some(member) => {
+                out.push_str(" member:{");
+                out.push_str(&member.canonical_state());
+                out.push('}');
+            }
+            None => out.push_str(" member:none"),
+        }
+        out
     }
 }
 

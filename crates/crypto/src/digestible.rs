@@ -38,6 +38,13 @@ pub struct DigestWriter {
     hasher: Sha256,
 }
 
+// Manual: the running hash state has no meaningful rendering.
+impl std::fmt::Debug for DigestWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DigestWriter").finish_non_exhaustive()
+    }
+}
+
 impl DigestWriter {
     /// Creates a writer with a fresh hash state.
     pub fn new() -> Self {

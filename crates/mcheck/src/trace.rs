@@ -1,0 +1,99 @@
+//! Counterexample traces: a scenario config plus the adversarial action
+//! sequence that leads to a violation, serialized as JSONL (one header
+//! object, then one action object per line).
+//!
+//! A trace is the checker's deliverable. It replays deterministically —
+//! same config, same per-node RNG streams, same action sequence — so a
+//! violation found once becomes a fixed regression test forever (see
+//! `tests/membership_properties.rs`).
+
+use crate::model::{AtumModel, Verdicts};
+use crate::scenario::ScenarioConfig;
+use crate::world::WorldAction;
+use serde::{Deserialize, Serialize};
+
+/// Header line of a trace file.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceHeader {
+    /// Scenario and adversary budgets the trace replays against.
+    pub config: ScenarioConfig,
+    /// Name of the property the trace violates (empty for a clean run
+    /// record).
+    pub property: String,
+}
+
+/// A replayable counterexample (or witness) trace.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// Scenario identity and the violated property.
+    pub header: TraceHeader,
+    /// The adversarial action sequence from the scenario's initial state.
+    pub actions: Vec<WorldAction>,
+}
+
+impl Trace {
+    /// Builds a trace from a checker violation.
+    pub fn new(config: ScenarioConfig, property: &str, actions: Vec<WorldAction>) -> Self {
+        Trace {
+            header: TraceHeader {
+                config,
+                property: property.to_string(),
+            },
+            actions,
+        }
+    }
+
+    /// Serializes to JSONL: header line, then one line per action.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = serde_json::to_string(&self.header).expect("trace header serializes");
+        for action in &self.actions {
+            out.push('\n');
+            out.push_str(&serde_json::to_string(action).expect("trace action serializes"));
+        }
+        out.push('\n');
+        out
+    }
+
+    /// Parses a JSONL trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn from_jsonl(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines().filter(|line| !line.trim().is_empty());
+        let header_line = lines.next().ok_or("empty trace file")?;
+        let header: TraceHeader =
+            serde_json::from_str(header_line).map_err(|e| format!("bad trace header: {e:?}"))?;
+        let mut actions = Vec::new();
+        for (idx, line) in lines.enumerate() {
+            let action: WorldAction = serde_json::from_str(line)
+                .map_err(|e| format!("bad trace action on line {}: {e:?}", idx + 2))?;
+            actions.push(action);
+        }
+        Ok(Trace { header, actions })
+    }
+
+    /// Replays the trace: rebuilds the scenario's initial world, applies
+    /// every action, and returns the settled-property verdicts of the final
+    /// state.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first action that was not enabled —
+    /// that means the trace does not match the protocol code it is being
+    /// replayed against (e.g. a stale trace after a deliberate protocol
+    /// change).
+    pub fn replay(&self) -> Result<Verdicts, String> {
+        let model = AtumModel::new(self.header.config);
+        let mut world = self.header.config.build();
+        for (idx, action) in self.actions.iter().enumerate() {
+            if !world.apply(action) {
+                return Err(format!(
+                    "trace action {idx} ({action:?}) is not enabled — \
+                     trace is stale for this protocol build"
+                ));
+            }
+        }
+        Ok(model.verdicts(&world))
+    }
+}

@@ -219,6 +219,18 @@ pub struct NetCluster<A: Application + Send + 'static> {
     epoch: StdInstant,
 }
 
+// Manual so `A` needs no `Debug` bound.
+impl<A: Application + Send + 'static> std::fmt::Debug for NetCluster<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetCluster")
+            .field("nodes", &self.nodes.len())
+            .field("params", &self.params)
+            .field("seeded", &self.seeded)
+            .field("joiners", &self.joiners)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<A: Application + Send + 'static> NetCluster<A> {
     /// Every node identifier, sorted.
     pub fn node_ids(&self) -> Vec<NodeId> {

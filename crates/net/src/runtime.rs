@@ -764,6 +764,18 @@ pub struct NetNode<M: NetMessage, N: Node<M> + Send + 'static> {
     threads: Vec<JoinHandle<()>>,
 }
 
+// Manual so `M`/`N` need no `Debug` bounds; channels and thread handles
+// have no meaningful rendering.
+impl<M: NetMessage, N: Node<M> + Send + 'static> std::fmt::Debug for NetNode<M, N> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetNode")
+            .field("id", &self.id)
+            .field("addr", &self.addr)
+            .field("threads", &self.threads.len())
+            .finish_non_exhaustive()
+    }
+}
+
 impl<M: NetMessage, N: Node<M> + Send + 'static> NetNode<M, N> {
     /// Binds a loopback listener and spawns the node's threads. The node's
     /// address is registered in `book`, and `on_start` runs on the event

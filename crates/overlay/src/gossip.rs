@@ -14,7 +14,7 @@
 use atum_types::{BroadcastId, GossipPolicy};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// A direction along a Hamiltonian cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -96,7 +96,9 @@ impl GossipPlanner {
 /// duplicates arriving over other links are not delivered or re-forwarded.
 #[derive(Debug, Clone, Default)]
 pub struct SeenCache {
-    seen: HashSet<BroadcastId>,
+    // Ordered set (determinism lint): the cache is part of the protocol
+    // state the model checker fingerprints.
+    seen: BTreeSet<BroadcastId>,
     order: Vec<BroadcastId>,
     limit: usize,
 }
@@ -105,7 +107,7 @@ impl SeenCache {
     /// Creates a cache remembering up to `limit` broadcast identifiers.
     pub fn new(limit: usize) -> Self {
         SeenCache {
-            seen: HashSet::new(),
+            seen: BTreeSet::new(),
             order: Vec::new(),
             limit: limit.max(1),
         }
@@ -153,7 +155,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let plan = GossipPlanner::plan(GossipPolicy::Flood, 5, &mut rng);
         assert_eq!(plan.len(), 10);
-        let cycles: HashSet<u8> = plan.iter().map(|t| t.cycle).collect();
+        let cycles: BTreeSet<u8> = plan.iter().map(|t| t.cycle).collect();
         assert_eq!(cycles.len(), 5);
     }
 

@@ -16,10 +16,10 @@
 
 use atum_crypto::Digest;
 use atum_types::{Composition, NodeId, VgroupId};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Identifies one logical group message while it is being collected.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 struct Key {
     source: VgroupId,
     digest: Digest,
@@ -27,18 +27,22 @@ struct Key {
 
 #[derive(Debug, Default, Clone)]
 struct Progress {
-    senders: HashSet<NodeId>,
+    senders: BTreeSet<NodeId>,
     have_full_payload: bool,
     accepted: bool,
 }
 
 /// Collects per-sender copies of group messages and reports majority
 /// acceptance.
+///
+/// All containers are ordered (determinism lint): collector state feeds
+/// model-checker fingerprints and its iteration order must not depend on
+/// hash seeds.
 #[derive(Debug, Default, Clone)]
 pub struct GroupMessageCollector {
-    in_progress: HashMap<Key, Progress>,
+    in_progress: BTreeMap<Key, Progress>,
     /// Keys already accepted (kept to suppress duplicates from stragglers).
-    accepted: HashSet<Key>,
+    accepted: BTreeSet<Key>,
     /// Upper bound on remembered accepted keys, to bound memory.
     remember_limit: usize,
     accepted_order: Vec<Key>,
@@ -49,8 +53,8 @@ impl GroupMessageCollector {
     /// messages for duplicate suppression.
     pub fn new(remember_limit: usize) -> Self {
         GroupMessageCollector {
-            in_progress: HashMap::new(),
-            accepted: HashSet::new(),
+            in_progress: BTreeMap::new(),
+            accepted: BTreeSet::new(),
             remember_limit: remember_limit.max(1),
             accepted_order: Vec::new(),
         }

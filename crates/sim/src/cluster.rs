@@ -37,6 +37,18 @@ pub struct Cluster<A: Application> {
     pub initial_nodes: Vec<NodeId>,
 }
 
+// Manual so `A` needs no `Debug` bound.
+impl<A: Application> std::fmt::Debug for Cluster<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("sim", &self.sim)
+            .field("byzantine", &self.byzantine)
+            .field("params", &self.params)
+            .field("initial_nodes", &self.initial_nodes)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<A: Application> Cluster<A> {
     /// Correct (non-Byzantine) initial members.
     pub fn correct_nodes(&self) -> Vec<NodeId> {

@@ -91,6 +91,22 @@ pub struct Simulation<M, N> {
     scratch_effects: ContextEffects<M>,
 }
 
+// Manual so `M`/`N` need no `Debug` bounds: a simulation hosting thousands
+// of nodes is summarized by its counters, not dumped wholesale.
+impl<M, N> std::fmt::Debug for Simulation<M, N> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.now)
+            .field("seed", &self.seed)
+            .field("nodes", &self.nodes.len())
+            .field("queued_events", &self.queue.len())
+            .field("pending_timers", &self.pending_timers.len())
+            .field("partitions", &self.partitions.len())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<M, N> Simulation<M, N>
 where
     M: WireSize,

@@ -123,6 +123,18 @@ pub struct Context<'a, M> {
     pub(crate) next_timer_handle: &'a mut u64,
 }
 
+// Manual so `M` needs no `Debug` bound; the buffered effects and the RNG
+// stream are runtime plumbing, not state worth printing.
+impl<M> std::fmt::Debug for Context<'_, M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Context")
+            .field("own_id", &self.own_id)
+            .field("now", &self.now)
+            .field("next_timer_handle", &self.next_timer_handle)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<'a, M: WireSize> Context<'a, M> {
     /// Builds a context for an external runtime (the TCP runtime, tests).
     ///

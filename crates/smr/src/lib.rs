@@ -38,6 +38,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
 
 pub mod pbft;
 pub mod protocol;
@@ -53,6 +54,7 @@ use atum_types::{Composition, NodeId, SmrMode};
 use std::sync::Arc;
 
 /// A replication engine chosen at runtime from [`SmrMode`].
+#[derive(Debug, Clone)]
 pub enum Engine<O: SmrOp> {
     /// Synchronous Dolev–Strong-based engine.
     Sync(SyncSmr<O>),

@@ -21,7 +21,7 @@
 use crate::protocol::{Action, ByzantineMode, Decision, Replication, SmrConfig, SmrMessage, SmrOp};
 use atum_crypto::{Digest, KeyRegistry};
 use atum_types::{Composition, Instant, NodeId};
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 #[derive(Debug, Clone)]
@@ -57,6 +57,7 @@ struct PendingOp<O> {
 }
 
 /// The asynchronous (PBFT-style) replication engine.
+#[derive(Clone)]
 pub struct AsyncSmr<O: SmrOp> {
     me: NodeId,
     members: Composition,
@@ -72,7 +73,8 @@ pub struct AsyncSmr<O: SmrOp> {
     /// Sequence numbers proven unused by a new-view; treated as delivered.
     skips: BTreeSet<u64>,
     /// Digests the primary has already assigned, to deduplicate requests.
-    assigned: HashSet<Digest>,
+    /// Ordered (determinism lint): the set feeds state fingerprints.
+    assigned: BTreeSet<Digest>,
     /// Operations this replica wants ordered and has not yet seen delivered.
     own_pending: Vec<PendingOp<O>>,
     /// Operations other replicas asked to have ordered (observed via
@@ -83,13 +85,37 @@ pub struct AsyncSmr<O: SmrOp> {
     /// The inner map is ordered: `maybe_enter_new_view` unions the votes
     /// first-wins, so iteration order is behaviour — a hash map here made
     /// the new-view op assignment (and with it whole async runs) differ
-    /// between processes for the same seed.
-    vc_votes: HashMap<u64, BTreeMap<NodeId, Vec<(u64, O)>>>,
+    /// between processes for the same seed. The outer map is now ordered
+    /// too, so the whole engine state has a canonical rendering.
+    vc_votes: BTreeMap<u64, BTreeMap<NodeId, Vec<(u64, O)>>>,
     /// The view this replica is currently trying to move to, if any.
     vc_target: Option<u64>,
     /// Last time this replica delivered something or reset its patience.
     last_progress: Instant,
     byzantine: ByzantineMode,
+}
+
+impl<O: SmrOp> std::fmt::Debug for AsyncSmr<O> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Skips the key registry (shared immutable infrastructure): this
+        // rendering doubles as the model checker's canonical replica state.
+        f.debug_struct("AsyncSmr")
+            .field("me", &self.me)
+            .field("members", &self.members)
+            .field("view", &self.view)
+            .field("next_seq", &self.next_seq)
+            .field("last_delivered", &self.last_delivered)
+            .field("log", &self.log)
+            .field("skips", &self.skips)
+            .field("assigned", &self.assigned)
+            .field("own_pending", &self.own_pending)
+            .field("observed", &self.observed)
+            .field("vc_votes", &self.vc_votes)
+            .field("vc_target", &self.vc_target)
+            .field("last_progress", &self.last_progress)
+            .field("byzantine", &self.byzantine)
+            .finish()
+    }
 }
 
 impl<O: SmrOp> AsyncSmr<O> {
@@ -112,10 +138,10 @@ impl<O: SmrOp> AsyncSmr<O> {
             last_delivered: 0,
             log: BTreeMap::new(),
             skips: BTreeSet::new(),
-            assigned: HashSet::new(),
+            assigned: BTreeSet::new(),
             own_pending: Vec::new(),
             observed: Vec::new(),
-            vc_votes: HashMap::new(),
+            vc_votes: BTreeMap::new(),
             vc_target: None,
             last_progress: start,
             byzantine: ByzantineMode::Correct,

@@ -20,7 +20,7 @@
 use crate::protocol::{Action, ByzantineMode, Decision, Replication, SmrConfig, SmrMessage, SmrOp};
 use atum_crypto::{Digest, KeyRegistry, NodeSigner, SignatureChain};
 use atum_types::{Composition, Instant, NodeId};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 /// Env-gated rejection tracing (`ATUM_DEBUG_SMR`), cached once: the check
@@ -51,20 +51,24 @@ impl<O> Default for SenderAgreement<O> {
 
 #[derive(Debug, Clone)]
 struct SlotState<O> {
-    per_sender: HashMap<NodeId, SenderAgreement<O>>,
+    // Ordered maps throughout the engine state: iteration order feeds
+    // protocol behaviour (delivery, relay fan-out) and state fingerprints,
+    // so it must be deterministic across processes (determinism lint).
+    per_sender: BTreeMap<NodeId, SenderAgreement<O>>,
     finalized: bool,
 }
 
 impl<O> Default for SlotState<O> {
     fn default() -> Self {
         SlotState {
-            per_sender: HashMap::new(),
+            per_sender: BTreeMap::new(),
             finalized: false,
         }
     }
 }
 
 /// The synchronous (Dolev–Strong) replication engine.
+#[derive(Clone)]
 pub struct SyncSmr<O: SmrOp> {
     me: NodeId,
     members: Composition,
@@ -75,9 +79,27 @@ pub struct SyncSmr<O: SmrOp> {
     /// Highest round index already processed (`None` before round 0).
     processed_round: Option<u64>,
     pending: VecDeque<O>,
-    slots: HashMap<u64, SlotState<O>>,
+    slots: BTreeMap<u64, SlotState<O>>,
     next_seq: u64,
     byzantine: ByzantineMode,
+}
+
+impl<O: SmrOp> std::fmt::Debug for SyncSmr<O> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Deliberately skips the key registry and signer: key material is
+        // shared, immutable infrastructure, not replica state — and the
+        // model checker hashes this Debug rendering to fingerprint states.
+        f.debug_struct("SyncSmr")
+            .field("me", &self.me)
+            .field("members", &self.members)
+            .field("start", &self.start)
+            .field("processed_round", &self.processed_round)
+            .field("pending", &self.pending)
+            .field("slots", &self.slots)
+            .field("next_seq", &self.next_seq)
+            .field("byzantine", &self.byzantine)
+            .finish()
+    }
 }
 
 impl<O: SmrOp> SyncSmr<O> {
@@ -101,7 +123,7 @@ impl<O: SmrOp> SyncSmr<O> {
             start,
             processed_round: None,
             pending: VecDeque::new(),
-            slots: HashMap::new(),
+            slots: BTreeMap::new(),
             next_seq: 0,
             byzantine: ByzantineMode::Correct,
         }

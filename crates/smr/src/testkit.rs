@@ -39,6 +39,18 @@ pub struct LockstepCluster {
     last_activity: Instant,
 }
 
+// Manual: summarize by counters, skip the RNG stream and message bodies.
+impl std::fmt::Debug for LockstepCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LockstepCluster")
+            .field("now", &self.now)
+            .field("engines", &self.engines.len())
+            .field("inflight", &self.inflight.len())
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
 impl LockstepCluster {
     /// Creates a cluster of `n` replicas running the engine selected by
     /// `mode`.

@@ -85,6 +85,13 @@ pub struct Params {
     pub rho: usize,
     /// Number of chunks a file is divided into for AShare transfers.
     pub chunks_per_file: usize,
+    /// Overlay link self-repair: members periodically probe their cycle
+    /// neighbours for link bidirectionality and launch re-insertion walks
+    /// when a direction stays unanswered. Disabling this reverts to the
+    /// pre-repair protocol where splits/merges racing admission churn can
+    /// leave one-directional links or orphaned vgroups — kept as a knob so
+    /// the model checker can demonstrate the failure the repair removes.
+    pub link_repair: bool,
 }
 
 impl Default for Params {
@@ -102,6 +109,7 @@ impl Default for Params {
             gossip: GossipPolicy::Flood,
             rho: 8,
             chunks_per_file: 10,
+            link_repair: true,
         }
     }
 }
@@ -216,6 +224,15 @@ impl Params {
     /// Builder-style setter for the synchronous round duration.
     pub fn with_round(mut self, round: Duration) -> Self {
         self.round = round;
+        self
+    }
+
+    /// Builder-style setter for overlay link self-repair (bidirectionality
+    /// probing + orphan re-insertion walks). On by default; turning it off
+    /// reproduces the pre-repair link-surgery fragility for the model
+    /// checker.
+    pub fn with_link_repair(mut self, enabled: bool) -> Self {
+        self.link_repair = enabled;
         self
     }
 
@@ -377,8 +394,10 @@ mod tests {
             .with_gossip(GossipPolicy::Cycles(2))
             .with_overlay(6, 9)
             .with_group_bounds(5, 12)
-            .with_round(Duration::from_millis(1_500));
+            .with_round(Duration::from_millis(1_500))
+            .with_link_repair(false);
         assert_eq!(p.smr, SmrMode::Asynchronous);
+        assert!(!p.link_repair);
         assert_eq!(p.gossip, GossipPolicy::Cycles(2));
         assert_eq!(p.hc, 6);
         assert_eq!(p.rwl, 9);

@@ -105,6 +105,7 @@ impl std::error::Error for WireError {}
 /// Byte sink for [`WireEncode`]. In *counting* mode it only tallies the
 /// length, so the exact encoded size of a message costs one allocation-free
 /// traversal — cheap enough for the simulator's per-send accounting.
+#[derive(Debug)]
 pub struct WireWriter<'a> {
     buf: Option<&'a mut Vec<u8>>,
     written: usize,
@@ -187,6 +188,7 @@ impl<'a> WireWriter<'a> {
 // ----------------------------------------------------------------- reader
 
 /// Bounds-checked cursor over an encoded byte slice.
+#[derive(Debug)]
 pub struct WireReader<'a> {
     bytes: &'a [u8],
     pos: usize,

@@ -140,3 +140,105 @@ fn recommended_overlay_parameters_sample_uniformly() {
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// Model-checker counterexamples pinned as fixed-seed regression tests.
+//
+// The trace below was found by `crates/mcheck` (BFS over adversarial
+// message/timer interleavings of real `AtumNode`s) and replays
+// deterministically: same scenario config, same per-node RNG streams, same
+// action sequence. If a protocol change breaks a replay, either the fix
+// regressed (a verdict flips) or the trace no longer applies (an action is
+// reported as stale) — both demand attention, not a blind re-baseline.
+//
+// Regenerate with:
+//   cargo run --release -p atum-mcheck --bin mcheck -- \
+//       --scenario torn_link --no-link-repair --depth 2 --trace-out traces/
+
+use atum_mcheck::{Scenario, ScenarioConfig, Trace};
+
+/// The minimal counterexample for the overlay link-surgery hole, exactly as
+/// the checker emitted it: after a new group N is spliced between X and B on
+/// cycle 0, the `CyclePatch` copies re-pointing B's predecessor from X to N
+/// are in flight — one from each of X's four members to each B member.
+/// Dropping two of the four copies addressed to B's member n4 leaves only
+/// two distinct senders, below the majority (3) of X's composition, so n4's
+/// predecessor stays wedged at X forever.
+const TORN_LINK_COUNTEREXAMPLE: &str = r#"
+{"config":{"scenario":"TornLink","seed":7,"link_repair":false,"drop_budget":2,"dup_budget":1},"property":"links_bidirectional"}
+{"Drop":{"from":0,"to":4}}
+{"Drop":{"from":1,"to":4}}
+"#;
+
+/// With link repair off (the pre-fix protocol), the counterexample replays
+/// to a permanently one-directional link: the violation the repair was
+/// built against.
+#[test]
+fn torn_link_counterexample_replays_to_violation_without_repair() {
+    let trace = Trace::from_jsonl(TORN_LINK_COUNTEREXAMPLE).expect("embedded trace parses");
+    assert_eq!(trace.header.property, "links_bidirectional");
+    assert!(!trace.header.config.link_repair);
+    let verdicts = trace
+        .replay()
+        .expect("trace replays against current protocol");
+    assert!(
+        !verdicts.links_bidirectional,
+        "the pre-fix protocol must exhibit the torn link"
+    );
+    // The damage is contained: the healthy members of B still link back, so
+    // the overlay stays connected and group-local agreement is intact.
+    assert!(verdicts.cycles_connected);
+    assert!(verdicts.epoch_agreement);
+}
+
+/// The identical adversarial schedule against the current protocol (link
+/// repair on): the probe/confirm exchange detects the one-directional link
+/// and re-stitches it before the properties are judged.
+#[test]
+fn torn_link_counterexample_is_healed_by_link_repair() {
+    let mut trace = Trace::from_jsonl(TORN_LINK_COUNTEREXAMPLE).expect("embedded trace parses");
+    trace.header.config.link_repair = true;
+    let verdicts = trace
+        .replay()
+        .expect("trace replays against current protocol");
+    assert!(
+        verdicts.links_bidirectional,
+        "link repair must heal the dropped-CyclePatch schedule"
+    );
+    assert!(verdicts.cycles_connected);
+    assert!(verdicts.epoch_agreement);
+    assert!(verdicts.broadcast_reach);
+}
+
+/// Dropping only *one* patch copy leaves three distinct senders — still a
+/// majority of X's four members — so even the pre-fix protocol converges.
+/// Pins the exact boundary the counterexample sits on.
+#[test]
+fn single_dropped_patch_copy_stays_below_the_majority_threshold() {
+    let jsonl = concat!(
+        r#"{"config":{"scenario":"TornLink","seed":7,"link_repair":false,"drop_budget":2,"dup_budget":1},"property":""}"#,
+        "\n",
+        r#"{"Drop":{"from":0,"to":4}}"#,
+        "\n",
+    );
+    let trace = Trace::from_jsonl(jsonl).expect("parses");
+    let verdicts = trace.replay().expect("replays");
+    assert!(verdicts.links_bidirectional);
+    assert!(verdicts.epoch_agreement);
+}
+
+/// Clean-run witness: the split-racing-join configuration settles with all
+/// four invariants intact from the unperturbed initial state.
+#[test]
+fn split_racing_join_witness_settles_clean() {
+    let trace = Trace::new(
+        ScenarioConfig::new(Scenario::SplitRacingJoin).with_budgets(1, 1),
+        "",
+        Vec::new(),
+    );
+    let verdicts = trace.replay().expect("replays");
+    assert!(verdicts.links_bidirectional);
+    assert!(verdicts.cycles_connected);
+    assert!(verdicts.epoch_agreement);
+    assert!(verdicts.broadcast_reach);
+}

@@ -133,6 +133,17 @@ fn all_payload_variants() -> Vec<GroupPayload> {
             group: VgroupId::new(7),
             composition: comp(&[1, 2]),
         },
+        GroupPayload::LinkProbe {
+            cycle: 1,
+            sender_is_predecessor: true,
+            far_neighbor: VgroupId::new(7),
+            nonce: 3,
+        },
+        GroupPayload::LinkConfirm {
+            cycle: 1,
+            sender_is_predecessor: true,
+            nonce: 3,
+        },
     ]
 }
 

@@ -1,0 +1,399 @@
+//! Vendored minimal explicit-state model checker, inspired by the API of the
+//! `stateright` crate (which cannot be fetched in this offline build
+//! environment). It provides just what the `mcheck` crate needs:
+//!
+//! * a [`Model`] trait describing a nondeterministic transition system with
+//!   canonicalizable states;
+//! * a breadth-first [`Checker`] with a depth bound and a visited-state set
+//!   keyed by state fingerprints;
+//! * *always*-style safety [`Property`]s evaluated on every reachable state;
+//! * minimal counterexamples: BFS order guarantees the first violation found
+//!   for a property is at the shallowest possible depth, and the checker
+//!   reconstructs the action path from an initial state.
+//!
+//! The checker is single-threaded and fully deterministic: exploration order
+//! is the order of [`Model::actions`], and fingerprints use FNV-1a (no
+//! per-process hash randomization).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// A 128-bit FNV-1a hash of a byte string. Used to key the visited-state set:
+/// 128 bits make accidental collisions across the few million states a
+/// bounded exploration can reach vanishingly unlikely, while avoiding storing
+/// full canonical strings.
+pub fn fingerprint(bytes: &[u8]) -> u128 {
+    const OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+    const PRIME: u128 = 0x0000000001000000000000000000013b;
+    let mut hash = OFFSET;
+    for &b in bytes {
+        hash ^= b as u128;
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// A nondeterministic transition system to explore.
+pub trait Model {
+    /// One global state of the system. Cloned when branching.
+    type State: Clone;
+    /// One enabled transition out of a state.
+    type Action: Clone + std::fmt::Debug;
+
+    /// The initial state(s) of the system.
+    fn init_states(&self) -> Vec<Self::State>;
+
+    /// Appends every action enabled in `state` to `actions`. The exploration
+    /// order is the order of this list; it must be deterministic.
+    fn actions(&self, state: &Self::State, actions: &mut Vec<Self::Action>);
+
+    /// The state reached by taking `action` in `state`, or `None` if the
+    /// action turned out to be a no-op the model wants pruned.
+    fn next_state(&self, state: &Self::State, action: &Self::Action) -> Option<Self::State>;
+
+    /// A canonical byte rendering of the state: two states behave identically
+    /// going forward if and only if their canonical forms are equal. The
+    /// checker fingerprints this for the visited set.
+    fn canonicalize(&self, state: &Self::State) -> String;
+
+    /// The safety properties to evaluate on every reachable state.
+    fn properties(&self) -> Vec<Property<Self>>;
+}
+
+/// A named *always* (safety) property: `check` must hold in every reachable
+/// state.
+pub struct Property<M: Model + ?Sized> {
+    /// Short identifier used in reports and violation records.
+    pub name: &'static str,
+    /// The predicate; `false` means the state violates the property.
+    #[allow(clippy::type_complexity)]
+    pub check: Box<dyn Fn(&M, &M::State) -> bool>,
+}
+
+impl<M: Model + ?Sized> std::fmt::Debug for Property<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Property({})", self.name)
+    }
+}
+
+impl<M: Model + ?Sized> Property<M> {
+    /// Convenience constructor for an always-property.
+    pub fn always(name: &'static str, check: impl Fn(&M, &M::State) -> bool + 'static) -> Self {
+        Property {
+            name,
+            check: Box::new(check),
+        }
+    }
+}
+
+/// Counters describing one exploration run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Distinct states whose successors were generated (or would have been,
+    /// at the depth bound).
+    pub states_explored: u64,
+    /// Successor states skipped because their fingerprint was already seen.
+    pub states_deduped: u64,
+    /// Deepest BFS layer reached.
+    pub max_depth_reached: u64,
+    /// `true` when the depth or state bound cut the exploration short (the
+    /// absence of violations is then only valid up to the bound).
+    pub truncated: bool,
+}
+
+/// A property violation together with a minimal action trace reproducing it.
+#[derive(Debug, Clone)]
+pub struct Violation<M: Model> {
+    /// Name of the violated property.
+    pub property: &'static str,
+    /// Index into [`Model::init_states`] the trace starts from.
+    pub init_index: usize,
+    /// Actions leading from the initial state to the violating state. Empty
+    /// when an initial state itself violates the property.
+    pub trace: Vec<M::Action>,
+    /// Depth (trace length) of the violating state.
+    pub depth: u64,
+}
+
+/// The outcome of a [`Checker`] run.
+#[derive(Debug)]
+pub struct CheckResult<M: Model> {
+    /// Exploration counters.
+    pub stats: Stats,
+    /// First (hence minimal-depth) violation found per property, in the
+    /// order violations were discovered.
+    pub violations: Vec<Violation<M>>,
+}
+
+impl<M: Model> CheckResult<M> {
+    /// `true` when no property was violated within the explored bound.
+    pub fn holds(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Breadth-first explorer with a depth bound and a fingerprint-deduplicated
+/// visited set.
+#[derive(Debug, Clone)]
+pub struct Checker {
+    /// Maximum number of actions from an initial state (BFS layers).
+    pub max_depth: u64,
+    /// Upper bound on distinct states to explore; a runaway-model backstop.
+    pub max_states: u64,
+}
+
+impl Default for Checker {
+    fn default() -> Self {
+        Checker {
+            max_depth: 8,
+            max_states: 1_000_000,
+        }
+    }
+}
+
+/// Bookkeeping for one enqueued state.
+struct QueueEntry<M: Model> {
+    state: M::State,
+    fp: u128,
+    depth: u64,
+}
+
+impl Checker {
+    /// Creates a checker with the given depth bound (and the default state
+    /// bound).
+    pub fn with_max_depth(max_depth: u64) -> Self {
+        Checker {
+            max_depth,
+            ..Checker::default()
+        }
+    }
+
+    /// Explores `model` breadth-first and returns stats plus the first
+    /// (minimal) violation of each property found within the bounds.
+    pub fn check<M: Model>(&self, model: &M) -> CheckResult<M> {
+        let properties = model.properties();
+        let mut stats = Stats::default();
+        let mut violations: Vec<Violation<M>> = Vec::new();
+        let mut violated: BTreeSet<&'static str> = BTreeSet::new();
+        // fingerprint -> (parent fingerprint, action from parent, init index)
+        #[allow(clippy::type_complexity)]
+        let mut parents: BTreeMap<u128, (Option<u128>, Option<M::Action>, usize)> = BTreeMap::new();
+        let mut queue: VecDeque<QueueEntry<M>> = VecDeque::new();
+
+        for (init_index, state) in model.init_states().into_iter().enumerate() {
+            let fp = fingerprint(model.canonicalize(&state).as_bytes());
+            if parents.contains_key(&fp) {
+                stats.states_deduped += 1;
+                continue;
+            }
+            parents.insert(fp, (None, None, init_index));
+            queue.push_back(QueueEntry {
+                state,
+                fp,
+                depth: 0,
+            });
+        }
+
+        let mut actions: Vec<M::Action> = Vec::new();
+        while let Some(entry) = queue.pop_front() {
+            stats.max_depth_reached = stats.max_depth_reached.max(entry.depth);
+            stats.states_explored += 1;
+
+            for property in &properties {
+                if violated.contains(property.name) {
+                    continue;
+                }
+                if !(property.check)(model, &entry.state) {
+                    violated.insert(property.name);
+                    let (trace, init_index) = reconstruct_trace::<M>(&parents, entry.fp);
+                    violations.push(Violation {
+                        property: property.name,
+                        init_index,
+                        trace,
+                        depth: entry.depth,
+                    });
+                }
+            }
+            if violated.len() == properties.len() && !properties.is_empty() {
+                // Every property already has its minimal counterexample.
+                stats.truncated = true;
+                break;
+            }
+
+            if entry.depth >= self.max_depth {
+                stats.truncated = true;
+                continue;
+            }
+            if stats.states_explored >= self.max_states {
+                stats.truncated = true;
+                break;
+            }
+
+            actions.clear();
+            model.actions(&entry.state, &mut actions);
+            for action in &actions {
+                let Some(next) = model.next_state(&entry.state, action) else {
+                    continue;
+                };
+                let fp = fingerprint(model.canonicalize(&next).as_bytes());
+                if parents.contains_key(&fp) {
+                    stats.states_deduped += 1;
+                    continue;
+                }
+                let init_index = parents[&entry.fp].2;
+                parents.insert(fp, (Some(entry.fp), Some(action.clone()), init_index));
+                queue.push_back(QueueEntry {
+                    state: next,
+                    fp,
+                    depth: entry.depth + 1,
+                });
+            }
+        }
+
+        CheckResult { stats, violations }
+    }
+}
+
+/// Walks the parent links back to an initial state, returning the action
+/// trace (in execution order) and the initial-state index.
+#[allow(clippy::type_complexity)]
+fn reconstruct_trace<M: Model>(
+    parents: &BTreeMap<u128, (Option<u128>, Option<M::Action>, usize)>,
+    mut fp: u128,
+) -> (Vec<M::Action>, usize) {
+    let mut trace = Vec::new();
+    let init_index = parents[&fp].2;
+    loop {
+        let (parent, action, _) = &parents[&fp];
+        match (parent, action) {
+            (Some(parent_fp), Some(action)) => {
+                trace.push(action.clone());
+                fp = *parent_fp;
+            }
+            _ => break,
+        }
+    }
+    trace.reverse();
+    (trace, init_index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two counters that can each be incremented up to a cap; the invariant
+    /// bounds their sum.
+    struct TwoCounters {
+        cap: u8,
+        sum_bound: u8,
+    }
+
+    impl Model for TwoCounters {
+        type State = (u8, u8);
+        type Action = usize; // which counter to increment
+
+        fn init_states(&self) -> Vec<Self::State> {
+            vec![(0, 0)]
+        }
+
+        fn actions(&self, state: &Self::State, actions: &mut Vec<Self::Action>) {
+            if state.0 < self.cap {
+                actions.push(0);
+            }
+            if state.1 < self.cap {
+                actions.push(1);
+            }
+        }
+
+        fn next_state(&self, state: &Self::State, action: &Self::Action) -> Option<Self::State> {
+            let mut next = *state;
+            match action {
+                0 => next.0 += 1,
+                _ => next.1 += 1,
+            }
+            Some(next)
+        }
+
+        fn canonicalize(&self, state: &Self::State) -> String {
+            format!("{state:?}")
+        }
+
+        fn properties(&self) -> Vec<Property<Self>> {
+            let bound = self.sum_bound;
+            vec![Property::always("sum-bounded", move |_, s: &(u8, u8)| {
+                s.0 + s.1 < bound
+            })]
+        }
+    }
+
+    #[test]
+    fn finds_minimal_counterexample() {
+        let model = TwoCounters {
+            cap: 10,
+            sum_bound: 4,
+        };
+        let result = Checker::with_max_depth(10).check(&model);
+        assert_eq!(result.violations.len(), 1);
+        let v = &result.violations[0];
+        assert_eq!(v.property, "sum-bounded");
+        // The shallowest violating state has sum exactly 4.
+        assert_eq!(v.depth, 4);
+        assert_eq!(v.trace.len(), 4);
+        // Replaying the trace reproduces the violation.
+        let mut state = model.init_states().remove(v.init_index);
+        for action in &v.trace {
+            state = model.next_state(&state, action).expect("replayable");
+        }
+        assert_eq!(state.0 + state.1, 4);
+    }
+
+    #[test]
+    fn dedup_collapses_the_lattice() {
+        // Without dedup the (cap+1)^2 grid would be explored once per path
+        // (exponentially many); with dedup each state is explored once.
+        let model = TwoCounters {
+            cap: 4,
+            sum_bound: 255,
+        };
+        let result = Checker::with_max_depth(20).check(&model);
+        assert!(result.holds());
+        assert_eq!(result.stats.states_explored, 25);
+        assert!(result.stats.states_deduped > 0);
+        assert!(!result.stats.truncated);
+        assert_eq!(result.stats.max_depth_reached, 8);
+    }
+
+    #[test]
+    fn depth_bound_truncates() {
+        let model = TwoCounters {
+            cap: 40,
+            sum_bound: 255,
+        };
+        let result = Checker::with_max_depth(3).check(&model);
+        assert!(result.holds());
+        assert!(result.stats.truncated);
+        assert_eq!(result.stats.max_depth_reached, 3);
+    }
+
+    #[test]
+    fn initial_state_violation_has_empty_trace() {
+        let model = TwoCounters {
+            cap: 2,
+            sum_bound: 0,
+        };
+        let result = Checker::default().check(&model);
+        assert_eq!(result.violations.len(), 1);
+        assert!(result.violations[0].trace.is_empty());
+        assert_eq!(result.violations[0].depth, 0);
+    }
+
+    #[test]
+    fn fingerprints_differ_for_different_inputs() {
+        assert_ne!(fingerprint(b"a"), fingerprint(b"b"));
+        assert_ne!(fingerprint(b""), fingerprint(b"\0"));
+        assert_eq!(fingerprint(b"same"), fingerprint(b"same"));
+    }
+}
