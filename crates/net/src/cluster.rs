@@ -1,15 +1,21 @@
 //! In-process loopback clusters: the TCP runtime's analogue of
 //! `atum_sim::ClusterBuilder`.
 //!
-//! A [`NetCluster`] hosts every node in this process, each with its own
-//! listener on an ephemeral loopback port, all sharing one [`AddressBook`]
-//! and one wall-clock epoch. Like the simulator harness it seeds a standing
-//! system directly from ground truth (`VgroupDirectory` + `HGraph`) and then
-//! grows it with the *real* join protocol — except here "real" means real
-//! sockets: every contact round-trip, placement walk, welcome quorum and
-//! heartbeat crosses TCP.
+//! A [`NetCluster`] hosts every node in this process on a small fixed pool
+//! of [`NetRuntime`]s (one by default — one listener, one reactor thread),
+//! all sharing one [`AddressBook`] and one wall-clock epoch. Like the
+//! simulator harness it seeds a standing system directly from ground truth
+//! (`VgroupDirectory` + `HGraph`) and then grows it with the *real* join
+//! protocol — except here "real" means real sockets: every contact
+//! round-trip, placement walk, welcome quorum and heartbeat crosses TCP.
+//!
+//! Because a runtime multiplexes all of its nodes over non-blocking
+//! sockets, the process runs O(runtimes × reactors) threads no matter how
+//! many nodes the cluster holds — this is what lets the `net_scale` bench
+//! stand up 1000+ socket-backed nodes in one process.
 
-use crate::runtime::{AddressBook, NetNode, RuntimeConfig, RuntimeStats};
+use crate::reactor::{NetRuntime, NodeHandle};
+use crate::runtime::{AddressBook, RuntimeConfig};
 use atum_core::{Application, AtumMessage, AtumNode};
 use atum_crypto::KeyRegistry;
 use atum_overlay::{CycleNeighbors, HGraph, NeighborTable, VgroupDirectory};
@@ -21,10 +27,10 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration as StdDuration, Instant as StdInstant};
 
-/// Aggregated runtime counters across every node of a cluster.
+/// Aggregated runtime counters across every runtime of a cluster.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct AggregateStats {
-    /// Frames written to sockets.
+    /// Message frames written to sockets.
     pub frames_sent: u64,
     /// Frames dropped (bounded queues, unreachable peers).
     pub frames_dropped: u64,
@@ -41,13 +47,16 @@ pub struct AggregateStats {
     pub bytes_sent: u64,
     /// Bytes received in decoded message frames.
     pub bytes_received: u64,
-    /// Events processed across all event loops.
+    /// Events processed across all reactors.
     pub events_processed: u64,
-    /// Highest outbound queue depth any node reached (RSS-ish proxy).
+    /// Highest outbound queue depth any connection reached (RSS-ish proxy).
     pub peak_outbound_queue: u64,
-    /// Highest inbound event-queue depth any node reached (the unbounded
-    /// queue; the other RSS-ish proxy).
+    /// Highest inbound delivery-queue depth any runtime reached (the other
+    /// RSS-ish proxy).
     pub peak_inbound_queue: u64,
+    /// OS threads across all runtimes: O(runtimes × reactors), independent
+    /// of the node count.
+    pub threads: u64,
 }
 
 /// Builder for [`NetCluster`].
@@ -59,6 +68,7 @@ pub struct NetClusterBuilder {
     seed: u64,
     group_size: Option<usize>,
     runtime: RuntimeConfig,
+    runtimes: usize,
 }
 
 impl NetClusterBuilder {
@@ -72,6 +82,7 @@ impl NetClusterBuilder {
             seed: 42,
             group_size: None,
             runtime: RuntimeConfig::default(),
+            runtimes: 1,
         }
     }
 
@@ -95,9 +106,18 @@ impl NetClusterBuilder {
         self
     }
 
-    /// Overrides the runtime tuning knobs.
+    /// Overrides the runtime tuning knobs (applied to every runtime; the
+    /// `listen`, `book` and `epoch` fields are managed by the builder).
     pub fn runtime(mut self, runtime: RuntimeConfig) -> Self {
         self.runtime = runtime;
+        self
+    }
+
+    /// How many [`NetRuntime`]s (each a listener + its reactor threads) the
+    /// cluster spreads its nodes over, round-robin. Default 1: the whole
+    /// cluster on one reactor thread.
+    pub fn runtimes(mut self, runtimes: usize) -> Self {
+        self.runtimes = runtimes.max(1);
         self
     }
 
@@ -119,6 +139,7 @@ impl NetClusterBuilder {
             seed,
             group_size,
             runtime,
+            runtimes: n_runtimes,
         } = self;
         assert!(seeded > 0, "a cluster needs at least one seeded member");
         params.validate().expect("invalid Atum parameters");
@@ -161,7 +182,25 @@ impl NetClusterBuilder {
 
         let book = AddressBook::new();
         let epoch = StdInstant::now();
-        let mut nodes = BTreeMap::new();
+        let runtimes: Vec<NetRuntime<AtumMessage, AtumNode<A>>> = (0..n_runtimes)
+            .map(|_| {
+                NetRuntime::bind(RuntimeConfig {
+                    listen: "127.0.0.1:0".parse().expect("loopback bind address"),
+                    book: book.clone(),
+                    epoch: Some(epoch),
+                    ..runtime.clone()
+                })
+                .expect("bind loopback listener")
+            })
+            .collect();
+        let mut next_runtime = 0usize;
+        let mut host = |id: NodeId, node: AtumNode<A>| -> NodeHandle<AtumMessage, AtumNode<A>> {
+            let handle = runtimes[next_runtime].host(id, node);
+            next_runtime = (next_runtime + 1) % runtimes.len();
+            handle
+        };
+
+        let mut handles = BTreeMap::new();
         for group in &group_ids {
             let composition: Composition = directory.composition(*group).expect("exists").clone();
             let table = neighbor_table_of(*group);
@@ -176,9 +215,7 @@ impl NetClusterBuilder {
                     table.clone(),
                     0,
                 );
-                let handle = NetNode::spawn(node_id, node, &book, epoch, runtime.clone())
-                    .expect("bind loopback listener");
-                nodes.insert(node_id, handle);
+                handles.insert(node_id, host(node_id, node));
             }
         }
         let joiner_ids: Vec<NodeId> = (seeded as u64..(seeded + joiners) as u64)
@@ -186,13 +223,12 @@ impl NetClusterBuilder {
             .collect();
         for &node_id in &joiner_ids {
             let node = AtumNode::new(node_id, params.clone(), registry.clone(), make_app(node_id));
-            let handle = NetNode::spawn(node_id, node, &book, epoch, runtime.clone())
-                .expect("bind loopback listener");
-            nodes.insert(node_id, handle);
+            handles.insert(node_id, host(node_id, node));
         }
 
         NetCluster {
-            nodes,
+            runtimes,
+            handles,
             book,
             params,
             registry,
@@ -205,7 +241,8 @@ impl NetClusterBuilder {
 
 /// A standing Atum system running over loopback TCP.
 pub struct NetCluster<A: Application + Send + 'static> {
-    nodes: BTreeMap<NodeId, NetNode<AtumMessage, AtumNode<A>>>,
+    runtimes: Vec<NetRuntime<AtumMessage, AtumNode<A>>>,
+    handles: BTreeMap<NodeId, NodeHandle<AtumMessage, AtumNode<A>>>,
     /// The shared node-address directory.
     pub book: AddressBook,
     /// The parameters every node runs with.
@@ -223,7 +260,8 @@ pub struct NetCluster<A: Application + Send + 'static> {
 impl<A: Application + Send + 'static> std::fmt::Debug for NetCluster<A> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("NetCluster")
-            .field("nodes", &self.nodes.len())
+            .field("nodes", &self.handles.len())
+            .field("runtimes", &self.runtimes.len())
             .field("params", &self.params)
             .field("seeded", &self.seeded)
             .field("joiners", &self.joiners)
@@ -234,12 +272,12 @@ impl<A: Application + Send + 'static> std::fmt::Debug for NetCluster<A> {
 impl<A: Application + Send + 'static> NetCluster<A> {
     /// Every node identifier, sorted.
     pub fn node_ids(&self) -> Vec<NodeId> {
-        self.nodes.keys().copied().collect()
+        self.handles.keys().copied().collect()
     }
 
     /// Handle of one node.
-    pub fn node(&self, id: NodeId) -> Option<&NetNode<AtumMessage, AtumNode<A>>> {
-        self.nodes.get(&id)
+    pub fn node(&self, id: NodeId) -> Option<&NodeHandle<AtumMessage, AtumNode<A>>> {
+        self.handles.get(&id)
     }
 
     /// Wall-clock elapsed since the cluster's epoch.
@@ -250,7 +288,7 @@ impl<A: Application + Send + 'static> NetCluster<A> {
     /// Starts a join of `joiner` through `contact` (returns immediately; the
     /// protocol runs over the sockets).
     pub fn join(&self, joiner: NodeId, contact: NodeId) {
-        if let Some(node) = self.nodes.get(&joiner) {
+        if let Some(node) = self.handles.get(&joiner) {
             node.call(move |n, ctx| {
                 let _ = n.join(contact, ctx);
             });
@@ -259,7 +297,7 @@ impl<A: Application + Send + 'static> NetCluster<A> {
 
     /// Broadcasts `payload` from `origin`.
     pub fn broadcast(&self, origin: NodeId, payload: Vec<u8>) {
-        if let Some(node) = self.nodes.get(&origin) {
+        if let Some(node) = self.handles.get(&origin) {
             node.call(move |n, ctx| {
                 let _ = n.broadcast(payload, ctx);
             });
@@ -274,7 +312,7 @@ impl<A: Application + Send + 'static> NetCluster<A> {
         origin: NodeId,
         payload: Vec<u8>,
     ) -> Option<atum_types::BroadcastId> {
-        let node = self.nodes.get(&origin)?;
+        let node = self.handles.get(&origin)?;
         let (tx, rx) = std::sync::mpsc::channel();
         node.call(move |n, ctx| {
             let _ = tx.send(n.broadcast(payload, ctx).ok());
@@ -282,14 +320,14 @@ impl<A: Application + Send + 'static> NetCluster<A> {
         rx.recv_timeout(StdDuration::from_secs(5)).ok().flatten()
     }
 
-    /// Evaluates `f` on every node (in id order), skipping nodes whose event
-    /// loop did not answer.
+    /// Evaluates `f` on every node (in id order), skipping nodes whose
+    /// reactor did not answer.
     pub fn map_nodes<R, F>(&self, f: F) -> Vec<(NodeId, R)>
     where
         R: Send + 'static,
         F: Fn(&AtumNode<A>) -> R + Clone + Send + 'static,
     {
-        self.nodes
+        self.handles
             .iter()
             .filter_map(|(&id, node)| node.with_node(f.clone()).map(|r| (id, r)))
             .collect()
@@ -336,11 +374,11 @@ impl<A: Application + Send + 'static> NetCluster<A> {
         }
     }
 
-    /// Aggregated runtime counters across all nodes.
+    /// Aggregated runtime counters across all runtimes.
     pub fn stats(&self) -> AggregateStats {
         let mut agg = AggregateStats::default();
-        for node in self.nodes.values() {
-            let s: &Arc<RuntimeStats> = node.stats();
+        for rt in &self.runtimes {
+            let s = rt.stats();
             agg.frames_sent += s.frames_sent.load(Ordering::Relaxed);
             agg.frames_dropped += s.frames_dropped.load(Ordering::Relaxed);
             agg.frames_received += s.frames_received.load(Ordering::Relaxed);
@@ -356,14 +394,15 @@ impl<A: Application + Send + 'static> NetCluster<A> {
             agg.peak_inbound_queue = agg
                 .peak_inbound_queue
                 .max(s.peak_inbound_queue.load(Ordering::Relaxed));
+            agg.threads += s.threads.load(Ordering::Relaxed);
         }
         agg
     }
 
-    /// Stops every node.
+    /// Stops every runtime (draining outbound queues first).
     pub fn shutdown(self) {
-        for (_, node) in self.nodes {
-            node.shutdown();
+        for rt in self.runtimes {
+            rt.shutdown();
         }
     }
 }
@@ -386,12 +425,35 @@ mod tests {
             .seed(5)
             .build(|_| CollectingApp::new());
         assert_eq!(cluster.member_count(), 4);
+        // The whole cluster runs on a single reactor thread.
+        assert_eq!(cluster.stats().threads, 1);
         cluster.broadcast(NodeId::new(1), b"net-hello".to_vec());
         let delivered = cluster.wait_for_nodes(4, StdDuration::from_secs(30), |n| {
             n.app()
                 .delivered_payloads()
                 .iter()
                 .any(|p| p == b"net-hello")
+        });
+        assert_eq!(delivered, 4, "stats: {:?}", cluster.stats());
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn nodes_spread_across_runtimes_still_converge() {
+        let params = Params::default()
+            .with_round(Duration::from_millis(100))
+            .with_group_bounds(3, 10)
+            .with_overlay(2, 4)
+            .with_failure_detection(Duration::from_secs(2), 3);
+        let cluster = NetClusterBuilder::new(4, 0)
+            .params(params)
+            .seed(9)
+            .runtimes(2)
+            .build(|_| CollectingApp::new());
+        assert_eq!(cluster.stats().threads, 2);
+        cluster.broadcast(NodeId::new(0), b"split".to_vec());
+        let delivered = cluster.wait_for_nodes(4, StdDuration::from_secs(30), |n| {
+            n.app().delivered_payloads().iter().any(|p| p == b"split")
         });
         assert_eq!(delivered, 4, "stats: {:?}", cluster.stats());
         cluster.shutdown();

@@ -4,9 +4,14 @@
 //! (1), body length (`u32` little-endian) — followed by the body bytes. The
 //! first frame on every connection must be a [`Hello`]
 //! ([`FRAME_KIND_HELLO`]): it names the sending node and the port its own
-//! listener accepts connections on, so the receiver can both attribute
-//! subsequent message frames and learn a return address. All later frames
-//! carry encoded `AtumMessage` bodies ([`FRAME_KIND_MESSAGE`]).
+//! listener accepts connections on, so the receiver can both attribute the
+//! connection and learn a return address. After the hello, frames arrive in
+//! strict pairs: a [`Route`] frame ([`FRAME_KIND_ROUTE`]) naming the
+//! `(from, to)` endpoints, immediately followed by the encoded
+//! `AtumMessage` body it addresses ([`FRAME_KIND_MESSAGE`]). Routing lives
+//! *outside* the message frame so the message bytes are identical for
+//! every recipient of a fan-out — the encode-once `Arc<[u8]>` frames of the
+//! runtime are shared verbatim across peers and recipients.
 //!
 //! Decode hardening: the magic, version and kind are checked before the body
 //! length is honoured, bodies above [`MAX_FRAME_LEN`] are rejected *before*
@@ -15,8 +20,8 @@
 
 use atum_types::wire::{
     decode_exact, encode_to_vec, FrameMemo, WireDecode, WireEncode, WireError, WireReader,
-    WireWriter, FRAME_HEADER_LEN, FRAME_KIND_HELLO, FRAME_KIND_MESSAGE, FRAME_MAGIC, MAX_FRAME_LEN,
-    WIRE_VERSION,
+    WireWriter, FRAME_HEADER_LEN, FRAME_KIND_HELLO, FRAME_KIND_MESSAGE, FRAME_KIND_ROUTE,
+    FRAME_MAGIC, MAX_FRAME_LEN, WIRE_VERSION,
 };
 use atum_types::NodeId;
 use std::io::{Read, Write};
@@ -81,6 +86,50 @@ impl WireDecode for Hello {
     }
 }
 
+/// The routing header preceding every message frame: which node sent the
+/// message that follows, and which hosted node it is addressed to. A
+/// multiplexed connection carries traffic for many node pairs, so the pair
+/// travels per message rather than per connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Route {
+    /// The sending node.
+    pub from: NodeId,
+    /// The destination node (hosted by the receiving runtime).
+    pub to: NodeId,
+}
+
+impl WireEncode for Route {
+    fn wire_encode(&self, w: &mut WireWriter<'_>) {
+        self.from.wire_encode(w);
+        self.to.wire_encode(w);
+    }
+}
+
+impl WireDecode for Route {
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Route {
+            from: NodeId::wire_decode(r)?,
+            to: NodeId::wire_decode(r)?,
+        })
+    }
+}
+
+/// Encoded length of a [`Route`] frame (header + two ids).
+pub const ROUTE_FRAME_LEN: usize = FRAME_HEADER_LEN + 16;
+
+/// Encodes a [`Route`] frame into a fixed array — route frames are written
+/// once per queued message, so the hot path stays allocation-free.
+pub fn route_frame(route: Route) -> [u8; ROUTE_FRAME_LEN] {
+    let mut out = [0u8; ROUTE_FRAME_LEN];
+    out[0..2].copy_from_slice(&FRAME_MAGIC);
+    out[2] = WIRE_VERSION;
+    out[3] = FRAME_KIND_ROUTE;
+    out[4..8].copy_from_slice(&16u32.to_le_bytes());
+    out[8..16].copy_from_slice(&route.from.raw().to_le_bytes());
+    out[16..24].copy_from_slice(&route.to.raw().to_le_bytes());
+    out
+}
+
 /// Encodes a frame (header + body) into a fresh buffer, ready for one
 /// `write_all`.
 pub fn frame_bytes(kind: u8, body: &[u8]) -> Vec<u8> {
@@ -140,20 +189,51 @@ pub fn read_frame_into<R: Read>(r: &mut R, body: &mut Vec<u8>) -> Result<u8, Net
     if header[2] != WIRE_VERSION {
         return Err(WireError::BadVersion(header[2]).into());
     }
-    let kind = header[3];
-    if kind != FRAME_KIND_HELLO && kind != FRAME_KIND_MESSAGE {
-        return Err(WireError::Malformed("frame kind").into());
-    }
-    let len = u32::from_le_bytes(header[4..8].try_into().unwrap()) as usize;
-    if len > MAX_FRAME_LEN {
-        return Err(WireError::FrameTooLarge(len).into());
-    }
+    let (kind, len) = check_header(&header)?;
     // The cap check above bounds this resize; a hostile length prefix is
     // rejected before the buffer grows.
     body.clear();
     body.resize(len, 0);
     r.read_exact(body)?;
     Ok(kind)
+}
+
+/// Validates a frame header, returning the kind and body length.
+fn check_header(header: &[u8; FRAME_HEADER_LEN]) -> Result<(u8, usize), WireError> {
+    if header[0..2] != FRAME_MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    if header[2] != WIRE_VERSION {
+        return Err(WireError::BadVersion(header[2]));
+    }
+    let kind = header[3];
+    if kind != FRAME_KIND_HELLO && kind != FRAME_KIND_MESSAGE && kind != FRAME_KIND_ROUTE {
+        return Err(WireError::Malformed("frame kind"));
+    }
+    let len = u32::from_le_bytes(header[4..8].try_into().unwrap()) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(WireError::FrameTooLarge(len));
+    }
+    Ok((kind, len))
+}
+
+/// Scans buffered bytes for one complete frame **without consuming input**:
+/// the non-blocking read path appends socket bytes to a connection buffer
+/// and repeatedly scans its front. Returns `Ok(None)` while the buffered
+/// prefix is an incomplete frame, and `Ok(Some((kind, body_range)))` once a
+/// full frame is present — the caller slices `buf[body_range]` for the body
+/// and drains `body_range.end` bytes. Header violations are terminal
+/// errors exactly as on the blocking path.
+pub fn scan_frame(buf: &[u8]) -> Result<Option<(u8, std::ops::Range<usize>)>, WireError> {
+    if buf.len() < FRAME_HEADER_LEN {
+        return Ok(None);
+    }
+    let header: &[u8; FRAME_HEADER_LEN] = buf[..FRAME_HEADER_LEN].try_into().unwrap();
+    let (kind, len) = check_header(header)?;
+    if buf.len() < FRAME_HEADER_LEN + len {
+        return Ok(None);
+    }
+    Ok(Some((kind, FRAME_HEADER_LEN..FRAME_HEADER_LEN + len)))
 }
 
 /// Reads one frame and decodes its body as `T`, requiring the body to be
@@ -221,6 +301,46 @@ mod tests {
         assert!(matches!(
             read_frame(&mut Cursor::new(oversized)),
             Err(NetError::Wire(WireError::FrameTooLarge(_)))
+        ));
+    }
+
+    #[test]
+    fn route_frame_scans_and_decodes() {
+        let route = Route {
+            from: NodeId::new(3),
+            to: NodeId::new(9),
+        };
+        let bytes = route_frame(route);
+        assert_eq!(bytes.len(), ROUTE_FRAME_LEN);
+        // Byte-identical to the generic framing path.
+        assert_eq!(bytes.to_vec(), encode_frame(FRAME_KIND_ROUTE, &route));
+        let (kind, body) = scan_frame(&bytes).unwrap().expect("complete frame");
+        assert_eq!(kind, FRAME_KIND_ROUTE);
+        assert_eq!(decode_exact::<Route>(&bytes[body]).unwrap(), route);
+    }
+
+    #[test]
+    fn scan_frame_waits_for_complete_frames_and_rejects_bad_headers() {
+        let route = route_frame(Route {
+            from: NodeId::new(1),
+            to: NodeId::new(2),
+        });
+        // Every proper prefix is "incomplete", never an error.
+        for cut in 0..route.len() {
+            assert!(matches!(scan_frame(&route[..cut]), Ok(None)), "cut {cut}");
+        }
+        // Concatenated frames scan one at a time.
+        let mut two = route.to_vec();
+        two.extend_from_slice(&route);
+        let (_, body) = scan_frame(&two).unwrap().unwrap();
+        assert_eq!(body.end, ROUTE_FRAME_LEN);
+        assert!(scan_frame(&two[body.end..]).unwrap().is_some());
+        // A corrupt header is terminal as soon as it is visible.
+        let mut bad = route;
+        bad[2] = 77;
+        assert!(matches!(
+            scan_frame(&bad[..FRAME_HEADER_LEN]),
+            Err(WireError::BadVersion(77))
         ));
     }
 

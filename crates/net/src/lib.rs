@@ -3,16 +3,24 @@
 //! The reproduction's protocol logic is written against the runtime-neutral
 //! effect surface of `atum_simnet` ([`atum_simnet::Node`] +
 //! [`atum_simnet::Context`]). This crate supplies the second runtime for
-//! that surface: instead of a discrete-event scheduler, every node gets a
-//! TCP listener, a threaded event loop with a timer heap, and per-peer
-//! outbound writers — the same `AtumNode` state machine then runs over
-//! loopback or LAN sockets with no protocol changes whatsoever.
+//! that surface: a [`NetRuntime`](reactor::NetRuntime) binds one TCP
+//! listener and runs a fixed set of *reactor* threads, each multiplexing
+//! non-blocking sockets and a timer heap for every node it hosts — the same
+//! `AtumNode` state machine then runs over loopback or LAN sockets with no
+//! protocol changes whatsoever, and a single process hosts 1000+ nodes on
+//! O(reactors) threads.
 //!
 //! * [`frame`] — versioned length-prefixed framing with decode hardening
-//!   (max-frame cap, magic/version checks, exact-consumption bodies) and the
-//!   per-connection `Hello` handshake.
-//! * [`runtime`] — [`NetNode`](runtime::NetNode): the per-node thread
-//!   bundle, [`AddressBook`](runtime::AddressBook) and runtime counters.
+//!   (max-frame cap, magic/version checks, exact-consumption bodies), the
+//!   per-connection `Hello` handshake and the `Route` frames that address
+//!   messages on a multiplexed connection.
+//! * [`reactor`] — [`NetRuntime`](reactor::NetRuntime) and
+//!   [`NodeHandle`](reactor::NodeHandle): the event-loop runtime and the
+//!   per-node view onto it.
+//! * [`runtime`] — [`RuntimeConfig`](runtime::RuntimeConfig),
+//!   [`RuntimeStats`](runtime::RuntimeStats),
+//!   [`AddressBook`](runtime::AddressBook), and the deprecated
+//!   thread-per-node [`NetNode`](runtime::NetNode) shim.
 //! * [`cluster`] — [`NetCluster`](cluster::NetCluster): an in-process
 //!   loopback harness mirroring `atum_sim::ClusterBuilder`, used by the
 //!   `net_cluster` system test and the `bench_net` benchmark.
@@ -29,8 +37,12 @@
 
 pub mod cluster;
 pub mod frame;
+pub mod reactor;
 pub mod runtime;
 
 pub use cluster::{AggregateStats, NetCluster, NetClusterBuilder};
-pub use frame::{Hello, NetError};
-pub use runtime::{AddressBook, NetMessage, NetNode, RuntimeConfig, RuntimeStats};
+pub use frame::{Hello, NetError, Route};
+pub use reactor::{NetRuntime, NodeHandle};
+#[allow(deprecated)]
+pub use runtime::NetNode;
+pub use runtime::{AddressBook, NetMessage, RuntimeConfig, RuntimeStats};

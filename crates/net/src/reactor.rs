@@ -1,0 +1,1682 @@
+//! The reactor runtime: N event-loop threads multiplexing non-blocking
+//! sockets for *all* nodes hosted in the process.
+//!
+//! [`NetRuntime::bind`] opens one listener and spawns
+//! [`RuntimeConfig::reactors`] reactor threads; [`NetRuntime::host`] places
+//! protocol nodes onto them round-robin. Where the previous runtime spent
+//! roughly three OS threads per node-pair (listener, per-connection reader,
+//! per-peer writer), the per-process thread count is now O(reactors) — the
+//! `threads` gauge in `RuntimeStats` reports it — which is what makes a
+//! 1000+-node single-process cluster feasible at all.
+//!
+//! # Readiness and ownership invariants
+//!
+//! * **One owner per socket and per node.** Every connection and every
+//!   hosted node belongs to exactly one reactor; no lock is ever taken on
+//!   the dispatch or socket path. Cross-thread input arrives only through
+//!   each reactor's [`Injector`] (an eventfd-woken mailbox): hosting
+//!   requests, external calls, inbound messages decoded by another
+//!   reactor's connection, and accepted sockets handed off by the listener
+//!   owner (reactor 0).
+//! * **Level-triggered readiness.** Sockets are registered with
+//!   `polling_mini`'s epoll wrapper in level-triggered mode. Read interest
+//!   is permanent (it also detects EOF); write interest is armed only while
+//!   a connection has an unflushed batch, so an idle runtime wakes on
+//!   timers alone. A connection that cannot accept more bytes simply stays
+//!   writable-armed — nothing busy-waits.
+//! * **The wall clock lives in one heap.** Node timers
+//!   (`Context::set_timer`), connect deadlines and reconnect backoffs all
+//!   share the reactor's binary heap; the poll timeout is the earliest
+//!   deadline. Cancellation is lazy (a pending-handles set per node,
+//!   generation counters per connection slot), so firing is O(log n) and
+//!   cancelling O(1).
+//! * **State machines are untouched.** Dispatch drives the same
+//!   [`Context`]/[`ContextEffects`] surface as the simulator and the old
+//!   threaded runtime, applying effects in the contract order (sends, new
+//!   timers, cancellations, halt). Self-sends (`X → X`) loop through the
+//!   reactor's local delivery queue — deferred, exactly like the
+//!   simulator; sends to *other* nodes always cross a real socket, even
+//!   between two nodes hosted by the same runtime (the runtime connects to
+//!   its own listener).
+//!
+//! # The multiplexed wire
+//!
+//! A connection no longer belongs to a node pair, so every message frame is
+//! preceded by a [`Route`] frame naming `(from, to)`; the handshake
+//! [`Hello`] still opens the stream and names the *runtime*'s listener.
+//! Outbound connections are write-only (their read half only watches for
+//! EOF), accepted connections are read-only — exactly the old topology,
+//! with the pair moved from the connection to the frame. Keeping the route
+//! outside the message frame preserves the encode-once invariant: the
+//! `Arc<[u8]>` message bytes are identical for every recipient and every
+//! peer, so fan-out still encodes once ([`FrameMemo`]) and write batches
+//! still coalesce many frames into one syscall.
+
+use crate::frame::{self, Hello, Route};
+use crate::runtime::{AddressBook, NetMessage, RuntimeConfig, RuntimeStats};
+use atum_simnet::{Context, ContextEffects, Node, OutboundMessage, TimerRequest};
+use atum_types::wire::{self, FRAME_HEADER_LEN, FRAME_KIND_HELLO, FRAME_KIND_ROUTE};
+use atum_types::{Instant, NodeId};
+use polling_mini::{connect_nonblocking, Event, Interest, Poller, Waker};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration as StdDuration, Instant as StdInstant};
+
+/// Frames per coalesced write: the upper bound on how many queued message
+/// frames a connection drains into one `write_all`-shaped batch.
+pub(crate) const MAX_BATCH_FRAMES: usize = 64;
+/// Byte budget per coalesced write. A single frame larger than this still
+/// goes out (alone); the bound only stops *accumulation*.
+pub(crate) const MAX_BATCH_BYTES: usize = 256 * 1024;
+/// Socket read chunk size.
+const READ_CHUNK: usize = 64 * 1024;
+/// Poll timeout when no timer is armed.
+const IDLE_POLL: StdDuration = StdDuration::from_millis(200);
+
+/// Epoll key of the injector waker.
+const KEY_WAKER: u64 = 0;
+/// Epoll key of the listener (reactor 0 only).
+const KEY_LISTENER: u64 = 1;
+/// First epoll key used for connection slots.
+const KEY_CONN_BASE: u64 = 2;
+
+/// External call executed against a hosted node on its reactor.
+type Call<M, N> = Box<dyn FnOnce(&mut N, &mut Context<'_, M>) + Send>;
+
+/// Cross-thread input to one reactor.
+enum Injected<M, N> {
+    /// Host a new node (runs `on_start` on the reactor).
+    Host { id: NodeId, node: N },
+    /// Remove a hosted node (its timers die with it).
+    Remove { id: NodeId },
+    /// Run an external call against a hosted node.
+    Call { id: NodeId, f: Call<M, N> },
+    /// A message decoded by another reactor's connection, owned here.
+    Inbound { from: NodeId, to: NodeId, msg: M },
+    /// An accepted socket handed off by the listener owner.
+    Accepted { stream: TcpStream },
+}
+
+/// One reactor's mailbox: a locked queue plus the eventfd that wakes the
+/// poll loop. This is the *only* cross-thread path into a reactor.
+struct Injector<M, N> {
+    queue: Mutex<VecDeque<Injected<M, N>>>,
+    waker: Waker,
+}
+
+impl<M, N> Injector<M, N> {
+    fn new() -> std::io::Result<Self> {
+        Ok(Injector {
+            queue: Mutex::new(VecDeque::new()),
+            waker: Waker::new()?,
+        })
+    }
+
+    fn push(&self, item: Injected<M, N>) {
+        self.queue.lock().expect("injector lock").push_back(item);
+        self.waker.wake();
+    }
+}
+
+// ---------------------------------------------------------------- reconnect
+
+/// Pure reconnect policy: attempts and exponential backoff, with the reset
+/// semantics the old writer path got wrong — a *successful* (re)connect
+/// resets both the attempt budget and the backoff to base, so a peer that
+/// flaps twice an hour pays the base delay each time, not an ever-growing
+/// one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Reconnect {
+    base: StdDuration,
+    max_attempts: u32,
+    attempt: u32,
+    backoff: StdDuration,
+}
+
+impl Reconnect {
+    pub(crate) fn new(base: StdDuration, max_attempts: u32) -> Self {
+        Reconnect {
+            base,
+            max_attempts: max_attempts.max(1),
+            attempt: 0,
+            backoff: base,
+        }
+    }
+
+    /// Records a successful connect: the budget and backoff start over.
+    pub(crate) fn on_success(&mut self) {
+        self.attempt = 0;
+        self.backoff = self.base;
+    }
+
+    /// Records a failed connect attempt. Returns the delay to wait before
+    /// the next attempt, or `None` when the budget is exhausted (give up).
+    pub(crate) fn on_failure(&mut self) -> Option<StdDuration> {
+        self.attempt += 1;
+        if self.attempt >= self.max_attempts {
+            return None;
+        }
+        let delay = self.backoff;
+        self.backoff = self.backoff.saturating_mul(2);
+        Some(delay)
+    }
+}
+
+// ------------------------------------------------------------------- timers
+
+enum TimerKind {
+    /// A `Context::set_timer` timer of a hosted node.
+    Node { id: NodeId, tag: u64, handle: u64 },
+    /// Deadline for an in-progress non-blocking connect.
+    ConnDeadline { slot: usize, gen: u64 },
+    /// End of a reconnect backoff.
+    ConnRetry { slot: usize, gen: u64 },
+}
+
+struct TimerEntry {
+    at: StdInstant,
+    seq: u64,
+    kind: TimerKind,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for TimerEntry {}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap: invert so the earliest deadline is on top.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+// -------------------------------------------------------------- connections
+
+/// A message frame queued on a connection, with the route it travels under.
+pub(crate) struct QueuedFrame {
+    route: Route,
+    frame: Arc<[u8]>,
+}
+
+/// Builds one coalesced batch from the front of an outbound queue without
+/// consuming it: each queued message contributes its route frame and its
+/// shared message frame. Returns how many queued messages went into `batch`
+/// (the caller pops exactly that many once the batch is fully flushed —
+/// at-least-once across reconnects, like the old writer). The first message
+/// is always taken regardless of size, so an oversized frame cannot wedge
+/// the queue.
+pub(crate) fn fill_batch(
+    outq: &VecDeque<QueuedFrame>,
+    batch: &mut Vec<u8>,
+    max_frames: usize,
+    max_bytes: usize,
+) -> usize {
+    batch.clear();
+    let mut taken = 0usize;
+    for item in outq.iter().take(max_frames) {
+        let item_len = frame::ROUTE_FRAME_LEN + item.frame.len();
+        if taken > 0 && batch.len() + item_len > max_bytes {
+            break;
+        }
+        batch.extend_from_slice(&frame::route_frame(item.route));
+        batch.extend_from_slice(&item.frame);
+        taken += 1;
+    }
+    taken
+}
+
+enum ConnState {
+    /// Non-blocking connect in flight; completion arrives as writability.
+    Connecting,
+    /// Waiting out a reconnect backoff (no live socket).
+    Backoff,
+    /// Live socket; the hello (and batches) flow.
+    Connected,
+}
+
+/// One multiplexed socket owned by a reactor.
+///
+/// Outbound connections (`addr.is_some()`) carry this runtime's frames to
+/// one remote listener and only *read* to detect EOF; accepted connections
+/// (`addr.is_none()`) carry a remote runtime's frames to us and never have
+/// anything queued.
+struct Conn {
+    stream: Option<TcpStream>,
+    /// Remote listener address for outbound connections.
+    addr: Option<SocketAddr>,
+    state: ConnState,
+    /// Generation guard: timers and free-list reuse check it, so a stale
+    /// `ConnRetry` for a slot that was freed and re-assigned is ignored.
+    gen: u64,
+    // ---- write side (outbound connections) ----
+    outq: VecDeque<QueuedFrame>,
+    /// Bytes staged for writing (hello on fresh connects, then batches).
+    batch: Vec<u8>,
+    /// How much of `batch` has been written so far.
+    batch_pos: usize,
+    /// Queued messages inside the current batch (popped when it flushes).
+    batch_msgs: usize,
+    /// Pre-encoded [`Hello`] staged ahead of data on every (re)connect.
+    hello_bytes: Vec<u8>,
+    reconnect: Reconnect,
+    /// Write interest currently armed with the poller.
+    want_write: bool,
+    // ---- read side ----
+    inbuf: Vec<u8>,
+    got_hello: bool,
+    hello: Option<Hello>,
+    peer_ip: Option<std::net::IpAddr>,
+    pending_route: Option<Route>,
+    /// Senders whose return address this connection already registered.
+    learned: HashSet<NodeId>,
+}
+
+impl Conn {
+    fn outbound(addr: SocketAddr, reconnect: Reconnect, gen: u64) -> Self {
+        Conn {
+            stream: None,
+            addr: Some(addr),
+            state: ConnState::Backoff,
+            gen,
+            outq: VecDeque::new(),
+            batch: Vec::new(),
+            batch_pos: 0,
+            batch_msgs: 0,
+            hello_bytes: Vec::new(),
+            reconnect,
+            want_write: false,
+            inbuf: Vec::new(),
+            got_hello: false,
+            hello: None,
+            peer_ip: None,
+            pending_route: None,
+            learned: HashSet::new(),
+        }
+    }
+
+    fn accepted(stream: TcpStream, gen: u64, reconnect: Reconnect) -> Self {
+        let peer_ip = stream.peer_addr().ok().map(|a| a.ip());
+        Conn {
+            stream: Some(stream),
+            addr: None,
+            state: ConnState::Connected,
+            gen,
+            outq: VecDeque::new(),
+            batch: Vec::new(),
+            batch_pos: 0,
+            batch_msgs: 0,
+            hello_bytes: Vec::new(),
+            reconnect,
+            want_write: false,
+            inbuf: Vec::new(),
+            got_hello: false,
+            hello: None,
+            peer_ip,
+            pending_route: None,
+            learned: HashSet::new(),
+        }
+    }
+}
+
+// ------------------------------------------------------------- hosted nodes
+
+/// A protocol node plus the per-node state the dispatch contract needs.
+struct Hosted<N> {
+    node: N,
+    rng: ChaCha8Rng,
+    next_timer_handle: u64,
+    pending_timers: HashSet<u64>,
+    halted: bool,
+}
+
+// ------------------------------------------------------------------- shared
+
+/// State shared between the runtime handle, node handles and reactors.
+struct Shared<M, N> {
+    cfg: RuntimeConfig,
+    book: AddressBook,
+    stats: Arc<RuntimeStats>,
+    epoch: StdInstant,
+    addr: SocketAddr,
+    shutdown: AtomicBool,
+    /// Which reactor owns each hosted node.
+    placements: RwLock<HashMap<NodeId, usize>>,
+    injectors: Vec<Arc<Injector<M, N>>>,
+    next_reactor: AtomicUsize,
+}
+
+impl<M: NetMessage, N: Node<M> + Send + 'static> Shared<M, N> {
+    /// Routes cross-thread input to the reactor owning `id` (if any).
+    fn inject_to_owner(&self, id: NodeId, item: Injected<M, N>) {
+        let owner = self
+            .placements
+            .read()
+            .expect("placements lock")
+            .get(&id)
+            .copied();
+        if let Some(idx) = owner {
+            self.injectors[idx].push(item);
+        }
+    }
+}
+
+// ------------------------------------------------------------------ runtime
+
+/// A process-wide socket runtime hosting any number of protocol nodes on a
+/// fixed set of reactor threads. See the module docs for the invariants.
+///
+/// Dropping the runtime does *not* stop its threads; call
+/// [`NetRuntime::shutdown`].
+pub struct NetRuntime<M: NetMessage, N: Node<M> + Send + 'static> {
+    shared: Arc<Shared<M, N>>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl<M: NetMessage, N: Node<M> + Send + 'static> std::fmt::Debug for NetRuntime<M, N> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetRuntime")
+            .field("addr", &self.shared.addr)
+            .field("reactors", &self.threads.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<M: NetMessage, N: Node<M> + Send + 'static> NetRuntime<M, N> {
+    /// Binds the runtime's listener and spawns its reactor threads. Nodes
+    /// are added afterwards with [`NetRuntime::host`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the listener, the poller or a
+    /// reactor's waker cannot be created.
+    pub fn bind(cfg: RuntimeConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(cfg.listen)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let reactors = cfg.reactors.max(1);
+        let stats = Arc::new(RuntimeStats::default());
+        stats.threads.store(reactors as u64, Ordering::Relaxed);
+        let mut injectors = Vec::with_capacity(reactors);
+        for _ in 0..reactors {
+            injectors.push(Arc::new(Injector::new()?));
+        }
+        let shared = Arc::new(Shared {
+            book: cfg.book.clone(),
+            epoch: cfg.epoch.unwrap_or_else(StdInstant::now),
+            stats,
+            addr,
+            shutdown: AtomicBool::new(false),
+            placements: RwLock::new(HashMap::new()),
+            injectors,
+            next_reactor: AtomicUsize::new(0),
+            cfg,
+        });
+        let mut threads = Vec::with_capacity(reactors);
+        for idx in 0..reactors {
+            let reactor = Reactor::new(
+                idx,
+                shared.clone(),
+                if idx == 0 {
+                    Some(listener.try_clone()?)
+                } else {
+                    None
+                },
+            )?;
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("atum-reactor-{idx}"))
+                    .spawn(move || reactor.run())
+                    .expect("spawn reactor thread"),
+            );
+        }
+        Ok(NetRuntime { shared, threads })
+    }
+
+    /// Hosts a node on one of the reactors (round-robin), registers its
+    /// address (the runtime's listener) in the address book, and runs its
+    /// `on_start` on the owning reactor before any message reaches it.
+    pub fn host(&self, id: NodeId, node: N) -> NodeHandle<M, N> {
+        let idx =
+            self.shared.next_reactor.fetch_add(1, Ordering::Relaxed) % self.shared.injectors.len();
+        self.shared
+            .placements
+            .write()
+            .expect("placements lock")
+            .insert(id, idx);
+        self.shared.book.register(id, self.shared.addr);
+        self.shared.injectors[idx].push(Injected::Host { id, node });
+        NodeHandle {
+            id,
+            shared: self.shared.clone(),
+        }
+    }
+
+    /// The address the runtime's listener accepts on (shared by every
+    /// hosted node).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The runtime's counters, aggregated across all reactors and hosted
+    /// nodes.
+    pub fn stats(&self) -> &Arc<RuntimeStats> {
+        &self.shared.stats
+    }
+
+    /// The shared address book this runtime resolves peers through.
+    pub fn book(&self) -> &AddressBook {
+        &self.shared.book
+    }
+
+    /// A handle to an already-hosted node (`None` if `id` is not hosted
+    /// here).
+    pub fn handle(&self, id: NodeId) -> Option<NodeHandle<M, N>> {
+        self.shared
+            .placements
+            .read()
+            .expect("placements lock")
+            .contains_key(&id)
+            .then(|| NodeHandle {
+                id,
+                shared: self.shared.clone(),
+            })
+    }
+
+    /// Stops the runtime: dispatch ceases, every reactor *drains* its
+    /// outbound queues (bounded by [`RuntimeConfig::drain_timeout`]) so
+    /// frames accepted before the shutdown still reach their sockets, then
+    /// all connections close and the threads join.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        for injector in &self.shared.injectors {
+            injector.waker.wake();
+        }
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A handle to one node hosted on a [`NetRuntime`].
+///
+/// The handle carries the node's identity and a reference to its runtime;
+/// it is cheap to clone and safe to use from any thread.
+pub struct NodeHandle<M: NetMessage, N: Node<M> + Send + 'static> {
+    id: NodeId,
+    shared: Arc<Shared<M, N>>,
+}
+
+impl<M: NetMessage, N: Node<M> + Send + 'static> Clone for NodeHandle<M, N> {
+    fn clone(&self) -> Self {
+        NodeHandle {
+            id: self.id,
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<M: NetMessage, N: Node<M> + Send + 'static> std::fmt::Debug for NodeHandle<M, N> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeHandle")
+            .field("id", &self.id)
+            .field("addr", &self.shared.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<M: NetMessage, N: Node<M> + Send + 'static> NodeHandle<M, N> {
+    /// This node's identifier.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The address the node is reachable at (its runtime's listener).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The hosting runtime's counters. Counters are per *runtime*: a
+    /// handle's traffic is aggregated with every co-hosted node's.
+    pub fn stats(&self) -> &Arc<RuntimeStats> {
+        &self.shared.stats
+    }
+
+    /// Schedules `f` against the node on its reactor (the socket runtime's
+    /// analogue of `Simulation::call`).
+    pub fn call<F>(&self, f: F)
+    where
+        F: FnOnce(&mut N, &mut Context<'_, M>) + Send + 'static,
+    {
+        self.shared.inject_to_owner(
+            self.id,
+            Injected::Call {
+                id: self.id,
+                f: Box::new(f),
+            },
+        );
+    }
+
+    /// Runs a read-only closure against the node state and returns its
+    /// result, or `None` when the node is gone or does not answer within
+    /// five seconds.
+    pub fn with_node<R, F>(&self, f: F) -> Option<R>
+    where
+        R: Send + 'static,
+        F: FnOnce(&N) -> R + Send + 'static,
+    {
+        let (tx, rx) = mpsc::channel();
+        self.call(move |node, _ctx| {
+            let _ = tx.send(f(node));
+        });
+        rx.recv_timeout(StdDuration::from_secs(5)).ok()
+    }
+
+    /// Removes this node from its runtime: its timers die, its messages
+    /// stop being delivered, the runtime keeps running for every other
+    /// hosted node. (Shutting the whole runtime down is
+    /// [`NetRuntime::shutdown`].)
+    pub fn shutdown(self) {
+        self.shared
+            .inject_to_owner(self.id, Injected::Remove { id: self.id });
+        self.shared
+            .placements
+            .write()
+            .expect("placements lock")
+            .remove(&self.id);
+    }
+}
+
+// ------------------------------------------------------------------ reactor
+
+/// Outcome of one borrow-scoped step against a connection, acted on after
+/// the connection borrow ends (methods like `conn_broken` need `&mut self`).
+enum Step {
+    Continue,
+    Done,
+    Broken,
+}
+
+struct Reactor<M: NetMessage, N: Node<M> + Send + 'static> {
+    idx: usize,
+    shared: Arc<Shared<M, N>>,
+    poller: Poller,
+    listener: Option<TcpListener>,
+    injector: Arc<Injector<M, N>>,
+    nodes: HashMap<NodeId, Hosted<N>>,
+    conns: Vec<Option<Conn>>,
+    free_slots: Vec<usize>,
+    /// Slots freed while an event batch is in flight; recycled only at the
+    /// top of the next loop iteration so a stale readiness event can never
+    /// hit a freshly re-assigned slot.
+    pending_free: Vec<usize>,
+    by_addr: HashMap<SocketAddr, usize>,
+    timers: BinaryHeap<TimerEntry>,
+    timer_seq: u64,
+    next_gen: u64,
+    /// Last observed [`AddressBook`] generation (re-registration sweep).
+    book_gen: u64,
+    /// Deferred self-deliveries (`X → X`), exactly the simulator's
+    /// deferred-delivery semantics.
+    loopback: VecDeque<(NodeId, NodeId, M)>,
+    effects: ContextEffects<M>,
+    /// Per-effect-batch encode-once memo: fan-out identity → shared frame.
+    fanout_frames: HashMap<usize, Arc<[u8]>>,
+    events: Vec<Event>,
+    rdbuf: Vec<u8>,
+    /// Round-robin counter for handing accepted sockets to reactors.
+    next_accept: usize,
+}
+
+impl<M: NetMessage, N: Node<M> + Send + 'static> Reactor<M, N> {
+    fn new(
+        idx: usize,
+        shared: Arc<Shared<M, N>>,
+        listener: Option<TcpListener>,
+    ) -> std::io::Result<Self> {
+        let poller = Poller::new()?;
+        let injector = shared.injectors[idx].clone();
+        poller.register(injector.waker.fd(), KEY_WAKER, Interest::READABLE)?;
+        if let Some(l) = listener.as_ref() {
+            poller.register(l.as_raw_fd(), KEY_LISTENER, Interest::READABLE)?;
+        }
+        Ok(Reactor {
+            idx,
+            shared,
+            poller,
+            listener,
+            injector,
+            nodes: HashMap::new(),
+            conns: Vec::new(),
+            free_slots: Vec::new(),
+            pending_free: Vec::new(),
+            by_addr: HashMap::new(),
+            timers: BinaryHeap::new(),
+            timer_seq: 0,
+            next_gen: 0,
+            book_gen: 0,
+            loopback: VecDeque::new(),
+            effects: ContextEffects::new(),
+            fanout_frames: HashMap::new(),
+            events: Vec::new(),
+            rdbuf: vec![0u8; READ_CHUNK],
+            next_accept: 0,
+        })
+    }
+
+    fn now(&self) -> Instant {
+        Instant::from_micros(self.shared.epoch.elapsed().as_micros() as u64)
+    }
+
+    fn run(mut self) {
+        while !self.shared.shutdown.load(Ordering::Relaxed) {
+            let mut freed = std::mem::take(&mut self.pending_free);
+            self.free_slots.append(&mut freed);
+            self.drain_injected();
+            self.deliver_loopback();
+            self.check_retarget();
+            self.fire_due_timers();
+            self.deliver_loopback();
+            let timeout = match self.timers.peek() {
+                Some(t) => t.at.saturating_duration_since(StdInstant::now()),
+                None => IDLE_POLL,
+            };
+            self.events.clear();
+            let _ = self.poller.wait(&mut self.events, Some(timeout));
+            let events = std::mem::take(&mut self.events);
+            for ev in &events {
+                match ev.key {
+                    KEY_WAKER => self.injector.waker.drain(),
+                    KEY_LISTENER => self.accept_ready(),
+                    key => self.conn_ready(key, ev.readable, ev.writable),
+                }
+            }
+            self.events = events;
+            self.deliver_loopback();
+        }
+        self.drain_outbound();
+    }
+
+    // ------------------------------------------------------ input channels
+
+    fn drain_injected(&mut self) {
+        loop {
+            let item = self
+                .injector
+                .queue
+                .lock()
+                .expect("injector lock")
+                .pop_front();
+            let Some(item) = item else { break };
+            match item {
+                Injected::Host { id, node } => self.host_node(id, node),
+                Injected::Remove { id } => {
+                    self.nodes.remove(&id);
+                }
+                Injected::Call { id, f } => {
+                    self.shared
+                        .stats
+                        .events_processed
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.dispatch(id, f);
+                }
+                Injected::Inbound { from, to, msg } => self.deliver(from, to, msg),
+                Injected::Accepted { stream } => self.add_accepted(stream),
+            }
+        }
+    }
+
+    fn deliver_loopback(&mut self) {
+        while let Some((from, to, msg)) = self.loopback.pop_front() {
+            self.deliver(from, to, msg);
+        }
+    }
+
+    fn deliver(&mut self, from: NodeId, to: NodeId, msg: M) {
+        self.shared.stats.note_inbound_drained();
+        self.shared
+            .stats
+            .events_processed
+            .fetch_add(1, Ordering::Relaxed);
+        self.dispatch(to, move |node, ctx| node.on_message(from, msg, ctx));
+    }
+
+    fn host_node(&mut self, id: NodeId, node: N) {
+        let seed = self.shared.cfg.seed ^ id.raw().wrapping_mul(0x9E3779B97F4A7C15);
+        self.nodes.insert(
+            id,
+            Hosted {
+                node,
+                rng: ChaCha8Rng::seed_from_u64(seed),
+                next_timer_handle: 0,
+                pending_timers: HashSet::new(),
+                halted: false,
+            },
+        );
+        self.dispatch(id, |node, ctx| node.on_start(ctx));
+    }
+
+    // ------------------------------------------------------------ dispatch
+
+    /// Runs one callback against a hosted node and applies its effects in
+    /// the contract order: sends, new timers, cancellations, halt.
+    fn dispatch<F>(&mut self, id: NodeId, f: F)
+    where
+        F: FnOnce(&mut N, &mut Context<'_, M>),
+    {
+        let now = self.now();
+        let effects = std::mem::take(&mut self.effects);
+        let Some(hosted) = self.nodes.get_mut(&id) else {
+            self.effects = effects;
+            return;
+        };
+        if hosted.halted {
+            self.effects = effects;
+            return;
+        }
+        let mut ctx = Context::for_runtime(
+            id,
+            now,
+            &mut hosted.rng,
+            &mut hosted.next_timer_handle,
+            effects,
+        );
+        f(&mut hosted.node, &mut ctx);
+        let mut effects = ctx.into_effects();
+
+        // Sends first (they need the connection table, so the node borrow
+        // must end here).
+        self.fanout_frames.clear();
+        let mut outbox = std::mem::take(&mut effects.outbox);
+        for OutboundMessage { to, msg, .. } in outbox.drain(..) {
+            self.send_from(id, to, msg);
+        }
+        effects.outbox = outbox;
+
+        // Then timers, cancellations and the halt flag.
+        if let Some(hosted) = self.nodes.get_mut(&id) {
+            for &TimerRequest { delay, tag, handle } in &effects.new_timers {
+                hosted.pending_timers.insert(handle);
+                self.timer_seq += 1;
+                let at = self.shared.epoch + StdDuration::from_micros((now + delay).as_micros());
+                self.timers.push(TimerEntry {
+                    at,
+                    seq: self.timer_seq,
+                    kind: TimerKind::Node { id, tag, handle },
+                });
+            }
+            for handle in effects.cancelled_timers.drain(..) {
+                hosted.pending_timers.remove(&handle);
+            }
+            if effects.halted {
+                hosted.halted = true;
+            }
+        }
+        effects.clear();
+        self.effects = effects;
+    }
+
+    /// The shared frame for one outbound copy, encoding each logical
+    /// message at most once (see the old runtime's encode-once invariant,
+    /// carried over verbatim): an identity-bearing copy hits the per-batch
+    /// memo, a message carrying a memoized frame skips encoding entirely,
+    /// everything else is encoded exactly once and memoized both places.
+    fn shared_frame(&mut self, msg: &M) -> Arc<[u8]> {
+        let identity = msg.fanout_identity();
+        if let Some(key) = identity {
+            if let Some(frame) = self.fanout_frames.get(&key) {
+                return frame.clone();
+            }
+        }
+        let (frame, encoded) = frame::message_frame_shared(msg);
+        if encoded {
+            self.shared
+                .stats
+                .messages_encoded
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(key) = identity {
+            self.fanout_frames.insert(key, frame.clone());
+        }
+        frame
+    }
+
+    fn send_from(&mut self, from: NodeId, to: NodeId, msg: M) {
+        if to == from {
+            // Self-sends are real deliveries in the simulator; preserve the
+            // deferred semantics through the local delivery queue.
+            self.shared.stats.note_inbound_enqueued();
+            self.loopback.push_back((from, to, msg));
+            return;
+        }
+        let frame = self.shared_frame(&msg);
+        let Some(addr) = self.shared.book.lookup(to) else {
+            self.shared
+                .stats
+                .frames_dropped
+                .fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        let slot = self.conn_for_addr(addr, from);
+        self.enqueue_frame(slot, Route { from, to }, frame);
+    }
+
+    // --------------------------------------------------------- connections
+
+    fn alloc_slot(&mut self, conn: Conn) -> usize {
+        if let Some(slot) = self.free_slots.pop() {
+            self.conns[slot] = Some(conn);
+            slot
+        } else {
+            self.conns.push(Some(conn));
+            self.conns.len() - 1
+        }
+    }
+
+    /// The outbound connection to `addr`, created (and its non-blocking
+    /// connect started) on first use. `hello_from` names the hosted node
+    /// whose send triggered the connection; it travels in the handshake so
+    /// the far side can attribute the stream before any route arrives.
+    fn conn_for_addr(&mut self, addr: SocketAddr, hello_from: NodeId) -> usize {
+        if let Some(&slot) = self.by_addr.get(&addr) {
+            if self.conns.get(slot).is_some_and(Option::is_some) {
+                return slot;
+            }
+        }
+        let gen = self.next_gen;
+        self.next_gen += 1;
+        let mut conn = Conn::outbound(
+            addr,
+            Reconnect::new(
+                self.shared.cfg.reconnect_backoff,
+                self.shared.cfg.max_connect_attempts,
+            ),
+            gen,
+        );
+        conn.hello_bytes = frame::encode_frame(
+            FRAME_KIND_HELLO,
+            &Hello {
+                node: hello_from,
+                listen_port: self.shared.addr.port(),
+            },
+        );
+        let slot = self.alloc_slot(conn);
+        self.by_addr.insert(addr, slot);
+        self.start_connect(slot);
+        slot
+    }
+
+    fn enqueue_frame(&mut self, slot: usize, route: Route, frame: Arc<[u8]>) {
+        let capacity = self.shared.cfg.queue_capacity;
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+            self.shared
+                .stats
+                .frames_dropped
+                .fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        if conn.outq.len() >= capacity {
+            self.shared
+                .stats
+                .frames_dropped
+                .fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        conn.outq.push_back(QueuedFrame { route, frame });
+        let depth = conn.outq.len();
+        self.shared.stats.note_queue_depth(depth);
+        self.write_pending(slot);
+    }
+
+    fn start_connect(&mut self, slot: usize) {
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+            return;
+        };
+        let addr = conn.addr.expect("start_connect on accepted conn");
+        match connect_nonblocking(addr) {
+            Ok(stream) => {
+                let fd = stream.as_raw_fd();
+                if self
+                    .poller
+                    .register(fd, KEY_CONN_BASE + slot as u64, Interest::BOTH)
+                    .is_err()
+                {
+                    self.fail_connect(slot);
+                    return;
+                }
+                conn.stream = Some(stream);
+                conn.state = ConnState::Connecting;
+                conn.want_write = true;
+                let gen = conn.gen;
+                let at = StdInstant::now() + self.shared.cfg.connect_timeout;
+                self.arm_timer(at, TimerKind::ConnDeadline { slot, gen });
+            }
+            Err(_) => self.fail_connect(slot),
+        }
+    }
+
+    /// A connect attempt failed: back off (keeping the queue) or, once the
+    /// attempt budget is spent, drop everything queued and free the slot.
+    fn fail_connect(&mut self, slot: usize) {
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+            return;
+        };
+        if let Some(stream) = conn.stream.take() {
+            let _ = self.poller.deregister(stream.as_raw_fd());
+        }
+        conn.batch.clear();
+        conn.batch_pos = 0;
+        conn.batch_msgs = 0;
+        conn.want_write = false;
+        match conn.reconnect.on_failure() {
+            Some(delay) => {
+                conn.state = ConnState::Backoff;
+                let gen = conn.gen;
+                self.arm_timer(
+                    StdInstant::now() + delay,
+                    TimerKind::ConnRetry { slot, gen },
+                );
+            }
+            None => {
+                let dropped = conn.outq.len() as u64;
+                self.shared
+                    .stats
+                    .frames_dropped
+                    .fetch_add(dropped, Ordering::Relaxed);
+                self.close_conn(slot);
+            }
+        }
+    }
+
+    /// A live connection broke mid-stream. Outbound connections with queued
+    /// frames reconnect immediately (the attempt budget was reset by the
+    /// successful connect); everything else is simply closed.
+    fn conn_broken(&mut self, slot: usize) {
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+            return;
+        };
+        if conn.addr.is_some() && !conn.outq.is_empty() {
+            if let Some(stream) = conn.stream.take() {
+                let _ = self.poller.deregister(stream.as_raw_fd());
+            }
+            // Unflushed batch: its messages are still in `outq`, so the
+            // whole batch is retried on the next connection — at-least-once
+            // across reconnects, exactly like the old writer path.
+            conn.batch.clear();
+            conn.batch_pos = 0;
+            conn.batch_msgs = 0;
+            conn.want_write = false;
+            conn.state = ConnState::Backoff;
+            self.start_connect(slot);
+        } else {
+            self.close_conn(slot);
+        }
+    }
+
+    fn close_conn(&mut self, slot: usize) {
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::take) else {
+            return;
+        };
+        if let Some(stream) = conn.stream {
+            let _ = self.poller.deregister(stream.as_raw_fd());
+        }
+        if let Some(addr) = conn.addr {
+            if self.by_addr.get(&addr) == Some(&slot) {
+                self.by_addr.remove(&addr);
+            }
+        }
+        self.pending_free.push(slot);
+    }
+
+    fn arm_timer(&mut self, at: StdInstant, kind: TimerKind) {
+        self.timer_seq += 1;
+        self.timers.push(TimerEntry {
+            at,
+            seq: self.timer_seq,
+            kind,
+        });
+    }
+
+    /// Drives the write side of one connection: stages batches from the
+    /// queue (handshake first on a fresh connect), writes until the kernel
+    /// pushes back, and arms/disarms write interest accordingly.
+    fn write_pending(&mut self, slot: usize) {
+        loop {
+            let step = {
+                let stats = &self.shared.stats;
+                let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+                    return;
+                };
+                if !matches!(conn.state, ConnState::Connected) {
+                    return;
+                }
+                if conn.batch_pos >= conn.batch.len() {
+                    // The previous batch (if any) is fully on the wire.
+                    if conn.batch_msgs > 0 {
+                        stats
+                            .frames_sent
+                            .fetch_add(conn.batch_msgs as u64, Ordering::Relaxed);
+                        for _ in 0..conn.batch_msgs {
+                            conn.outq.pop_front();
+                        }
+                        conn.batch_msgs = 0;
+                    }
+                    conn.batch_pos = 0;
+                    if conn.outq.is_empty() {
+                        conn.batch.clear();
+                        if conn.want_write {
+                            conn.want_write = false;
+                            if let Some(stream) = conn.stream.as_ref() {
+                                let _ = self.poller.modify(
+                                    stream.as_raw_fd(),
+                                    KEY_CONN_BASE + slot as u64,
+                                    Interest::READABLE,
+                                );
+                            }
+                        }
+                        return;
+                    }
+                    conn.batch_msgs = fill_batch(
+                        &conn.outq,
+                        &mut conn.batch,
+                        MAX_BATCH_FRAMES,
+                        MAX_BATCH_BYTES,
+                    );
+                }
+                let stream = conn.stream.as_mut().expect("connected without stream");
+                match stream.write(&conn.batch[conn.batch_pos..]) {
+                    Ok(n) => {
+                        stats.writes.fetch_add(1, Ordering::Relaxed);
+                        stats.bytes_sent.fetch_add(n as u64, Ordering::Relaxed);
+                        conn.batch_pos += n;
+                        Step::Continue
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        if !conn.want_write {
+                            conn.want_write = true;
+                            let fd = stream.as_raw_fd();
+                            let _ =
+                                self.poller
+                                    .modify(fd, KEY_CONN_BASE + slot as u64, Interest::BOTH);
+                        }
+                        Step::Done
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => Step::Continue,
+                    Err(_) => Step::Broken,
+                }
+            };
+            match step {
+                Step::Continue => continue,
+                Step::Done => return,
+                Step::Broken => {
+                    self.conn_broken(slot);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Completion of a non-blocking connect (the socket turned writable
+    /// while in `Connecting`).
+    fn connect_finished(&mut self, slot: usize) {
+        let ok = {
+            let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+                return;
+            };
+            let stream = conn.stream.as_ref().expect("connecting without stream");
+            match stream.take_error() {
+                Ok(None) => {
+                    let _ = stream.set_nodelay(true);
+                    conn.state = ConnState::Connected;
+                    conn.reconnect.on_success();
+                    // Stage the handshake ahead of any data. `batch_msgs`
+                    // stays 0: the hello is not a message frame.
+                    conn.batch.clear();
+                    conn.batch.extend_from_slice(&conn.hello_bytes);
+                    conn.batch_pos = 0;
+                    conn.batch_msgs = 0;
+                    true
+                }
+                _ => false,
+            }
+        };
+        if ok {
+            self.write_pending(slot);
+        } else {
+            self.fail_connect(slot);
+        }
+    }
+
+    // -------------------------------------------------------------- accept
+
+    fn accept_ready(&mut self) {
+        loop {
+            let accepted = match self.listener.as_ref() {
+                Some(listener) => listener.accept(),
+                None => return,
+            };
+            match accepted {
+                Ok((stream, _)) => {
+                    let reactors = self.shared.injectors.len();
+                    let target = self.next_accept % reactors;
+                    self.next_accept += 1;
+                    if target == self.idx {
+                        self.add_accepted(stream);
+                    } else {
+                        self.shared.injectors[target].push(Injected::Accepted { stream });
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn add_accepted(&mut self, stream: TcpStream) {
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        let gen = self.next_gen;
+        self.next_gen += 1;
+        let fd = stream.as_raw_fd();
+        let reconnect = Reconnect::new(
+            self.shared.cfg.reconnect_backoff,
+            self.shared.cfg.max_connect_attempts,
+        );
+        let slot = self.alloc_slot(Conn::accepted(stream, gen, reconnect));
+        if self
+            .poller
+            .register(fd, KEY_CONN_BASE + slot as u64, Interest::READABLE)
+            .is_err()
+        {
+            self.close_conn(slot);
+        }
+    }
+
+    // ---------------------------------------------------------------- read
+
+    fn conn_ready(&mut self, key: u64, readable: bool, writable: bool) {
+        let slot = (key - KEY_CONN_BASE) as usize;
+        if writable {
+            let state = match self.conns.get(slot).and_then(Option::as_ref) {
+                Some(conn) => match conn.state {
+                    ConnState::Connecting => 0u8,
+                    ConnState::Connected => 1,
+                    ConnState::Backoff => 2,
+                },
+                None => return,
+            };
+            match state {
+                0 => self.connect_finished(slot),
+                1 => self.write_pending(slot),
+                _ => {}
+            }
+        }
+        if readable {
+            self.read_ready(slot);
+        }
+    }
+
+    fn read_ready(&mut self, slot: usize) {
+        loop {
+            let step = {
+                let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+                    return;
+                };
+                let Some(stream) = conn.stream.as_mut() else {
+                    return;
+                };
+                match stream.read(&mut self.rdbuf) {
+                    Ok(0) => Step::Broken,
+                    Ok(n) => {
+                        if conn.addr.is_none() {
+                            conn.inbuf.extend_from_slice(&self.rdbuf[..n]);
+                        }
+                        // Outbound connections are write-only: inbound bytes
+                        // on them are discarded, the read only spots EOF.
+                        Step::Continue
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Step::Done,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => Step::Continue,
+                    Err(_) => Step::Broken,
+                }
+            };
+            match step {
+                Step::Continue => {
+                    if !self.process_inbuf(slot) {
+                        return;
+                    }
+                }
+                Step::Done => {
+                    let _ = self.process_inbuf(slot);
+                    return;
+                }
+                Step::Broken => {
+                    self.conn_broken(slot);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Decodes every complete frame buffered on the connection. Returns
+    /// `false` when the connection was closed (protocol violation or the
+    /// slot vanished mid-delivery).
+    fn process_inbuf(&mut self, slot: usize) -> bool {
+        let gen = match self.conns.get(slot).and_then(Option::as_ref) {
+            Some(conn) => conn.gen,
+            None => return false,
+        };
+        let mut consumed = 0usize;
+        let closed = loop {
+            // Re-validate the slot each round: delivering a message can run
+            // arbitrary node code, which can send, which can break and
+            // close *this* connection.
+            let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+                return false;
+            };
+            if conn.gen != gen {
+                return false;
+            }
+            let (kind, body_start, body_end) = match frame::scan_frame(&conn.inbuf[consumed..]) {
+                Ok(None) => break false,
+                Ok(Some((kind, range))) => (kind, consumed + range.start, consumed + range.end),
+                Err(_) => break true,
+            };
+            consumed = body_end;
+            match kind {
+                FRAME_KIND_HELLO => {
+                    if conn.got_hello {
+                        break true; // Second handshake mid-stream.
+                    }
+                    let Ok(hello) = wire::decode_exact::<Hello>(&conn.inbuf[body_start..body_end])
+                    else {
+                        break true;
+                    };
+                    conn.got_hello = true;
+                    conn.hello = Some(hello);
+                    if let Some(ip) = conn.peer_ip {
+                        self.shared
+                            .book
+                            .register_if_absent(hello.node, SocketAddr::new(ip, hello.listen_port));
+                    }
+                }
+                FRAME_KIND_ROUTE => {
+                    if !conn.got_hello || conn.pending_route.is_some() {
+                        break true; // Route before hello, or unpaired routes.
+                    }
+                    let Ok(route) = wire::decode_exact::<Route>(&conn.inbuf[body_start..body_end])
+                    else {
+                        break true;
+                    };
+                    conn.pending_route = Some(route);
+                    // Per-sender address learning: every node of the remote
+                    // runtime shares its hello's listener.
+                    if !conn.learned.contains(&route.from) {
+                        conn.learned.insert(route.from);
+                        if let (Some(ip), Some(hello)) = (conn.peer_ip, conn.hello) {
+                            self.shared.book.register_if_absent(
+                                route.from,
+                                SocketAddr::new(ip, hello.listen_port),
+                            );
+                        }
+                    }
+                }
+                _ => {
+                    // FRAME_KIND_MESSAGE (scan_frame admits nothing else).
+                    let Some(route) = conn.pending_route.take() else {
+                        break true; // Message without its route.
+                    };
+                    let Ok(msg) = wire::decode_exact::<M>(&conn.inbuf[body_start..body_end]) else {
+                        break true;
+                    };
+                    let body_len = body_end - body_start;
+                    self.shared
+                        .stats
+                        .frames_received
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.shared
+                        .stats
+                        .bytes_received
+                        .fetch_add((body_len + FRAME_HEADER_LEN) as u64, Ordering::Relaxed);
+                    self.route_inbound(route.from, route.to, msg);
+                }
+            }
+        };
+        if closed {
+            self.shared
+                .stats
+                .decode_errors
+                .fetch_add(1, Ordering::Relaxed);
+            self.close_conn(slot);
+            return false;
+        }
+        if consumed > 0 {
+            if let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) {
+                if conn.gen == gen {
+                    conn.inbuf.drain(..consumed);
+                }
+            }
+        }
+        true
+    }
+
+    /// Hands a decoded inbound message to the reactor owning its
+    /// destination: dispatched directly when that is us, injected to the
+    /// owning reactor otherwise, dropped (and counted) when no reactor of
+    /// this runtime hosts the destination.
+    fn route_inbound(&mut self, from: NodeId, to: NodeId, msg: M) {
+        let owner = self
+            .shared
+            .placements
+            .read()
+            .expect("placements lock")
+            .get(&to)
+            .copied();
+        match owner {
+            Some(idx) if idx == self.idx => {
+                self.shared.stats.note_inbound_enqueued();
+                self.deliver(from, to, msg);
+            }
+            Some(idx) => {
+                self.shared.stats.note_inbound_enqueued();
+                self.shared.injectors[idx].push(Injected::Inbound { from, to, msg });
+            }
+            None => {
+                self.shared
+                    .stats
+                    .frames_dropped
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    // -------------------------------------------------------------- timers
+
+    fn fire_due_timers(&mut self) {
+        loop {
+            let now = StdInstant::now();
+            let due = matches!(self.timers.peek(), Some(t) if t.at <= now);
+            if !due {
+                return;
+            }
+            let entry = self.timers.pop().expect("peeked");
+            match entry.kind {
+                TimerKind::Node { id, tag, handle } => {
+                    // Node timers stop firing once shutdown begins (the
+                    // drain phase keeps conn timers alive, not dispatch).
+                    if self.shared.shutdown.load(Ordering::Relaxed) {
+                        continue;
+                    }
+                    let Some(hosted) = self.nodes.get_mut(&id) else {
+                        continue;
+                    };
+                    if !hosted.pending_timers.remove(&handle) {
+                        continue; // Cancelled before firing.
+                    }
+                    self.shared
+                        .stats
+                        .timers_fired
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.shared
+                        .stats
+                        .events_processed
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.dispatch(id, move |node, ctx| node.on_timer(tag, ctx));
+                }
+                TimerKind::ConnDeadline { slot, gen } => {
+                    let still_connecting = self
+                        .conns
+                        .get(slot)
+                        .and_then(Option::as_ref)
+                        .is_some_and(|c| c.gen == gen && matches!(c.state, ConnState::Connecting));
+                    if still_connecting {
+                        self.fail_connect(slot);
+                    }
+                }
+                TimerKind::ConnRetry { slot, gen } => {
+                    let in_backoff = self
+                        .conns
+                        .get(slot)
+                        .and_then(Option::as_ref)
+                        .is_some_and(|c| c.gen == gen && matches!(c.state, ConnState::Backoff));
+                    if in_backoff {
+                        self.start_connect(slot);
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------ retarget
+
+    /// Re-resolves queued routes after the address book changed: frames
+    /// queued for a peer whose address was re-registered migrate to the
+    /// connection of the *new* address instead of stranding on the old one.
+    /// Frames already staged in an in-flight batch are not migrated (their
+    /// bytes may be partially on the wire).
+    fn check_retarget(&mut self) {
+        let book_gen = self.shared.book.generation();
+        if book_gen == self.book_gen {
+            return;
+        }
+        self.book_gen = book_gen;
+        let mut moves: Vec<(Route, Arc<[u8]>, SocketAddr)> = Vec::new();
+        for conn in self.conns.iter_mut().flatten() {
+            let Some(cur_addr) = conn.addr else { continue };
+            let mut i = conn.batch_msgs; // Skip the staged prefix.
+            while i < conn.outq.len() {
+                let to = conn.outq[i].route.to;
+                match self.shared.book.lookup(to) {
+                    Some(addr) if addr != cur_addr => {
+                        let item = conn.outq.remove(i).expect("indexed");
+                        moves.push((item.route, item.frame, addr));
+                    }
+                    _ => i += 1,
+                }
+            }
+        }
+        for (route, frame, addr) in moves {
+            let slot = self.conn_for_addr(addr, route.from);
+            self.enqueue_frame(slot, route, frame);
+        }
+    }
+
+    // --------------------------------------------------------------- drain
+
+    /// The shutdown drain: no more dispatch, but every frame accepted
+    /// before the shutdown still gets its chance to reach the socket —
+    /// bounded by [`RuntimeConfig::drain_timeout`]. Reads continue (and are
+    /// discarded) so co-located runtimes draining through our listener are
+    /// not wedged by our full socket buffers.
+    fn drain_outbound(&mut self) {
+        let deadline = StdInstant::now() + self.shared.cfg.drain_timeout;
+        loop {
+            let mut freed = std::mem::take(&mut self.pending_free);
+            self.free_slots.append(&mut freed);
+            let mut pending = false;
+            for slot in 0..self.conns.len() {
+                let is_outbound = self
+                    .conns
+                    .get(slot)
+                    .and_then(Option::as_ref)
+                    .is_some_and(|c| c.addr.is_some());
+                if !is_outbound {
+                    continue;
+                }
+                self.write_pending(slot);
+                if let Some(conn) = self.conns.get(slot).and_then(Option::as_ref) {
+                    if !conn.outq.is_empty() || conn.batch_pos < conn.batch.len() {
+                        pending = true;
+                    }
+                }
+            }
+            if !pending || StdInstant::now() >= deadline {
+                break;
+            }
+            self.events.clear();
+            let _ = self
+                .poller
+                .wait(&mut self.events, Some(StdDuration::from_millis(20)));
+            let events = std::mem::take(&mut self.events);
+            for ev in &events {
+                match ev.key {
+                    KEY_WAKER => self.injector.waker.drain(),
+                    KEY_LISTENER => self.accept_ready(),
+                    key => {
+                        let slot = (key - KEY_CONN_BASE) as usize;
+                        if ev.writable {
+                            let connecting = self
+                                .conns
+                                .get(slot)
+                                .and_then(Option::as_ref)
+                                .is_some_and(|c| matches!(c.state, ConnState::Connecting));
+                            if connecting {
+                                self.connect_finished(slot);
+                            } else {
+                                self.write_pending(slot);
+                            }
+                        }
+                        if ev.readable {
+                            self.read_discard(slot);
+                        }
+                    }
+                }
+            }
+            self.events = events;
+            self.fire_due_timers(); // Reconnect/deadline timers only.
+        }
+        // Whatever never made it out is accounted for, not silently lost.
+        let unsent: u64 = self
+            .conns
+            .iter()
+            .flatten()
+            .map(|c| c.outq.len() as u64)
+            .sum();
+        if unsent > 0 {
+            self.shared
+                .stats
+                .frames_dropped
+                .fetch_add(unsent, Ordering::Relaxed);
+        }
+    }
+
+    /// Drain-phase read: consume and discard so peers can finish their own
+    /// drains; EOF or errors close the connection.
+    fn read_discard(&mut self, slot: usize) {
+        loop {
+            let step = {
+                let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+                    return;
+                };
+                let Some(stream) = conn.stream.as_mut() else {
+                    return;
+                };
+                match stream.read(&mut self.rdbuf) {
+                    Ok(0) => Step::Broken,
+                    Ok(_) => Step::Continue,
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Step::Done,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => Step::Continue,
+                    Err(_) => Step::Broken,
+                }
+            };
+            match step {
+                Step::Continue => continue,
+                Step::Done => return,
+                Step::Broken => {
+                    self.close_conn(slot);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atum_types::wire::FRAME_KIND_MESSAGE;
+
+    #[test]
+    fn reconnect_backoff_doubles_then_resets_on_success() {
+        let mut r = Reconnect::new(StdDuration::from_millis(25), 4);
+        assert_eq!(r.on_failure(), Some(StdDuration::from_millis(25)));
+        assert_eq!(r.on_failure(), Some(StdDuration::from_millis(50)));
+        assert_eq!(r.on_failure(), Some(StdDuration::from_millis(100)));
+        // Budget spent: give up.
+        assert_eq!(r.on_failure(), None);
+
+        // A successful connect resets BOTH the budget and the backoff —
+        // the bug the old writer path had (backoff kept growing across
+        // successful reconnects).
+        let mut r = Reconnect::new(StdDuration::from_millis(25), 4);
+        let _ = r.on_failure();
+        let _ = r.on_failure();
+        r.on_success();
+        assert_eq!(r, Reconnect::new(StdDuration::from_millis(25), 4));
+        assert_eq!(r.on_failure(), Some(StdDuration::from_millis(25)));
+    }
+
+    #[test]
+    fn fill_batch_honours_frame_and_byte_bounds() {
+        let frame = |len: usize| -> Arc<[u8]> { vec![0u8; len].into() };
+        let item = |len: usize| QueuedFrame {
+            route: Route {
+                from: NodeId::new(1),
+                to: NodeId::new(2),
+            },
+            frame: frame(len),
+        };
+        let per_item = |len: usize| frame::ROUTE_FRAME_LEN + len;
+
+        // Frame bound: 3 of the 5 queued messages.
+        let q: VecDeque<QueuedFrame> = (0..5).map(|_| item(100)).collect();
+        let mut batch = Vec::new();
+        assert_eq!(fill_batch(&q, &mut batch, 3, usize::MAX), 3);
+        assert_eq!(batch.len(), 3 * per_item(100));
+
+        // Byte bound: two items fit, the third would exceed it.
+        let q: VecDeque<QueuedFrame> = (0..3).map(|_| item(100)).collect();
+        assert_eq!(fill_batch(&q, &mut batch, 64, 2 * per_item(100)), 2);
+
+        // An oversized frame is still taken (alone), never wedged.
+        let q: VecDeque<QueuedFrame> = [item(1000), item(10)].into();
+        assert_eq!(fill_batch(&q, &mut batch, 64, 250), 1);
+        assert_eq!(batch.len(), per_item(1000));
+
+        // The batch interleaves route and message frames, scannable in
+        // order (real frame bytes here so the scanner accepts them).
+        let msg: Arc<[u8]> =
+            frame::frame_bytes(FRAME_KIND_MESSAGE, &wire::encode_to_vec(&7u64)).into();
+        let q: VecDeque<QueuedFrame> = (0..2)
+            .map(|_| QueuedFrame {
+                route: Route {
+                    from: NodeId::new(1),
+                    to: NodeId::new(2),
+                },
+                frame: msg.clone(),
+            })
+            .collect();
+        assert_eq!(fill_batch(&q, &mut batch, 64, usize::MAX), 2);
+        let (kind, range) = frame::scan_frame(&batch).unwrap().unwrap();
+        assert_eq!(kind, FRAME_KIND_ROUTE);
+        let rest = &batch[range.end..];
+        let (kind, _) = frame::scan_frame(rest).unwrap().unwrap();
+        assert_eq!(kind, FRAME_KIND_MESSAGE);
+    }
+}

@@ -1,61 +1,33 @@
-//! The threaded TCP runtime: one listener, one event loop and a timer wheel
-//! per node, plus per-peer outbound writer threads with bounded queues and
-//! reconnect/backoff.
+//! Runtime configuration, counters, the address book and the deprecated
+//! single-node entry point.
+//!
+//! The socket runtime itself lives in [`crate::reactor`]: [`NetRuntime`]
+//! owns the listener and a fixed set of reactor threads multiplexing
+//! non-blocking sockets for every hosted node, and [`NodeHandle`] is the
+//! per-node view onto it. This module keeps the pieces both the old and
+//! new surface share — [`RuntimeConfig`], [`RuntimeStats`],
+//! [`AddressBook`], the [`NetMessage`] bound — plus [`NetNode`], the
+//! deprecated thread-per-node entry point, now a thin shim hosting its one
+//! node on a private single-reactor [`NetRuntime`].
 //!
 //! The runtime hosts *unmodified* protocol state machines: anything
 //! implementing [`atum_simnet::Node`] runs here exactly as it runs on the
 //! simulator, because both runtimes drive it through the same
-//! [`Context`]/[`ContextEffects`] surface and apply effects in the same
-//! order (sends, then new timers, then cancellations, then the halt flag).
-//! What differs is the substrate: `now` is wall-clock time since the
-//! runtime's epoch, messages cross real TCP sockets framed by
-//! [`crate::frame`], and delivery timing is whatever the kernel provides —
-//! the simulator remains the deterministic environment (see the
-//! `atum_simnet::node` module docs for the invariant).
-//!
-//! # Threads per node
-//!
-//! * **listener** — accepts connections; each accepted socket gets a
-//!   **reader** thread that performs the [`Hello`](crate::frame::Hello)
-//!   handshake, registers the peer's return address, then decodes message
-//!   frames into the event queue. A frame that fails to decode closes the
-//!   connection deliberately (and is counted); the node itself is never
-//!   affected.
-//! * **event loop** — owns the node state, its RNG and the timer heap;
-//!   processes inbound messages, external calls and due timers, then applies
-//!   the recorded effects.
-//! * **writers** — one per peer this node has sent to, created lazily. Each
-//!   owns a bounded frame queue (new frames are dropped, and counted, when
-//!   the peer cannot drain fast enough), drains it in batches — every
-//!   available frame is coalesced into one buffered `write_all`, bounded by
-//!   [`MAX_BATCH_FRAMES`]/[`MAX_BATCH_BYTES`] — and reconnects with
-//!   exponential backoff when the connection breaks.
-//!
-//! # Allocation- and syscall-frugal message path
-//!
-//! Outbound: the event loop encodes each *logical* message once
-//! ([`FrameMemo`]) and shares the frame bytes (`Arc<[u8]>`) across every
-//! per-peer queue; group envelopes additionally memoize their frame so
-//! re-gossip does not re-encode. Writers coalesce queued frames into one
-//! syscall per batch. Inbound: readers are buffered and reuse a
-//! per-connection body buffer, so the steady-state read path performs no
-//! per-frame allocation, and duplicate group payloads skip the digest
-//! recompute via `atum_core`'s verified-digest cache. `RuntimeStats` exposes
-//! the ratios (`frames_sent / writes`, `messages_encoded`) so benches can
-//! gate on the amortisation actually happening.
+//! `Context`/`ContextEffects` surface and apply effects in the same order
+//! (sends, then new timers, then cancellations, then the halt flag). What
+//! differs is the substrate: `now` is wall-clock time since the runtime's
+//! epoch, messages cross real TCP sockets framed by [`crate::frame`], and
+//! delivery timing is whatever the kernel provides — the simulator remains
+//! the deterministic environment (see the `atum_simnet::node` module docs
+//! for the invariant).
 
-use crate::frame::{self, Hello, NetError};
-use atum_simnet::{Context, ContextEffects, Node, OutboundMessage, TimerRequest};
-use atum_types::wire::{self, FRAME_KIND_HELLO, FRAME_KIND_MESSAGE};
-use atum_types::{FrameMemo, Instant, NodeId, WireDecode, WireEncode, WireSize};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
-use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
-use std::thread::JoinHandle;
+use crate::reactor::{NetRuntime, NodeHandle};
+use atum_simnet::{Context, Node};
+use atum_types::{FrameMemo, NodeId, WireDecode, WireEncode, WireSize};
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 use std::time::Duration as StdDuration;
 
 /// Messages the TCP runtime can carry: encodable, decodable, sized, movable
@@ -72,15 +44,33 @@ pub struct RuntimeConfig {
     /// simulator uses, but the simulator additionally folds in a draw from
     /// its engine RNG — the streams are *not* cross-runtime reproducible.
     pub seed: u64,
-    /// Per-peer outbound queue bound; frames beyond it are dropped and
-    /// counted in [`RuntimeStats::frames_dropped`].
+    /// Per-connection outbound queue bound; frames beyond it are dropped
+    /// and counted in [`RuntimeStats::frames_dropped`].
     pub queue_capacity: usize,
     /// Timeout of each TCP connect attempt.
     pub connect_timeout: StdDuration,
-    /// Connect attempts per frame before it is dropped.
+    /// Connect attempts before a connection's queued frames are dropped.
+    /// The budget resets on every successful connect.
     pub max_connect_attempts: u32,
-    /// Base reconnect backoff; doubles per failed attempt.
+    /// Base reconnect backoff; doubles per failed attempt, resets to base
+    /// on success.
     pub reconnect_backoff: StdDuration,
+    /// Address the runtime's listener binds (every hosted node shares it).
+    pub listen: SocketAddr,
+    /// Reactor threads the runtime spawns. Hosted nodes are placed
+    /// round-robin; the per-process thread count is exactly this number.
+    pub reactors: usize,
+    /// The address book the runtime resolves and registers peers in.
+    /// Clones share state: a harness passes clones of one book so every
+    /// runtime sees every registration.
+    pub book: AddressBook,
+    /// Epoch anchoring the wall clock every `Context` reports; `None`
+    /// means "when the runtime binds". A harness passes one shared epoch
+    /// so all of its runtimes agree on `now`.
+    pub epoch: Option<std::time::Instant>,
+    /// How long `shutdown` keeps flushing outbound queues before closing
+    /// sockets on whatever is left.
+    pub drain_timeout: StdDuration,
 }
 
 impl Default for RuntimeConfig {
@@ -91,27 +81,36 @@ impl Default for RuntimeConfig {
             connect_timeout: StdDuration::from_millis(500),
             max_connect_attempts: 4,
             reconnect_backoff: StdDuration::from_millis(25),
+            listen: "127.0.0.1:0".parse().expect("loopback bind address"),
+            reactors: 1,
+            book: AddressBook::new(),
+            epoch: None,
+            drain_timeout: StdDuration::from_secs(5),
         }
     }
 }
 
-/// Shared counters of one node's runtime. The two queue peaks (bounded
-/// per-peer outbound queues, unbounded inbound event queue) are the places
-/// a node's memory actually grows, which is why the bench records them as
-/// its RSS-ish proxies.
+/// Shared counters of one runtime (aggregated across its reactors and every
+/// node they host). The two queue peaks (bounded per-connection outbound
+/// queues, inbound in flight between reactors) are the places memory
+/// actually grows, which is why the bench records them as its RSS-ish
+/// proxies.
 #[derive(Debug, Default)]
 pub struct RuntimeStats {
-    /// Frames written to sockets.
+    /// Message frames written to sockets.
     pub frames_sent: AtomicU64,
-    /// Frames dropped: queue full, peer unreachable, or address unknown.
+    /// Frames dropped: queue full, peer unreachable, address unknown, or
+    /// left unflushed when the shutdown drain timed out.
     pub frames_dropped: AtomicU64,
     /// Message frames received and decoded.
     pub frames_received: AtomicU64,
-    /// Frames that failed to decode (the connection is closed deliberately).
+    /// Protocol violations on inbound streams (the connection is closed
+    /// deliberately): frames that fail to decode, routes without messages,
+    /// handshake violations.
     pub decode_errors: AtomicU64,
     /// Logical message encodings performed. With encode-once fan-out a
-    /// message shared across many per-peer queues is encoded exactly once,
-    /// so this can sit far below `frames_sent`; the ratio is the fan-out
+    /// message shared across many queues is encoded exactly once, so this
+    /// can sit far below `frames_sent`; the ratio is the fan-out
     /// amortisation the bench reports.
     pub messages_encoded: AtomicU64,
     /// `write` syscalls issued to sockets (handshakes plus coalesced frame
@@ -124,86 +123,53 @@ pub struct RuntimeStats {
     pub bytes_received: AtomicU64,
     /// Timers fired.
     pub timers_fired: AtomicU64,
-    /// Events processed by the event loop (messages + calls + timers).
+    /// Events processed by the reactors (messages + calls + timers).
     pub events_processed: AtomicU64,
-    /// Highest depth any outbound peer queue reached.
+    /// Highest depth any connection's outbound queue reached.
     pub peak_outbound_queue: AtomicU64,
-    /// Decoded inbound messages currently awaiting the event loop.
+    /// Decoded inbound messages currently awaiting dispatch.
     pub inbound_pending: AtomicU64,
-    /// Highest depth the inbound event queue reached. The inbound channel is
-    /// unbounded (a bounded one would deadlock the event loop's own
-    /// self-sends), so together with `peak_outbound_queue` this is where a
-    /// node's memory can actually grow — both peaks are the bench's memory
-    /// proxies.
+    /// Highest depth the inbound delivery queue reached. Together with
+    /// `peak_outbound_queue` this is where memory can actually grow — both
+    /// peaks are the bench's memory proxies.
     pub peak_inbound_queue: AtomicU64,
+    /// OS threads the runtime runs: O(reactors), *not* O(node-pairs) — the
+    /// headline difference to the retired thread-per-connection runtime.
+    pub threads: AtomicU64,
 }
 
 impl RuntimeStats {
-    fn note_queue_depth(&self, depth: usize) {
+    pub(crate) fn note_queue_depth(&self, depth: usize) {
         self.peak_outbound_queue
             .fetch_max(depth as u64, Ordering::Relaxed);
     }
 
-    fn note_inbound_enqueued(&self) {
+    pub(crate) fn note_inbound_enqueued(&self) {
         let depth = self.inbound_pending.fetch_add(1, Ordering::Relaxed) + 1;
         self.peak_inbound_queue.fetch_max(depth, Ordering::Relaxed);
     }
 
-    fn note_inbound_drained(&self) {
+    pub(crate) fn note_inbound_drained(&self) {
         self.inbound_pending.fetch_sub(1, Ordering::Relaxed);
-    }
-}
-
-/// Bounded registry of live sockets, so shutdown can unblock every blocking
-/// read/write. Slots are freed by the owning reader/writer thread when its
-/// connection dies — without that, a long-running node would leak one file
-/// descriptor per broken connection.
-#[derive(Default)]
-struct ConnRegistry {
-    slots: Mutex<Vec<Option<TcpStream>>>,
-}
-
-impl ConnRegistry {
-    /// Stores a stream clone, returning the slot to free later.
-    fn add(&self, stream: TcpStream) -> usize {
-        let mut slots = self.slots.lock().expect("conn registry lock");
-        if let Some(idx) = slots.iter().position(Option::is_none) {
-            slots[idx] = Some(stream);
-            idx
-        } else {
-            slots.push(Some(stream));
-            slots.len() - 1
-        }
-    }
-
-    /// Frees a slot (closing the clone).
-    fn remove(&self, idx: usize) {
-        self.slots.lock().expect("conn registry lock")[idx] = None;
-    }
-
-    /// Shuts every registered socket down (read and write halves).
-    fn shutdown_all(&self) {
-        for stream in self
-            .slots
-            .lock()
-            .expect("conn registry lock")
-            .iter()
-            .flatten()
-        {
-            let _ = stream.shutdown(std::net::Shutdown::Both);
-        }
     }
 }
 
 /// Shared directory mapping node identifiers to socket addresses.
 ///
-/// Harnesses pre-register every node; the listener additionally registers
-/// peers from their [`Hello`] handshake (socket IP + advertised listen
+/// Harnesses pre-register every node; the read path additionally registers
+/// peers from their [`Hello`](crate::frame::Hello) handshake and
+/// [`Route`](crate::frame::Route) frames (socket IP + advertised listen
 /// port), which is how a cross-process contact learns a joiner's return
 /// address without prior configuration.
+///
+/// Every registration bumps a generation counter the reactors watch: when
+/// a known node is re-registered at a *new* address (say, a harness moved
+/// it to a fresh listener), frames still queued for it migrate to a
+/// connection to the new address instead of stranding on the dead one.
 #[derive(Debug, Clone, Default)]
 pub struct AddressBook {
     inner: Arc<RwLock<HashMap<NodeId, SocketAddr>>>,
+    generation: Arc<AtomicU64>,
 }
 
 impl AddressBook {
@@ -218,21 +184,30 @@ impl AddressBook {
             .write()
             .expect("address book lock")
             .insert(node, addr);
+        self.generation.fetch_add(1, Ordering::Release);
     }
 
-    /// Registers a node's address only if none is known yet. The `Hello`
-    /// learning path uses this so an unauthenticated handshake can teach a
-    /// node a *new* peer's return address but can never overwrite (hijack)
-    /// the address of a node the book already knows — a deployment would
-    /// authenticate the handshake instead; the corresponding restriction
-    /// here is that a node that restarts on a new port must be re-registered
-    /// by the harness.
+    /// Registers a node's address only if none is known yet. The `Hello`/
+    /// `Route` learning path uses this so an unauthenticated handshake can
+    /// teach a node a *new* peer's return address but can never overwrite
+    /// (hijack) the address of a node the book already knows — a deployment
+    /// would authenticate the handshake instead; the corresponding
+    /// restriction here is that a node that restarts on a new port must be
+    /// re-registered by the harness.
     pub fn register_if_absent(&self, node: NodeId, addr: SocketAddr) {
-        self.inner
-            .write()
-            .expect("address book lock")
-            .entry(node)
-            .or_insert(addr);
+        let inserted = {
+            let mut map = self.inner.write().expect("address book lock");
+            match map.entry(node) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(addr);
+                    true
+                }
+                std::collections::hash_map::Entry::Occupied(_) => false,
+            }
+        };
+        if inserted {
+            self.generation.fetch_add(1, Ordering::Release);
+        }
     }
 
     /// Looks a node's address up.
@@ -253,533 +228,46 @@ impl AddressBook {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
-}
 
-/// External call executed against the node on its event loop.
-type Call<M, N> = Box<dyn FnOnce(&mut N, &mut Context<'_, M>) + Send>;
-
-enum Event<M, N> {
-    Inbound { from: NodeId, msg: M },
-    Call(Call<M, N>),
-    Shutdown,
-}
-
-// ------------------------------------------------------------ peer writers
-
-/// Frames per coalesced write: the upper bound on how many queued frames a
-/// writer drains into one `write_all`.
-const MAX_BATCH_FRAMES: usize = 64;
-/// Byte budget per coalesced write. A single frame larger than this still
-/// goes out (alone); the bound only stops *accumulation*.
-const MAX_BATCH_BYTES: usize = 256 * 1024;
-
-struct PeerQueueState {
-    // Shared encode-once frames: fan-out pushes the same `Arc` into many
-    // peers' queues, so a queued frame is a pointer, not a byte copy.
-    frames: VecDeque<Arc<[u8]>>,
-    closed: bool,
-}
-
-struct PeerQueue {
-    state: Mutex<PeerQueueState>,
-    cv: Condvar,
-    capacity: usize,
-}
-
-impl PeerQueue {
-    fn new(capacity: usize) -> Self {
-        PeerQueue {
-            state: Mutex::new(PeerQueueState {
-                frames: VecDeque::new(),
-                closed: false,
-            }),
-            cv: Condvar::new(),
-            capacity,
-        }
-    }
-
-    /// Enqueues a frame; returns the queue depth after the push, or `None`
-    /// when the frame was rejected (queue full or closed).
-    fn push(&self, frame: Arc<[u8]>) -> Option<usize> {
-        let mut state = self.state.lock().expect("peer queue lock");
-        if state.closed || state.frames.len() >= self.capacity {
-            return None;
-        }
-        state.frames.push_back(frame);
-        let depth = state.frames.len();
-        self.cv.notify_one();
-        Some(depth)
-    }
-
-    /// Blocks until at least one frame is available (or the queue is closed
-    /// and drained — returns `false`), then moves every immediately
-    /// available frame into `out`, up to `max_frames` frames and `max_bytes`
-    /// accumulated bytes. The first frame is always taken regardless of its
-    /// size, so an oversized frame cannot wedge the queue.
-    fn pop_batch(&self, out: &mut Vec<Arc<[u8]>>, max_frames: usize, max_bytes: usize) -> bool {
-        debug_assert!(out.is_empty());
-        let mut state = self.state.lock().expect("peer queue lock");
-        loop {
-            if !state.frames.is_empty() {
-                let mut bytes = 0usize;
-                while out.len() < max_frames {
-                    let Some(front) = state.frames.front() else {
-                        break;
-                    };
-                    if !out.is_empty() && bytes + front.len() > max_bytes {
-                        break;
-                    }
-                    bytes += front.len();
-                    out.push(state.frames.pop_front().expect("peeked"));
-                }
-                return true;
-            }
-            if state.closed {
-                return false;
-            }
-            state = self.cv.wait(state).expect("peer queue lock");
-        }
-    }
-
-    fn close(&self) {
-        self.state.lock().expect("peer queue lock").closed = true;
-        self.cv.notify_all();
-    }
-}
-
-/// The writer thread for one peer: drains the queue in batches, coalescing
-/// every available frame into one buffered `write_all` (reused accumulation
-/// buffer, bounded batch size), (re)connecting with exponential backoff and
-/// performing the `Hello` handshake on each fresh connection.
-#[allow(clippy::too_many_arguments)]
-fn writer_loop(
-    peer: NodeId,
-    queue: Arc<PeerQueue>,
-    book: AddressBook,
-    hello_frame: Vec<u8>,
-    cfg: RuntimeConfig,
-    stats: Arc<RuntimeStats>,
-    conns: Arc<ConnRegistry>,
-    shutdown: Arc<AtomicBool>,
-) {
-    use std::io::Write;
-    // The live connection plus its registry slot, freed on every disconnect.
-    let mut stream: Option<(TcpStream, usize)> = None;
-    let drop_conn = |conn: &mut Option<(TcpStream, usize)>| {
-        if let Some((_, slot)) = conn.take() {
-            conns.remove(slot);
-        }
-    };
-    let mut batch: Vec<Arc<[u8]>> = Vec::with_capacity(MAX_BATCH_FRAMES);
-    let mut acc: Vec<u8> = Vec::new();
-    while queue.pop_batch(&mut batch, MAX_BATCH_FRAMES, MAX_BATCH_BYTES) {
-        if shutdown.load(Ordering::Relaxed) {
-            break;
-        }
-        // One write per batch: a lone frame goes straight from its shared
-        // bytes; multiple frames are coalesced into the reused buffer.
-        let bytes: &[u8] = if batch.len() == 1 {
-            &batch[0]
-        } else {
-            acc.clear();
-            for frame in &batch {
-                acc.extend_from_slice(frame);
-            }
-            &acc
-        };
-        let mut delivered = false;
-        let mut backoff = cfg.reconnect_backoff;
-        for _attempt in 0..cfg.max_connect_attempts.max(1) {
-            if stream.is_none() {
-                let Some(addr) = book.lookup(peer) else {
-                    break; // No known address: drop the batch.
-                };
-                match TcpStream::connect_timeout(&addr, cfg.connect_timeout) {
-                    Ok(mut s) => {
-                        let _ = s.set_nodelay(true);
-                        if s.write_all(&hello_frame).is_ok() {
-                            stats.writes.fetch_add(1, Ordering::Relaxed);
-                            stats
-                                .bytes_sent
-                                .fetch_add(hello_frame.len() as u64, Ordering::Relaxed);
-                            if let Ok(clone) = s.try_clone() {
-                                let slot = conns.add(clone);
-                                stream = Some((s, slot));
-                            }
-                        }
-                    }
-                    Err(_) => {
-                        if shutdown.load(Ordering::Relaxed) {
-                            break;
-                        }
-                        std::thread::sleep(backoff);
-                        backoff = backoff.saturating_mul(2);
-                        continue;
-                    }
-                }
-            }
-            if let Some((s, _)) = stream.as_mut() {
-                match s.write_all(bytes) {
-                    Ok(()) => {
-                        stats
-                            .frames_sent
-                            .fetch_add(batch.len() as u64, Ordering::Relaxed);
-                        stats.writes.fetch_add(1, Ordering::Relaxed);
-                        stats
-                            .bytes_sent
-                            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
-                        delivered = true;
-                        break;
-                    }
-                    Err(_) => {
-                        // Broken connection: reconnect and retry the batch.
-                        // This is at-least-once, exactly like the pre-batch
-                        // per-frame retry: frames fully flushed before the
-                        // break may reach the peer *and* be resent (TCP gives
-                        // no delivery feedback), while the frame that died
-                        // mid-write arrives truncated and is discarded with
-                        // the connection. Duplicates are protocol-safe —
-                        // group acceptance counts distinct senders per
-                        // digest (`GroupMessageCollector`) and SMR votes are
-                        // keyed by sender.
-                        drop_conn(&mut stream);
-                    }
-                }
-            }
-        }
-        if !delivered {
-            stats
-                .frames_dropped
-                .fetch_add(batch.len() as u64, Ordering::Relaxed);
-        }
-        batch.clear();
-    }
-    drop_conn(&mut stream);
-}
-
-// -------------------------------------------------------------- event loop
-
-#[derive(PartialEq, Eq)]
-struct ArmedTimer {
-    at: Instant,
-    seq: u64,
-    tag: u64,
-    handle: u64,
-}
-
-impl Ord for ArmedTimer {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // BinaryHeap is a max-heap: invert so the earliest timer is on top.
-        (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
-}
-
-impl PartialOrd for ArmedTimer {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-struct EventLoop<M: NetMessage, N: Node<M> + Send + 'static> {
-    id: NodeId,
-    node: N,
-    rng: ChaCha8Rng,
-    next_timer_handle: u64,
-    timers: BinaryHeap<ArmedTimer>,
-    timer_seq: u64,
-    pending_timers: HashSet<u64>,
-    effects: ContextEffects<M>,
-    /// Per-effect-batch encode-once memo: fan-out identity → shared frame.
-    /// Cleared before each batch is applied, so pointer-derived identities
-    /// are only ever compared between messages that coexist in one outbox
-    /// (see [`FrameMemo::fanout_identity`]).
-    fanout_frames: HashMap<usize, Arc<[u8]>>,
-    peers: HashMap<NodeId, (Arc<PeerQueue>, JoinHandle<()>)>,
-    rx: Receiver<Event<M, N>>,
-    self_tx: Sender<Event<M, N>>,
-    book: AddressBook,
-    hello_frame: Vec<u8>,
-    cfg: RuntimeConfig,
-    stats: Arc<RuntimeStats>,
-    conns: Arc<ConnRegistry>,
-    shutdown: Arc<AtomicBool>,
-    epoch: std::time::Instant,
-    halted: bool,
-}
-
-impl<M: NetMessage, N: Node<M> + Send + 'static> EventLoop<M, N> {
-    fn now(&self) -> Instant {
-        Instant::from_micros(self.epoch.elapsed().as_micros() as u64)
-    }
-
-    fn run(mut self) {
-        self.dispatch(|node, ctx| node.on_start(ctx));
-        while !self.halted && !self.shutdown.load(Ordering::Relaxed) {
-            self.fire_due_timers();
-            if self.halted {
-                break;
-            }
-            let timeout = match self.timers.peek() {
-                Some(t) => {
-                    let now = self.now();
-                    StdDuration::from_micros(t.at.as_micros().saturating_sub(now.as_micros()))
-                }
-                None => StdDuration::from_millis(200),
-            };
-            match self.rx.recv_timeout(timeout) {
-                Ok(Event::Inbound { from, msg }) => {
-                    self.stats.note_inbound_drained();
-                    self.stats.events_processed.fetch_add(1, Ordering::Relaxed);
-                    self.dispatch(|node, ctx| node.on_message(from, msg, ctx));
-                }
-                Ok(Event::Call(f)) => {
-                    self.stats.events_processed.fetch_add(1, Ordering::Relaxed);
-                    self.dispatch(f);
-                }
-                Ok(Event::Shutdown) | Err(RecvTimeoutError::Disconnected) => break,
-                Err(RecvTimeoutError::Timeout) => {}
-            }
-        }
-        for (queue, handle) in self.peers.into_values() {
-            queue.close();
-            let _ = handle.join();
-        }
-    }
-
-    fn fire_due_timers(&mut self) {
-        loop {
-            let now = self.now();
-            let due = matches!(self.timers.peek(), Some(t) if t.at <= now);
-            if !due || self.halted {
-                return;
-            }
-            let timer = self.timers.pop().expect("peeked");
-            if !self.pending_timers.remove(&timer.handle) {
-                continue; // Cancelled before firing.
-            }
-            self.stats.timers_fired.fetch_add(1, Ordering::Relaxed);
-            self.stats.events_processed.fetch_add(1, Ordering::Relaxed);
-            let tag = timer.tag;
-            self.dispatch(move |node, ctx| node.on_timer(tag, ctx));
-        }
-    }
-
-    /// Runs one callback against the node and applies its effects in the
-    /// contract order: sends, new timers, cancellations, halt.
-    fn dispatch<F>(&mut self, f: F)
-    where
-        F: FnOnce(&mut N, &mut Context<'_, M>),
-    {
-        let effects = std::mem::take(&mut self.effects);
-        let now = self.now();
-        let mut ctx = Context::for_runtime(
-            self.id,
-            now,
-            &mut self.rng,
-            &mut self.next_timer_handle,
-            effects,
-        );
-        f(&mut self.node, &mut ctx);
-        let mut effects = ctx.into_effects();
-
-        self.fanout_frames.clear();
-        for OutboundMessage { to, msg, .. } in effects.outbox.drain(..) {
-            self.send_to_peer(to, msg);
-        }
-        for &TimerRequest { delay, tag, handle } in &effects.new_timers {
-            self.pending_timers.insert(handle);
-            self.timer_seq += 1;
-            self.timers.push(ArmedTimer {
-                at: now + delay,
-                seq: self.timer_seq,
-                tag,
-                handle,
-            });
-        }
-        for handle in effects.cancelled_timers.drain(..) {
-            self.pending_timers.remove(&handle);
-        }
-        if effects.halted {
-            self.halted = true;
-        }
-        effects.clear();
-        self.effects = effects;
-    }
-
-    /// The shared frame for one outbound copy, encoding each logical
-    /// message at most once: an identity-bearing copy (group fan-out) hits
-    /// the per-batch memo, a message carrying a memoized frame (re-gossip
-    /// of an envelope encoded in an earlier batch) skips encoding entirely,
-    /// and everything else is encoded here — exactly once, because the
-    /// result is memoized both places.
-    fn shared_frame(&mut self, msg: &M) -> Arc<[u8]> {
-        let identity = msg.fanout_identity();
-        if let Some(key) = identity {
-            if let Some(frame) = self.fanout_frames.get(&key) {
-                return frame.clone();
-            }
-        }
-        let (frame, encoded) = frame::message_frame_shared(msg);
-        if encoded {
-            self.stats.messages_encoded.fetch_add(1, Ordering::Relaxed);
-        }
-        if let Some(key) = identity {
-            self.fanout_frames.insert(key, frame.clone());
-        }
-        frame
-    }
-
-    fn send_to_peer(&mut self, to: NodeId, msg: M) {
-        if to == self.id {
-            // Self-sends are real deliveries in the simulator (group-message
-            // fan-out includes the sender); preserve that by looping the
-            // message through this node's own event queue.
-            self.stats.note_inbound_enqueued();
-            let _ = self.self_tx.send(Event::Inbound { from: self.id, msg });
-            return;
-        }
-        let frame = self.shared_frame(&msg);
-        let queue = match self.peers.get(&to) {
-            Some((queue, _)) => queue.clone(),
-            None => {
-                let queue = Arc::new(PeerQueue::new(self.cfg.queue_capacity));
-                let handle = {
-                    let queue = queue.clone();
-                    let book = self.book.clone();
-                    let hello = self.hello_frame.clone();
-                    let cfg = self.cfg.clone();
-                    let stats = self.stats.clone();
-                    let conns = self.conns.clone();
-                    let shutdown = self.shutdown.clone();
-                    std::thread::Builder::new()
-                        .name(format!("atum-net-w{}-{to}", self.id))
-                        .spawn(move || {
-                            writer_loop(to, queue, book, hello, cfg, stats, conns, shutdown)
-                        })
-                        .expect("spawn writer thread")
-                };
-                self.peers.insert(to, (queue.clone(), handle));
-                queue
-            }
-        };
-        match queue.push(frame) {
-            Some(depth) => self.stats.note_queue_depth(depth),
-            None => {
-                self.stats.frames_dropped.fetch_add(1, Ordering::Relaxed);
-            }
-        }
-    }
-}
-
-// ------------------------------------------------------------------ reader
-
-fn reader_loop<M: NetMessage, N: Node<M> + Send + 'static>(
-    stream: TcpStream,
-    tx: Sender<Event<M, N>>,
-    book: AddressBook,
-    stats: Arc<RuntimeStats>,
-) {
-    // Handshake first: without a Hello the connection carries nothing.
-    let peer_ip = match stream.peer_addr() {
-        Ok(addr) => addr.ip(),
-        Err(_) => return,
-    };
-    // Coalesced sender batches arrive as one TCP segment train; a buffered
-    // reader turns the per-frame header+body reads into memcpys from the
-    // buffer instead of two syscalls per frame.
-    let mut stream = std::io::BufReader::with_capacity(MAX_BATCH_BYTES.min(64 * 1024), stream);
-    let hello: Hello = match frame::read_decoded(&mut stream, FRAME_KIND_HELLO) {
-        Ok(h) => h,
-        Err(e) => {
-            if matches!(e, NetError::Wire(_)) {
-                stats.decode_errors.fetch_add(1, Ordering::Relaxed);
-            }
-            return;
-        }
-    };
-    // First registration wins: the unauthenticated handshake may teach us a
-    // new peer's return address but never rebind a known node's (see
-    // [`AddressBook::register_if_absent`]).
-    book.register_if_absent(hello.node, SocketAddr::new(peer_ip, hello.listen_port));
-    // Per-connection scratch body buffer, reused across frames: the
-    // steady-state read path allocates only for the decoded message itself.
-    let mut body: Vec<u8> = Vec::new();
-    loop {
-        match frame::read_frame_into(&mut stream, &mut body) {
-            Ok(kind) if kind == FRAME_KIND_MESSAGE => {
-                match wire::decode_exact::<M>(&body) {
-                    Ok(msg) => {
-                        stats.frames_received.fetch_add(1, Ordering::Relaxed);
-                        stats.bytes_received.fetch_add(
-                            (body.len() + wire::FRAME_HEADER_LEN) as u64,
-                            Ordering::Relaxed,
-                        );
-                        stats.note_inbound_enqueued();
-                        if tx
-                            .send(Event::Inbound {
-                                from: hello.node,
-                                msg,
-                            })
-                            .is_err()
-                        {
-                            return; // Event loop is gone.
-                        }
-                    }
-                    Err(_) => {
-                        // Garbage that passed framing: close deliberately.
-                        // The peer can reconnect; this node is unaffected.
-                        stats.decode_errors.fetch_add(1, Ordering::Relaxed);
-                        return;
-                    }
-                }
-            }
-            Ok(_) => {
-                // A second handshake (or any non-message kind) mid-stream is
-                // a protocol violation, not a payload to decode.
-                stats.decode_errors.fetch_add(1, Ordering::Relaxed);
-                return;
-            }
-            Err(NetError::Wire(_)) => {
-                stats.decode_errors.fetch_add(1, Ordering::Relaxed);
-                return;
-            }
-            Err(NetError::Io(_)) => return, // Closed or shut down.
-        }
+    /// Monotonic counter bumped by every (successful) registration; the
+    /// reactors compare it to re-resolve queued routes after changes.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
     }
 }
 
 // ----------------------------------------------------------------- NetNode
 
-/// One protocol node hosted on real sockets.
+/// One protocol node hosted on real sockets — the *old* entry point, kept
+/// as a thin shim so existing callers compile: it binds a private
+/// single-reactor [`NetRuntime`] and hosts its one node there.
 ///
-/// Dropping the handle does *not* stop the threads; call
+/// Dropping the handle does *not* stop the runtime; call
 /// [`NetNode::shutdown`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use `NetRuntime::bind` + `host` — one runtime hosts many nodes on O(reactors) threads"
+)]
 pub struct NetNode<M: NetMessage, N: Node<M> + Send + 'static> {
-    id: NodeId,
-    addr: SocketAddr,
-    tx: Sender<Event<M, N>>,
-    stats: Arc<RuntimeStats>,
-    shutdown: Arc<AtomicBool>,
-    conns: Arc<ConnRegistry>,
-    threads: Vec<JoinHandle<()>>,
+    runtime: NetRuntime<M, N>,
+    handle: NodeHandle<M, N>,
 }
 
-// Manual so `M`/`N` need no `Debug` bounds; channels and thread handles
-// have no meaningful rendering.
+#[allow(deprecated)]
 impl<M: NetMessage, N: Node<M> + Send + 'static> std::fmt::Debug for NetNode<M, N> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("NetNode")
-            .field("id", &self.id)
-            .field("addr", &self.addr)
-            .field("threads", &self.threads.len())
+            .field("id", &self.handle.id())
+            .field("addr", &self.handle.addr())
             .finish_non_exhaustive()
     }
 }
 
+#[allow(deprecated)]
 impl<M: NetMessage, N: Node<M> + Send + 'static> NetNode<M, N> {
-    /// Binds a loopback listener and spawns the node's threads. The node's
-    /// address is registered in `book`, and `on_start` runs on the event
-    /// loop before any message is processed.
+    /// Binds a loopback listener and hosts the node on a private
+    /// single-reactor runtime. The node's address is registered in `book`,
+    /// and `on_start` runs on the reactor before any message is processed.
     ///
     /// `epoch` anchors the wall clock every context reports; a harness
     /// passes one shared epoch so all of its nodes agree on `now`.
@@ -807,159 +295,69 @@ impl<M: NetMessage, N: Node<M> + Send + 'static> NetNode<M, N> {
         cfg: RuntimeConfig,
         bind: SocketAddr,
     ) -> std::io::Result<Self> {
-        let listener = TcpListener::bind(bind)?;
-        let addr = listener.local_addr()?;
-        book.register(id, addr);
-        let (tx, rx) = mpsc::channel();
-        let stats = Arc::new(RuntimeStats::default());
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let conns: Arc<ConnRegistry> = Arc::new(ConnRegistry::default());
-        let hello_frame = frame::encode_frame(
-            FRAME_KIND_HELLO,
-            &Hello {
-                node: id,
-                listen_port: addr.port(),
-            },
-        );
-
-        let mut threads = Vec::new();
-        {
-            // Listener/acceptor thread.
-            let tx = tx.clone();
-            let book = book.clone();
-            let stats = stats.clone();
-            let conns = conns.clone();
-            let shutdown = shutdown.clone();
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("atum-net-l{id}"))
-                    .spawn(move || {
-                        for stream in listener.incoming() {
-                            if shutdown.load(Ordering::Relaxed) {
-                                break;
-                            }
-                            let Ok(stream) = stream else { continue };
-                            let _ = stream.set_nodelay(true);
-                            let slot = stream.try_clone().ok().map(|clone| conns.add(clone));
-                            let tx = tx.clone();
-                            let book = book.clone();
-                            let stats = stats.clone();
-                            let conns = conns.clone();
-                            let _ = std::thread::Builder::new()
-                                .name(format!("atum-net-r{id}"))
-                                .spawn(move || {
-                                    reader_loop(stream, tx, book, stats);
-                                    // Free the registry slot with the
-                                    // connection, whatever ended it.
-                                    if let Some(slot) = slot {
-                                        conns.remove(slot);
-                                    }
-                                });
-                        }
-                    })
-                    .expect("spawn listener thread"),
-            );
-        }
-        {
-            // Event-loop thread.
-            let seed = cfg.seed ^ id.raw().wrapping_mul(0x9E3779B97F4A7C15);
-            let event_loop = EventLoop {
-                id,
-                node,
-                rng: ChaCha8Rng::seed_from_u64(seed),
-                next_timer_handle: 0,
-                timers: BinaryHeap::new(),
-                timer_seq: 0,
-                pending_timers: HashSet::new(),
-                effects: ContextEffects::new(),
-                fanout_frames: HashMap::new(),
-                peers: HashMap::new(),
-                rx,
-                self_tx: tx.clone(),
-                book: book.clone(),
-                hello_frame,
-                cfg,
-                stats: stats.clone(),
-                conns: conns.clone(),
-                shutdown: shutdown.clone(),
-                epoch,
-                halted: false,
-            };
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("atum-net-e{id}"))
-                    .spawn(move || event_loop.run())
-                    .expect("spawn event loop thread"),
-            );
-        }
-        Ok(NetNode {
-            id,
-            addr,
-            tx,
-            stats,
-            shutdown,
-            conns,
-            threads,
-        })
+        let runtime = NetRuntime::bind(RuntimeConfig {
+            listen: bind,
+            reactors: 1,
+            book: book.clone(),
+            epoch: Some(epoch),
+            ..cfg
+        })?;
+        let handle = runtime.host(id, node);
+        Ok(NetNode { runtime, handle })
     }
 
     /// This node's identifier.
     pub fn id(&self) -> NodeId {
-        self.id
+        self.handle.id()
     }
 
     /// The address the node's listener accepts on.
     pub fn addr(&self) -> SocketAddr {
-        self.addr
+        self.handle.addr()
     }
 
     /// The node's runtime counters.
     pub fn stats(&self) -> &Arc<RuntimeStats> {
-        &self.stats
+        self.handle.stats()
     }
 
-    /// Schedules `f` against the node on its event loop (the TCP runtime's
+    /// Schedules `f` against the node on its reactor (the TCP runtime's
     /// analogue of `Simulation::call`).
     pub fn call<F>(&self, f: F)
     where
         F: FnOnce(&mut N, &mut Context<'_, M>) + Send + 'static,
     {
-        let _ = self.tx.send(Event::Call(Box::new(f)));
+        self.handle.call(f);
     }
 
     /// Runs a read-only closure against the node state and returns its
-    /// result, or `None` when the event loop is gone or does not answer
+    /// result, or `None` when the reactor is gone or does not answer
     /// within five seconds.
     pub fn with_node<R, F>(&self, f: F) -> Option<R>
     where
         R: Send + 'static,
         F: FnOnce(&N) -> R + Send + 'static,
     {
-        let (tx, rx) = mpsc::channel();
-        self.call(move |node, _ctx| {
-            let _ = tx.send(f(node));
-        });
-        rx.recv_timeout(StdDuration::from_secs(5)).ok()
+        self.handle.with_node(f)
     }
 
-    /// Stops every thread of this node: the event loop drains its peers, the
-    /// listener unblocks, and all sockets are shut down.
-    pub fn shutdown(mut self) {
-        self.shutdown.store(true, Ordering::Relaxed);
-        let _ = self.tx.send(Event::Shutdown);
-        // Unblock the accept loop with a throwaway connection.
-        let _ = TcpStream::connect_timeout(&self.addr, StdDuration::from_millis(200));
-        self.conns.shutdown_all();
-        for handle in self.threads.drain(..) {
-            let _ = handle.join();
-        }
+    /// Stops the node's private runtime: outbound queues drain, sockets
+    /// close, the reactor thread joins.
+    pub fn shutdown(self) {
+        self.runtime.shutdown();
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
+    use crate::frame::{self, Hello, NetError, Route};
+    use crate::reactor::NetRuntime;
+    use atum_types::wire::{self, FRAME_KIND_HELLO, FRAME_KIND_MESSAGE, FRAME_KIND_ROUTE};
     use atum_types::Duration;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
 
     /// A node that records what it sees and ping-pongs small counters.
     #[derive(Default)]
@@ -997,6 +395,7 @@ mod tests {
 
     #[test]
     fn ping_pong_crosses_real_sockets() {
+        // Via the deprecated shim, which must keep working verbatim.
         let book = AddressBook::new();
         let epoch = std::time::Instant::now();
         let cfg = RuntimeConfig::default();
@@ -1029,6 +428,8 @@ mod tests {
         assert!(a.with_node(|n| n.started).unwrap());
         assert!(a.stats().frames_sent.load(Ordering::Relaxed) >= 2);
         assert!(b.stats().frames_received.load(Ordering::Relaxed) >= 2);
+        // The headline invariant: one reactor thread per runtime.
+        assert_eq!(a.stats().threads.load(Ordering::Relaxed), 1);
         a.shutdown();
         b.shutdown();
     }
@@ -1062,47 +463,33 @@ mod tests {
     }
 
     #[test]
-    fn pop_batch_honours_frame_and_byte_bounds() {
-        let queue = PeerQueue::new(16);
-        let frame = |len: usize| -> Arc<[u8]> { vec![0u8; len].into() };
-        for _ in 0..5 {
-            queue.push(frame(100)).expect("push");
-        }
-        let mut out = Vec::new();
-        // Frame bound: 3 of the 5 queued frames.
-        assert!(queue.pop_batch(&mut out, 3, usize::MAX));
-        assert_eq!(out.len(), 3);
-        out.clear();
-        // Remainder drains in one batch.
-        assert!(queue.pop_batch(&mut out, 64, usize::MAX));
-        assert_eq!(out.len(), 2);
-        out.clear();
+    fn one_runtime_hosts_many_nodes_on_one_thread() {
+        // Three nodes, one runtime, one reactor: cross-node sends travel
+        // through the runtime's own listener (real sockets), self-sends
+        // loop locally, and everything still works.
+        let runtime: NetRuntime<u64, Recorder> =
+            NetRuntime::bind(RuntimeConfig::default()).unwrap();
+        let a = runtime.host(NodeId::new(0), Recorder::default());
+        let b = runtime.host(NodeId::new(1), Recorder::default());
+        let _c = runtime.host(NodeId::new(2), Recorder::default());
+        assert_eq!(a.addr(), b.addr(), "hosted nodes share the listener");
+        assert_eq!(runtime.stats().threads.load(Ordering::Relaxed), 1);
 
-        // Byte bound: 100 + 100 <= 250, the third would exceed it.
-        for _ in 0..3 {
-            queue.push(frame(100)).expect("push");
-        }
-        assert!(queue.pop_batch(&mut out, 64, 250));
-        assert_eq!(out.len(), 2);
-        out.clear();
-        assert!(queue.pop_batch(&mut out, 64, 250));
-        assert_eq!(out.len(), 1);
-        out.clear();
-
-        // An oversized frame is still taken (alone), never wedged.
-        queue.push(frame(1000)).expect("push");
-        queue.push(frame(10)).expect("push");
-        assert!(queue.pop_batch(&mut out, 64, 250));
-        assert_eq!(out.len(), 1);
-        assert_eq!(out[0].len(), 1000);
-        out.clear();
-
-        // Closed and drained: pop_batch reports the end.
-        queue.close();
-        assert!(queue.pop_batch(&mut out, 64, 250));
-        assert_eq!(out.len(), 1);
-        out.clear();
-        assert!(!queue.pop_batch(&mut out, 64, 250));
+        let to = b.id();
+        a.call(move |_n, ctx| ctx.send(to, 0));
+        assert!(
+            wait_until(StdDuration::from_secs(10), || {
+                a.with_node(|n| n.messages.clone()).unwrap_or_default()
+                    == vec![(NodeId::new(1), 1), (NodeId::new(1), 3)]
+            }),
+            "co-hosted ping-pong did not complete: a saw {:?}, b saw {:?}",
+            a.with_node(|n| n.messages.clone()),
+            b.with_node(|n| n.messages.clone()),
+        );
+        // The traffic crossed a socket, not a shortcut.
+        assert!(runtime.stats().frames_sent.load(Ordering::Relaxed) >= 4);
+        assert!(runtime.stats().frames_received.load(Ordering::Relaxed) >= 4);
+        runtime.shutdown();
     }
 
     /// A sink for `AtumMessage` traffic (the encode-once test drives real
@@ -1129,28 +516,20 @@ mod tests {
         use atum_core::{AtumMessage, GroupEnvelope, GroupPayload};
         use atum_types::{BroadcastId, Composition, VgroupId};
 
+        // Sender and receivers on separate runtimes so the fan-out crosses
+        // distinct connections (sender-side stats stay isolated).
         let book = AddressBook::new();
-        let epoch = std::time::Instant::now();
-        let cfg = RuntimeConfig::default();
-        let sender = NetNode::spawn(
-            NodeId::new(0),
-            GroupSink::default(),
-            &book,
+        let epoch = Some(std::time::Instant::now());
+        let cfg = |book: &AddressBook| RuntimeConfig {
+            book: book.clone(),
             epoch,
-            cfg.clone(),
-        )
-        .unwrap();
+            ..RuntimeConfig::default()
+        };
+        let send_rt: NetRuntime<AtumMessage, GroupSink> = NetRuntime::bind(cfg(&book)).unwrap();
+        let recv_rt: NetRuntime<AtumMessage, GroupSink> = NetRuntime::bind(cfg(&book)).unwrap();
+        let sender = send_rt.host(NodeId::new(0), GroupSink::default());
         let receivers: Vec<_> = (1..=3u64)
-            .map(|i| {
-                NetNode::spawn(
-                    NodeId::new(i),
-                    GroupSink::default(),
-                    &book,
-                    epoch,
-                    cfg.clone(),
-                )
-                .unwrap()
-            })
+            .map(|i| recv_rt.host(NodeId::new(i), GroupSink::default()))
             .collect();
 
         let envelope = Arc::new(GroupEnvelope::new(
@@ -1178,8 +557,8 @@ mod tests {
             }),
             "fan-out did not arrive"
         );
-        assert_eq!(sender.stats().messages_encoded.load(Ordering::Relaxed), 1);
-        assert_eq!(sender.stats().frames_sent.load(Ordering::Relaxed), 3);
+        assert_eq!(send_rt.stats().messages_encoded.load(Ordering::Relaxed), 1);
+        assert_eq!(send_rt.stats().frames_sent.load(Ordering::Relaxed), 3);
 
         // Re-gossip of the same envelope in a *later* dispatch: the frame
         // memoized on the envelope is reused, still one encoding in total.
@@ -1198,16 +577,22 @@ mod tests {
             "re-gossip did not arrive"
         );
         assert_eq!(
-            sender.stats().messages_encoded.load(Ordering::Relaxed),
+            send_rt.stats().messages_encoded.load(Ordering::Relaxed),
             1,
             "re-gossip of a memoized envelope must not re-encode"
         );
-        assert_eq!(sender.stats().frames_sent.load(Ordering::Relaxed), 6);
+        assert_eq!(send_rt.stats().frames_sent.load(Ordering::Relaxed), 6);
 
-        sender.shutdown();
-        for r in receivers {
-            r.shutdown();
-        }
+        send_rt.shutdown();
+        recv_rt.shutdown();
+    }
+
+    /// Trivial `Vec<u8>` node for writer-side tests.
+    struct Blaster;
+
+    impl Node<Vec<u8>> for Blaster {
+        fn on_message(&mut self, _from: NodeId, _msg: Vec<u8>, _ctx: &mut Context<'_, Vec<u8>>) {}
+        fn on_timer(&mut self, _tag: u64, _ctx: &mut Context<'_, Vec<u8>>) {}
     }
 
     #[test]
@@ -1216,20 +601,21 @@ mod tests {
         // overflow (counted), and everything that was accepted arrives
         // exactly once, in order, across coalesced batches. (Exactly-once
         // holds on an unbroken connection, as here; across reconnects the
-        // writer is deliberately at-least-once — see `writer_loop`.)
-        let book = AddressBook::new();
-        let epoch = std::time::Instant::now();
-        let cfg = RuntimeConfig {
+        // runtime is deliberately at-least-once.)
+        let runtime: NetRuntime<Vec<u8>, Blaster> = NetRuntime::bind(RuntimeConfig {
             queue_capacity: 8,
+            drain_timeout: StdDuration::from_secs(30),
             ..RuntimeConfig::default()
-        };
-        let node: NetNode<Vec<u8>, Recorder2> =
-            NetNode::spawn(NodeId::new(0), Recorder2, &book, epoch, cfg).unwrap();
+        })
+        .unwrap();
+        let node = runtime.host(NodeId::new(0), Blaster);
 
-        // The "peer" is this test: a raw listener that reads the hello, then
+        // The "peer" is this test: a raw listener that accepts, then
         // stalls long enough for the burst to overrun the queue.
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        book.register(NodeId::new(9), listener.local_addr().unwrap());
+        runtime
+            .book()
+            .register(NodeId::new(9), listener.local_addr().unwrap());
 
         const BURST: usize = 40;
         const FRAME_PAYLOAD: usize = 512 * 1024; // >> loopback socket buffers
@@ -1241,26 +627,39 @@ mod tests {
             }
         });
 
-        let (mut stream, _) = listener.accept().unwrap();
-        let _hello: Hello = frame::read_decoded(&mut stream, FRAME_KIND_HELLO).unwrap();
-        // Stall: the writer fills the socket buffer and blocks; the event
-        // loop keeps pushing until the queue bound drops the rest.
+        let (stream, _) = listener.accept().unwrap();
+        // Stall: the reactor fills the socket buffer and arms write
+        // interest; the burst overruns the queue bound and drops the rest.
         std::thread::sleep(StdDuration::from_millis(600));
         stream
             .set_read_timeout(Some(StdDuration::from_secs(2)))
             .unwrap();
+        let mut stream = std::io::BufReader::new(stream);
+        let hello: Hello = frame::read_decoded(&mut stream, FRAME_KIND_HELLO).unwrap();
+        assert_eq!(hello.node, NodeId::new(0));
         let mut seqs = Vec::new();
         let mut body = Vec::new();
-        // Read until a timeout signals the writer has nothing left.
-        while let Ok(kind) = frame::read_frame_into(&mut stream, &mut body) {
-            assert_eq!(kind, FRAME_KIND_MESSAGE);
-            let payload: Vec<u8> = wire::decode_exact(&body).unwrap();
-            assert_eq!(payload.len(), FRAME_PAYLOAD);
-            seqs.push(u64::from_le_bytes(payload[..8].try_into().unwrap()));
+        // Read route/message pairs until a timeout signals the end.
+        loop {
+            match frame::read_frame_into(&mut stream, &mut body) {
+                Ok(kind) if kind == FRAME_KIND_ROUTE => {
+                    let route: Route = wire::decode_exact(&body).unwrap();
+                    assert_eq!(route.from, NodeId::new(0));
+                    assert_eq!(route.to, NodeId::new(9));
+                }
+                Ok(kind) => {
+                    assert_eq!(kind, FRAME_KIND_MESSAGE);
+                    let payload: Vec<u8> = wire::decode_exact(&body).unwrap();
+                    assert_eq!(payload.len(), FRAME_PAYLOAD);
+                    seqs.push(u64::from_le_bytes(payload[..8].try_into().unwrap()));
+                }
+                Err(NetError::Io(_)) => break,
+                Err(e) => panic!("unexpected frame error: {e}"),
+            }
         }
 
         let delivered = seqs.len() as u64;
-        let dropped = node.stats().frames_dropped.load(Ordering::Relaxed);
+        let dropped = runtime.stats().frames_dropped.load(Ordering::Relaxed);
         // Exactly once, in order: the sequence numbers are strictly
         // increasing (drops may skip, but nothing reorders or duplicates).
         assert!(
@@ -1275,41 +674,25 @@ mod tests {
             "every frame is either delivered once or counted dropped"
         );
         assert_eq!(
-            node.stats().frames_sent.load(Ordering::Relaxed),
+            runtime.stats().frames_sent.load(Ordering::Relaxed),
             delivered,
             "frames_sent matches what actually crossed the socket"
         );
-        // Read side of the accounting: what the peer drained in batches is
-        // what the writer coalesced.
-        assert!(node.stats().writes.load(Ordering::Relaxed) >= 1);
-        node.shutdown();
-    }
-
-    /// Trivial `Vec<u8>` node for writer-side tests.
-    struct Recorder2;
-
-    impl Node<Vec<u8>> for Recorder2 {
-        fn on_message(&mut self, _from: NodeId, _msg: Vec<u8>, _ctx: &mut Context<'_, Vec<u8>>) {}
-        fn on_timer(&mut self, _tag: u64, _ctx: &mut Context<'_, Vec<u8>>) {}
+        assert!(runtime.stats().writes.load(Ordering::Relaxed) >= 1);
+        runtime.shutdown();
     }
 
     #[test]
     fn garbage_frames_close_the_connection_but_not_the_node() {
-        use std::io::{Read, Write};
-        let book = AddressBook::new();
-        let epoch = std::time::Instant::now();
-        let node: NetNode<u64, Recorder> = NetNode::spawn(
-            NodeId::new(3),
-            Recorder::default(),
-            &book,
-            epoch,
-            RuntimeConfig::default(),
-        )
-        .unwrap();
+        use std::io::Read;
+        let runtime: NetRuntime<u64, Recorder> =
+            NetRuntime::bind(RuntimeConfig::default()).unwrap();
+        let node = runtime.host(NodeId::new(3), Recorder::default());
 
-        // A connection that sends a valid hello, one valid message, then a
-        // frame whose body does not decode: the message is delivered, the
-        // error is counted, the connection dies, the node lives.
+        // A connection that sends a valid hello, one valid routed message,
+        // then a frame whose body does not decode: the message is
+        // delivered, the error is counted, the connection dies, the node
+        // lives.
         let mut stream = TcpStream::connect(node.addr()).unwrap();
         stream
             .write_all(&frame::encode_frame(
@@ -1320,6 +703,11 @@ mod tests {
                 },
             ))
             .unwrap();
+        let route = Route {
+            from: NodeId::new(9),
+            to: NodeId::new(3),
+        };
+        stream.write_all(&frame::route_frame(route)).unwrap();
         stream
             .write_all(&frame::frame_bytes(
                 FRAME_KIND_MESSAGE,
@@ -1329,6 +717,7 @@ mod tests {
         // Trailing garbage after a valid u64 violates exact consumption.
         let mut bad_body = wire::encode_to_vec(&5u64);
         bad_body.push(0xFF);
+        stream.write_all(&frame::route_frame(route)).unwrap();
         stream
             .write_all(&frame::frame_bytes(FRAME_KIND_MESSAGE, &bad_body))
             .unwrap();
@@ -1336,7 +725,7 @@ mod tests {
 
         assert!(
             wait_until(StdDuration::from_secs(5), || {
-                node.stats().decode_errors.load(Ordering::Relaxed) == 1
+                runtime.stats().decode_errors.load(Ordering::Relaxed) == 1
             }),
             "decode error was not counted"
         );
@@ -1345,12 +734,12 @@ mod tests {
             node.with_node(|n| n.messages.clone()).unwrap(),
             vec![(NodeId::new(9), 77)]
         );
-        // The connection was closed by the node (read returns 0 / error).
+        // The connection was closed by the runtime (read returns 0 / error).
         let mut probe = [0u8; 1];
         let _ = stream.set_read_timeout(Some(StdDuration::from_secs(5)));
         assert!(matches!(stream.read(&mut probe), Ok(0) | Err(_)));
         // And the node still processes events.
         assert!(node.with_node(|n| n.started).is_some());
-        node.shutdown();
+        runtime.shutdown();
     }
 }

@@ -13,7 +13,7 @@ use atum_core::{Application, AtumMessage, AtumNode, ByzantineBehavior};
 use atum_crypto::KeyRegistry;
 use atum_overlay::{CycleNeighbors, HGraph, NeighborTable, VgroupDirectory};
 use atum_simnet::{NetConfig, Simulation};
-use atum_types::{Composition, NodeId, Params, VgroupId};
+use atum_types::{BroadcastId, Composition, Duration, NodeId, Params, VgroupId};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -59,12 +59,44 @@ impl<A: Application> Cluster<A> {
             .collect()
     }
 
-    /// Number of nodes that currently consider themselves members.
+    /// Number of nodes that currently consider themselves members (all
+    /// hosted nodes, including joiners added after construction).
     pub fn member_count(&self) -> usize {
-        self.initial_nodes
-            .iter()
-            .filter(|&&id| self.sim.node(id).map(|n| n.is_member()).unwrap_or(false))
+        self.sim
+            .node_ids()
+            .into_iter()
+            .filter(|&id| self.sim.node(id).map(|n| n.is_member()).unwrap_or(false))
             .count()
+    }
+
+    /// Runs the simulation until at least `target` nodes are members or
+    /// `timeout` of *simulated* time elapses; returns the final member
+    /// count. Mirrors `NetCluster::wait_for_members`, which polls the wall
+    /// clock instead.
+    pub fn wait_for_members(&mut self, target: usize, timeout: Duration) -> usize {
+        let deadline = self.sim.now() + timeout;
+        loop {
+            let count = self.member_count();
+            if count >= target || self.sim.now() >= deadline {
+                return count;
+            }
+            self.sim.run_for(Duration::from_millis(100));
+        }
+    }
+
+    /// Broadcasts `payload` from `origin` and returns the broadcast
+    /// identifier (for latency correlation), or `None` when the origin is
+    /// unknown or not a member. Mirrors `NetCluster::broadcast_tracked`.
+    ///
+    /// `Simulation::call` is *scheduled*, not immediate, so this advances
+    /// the simulation by one millisecond to execute the closure.
+    pub fn broadcast_tracked(&mut self, origin: NodeId, payload: Vec<u8>) -> Option<BroadcastId> {
+        let (tx, rx) = std::sync::mpsc::channel();
+        self.sim.call(origin, move |n, ctx| {
+            let _ = tx.send(n.broadcast(payload, ctx).ok());
+        });
+        self.sim.run_for(Duration::from_millis(1));
+        rx.try_recv().ok().flatten()
     }
 }
 
@@ -288,5 +320,34 @@ mod tests {
     #[should_panic(expected = "at least one node")]
     fn zero_node_cluster_is_rejected() {
         ClusterBuilder::new(0).build(|_| CollectingApp::new());
+    }
+
+    #[test]
+    fn tracked_broadcast_returns_an_id_and_delivers() {
+        // The unified harness surface: `wait_for_members` +
+        // `broadcast_tracked` behave like their NetCluster counterparts.
+        let params = Params::default()
+            .with_group_bounds(2, 8)
+            .with_overlay(3, 5)
+            .with_round(Duration::from_millis(250));
+        let mut cluster = ClusterBuilder::new(12)
+            .params(params)
+            .seed(8)
+            .build(|_| CollectingApp::new());
+        assert_eq!(cluster.wait_for_members(12, Duration::from_secs(1)), 12);
+        let origin = cluster.initial_nodes[2];
+        let id = cluster
+            .broadcast_tracked(origin, b"tracked".to_vec())
+            .expect("origin is a member");
+        assert_eq!(id.origin, origin);
+        cluster.sim.run_for(Duration::from_secs(40));
+        for node_id in cluster.correct_nodes() {
+            let node = cluster.sim.node(node_id).unwrap();
+            assert!(node
+                .app()
+                .delivered_payloads()
+                .iter()
+                .any(|p| p == b"tracked"));
+        }
     }
 }

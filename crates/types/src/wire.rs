@@ -51,12 +51,19 @@ pub const ENVELOPE_OVERHEAD: usize = 48;
 
 /// Magic bytes opening every frame.
 pub const FRAME_MAGIC: [u8; 2] = *b"AT";
-/// Wire-format version carried in every frame header.
-pub const WIRE_VERSION: u8 = 1;
+/// Wire-format version carried in every frame header. Version 2 introduced
+/// the [`FRAME_KIND_ROUTE`] frame: connections are no longer a dedicated
+/// pipe between one node pair, so every message frame is preceded by a
+/// route frame naming its endpoints.
+pub const WIRE_VERSION: u8 = 2;
 /// Frame kind: connection handshake (`Hello`).
 pub const FRAME_KIND_HELLO: u8 = 0;
 /// Frame kind: an encoded `AtumMessage`.
 pub const FRAME_KIND_MESSAGE: u8 = 1;
+/// Frame kind: the `(from, to)` routing header preceding a message frame.
+/// Kept outside the message frame so the message bytes stay identical
+/// across every recipient of a fan-out (the encode-once `Arc<[u8]>` path).
+pub const FRAME_KIND_ROUTE: u8 = 2;
 /// Bytes of the frame header: magic (2), version (1), kind (1), body length
 /// (`u32` little-endian).
 pub const FRAME_HEADER_LEN: usize = 8;

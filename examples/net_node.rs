@@ -22,7 +22,7 @@
 
 use atum::core::{AtumNode, CollectingApp};
 use atum::crypto::KeyRegistry;
-use atum::net::{AddressBook, NetNode, RuntimeConfig};
+use atum::net::{AddressBook, NetRuntime, NodeHandle, RuntimeConfig};
 use atum::types::{Duration, NodeId, Params};
 use std::io::BufRead;
 use std::net::SocketAddr;
@@ -78,7 +78,10 @@ fn parse_args(mut rest: std::env::Args) -> Args {
     args
 }
 
-fn spawn_node(args: &Args) -> NetNode<atum::core::AtumMessage, AtumNode<CollectingApp>> {
+type Runtime = NetRuntime<atum::core::AtumMessage, AtumNode<CollectingApp>>;
+type Handle = NodeHandle<atum::core::AtumMessage, AtumNode<CollectingApp>>;
+
+fn spawn_node(args: &Args) -> (Runtime, Handle) {
     let book = AddressBook::new();
     for &(id, addr) in &args.contacts {
         book.register(id, addr);
@@ -86,18 +89,16 @@ fn spawn_node(args: &Args) -> NetNode<atum::core::AtumMessage, AtumNode<Collecti
     let id = NodeId::new(args.id);
     let node = AtumNode::new(id, params(), registry(), CollectingApp::new());
     let bind: SocketAddr = format!("127.0.0.1:{}", args.port).parse().unwrap();
-    let handle = NetNode::spawn_on(
-        id,
-        node,
-        &book,
-        StdInstant::now(),
-        RuntimeConfig::default(),
-        bind,
-    )
+    let runtime = Runtime::bind(RuntimeConfig {
+        listen: bind,
+        book,
+        ..RuntimeConfig::default()
+    })
     .expect("bind listener");
+    let handle = runtime.host(id, node);
     // The demo parent scrapes this line for the ephemeral port.
     println!("LISTENING {}", handle.addr());
-    handle
+    (runtime, handle)
 }
 
 fn wait_until(timeout: StdDuration, mut pred: impl FnMut() -> bool) -> bool {
@@ -112,7 +113,7 @@ fn wait_until(timeout: StdDuration, mut pred: impl FnMut() -> bool) -> bool {
 }
 
 fn run_listen(args: Args) -> i32 {
-    let handle = spawn_node(&args);
+    let (runtime, handle) = spawn_node(&args);
     handle.call(|n, ctx| n.bootstrap(ctx).expect("bootstrap"));
     println!("bootstrapped; waiting for a joiner and its broadcast");
     let ok = wait_until(StdDuration::from_secs(60), || {
@@ -133,7 +134,7 @@ fn run_listen(args: Args) -> i32 {
     for p in &payloads {
         println!("delivered: {}", String::from_utf8_lossy(p));
     }
-    handle.shutdown();
+    runtime.shutdown();
     if ok {
         println!("OK: joiner admitted and broadcast delivered across processes");
         0
@@ -145,7 +146,7 @@ fn run_listen(args: Args) -> i32 {
 
 fn run_join(args: Args) -> i32 {
     let contact = args.contacts.first().expect("join needs --contact").0;
-    let handle = spawn_node(&args);
+    let (runtime, handle) = spawn_node(&args);
     handle.call(move |n, ctx| {
         n.join(contact, ctx).expect("join");
     });
@@ -154,7 +155,7 @@ fn run_join(args: Args) -> i32 {
     });
     if !joined {
         eprintln!("FAIL: never became a member");
-        handle.shutdown();
+        runtime.shutdown();
         return 1;
     }
     println!("joined; broadcasting");
@@ -173,6 +174,7 @@ fn run_join(args: Args) -> i32 {
             })
             .unwrap_or(false)
     });
+    runtime.shutdown();
     if ok {
         println!("OK: joined and delivered own broadcast via the vgroup");
         0

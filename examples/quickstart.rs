@@ -1,68 +1,84 @@
-//! Quickstart: bootstrap a tiny Atum instance, let a few nodes join through a
-//! contact node, broadcast a message and watch every node deliver it.
+//! Quickstart: the same Atum scenario on both runtimes.
+//!
+//! The harnesses share one vocabulary — `params`/`seed`/`group_size`/`build`
+//! on the builders, `member_count`/`wait_for_members`/`broadcast_tracked` on
+//! the clusters — so a scenario written against the deterministic simulator
+//! ports to real TCP sockets by swapping `ClusterBuilder` for
+//! `NetClusterBuilder`.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use atum::core::{AtumNode, CollectingApp};
-use atum::crypto::KeyRegistry;
-use atum::simnet::{NetConfig, Simulation};
-use atum::types::{Duration, NodeId, Params};
+use atum::prelude::*;
 
-fn main() {
-    let nodes = 6u64;
-    let mut registry = KeyRegistry::new();
-    for i in 0..nodes {
-        registry.register(NodeId::new(i), 2024);
-    }
-    let registry = registry.shared();
-    let params = Params::default()
-        .with_round(Duration::from_millis(500))
-        .with_group_bounds(1, 8);
+fn scenario_params() -> Params {
+    Params::default()
+        .with_round(Duration::from_millis(250))
+        .with_group_bounds(2, 8)
+        .with_overlay(3, 5)
+}
 
-    let mut sim = Simulation::new(NetConfig::lan(), 1);
-    for i in 0..nodes {
-        let node = AtumNode::new(
-            NodeId::new(i),
-            params.clone(),
-            registry.clone(),
-            CollectingApp::new(),
-        );
-        sim.add_node(NodeId::new(i), node);
-    }
+/// The scenario, simulated: deterministic, instant, reproducible.
+fn simulated() {
+    let mut cluster = ClusterBuilder::new(12)
+        .params(scenario_params())
+        .seed(2024)
+        .build(|_| CollectingApp::new());
+    let members = cluster.wait_for_members(12, Duration::from_secs(5));
+    println!("[sim] members: {members}/12");
 
-    // Node 0 creates the instance; the others join through it.
-    sim.call(NodeId::new(0), |n, ctx| n.bootstrap(ctx).unwrap());
-    sim.run_for(Duration::from_secs(2));
-    for i in 1..nodes {
-        sim.call(NodeId::new(i), |n, ctx| {
-            n.join(NodeId::new(0), ctx).unwrap()
-        });
-        sim.run_for(Duration::from_secs(45));
-    }
+    let origin = NodeId::new(3);
+    let id = cluster
+        .broadcast_tracked(origin, b"hello, volatile groups!".to_vec())
+        .expect("origin is a member");
+    cluster.sim.run_for(Duration::from_secs(30));
 
-    let members = (0..nodes)
-        .filter(|&i| sim.node(NodeId::new(i)).unwrap().is_member())
+    let delivered = cluster
+        .correct_nodes()
+        .into_iter()
+        .filter(|&n| {
+            cluster
+                .sim
+                .node(n)
+                .map(|node| {
+                    node.app()
+                        .delivered_payloads()
+                        .iter()
+                        .any(|p| p == b"hello, volatile groups!")
+                })
+                .unwrap_or(false)
+        })
         .count();
-    println!("members after joins: {members}/{nodes}");
+    println!("[sim] broadcast {id}: delivered on {delivered}/12 nodes");
+}
 
-    sim.call(NodeId::new(3), |n, ctx| {
-        n.broadcast(b"hello, volatile groups!".to_vec(), ctx)
-            .unwrap();
-    });
-    sim.run_for(Duration::from_secs(30));
+/// The same scenario over real loopback TCP: every heartbeat, gossip round
+/// and SMR step crosses actual sockets, all hosted on one reactor thread.
+fn networked() {
+    let cluster = NetClusterBuilder::new(12, 0)
+        .params(scenario_params())
+        .seed(2024)
+        .build(|_| CollectingApp::new());
+    let members = cluster.wait_for_members(12, std::time::Duration::from_secs(10));
+    println!(
+        "[net] members: {members}/12 (threads: {})",
+        cluster.stats().threads
+    );
 
-    for i in 0..nodes {
-        let node = sim.node(NodeId::new(i)).unwrap();
-        let got = node
-            .app()
+    let origin = NodeId::new(3);
+    let id = cluster
+        .broadcast_tracked(origin, b"hello, volatile groups!".to_vec())
+        .expect("origin is a member");
+    let delivered = cluster.wait_for_nodes(12, std::time::Duration::from_secs(30), |n| {
+        n.app()
             .delivered_payloads()
             .iter()
-            .any(|p| p == b"hello, volatile groups!");
-        println!(
-            "node {i}: member={} delivered_broadcast={} vgroup={:?}",
-            node.is_member(),
-            got,
-            node.member().map(|m| m.vgroup)
-        );
-    }
+            .any(|p| p == b"hello, volatile groups!")
+    });
+    println!("[net] broadcast {id}: delivered on {delivered}/12 nodes");
+    cluster.shutdown();
+}
+
+fn main() {
+    simulated();
+    networked();
 }

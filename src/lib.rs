@@ -35,3 +35,34 @@ pub use atum_types as types;
 
 pub use atum_core::{AppCtx, Application, AtumNode, CollectingApp, Delivered};
 pub use atum_types::{GossipPolicy, NodeId, Params, SmrMode};
+
+/// One-stop imports for applications and harness code.
+///
+/// Brings in the node and application surface, the common configuration
+/// types, and both cluster harnesses — the simulated
+/// [`ClusterBuilder`](crate::sim::ClusterBuilder) and the socket-backed
+/// [`NetClusterBuilder`](crate::net::NetClusterBuilder) share their builder
+/// vocabulary (`params`/`seed`/`group_size`/`build`) and their cluster
+/// vocabulary (`member_count`/`wait_for_members`/`broadcast_tracked`), so a
+/// scenario written against one ports to the other by swapping the builder.
+///
+/// ```no_run
+/// use atum::prelude::*;
+///
+/// let cluster = NetClusterBuilder::new(4, 0)
+///     .params(Params::default().with_group_bounds(3, 10))
+///     .seed(7)
+///     .build(|_| CollectingApp::new());
+/// cluster.broadcast(NodeId::new(0), b"hello".to_vec());
+/// # cluster.shutdown();
+/// ```
+pub mod prelude {
+    pub use atum_core::{AppCtx, Application, AtumMessage, AtumNode, CollectingApp, Delivered};
+    pub use atum_crypto::KeyRegistry;
+    pub use atum_net::{
+        AddressBook, NetCluster, NetClusterBuilder, NetRuntime, NodeHandle, RuntimeConfig,
+    };
+    pub use atum_sim::{Cluster, ClusterBuilder};
+    pub use atum_simnet::{Context, NetConfig, Node, Simulation};
+    pub use atum_types::{Duration, GossipPolicy, Instant, NodeId, Params, SmrMode, VgroupId};
+}

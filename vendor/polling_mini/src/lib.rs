@@ -1,0 +1,503 @@
+//! Minimal readiness polling over non-blocking sockets: a vendored,
+//! Linux-only stand-in for the `mio`/`polling` crates (the build
+//! environment has no access to crates.io).
+//!
+//! The API is the small slice the `atum-net` reactor needs:
+//!
+//! * [`Poller`] — an epoll instance: `register`/`modify`/`deregister` file
+//!   descriptors under a caller-chosen `u64` key, and [`Poller::wait`] for
+//!   readiness events with an optional timeout. Registrations are
+//!   **level-triggered**: an fd with unread input (or writable space, when
+//!   writable interest is set) is reported on every wait, so a caller that
+//!   does not fully drain a socket is re-notified rather than wedged.
+//! * [`Waker`] — an `eventfd` the owner registers with the poller; any
+//!   thread can [`Waker::wake`] a blocked [`Poller::wait`].
+//! * [`connect_nonblocking`] — starts a TCP connect without blocking and
+//!   returns the in-progress `std::net::TcpStream` (completion is observed
+//!   as writability; check `TcpStream::take_error` to learn the verdict).
+//!
+//! All `unsafe` of the net stack lives here, behind safe wrappers: the
+//! workspace crates are `#![forbid(unsafe_code)]`, and the raw epoll /
+//! eventfd / socket calls below are the irreducible platform surface. Every
+//! wrapper owns the file descriptors it creates (closing them on drop) and
+//! never hands out raw pointers.
+
+#![cfg(target_os = "linux")]
+#![warn(missing_docs)]
+
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::os::fd::{FromRawFd, RawFd};
+use std::time::Duration;
+
+mod sys {
+    use std::os::raw::{c_int, c_uint, c_void};
+
+    pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+    pub const EPOLL_CTL_ADD: c_int = 1;
+    pub const EPOLL_CTL_DEL: c_int = 2;
+    pub const EPOLL_CTL_MOD: c_int = 3;
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+    pub const EFD_NONBLOCK: c_int = 0o4000;
+    pub const EFD_CLOEXEC: c_int = 0o2000000;
+    pub const AF_INET: c_int = 2;
+    pub const AF_INET6: c_int = 10;
+    pub const SOCK_STREAM: c_int = 1;
+    pub const SOCK_NONBLOCK: c_int = 0o4000;
+    pub const SOCK_CLOEXEC: c_int = 0o2000000;
+    pub const EINPROGRESS: i32 = 115;
+
+    /// x86-64 packs the kernel's `epoll_event` (no padding between the
+    /// 32-bit mask and the 64-bit payload) — `repr(C, packed)` matches the
+    /// kernel ABI on every architecture glibc supports epoll on.
+    #[repr(C, packed)]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    #[repr(C)]
+    pub struct SockAddrIn {
+        pub family: u16,
+        pub port: u16,
+        pub addr: u32,
+        pub zero: [u8; 8],
+    }
+
+    #[repr(C)]
+    pub struct SockAddrIn6 {
+        pub family: u16,
+        pub port: u16,
+        pub flowinfo: u32,
+        pub addr: [u8; 16],
+        pub scope_id: u32,
+    }
+
+    extern "C" {
+        pub fn epoll_create1(flags: c_int) -> c_int;
+        pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        pub fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        pub fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+        pub fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+        pub fn connect(fd: c_int, addr: *const c_void, len: u32) -> c_int;
+        pub fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        pub fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+        pub fn close(fd: c_int) -> c_int;
+    }
+}
+
+/// Which readiness to watch a registered fd for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Report when the fd has readable input (or a hangup/error).
+    pub readable: bool,
+    /// Report when the fd accepts writes without blocking.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Readable only.
+    pub const READABLE: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Writable only.
+    pub const WRITABLE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+    /// Readable and writable.
+    pub const BOTH: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+
+    fn mask(self) -> u32 {
+        let mut mask = sys::EPOLLRDHUP;
+        if self.readable {
+            mask |= sys::EPOLLIN;
+        }
+        if self.writable {
+            mask |= sys::EPOLLOUT;
+        }
+        mask
+    }
+}
+
+/// One readiness event from [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The key the fd was registered under.
+    pub key: u64,
+    /// Input is available, the peer hung up, or the fd errored (a read will
+    /// surface the condition without blocking).
+    pub readable: bool,
+    /// The fd accepts writes (or errored; a write surfaces the condition).
+    pub writable: bool,
+}
+
+/// An epoll instance with an internal event buffer.
+pub struct Poller {
+    epfd: RawFd,
+    buf: Vec<sys::EpollEvent>,
+}
+
+impl std::fmt::Debug for Poller {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Poller").field("epfd", &self.epfd).finish()
+    }
+}
+
+impl Poller {
+    /// Creates a poller.
+    pub fn new() -> io::Result<Poller> {
+        // SAFETY: plain syscall; the returned fd is owned by the Poller.
+        let epfd = unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Poller {
+            epfd,
+            buf: vec![sys::EpollEvent { events: 0, data: 0 }; 1024],
+        })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, key: u64, interest: Interest) -> io::Result<()> {
+        let mut ev = sys::EpollEvent {
+            events: interest.mask(),
+            data: key,
+        };
+        // SAFETY: `ev` outlives the call; the kernel copies it.
+        let rc = unsafe { sys::epoll_ctl(self.epfd, op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Starts watching `fd` under `key` (level-triggered).
+    pub fn register(&self, fd: RawFd, key: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_ADD, fd, key, interest)
+    }
+
+    /// Changes the interest set of a registered fd.
+    pub fn modify(&self, fd: RawFd, key: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_MOD, fd, key, interest)
+    }
+
+    /// Stops watching a registered fd. (Closing the fd deregisters it too;
+    /// this exists for fds that outlive their registration.)
+    pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_DEL, fd, 0, Interest::READABLE)
+    }
+
+    /// Blocks until at least one registered fd is ready, the timeout
+    /// elapses (`None` = forever), or a [`Waker`] fires; appends the events
+    /// to `out` and returns how many were appended. A zero timeout polls.
+    /// Interrupted waits (`EINTR`) return `Ok(0)`.
+    pub fn wait(&mut self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        let timeout_ms: i32 = match timeout {
+            None => -1,
+            Some(d) => {
+                // Round up so a sub-millisecond timer wait does not spin.
+                let ms = d.as_millis();
+                let ms = if d.subsec_millis() as u128 * 1_000_000 != d.subsec_nanos() as u128 {
+                    ms + 1
+                } else {
+                    ms
+                };
+                ms.min(i32::MAX as u128) as i32
+            }
+        };
+        // SAFETY: the buffer is owned, correctly sized, and only read up to
+        // the count the kernel reports.
+        let n = unsafe {
+            sys::epoll_wait(
+                self.epfd,
+                self.buf.as_mut_ptr(),
+                self.buf.len() as i32,
+                timeout_ms,
+            )
+        };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(err);
+        }
+        for ev in &self.buf[..n as usize] {
+            let events = ev.events;
+            out.push(Event {
+                key: ev.data,
+                readable: events & (sys::EPOLLIN | sys::EPOLLHUP | sys::EPOLLERR | sys::EPOLLRDHUP)
+                    != 0,
+                writable: events & (sys::EPOLLOUT | sys::EPOLLHUP | sys::EPOLLERR) != 0,
+            });
+        }
+        Ok(n as usize)
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        // SAFETY: the fd is owned and closed exactly once.
+        unsafe { sys::close(self.epfd) };
+    }
+}
+
+/// An eventfd-backed wakeup handle: any thread can unblock a
+/// [`Poller::wait`] that watches it. Register [`Waker::fd`] with readable
+/// interest; after a wakeup, [`Waker::drain`] resets it.
+#[derive(Debug)]
+pub struct Waker {
+    fd: RawFd,
+}
+
+impl Waker {
+    /// Creates a waker.
+    pub fn new() -> io::Result<Waker> {
+        // SAFETY: plain syscall; the returned fd is owned by the Waker.
+        let fd = unsafe { sys::eventfd(0, sys::EFD_NONBLOCK | sys::EFD_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Waker { fd })
+    }
+
+    /// The fd to register with the poller.
+    pub fn fd(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Makes the waker readable, unblocking a poller watching it. Safe from
+    /// any thread; saturation (`EAGAIN`) is already-woken and ignored.
+    pub fn wake(&self) {
+        let one: u64 = 1;
+        // SAFETY: writes 8 owned bytes; eventfd semantics.
+        unsafe {
+            sys::write(
+                self.fd,
+                (&one as *const u64).cast(),
+                std::mem::size_of::<u64>(),
+            )
+        };
+    }
+
+    /// Consumes pending wakeups so the fd stops reporting readable.
+    pub fn drain(&self) {
+        let mut counter: u64 = 0;
+        // SAFETY: reads 8 owned bytes; non-blocking, EAGAIN ends the drain.
+        unsafe {
+            sys::read(
+                self.fd,
+                (&mut counter as *mut u64).cast(),
+                std::mem::size_of::<u64>(),
+            )
+        };
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        // SAFETY: the fd is owned and closed exactly once.
+        unsafe { sys::close(self.fd) };
+    }
+}
+
+// SAFETY: the waker is a plain fd; eventfd writes are atomic across threads.
+unsafe impl Send for Waker {}
+unsafe impl Sync for Waker {}
+
+/// Starts a TCP connect without blocking: returns a non-blocking
+/// `TcpStream` whose connect is complete or in progress. Completion is
+/// observed by polling the stream writable and checking
+/// `TcpStream::take_error()`.
+pub fn connect_nonblocking(addr: SocketAddr) -> io::Result<TcpStream> {
+    let family = match addr {
+        SocketAddr::V4(_) => sys::AF_INET,
+        SocketAddr::V6(_) => sys::AF_INET6,
+    };
+    // SAFETY: plain syscall; on success the fd is owned below.
+    let fd = unsafe {
+        sys::socket(
+            family,
+            sys::SOCK_STREAM | sys::SOCK_NONBLOCK | sys::SOCK_CLOEXEC,
+            0,
+        )
+    };
+    if fd < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    let rc = match addr {
+        SocketAddr::V4(v4) => {
+            let sa = sys::SockAddrIn {
+                family: sys::AF_INET as u16,
+                port: v4.port().to_be(),
+                addr: u32::from(*v4.ip()).to_be(),
+                zero: [0; 8],
+            };
+            // SAFETY: `sa` is a correctly laid out sockaddr_in outliving
+            // the call.
+            unsafe {
+                sys::connect(
+                    fd,
+                    (&sa as *const sys::SockAddrIn).cast(),
+                    std::mem::size_of::<sys::SockAddrIn>() as u32,
+                )
+            }
+        }
+        SocketAddr::V6(v6) => {
+            let sa = sys::SockAddrIn6 {
+                family: sys::AF_INET6 as u16,
+                port: v6.port().to_be(),
+                flowinfo: v6.flowinfo().to_be(),
+                addr: v6.ip().octets(),
+                scope_id: v6.scope_id().to_be(),
+            };
+            // SAFETY: `sa` is a correctly laid out sockaddr_in6 outliving
+            // the call.
+            unsafe {
+                sys::connect(
+                    fd,
+                    (&sa as *const sys::SockAddrIn6).cast(),
+                    std::mem::size_of::<sys::SockAddrIn6>() as u32,
+                )
+            }
+        }
+    };
+    if rc != 0 {
+        let err = io::Error::last_os_error();
+        if err.raw_os_error() != Some(sys::EINPROGRESS) {
+            // SAFETY: the fd is owned and not yet wrapped; close it here.
+            unsafe { sys::close(fd) };
+            return Err(err);
+        }
+    }
+    // SAFETY: `fd` is a valid, owned socket fd transferred to the stream.
+    Ok(unsafe { TcpStream::from_raw_fd(fd) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::TcpListener;
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn waker_unblocks_wait_and_drains() {
+        let mut poller = Poller::new().unwrap();
+        let waker = std::sync::Arc::new(Waker::new().unwrap());
+        poller.register(waker.fd(), 7, Interest::READABLE).unwrap();
+
+        // Nothing pending: a short wait times out empty.
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty());
+
+        // A wake from another thread unblocks the wait.
+        let remote = waker.clone();
+        let t = std::thread::spawn(move || remote.wake());
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        t.join().unwrap();
+        assert!(events.iter().any(|e| e.key == 7 && e.readable));
+
+        // Level-triggered: still readable until drained.
+        events.clear();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.key == 7));
+        waker.drain();
+        events.clear();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn nonblocking_connect_completes_and_carries_bytes() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut stream = connect_nonblocking(addr).unwrap();
+
+        let mut poller = Poller::new().unwrap();
+        poller
+            .register(stream.as_raw_fd(), 1, Interest::WRITABLE)
+            .unwrap();
+        let mut events = Vec::new();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let connected = loop {
+            events.clear();
+            poller
+                .wait(&mut events, Some(Duration::from_millis(100)))
+                .unwrap();
+            if events.iter().any(|e| e.key == 1 && e.writable) {
+                break stream.take_error().unwrap().is_none();
+            }
+            if std::time::Instant::now() > deadline {
+                break false;
+            }
+        };
+        assert!(connected, "non-blocking connect never completed");
+
+        let (mut accepted, _) = listener.accept().unwrap();
+        stream.write_all(b"ping").unwrap();
+        let mut buf = [0u8; 4];
+        accepted.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+    }
+
+    #[test]
+    fn connect_to_dead_port_reports_an_error_on_completion() {
+        // Bind-then-drop: the port is (almost certainly) unbound now.
+        let dead = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let stream = match connect_nonblocking(dead) {
+            Ok(s) => s,
+            // An immediate refusal is also a correct outcome.
+            Err(_) => return,
+        };
+        let mut poller = Poller::new().unwrap();
+        poller
+            .register(stream.as_raw_fd(), 1, Interest::WRITABLE)
+            .unwrap();
+        let mut events = Vec::new();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            events.clear();
+            poller
+                .wait(&mut events, Some(Duration::from_millis(100)))
+                .unwrap();
+            if events.iter().any(|e| e.key == 1) {
+                assert!(
+                    stream.take_error().unwrap().is_some(),
+                    "connect to a dead port reported success"
+                );
+                return;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "refused connect never reported"
+            );
+        }
+    }
+}
