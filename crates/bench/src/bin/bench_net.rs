@@ -223,10 +223,11 @@ fn run_scale() {
     );
 
     // The paper's broadcast guarantee is about a settled membership; right
-    // after mass growth a single gossip pass leaves holes (a dropped copy
-    // has no retransmit, and composition anti-entropy heals post-growth
-    // link asymmetry on heartbeat cadence — the threaded runtime behaved
-    // the same). The system-level claim — every member is reachable — is
+    // after mass growth a single gossip pass leaves holes (broadcast
+    // anti-entropy closes them, but only on announce cadence — slower than
+    // this probe — and composition anti-entropy heals post-growth link
+    // asymmetry on heartbeat cadence; the threaded runtime behaved the
+    // same). The system-level claim — every member is reachable — is
     // demonstrated the way `tests/net_cluster.rs` does it: re-broadcast
     // one probe payload from rotating origins until it blankets the
     // membership, counting attempts.
@@ -550,10 +551,11 @@ fn run_saturation() {
         .with_failure_detection(Duration::from_secs(10), 3);
 
     // Deep outbound queues: a throughput scenario wants backpressure, not
-    // loss, to absorb scheduler hiccups — a dropped gossip copy has no
-    // retransmit, so on an overloaded host a shallow bound turns one stall
-    // into permanent delivery holes and the run measures the timeout, not
-    // the path. The bound is per *connection*, and co-hosted nodes share
+    // loss, to absorb scheduler hiccups — a dropped gossip copy waits for
+    // announce-cadence anti-entropy to be repaired, so on an overloaded
+    // host a shallow bound turns one stall into holes the run can only
+    // close on repair cadence and the bench measures the timeout, not the
+    // path. The bound is per *connection*, and co-hosted nodes share
     // one multiplexed self-connection, so the depth must cover the whole
     // cluster's in-flight storm traffic (queue entries are an address plus
     // an `Arc` to the shared frame, so depth is cheap; the frames
@@ -606,7 +608,8 @@ fn run_saturation() {
     // Settle, tracking when the cluster crosses 95% of the expected
     // deliveries (the same floor CI gates `delivery_ratio` on): throughput
     // is measured at that mark so one straggler hole (a gossip copy lost to
-    // overload has no retransmit) degrades `delivery_ratio`, not the rate —
+    // overload waits for announce-cadence repair) degrades
+    // `delivery_ratio`, not the rate —
     // dividing by the settle timeout would report noise. The poll counts deliveries without cloning them so it
     // does not pollute the allocation measurement.
     let want = sent.len();

@@ -83,6 +83,16 @@ pub struct ExchangeStats {
     pub outstanding: u64,
 }
 
+/// One broadcast retained for the pull-based repair path: a member keeps
+/// the payload of recently delivered broadcasts for a bounded window so a
+/// vgroup peer that missed its gossip copies (drops have no other
+/// retransmit) can pull a re-gossip.
+#[derive(Debug, Clone)]
+struct RecentBroadcast {
+    payload: Arc<[u8]>,
+    stored: Instant,
+}
+
 /// Per-node statistics of interest to experiments.
 #[derive(Debug, Clone, Default)]
 pub struct MemberStats {
@@ -128,6 +138,18 @@ pub struct MemberState {
     collector: GroupMessageCollector,
     seen_broadcasts: SeenCache,
     next_broadcast_seq: u64,
+    /// Recently delivered broadcasts retained for the pull repair path
+    /// (bounded; empty when `params.broadcast_repair` is off).
+    recent_broadcasts: BTreeMap<BroadcastId, RecentBroadcast>,
+    /// When this member last pulled each missing broadcast from each
+    /// advertiser. Keyed per advertiser so a hole collects repair copies
+    /// from *every* distinct holder within one announce period (the
+    /// collector needs a majority of distinct senders), while any one
+    /// (broadcast, holder) pair is asked at most once per period.
+    pulled: BTreeMap<(BroadcastId, NodeId), Instant>,
+    /// When this member last answered each requester's pull of each
+    /// broadcast (the holder-side throttle mirroring `pulled`).
+    repair_sent: BTreeMap<(BroadcastId, NodeId), Instant>,
     /// Shuffle walks this vgroup started: walk → the member to exchange.
     outstanding_exchanges: BTreeMap<WalkId, NodeId>,
     /// Members this vgroup reserved as exchange partners: walk → member.
@@ -210,6 +232,9 @@ impl std::fmt::Debug for MemberState {
             .field("departed_groups", &self.departed_groups)
             .field("correspondents", &self.correspondents)
             .field("link_probes", &self.link_probes)
+            .field("recent_broadcasts", &self.recent_broadcasts)
+            .field("pulled", &self.pulled)
+            .field("repair_sent", &self.repair_sent)
             .field("merging", &self.merging)
             .field("stats", &self.stats)
             .finish_non_exhaustive()
@@ -258,6 +283,11 @@ impl MemberState {
             self.link_probes,
             (self.last_heartbeat_sent, self.last_announce),
             self.merging,
+        );
+        let _ = write!(
+            s,
+            "|{:?}|{:?}|{:?}",
+            self.recent_broadcasts, self.pulled, self.repair_sent
         );
         s
     }
@@ -329,6 +359,9 @@ impl MemberState {
             collector: GroupMessageCollector::new(4096),
             seen_broadcasts: SeenCache::new(65536),
             next_broadcast_seq: 0,
+            recent_broadcasts: BTreeMap::new(),
+            pulled: BTreeMap::new(),
+            repair_sent: BTreeMap::new(),
             outstanding_exchanges: BTreeMap::new(),
             reserved: BTreeMap::new(),
             evict_accusations: BTreeMap::new(),
@@ -1442,6 +1475,7 @@ impl MemberState {
         };
         self.stats.delivered.push((id, now, hops));
         effects.push(Effect::Deliver(delivered.clone()));
+        self.remember_broadcast(id, payload.clone(), now);
 
         // Forwarding plan must be identical at every member: seed the RNG
         // from (broadcast id, vgroup, epoch) only.
@@ -1481,6 +1515,283 @@ impl MemberState {
                 },
                 effects,
             );
+        }
+    }
+
+    // ---------------------------------------------- broadcast self-repair
+
+    /// How many recently delivered broadcasts a member retains for the
+    /// pull repair path. Far above the number a heartbeat window can
+    /// deliver in the experiments; the bound only matters under flood.
+    const RECENT_BROADCAST_CAP: usize = 64;
+
+    /// How many keys one announce-cadence digest advertises.
+    const KEYS_PER_ANNOUNCE: usize = 32;
+
+    /// How many missing broadcasts one pull may request.
+    const PULL_BATCH_MAX: usize = 16;
+
+    /// Retains a delivered broadcast for the repair window (16 heartbeat
+    /// periods — several announce rounds), bounded by
+    /// [`Self::RECENT_BROADCAST_CAP`] (oldest evicted first).
+    fn remember_broadcast(&mut self, id: BroadcastId, payload: Arc<[u8]>, now: Instant) {
+        if !self.params.broadcast_repair {
+            return;
+        }
+        self.recent_broadcasts.insert(
+            id,
+            RecentBroadcast {
+                payload,
+                stored: now,
+            },
+        );
+        while self.recent_broadcasts.len() > Self::RECENT_BROADCAST_CAP {
+            let oldest = self
+                .recent_broadcasts
+                .iter()
+                .min_by_key(|(id, r)| (r.stored, **id))
+                .map(|(id, _)| *id)
+                .expect("non-empty");
+            self.recent_broadcasts.remove(&oldest);
+        }
+    }
+
+    /// Broadcast anti-entropy, piggybacked on the announce cadence: prune
+    /// the retention window, then advertise the retained broadcast ids to
+    /// every vgroup peer *and* to the members of every distinct overlay
+    /// neighbour. The cross-group legs are what let a vgroup where *no*
+    /// member delivered (gossip chain cut mid-flight by a partition)
+    /// bootstrap its copies from the outside; without them repair could
+    /// only level holes inside a group that already held the broadcast. A
+    /// receiver that missed one answers with a
+    /// [`AtumMessage::BroadcastPull`] (see [`Self::on_broadcast_keys`]).
+    fn broadcast_anti_entropy(&mut self, now: Instant, effects: &mut Vec<Effect>) {
+        let retain_for = self.params.heartbeat_period.saturating_mul(16);
+        self.recent_broadcasts
+            .retain(|_, r| now.saturating_since(r.stored) <= retain_for);
+        self.pulled
+            .retain(|_, t| now.saturating_since(*t) <= retain_for);
+        self.repair_sent
+            .retain(|_, t| now.saturating_since(*t) <= retain_for);
+        if self.recent_broadcasts.is_empty() {
+            return;
+        }
+        let mut keys: Vec<BroadcastId> = self.recent_broadcasts.keys().copied().collect();
+        if keys.len() > Self::KEYS_PER_ANNOUNCE {
+            // Newest first, then truncate: old holes have had their rounds.
+            keys.sort_by_key(|id| {
+                let stored = self.recent_broadcasts[id].stored;
+                (std::cmp::Reverse(stored), *id)
+            });
+            keys.truncate(Self::KEYS_PER_ANNOUNCE);
+            keys.sort();
+        }
+        let me = self.me.id;
+        let msg = AtumMessage::BroadcastKeys {
+            group: self.vgroup,
+            keys,
+        };
+        let mut advertised: BTreeSet<NodeId> = BTreeSet::new();
+        for peer in self.composition.iter().filter(|&p| p != me) {
+            if advertised.insert(peer) {
+                effects.push(Effect::Send {
+                    to: peer,
+                    msg: msg.clone(),
+                });
+            }
+        }
+        for (group, comp) in self.neighbors.distinct_neighbors() {
+            if group == self.vgroup {
+                continue;
+            }
+            for peer in comp.iter().filter(|&p| p != me) {
+                if advertised.insert(peer) {
+                    effects.push(Effect::Send {
+                        to: peer,
+                        msg: msg.clone(),
+                    });
+                }
+            }
+        }
+    }
+
+    /// A vgroup peer — or a member of an overlay neighbour — advertised its
+    /// recently delivered broadcasts: pull the ones we missed. Own-group
+    /// pulls are throttled per broadcast (the holder heals us through an
+    /// SMR re-decision, so one pull serves the whole group); cross-group
+    /// pulls are throttled per `(broadcast, advertiser)` so one announce
+    /// period collects a copy from *every distinct holder* (the quorum
+    /// collector needs a majority of distinct senders, and a per-broadcast
+    /// throttle would starve it). Both are bounded per message, so a
+    /// Byzantine digest full of fabricated ids costs at most one bounded
+    /// pull round — and fabricated ids yield no copies, so nothing is ever
+    /// accepted from them. The advertiser is only believed if *our own*
+    /// state (our composition or our neighbour table) places it in the
+    /// group it claims.
+    pub fn on_broadcast_keys(
+        &mut self,
+        from: NodeId,
+        group: VgroupId,
+        keys: &[BroadcastId],
+        now: Instant,
+        effects: &mut Vec<Effect>,
+    ) {
+        if !self.params.broadcast_repair {
+            return;
+        }
+        if group == self.vgroup {
+            if !self.composition.contains(from) {
+                return;
+            }
+            self.note_alive(from, now);
+        } else {
+            // Cross-group advertiser: verified against our own view of the
+            // overlay, never against its self-claimed membership.
+            let known = self
+                .neighbors
+                .distinct_neighbors()
+                .get(&group)
+                .is_some_and(|comp| comp.contains(from));
+            if !known {
+                return;
+            }
+        }
+        let repull_after = self.params.heartbeat_period.saturating_mul(2);
+        // An own-group holder repairs us through SMR re-decision (one pull
+        // services the whole group), so one pull per broadcast per period
+        // suffices — keyed by our own id, which never names an advertiser.
+        // Cross-group holders answer with one direct copy each and the
+        // collector needs a majority of *distinct* holders, so those are
+        // throttled per (broadcast, advertiser) instead.
+        let own_group = group == self.vgroup;
+        let me = self.me.id;
+        let mut missing: Vec<BroadcastId> = Vec::new();
+        for &id in keys.iter() {
+            if missing.len() >= Self::PULL_BATCH_MAX {
+                break;
+            }
+            if self.seen_broadcasts.contains(id) {
+                continue;
+            }
+            let throttle_key = (id, if own_group { me } else { from });
+            if let Some(last) = self.pulled.get(&throttle_key) {
+                if now.saturating_since(*last) < repull_after {
+                    continue;
+                }
+            }
+            self.pulled.insert(throttle_key, now);
+            missing.push(id);
+        }
+        if !missing.is_empty() {
+            effects.push(Effect::Send {
+                to: from,
+                // Echo the *advertiser's* group so its own-vgroup guard in
+                // `on_broadcast_pull` passes.
+                msg: AtumMessage::BroadcastPull {
+                    group,
+                    keys: missing,
+                },
+            });
+        }
+    }
+
+    /// A requester (vgroup peer or overlay-neighbour member) asked for
+    /// broadcasts it missed. An *own-group* requester is healed by
+    /// re-proposing the held op through the vgroup's SMR engine — agreement
+    /// re-delivers it at every holed member at once, and works even when
+    /// only a sub-majority of the group holds the broadcast. A
+    /// *cross-group* requester gets a direct unicast gossip copy instead
+    /// and must still assemble a majority of distinct holders in its quorum
+    /// collector. Neither leg adds an acceptance rule a Byzantine member
+    /// could abuse (SMR re-decision is dedup'd by op digest; direct copies
+    /// face the usual quorum), and both are throttled and bounded, so a
+    /// forged pull costs at most one re-proposal or one unicast copy per
+    /// broadcast per announce period.
+    pub fn on_broadcast_pull(
+        &mut self,
+        from: NodeId,
+        group: VgroupId,
+        keys: &[BroadcastId],
+        now: Instant,
+        effects: &mut Vec<Effect>,
+    ) {
+        if group != self.vgroup || !self.params.broadcast_repair {
+            return;
+        }
+        let own_member = self.composition.contains(from);
+        if own_member {
+            self.note_alive(from, now);
+        } else {
+            // Cross-group requester: believed only if our own neighbour
+            // table places it in some overlay-neighbour group.
+            let known = self
+                .neighbors
+                .distinct_neighbors()
+                .values()
+                .any(|comp| comp.contains(from));
+            if !known {
+                return;
+            }
+        }
+        let resend_after = self.params.heartbeat_period.saturating_mul(2);
+        let me = self.me.id;
+        let mut repropose: Vec<(BroadcastId, Arc<[u8]>)> = Vec::new();
+        let mut resend: Vec<(BroadcastId, Arc<[u8]>)> = Vec::new();
+        for &id in keys.iter() {
+            let Some(recent) = self.recent_broadcasts.get(&id) else {
+                continue;
+            };
+            // One re-proposal per broadcast per period serves every holed
+            // peer (keyed by our own id — never a requester); direct
+            // replies are throttled per (broadcast, requester).
+            let throttle_key = (id, if own_member { me } else { from });
+            if let Some(last) = self.repair_sent.get(&throttle_key) {
+                if now.saturating_since(*last) < resend_after {
+                    continue;
+                }
+            }
+            self.repair_sent.insert(throttle_key, now);
+            if own_member {
+                repropose.push((id, recent.payload.clone()));
+            } else {
+                resend.push((id, recent.payload.clone()));
+            }
+        }
+        // Intra-group holes cannot be closed with direct copies: the
+        // synchronous engine delivers wherever the value landed, so a healed
+        // partition can leave a *sub-majority* of the group holding the
+        // broadcast — too few distinct senders for the quorum collector,
+        // however often they reply. Re-decide the op instead. The
+        // re-proposed `GroupOp::Broadcast` carries the original op digest,
+        // so members that already applied it skip it (`applied_ops`),
+        // members that delivered the gossip skip re-delivery
+        // (`seen_broadcasts`), and only the holed members act on it —
+        // agreement, not trust in the holder, is what delivers the payload.
+        // (`MemberState::propose` would drop the op as already applied,
+        // which is exactly the guard a repair re-decision must bypass.)
+        for (id, payload) in repropose {
+            if let Some(engine) = self.engine.as_mut() {
+                let actions = engine.propose(GroupOp::Broadcast { id, payload }, now);
+                self.process_actions(actions, now, effects);
+            }
+        }
+        // Cross-group requesters get one *direct* copy each, hops
+        // normalised to zero so every holder's reply shares one payload
+        // digest and the copies merge in the requester's quorum collector.
+        for (id, payload) in resend {
+            let envelope = Arc::new(GroupEnvelope::new(
+                self.vgroup,
+                self.composition.clone(),
+                GroupPayload::Gossip {
+                    id,
+                    payload,
+                    hops: 0,
+                },
+            ));
+            effects.push(Effect::Send {
+                to: from,
+                msg: AtumMessage::Group(envelope),
+            });
         }
     }
 
@@ -1542,6 +1853,9 @@ impl MemberState {
     pub fn inherit_from(&mut self, old: MemberState) -> Vec<GroupOp> {
         self.seen_broadcasts = old.seen_broadcasts;
         self.next_broadcast_seq = old.next_broadcast_seq;
+        self.recent_broadcasts = old.recent_broadcasts;
+        self.pulled = old.pulled;
+        self.repair_sent = old.repair_sent;
         self.stats = old.stats;
         if old.vgroup == self.vgroup {
             // Same vgroup, newer epoch: the traffic-observed reverse links
@@ -1886,6 +2200,9 @@ impl MemberState {
             self.announce_composition(effects);
             if self.params.link_repair {
                 self.probe_links(now, effects);
+            }
+            if self.params.broadcast_repair {
+                self.broadcast_anti_entropy(now, effects);
             }
         }
         if now.saturating_since(self.last_heartbeat_sent) >= period {
@@ -2433,5 +2750,376 @@ mod tests {
             .count();
         // One copy per member of the target vgroup (5 members).
         assert_eq!(merge_requests, 5);
+    }
+
+    /// Feeds `m` a majority of copies of one gossip broadcast, as if a
+    /// neighbouring vgroup forwarded it. Returns the broadcast id.
+    fn feed_gossip(m: &mut MemberState, at: Instant) -> BroadcastId {
+        let id = BroadcastId::new(NodeId::new(10), 0);
+        let other = VgroupId::new(7);
+        let other_comp: Composition = (10..13).map(NodeId::new).collect();
+        let payload = GroupPayload::Gossip {
+            id,
+            payload: b"repair-me".to_vec().into(),
+            hops: 2,
+        };
+        let envelope = Arc::new(GroupEnvelope::new(other, other_comp, payload));
+        let mut effects = Vec::new();
+        let mut allow = |_d: &Delivered, _g: VgroupId| true;
+        for sender in [10u64, 11] {
+            m.on_group_copy(
+                NodeId::new(sender),
+                envelope.clone(),
+                at,
+                &mut effects,
+                &mut allow,
+            );
+        }
+        assert_eq!(m.stats.delivered.len(), 1, "feed must deliver");
+        id
+    }
+
+    #[test]
+    fn broadcast_hole_is_repaired_through_announce_pull_regossip() {
+        let mut m0 = member(3, 0);
+        let mut m1 = member(3, 1);
+        let mut m2 = member(3, 2); // The holed member: never got a copy.
+        let t0 = Instant::from_micros(5);
+        let id = feed_gossip(&mut m0, t0);
+        feed_gossip(&mut m1, t0);
+
+        // m0's announce cadence piggybacks the broadcast digest to both
+        // vgroup peers.
+        let announce_at = Instant::ZERO + m0.params.heartbeat_period.saturating_mul(2);
+        let mut effects = Vec::new();
+        m0.tick(announce_at, &mut effects);
+        let keys_msgs: Vec<(NodeId, Vec<BroadcastId>)> = effects
+            .iter()
+            .filter_map(|e| match e {
+                Effect::Send {
+                    to,
+                    msg: AtumMessage::BroadcastKeys { keys, .. },
+                } => Some((*to, keys.clone())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(keys_msgs.len(), 2, "one digest per peer: {effects:?}");
+        assert!(keys_msgs.iter().all(|(_, k)| k == &vec![id]));
+
+        // The holed member pulls once; peers that already saw the broadcast
+        // don't, and a second own-group advertiser in the same period is
+        // throttled (one SMR re-decision serves the whole group).
+        let mut effects = Vec::new();
+        m2.on_broadcast_keys(NodeId::new(0), m2.vgroup, &[id], announce_at, &mut effects);
+        let pulls: Vec<&Effect> = effects
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    Effect::Send {
+                        to,
+                        msg: AtumMessage::BroadcastPull { .. },
+                    } if *to == NodeId::new(0)
+                )
+            })
+            .collect();
+        assert_eq!(pulls.len(), 1);
+        let mut effects = Vec::new();
+        m1.on_broadcast_keys(NodeId::new(0), m1.vgroup, &[id], announce_at, &mut effects);
+        assert!(effects.is_empty(), "a member that saw it must not pull");
+        let mut effects = Vec::new();
+        m2.on_broadcast_keys(NodeId::new(1), m2.vgroup, &[id], announce_at, &mut effects);
+        assert!(
+            effects.is_empty(),
+            "own-group re-pull must be throttled per broadcast"
+        );
+
+        // The pulled holder answers not with a copy of its own but by
+        // re-proposing the op through the vgroup's SMR engine: agreement —
+        // not trust in one holder — is what re-delivers the payload, so the
+        // repair works even when only a sub-majority of the group holds it.
+        let mut effects = Vec::new();
+        m0.on_broadcast_pull(NodeId::new(2), m0.vgroup, &[id], announce_at, &mut effects);
+        assert!(
+            !effects.iter().any(|e| matches!(
+                e,
+                Effect::Send {
+                    msg: AtumMessage::Group(_),
+                    ..
+                }
+            )),
+            "own-group pulls are healed through SMR, not direct copies"
+        );
+        // A repeated pull (same or another requester) stays unanswered this
+        // period: one re-decision serves the whole group.
+        let pending_before = {
+            let mut again = Vec::new();
+            m0.on_broadcast_pull(NodeId::new(1), m0.vgroup, &[id], announce_at, &mut again);
+            again.len()
+        };
+        assert_eq!(
+            pending_before, 0,
+            "re-proposals must be throttled per broadcast"
+        );
+
+        // Drive the engines through the next slot: the re-proposed batch
+        // goes out, relays, finalizes — and the holed member delivers
+        // through the ordinary agreement path.
+        let round = m0.params.round;
+        let mut relayed: Vec<(NodeId, NodeId, AtumMessage)> = Vec::new();
+        for k in 1..=8u64 {
+            let at = announce_at + round.saturating_mul(k);
+            for (src, m) in [(0u64, &mut m0), (1, &mut m1), (2, &mut m2)] {
+                let mut effects = Vec::new();
+                m.tick(at, &mut effects);
+                for e in effects {
+                    if let Effect::Send {
+                        to,
+                        msg: msg @ AtumMessage::Smr { .. },
+                    } = e
+                    {
+                        relayed.push((NodeId::new(src), to, msg));
+                    }
+                }
+            }
+            for (src, to, msg) in std::mem::take(&mut relayed) {
+                let AtumMessage::Smr { group, epoch, msg } = msg else {
+                    unreachable!()
+                };
+                let m = match to.raw() {
+                    0 => &mut m0,
+                    1 => &mut m1,
+                    _ => &mut m2,
+                };
+                let mut effects = Vec::new();
+                m.on_smr_message(src, group, epoch, msg, at, &mut effects);
+                for e in effects {
+                    if let Effect::Send {
+                        to,
+                        msg: msg @ AtumMessage::Smr { .. },
+                    } = e
+                    {
+                        relayed.push((m.me.id, to, msg));
+                    }
+                }
+            }
+            if !m2.stats.delivered.is_empty() {
+                break;
+            }
+        }
+        assert_eq!(
+            m2.stats.delivered.len(),
+            1,
+            "SMR re-decision repaired the hole"
+        );
+        assert_eq!(m2.stats.delivered[0].0, id);
+        // Members that already held the broadcast must not re-deliver it.
+        assert_eq!(m0.stats.delivered.len(), 1, "holder must not re-deliver");
+        assert_eq!(m1.stats.delivered.len(), 1, "holder must not re-deliver");
+    }
+
+    /// The cross-group bootstrap leg: a vgroup where *no* member delivered
+    /// (gossip chain cut mid-flight) pulls its copies from the members of
+    /// an overlay neighbour found in its own neighbour table — and a holder
+    /// only answers requesters its own table can vouch for.
+    #[test]
+    fn broadcast_hole_is_bootstrapped_across_groups() {
+        // Holders live in vgroup 500 ({0, 1, 2}); the holed member lives in
+        // vgroup 600 ({20, 21}) and knows 500 as an overlay neighbour.
+        let mut holder0 = member(3, 0);
+        let mut holder1 = member(3, 1);
+        let t0 = Instant::from_micros(5);
+        let id = feed_gossip(&mut holder0, t0);
+        feed_gossip(&mut holder1, t0);
+
+        let params = Params::default().with_group_bounds(2, 20);
+        let holed_comp: Composition = (20..22).map(NodeId::new).collect();
+        let holder_comp: Composition = (0..3).map(NodeId::new).collect();
+        let holed_group = VgroupId::new(600);
+        let mut neighbors = NeighborTable::self_loop(params.hc, holed_group, holed_comp.clone());
+        neighbors.set_cycle(
+            0,
+            atum_overlay::CycleNeighbors {
+                predecessor: VgroupId::new(500),
+                predecessor_composition: holder_comp.clone(),
+                successor: holed_group,
+                successor_composition: holed_comp.clone(),
+            },
+        );
+        let mut holed = MemberState::with_membership(
+            NodeIdentity::simulated(NodeId::new(20)),
+            params,
+            registry(30),
+            holed_group,
+            holed_comp,
+            neighbors,
+            0,
+            Instant::ZERO,
+        );
+        // Teach the holders about vgroup 600 so they can vouch for the
+        // requester; node 20 is a member there in *their* view.
+        holder0.neighbors.set_cycle(
+            0,
+            atum_overlay::CycleNeighbors {
+                predecessor: holed_group,
+                predecessor_composition: (20..22).map(NodeId::new).collect(),
+                successor: VgroupId::new(500),
+                successor_composition: holder_comp.clone(),
+            },
+        );
+
+        // A holder's announce advertises to the neighbour group's members
+        // too, not just its own peers.
+        let announce_at = Instant::ZERO + holder0.params.heartbeat_period.saturating_mul(2);
+        let mut effects = Vec::new();
+        holder0.tick(announce_at, &mut effects);
+        let advertised: BTreeSet<NodeId> = effects
+            .iter()
+            .filter_map(|e| match e {
+                Effect::Send {
+                    to,
+                    msg: AtumMessage::BroadcastKeys { .. },
+                } => Some(*to),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            advertised.contains(&NodeId::new(20)) && advertised.contains(&NodeId::new(21)),
+            "announce must reach neighbour-group members: {advertised:?}"
+        );
+
+        // The holed member believes advertisers its own table places in the
+        // claimed group — and only those.
+        let mut effects = Vec::new();
+        holed.on_broadcast_keys(
+            NodeId::new(0),
+            VgroupId::new(500),
+            &[id],
+            announce_at,
+            &mut effects,
+        );
+        let pull = effects.iter().find_map(|e| match e {
+            Effect::Send {
+                to,
+                msg: AtumMessage::BroadcastPull { group, keys },
+            } => Some((*to, *group, keys.clone())),
+            _ => None,
+        });
+        let (to, group, keys) = pull.expect("holed member must pull from a vouched advertiser");
+        assert_eq!(to, NodeId::new(0));
+        assert_eq!(
+            group,
+            VgroupId::new(500),
+            "pull must echo the advertiser's group"
+        );
+        assert_eq!(keys, vec![id]);
+        let mut effects = Vec::new();
+        holed.on_broadcast_keys(
+            NodeId::new(99),
+            VgroupId::new(500),
+            &[id],
+            announce_at,
+            &mut effects,
+        );
+        assert!(
+            effects.is_empty(),
+            "an advertiser our table cannot vouch for is ignored"
+        );
+
+        // holder0 vouches for node 20 through its table and answers the
+        // pull directly; holder1 has no view of vgroup 600 and stays silent.
+        let mut effects = Vec::new();
+        holder0.on_broadcast_pull(NodeId::new(20), group, &keys, announce_at, &mut effects);
+        let copies: Vec<Arc<GroupEnvelope>> = effects
+            .iter()
+            .filter_map(|e| match e {
+                Effect::Send {
+                    to,
+                    msg: AtumMessage::Group(env),
+                } if *to == NodeId::new(20) => Some(env.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            copies.len(),
+            1,
+            "vouched cross-group pull gets a direct reply"
+        );
+        let mut effects = Vec::new();
+        holder1.on_broadcast_pull(NodeId::new(20), group, &keys, announce_at, &mut effects);
+        assert!(
+            effects.is_empty(),
+            "a holder that cannot vouch for the requester must not reply"
+        );
+
+        // Two vouched holders' replies assemble the majority of vgroup 500
+        // at the holed member (collector counts distinct senders of one
+        // digest), bootstrapping the broadcast into vgroup 600.
+        holder1.neighbors.set_cycle(
+            0,
+            atum_overlay::CycleNeighbors {
+                predecessor: holed_group,
+                predecessor_composition: (20..22).map(NodeId::new).collect(),
+                successor: VgroupId::new(500),
+                successor_composition: holder_comp,
+            },
+        );
+        let mut effects = Vec::new();
+        holder1.on_broadcast_pull(NodeId::new(20), group, &keys, announce_at, &mut effects);
+        let env1 = effects
+            .iter()
+            .find_map(|e| match e {
+                Effect::Send {
+                    to,
+                    msg: AtumMessage::Group(env),
+                } if *to == NodeId::new(20) => Some(env.clone()),
+                _ => None,
+            })
+            .expect("vouched reply");
+        let env0 = copies.into_iter().next().unwrap();
+        assert_eq!(env0.digest(), env1.digest());
+        let mut effects = Vec::new();
+        let mut allow = |_d: &Delivered, _g: VgroupId| true;
+        holed.on_group_copy(NodeId::new(0), env0, announce_at, &mut effects, &mut allow);
+        assert!(holed.stats.delivered.is_empty(), "one copy is no majority");
+        holed.on_group_copy(NodeId::new(1), env1, announce_at, &mut effects, &mut allow);
+        assert_eq!(
+            holed.stats.delivered.len(),
+            1,
+            "cross-group repair bootstrapped the hole"
+        );
+        assert_eq!(holed.stats.delivered[0].0, id);
+    }
+
+    #[test]
+    fn broadcast_repair_off_keeps_no_state_and_sends_no_digests() {
+        let params = Params::default()
+            .with_group_bounds(2, 20)
+            .with_broadcast_repair(false);
+        let composition: Composition = (0..3).map(NodeId::new).collect();
+        let vgroup = VgroupId::new(500);
+        let neighbors = NeighborTable::self_loop(params.hc, vgroup, composition.clone());
+        let mut m = MemberState::with_membership(
+            NodeIdentity::simulated(NodeId::new(0)),
+            params,
+            registry(3),
+            vgroup,
+            composition,
+            neighbors,
+            0,
+            Instant::ZERO,
+        );
+        feed_gossip(&mut m, Instant::from_micros(5));
+        assert!(m.recent_broadcasts.is_empty());
+        let announce_at = Instant::ZERO + m.params.heartbeat_period.saturating_mul(2);
+        let mut effects = Vec::new();
+        m.tick(announce_at, &mut effects);
+        assert!(!effects.iter().any(|e| matches!(
+            e,
+            Effect::Send {
+                msg: AtumMessage::BroadcastKeys { .. },
+                ..
+            }
+        )));
     }
 }

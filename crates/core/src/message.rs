@@ -1077,6 +1077,35 @@ pub enum AtumMessage {
         /// for a larger physical one (0 = use `payload.len()`).
         advertised_size: u32,
     },
+    /// Broadcast anti-entropy digest, piggybacked on the announce cadence:
+    /// the ids of broadcasts the sender recently delivered, advertised to
+    /// its own vgroup peers *and* to the members of its overlay neighbours
+    /// (the cross-group legs let a vgroup where no member delivered
+    /// bootstrap from outside). A receiver that missed one (a dropped
+    /// gossip copy has no other retransmit) answers with
+    /// [`AtumMessage::BroadcastPull`]. Advisory and unsigned — advertisers
+    /// are believed only if the receiver's own composition or neighbour
+    /// table vouches for them, so a Byzantine digest can at worst trigger
+    /// bounded pulls.
+    BroadcastKeys {
+        /// The *advertiser's* vgroup (echoed back in the pull).
+        group: VgroupId,
+        /// Recently delivered broadcast ids (bounded).
+        keys: Vec<BroadcastId>,
+    },
+    /// Request for the named broadcasts. The holder answers each held one
+    /// with a *direct* unicast gossip copy, hops normalised to zero so
+    /// every holder's reply shares one payload digest; the requester still
+    /// re-assembles the usual majority of distinct-holder copies through
+    /// its quorum collector — the repair path adds no new acceptance rule a
+    /// Byzantine member could abuse, and replies are throttled per
+    /// `(broadcast, requester)`.
+    BroadcastPull {
+        /// The *holder's* vgroup, as advertised in its `BroadcastKeys`.
+        group: VgroupId,
+        /// The broadcasts the requester is missing (bounded).
+        keys: Vec<BroadcastId>,
+    },
 }
 
 impl AtumMessage {
@@ -1180,6 +1209,16 @@ impl WireEncode for AtumMessage {
                 payload.wire_encode(w);
                 w.put_u32(*advertised_size);
             }
+            AtumMessage::BroadcastKeys { group, keys } => {
+                w.put_u8(9);
+                group.wire_encode(w);
+                w.put_seq(keys);
+            }
+            AtumMessage::BroadcastPull { group, keys } => {
+                w.put_u8(10);
+                group.wire_encode(w);
+                w.put_seq(keys);
+            }
         }
     }
 }
@@ -1220,6 +1259,14 @@ impl WireDecode for AtumMessage {
             8 => AtumMessage::App {
                 payload: Vec::<u8>::wire_decode(r)?,
                 advertised_size: r.take_u32()?,
+            },
+            9 => AtumMessage::BroadcastKeys {
+                group: VgroupId::wire_decode(r)?,
+                keys: r.take_seq(16)?,
+            },
+            10 => AtumMessage::BroadcastPull {
+                group: VgroupId::wire_decode(r)?,
+                keys: r.take_seq(16)?,
             },
             _ => return Err(WireError::Malformed("atum-message tag")),
         })

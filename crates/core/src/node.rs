@@ -1001,6 +1001,20 @@ impl<A: Application> Node<AtumMessage> for AtumNode<A> {
                 self.drain_app_ctx(app_ctx, &mut queue, ctx);
                 self.run_effects(queue, ctx);
             }
+            AtumMessage::BroadcastKeys { group, keys } => {
+                if let Some(member) = self.member.as_mut() {
+                    let mut effects = Vec::new();
+                    member.on_broadcast_keys(from, group, &keys, ctx.now(), &mut effects);
+                    self.run_effects(effects, ctx);
+                }
+            }
+            AtumMessage::BroadcastPull { group, keys } => {
+                if let Some(member) = self.member.as_mut() {
+                    let mut effects = Vec::new();
+                    member.on_broadcast_pull(from, group, &keys, ctx.now(), &mut effects);
+                    self.run_effects(effects, ctx);
+                }
+            }
         }
     }
 }

@@ -118,6 +118,11 @@ impl ScenarioConfig {
         Params::default()
             .with_overlay(1, 4)
             .with_link_repair(self.link_repair)
+            // Broadcast repair is a liveness accelerator: the model's
+            // eventual-delivery properties hold without it, and keeping the
+            // settle phase free of anti-entropy traffic keeps exploration
+            // cheap.
+            .with_broadcast_repair(false)
     }
 
     /// Builds the initial world. Deterministic: same config, same world.

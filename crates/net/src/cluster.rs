@@ -57,6 +57,14 @@ pub struct AggregateStats {
     /// OS threads across all runtimes: O(runtimes × reactors), independent
     /// of the node count.
     pub threads: u64,
+    /// Frames dropped by the fault plane (injected, not organic).
+    pub frames_dropped_injected: u64,
+    /// Frames corrupted by the fault plane.
+    pub frames_corrupted_injected: u64,
+    /// Frames held back by an injected delay.
+    pub frames_delayed_injected: u64,
+    /// Connections broken by injected kills.
+    pub conns_killed_injected: u64,
 }
 
 /// Builder for [`NetCluster`].
@@ -395,8 +403,20 @@ impl<A: Application + Send + 'static> NetCluster<A> {
                 .peak_inbound_queue
                 .max(s.peak_inbound_queue.load(Ordering::Relaxed));
             agg.threads += s.threads.load(Ordering::Relaxed);
+            agg.frames_dropped_injected += s.frames_dropped_injected.load(Ordering::Relaxed);
+            agg.frames_corrupted_injected += s.frames_corrupted_injected.load(Ordering::Relaxed);
+            agg.frames_delayed_injected += s.frames_delayed_injected.load(Ordering::Relaxed);
+            agg.conns_killed_injected += s.conns_killed_injected.load(Ordering::Relaxed);
         }
         agg
+    }
+
+    /// The fault plane shared by every runtime of this cluster: partitions,
+    /// loss, delay, corruption and connection kills installed here hit the
+    /// real frame path of every hosted node (see
+    /// [`FaultPlane`](crate::faults::FaultPlane)).
+    pub fn faults(&self) -> &crate::faults::FaultPlane {
+        self.runtimes[0].faults()
     }
 
     /// Stops every runtime (draining outbound queues first).

@@ -24,6 +24,11 @@
 //! * [`cluster`] — [`NetCluster`](cluster::NetCluster): an in-process
 //!   loopback harness mirroring `atum_sim::ClusterBuilder`, used by the
 //!   `net_cluster` system test and the `bench_net` benchmark.
+//! * [`faults`] — [`FaultPlane`](faults::FaultPlane): the deterministic
+//!   fault-injection plane (per-peer drop / delay / reorder / corrupt /
+//!   connection-kill / asymmetric-partition / bandwidth-throttle at the
+//!   frame boundary), sharing the `partition`/`heal`/`set_loss` vocabulary
+//!   with the simulator via [`atum_simnet::FaultInjector`].
 //!
 //! Determinism note: wall-clock scheduling is inherently nondeterministic,
 //! so TCP runs are *not* reproducible the way simulations are. The codec and
@@ -36,11 +41,13 @@
 #![warn(missing_debug_implementations)]
 
 pub mod cluster;
+pub mod faults;
 pub mod frame;
 pub mod reactor;
 pub mod runtime;
 
 pub use cluster::{AggregateStats, NetCluster, NetClusterBuilder};
+pub use faults::{FaultPlane, FaultRules};
 pub use frame::{Hello, NetError, Route};
 pub use reactor::{NetRuntime, NodeHandle};
 #[allow(deprecated)]

@@ -38,6 +38,18 @@
 //!   simulator; sends to *other* nodes always cross a real socket, even
 //!   between two nodes hosted by the same runtime (the runtime connects to
 //!   its own listener).
+//! * **The fault plane sits at the frame boundary, inside the owner.** When
+//!   [`RuntimeConfig::faults`] has rules installed, `send_from` consults the
+//!   reactor's own deterministic [`FaultDecider`] *after* encoding (the
+//!   frame length feeds the bandwidth shaper) and *before* the address
+//!   lookup — injected faults never cross a thread and never touch another
+//!   reactor's state. Delayed frames live in the reactor's `delayed` map and
+//!   re-enter through the shared timer heap (`TimerKind::FaultRelease`),
+//!   re-resolving their destination at release time; corrupted frames are
+//!   *copies* (message frames are `Arc`-shared across fan-out and must never
+//!   be mutated in place); connection kills are observed at the top of the
+//!   loop like retargets. The benign path pays exactly one relaxed atomic
+//!   load.
 //!
 //! # The multiplexed wire
 //!
@@ -52,13 +64,14 @@
 //! peer, so fan-out still encodes once ([`FrameMemo`]) and write batches
 //! still coalesce many frames into one syscall.
 
+use crate::faults::{FaultDecider, FaultDecision, FaultPlane};
 use crate::frame::{self, Hello, Route};
 use crate::runtime::{AddressBook, NetMessage, RuntimeConfig, RuntimeStats};
 use atum_simnet::{Context, ContextEffects, Node, OutboundMessage, TimerRequest};
 use atum_types::wire::{self, FRAME_HEADER_LEN, FRAME_KIND_HELLO, FRAME_KIND_ROUTE};
 use atum_types::{Instant, NodeId};
 use polling_mini::{connect_nonblocking, Event, Interest, Poller, Waker};
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 use std::io::{Read, Write};
@@ -127,26 +140,34 @@ impl<M, N> Injector<M, N> {
 
 // ---------------------------------------------------------------- reconnect
 
-/// Pure reconnect policy: attempts and exponential backoff, with the reset
-/// semantics the old writer path got wrong — a *successful* (re)connect
-/// resets both the attempt budget and the backoff to base, so a peer that
-/// flaps twice an hour pays the base delay each time, not an ever-growing
-/// one.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Reconnect policy: attempts and jittered exponential backoff, with the
+/// reset semantics the old writer path got wrong — a *successful*
+/// (re)connect resets both the attempt budget and the backoff to base, so a
+/// peer that flaps twice an hour pays the base delay each time, not an
+/// ever-growing one.
+///
+/// Each rung of the ladder draws a delay uniformly from
+/// `[backoff, backoff * 3/2]` so that many connections broken by the same
+/// event (a peer restart, an injected connection kill) do not retry in
+/// lock-step and re-collide on the listener. The jitter stream is seeded
+/// per-connection from the runtime seed, so a given run is replayable.
+#[derive(Debug, Clone)]
 pub(crate) struct Reconnect {
     base: StdDuration,
     max_attempts: u32,
     attempt: u32,
     backoff: StdDuration,
+    rng: ChaCha8Rng,
 }
 
 impl Reconnect {
-    pub(crate) fn new(base: StdDuration, max_attempts: u32) -> Self {
+    pub(crate) fn new(base: StdDuration, max_attempts: u32, seed: u64) -> Self {
         Reconnect {
             base,
             max_attempts: max_attempts.max(1),
             attempt: 0,
             backoff: base,
+            rng: ChaCha8Rng::seed_from_u64(seed),
         }
     }
 
@@ -156,16 +177,23 @@ impl Reconnect {
         self.backoff = self.base;
     }
 
-    /// Records a failed connect attempt. Returns the delay to wait before
-    /// the next attempt, or `None` when the budget is exhausted (give up).
+    /// Records a failed connect attempt. Returns the jittered delay to wait
+    /// before the next attempt, or `None` when the budget is exhausted
+    /// (give up).
     pub(crate) fn on_failure(&mut self) -> Option<StdDuration> {
         self.attempt += 1;
         if self.attempt >= self.max_attempts {
             return None;
         }
-        let delay = self.backoff;
+        let rung = self.backoff;
         self.backoff = self.backoff.saturating_mul(2);
-        Some(delay)
+        let jitter_us = (rung.as_micros() as u64) / 2;
+        let extra = if jitter_us == 0 {
+            0
+        } else {
+            self.rng.gen_range(0..=jitter_us)
+        };
+        Some(rung + StdDuration::from_micros(extra))
     }
 }
 
@@ -178,6 +206,9 @@ enum TimerKind {
     ConnDeadline { slot: usize, gen: u64 },
     /// End of a reconnect backoff.
     ConnRetry { slot: usize, gen: u64 },
+    /// A fault-injected delay elapsed: the frame stashed under `token` in
+    /// the reactor's `delayed` map resumes its journey.
+    FaultRelease { token: u64 },
 }
 
 struct TimerEntry {
@@ -482,6 +513,14 @@ impl<M: NetMessage, N: Node<M> + Send + 'static> NetRuntime<M, N> {
         &self.shared.book
     }
 
+    /// The runtime's fault-injection plane. Installing rules here (or on
+    /// any clone of the [`RuntimeConfig`] this runtime was built from)
+    /// takes effect on every reactor's next send; see
+    /// [`FaultPlane`](crate::faults::FaultPlane) for the vocabulary.
+    pub fn faults(&self) -> &FaultPlane {
+        &self.shared.cfg.faults
+    }
+
     /// A handle to an already-hosted node (`None` if `id` is not hosted
     /// here).
     pub fn handle(&self, id: NodeId) -> Option<NodeHandle<M, N>> {
@@ -639,6 +678,16 @@ struct Reactor<M: NetMessage, N: Node<M> + Send + 'static> {
     rdbuf: Vec<u8>,
     /// Round-robin counter for handing accepted sockets to reactors.
     next_accept: usize,
+    /// This reactor's lane of the fault plane: a deterministic per-reactor
+    /// decision stream (seeded from `cfg.seed` and the reactor index).
+    fault_decider: FaultDecider,
+    /// Frames held back by an injected delay, keyed by release token; the
+    /// matching `TimerKind::FaultRelease` timer resumes them.
+    delayed: HashMap<u64, QueuedFrame>,
+    /// Next release token for `delayed`.
+    next_delayed: u64,
+    /// Last observed `FaultPlane` kill-connections counter.
+    seen_kills: u64,
 }
 
 impl<M: NetMessage, N: Node<M> + Send + 'static> Reactor<M, N> {
@@ -653,6 +702,8 @@ impl<M: NetMessage, N: Node<M> + Send + 'static> Reactor<M, N> {
         if let Some(l) = listener.as_ref() {
             poller.register(l.as_raw_fd(), KEY_LISTENER, Interest::READABLE)?;
         }
+        let fault_decider = shared.cfg.faults.decider(shared.cfg.seed, idx as u64);
+        let seen_kills = shared.cfg.faults.kill_count();
         Ok(Reactor {
             idx,
             shared,
@@ -674,6 +725,10 @@ impl<M: NetMessage, N: Node<M> + Send + 'static> Reactor<M, N> {
             events: Vec::new(),
             rdbuf: vec![0u8; READ_CHUNK],
             next_accept: 0,
+            fault_decider,
+            delayed: HashMap::new(),
+            next_delayed: 0,
+            seen_kills,
         })
     }
 
@@ -687,6 +742,7 @@ impl<M: NetMessage, N: Node<M> + Send + 'static> Reactor<M, N> {
             self.free_slots.append(&mut freed);
             self.drain_injected();
             self.deliver_loopback();
+            self.check_fault_kills();
             self.check_retarget();
             self.fire_due_timers();
             self.deliver_loopback();
@@ -862,16 +918,65 @@ impl<M: NetMessage, N: Node<M> + Send + 'static> Reactor<M, N> {
             self.loopback.push_back((from, to, msg));
             return;
         }
-        let frame = self.shared_frame(&msg);
-        let Some(addr) = self.shared.book.lookup(to) else {
+        let mut frame = self.shared_frame(&msg);
+        if self.shared.cfg.faults.is_active() {
+            let now_us = self.shared.epoch.elapsed().as_micros() as u64;
+            match self.fault_decider.decide(from, to, frame.len(), now_us) {
+                FaultDecision::Deliver => {}
+                FaultDecision::Drop => {
+                    self.shared
+                        .stats
+                        .frames_dropped_injected
+                        .fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                FaultDecision::Forward { delay_us, corrupt } => {
+                    if corrupt {
+                        // Never mutate the shared frame: fan-out siblings
+                        // (and the encode memo) hold the same `Arc`.
+                        frame = self.fault_decider.corrupt_copy(&frame);
+                        self.shared
+                            .stats
+                            .frames_corrupted_injected
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    if delay_us > 0 {
+                        let token = self.next_delayed;
+                        self.next_delayed += 1;
+                        self.delayed.insert(
+                            token,
+                            QueuedFrame {
+                                route: Route { from, to },
+                                frame,
+                            },
+                        );
+                        self.shared
+                            .stats
+                            .frames_delayed_injected
+                            .fetch_add(1, Ordering::Relaxed);
+                        let at = StdInstant::now() + StdDuration::from_micros(delay_us);
+                        self.arm_timer(at, TimerKind::FaultRelease { token });
+                        return;
+                    }
+                }
+            }
+        }
+        self.forward_frame(Route { from, to }, frame);
+    }
+
+    /// The tail of the send path: resolve the destination and queue the
+    /// frame. Split out so fault-delayed frames re-enter here at release
+    /// time — re-resolving the address then, not when the delay was drawn.
+    fn forward_frame(&mut self, route: Route, frame: Arc<[u8]>) {
+        let Some(addr) = self.shared.book.lookup(route.to) else {
             self.shared
                 .stats
                 .frames_dropped
                 .fetch_add(1, Ordering::Relaxed);
             return;
         };
-        let slot = self.conn_for_addr(addr, from);
-        self.enqueue_frame(slot, Route { from, to }, frame);
+        let slot = self.conn_for_addr(addr, route.from);
+        self.enqueue_frame(slot, route, frame);
     }
 
     // --------------------------------------------------------- connections
@@ -903,6 +1008,10 @@ impl<M: NetMessage, N: Node<M> + Send + 'static> Reactor<M, N> {
             Reconnect::new(
                 self.shared.cfg.reconnect_backoff,
                 self.shared.cfg.max_connect_attempts,
+                // Per-connection jitter stream: distinct generations get
+                // distinct backoff sequences, so simultaneous breaks
+                // don't retry in lock-step.
+                self.shared.cfg.seed ^ gen.wrapping_mul(0x9E3779B97F4A7C15),
             ),
             gen,
         );
@@ -1197,6 +1306,7 @@ impl<M: NetMessage, N: Node<M> + Send + 'static> Reactor<M, N> {
         let reconnect = Reconnect::new(
             self.shared.cfg.reconnect_backoff,
             self.shared.cfg.max_connect_attempts,
+            self.shared.cfg.seed ^ gen.wrapping_mul(0x9E3779B97F4A7C15),
         );
         let slot = self.alloc_slot(Conn::accepted(stream, gen, reconnect));
         if self
@@ -1459,7 +1569,40 @@ impl<M: NetMessage, N: Node<M> + Send + 'static> Reactor<M, N> {
                         self.start_connect(slot);
                     }
                 }
+                TimerKind::FaultRelease { token } => {
+                    if let Some(held) = self.delayed.remove(&token) {
+                        self.forward_frame(held.route, held.frame);
+                    }
+                }
             }
+        }
+    }
+
+    // ------------------------------------------------------------- faults
+
+    /// Observes the fault plane's kill-connections counter and, when it
+    /// moved, breaks every live connection this reactor owns. Outbound
+    /// connections with queued frames immediately reconnect (`conn_broken`
+    /// semantics) — the fault models a transport reset, not an eviction.
+    fn check_fault_kills(&mut self) {
+        let kills = self.shared.cfg.faults.kill_count();
+        if kills == self.seen_kills {
+            return;
+        }
+        self.seen_kills = kills;
+        let live: Vec<usize> = (0..self.conns.len())
+            .filter(|&slot| {
+                self.conns[slot]
+                    .as_ref()
+                    .is_some_and(|c| c.stream.is_some())
+            })
+            .collect();
+        for slot in live {
+            self.shared
+                .stats
+                .conns_killed_injected
+                .fetch_add(1, Ordering::Relaxed);
+            self.conn_broken(slot);
         }
     }
 
@@ -1612,24 +1755,57 @@ mod tests {
     use super::*;
     use atum_types::wire::FRAME_KIND_MESSAGE;
 
+    /// The jitter window for backoff rung `k` with base `b`:
+    /// `[b * 2^k, b * 2^k * 3/2]`.
+    fn assert_in_rung(delay: StdDuration, base: StdDuration, rung: u32) {
+        let lo = base.saturating_mul(1 << rung);
+        let hi = lo + lo / 2;
+        assert!(
+            delay >= lo && delay <= hi,
+            "rung {rung}: {delay:?} outside [{lo:?}, {hi:?}]"
+        );
+    }
+
     #[test]
-    fn reconnect_backoff_doubles_then_resets_on_success() {
-        let mut r = Reconnect::new(StdDuration::from_millis(25), 4);
-        assert_eq!(r.on_failure(), Some(StdDuration::from_millis(25)));
-        assert_eq!(r.on_failure(), Some(StdDuration::from_millis(50)));
-        assert_eq!(r.on_failure(), Some(StdDuration::from_millis(100)));
+    fn reconnect_backoff_doubles_with_jitter_then_resets_on_success() {
+        let base = StdDuration::from_millis(25);
+        let mut r = Reconnect::new(base, 4, 7);
+        assert_in_rung(r.on_failure().unwrap(), base, 0);
+        assert_in_rung(r.on_failure().unwrap(), base, 1);
+        assert_in_rung(r.on_failure().unwrap(), base, 2);
         // Budget spent: give up.
         assert_eq!(r.on_failure(), None);
 
         // A successful connect resets BOTH the budget and the backoff —
         // the bug the old writer path had (backoff kept growing across
         // successful reconnects).
-        let mut r = Reconnect::new(StdDuration::from_millis(25), 4);
+        let mut r = Reconnect::new(base, 4, 7);
         let _ = r.on_failure();
         let _ = r.on_failure();
         r.on_success();
-        assert_eq!(r, Reconnect::new(StdDuration::from_millis(25), 4));
-        assert_eq!(r.on_failure(), Some(StdDuration::from_millis(25)));
+        assert_in_rung(r.on_failure().unwrap(), base, 0);
+        assert_in_rung(r.on_failure().unwrap(), base, 1);
+        assert_in_rung(r.on_failure().unwrap(), base, 2);
+        assert_eq!(r.on_failure(), None);
+    }
+
+    #[test]
+    fn reconnect_jitter_is_seeded_and_desynchronises_streams() {
+        let base = StdDuration::from_millis(25);
+        // Same seed: identical delay sequence (replayable runs).
+        let mut a = Reconnect::new(base, 4, 11);
+        let mut b = Reconnect::new(base, 4, 11);
+        let seq_a: Vec<_> = (0..3).map(|_| a.on_failure()).collect();
+        let seq_b: Vec<_> = (0..3).map(|_| b.on_failure()).collect();
+        assert_eq!(seq_a, seq_b);
+
+        // Different seeds: some rung differs (streams are desynchronised;
+        // 64 seeds all colliding on every rung would mean no jitter).
+        let diverges = (0..64u64).any(|seed| {
+            let mut c = Reconnect::new(base, 4, seed);
+            (0..3).map(|_| c.on_failure()).collect::<Vec<_>>() != seq_a
+        });
+        assert!(diverges);
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! the deterministic environment (see the `atum_simnet::node` module docs
 //! for the invariant).
 
+use crate::faults::FaultPlane;
 use crate::reactor::{NetRuntime, NodeHandle};
 use atum_simnet::{Context, Node};
 use atum_types::{FrameMemo, NodeId, WireDecode, WireEncode, WireSize};
@@ -71,6 +72,11 @@ pub struct RuntimeConfig {
     /// How long `shutdown` keeps flushing outbound queues before closing
     /// sockets on whatever is left.
     pub drain_timeout: StdDuration,
+    /// The fault-injection plane the reactors consult per outbound frame.
+    /// Clones share state (like [`RuntimeConfig::book`]): a harness passes
+    /// clones of one plane so a single `partition()` cuts every runtime.
+    /// The default plane has no rules and costs one atomic load per send.
+    pub faults: FaultPlane,
 }
 
 impl Default for RuntimeConfig {
@@ -86,6 +92,7 @@ impl Default for RuntimeConfig {
             book: AddressBook::new(),
             epoch: None,
             drain_timeout: StdDuration::from_secs(5),
+            faults: FaultPlane::new(),
         }
     }
 }
@@ -136,6 +143,18 @@ pub struct RuntimeStats {
     /// OS threads the runtime runs: O(reactors), *not* O(node-pairs) — the
     /// headline difference to the retired thread-per-connection runtime.
     pub threads: AtomicU64,
+    /// Frames dropped *by the fault plane* (loss, partitions). Kept apart
+    /// from `frames_dropped` so benches can separate injected damage from
+    /// organic damage (queue overflow, unknown addresses).
+    pub frames_dropped_injected: AtomicU64,
+    /// Frames whose bytes the fault plane corrupted (on a copy) before
+    /// queueing.
+    pub frames_corrupted_injected: AtomicU64,
+    /// Frames the fault plane held back (delay, reorder, bandwidth
+    /// shaping) before queueing them.
+    pub frames_delayed_injected: AtomicU64,
+    /// Live connections severed by [`FaultPlane::kill_connections`].
+    pub conns_killed_injected: AtomicU64,
 }
 
 impl RuntimeStats {

@@ -83,6 +83,9 @@ pub struct Simulation<M, N> {
     /// the pending set is bounded by the number of in-flight timer events.
     pending_timers: HashSet<u64>,
     partitions: Vec<(HashSet<NodeId>, HashSet<NodeId>)>,
+    /// Per-destination loss probability (overrides the global
+    /// `NetConfig::loss_probability` for messages towards that node).
+    peer_loss: HashMap<NodeId, f64>,
     stats: NetStats,
     rng: ChaCha8Rng,
     seed: u64,
@@ -125,6 +128,7 @@ where
             timer_handles: 0,
             pending_timers: HashSet::new(),
             partitions: Vec::new(),
+            peer_loss: HashMap::new(),
             stats: NetStats::default(),
             rng: ChaCha8Rng::seed_from_u64(seed),
             seed,
@@ -258,6 +262,18 @@ where
     /// Removes all partitions.
     pub fn heal(&mut self) {
         self.partitions.clear();
+    }
+
+    /// Sets the loss probability of messages *towards* `peer`, overriding
+    /// the global [`NetConfig::loss_probability`] for that destination
+    /// (0.0 removes the override). Part of the fault vocabulary shared
+    /// with the TCP runtime's fault plane (see [`FaultInjector`]).
+    pub fn set_loss(&mut self, peer: NodeId, p: f64) {
+        if p > 0.0 {
+            self.peer_loss.insert(peer, p);
+        } else {
+            self.peer_loss.remove(&peer);
+        }
     }
 
     /// Schedules an external call against a node at the current simulated
@@ -469,7 +485,12 @@ where
             self.stats.messages_dropped += 1;
             return;
         }
-        if self.config.loss_probability > 0.0 && self.rng.gen_bool(self.config.loss_probability) {
+        let loss = self
+            .peer_loss
+            .get(&to)
+            .copied()
+            .unwrap_or(self.config.loss_probability);
+        if loss > 0.0 && self.rng.gen_bool(loss.min(1.0)) {
             self.stats.messages_lost += 1;
             return;
         }
@@ -494,6 +515,42 @@ where
                 size,
             },
         );
+    }
+}
+
+/// The fault vocabulary shared by the simulator and the TCP runtime's
+/// fault plane: one scenario script (partition, heal, per-peer loss) runs
+/// unchanged against either substrate. The simulator implements it by
+/// dropping events before they are queued; the TCP runtime implements it
+/// on `atum_net`'s `FaultPlane`, intercepting at the frame boundary.
+///
+/// Methods take `&mut self` so the trait can be implemented both by the
+/// exclusively-owned simulation and by shared control handles.
+pub trait FaultInjector {
+    /// Installs a bidirectional partition between the two sides.
+    fn partition(&mut self, side_a: &[NodeId], side_b: &[NodeId]);
+    /// Removes all partitions.
+    fn heal(&mut self);
+    /// Sets the loss probability of traffic towards `peer` (0.0 removes
+    /// the override).
+    fn set_loss(&mut self, peer: NodeId, p: f64);
+}
+
+impl<M, N> FaultInjector for Simulation<M, N>
+where
+    M: WireSize,
+    N: Node<M>,
+{
+    fn partition(&mut self, side_a: &[NodeId], side_b: &[NodeId]) {
+        Simulation::partition(self, side_a, side_b);
+    }
+
+    fn heal(&mut self) {
+        Simulation::heal(self);
+    }
+
+    fn set_loss(&mut self, peer: NodeId, p: f64) {
+        Simulation::set_loss(self, peer, p);
     }
 }
 

@@ -50,7 +50,7 @@ pub mod latency;
 pub mod node;
 pub mod stats;
 
-pub use engine::Simulation;
+pub use engine::{FaultInjector, Simulation};
 pub use latency::{LatencyModel, NetConfig, Region};
 pub use node::{Context, ContextEffects, Node, OutboundMessage, TimerHandle, TimerRequest};
 pub use stats::NetStats;

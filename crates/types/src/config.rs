@@ -92,6 +92,13 @@ pub struct Params {
     /// leave one-directional links or orphaned vgroups — kept as a knob so
     /// the model checker can demonstrate the failure the repair removes.
     pub link_repair: bool,
+    /// Broadcast self-repair: members piggyback a digest of recently seen
+    /// broadcasts on their periodic composition announces; a vgroup peer
+    /// that missed one (a dropped gossip copy has no other retransmit)
+    /// pulls it, and holders re-gossip it to the whole vgroup so the
+    /// quorum acceptance path re-assembles at the holed member. Bounded:
+    /// one re-gossip per broadcast per announce period per peer.
+    pub broadcast_repair: bool,
 }
 
 impl Default for Params {
@@ -110,6 +117,7 @@ impl Default for Params {
             rho: 8,
             chunks_per_file: 10,
             link_repair: true,
+            broadcast_repair: true,
         }
     }
 }
@@ -233,6 +241,15 @@ impl Params {
     /// checker.
     pub fn with_link_repair(mut self, enabled: bool) -> Self {
         self.link_repair = enabled;
+        self
+    }
+
+    /// Builder-style setter for broadcast self-repair (announce-piggybacked
+    /// anti-entropy over recently seen broadcasts). On by default; the
+    /// model checker turns it off because its eventual-delivery properties
+    /// hold without the accelerator and the settle phase stays cheap.
+    pub fn with_broadcast_repair(mut self, enabled: bool) -> Self {
+        self.broadcast_repair = enabled;
         self
     }
 
