@@ -46,6 +46,7 @@ use std::time::{Duration as StdDuration, Instant as StdInstant};
 static PANICS: AtomicU64 = AtomicU64::new(0);
 
 fn main() {
+    atum_bench::init_obs();
     // Count panics without suppressing them: a reactor thread that dies
     // must fail the `panics == 0` gate even though the process survives.
     let previous = std::panic::take_hook();
@@ -160,6 +161,74 @@ fn settle_broadcasts(
 
 // ------------------------------------------------------------ partition-heal
 
+/// Attributes the post-heal window to degradation phases by sampling the
+/// repair-plane counters in the global metrics registry
+/// (`core.anti_entropy_pulls` / `core.anti_entropy_reproposals`):
+///
+/// - *stuck*: heal until the first anti-entropy pull fires — the holes are
+///   known but no repair traffic has moved yet;
+/// - *re-propose*: first pull until the last observed SMR re-proposal — the
+///   pulled broadcasts are being driven back through agreement.
+///
+/// Counter deltas are measured from the heal instant, so pre-heal repair
+/// traffic (within-side pulls during the split) does not pollute the phases.
+struct RepairPhases {
+    pulls: Arc<atum_obs::Counter>,
+    reproposals: Arc<atum_obs::Counter>,
+    pulls_base: u64,
+    reprops_seen: u64,
+    first_pull_at: Option<StdInstant>,
+    last_repropose_at: Option<StdInstant>,
+}
+
+impl RepairPhases {
+    /// Snapshots the counters; call at the heal instant.
+    fn at_heal() -> Self {
+        let pulls = atum_obs::global().counter("core.anti_entropy_pulls");
+        let reproposals = atum_obs::global().counter("core.anti_entropy_reproposals");
+        let pulls_base = pulls.get();
+        let reprops_seen = reproposals.get();
+        RepairPhases {
+            pulls,
+            reproposals,
+            pulls_base,
+            reprops_seen,
+            first_pull_at: None,
+            last_repropose_at: None,
+        }
+    }
+
+    /// Polls the counters; call from every settle iteration.
+    fn sample(&mut self) {
+        if self.first_pull_at.is_none() && self.pulls.get() > self.pulls_base {
+            self.first_pull_at = Some(StdInstant::now());
+        }
+        let reprops = self.reproposals.get();
+        if reprops > self.reprops_seen {
+            self.reprops_seen = reprops;
+            self.last_repropose_at = Some(StdInstant::now());
+        }
+    }
+
+    /// Seconds from heal to the first pull (the full window when no pull
+    /// ever fired — the cluster never even started repairing).
+    fn stuck_secs(&self, heal_at: StdInstant) -> f64 {
+        self.first_pull_at
+            .unwrap_or_else(StdInstant::now)
+            .saturating_duration_since(heal_at)
+            .as_secs_f64()
+    }
+
+    /// Seconds from the first pull to the last observed re-proposal (0.0
+    /// when the repair never needed to re-drive agreement).
+    fn repropose_secs(&self) -> f64 {
+        match (self.first_pull_at, self.last_repropose_at) {
+            (Some(first), Some(last)) => last.saturating_duration_since(first).as_secs_f64(),
+            _ => 0.0,
+        }
+    }
+}
+
 fn run_partition_heal() {
     print_header(
         "Adversary: partition-heal",
@@ -225,17 +294,32 @@ fn run_partition_heal() {
     std::thread::sleep(StdDuration::from_secs(4));
     let ratio_at_heal = delivery_ratio(&cluster, &sent);
     cluster.faults().heal();
+    let heal_at = StdInstant::now();
+    let mut phases = RepairPhases::at_heal();
     let held = partition_at.elapsed();
     for i in 2 * broadcasts / 3..broadcasts {
         send(i, &mut sent);
+        phases.sample();
         std::thread::sleep(StdDuration::from_millis(250));
     }
 
     // Re-convergence: every member delivers every broadcast, including the
     // ones whose cross-side copies were dropped into the void — only the
-    // anti-entropy pull path can close those holes.
-    let (final_ratio, reconverge_secs) =
-        settle_broadcasts(&cluster, &sent, StdDuration::from_secs(scaled(120, 300)));
+    // anti-entropy pull path can close those holes. The settle loop doubles
+    // as the phase sampler, so the `degradation_phase_*` split falls out of
+    // the same poll.
+    let settle_start = StdInstant::now();
+    let settle_until = settle_start + StdDuration::from_secs(scaled(120, 300));
+    let final_ratio = loop {
+        phases.sample();
+        let ratio = delivery_ratio(&cluster, &sent);
+        if ratio >= 1.0 || StdInstant::now() >= settle_until {
+            break ratio;
+        }
+        std::thread::sleep(StdDuration::from_millis(200));
+    };
+    let reconverge_secs = settle_start.elapsed().as_secs_f64();
+    phases.sample();
     if std::env::var("ATUM_ADV_DEBUG").is_ok() {
         for (i, &bid) in sent.iter().enumerate() {
             let mut holders = 0usize;
@@ -260,6 +344,13 @@ fn run_partition_heal() {
         reconverge_secs,
         stats.frames_dropped_injected,
     );
+    println!(
+        "phases: split {:.1}s -> stuck {:.2}s -> re-propose {:.2}s -> reconverge {:.1}s",
+        held.as_secs_f64(),
+        phases.stuck_secs(heal_at),
+        phases.repropose_secs(),
+        reconverge_secs,
+    );
 
     let record = BenchRecord::new("adversary_partition_heal", seed)
         .runtime("tcp")
@@ -269,6 +360,10 @@ fn run_partition_heal() {
         .metric("members_after_heal", members_after)
         .metric("reconverged", final_ratio >= 1.0)
         .metric("reconverge_secs", reconverge_secs)
+        .metric("degradation_phase_split_secs", held.as_secs_f64())
+        .metric("degradation_phase_stuck_secs", phases.stuck_secs(heal_at))
+        .metric("degradation_phase_repropose_secs", phases.repropose_secs())
+        .metric("degradation_phase_reconverge_secs", reconverge_secs)
         .metric("degradation_delivery_at_heal", ratio_at_heal)
         .metric("degradation_delivery_final", final_ratio)
         .metric("frames_dropped_injected", stats.frames_dropped_injected)

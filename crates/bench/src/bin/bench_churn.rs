@@ -14,6 +14,7 @@ use atum_simnet::NetConfig;
 use atum_types::{Duration, Params};
 
 fn main() {
+    atum_bench::init_obs();
     print_header(
         "Churn bench",
         "sustained leave/re-join cycles: completion ratio, recovery latency, stall causes",

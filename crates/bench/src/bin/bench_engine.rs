@@ -173,6 +173,7 @@ fn digest_scenario(iterations: u64) {
 }
 
 fn main() {
+    atum_bench::init_obs();
     print_header(
         "Engine bench",
         "raw event-loop throughput, group-message fan-out, digest ops (wall clock)",

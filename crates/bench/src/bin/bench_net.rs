@@ -61,6 +61,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
 static ALLOC: CountingAlloc = CountingAlloc;
 
 fn main() {
+    atum_bench::init_obs();
     let args: Vec<String> = std::env::args().collect();
     let saturation_only = args.iter().any(|a| a == "--saturation-only");
     let growth_only = args.iter().any(|a| a == "--growth-only");
@@ -739,6 +740,16 @@ fn run_saturation() {
         .metric("peak_inbound_queue", after.peak_inbound_queue)
         .perf(storm_wall, Some(delta(|s| s.events_processed)));
     atum_bench::emit(&record);
+
+    // With `ATUM_FLIGHT_DIR` set (the CI obs-smoke job does this), persist
+    // every node's flight-recorder ring so a failed or degraded run leaves
+    // a per-node protocol history behind as an artifact.
+    if let Ok(dir) = std::env::var("ATUM_FLIGHT_DIR") {
+        match cluster.dump_flights(std::path::Path::new(&dir)) {
+            Ok(paths) => println!("flight: dumped {} recorder ring(s) to {dir}", paths.len()),
+            Err(err) => eprintln!("warning: flight dump to {dir} failed: {err}"),
+        }
+    }
 
     cluster.shutdown();
 }

@@ -25,6 +25,7 @@ fn optimal_rwl(vgroups: usize, hc: u8, walks_per_group: usize, seed: u64) -> u8 
 }
 
 fn main() {
+    atum_bench::init_obs();
     print_header(
         "Figure 4",
         "optimal random-walk length (rwl) per H-graph density (hc) and number of vgroups",

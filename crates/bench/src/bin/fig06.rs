@@ -8,6 +8,7 @@ use atum_simnet::NetConfig;
 use atum_types::{Duration, SmrMode};
 
 fn main() {
+    atum_bench::init_obs();
     print_header("Figure 6", "growth speed (system size over simulated time)");
     let targets: Vec<usize> = if atum_bench::full_scale() {
         vec![800, 1400]

@@ -41,6 +41,7 @@ fn max_sustained_rate(n: usize, rwl: u8, hc: u8, mode: SmrMode, rates: &[f64]) -
 }
 
 fn main() {
+    atum_bench::init_obs();
     print_header(
         "Figure 7",
         "maximal tolerated churn rate (re-joins per minute) per system size",

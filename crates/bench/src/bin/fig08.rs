@@ -64,6 +64,7 @@ fn print_cdf(label: &str, series: &mut LatencySeries, thresholds: &[f64]) {
 }
 
 fn main() {
+    atum_bench::init_obs();
     print_header(
         "Figure 8",
         "broadcast latency CDF: Atum vs classic gossip vs flat SMR (* = with Byzantine nodes)",

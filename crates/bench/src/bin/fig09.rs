@@ -93,6 +93,7 @@ fn measure_read(size: u64, chunks: usize, replicas: usize, seed: u64) -> (f64, u
 }
 
 fn main() {
+    atum_bench::init_obs();
     print_header(
         "Figure 9",
         "AShare read latency per MB vs file size (NFS baseline, simple, parallel)",

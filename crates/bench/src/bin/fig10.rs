@@ -4,6 +4,7 @@
 use atum_bench::{print_header, scaled};
 
 fn main() {
+    atum_bench::init_obs();
     print_header(
         "Figure 10",
         "AShare read latency per MB vs replica count, 50 nodes / 500 files / 7 Byzantine",

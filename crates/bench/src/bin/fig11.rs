@@ -5,6 +5,7 @@
 use atum_bench::{print_header, scaled};
 
 fn main() {
+    atum_bench::init_obs();
     print_header(
         "Figure 11",
         "AShare read latency per MB vs replica count, 100 nodes / 1000 files / 7 Byzantine",

@@ -81,6 +81,7 @@ fn run_stream(n: usize, cycles: u8, seed: u64) -> (f64, f64, u64) {
 }
 
 fn main() {
+    atum_bench::init_obs();
     print_header(
         "Figure 12",
         "AStream latency for a 1 MB/s stream: single vs double dissemination cycle",

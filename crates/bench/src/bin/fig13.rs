@@ -8,6 +8,7 @@ use atum_simnet::NetConfig;
 use atum_types::Duration;
 
 fn main() {
+    atum_bench::init_obs();
     print_header(
         "Figure 13",
         "exchange completion rate vs join rate while growing to the target size",

@@ -17,6 +17,36 @@ pub use report::{emit, json_sink, BenchRecord};
 
 use atum_types::{Duration, Params};
 
+/// Wires the tracing plane into an experiment binary.
+///
+/// Call this first thing in `main()`. It understands one command-line flag,
+/// `--trace-out <path>`: structured protocol events are appended to that file
+/// as JSONL, and — mirroring the `ATUM_TRACE_OUT` semantics in
+/// `atum_obs::trace` — all event kinds are enabled unless the operator
+/// narrowed the selection explicitly via `ATUM_TRACE`. Without the flag the
+/// binaries rely purely on the environment (`ATUM_TRACE`, `ATUM_TRACE_OUT`,
+/// `ATUM_DEBUG_*`), which `atum-obs` reads lazily on first use, so calling
+/// this is cheap and optional for env-only runs.
+pub fn init_obs() {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        let path = if arg == "--trace-out" {
+            args.next()
+        } else {
+            arg.strip_prefix("--trace-out=").map(str::to_owned)
+        };
+        let Some(path) = path else { continue };
+        if let Err(err) = atum_obs::trace::set_output_file(&path) {
+            eprintln!("warning: cannot open trace output {path}: {err}");
+            return;
+        }
+        if std::env::var("ATUM_TRACE").is_err() {
+            atum_obs::trace::enable_all_kinds();
+        }
+        return;
+    }
+}
+
 /// `true` when the full paper-scale experiment was requested via
 /// `ATUM_FULL=1`.
 pub fn full_scale() -> bool {

@@ -22,29 +22,24 @@ use rand_chacha::ChaCha8Rng;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
-pub(crate) mod debug {
-    //! Env-gated protocol tracing (`ATUM_DEBUG_JOIN`, `ATUM_DEBUG_WALK`,
-    //! `ATUM_DEBUG_WELCOME`). Flags are read once: tracing sits on hot
-    //! paths, so per-call `env::var` lookups are not acceptable.
-    use std::sync::OnceLock;
+/// Cached handles into the global metrics registry for the anti-entropy
+/// repair plane. Resolved once (registry lookups take a lock); afterwards
+/// each increment is one relaxed atomic add. The adversarial benchmarks
+/// sample these to break a partition-heal into degradation phases.
+pub(crate) mod repair_metrics {
+    use atum_obs::Counter;
+    use std::sync::{Arc, OnceLock};
 
-    fn flag(cell: &'static OnceLock<bool>, name: &str) -> bool {
-        *cell.get_or_init(|| std::env::var(name).is_ok())
+    /// Broadcast holes detected: `BroadcastPull` requests sent upstream.
+    pub(crate) fn pulls() -> &'static Arc<Counter> {
+        static CELL: OnceLock<Arc<Counter>> = OnceLock::new();
+        CELL.get_or_init(|| atum_obs::global().counter("core.anti_entropy_pulls"))
     }
 
-    pub(crate) fn join() -> bool {
-        static CELL: OnceLock<bool> = OnceLock::new();
-        flag(&CELL, "ATUM_DEBUG_JOIN")
-    }
-
-    pub(crate) fn walk() -> bool {
-        static CELL: OnceLock<bool> = OnceLock::new();
-        flag(&CELL, "ATUM_DEBUG_WALK")
-    }
-
-    pub(crate) fn welcome() -> bool {
-        static CELL: OnceLock<bool> = OnceLock::new();
-        flag(&CELL, "ATUM_DEBUG_WELCOME")
+    /// Holes serviced by re-proposing the held op through the vgroup SMR.
+    pub(crate) fn reproposals() -> &'static Arc<Counter> {
+        static CELL: OnceLock<Arc<Counter>> = OnceLock::new();
+        CELL.get_or_init(|| atum_obs::global().counter("core.anti_entropy_reproposals"))
     }
 }
 
@@ -608,12 +603,15 @@ impl MemberState {
         let epoch_before = self.epoch;
         match op {
             GroupOp::HandleJoinRequest { joiner, rejoin, .. } => {
-                if debug::join() {
-                    eprintln!(
-                        "[{now:?}] {}: HandleJoinRequest({}, rejoin={rejoin}) applied in vgroup {:?}",
-                        self.me.id, joiner.id, self.vgroup
-                    );
-                }
+                atum_obs::trace_event!(
+                    Join,
+                    at = now.as_micros(),
+                    node = self.me.id.raw(),
+                    slots = [joiner.id.raw(), self.vgroup.raw(), u64::from(rejoin)],
+                    "HandleJoinRequest({}, rejoin={rejoin}) applied in vgroup {:?}",
+                    joiner.id,
+                    self.vgroup
+                );
                 if rejoin {
                     // Re-join fast path: the joiner was a member until churn
                     // stranded it. Admit it into the contact vgroup directly,
@@ -636,16 +634,21 @@ impl MemberState {
                 }
             }
             GroupOp::AdmitJoiner { joiner, .. } => {
-                if debug::join() {
-                    eprintln!(
-                        "[{now:?}] {}: AdmitJoiner({}) in vgroup {:?} (inserted: {}, comp len {})",
-                        self.me.id,
-                        joiner.id,
-                        self.vgroup,
-                        !self.composition.contains(joiner.id),
-                        self.composition.len()
-                    );
-                }
+                atum_obs::trace_event!(
+                    Join,
+                    at = now.as_micros(),
+                    node = self.me.id.raw(),
+                    slots = [
+                        joiner.id.raw(),
+                        self.vgroup.raw(),
+                        self.composition.len() as u64
+                    ],
+                    "AdmitJoiner({}) in vgroup {:?} (inserted: {}, comp len {})",
+                    joiner.id,
+                    self.vgroup,
+                    !self.composition.contains(joiner.id),
+                    self.composition.len()
+                );
                 if self.composition.insert(joiner.id) {
                     self.after_composition_change(now, effects);
                     self.send_welcome(joiner.id, effects);
@@ -1173,6 +1176,20 @@ impl MemberState {
                 group,
                 composition,
             } => {
+                atum_obs::trace_event!(
+                    CyclePatch,
+                    at = now.as_micros(),
+                    node = self.me.id.raw(),
+                    slots = [u64::from(cycle), group.raw(), u64::from(new_is_successor)],
+                    "cycle {cycle} patched: {:?} now {} of vgroup {:?}",
+                    group,
+                    if new_is_successor {
+                        "successor"
+                    } else {
+                        "predecessor"
+                    },
+                    self.vgroup
+                );
                 let cycle_idx = cycle as usize;
                 if let Some(mut entry) = self.neighbors.cycle(cycle_idx).cloned() {
                     if new_is_successor {
@@ -1331,16 +1348,21 @@ impl MemberState {
 
     /// Either forwards a walk one step or, if it is complete, acts on it.
     fn route_walk(&mut self, mut walk: WalkState, now: Instant, effects: &mut Vec<Effect>) {
-        if debug::walk() {
-            eprintln!(
-                "[{now:?}] {}: route_walk {:?} at vgroup {:?} complete={} purpose={:?}",
-                self.me.id,
-                walk.id,
-                self.vgroup,
-                walk.is_complete(),
-                walk.purpose
-            );
-        }
+        atum_obs::trace_event!(
+            Walk,
+            at = now.as_micros(),
+            node = self.me.id.raw(),
+            slots = [
+                walk.id.seq,
+                self.vgroup.raw(),
+                u64::from(walk.is_complete())
+            ],
+            "route_walk {:?} at vgroup {:?} complete={} purpose={:?}",
+            walk.id,
+            self.vgroup,
+            walk.is_complete(),
+            walk.purpose
+        );
         if walk.is_complete() {
             self.on_walk_selected(walk, now, effects);
             return;
@@ -1683,6 +1705,16 @@ impl MemberState {
             missing.push(id);
         }
         if !missing.is_empty() {
+            repair_metrics::pulls().add(missing.len() as u64);
+            atum_obs::trace_event!(
+                AntiEntropyPull,
+                at = now.as_micros(),
+                node = self.me.id.raw(),
+                slots = [group.raw(), missing.len() as u64, 0],
+                "pulling {} missing broadcasts of vgroup {:?} from {from}",
+                missing.len(),
+                group
+            );
             effects.push(Effect::Send {
                 to: from,
                 // Echo the *advertiser's* group so its own-vgroup guard in
@@ -1771,6 +1803,15 @@ impl MemberState {
         // which is exactly the guard a repair re-decision must bypass.)
         for (id, payload) in repropose {
             if let Some(engine) = self.engine.as_mut() {
+                repair_metrics::reproposals().inc();
+                atum_obs::trace_event!(
+                    AntiEntropyPull,
+                    at = now.as_micros(),
+                    node = self.me.id.raw(),
+                    slots = [group.raw(), id.seq, 1],
+                    "re-proposing broadcast {id:?} through vgroup {:?} SMR for {from}",
+                    group
+                );
                 let actions = engine.propose(GroupOp::Broadcast { id, payload }, now);
                 self.process_actions(actions, now, effects);
             }

@@ -282,6 +282,13 @@ impl<A: Application> AtumNode<A> {
             since: ctx.now(),
         };
         self.stats.join_requested_at = Some(ctx.now());
+        atum_obs::trace_event!(
+            Join,
+            at = ctx.now().as_micros(),
+            node = self.identity.id.raw(),
+            slots = [contact.raw(), self.join_nonce, 0],
+            "join started via contact {contact}"
+        );
         ctx.send(contact, AtumMessage::JoinContactRequest);
         Ok(())
     }
@@ -540,25 +547,25 @@ impl<A: Application> AtumNode<A> {
                 }
             }
         }
-        if crate::member::debug::welcome() {
-            eprintln!(
-                "[{:?}] {}: welcome for {group:?} epoch {epoch} from {from}: {}/{threshold} senders (phase {:?})",
-                ctx.now(),
-                self.identity.id,
-                entry.senders.len(),
-                self.phase
-            );
-        }
+        atum_obs::trace_event!(
+            Welcome,
+            at = ctx.now().as_micros(),
+            node = self.identity.id.raw(),
+            slots = [group.raw(), epoch, entry.senders.len() as u64],
+            "welcome for {group:?} epoch {epoch} from {from}: {}/{threshold} senders (phase {:?})",
+            entry.senders.len(),
+            self.phase
+        );
         if entry.senders.len() < threshold {
             return;
         }
-        if crate::member::debug::join() {
-            eprintln!(
-                "[{:?}] {}: welcome threshold met for vgroup {group:?} epoch {epoch}",
-                ctx.now(),
-                self.identity.id
-            );
-        }
+        atum_obs::trace_event!(
+            Join,
+            at = ctx.now().as_micros(),
+            node = self.identity.id.raw(),
+            slots = [self.identity.id.raw(), group.raw(), epoch],
+            "welcome threshold met for vgroup {group:?} epoch {epoch}"
+        );
         let welcome = self.pending_welcomes.remove(&group).expect("just inserted");
         self.pending_welcomes.clear();
         let mut fresh = MemberState::with_membership(
@@ -771,6 +778,18 @@ impl<A: Application> AtumNode<A> {
                     contact,
                     since: ctx.now(),
                 };
+                atum_obs::trace_event!(
+                    Join,
+                    at = ctx.now().as_micros(),
+                    node = self.identity.id.raw(),
+                    slots = [
+                        contact.raw(),
+                        self.join_nonce,
+                        u64::from(self.join_attempts)
+                    ],
+                    "join stalled; retrying via contact {contact} (attempt {})",
+                    self.join_attempts
+                );
                 ctx.send(contact, AtumMessage::JoinContactRequest);
             }
             NodePhase::AwaitingTransfer => {
@@ -893,14 +912,14 @@ impl<A: Application> Node<AtumMessage> for AtumNode<A> {
         }
         match msg {
             AtumMessage::JoinContactRequest => {
-                if crate::member::debug::join() {
-                    eprintln!(
-                        "[{:?}] {}: JoinContactRequest from {from} (member: {})",
-                        ctx.now(),
-                        self.identity.id,
-                        self.member.is_some()
-                    );
-                }
+                atum_obs::trace_event!(
+                    Join,
+                    at = ctx.now().as_micros(),
+                    node = self.identity.id.raw(),
+                    slots = [from.raw(), 0, u64::from(self.member.is_some())],
+                    "JoinContactRequest from {from} (member: {})",
+                    self.member.is_some()
+                );
                 if let Some(member) = self.member.as_ref() {
                     ctx.send(
                         from,

@@ -65,6 +65,19 @@ pub struct AggregateStats {
     pub frames_delayed_injected: u64,
     /// Connections broken by injected kills.
     pub conns_killed_injected: u64,
+    /// `poll` waits across all reactors.
+    pub poll_waits: u64,
+    /// Total microseconds spent blocked in `poll`.
+    pub poll_wait_us: u64,
+    /// Dispatch batches across all reactors.
+    pub dispatch_batches: u64,
+    /// Events dispatched across all batches.
+    pub dispatch_batch_events: u64,
+    /// Total microseconds node timers fired behind their deadline.
+    pub timer_lag_us: u64,
+    /// Worst single node-timer lag (µs) any reactor observed — the
+    /// CPU-starvation signal (see [`NetCluster::wait_for_members`]).
+    pub timer_lag_max_us: u64,
 }
 
 /// Builder for [`NetCluster`].
@@ -351,15 +364,91 @@ impl<A: Application + Send + 'static> NetCluster<A> {
 
     /// Polls until at least `target` nodes are members or `timeout` elapses;
     /// returns the final member count.
+    ///
+    /// On a miss the harness turns diagnostician: it checks the reactors'
+    /// timer-lag peak for CPU starvation (an undersized machine makes
+    /// healthy protocol code look broken) and dumps the flight-recorder
+    /// rings of the stuck non-member nodes — to stderr, and as JSONL files
+    /// under `$ATUM_FLIGHT_DIR` when that is set.
     pub fn wait_for_members(&self, target: usize, timeout: StdDuration) -> usize {
         let deadline = StdInstant::now() + timeout;
         loop {
             let count = self.member_count();
-            if count >= target || StdInstant::now() >= deadline {
+            if count >= target {
+                return count;
+            }
+            if StdInstant::now() >= deadline {
+                self.diagnose_missed_target(target, count);
                 return count;
             }
             std::thread::sleep(StdDuration::from_millis(100));
         }
+    }
+
+    /// Node-timer lag (µs) beyond which a missed membership target is
+    /// attributed to CPU starvation rather than a protocol defect: several
+    /// whole heartbeat periods of slip.
+    pub const STARVATION_TIMER_LAG_US: u64 = 750_000;
+
+    fn diagnose_missed_target(&self, target: usize, count: usize) {
+        let stats = self.stats();
+        if stats.timer_lag_max_us >= Self::STARVATION_TIMER_LAG_US {
+            eprintln!(
+                "WARNING: wait_for_members missed its target ({count}/{target}) with a peak \
+                 node-timer lag of {}ms — this machine is CPU-starved (reactors cannot keep up \
+                 with the timer load), which makes failure detectors fire on healthy nodes. \
+                 Rerun against the seed revision on the same machine before blaming a change.",
+                stats.timer_lag_max_us / 1_000
+            );
+        }
+        let flight_dir = std::env::var_os("ATUM_FLIGHT_DIR").map(std::path::PathBuf::from);
+        let stuck: Vec<NodeId> = self
+            .map_nodes(|n| n.is_member())
+            .into_iter()
+            .filter(|&(_, m)| !m)
+            .map(|(id, _)| id)
+            .collect();
+        for id in stuck {
+            let Some(handle) = self.handles.get(&id) else {
+                continue;
+            };
+            let dump = handle.dump_flight();
+            if dump.is_empty() {
+                continue;
+            }
+            eprintln!("--- flight recorder dump ({id}, stuck non-member) ---");
+            eprint!("{dump}");
+            eprintln!("--- end flight recorder dump ({id}) ---");
+            if let Some(dir) = &flight_dir {
+                if let Err(err) = std::fs::create_dir_all(dir)
+                    .and_then(|_| std::fs::write(dir.join(format!("flight-{id}.jsonl")), &dump))
+                {
+                    eprintln!("failed to write flight dump for {id}: {err}");
+                }
+            }
+        }
+    }
+
+    /// Writes every node's flight-recorder ring to `<dir>/flight-<id>.jsonl`
+    /// and returns the paths written.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O error hit while creating the directory or
+    /// writing a dump.
+    pub fn dump_flights(&self, dir: &std::path::Path) -> std::io::Result<Vec<std::path::PathBuf>> {
+        std::fs::create_dir_all(dir)?;
+        let mut written = Vec::new();
+        for (id, handle) in &self.handles {
+            let dump = handle.dump_flight();
+            if dump.is_empty() {
+                continue;
+            }
+            let path = dir.join(format!("flight-{id}.jsonl"));
+            std::fs::write(&path, dump)?;
+            written.push(path);
+        }
+        Ok(written)
     }
 
     /// Polls until `pred` holds on at least `target` nodes or `timeout`
@@ -407,6 +496,14 @@ impl<A: Application + Send + 'static> NetCluster<A> {
             agg.frames_corrupted_injected += s.frames_corrupted_injected.load(Ordering::Relaxed);
             agg.frames_delayed_injected += s.frames_delayed_injected.load(Ordering::Relaxed);
             agg.conns_killed_injected += s.conns_killed_injected.load(Ordering::Relaxed);
+            agg.poll_waits += s.poll_waits.load(Ordering::Relaxed);
+            agg.poll_wait_us += s.poll_wait_us.load(Ordering::Relaxed);
+            agg.dispatch_batches += s.dispatch_batches.load(Ordering::Relaxed);
+            agg.dispatch_batch_events += s.dispatch_batch_events.load(Ordering::Relaxed);
+            agg.timer_lag_us += s.timer_lag_us.load(Ordering::Relaxed);
+            agg.timer_lag_max_us = agg
+                .timer_lag_max_us
+                .max(s.timer_lag_max_us.load(Ordering::Relaxed));
         }
         agg
     }

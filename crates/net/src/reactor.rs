@@ -67,6 +67,8 @@
 use crate::faults::{FaultDecider, FaultDecision, FaultPlane};
 use crate::frame::{self, Hello, Route};
 use crate::runtime::{AddressBook, NetMessage, RuntimeConfig, RuntimeStats};
+use atum_obs::flight::{self, FlightRecorder};
+use atum_obs::metrics::AtomicHistogram;
 use atum_simnet::{Context, ContextEffects, Node, OutboundMessage, TimerRequest};
 use atum_types::wire::{self, FRAME_HEADER_LEN, FRAME_KIND_HELLO, FRAME_KIND_ROUTE};
 use atum_types::{Instant, NodeId};
@@ -372,6 +374,9 @@ struct Hosted<N> {
     next_timer_handle: u64,
     pending_timers: HashSet<u64>,
     halted: bool,
+    /// This node's flight recorder, scoped around every dispatch so trace
+    /// events land in the ring of the node that was executing.
+    flight: Arc<FlightRecorder>,
 }
 
 // ------------------------------------------------------------------- shared
@@ -386,6 +391,9 @@ struct Shared<M, N> {
     shutdown: AtomicBool,
     /// Which reactor owns each hosted node.
     placements: RwLock<HashMap<NodeId, usize>>,
+    /// Every hosted node's flight recorder — readable from any thread
+    /// (`NodeHandle::dump_flight`) while the owning reactor records into it.
+    flights: RwLock<HashMap<NodeId, Arc<FlightRecorder>>>,
     injectors: Vec<Arc<Injector<M, N>>>,
     next_reactor: AtomicUsize,
 }
@@ -435,6 +443,11 @@ impl<M: NetMessage, N: Node<M> + Send + 'static> NetRuntime<M, N> {
     /// Returns the underlying I/O error when the listener, the poller or a
     /// reactor's waker cannot be created.
     pub fn bind(cfg: RuntimeConfig) -> std::io::Result<Self> {
+        // Flight recording is always on for socket runtimes (allocation-free
+        // in steady state; see the atum-obs crate docs), and a panic on a
+        // reactor thread dumps the executing node's ring before aborting.
+        atum_obs::trace::set_flight_recording(true);
+        flight::install_panic_dump();
         let listener = TcpListener::bind(cfg.listen)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -452,6 +465,7 @@ impl<M: NetMessage, N: Node<M> + Send + 'static> NetRuntime<M, N> {
             addr,
             shutdown: AtomicBool::new(false),
             placements: RwLock::new(HashMap::new()),
+            flights: RwLock::new(HashMap::new()),
             injectors,
             next_reactor: AtomicUsize::new(0),
             cfg,
@@ -488,6 +502,11 @@ impl<M: NetMessage, N: Node<M> + Send + 'static> NetRuntime<M, N> {
             .write()
             .expect("placements lock")
             .insert(id, idx);
+        self.shared
+            .flights
+            .write()
+            .expect("flights lock")
+            .insert(id, Arc::new(FlightRecorder::new()));
         self.shared.book.register(id, self.shared.addr);
         self.shared.injectors[idx].push(Injected::Host { id, node });
         NodeHandle {
@@ -609,6 +628,23 @@ impl<M: NetMessage, N: Node<M> + Send + 'static> NodeHandle<M, N> {
         );
     }
 
+    /// This node's flight recorder (`None` once the node is removed).
+    pub fn flight(&self) -> Option<Arc<FlightRecorder>> {
+        self.shared
+            .flights
+            .read()
+            .expect("flights lock")
+            .get(&self.id)
+            .cloned()
+    }
+
+    /// Dumps this node's flight-recorder ring as replayable JSONL (empty
+    /// when the node is gone or recorded nothing). Safe to call from any
+    /// thread at any time — the dump races at most one in-flight event.
+    pub fn dump_flight(&self) -> String {
+        self.flight().map(|f| f.dump_jsonl()).unwrap_or_default()
+    }
+
     /// Runs a read-only closure against the node state and returns its
     /// result, or `None` when the node is gone or does not answer within
     /// five seconds.
@@ -635,6 +671,11 @@ impl<M: NetMessage, N: Node<M> + Send + 'static> NodeHandle<M, N> {
             .placements
             .write()
             .expect("placements lock")
+            .remove(&self.id);
+        self.shared
+            .flights
+            .write()
+            .expect("flights lock")
             .remove(&self.id);
     }
 }
@@ -688,6 +729,14 @@ struct Reactor<M: NetMessage, N: Node<M> + Send + 'static> {
     next_delayed: u64,
     /// Last observed `FaultPlane` kill-connections counter.
     seen_kills: u64,
+    /// Registry histogram of `poll` wait times (µs), resolved once here so
+    /// the loop never takes the registry lock.
+    poll_wait_hist: Arc<AtomicHistogram>,
+    /// Registry histogram of events per dispatch batch.
+    dispatch_batch_hist: Arc<AtomicHistogram>,
+    /// Registry histogram of node-timer lag (µs): how far behind their
+    /// deadline timers actually fire — the CPU-starvation signal.
+    timer_lag_hist: Arc<AtomicHistogram>,
 }
 
 impl<M: NetMessage, N: Node<M> + Send + 'static> Reactor<M, N> {
@@ -729,6 +778,18 @@ impl<M: NetMessage, N: Node<M> + Send + 'static> Reactor<M, N> {
             delayed: HashMap::new(),
             next_delayed: 0,
             seen_kills,
+            poll_wait_hist: atum_obs::global().histogram(
+                "net.poll_wait_us",
+                &[50, 200, 1_000, 5_000, 20_000, 100_000, 200_000, 500_000],
+            ),
+            dispatch_batch_hist: atum_obs::global()
+                .histogram("net.dispatch_batch", &[1, 2, 4, 8, 16, 32, 64, 128]),
+            timer_lag_hist: atum_obs::global().histogram(
+                "net.timer_lag_us",
+                &[
+                    100, 1_000, 10_000, 50_000, 100_000, 250_000, 750_000, 2_000_000,
+                ],
+            ),
         })
     }
 
@@ -751,8 +812,16 @@ impl<M: NetMessage, N: Node<M> + Send + 'static> Reactor<M, N> {
                 None => IDLE_POLL,
             };
             self.events.clear();
+            let wait_started = StdInstant::now();
             let _ = self.poller.wait(&mut self.events, Some(timeout));
+            let waited_us = wait_started.elapsed().as_micros() as u64;
+            self.shared.stats.note_poll_wait(waited_us);
+            self.poll_wait_hist.record(waited_us);
             let events = std::mem::take(&mut self.events);
+            if !events.is_empty() {
+                self.shared.stats.note_dispatch_batch(events.len() as u64);
+                self.dispatch_batch_hist.record(events.len() as u64);
+            }
             for ev in &events {
                 match ev.key {
                     KEY_WAKER => self.injector.waker.drain(),
@@ -812,6 +881,16 @@ impl<M: NetMessage, N: Node<M> + Send + 'static> Reactor<M, N> {
 
     fn host_node(&mut self, id: NodeId, node: N) {
         let seed = self.shared.cfg.seed ^ id.raw().wrapping_mul(0x9E3779B97F4A7C15);
+        // The handle side (`NetRuntime::host`) registered the recorder
+        // before injecting us; fall back to a fresh one for completeness.
+        let flight = self
+            .shared
+            .flights
+            .read()
+            .expect("flights lock")
+            .get(&id)
+            .cloned()
+            .unwrap_or_default();
         self.nodes.insert(
             id,
             Hosted {
@@ -820,6 +899,7 @@ impl<M: NetMessage, N: Node<M> + Send + 'static> Reactor<M, N> {
                 next_timer_handle: 0,
                 pending_timers: HashSet::new(),
                 halted: false,
+                flight,
             },
         );
         self.dispatch(id, |node, ctx| node.on_start(ctx));
@@ -843,6 +923,7 @@ impl<M: NetMessage, N: Node<M> + Send + 'static> Reactor<M, N> {
             self.effects = effects;
             return;
         }
+        let flight = hosted.flight.clone();
         let mut ctx = Context::for_runtime(
             id,
             now,
@@ -850,7 +931,11 @@ impl<M: NetMessage, N: Node<M> + Send + 'static> Reactor<M, N> {
             &mut hosted.next_timer_handle,
             effects,
         );
+        // Scope this node's flight recorder over the callback: any
+        // `trace_event!` the protocol code hits lands in this node's ring.
+        let guard = flight::scope(&flight);
         f(&mut hosted.node, &mut ctx);
+        drop(guard);
         let mut effects = ctx.into_effects();
 
         // Sends first (they need the connection table, so the node borrow
@@ -928,6 +1013,13 @@ impl<M: NetMessage, N: Node<M> + Send + 'static> Reactor<M, N> {
                         .stats
                         .frames_dropped_injected
                         .fetch_add(1, Ordering::Relaxed);
+                    atum_obs::trace_event!(
+                        FaultInjected,
+                        at = now_us,
+                        node = from.raw(),
+                        slots = [to.raw(), 1, 0],
+                        "injected drop {from} -> {to}"
+                    );
                     return;
                 }
                 FaultDecision::Forward { delay_us, corrupt } => {
@@ -939,6 +1031,13 @@ impl<M: NetMessage, N: Node<M> + Send + 'static> Reactor<M, N> {
                             .stats
                             .frames_corrupted_injected
                             .fetch_add(1, Ordering::Relaxed);
+                        atum_obs::trace_event!(
+                            FaultInjected,
+                            at = now_us,
+                            node = from.raw(),
+                            slots = [to.raw(), 3, 0],
+                            "injected corruption {from} -> {to}"
+                        );
                     }
                     if delay_us > 0 {
                         let token = self.next_delayed;
@@ -954,6 +1053,13 @@ impl<M: NetMessage, N: Node<M> + Send + 'static> Reactor<M, N> {
                             .stats
                             .frames_delayed_injected
                             .fetch_add(1, Ordering::Relaxed);
+                        atum_obs::trace_event!(
+                            FaultInjected,
+                            at = now_us,
+                            node = from.raw(),
+                            slots = [to.raw(), 2, delay_us],
+                            "injected delay {from} -> {to} ({delay_us}us)"
+                        );
                         let at = StdInstant::now() + StdDuration::from_micros(delay_us);
                         self.arm_timer(at, TimerKind::FaultRelease { token });
                         return;
@@ -1539,6 +1645,24 @@ impl<M: NetMessage, N: Node<M> + Send + 'static> Reactor<M, N> {
                     if !hosted.pending_timers.remove(&handle) {
                         continue; // Cancelled before firing.
                     }
+                    // How far behind its deadline the timer fires. On a
+                    // healthy machine this is microseconds; sustained lag of
+                    // hundreds of milliseconds means the reactors are
+                    // CPU-starved and failure detectors upstream are lying.
+                    let lag_us = now.saturating_duration_since(entry.at).as_micros() as u64;
+                    self.shared.stats.note_timer_lag(lag_us);
+                    self.timer_lag_hist.record(lag_us);
+                    if lag_us >= 100_000 {
+                        atum_obs::trace_event!(
+                            Reactor,
+                            at = self.now().as_micros(),
+                            node = id.raw(),
+                            slots = [lag_us, tag, self.idx as u64],
+                            "timer fired {}ms late on reactor {}",
+                            lag_us / 1_000,
+                            self.idx
+                        );
+                    }
                     self.shared
                         .stats
                         .timers_fired
@@ -1597,6 +1721,15 @@ impl<M: NetMessage, N: Node<M> + Send + 'static> Reactor<M, N> {
                     .is_some_and(|c| c.stream.is_some())
             })
             .collect();
+        atum_obs::trace_event!(
+            FaultInjected,
+            at = self.now().as_micros(),
+            node = self.idx as u64,
+            slots = [live.len() as u64, 4, 0],
+            "injected kill severed {} connections on reactor {}",
+            live.len(),
+            self.idx
+        );
         for slot in live {
             self.shared
                 .stats

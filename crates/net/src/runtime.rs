@@ -155,12 +155,49 @@ pub struct RuntimeStats {
     pub frames_delayed_injected: AtomicU64,
     /// Live connections severed by [`FaultPlane::kill_connections`].
     pub conns_killed_injected: AtomicU64,
+    /// `poll` waits the reactors performed.
+    pub poll_waits: AtomicU64,
+    /// Total microseconds the reactors spent blocked in `poll`.
+    pub poll_wait_us: AtomicU64,
+    /// Dispatch batches (one per poll wake-up that found work).
+    pub dispatch_batches: AtomicU64,
+    /// Events dispatched across all batches (`/ dispatch_batches` is the
+    /// mean batch size the bench reports).
+    pub dispatch_batch_events: AtomicU64,
+    /// Total microseconds node timers fired behind their deadline.
+    pub timer_lag_us: AtomicU64,
+    /// Worst single node-timer lag observed, in microseconds. This is the
+    /// CPU-starvation signal: on an undersized machine the reactors cannot
+    /// keep up and timers slip by whole heartbeat periods, making healthy
+    /// protocol code look broken (see `NetCluster::wait_for_members`).
+    pub timer_lag_max_us: AtomicU64,
 }
 
 impl RuntimeStats {
     pub(crate) fn note_queue_depth(&self, depth: usize) {
         self.peak_outbound_queue
             .fetch_max(depth as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_poll_wait(&self, waited_us: u64) {
+        self.poll_waits.fetch_add(1, Ordering::Relaxed);
+        self.poll_wait_us.fetch_add(waited_us, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_dispatch_batch(&self, events: u64) {
+        self.dispatch_batches.fetch_add(1, Ordering::Relaxed);
+        self.dispatch_batch_events
+            .fetch_add(events, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_timer_lag(&self, lag_us: u64) {
+        self.timer_lag_us.fetch_add(lag_us, Ordering::Relaxed);
+        self.timer_lag_max_us.fetch_max(lag_us, Ordering::Relaxed);
+    }
+
+    /// Worst single node-timer lag observed so far, in microseconds.
+    pub fn timer_lag_max_us(&self) -> u64 {
+        self.timer_lag_max_us.load(Ordering::Relaxed)
     }
 
     pub(crate) fn note_inbound_enqueued(&self) {

@@ -1,0 +1,440 @@
+//! The unified metrics registry: named counters, gauges and fixed-bucket
+//! histograms, shared by the simulator, the TCP runtime and the experiment
+//! drivers.
+//!
+//! Hot paths never look metrics up by name: a component resolves its
+//! handles (`Arc<Counter>` etc.) once at startup and then pays one relaxed
+//! atomic op per observation. The registry exists for the *read* side —
+//! enumerating everything a process measured into one snapshot that bench
+//! records and the stats surfaces (`RuntimeStats`/`AggregateStats`) can
+//! publish through.
+
+use atum_types::Duration;
+use serde::{Deserialize, Serialize, Value};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value / peak-tracking gauge.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Sets the current value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the gauge to `v` if it is higher (peak tracking).
+    #[inline]
+    pub fn record_max(&self, v: u64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A thread-safe fixed-bucket histogram over `u64` observations
+/// (microseconds, batch sizes, queue depths). Buckets are cumulative-free:
+/// each count is the number of observations `<=` its bound and `>` the
+/// previous bound; observations beyond the last bound land in `overflow`.
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    bounds: Vec<u64>,
+    counts: Vec<AtomicU64>,
+    overflow: AtomicU64,
+    total: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl AtomicHistogram {
+    /// A histogram with the given ascending upper bounds.
+    pub fn new(bounds: &[u64]) -> Self {
+        AtomicHistogram {
+            bounds: bounds.to_vec(),
+            counts: bounds.iter().map(|_| AtomicU64::new(0)).collect(),
+            overflow: AtomicU64::new(0),
+            total: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.total.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        match self.bounds.iter().position(|&b| v <= b) {
+            Some(i) => self.counts[i].fetch_add(1, Ordering::Relaxed),
+            None => self.overflow.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations (mean = sum / total).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Observations beyond the last bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow.load(Ordering::Relaxed)
+    }
+
+    /// `(upper_bound, count)` per bucket, ascending.
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        self.bounds
+            .iter()
+            .copied()
+            .zip(self.counts.iter().map(|c| c.load(Ordering::Relaxed)))
+            .collect()
+    }
+}
+
+/// A handle to one registered metric.
+#[derive(Debug, Clone)]
+pub enum Metric {
+    /// A [`Counter`].
+    Counter(Arc<Counter>),
+    /// A [`Gauge`].
+    Gauge(Arc<Gauge>),
+    /// An [`AtomicHistogram`].
+    Histogram(Arc<AtomicHistogram>),
+}
+
+/// A point-in-time reading of one metric (the snapshot shape bench records
+/// serialise).
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Counter reading.
+    Counter(u64),
+    /// Gauge reading.
+    Gauge(u64),
+    /// Histogram reading: `(buckets, overflow, total, sum)`.
+    Histogram {
+        /// `(upper_bound, count)` per bucket.
+        buckets: Vec<(u64, u64)>,
+        /// Observations beyond the last bound.
+        overflow: u64,
+        /// Total observations.
+        total: u64,
+        /// Sum of observations.
+        sum: u64,
+    },
+}
+
+impl MetricValue {
+    /// The reading as a JSON value tree.
+    pub fn to_value(&self) -> Value {
+        match self {
+            MetricValue::Counter(v) | MetricValue::Gauge(v) => Value::U64(*v),
+            MetricValue::Histogram {
+                buckets,
+                overflow,
+                total,
+                sum,
+            } => Value::Map(vec![
+                (
+                    "buckets".to_string(),
+                    Value::Seq(
+                        buckets
+                            .iter()
+                            .map(|(b, c)| Value::Seq(vec![Value::U64(*b), Value::U64(*c)]))
+                            .collect(),
+                    ),
+                ),
+                ("overflow".to_string(), Value::U64(*overflow)),
+                ("total".to_string(), Value::U64(*total)),
+                ("sum".to_string(), Value::U64(*sum)),
+            ]),
+        }
+    }
+}
+
+/// A named collection of metrics. Handle resolution (`counter`, `gauge`,
+/// `histogram`) is get-or-create and intended for startup; observations go
+/// through the returned `Arc` handles.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: RwLock<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The counter named `name`, created at zero on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric type.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut inner = self.inner.write().expect("metrics registry lock");
+        match inner
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())))
+        {
+            Metric::Counter(c) => c.clone(),
+            other => panic!("metric {name:?} already registered as {other:?}"),
+        }
+    }
+
+    /// The gauge named `name`, created at zero on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric type.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut inner = self.inner.write().expect("metrics registry lock");
+        match inner
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())))
+        {
+            Metric::Gauge(g) => g.clone(),
+            other => panic!("metric {name:?} already registered as {other:?}"),
+        }
+    }
+
+    /// The histogram named `name`, created with `bounds` on first use
+    /// (later calls ignore `bounds`).
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric type.
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Arc<AtomicHistogram> {
+        let mut inner = self.inner.write().expect("metrics registry lock");
+        match inner
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(AtomicHistogram::new(bounds))))
+        {
+            Metric::Histogram(h) => h.clone(),
+            other => panic!("metric {name:?} already registered as {other:?}"),
+        }
+    }
+
+    /// Reads every registered metric, sorted by name.
+    pub fn snapshot(&self) -> Vec<(String, MetricValue)> {
+        let inner = self.inner.read().expect("metrics registry lock");
+        inner
+            .iter()
+            .map(|(name, metric)| {
+                let value = match metric {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricValue::Histogram {
+                        buckets: h.buckets(),
+                        overflow: h.overflow(),
+                        total: h.total(),
+                        sum: h.sum(),
+                    },
+                };
+                (name.clone(), value)
+            })
+            .collect()
+    }
+
+    /// The snapshot as one JSON object (metric name → reading).
+    pub fn snapshot_json(&self) -> String {
+        let entries = self
+            .snapshot()
+            .into_iter()
+            .map(|(name, value)| (name, value.to_value()))
+            .collect();
+        crate::flight::value_to_json(Value::Map(entries))
+    }
+}
+
+/// The process-wide registry. Components that outlive any one runtime
+/// (protocol layers, drivers) register here; per-runtime stats structs keep
+/// their own atomics and publish into it.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Default bucket upper bounds (seconds) for [`LatencyHistogram`]: roughly
+/// doubling, sized for protocol-level recovery latencies (a churn re-join
+/// takes seconds to a couple of minutes).
+pub const DEFAULT_LATENCY_BUCKETS: [f64; 8] = [2.0, 5.0, 10.0, 20.0, 40.0, 80.0, 160.0, 320.0];
+
+/// A fixed-bucket latency histogram for machine-readable experiment reports
+/// (promoted here from `atum-sim` so both runtimes and the bench pipeline
+/// share one shape).
+///
+/// Unlike the exact-sample series in `atum_sim::metrics`, the histogram has
+/// a stable, bounded shape that serialises cleanly into the bench JSON
+/// records and can be diffed across runs. Single-threaded by design (`&mut
+/// self`); use [`AtomicHistogram`] for shared runtime instrumentation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    /// Upper bound (inclusive, seconds) of each bucket; samples beyond the
+    /// last bound land in the overflow count.
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    overflow: u64,
+    total: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new(&DEFAULT_LATENCY_BUCKETS)
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates a histogram with the given bucket upper bounds (seconds,
+    /// ascending).
+    pub fn new(bounds: &[f64]) -> Self {
+        LatencyHistogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len()],
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Records one sample in seconds.
+    pub fn record_secs(&mut self, secs: f64) {
+        self.total += 1;
+        match self.bounds.iter().position(|&b| secs <= b) {
+            Some(i) => self.counts[i] += 1,
+            None => self.overflow += 1,
+        }
+    }
+
+    /// Records a [`Duration`] sample.
+    pub fn record(&mut self, d: Duration) {
+        self.record_secs(d.as_secs_f64());
+    }
+
+    /// Total number of recorded samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Samples beyond the last bucket bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// `(upper_bound_secs, count)` per bucket, in ascending order.
+    pub fn buckets(&self) -> Vec<(f64, u64)> {
+        self.bounds
+            .iter()
+            .copied()
+            .zip(self.counts.iter().copied())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_histograms() {
+        let registry = Registry::new();
+        let c = registry.counter("test.counter");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(registry.counter("test.counter").get(), 5, "get-or-create");
+
+        let g = registry.gauge("test.gauge");
+        g.set(3);
+        g.record_max(10);
+        g.record_max(7);
+        assert_eq!(g.get(), 10);
+
+        let h = registry.histogram("test.hist", &[10, 100]);
+        for v in [1, 5, 50, 500] {
+            h.record(v);
+        }
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.sum(), 556);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.buckets(), vec![(10, 2), (100, 1)]);
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert_eq!(snap[0].0, "test.counter");
+        assert_eq!(snap[0].1, MetricValue::Counter(5));
+        let json = registry.snapshot_json();
+        assert!(json.contains("\"test.gauge\":10"));
+        assert!(json.contains("\"overflow\":1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn type_confusion_panics() {
+        let registry = Registry::new();
+        registry.counter("same.name");
+        registry.gauge("same.name");
+    }
+
+    #[test]
+    fn latency_histogram_buckets_and_overflow() {
+        let mut h = LatencyHistogram::new(&[1.0, 10.0]);
+        for s in [0.5, 0.9, 5.0, 100.0] {
+            h.record_secs(s);
+        }
+        h.record(Duration::from_millis(1_500));
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.buckets(), vec![(1.0, 2), (10.0, 2)]);
+        let default = LatencyHistogram::default();
+        assert_eq!(default.buckets().len(), DEFAULT_LATENCY_BUCKETS.len());
+        assert_eq!(default.total(), 0);
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        let a = global().counter("obs.test.global");
+        a.inc();
+        assert_eq!(global().counter("obs.test.global").get(), a.get());
+    }
+}

@@ -213,18 +213,39 @@ pub fn run_growth(
             report.exchanges_suppressed += stats.suppressed;
         }
     }
-    if std::env::var("ATUM_DEBUG_GROWTH").is_ok() {
+    // End-of-run diagnosis (`ATUM_TRACE=growth`, or the legacy
+    // `ATUM_DEBUG_GROWTH` alias): one `growth` event per non-member and one
+    // per distinct vgroup. The single armed check keeps the whole sweep off
+    // the disabled path.
+    if atum_obs::trace::armed(atum_obs::EventKind::Growth) {
         let mut seen_groups = std::collections::BTreeSet::new();
         for i in 0..target as u64 {
             let Some(node) = sim.node(NodeId::new(i)) else {
                 continue;
             };
             match node.member() {
-                None => eprintln!("non-member n{i}: phase {:?}", node.phase()),
+                None => {
+                    atum_obs::trace_event!(
+                        Growth,
+                        at = sim.now().as_micros(),
+                        node = i,
+                        slots = [0, 0, 0],
+                        "non-member n{i}: phase {:?}",
+                        node.phase()
+                    );
+                }
                 Some(member) => {
                     if seen_groups.insert(member.vgroup) {
                         let live = member.presumed_live(sim.now());
-                        eprintln!(
+                        atum_obs::trace_event!(
+                            Growth,
+                            at = sim.now().as_micros(),
+                            node = i,
+                            slots = [
+                                member.vgroup.raw(),
+                                member.composition.len() as u64,
+                                live.len() as u64
+                            ],
                             "vgroup {:?} (per n{i}): size {} presumed_live {} epoch {} engine_running {}",
                             member.vgroup,
                             member.composition.len(),
@@ -487,18 +508,24 @@ pub fn run_churn(
 /// Audits composition entries (one representative member per vgroup) whose
 /// node is not actually a member of that vgroup, classifying each ghost by
 /// whether its vgroup could still have healed it (see [`GhostAudit`]);
-/// optionally dumps the diagnosis under `ATUM_DEBUG_CHURN`.
+/// optionally dumps the diagnosis as `churn` trace events
+/// (`ATUM_TRACE=churn`, or the legacy `ATUM_DEBUG_CHURN` alias).
 fn ghost_audit(
     cluster: &Cluster<CollectingApp>,
     correct: &[NodeId],
     churned: &[(NodeId, Instant, Instant)],
 ) -> GhostAudit {
-    let debug = std::env::var("ATUM_DEBUG_CHURN").is_ok();
+    let debug = atum_obs::trace::armed(atum_obs::EventKind::Churn);
+    let now_us = cluster.sim.now().as_micros();
     if debug {
         for &n in correct {
             if let Some(node) = cluster.sim.node(n) {
                 if !node.is_member() {
-                    eprintln!(
+                    atum_obs::trace_event!(
+                        Churn,
+                        at = now_us,
+                        node = n.raw(),
+                        slots = [0, 0, 0],
                         "non-member {n}: churned={} phase {:?}",
                         churned.iter().any(|(v, _, _)| *v == n),
                         node.phase()
@@ -544,7 +571,15 @@ fn ghost_audit(
             }
         }
         if debug {
-            eprintln!(
+            atum_obs::trace_event!(
+                Churn,
+                at = now_us,
+                node = n.raw(),
+                slots = [
+                    member.vgroup.raw(),
+                    member.composition.len() as u64,
+                    ghosts.len() as u64
+                ],
                 "vgroup {:?} (per {n}): size {} ghosts {:?} epoch {} engine_running {}",
                 member.vgroup,
                 member.composition.len(),
@@ -556,13 +591,21 @@ fn ghost_audit(
                 for (peer, silence, activated, accusations) in
                     member.liveness_snapshot(cluster.sim.now())
                 {
-                    eprintln!(
+                    atum_obs::trace_event!(
+                        Churn,
+                        at = now_us,
+                        node = peer.raw(),
+                        slots = [member.vgroup.raw(), accusations as u64, 0],
                         "    peer {peer}: silent {silence:.1}s activated {activated} accusations {accusations}"
                     );
                 }
                 for f in member.composition.iter().filter(|p| !ghosts.contains(p)) {
                     if let Some(fm) = cluster.sim.node(f).and_then(|node| node.member()) {
-                        eprintln!(
+                        atum_obs::trace_event!(
+                            Churn,
+                            at = now_us,
+                            node = f.raw(),
+                            slots = [fm.vgroup.raw(), fm.composition.len() as u64, fm.epoch],
                             "    live member {f}: vgroup {:?} epoch {} engine_running {} comp {}",
                             fm.vgroup,
                             fm.epoch,

@@ -1,7 +1,13 @@
 //! Latency series, percentiles and CDFs for experiment reporting.
+//!
+//! The fixed-bucket [`LatencyHistogram`] now lives in `atum-obs` (both
+//! runtimes and the bench pipeline share it); it is re-exported here so
+//! existing `atum_sim::metrics` users keep compiling.
 
 use atum_types::Duration;
 use serde::{Deserialize, Serialize};
+
+pub use atum_obs::{LatencyHistogram, DEFAULT_LATENCY_BUCKETS};
 
 /// A collection of latency samples with CDF/percentile helpers.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -80,78 +86,6 @@ impl LatencySeries {
     }
 }
 
-/// Default bucket upper bounds (seconds) for [`LatencyHistogram`]: roughly
-/// doubling, sized for protocol-level recovery latencies (a churn re-join
-/// takes seconds to a couple of minutes).
-pub const DEFAULT_LATENCY_BUCKETS: [f64; 8] = [2.0, 5.0, 10.0, 20.0, 40.0, 80.0, 160.0, 320.0];
-
-/// A fixed-bucket latency histogram for machine-readable experiment reports.
-///
-/// Unlike [`LatencySeries`] (exact samples, percentiles), the histogram has a
-/// stable, bounded shape that serialises cleanly into the bench JSON records
-/// and can be diffed across runs.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct LatencyHistogram {
-    /// Upper bound (inclusive, seconds) of each bucket; samples beyond the
-    /// last bound land in the overflow count.
-    bounds: Vec<f64>,
-    counts: Vec<u64>,
-    overflow: u64,
-    total: u64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        LatencyHistogram::new(&DEFAULT_LATENCY_BUCKETS)
-    }
-}
-
-impl LatencyHistogram {
-    /// Creates a histogram with the given bucket upper bounds (seconds,
-    /// ascending).
-    pub fn new(bounds: &[f64]) -> Self {
-        LatencyHistogram {
-            bounds: bounds.to_vec(),
-            counts: vec![0; bounds.len()],
-            overflow: 0,
-            total: 0,
-        }
-    }
-
-    /// Records one sample in seconds.
-    pub fn record_secs(&mut self, secs: f64) {
-        self.total += 1;
-        match self.bounds.iter().position(|&b| secs <= b) {
-            Some(i) => self.counts[i] += 1,
-            None => self.overflow += 1,
-        }
-    }
-
-    /// Records a [`Duration`] sample.
-    pub fn record(&mut self, d: Duration) {
-        self.record_secs(d.as_secs_f64());
-    }
-
-    /// Total number of recorded samples.
-    pub fn total(&self) -> u64 {
-        self.total
-    }
-
-    /// Samples beyond the last bucket bound.
-    pub fn overflow(&self) -> u64 {
-        self.overflow
-    }
-
-    /// `(upper_bound_secs, count)` per bucket, in ascending order.
-    pub fn buckets(&self) -> Vec<(f64, u64)> {
-        self.bounds
-            .iter()
-            .copied()
-            .zip(self.counts.iter().copied())
-            .collect()
-    }
-}
-
 /// The p-th percentile (0–100) of a **sorted** slice.
 pub fn percentile(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
@@ -198,21 +132,6 @@ mod tests {
         assert!((cdf[0].1 - 0.0).abs() < 1e-9);
         assert!((cdf[1].1 - 0.5).abs() < 1e-9);
         assert!((cdf[2].1 - 1.0).abs() < 1e-9);
-    }
-
-    #[test]
-    fn histogram_buckets_and_overflow() {
-        let mut h = LatencyHistogram::new(&[1.0, 10.0]);
-        for s in [0.5, 0.9, 5.0, 100.0] {
-            h.record_secs(s);
-        }
-        h.record(Duration::from_millis(1_500));
-        assert_eq!(h.total(), 5);
-        assert_eq!(h.overflow(), 1);
-        assert_eq!(h.buckets(), vec![(1.0, 2), (10.0, 2)]);
-        let default = LatencyHistogram::default();
-        assert_eq!(default.buckets().len(), DEFAULT_LATENCY_BUCKETS.len());
-        assert_eq!(default.total(), 0);
     }
 
     #[test]

@@ -483,6 +483,13 @@ where
         // per-message scan entirely then.
         if !self.partitions.is_empty() && self.blocked_by_partition(from, to) {
             self.stats.messages_dropped += 1;
+            atum_obs::trace_event!(
+                FaultInjected,
+                at = self.now.as_micros(),
+                node = from.raw(),
+                slots = [to.raw(), 1, 0],
+                "partition dropped {from} -> {to}"
+            );
             return;
         }
         let loss = self
@@ -492,6 +499,13 @@ where
             .unwrap_or(self.config.loss_probability);
         if loss > 0.0 && self.rng.gen_bool(loss.min(1.0)) {
             self.stats.messages_lost += 1;
+            atum_obs::trace_event!(
+                FaultInjected,
+                at = self.now.as_micros(),
+                node = from.raw(),
+                slots = [to.raw(), 2, 0],
+                "loss dropped {from} -> {to}"
+            );
             return;
         }
         let to_region = self

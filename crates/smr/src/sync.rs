@@ -23,11 +23,19 @@ use atum_types::{Composition, Instant, NodeId};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
-/// Env-gated rejection tracing (`ATUM_DEBUG_SMR`), cached once: the check
-/// sits on the per-message hot path.
-fn debug_smr() -> bool {
-    static CELL: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
-    *CELL.get_or_init(|| std::env::var("ATUM_DEBUG_SMR").is_ok())
+/// Reason codes carried in the third slot of `smr-reject` trace events
+/// (kept in sync with the README's event schema table).
+pub mod reject_reason {
+    /// Sender or relayer is not a member of this vgroup.
+    pub const NON_MEMBER: u64 = 1;
+    /// The signature chain's payload digest does not match the batch.
+    pub const DIGEST: u64 = 2;
+    /// The signature chain itself fails verification.
+    pub const CHAIN: u64 = 3;
+    /// A signer on the chain is not a member.
+    pub const SIGNER: u64 = 4;
+    /// The slot is already finalized or too far in the past.
+    pub const STALE: u64 = 5;
 }
 
 /// Per-slot, per-sender agreement state.
@@ -316,48 +324,66 @@ impl<O: SmrOp> Replication<O> for SyncSmr<O> {
         if self.byzantine == ByzantineMode::Silent {
             return actions;
         }
-        let debug = debug_smr();
         // Validation: the sender must be a member, the chain must start with
         // the sender, every signer must be a distinct member, the relayer
         // (`from`) must be a member, and the chain must sign this batch.
         if !self.members.contains(sender) || !self.members.contains(from) {
-            if debug {
-                eprintln!(
-                    "[smr {}] reject slot {slot} from {from}: non-member",
-                    self.me
-                );
-            }
+            atum_obs::trace_event!(
+                SmrReject,
+                at = now.as_micros(),
+                node = self.me.raw(),
+                slots = [slot, from.raw(), reject_reason::NON_MEMBER],
+                "[smr {}] reject slot {slot} from {from}: non-member",
+                self.me
+            );
             return actions;
         }
         let expected = Self::batch_digest(slot, sender, &batch);
         if *chain.payload() != expected {
-            if debug {
-                eprintln!("[smr {}] reject slot {slot} from {from}: digest", self.me);
-            }
+            atum_obs::trace_event!(
+                SmrReject,
+                at = now.as_micros(),
+                node = self.me.raw(),
+                slots = [slot, from.raw(), reject_reason::DIGEST],
+                "[smr {}] reject slot {slot} from {from}: digest",
+                self.me
+            );
             return actions;
         }
         if !chain.verify(&self.registry, Some(sender), true) {
-            if debug {
-                eprintln!("[smr {}] reject slot {slot} from {from}: chain", self.me);
-            }
+            atum_obs::trace_event!(
+                SmrReject,
+                at = now.as_micros(),
+                node = self.me.raw(),
+                slots = [slot, from.raw(), reject_reason::CHAIN],
+                "[smr {}] reject slot {slot} from {from}: chain",
+                self.me
+            );
             return actions;
         }
         if chain.signers().any(|s| !self.members.contains(s)) {
-            if debug {
-                eprintln!("[smr {}] reject slot {slot} from {from}: signer", self.me);
-            }
+            atum_obs::trace_event!(
+                SmrReject,
+                at = now.as_micros(),
+                node = self.me.raw(),
+                slots = [slot, from.raw(), reject_reason::SIGNER],
+                "[smr {}] reject slot {slot} from {from}: signer",
+                self.me
+            );
             return actions;
         }
         let current_round = self.round_at(now).unwrap_or(0);
         let current_slot = self.slot_of_round(current_round);
         // Ignore values for already-finalized slots.
         if self.slots.get(&slot).map(|s| s.finalized).unwrap_or(false) || slot + 1 < current_slot {
-            if debug {
-                eprintln!(
-                    "[smr {}] reject slot {slot} from {from}: stale (current {current_slot})",
-                    self.me
-                );
-            }
+            atum_obs::trace_event!(
+                SmrReject,
+                at = now.as_micros(),
+                node = self.me.raw(),
+                slots = [slot, from.raw(), reject_reason::STALE],
+                "[smr {}] reject slot {slot} from {from}: stale (current {current_slot})",
+                self.me
+            );
             return actions;
         }
 

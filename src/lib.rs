@@ -11,6 +11,9 @@
 //!   H-graph overlay).
 //! * [`net`] — the real-socket TCP runtime: the same node state machines
 //!   over loopback/LAN sockets, with the `NetCluster` harness.
+//! * [`obs`] — observability: structured protocol-event tracing
+//!   (`trace_event!`), the unified metrics registry, and the per-node
+//!   flight recorder dumped on failures.
 //! * [`apps`] — the three applications from the paper: ASub, AShare and
 //!   AStream.
 //! * [`sim`] — the experiment harness (cluster construction, fault
@@ -27,6 +30,7 @@ pub use atum_apps as apps;
 pub use atum_core as core;
 pub use atum_crypto as crypto;
 pub use atum_net as net;
+pub use atum_obs as obs;
 pub use atum_overlay as overlay;
 pub use atum_sim as sim;
 pub use atum_simnet as simnet;

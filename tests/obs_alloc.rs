@@ -1,0 +1,124 @@
+//! Pins the observability crate's off-path overhead invariant with a
+//! counting global allocator: a `trace_event!` call site whose kind is
+//! disabled must not allocate, and neither may flight recording into a
+//! pre-allocated ring. This is the contract that lets the protocol layers
+//! keep their trace call sites compiled in unconditionally.
+//!
+//! The allocator counter is process-global, so this file holds exactly one
+//! `#[test]` — a second test thread would pollute the measurement.
+
+use atum::obs::flight::{self, FlightRecorder};
+use atum::obs::trace::{self, EventKind};
+use atum::obs::trace_event;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: defers entirely to `System`; the counter has no effect on layout.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Allocations charged while running `f`, minimised over a few trials so a
+/// one-off allocation elsewhere in the process (the test harness's waiter
+/// thread, lazy TLS setup) cannot produce a false positive.
+fn min_allocs_of<F: FnMut()>(mut f: F) -> u64 {
+    let mut min = u64::MAX;
+    for _ in 0..3 {
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        f();
+        let after = ALLOCATIONS.load(Ordering::Relaxed);
+        min = min.min(after - before);
+    }
+    min
+}
+
+#[test]
+fn disabled_and_flight_only_call_sites_do_not_allocate() {
+    // Explicit configuration: no sink kinds, no flight recording. The first
+    // armed() call would otherwise read the environment (which allocates),
+    // so configure before measuring.
+    trace::set_enabled_kinds(&[]);
+    trace::set_flight_recording(false);
+
+    // Warm up every lazily-initialised path (TLS slots, the sink lock).
+    trace_event!(Join, at = 0, node = 0, slots = [0, 0, 0], "warmup {}", 1);
+
+    // Fully disabled: the call site is one relaxed load and a branch. The
+    // format arguments must not be evaluated.
+    let disabled = min_allocs_of(|| {
+        for i in 0..1_000u64 {
+            trace_event!(
+                Join,
+                at = i,
+                node = 42,
+                slots = [i, i + 1, i + 2],
+                "expensive detail {}",
+                "x".repeat(64) // would allocate if ever evaluated
+            );
+            trace_event!(Walk, at = i, node = 42, slots = [0, 0, 0]);
+        }
+    });
+    assert_eq!(
+        disabled, 0,
+        "disabled trace_event! call sites must be allocation-free"
+    );
+
+    // Flight-only: recording into a pre-allocated ring is a Copy write
+    // under a mutex — steady state allocates nothing, and the sink-side
+    // detail closure still never runs.
+    trace::set_flight_recording(true);
+    let recorder = Arc::new(FlightRecorder::new());
+    // Fill the ring once so steady state is overwrite, not growth (the ring
+    // is pre-allocated either way, but this pins the overwrite path too).
+    for i in 0..600u64 {
+        recorder.record(atum::obs::FlightEvent {
+            seq: 0,
+            at_us: i,
+            node: 1,
+            kind: EventKind::Join as u8,
+            a: 0,
+            b: 0,
+            c: 0,
+        });
+    }
+    let guard = flight::scope(&recorder);
+    let flight_only = min_allocs_of(|| {
+        for i in 0..1_000u64 {
+            trace_event!(
+                Welcome,
+                at = i,
+                node = 42,
+                slots = [i, 0, 0],
+                "never rendered {}",
+                "y".repeat(64)
+            );
+        }
+    });
+    drop(guard);
+    trace::set_flight_recording(false);
+    assert_eq!(
+        flight_only, 0,
+        "flight-only recording must be allocation-free in steady state"
+    );
+    assert!(recorder.recorded() >= 600 + 1_000);
+}

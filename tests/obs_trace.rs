@@ -1,0 +1,208 @@
+//! Observability system tests: the sim/net event-vocabulary parity the
+//! tracing plane promises, and the flight-recorder escape hatch on a wedged
+//! membership wait.
+//!
+//! Both tests mutate the process-wide trace mask and sink, so they
+//! serialize on a file-local lock.
+
+use atum::core::{AtumNode, CollectingApp};
+use atum::net::NetClusterBuilder;
+use atum::obs::flight::parse_jsonl;
+use atum::obs::trace::{self, EventKind};
+use atum::sim::ClusterBuilder;
+use atum::types::{Duration, NodeId, Params};
+use std::collections::BTreeSet;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration as StdDuration;
+
+/// Serialises the tests in this binary: the trace mask, sink and flight
+/// arming are process-global.
+fn trace_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+fn protocol_params() -> Params {
+    // Fast rounds so joins land quickly; lazy failure detection so the
+    // injected fault windows below never trigger eviction storms.
+    Params::default()
+        .with_round(Duration::from_millis(200))
+        .with_group_bounds(3, 10)
+        .with_overlay(2, 4)
+        .with_failure_detection(Duration::from_secs(8), 3)
+}
+
+/// The protocol situations both substrates must narrate identically: a
+/// node joining (contact round-trip), its placement walk, its welcome
+/// quorum, and the fault plane injecting damage into live traffic.
+const PARITY_KINDS: [EventKind; 4] = [
+    EventKind::Join,
+    EventKind::Walk,
+    EventKind::Welcome,
+    EventKind::FaultInjected,
+];
+
+#[test]
+fn sim_and_net_emit_the_same_event_vocabulary() {
+    let _guard = trace_lock().lock().unwrap_or_else(|e| e.into_inner());
+
+    // Capture kinds in-process instead of spraying stderr.
+    let seen: Arc<Mutex<BTreeSet<&'static str>>> = Arc::new(Mutex::new(BTreeSet::new()));
+    {
+        let seen = seen.clone();
+        trace::set_output_collector(Arc::new(move |kind, _line| {
+            seen.lock().expect("collector set").insert(kind.as_str());
+        }));
+    }
+    trace::enable_all_kinds();
+
+    // --- simulated substrate: join one node, then partition mid-traffic.
+    let mut cluster = ClusterBuilder::new(10)
+        .params(protocol_params())
+        .spare_identities(1)
+        .seed(5)
+        .build(|_| CollectingApp::new());
+    let joiner = NodeId::new(10);
+    let node = AtumNode::new(
+        joiner,
+        cluster.params.clone(),
+        cluster.registry.clone(),
+        CollectingApp::new(),
+    );
+    cluster.sim.add_node(joiner, node);
+    cluster.sim.call(joiner, |n, ctx| {
+        let _ = n.join(NodeId::new(0), ctx);
+    });
+    let members = cluster.wait_for_members(11, Duration::from_secs(120));
+    assert_eq!(members, 11, "sim joiner must become a member");
+    // Partition one node away mid-heartbeat-traffic: every frame crossing
+    // the cut is a fault injection.
+    let rest: Vec<NodeId> = (1..11).map(NodeId::new).collect();
+    cluster.sim.partition(&[NodeId::new(0)], &rest);
+    cluster.sim.run_for(Duration::from_secs(3));
+    cluster.sim.heal();
+
+    let sim_kinds: BTreeSet<&'static str> = {
+        let mut set = seen.lock().expect("collector set");
+        let snapshot = set.clone();
+        set.clear();
+        snapshot
+    };
+
+    // --- socket substrate: same story over loopback TCP.
+    let cluster = NetClusterBuilder::new(6, 1)
+        .params(protocol_params())
+        .seed(7)
+        .build(|_| CollectingApp::new());
+    assert_eq!(cluster.member_count(), 6);
+    let joiner = cluster.joiners[0];
+    cluster.join(joiner, NodeId::new(0));
+    let members = cluster.wait_for_members(7, StdDuration::from_secs(60));
+    assert_eq!(members, 7, "net joiner must become a member");
+    // Total injected loss while a broadcast storms: every dropped frame is
+    // a fault-injected event on the sending node.
+    cluster.faults().set_default_loss(1.0);
+    cluster.broadcast(NodeId::new(1), b"into-the-void".to_vec());
+    let deadline = std::time::Instant::now() + StdDuration::from_secs(10);
+    while cluster.stats().frames_dropped_injected == 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(StdDuration::from_millis(50));
+    }
+    cluster.faults().clear();
+    cluster.shutdown();
+
+    let net_kinds: BTreeSet<&'static str> = seen.lock().expect("collector set").clone();
+
+    // Restore defaults before releasing the lock.
+    trace::set_output_stderr();
+    trace::set_enabled_kinds(&[]);
+
+    for kind in PARITY_KINDS {
+        assert!(
+            sim_kinds.contains(kind.as_str()),
+            "sim substrate never emitted {:?}; saw {sim_kinds:?}",
+            kind.as_str()
+        );
+        assert!(
+            net_kinds.contains(kind.as_str()),
+            "net substrate never emitted {:?}; saw {net_kinds:?}",
+            kind.as_str()
+        );
+    }
+}
+
+#[test]
+fn stuck_join_leaves_a_parseable_flight_dump() {
+    let _guard = trace_lock().lock().unwrap_or_else(|e| e.into_inner());
+    trace::set_enabled_kinds(&[]); // flight recording only — no sink noise
+
+    let cluster = NetClusterBuilder::new(4, 2)
+        .params(protocol_params())
+        .seed(23)
+        .build(|_| CollectingApp::new());
+    assert_eq!(cluster.member_count(), 4);
+    let healthy = cluster.joiners[0];
+    let stuck = cluster.joiners[1];
+
+    // One joiner lands normally, so the members route a real placement walk.
+    cluster.join(healthy, NodeId::new(0));
+    assert_eq!(cluster.wait_for_members(5, StdDuration::from_secs(60)), 5);
+
+    // The other is partitioned away *before* joining: its contact request
+    // vanishes, the join wedges, and `wait_for_members` must time out and
+    // leave a usable flight dump behind.
+    let others: Vec<NodeId> = cluster
+        .node_ids()
+        .into_iter()
+        .filter(|&id| id != stuck)
+        .collect();
+    cluster.faults().partition(&[stuck], &others);
+    cluster.join(stuck, NodeId::new(0));
+    let members = cluster.wait_for_members(6, StdDuration::from_secs(5));
+    assert_eq!(members, 5, "the partitioned joiner cannot become a member");
+
+    // The stuck node's ring must replay its side of the story: the join
+    // attempt (and any retries) it made into the void.
+    let dump = cluster
+        .node(stuck)
+        .expect("stuck node is hosted")
+        .dump_flight();
+    let events = parse_jsonl(&dump).expect("flight dump is valid JSONL");
+    assert!(!events.is_empty(), "stuck node recorded nothing");
+    assert!(
+        events.iter().any(|e| e.kind == EventKind::Join as u8),
+        "stuck node's dump must contain join events: {dump}"
+    );
+    assert!(
+        events.iter().all(|e| e.node == stuck.raw()),
+        "a node's ring only holds its own events"
+    );
+
+    // The members' rings hold the other side: the healthy join's placement
+    // walk routed through them.
+    let member_has_walk = (0..4).any(|i| {
+        let dump = cluster
+            .node(NodeId::new(i))
+            .expect("seeded node is hosted")
+            .dump_flight();
+        parse_jsonl(&dump)
+            .expect("member dump is valid JSONL")
+            .iter()
+            .any(|e| e.kind == EventKind::Walk as u8)
+    });
+    assert!(member_has_walk, "no member recorded a placement walk");
+
+    // And the harness-level dump writes one parseable file per ring.
+    let dir = std::env::temp_dir().join(format!("atum-obs-flight-{}", std::process::id()));
+    let written = cluster.dump_flights(&dir).expect("flight dir written");
+    assert!(!written.is_empty());
+    let expect = dir.join(format!("flight-{stuck}.jsonl"));
+    assert!(written.contains(&expect), "stuck node's file missing");
+    let on_disk = std::fs::read_to_string(&expect).expect("flight file readable");
+    assert!(!parse_jsonl(&on_disk)
+        .expect("on-disk dump parses")
+        .is_empty());
+    let _ = std::fs::remove_dir_all(&dir);
+
+    cluster.faults().clear();
+    cluster.shutdown();
+}
