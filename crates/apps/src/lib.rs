@@ -8,6 +8,10 @@
 //!   metadata index kept consistent through Atum broadcasts, randomized
 //!   replication with a feedback loop, chunked parallel transfers and
 //!   SHA-256 integrity checks that recover from corrupt replicas.
+//! * [`edge`] — the application-side mapping for the `atum-edge` gateway:
+//!   how edge-protocol operations become broadcast payloads of the
+//!   services above, and how delivered payloads are decoded back for
+//!   verification.
 //! * [`astream`] — **AStream**, a two-tier data streaming system: Atum
 //!   reliably disseminates per-chunk digests (tier one), while a lightweight
 //!   forest-based push–pull multicast moves the bulk data (tier two); every
@@ -20,6 +24,7 @@
 pub mod ashare;
 pub mod astream;
 pub mod asub;
+pub mod edge;
 
 pub use ashare::{AShareApp, AShareConfig, FileMeta, GetOutcome, MetadataIndex};
 pub use astream::{AStreamApp, AStreamConfig, StreamChunk};

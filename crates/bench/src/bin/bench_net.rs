@@ -19,10 +19,18 @@
 //! single reactor thread, growing through the real join protocol and then
 //! delivering tracked broadcasts across the whole membership.
 //!
+//! A fourth scenario, `net_churn_soak` (opt-in via `--churn-soak`), is the
+//! robustness soak promoted from the churn experiments: a cluster grows
+//! through join waves, then sustains kill/rejoin churn cycles — members
+//! are removed from their runtime mid-flight and replaced through the
+//! real join protocol — and finally must still blanket the surviving
+//! membership with tracked broadcasts (the `completion_ratio` floor CI
+//! gates on).
+//!
 //! Run with `--json BENCH_net.json` (or `ATUM_BENCH_JSON=...`) to append
 //! records; `--reduced` is the default scale, `ATUM_FULL=1` the paper-ish
-//! one. `--saturation-only` / `--growth-only` / `--scale-only` select a
-//! single scenario.
+//! one. `--saturation-only` / `--growth-only` / `--scale-only` /
+//! `--churn-soak` select a single scenario.
 
 use atum_bench::{print_header, scaled, BenchRecord};
 use atum_core::CollectingApp;
@@ -66,8 +74,13 @@ fn main() {
     let saturation_only = args.iter().any(|a| a == "--saturation-only");
     let growth_only = args.iter().any(|a| a == "--growth-only");
     let scale_only = args.iter().any(|a| a == "--scale-only");
+    let churn_soak = args.iter().any(|a| a == "--churn-soak");
     if scale_only {
         run_scale();
+        return;
+    }
+    if churn_soak {
+        run_churn_soak();
         return;
     }
     if !saturation_only {
@@ -519,6 +532,251 @@ fn run_growth_bench() {
         .perf(wall, Some(stats.events_processed));
     atum_bench::emit(&record);
 
+    cluster.shutdown();
+}
+
+// ----------------------------------------------------------- churn soak
+
+/// Member count over an explicit live-id set. The churn scenario *kills*
+/// nodes (removes them from their runtime), after which a blanket
+/// `member_count()` would stall five seconds per corpse waiting for a
+/// reactor reply that can never come — so every poll here goes through
+/// the survivor list only.
+fn live_member_count(
+    cluster: &atum_net::NetCluster<CollectingApp>,
+    live: &std::collections::BTreeSet<NodeId>,
+) -> usize {
+    live.iter()
+        .filter(|&&id| {
+            cluster
+                .node(id)
+                .and_then(|h| h.with_node(|n| n.is_member()))
+                .unwrap_or(false)
+        })
+        .count()
+}
+
+/// Polls until at least `target` of the `live` set are members, or
+/// `timeout` elapses; returns the final count.
+fn wait_live_members(
+    cluster: &atum_net::NetCluster<CollectingApp>,
+    live: &std::collections::BTreeSet<NodeId>,
+    target: usize,
+    timeout: StdDuration,
+) -> usize {
+    let deadline = StdInstant::now() + timeout;
+    loop {
+        let count = live_member_count(cluster, live);
+        if count >= target || StdInstant::now() >= deadline {
+            return count;
+        }
+        std::thread::sleep(StdDuration::from_millis(200));
+    }
+}
+
+/// The churn-soak robustness experiment: grow through join waves, then
+/// sustain kill/rejoin cycles, then prove the surviving membership still
+/// completes broadcasts. Promoted into the committed suite (CI gates the
+/// completion floor) from the ad-hoc churn experiments.
+fn run_churn_soak() {
+    print_header(
+        "Net churn soak",
+        "kill/rejoin churn over loopback TCP: recovery wall clock and broadcast completion floor",
+    );
+    let seeded = 16usize;
+    let wave_joiners = 16usize;
+    let churn_cycles = scaled(3usize, 8);
+    let kills_per_cycle = 2usize;
+    let probe_attempts = scaled(6usize, 12);
+    let completion_floor = 0.9f64;
+    let seed = 53u64;
+    // Spare joiners are pre-spawned (idle) so every killed member can be
+    // replaced through the real join protocol.
+    let spares = churn_cycles * kills_per_cycle;
+    let total_joiners = wave_joiners + spares;
+
+    // Eager-ish failure detection: the soak *wants* corpses evicted while
+    // replacements join, so detection must fit inside the soak window.
+    let params = Params::default()
+        .with_round(Duration::from_millis(200))
+        .with_group_bounds(3, 6)
+        .with_overlay(3, 5)
+        .with_failure_detection(Duration::from_secs(8), 3);
+
+    let wall_start = StdInstant::now();
+    let cluster = NetClusterBuilder::new(seeded, total_joiners)
+        .params(params)
+        .group_size(4)
+        .seed(seed)
+        .build(|_| CollectingApp::new());
+    println!(
+        "cluster: {seeded} seeded + {wave_joiners} wave joiners + {spares} spares, \
+         {churn_cycles} churn cycles x {kills_per_cycle} kills"
+    );
+
+    let mut live: std::collections::BTreeSet<NodeId> = cluster.seeded.iter().copied().collect();
+    let joiner_ids = cluster.joiners.clone();
+    let (wave_ids, spare_ids) = joiner_ids.split_at(wave_joiners);
+
+    // ------------------------------------------------------------- growth
+    let growth_start = StdInstant::now();
+    for (wave_idx, wave) in wave_ids.chunks(4).enumerate() {
+        for (i, &joiner) in wave.iter().enumerate() {
+            let contact = NodeId::new(((wave_idx * 4 + i) % seeded) as u64);
+            cluster.join(joiner, contact);
+            live.insert(joiner);
+        }
+        wait_live_members(&cluster, &live, live.len(), StdDuration::from_secs(60));
+    }
+    let grown = wait_live_members(&cluster, &live, live.len(), StdDuration::from_secs(120));
+    println!(
+        "growth: {grown}/{} members in {:.1}s wall",
+        live.len(),
+        growth_start.elapsed().as_secs_f64()
+    );
+
+    // -------------------------------------------------------------- churn
+    // Victims rotate through the wave joiners (seeded nodes stay alive to
+    // serve as join contacts); each killed member is replaced by a spare
+    // in the same cycle, so the target membership is constant.
+    let mut victims = wave_ids.iter().copied();
+    let mut replacements = spare_ids.iter().copied();
+    let mut kills = 0usize;
+    let mut rejoins = 0usize;
+    let mut max_recovery_secs = 0.0f64;
+    for cycle in 0..churn_cycles {
+        let cycle_start = StdInstant::now();
+        for _ in 0..kills_per_cycle {
+            let Some(victim) = victims.next() else { break };
+            if let Some(handle) = cluster.node(victim) {
+                handle.clone().shutdown();
+                live.remove(&victim);
+                kills += 1;
+            }
+        }
+        for k in 0..kills_per_cycle {
+            let Some(spare) = replacements.next() else {
+                break;
+            };
+            let contact = NodeId::new(((cycle * kills_per_cycle + k) % seeded) as u64);
+            cluster.join(spare, contact);
+            live.insert(spare);
+            rejoins += 1;
+        }
+        let reached = wait_live_members(&cluster, &live, live.len(), StdDuration::from_secs(90));
+        let recovery = cycle_start.elapsed().as_secs_f64();
+        max_recovery_secs = max_recovery_secs.max(recovery);
+        println!(
+            "cycle {cycle}: {kills_per_cycle} killed, {kills_per_cycle} rejoined, \
+             {reached}/{} members after {recovery:.1}s",
+            live.len()
+        );
+    }
+
+    // --------------------------------------------------------- completion
+    // Post-churn settle, then the floor the soak exists for: a probe
+    // payload must blanket the *surviving* membership even though
+    // compositions still carry evicting corpses. One-shot broadcasts into
+    // a freshly churned cluster deliver probabilistically (anti-entropy
+    // heals holes on announce cadence), so — exactly like the scale
+    // scenario and `tests/net_cluster.rs` — the probe is re-broadcast
+    // from inside the remaining holes, counting attempts; the floor is on
+    // the coverage the repair path actually reaches.
+    std::thread::sleep(StdDuration::from_secs(5));
+    let live_vec: Vec<NodeId> = live.iter().copied().collect();
+    let probe: Vec<u8> = b"churn-soak-completion-probe".to_vec();
+    let mut uncovered: Vec<NodeId> = live_vec.clone();
+    let mut attempts = 0usize;
+    while attempts < probe_attempts {
+        // Broadcast from inside the dark spots: a vgroup still healing its
+        // inbound links delivers its own member's broadcast locally and
+        // the copy spreads outward from there.
+        let origins: Vec<NodeId> = uncovered
+            .iter()
+            .step_by((uncovered.len().div_ceil(8)).max(1))
+            .copied()
+            .take(8)
+            .collect();
+        for &origin in &origins {
+            cluster.broadcast(origin, probe.clone());
+        }
+        attempts += 1;
+        let wave_deadline = StdInstant::now() + StdDuration::from_secs(30);
+        loop {
+            uncovered = live_vec
+                .iter()
+                .filter(|&&id| {
+                    let want = probe.clone();
+                    !cluster
+                        .node(id)
+                        .and_then(|h| {
+                            h.with_node(move |n| n.app().delivered_payloads().contains(&want))
+                        })
+                        .unwrap_or(false)
+                })
+                .copied()
+                .collect();
+            if uncovered.is_empty() || StdInstant::now() >= wave_deadline {
+                break;
+            }
+            std::thread::sleep(StdDuration::from_millis(500));
+        }
+        println!(
+            "completion: attempt {attempts}: probe on {}/{} survivors",
+            live_vec.len() - uncovered.len(),
+            live_vec.len()
+        );
+        if uncovered.is_empty() {
+            break;
+        }
+    }
+    let covered = live_vec.len() - uncovered.len();
+    let completion_ratio = if live_vec.is_empty() {
+        0.0
+    } else {
+        covered as f64 / live_vec.len() as f64
+    };
+    let members_final = live_member_count(&cluster, &live);
+    let stats = cluster.stats();
+    let wall = wall_start.elapsed();
+    println!(
+        "soak: {kills} kills, {rejoins} rejoins, completion {covered}/{} in {attempts} attempts \
+         ({:.1}%, floor {:.0}%), {members_final}/{} members, {} decode errors ({:.1}s wall)",
+        live_vec.len(),
+        completion_ratio * 100.0,
+        completion_floor * 100.0,
+        live.len(),
+        stats.decode_errors,
+        wall.as_secs_f64()
+    );
+
+    let record = BenchRecord::new("net_churn_soak", seed)
+        .runtime("tcp")
+        .param("seeded", seeded)
+        .param("wave_joiners", wave_joiners)
+        .param("churn_cycles", churn_cycles)
+        .param("kills_per_cycle", kills_per_cycle)
+        .param("probe_attempts", probe_attempts)
+        .param("completion_floor", completion_floor)
+        .metric("members_final", members_final)
+        .metric("target_members", live.len())
+        .metric("reached", members_final == live.len())
+        .metric("kills", kills)
+        .metric("rejoins", rejoins)
+        .metric("max_recovery_secs", max_recovery_secs)
+        .metric("completion_attempts", attempts)
+        .metric("completion_ratio", completion_ratio)
+        .metric("completion_floor_met", completion_ratio >= completion_floor)
+        .metric("decode_errors", stats.decode_errors)
+        .metric("frames_sent", stats.frames_sent)
+        .metric("frames_dropped", stats.frames_dropped)
+        .metric("rss_mib", rss_mib())
+        .perf(wall, Some(stats.events_processed));
+    atum_bench::emit(&record);
+
+    // `NetCluster::shutdown` walks every handle, including the corpses';
+    // the runtimes are still live (only nodes were removed), so the walk
+    // completes without the per-corpse stall.
     cluster.shutdown();
 }
 

@@ -1,0 +1,61 @@
+//! The gateway's view of the cluster behind it.
+//!
+//! The gateway never speaks the node-to-node wire itself — it executes
+//! client operations through an [`EdgeBackend`], which in production wraps
+//! `NodeHandle`s onto a live `NetRuntime` (so backend work runs on the
+//! reactors) and in tests is a scripted stub. The split keeps every
+//! robustness mechanism — breakers, dedup, deadlines, retry — testable
+//! without sockets, and keeps the gateway agnostic about *which* service
+//! (ASub, AShare, AStream) a given operation lands on.
+
+use atum_types::edge::EdgeOp;
+use atum_types::NodeId;
+use std::time::Instant;
+
+/// Why a backend attempt failed, as the breaker sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeBackendError {
+    /// The backend node could not serve (dead, partitioned, evicted).
+    /// Counts as a breaker failure; the gateway retries elsewhere.
+    Unavailable,
+    /// The attempt ran out of deadline inside the backend. Counts as a
+    /// breaker failure.
+    Timeout,
+    /// The backend is healthy but refused the operation (bad topic,
+    /// malformed payload). Does NOT count against the breaker and is not
+    /// retried — the client gets `BadRequest`.
+    Rejected(&'static str),
+}
+
+impl std::fmt::Display for EdgeBackendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EdgeBackendError::Unavailable => write!(f, "backend unavailable"),
+            EdgeBackendError::Timeout => write!(f, "backend timeout"),
+            EdgeBackendError::Rejected(why) => write!(f, "backend rejected: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for EdgeBackendError {}
+
+/// What the gateway routes client operations into.
+///
+/// Implementations must be cheap to call concurrently from the gateway's
+/// worker pool. `execute` should respect `deadline` (best effort): the
+/// gateway also enforces it, but a backend that blocks far past the
+/// deadline ties up a worker.
+pub trait EdgeBackend: Send + Sync + 'static {
+    /// The backend nodes requests may be routed to, in a stable order.
+    /// Consulted per attempt, so membership changes take effect live.
+    fn nodes(&self) -> Vec<NodeId>;
+
+    /// Executes one operation against one backend node, returning the
+    /// response payload.
+    fn execute(
+        &self,
+        node: NodeId,
+        op: &EdgeOp,
+        deadline: Instant,
+    ) -> Result<Vec<u8>, EdgeBackendError>;
+}

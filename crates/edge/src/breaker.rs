@@ -1,0 +1,388 @@
+//! Per-backend circuit breakers: closed → open → half-open recovery driven
+//! by a rolling failure-rate window.
+//!
+//! One [`Breaker`] guards one backend node. While **closed** it records
+//! request outcomes in a bounded window and trips **open** when the
+//! failure rate over at least `min_volume` outcomes reaches
+//! `failure_rate`. While open every acquisition is refused until
+//! `cooldown` elapses, at which point the breaker turns **half-open** and
+//! admits *exactly* `probe_quota` probe requests: `probe_quota` successes
+//! close it again (one completed open→half-open→closed cycle), any probe
+//! failure re-opens it for another cooldown.
+//!
+//! The breaker is pure state-machine logic — time is injected through
+//! `now` arguments and every mutation happens under the caller's lock —
+//! so the semantics are unit-testable without sockets or sleeps.
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// Tuning for one [`Breaker`].
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerConfig {
+    /// Rolling outcome-window length while closed.
+    pub window: usize,
+    /// Failure rate over the window that trips the breaker open (0.0–1.0).
+    pub failure_rate: f64,
+    /// Minimum outcomes in the window before the rate is consulted — a
+    /// single early failure must not trip a cold breaker.
+    pub min_volume: usize,
+    /// How long the breaker stays open before probing.
+    pub cooldown: Duration,
+    /// How many probe requests half-open admits; that many successes
+    /// close the breaker.
+    pub probe_quota: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            window: 16,
+            failure_rate: 0.5,
+            min_volume: 4,
+            cooldown: Duration::from_secs(1),
+            probe_quota: 2,
+        }
+    }
+}
+
+/// The three breaker states, flattened for snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Traffic flows; outcomes are recorded.
+    Closed,
+    /// Traffic is refused until the cooldown expires.
+    Open,
+    /// A bounded probe quota is in flight.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable lowercase name for snapshots and logs.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
+/// A state transition the caller should surface (trace events, counters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerTransition {
+    /// Closed (or half-open, on a failed probe) → open.
+    Opened,
+    /// Open → half-open once the cooldown expired.
+    HalfOpened,
+    /// Half-open → closed after a full probe quota of successes. `true`
+    /// when this completes a full open→half-open→closed cycle (it always
+    /// does for transitions produced by this module; the flag exists so
+    /// callers need not reconstruct the path).
+    Closed(bool),
+}
+
+/// Admission token returned by [`Breaker::try_acquire`]; hand it back to
+/// [`Breaker::record`] with the outcome. The generation stamp makes stale
+/// completions (a request admitted before a state change that finishes
+/// after it) inert instead of corrupting probe accounting.
+#[derive(Debug, Clone, Copy)]
+pub struct Permit {
+    generation: u64,
+    probe: bool,
+}
+
+enum State {
+    Closed,
+    Open { until: Instant },
+    HalfOpen { in_flight: u32, successes: u32 },
+}
+
+/// Circuit breaker for a single backend node. See the module docs for the
+/// state machine.
+pub struct Breaker {
+    cfg: BreakerConfig,
+    state: State,
+    /// Rolling outcomes while closed; `true` = failure.
+    outcomes: VecDeque<bool>,
+    failures: usize,
+    generation: u64,
+    pending: Vec<BreakerTransition>,
+    /// Times the breaker tripped open (including re-opens from half-open).
+    pub opened: u64,
+    /// Times the breaker moved open → half-open.
+    pub half_opened: u64,
+    /// Times the breaker closed from half-open.
+    pub closed: u64,
+    /// Completed open → half-open → closed cycles.
+    pub full_cycles: u64,
+}
+
+impl std::fmt::Debug for Breaker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Breaker")
+            .field("state", &self.state_kind())
+            .field("failures", &self.failures)
+            .field("opened", &self.opened)
+            .field("full_cycles", &self.full_cycles)
+            .finish()
+    }
+}
+
+impl Breaker {
+    /// A fresh (closed) breaker.
+    pub fn new(cfg: BreakerConfig) -> Breaker {
+        Breaker {
+            cfg,
+            state: State::Closed,
+            outcomes: VecDeque::new(),
+            failures: 0,
+            generation: 0,
+            pending: Vec::new(),
+            opened: 0,
+            half_opened: 0,
+            closed: 0,
+            full_cycles: 0,
+        }
+    }
+
+    /// The flattened current state (snapshot reporting).
+    pub fn state_kind(&self) -> BreakerState {
+        match self.state {
+            State::Closed => BreakerState::Closed,
+            State::Open { .. } => BreakerState::Open,
+            State::HalfOpen { .. } => BreakerState::HalfOpen,
+        }
+    }
+
+    /// Asks to route one request to this backend. `None` refuses (open, or
+    /// half-open with the probe quota exhausted).
+    pub fn try_acquire(&mut self, now: Instant) -> Option<Permit> {
+        if let State::Open { until } = self.state {
+            if now >= until {
+                self.transition(
+                    State::HalfOpen {
+                        in_flight: 0,
+                        successes: 0,
+                    },
+                    BreakerTransition::HalfOpened,
+                );
+                self.half_opened += 1;
+            }
+        }
+        match &mut self.state {
+            State::Closed => Some(Permit {
+                generation: self.generation,
+                probe: false,
+            }),
+            State::Open { .. } => None,
+            State::HalfOpen {
+                in_flight,
+                successes,
+            } => {
+                if *in_flight + *successes < self.cfg.probe_quota {
+                    *in_flight += 1;
+                    Some(Permit {
+                        generation: self.generation,
+                        probe: true,
+                    })
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Reports the outcome of an admitted request. Stale permits (issued
+    /// before the last state change) are ignored.
+    pub fn record(&mut self, permit: Permit, success: bool, now: Instant) {
+        if permit.generation != self.generation {
+            return;
+        }
+        match (&mut self.state, permit.probe) {
+            (State::Closed, false) => {
+                self.outcomes.push_back(!success);
+                if !success {
+                    self.failures += 1;
+                }
+                while self.outcomes.len() > self.cfg.window {
+                    if self.outcomes.pop_front() == Some(true) {
+                        self.failures -= 1;
+                    }
+                }
+                let volume = self.outcomes.len();
+                if volume >= self.cfg.min_volume.max(1)
+                    && self.failures as f64 / volume as f64 >= self.cfg.failure_rate
+                {
+                    self.open(now);
+                }
+            }
+            (
+                State::HalfOpen {
+                    in_flight,
+                    successes,
+                },
+                true,
+            ) => {
+                *in_flight = in_flight.saturating_sub(1);
+                if success {
+                    *successes += 1;
+                    if *successes >= self.cfg.probe_quota {
+                        self.transition(State::Closed, BreakerTransition::Closed(true));
+                        self.closed += 1;
+                        self.full_cycles += 1;
+                    }
+                } else {
+                    self.open(now);
+                }
+            }
+            // A permit kind that no longer matches the state can only be a
+            // stale permit from a generation bump we already ignored above.
+            _ => {}
+        }
+    }
+
+    /// Drains the transitions accumulated since the last call, in order —
+    /// the caller surfaces them (trace events, metric counters) outside
+    /// its breaker-map lock.
+    pub fn drain_transitions(&mut self) -> Vec<BreakerTransition> {
+        std::mem::take(&mut self.pending)
+    }
+
+    fn open(&mut self, now: Instant) {
+        let until = now + self.cfg.cooldown;
+        self.transition(State::Open { until }, BreakerTransition::Opened);
+        self.opened += 1;
+    }
+
+    fn transition(&mut self, next: State, event: BreakerTransition) {
+        self.state = next;
+        self.generation += 1;
+        self.outcomes.clear();
+        self.failures = 0;
+        self.pending.push(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig {
+            window: 8,
+            failure_rate: 0.5,
+            min_volume: 4,
+            cooldown: Duration::from_millis(100),
+            probe_quota: 2,
+        }
+    }
+
+    #[test]
+    fn trips_only_past_min_volume_and_rate() {
+        let mut b = Breaker::new(cfg());
+        let t0 = Instant::now();
+        // Three straight failures: under min_volume, stays closed.
+        for _ in 0..3 {
+            let p = b.try_acquire(t0).unwrap();
+            b.record(p, false, t0);
+        }
+        assert_eq!(b.state_kind(), BreakerState::Closed);
+        // Fourth failure reaches volume 4 at 100% failure rate: opens.
+        let p = b.try_acquire(t0).unwrap();
+        b.record(p, false, t0);
+        assert_eq!(b.state_kind(), BreakerState::Open);
+        assert_eq!(b.opened, 1);
+        assert!(b.try_acquire(t0).is_none(), "open refuses traffic");
+    }
+
+    #[test]
+    fn half_open_admits_exactly_the_probe_quota() {
+        let mut b = Breaker::new(cfg());
+        let t0 = Instant::now();
+        for _ in 0..4 {
+            let p = b.try_acquire(t0).unwrap();
+            b.record(p, false, t0);
+        }
+        let after = t0 + Duration::from_millis(150);
+        let p1 = b.try_acquire(after).expect("first probe");
+        assert_eq!(b.state_kind(), BreakerState::HalfOpen);
+        let p2 = b.try_acquire(after).expect("second probe");
+        assert!(b.try_acquire(after).is_none(), "quota is exactly 2");
+        // Quota successes close it — and count a full cycle. A completed
+        // success still counts against the quota (admissions are bounded
+        // by `probe_quota` total, not concurrently).
+        b.record(p1, true, after);
+        assert!(
+            b.try_acquire(after).is_none(),
+            "quota is total, not concurrent"
+        );
+        b.record(p2, true, after);
+        assert_eq!(b.state_kind(), BreakerState::Closed);
+        assert_eq!(b.full_cycles, 1);
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let mut b = Breaker::new(cfg());
+        let t0 = Instant::now();
+        for _ in 0..4 {
+            let p = b.try_acquire(t0).unwrap();
+            b.record(p, false, t0);
+        }
+        let after = t0 + Duration::from_millis(150);
+        let p = b.try_acquire(after).unwrap();
+        b.record(p, false, after);
+        assert_eq!(b.state_kind(), BreakerState::Open);
+        assert_eq!(b.opened, 2);
+        assert_eq!(b.full_cycles, 0);
+        assert!(b.try_acquire(after).is_none());
+    }
+
+    #[test]
+    fn stale_permits_are_inert() {
+        let mut b = Breaker::new(cfg());
+        let t0 = Instant::now();
+        // Admit while closed, then trip the breaker before it completes.
+        let straggler = b.try_acquire(t0).unwrap();
+        for _ in 0..4 {
+            let p = b.try_acquire(t0).unwrap();
+            b.record(p, false, t0);
+        }
+        assert_eq!(b.state_kind(), BreakerState::Open);
+        let after = t0 + Duration::from_millis(150);
+        let probe = b.try_acquire(after).unwrap();
+        // The straggler completing now must not count as a probe.
+        b.record(straggler, true, after);
+        assert_eq!(b.state_kind(), BreakerState::HalfOpen);
+        b.record(probe, true, after);
+        let p2 = b.try_acquire(after).unwrap();
+        b.record(p2, true, after);
+        assert_eq!(b.state_kind(), BreakerState::Closed);
+        assert_eq!(b.full_cycles, 1);
+    }
+
+    #[test]
+    fn transitions_drain_in_order() {
+        let mut b = Breaker::new(cfg());
+        let t0 = Instant::now();
+        for _ in 0..4 {
+            let p = b.try_acquire(t0).unwrap();
+            b.record(p, false, t0);
+        }
+        let after = t0 + Duration::from_millis(150);
+        let p1 = b.try_acquire(after).unwrap();
+        let p2 = b.try_acquire(after).unwrap();
+        b.record(p1, true, after);
+        b.record(p2, true, after);
+        assert_eq!(
+            b.drain_transitions(),
+            vec![
+                BreakerTransition::Opened,
+                BreakerTransition::HalfOpened,
+                BreakerTransition::Closed(true),
+            ]
+        );
+        assert!(b.drain_transitions().is_empty());
+    }
+}

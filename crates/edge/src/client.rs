@@ -1,0 +1,81 @@
+//! A minimal blocking client for the edge protocol, used by the tests,
+//! the benchmark drivers and the examples. Production clients can speak
+//! the protocol from any language — it is length-prefixed frames of
+//! [`EdgeRequest`]/[`EdgeResponse`] — but everything in-repo goes through
+//! this one implementation.
+
+use atum_types::edge::{EdgeRequest, EdgeResponse};
+use atum_types::wire::{
+    decode_exact, encode_to_vec, FRAME_HEADER_LEN, FRAME_KIND_EDGE_REQUEST,
+    FRAME_KIND_EDGE_RESPONSE, FRAME_MAGIC, WIRE_VERSION,
+};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A blocking edge-protocol connection.
+pub struct EdgeClient {
+    stream: TcpStream,
+}
+
+impl std::fmt::Debug for EdgeClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EdgeClient").finish()
+    }
+}
+
+/// Frames one [`EdgeRequest`] for the wire (public so tests can build
+/// corrupted variants from a known-good frame).
+pub fn request_frame(req: &EdgeRequest) -> Vec<u8> {
+    let body = encode_to_vec(req);
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + body.len());
+    out.extend_from_slice(&FRAME_MAGIC);
+    out.push(WIRE_VERSION);
+    out.push(FRAME_KIND_EDGE_REQUEST);
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+impl EdgeClient {
+    /// Connects to a gateway, with `timeout` applied to the connect and to
+    /// every subsequent read.
+    pub fn connect(addr: SocketAddr, timeout: Duration) -> std::io::Result<EdgeClient> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        let _ = stream.set_nodelay(true);
+        Ok(EdgeClient { stream })
+    }
+
+    /// Sends one request without waiting for its response (pipelining).
+    pub fn send(&mut self, req: &EdgeRequest) -> std::io::Result<()> {
+        self.stream.write_all(&request_frame(req))
+    }
+
+    /// Reads the next response frame.
+    pub fn recv(&mut self) -> std::io::Result<EdgeResponse> {
+        let mut header = [0u8; FRAME_HEADER_LEN];
+        self.stream.read_exact(&mut header)?;
+        if header[0..2] != FRAME_MAGIC
+            || header[2] != WIRE_VERSION
+            || header[3] != FRAME_KIND_EDGE_RESPONSE
+        {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "bad response frame header",
+            ));
+        }
+        let len = u32::from_le_bytes(header[4..8].try_into().unwrap()) as usize;
+        let mut body = vec![0u8; len];
+        self.stream.read_exact(&mut body)?;
+        decode_exact::<EdgeResponse>(&body)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Sends one request and waits for its response.
+    pub fn request(&mut self, req: &EdgeRequest) -> std::io::Result<EdgeResponse> {
+        self.send(req)?;
+        self.recv()
+    }
+}

@@ -1,0 +1,1113 @@
+//! The gateway runtime: one epoll I/O thread accepting client
+//! connections, a bounded admission queue, and a worker pool executing
+//! requests against the backend with breakers, dedup, deadlines and
+//! retries wrapped around every operation.
+//!
+//! # Data path
+//!
+//! The I/O thread owns every client socket (non-blocking, multiplexed on
+//! one `polling_mini` poller — the same substrate as the node runtime's
+//! reactors). It scans each connection buffer for complete
+//! `FRAME_KIND_EDGE_REQUEST` frames and *hardens the boundary*: bad
+//! magic/version/kind, oversized bodies, undecodable requests and
+//! slow-loris dribbling all close **only that client connection**, counted
+//! in [`RuntimeStats`] — a hostile client can never take down a reactor or
+//! a node. Probe operations (`Health`, `Stats`) are answered inline on the
+//! I/O thread so they bypass admission and stay truthful under overload
+//! and during drain. Everything else passes admission: a bounded queue
+//! that **sheds the newest request** with an immediate
+//! [`EdgeStatus::Overloaded`] reply when full, so saturation degrades to
+//! fast typed rejection instead of unbounded latency.
+//!
+//! Workers pop jobs and run them through the robustness kit, in order:
+//! deadline check → idempotency-key dedup ([`DedupCache`]) → breaker-gated
+//! backend selection ([`Breaker`]) → execution with jittered exponential
+//! backoff against alternate backends until the deadline or attempt budget
+//! runs out. Replies are written back through a per-connection writer
+//! handle shared with the I/O thread.
+//!
+//! # Shutdown
+//!
+//! [`EdgeGateway::shutdown`] flips the readiness probe *first*, then stops
+//! accepting connections and admitting requests (new frames get
+//! [`EdgeStatus::ShuttingDown`]), drains in-flight work within
+//! `drain_timeout`, and only then closes sockets and joins threads.
+
+use crate::backend::{EdgeBackend, EdgeBackendError};
+use crate::breaker::{Breaker, BreakerConfig, BreakerTransition, Permit};
+use crate::dedup::{DedupCache, DedupConfig, DedupDecision};
+use atum_net::RuntimeStats;
+use atum_types::edge::{EdgeOp, EdgeRequest, EdgeResponse, EdgeStatus};
+use atum_types::wire::{
+    decode_exact, encode_to_vec, WireError, FRAME_HEADER_LEN, FRAME_KIND_EDGE_REQUEST,
+    FRAME_KIND_EDGE_RESPONSE, FRAME_MAGIC, WIRE_VERSION,
+};
+use atum_types::NodeId;
+use polling_mini::{Event, Interest, Poller, Waker};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::ops::Range;
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning for an [`EdgeGateway`].
+#[derive(Debug, Clone)]
+pub struct EdgeConfig {
+    /// Client listener bind address (`127.0.0.1:0` picks a free port).
+    pub listen: String,
+    /// Worker threads executing admitted requests.
+    pub workers: usize,
+    /// Admission-queue bound; the queue full sheds the newest request
+    /// with an [`EdgeStatus::Overloaded`] reply.
+    pub queue_capacity: usize,
+    /// Deadline applied when a request carries `deadline_ms == 0`.
+    pub default_deadline: Duration,
+    /// Maximum backend attempts per request (first try + retries).
+    pub max_attempts: u32,
+    /// Base retry backoff; doubled per attempt and jittered 0.5–1.5×.
+    pub retry_backoff: Duration,
+    /// Per-backend circuit-breaker tuning.
+    pub breaker: BreakerConfig,
+    /// Idempotency-key cache tuning.
+    pub dedup: DedupConfig,
+    /// Largest accepted client frame body; larger length prefixes are
+    /// violations (checked before any allocation).
+    pub max_frame_len: usize,
+    /// A connection idling this long with an *incomplete* frame buffered
+    /// is closed as a slow-loris.
+    pub idle_timeout: Duration,
+    /// How long [`EdgeGateway::shutdown`] waits for in-flight requests.
+    pub drain_timeout: Duration,
+    /// Seed for retry jitter and backend selection.
+    pub seed: u64,
+}
+
+impl Default for EdgeConfig {
+    fn default() -> Self {
+        EdgeConfig {
+            listen: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_capacity: 256,
+            default_deadline: Duration::from_secs(2),
+            max_attempts: 3,
+            retry_backoff: Duration::from_millis(10),
+            breaker: BreakerConfig::default(),
+            dedup: DedupConfig::default(),
+            max_frame_len: 64 * 1024,
+            idle_timeout: Duration::from_secs(2),
+            drain_timeout: Duration::from_secs(5),
+            seed: 42,
+        }
+    }
+}
+
+/// Monotonic counters the gateway accumulates (exposed via
+/// [`EdgeGateway::snapshot`] and the `Stats` probe operation; the same
+/// values feed the `edge.*` metrics in the `atum_obs` registry).
+#[derive(Debug, Default)]
+struct EdgeCounters {
+    requests: AtomicU64,
+    ok: AtomicU64,
+    shed: AtomicU64,
+    unavailable: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    bad_request: AtomicU64,
+    shutting_down: AtomicU64,
+    dedup_hits: AtomicU64,
+    breaker_opened: AtomicU64,
+    breaker_half_opened: AtomicU64,
+    breaker_closed: AtomicU64,
+    breaker_full_cycles: AtomicU64,
+    conns_accepted: AtomicU64,
+}
+
+/// A point-in-time copy of the gateway's counters and health, as plain
+/// numbers.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EdgeSnapshot {
+    /// Requests decoded from client frames (including probes).
+    pub requests: u64,
+    /// Requests answered [`EdgeStatus::Ok`].
+    pub ok: u64,
+    /// Requests shed at admission with [`EdgeStatus::Overloaded`].
+    pub shed: u64,
+    /// Requests answered [`EdgeStatus::Unavailable`].
+    pub unavailable: u64,
+    /// Requests answered [`EdgeStatus::DeadlineExceeded`].
+    pub deadline_exceeded: u64,
+    /// Requests answered [`EdgeStatus::BadRequest`].
+    pub bad_request: u64,
+    /// Requests answered [`EdgeStatus::ShuttingDown`].
+    pub shutting_down: u64,
+    /// Retried writes answered [`EdgeStatus::Duplicate`] from the
+    /// idempotency cache instead of re-executing.
+    pub dedup_hits: u64,
+    /// Breaker transitions to open.
+    pub breaker_opened: u64,
+    /// Breaker transitions open → half-open.
+    pub breaker_half_opened: u64,
+    /// Breaker transitions half-open → closed.
+    pub breaker_closed: u64,
+    /// Completed open → half-open → closed breaker cycles.
+    pub breaker_full_cycles: u64,
+    /// Client connections accepted.
+    pub conns_accepted: u64,
+    /// Client connections closed (any reason).
+    pub conns_closed: u64,
+    /// Client frames rejected as protocol violations.
+    pub frame_violations: u64,
+    /// Connections closed as slow-loris idlers.
+    pub idle_closed: u64,
+    /// Jobs queued or executing right now.
+    pub outstanding: u64,
+    /// Readiness at snapshot time.
+    pub ready: bool,
+    /// Per-backend breaker states, `node.raw() → state name`.
+    pub breakers: BTreeMap<u64, &'static str>,
+}
+
+/// What [`EdgeGateway::shutdown`] observed while draining.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainReport {
+    /// True when every in-flight request completed within `drain_timeout`.
+    pub drained: bool,
+    /// Requests still queued or executing when the timeout fired
+    /// (answered `ShuttingDown` if still queued).
+    pub abandoned: u64,
+}
+
+struct ObsHandles {
+    requests: Arc<atum_obs::Counter>,
+    ok: Arc<atum_obs::Counter>,
+    shed: Arc<atum_obs::Counter>,
+    dedup_hits: Arc<atum_obs::Counter>,
+    breaker_opened: Arc<atum_obs::Counter>,
+    breaker_closed: Arc<atum_obs::Counter>,
+    frame_violations: Arc<atum_obs::Counter>,
+    latency_us: Arc<atum_obs::AtomicHistogram>,
+}
+
+impl ObsHandles {
+    fn new() -> ObsHandles {
+        let reg = atum_obs::global();
+        ObsHandles {
+            requests: reg.counter("edge.requests"),
+            ok: reg.counter("edge.ok"),
+            shed: reg.counter("edge.shed"),
+            dedup_hits: reg.counter("edge.dedup_hits"),
+            breaker_opened: reg.counter("edge.breaker_opened"),
+            breaker_closed: reg.counter("edge.breaker_closed"),
+            frame_violations: reg.counter("edge.frame_violations"),
+            latency_us: reg.histogram(
+                "edge.latency_us",
+                &[
+                    100, 500, 1_000, 5_000, 10_000, 50_000, 100_000, 500_000, 1_000_000,
+                ],
+            ),
+        }
+    }
+}
+
+/// The write half of one client connection, shared between the I/O thread
+/// and whichever worker answers its requests. Writes are serialised by the
+/// mutex so pipelined responses never interleave mid-frame.
+struct ConnShared {
+    writer: Mutex<TcpStream>,
+    dead: AtomicBool,
+}
+
+impl ConnShared {
+    /// Writes one whole response frame, riding out `WouldBlock` for a
+    /// bounded window (the socket is non-blocking; a client that stops
+    /// reading cannot wedge a worker). Marks the connection dead on
+    /// failure.
+    fn write_frame(&self, frame: &[u8], stats: &RuntimeStats) -> bool {
+        let budget = Instant::now() + Duration::from_millis(200);
+        let stream = self.writer.lock().expect("edge conn writer lock");
+        let mut off = 0;
+        while off < frame.len() {
+            match (&*stream).write(&frame[off..]) {
+                Ok(0) => break,
+                Ok(n) => off += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    if Instant::now() >= budget {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => break,
+            }
+        }
+        if off == frame.len() {
+            stats.frames_sent.fetch_add(1, Ordering::Relaxed);
+            stats
+                .bytes_sent
+                .fetch_add(frame.len() as u64, Ordering::Relaxed);
+            true
+        } else {
+            self.dead.store(true, Ordering::Relaxed);
+            false
+        }
+    }
+}
+
+struct Job {
+    conn: Arc<ConnShared>,
+    req: EdgeRequest,
+    received: Instant,
+    deadline: Instant,
+}
+
+struct Shared {
+    cfg: EdgeConfig,
+    backend: Arc<dyn EdgeBackend>,
+    stats: Arc<RuntimeStats>,
+    counters: EdgeCounters,
+    obs: ObsHandles,
+    queue: Mutex<VecDeque<Job>>,
+    queue_cv: Condvar,
+    /// Accepting connections and admitting requests.
+    admitting: AtomicBool,
+    /// Readiness probe; flipped false before anything else on shutdown.
+    ready: AtomicBool,
+    /// Liveness: false once the I/O thread is asked to exit.
+    live: AtomicBool,
+    stop_workers: AtomicBool,
+    stop_io: AtomicBool,
+    /// Jobs queued + executing (drain condition).
+    outstanding: AtomicU64,
+    breakers: Mutex<BTreeMap<NodeId, Breaker>>,
+    dedup: Mutex<DedupCache>,
+    epoch: Instant,
+}
+
+impl Shared {
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Emits drained breaker transitions to counters + trace events;
+    /// called outside the breaker-map lock.
+    fn surface_transitions(&self, node: NodeId, transitions: &[BreakerTransition]) {
+        for t in transitions {
+            let code = match t {
+                BreakerTransition::Opened => {
+                    self.counters.breaker_opened.fetch_add(1, Ordering::Relaxed);
+                    self.obs.breaker_opened.inc();
+                    1u64
+                }
+                BreakerTransition::HalfOpened => {
+                    self.counters
+                        .breaker_half_opened
+                        .fetch_add(1, Ordering::Relaxed);
+                    2
+                }
+                BreakerTransition::Closed(full) => {
+                    self.counters.breaker_closed.fetch_add(1, Ordering::Relaxed);
+                    self.obs.breaker_closed.inc();
+                    if *full {
+                        self.counters
+                            .breaker_full_cycles
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    3
+                }
+            };
+            atum_obs::trace_event!(
+                Edge,
+                at = self.now_us(),
+                node = node.raw(),
+                slots = [code, 0, 0],
+                "breaker {} on backend {}",
+                match code {
+                    1 => "opened",
+                    2 => "half-opened",
+                    _ => "closed",
+                },
+                node.raw()
+            );
+        }
+    }
+
+    fn reply(&self, conn: &ConnShared, seq: u64, status: EdgeStatus, payload: Vec<u8>) {
+        match status {
+            EdgeStatus::Ok => {
+                self.counters.ok.fetch_add(1, Ordering::Relaxed);
+                self.obs.ok.inc();
+            }
+            EdgeStatus::Overloaded => {
+                self.counters.shed.fetch_add(1, Ordering::Relaxed);
+                self.obs.shed.inc();
+            }
+            EdgeStatus::Unavailable => {
+                self.counters.unavailable.fetch_add(1, Ordering::Relaxed);
+            }
+            EdgeStatus::DeadlineExceeded => {
+                self.counters
+                    .deadline_exceeded
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            EdgeStatus::BadRequest => {
+                self.counters.bad_request.fetch_add(1, Ordering::Relaxed);
+            }
+            EdgeStatus::ShuttingDown => {
+                self.counters.shutting_down.fetch_add(1, Ordering::Relaxed);
+            }
+            EdgeStatus::Duplicate => {
+                self.counters.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                self.obs.dedup_hits.inc();
+            }
+        }
+        let resp = EdgeResponse {
+            seq,
+            status,
+            payload,
+        };
+        let frame = edge_frame(FRAME_KIND_EDGE_RESPONSE, &resp);
+        conn.write_frame(&frame, &self.stats);
+    }
+
+    fn snapshot(&self) -> EdgeSnapshot {
+        let c = &self.counters;
+        let breakers = self
+            .breakers
+            .lock()
+            .expect("edge breakers lock")
+            .iter()
+            .map(|(id, b)| (id.raw(), b.state_kind().as_str()))
+            .collect();
+        EdgeSnapshot {
+            requests: c.requests.load(Ordering::Relaxed),
+            ok: c.ok.load(Ordering::Relaxed),
+            shed: c.shed.load(Ordering::Relaxed),
+            unavailable: c.unavailable.load(Ordering::Relaxed),
+            deadline_exceeded: c.deadline_exceeded.load(Ordering::Relaxed),
+            bad_request: c.bad_request.load(Ordering::Relaxed),
+            shutting_down: c.shutting_down.load(Ordering::Relaxed),
+            dedup_hits: c.dedup_hits.load(Ordering::Relaxed),
+            breaker_opened: c.breaker_opened.load(Ordering::Relaxed),
+            breaker_half_opened: c.breaker_half_opened.load(Ordering::Relaxed),
+            breaker_closed: c.breaker_closed.load(Ordering::Relaxed),
+            breaker_full_cycles: c.breaker_full_cycles.load(Ordering::Relaxed),
+            conns_accepted: c.conns_accepted.load(Ordering::Relaxed),
+            conns_closed: self.stats.edge_conns_closed.load(Ordering::Relaxed),
+            frame_violations: self.stats.edge_frame_violations.load(Ordering::Relaxed),
+            idle_closed: self.stats.edge_idle_closed.load(Ordering::Relaxed),
+            outstanding: self.outstanding.load(Ordering::Relaxed),
+            ready: self.ready.load(Ordering::Relaxed),
+            breakers,
+        }
+    }
+
+    fn snapshot_json(&self) -> String {
+        let s = self.snapshot();
+        let mut breakers = String::new();
+        for (i, (id, state)) in s.breakers.iter().enumerate() {
+            if i > 0 {
+                breakers.push(',');
+            }
+            breakers.push_str(&format!("\"{id}\":\"{state}\""));
+        }
+        format!(
+            "{{\"requests\":{},\"ok\":{},\"shed\":{},\"unavailable\":{},\
+             \"deadline_exceeded\":{},\"bad_request\":{},\"shutting_down\":{},\
+             \"dedup_hits\":{},\"breaker_opened\":{},\"breaker_half_opened\":{},\
+             \"breaker_closed\":{},\"breaker_full_cycles\":{},\
+             \"conns_accepted\":{},\"conns_closed\":{},\"frame_violations\":{},\
+             \"idle_closed\":{},\"outstanding\":{},\"ready\":{},\"breakers\":{{{}}}}}",
+            s.requests,
+            s.ok,
+            s.shed,
+            s.unavailable,
+            s.deadline_exceeded,
+            s.bad_request,
+            s.shutting_down,
+            s.dedup_hits,
+            s.breaker_opened,
+            s.breaker_half_opened,
+            s.breaker_closed,
+            s.breaker_full_cycles,
+            s.conns_accepted,
+            s.conns_closed,
+            s.frame_violations,
+            s.idle_closed,
+            s.outstanding,
+            s.ready,
+            breakers
+        )
+    }
+
+    fn health_json(&self) -> String {
+        format!(
+            "{{\"live\":{},\"ready\":{}}}",
+            self.live.load(Ordering::Relaxed),
+            self.ready.load(Ordering::Relaxed)
+        )
+    }
+}
+
+/// Encodes one edge frame (header + encoded body).
+fn edge_frame<T: atum_types::wire::WireEncode>(kind: u8, value: &T) -> Vec<u8> {
+    let body = encode_to_vec(value);
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + body.len());
+    out.extend_from_slice(&FRAME_MAGIC);
+    out.push(WIRE_VERSION);
+    out.push(kind);
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Scans a client connection buffer for one complete edge-request frame.
+/// Stricter than the node wire: only `FRAME_KIND_EDGE_REQUEST` is legal
+/// here (node frame kinds on the client listener are violations, mirroring
+/// the node wire rejecting edge kinds), and the body cap is the gateway's
+/// own `max_frame_len`, checked before any allocation.
+fn scan_client_frame(buf: &[u8], max_frame_len: usize) -> Result<Option<Range<usize>>, WireError> {
+    if buf.len() < FRAME_HEADER_LEN {
+        return Ok(None);
+    }
+    if buf[0..2] != FRAME_MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    if buf[2] != WIRE_VERSION {
+        return Err(WireError::BadVersion(buf[2]));
+    }
+    if buf[3] != FRAME_KIND_EDGE_REQUEST {
+        return Err(WireError::Malformed("edge frame kind"));
+    }
+    let len = u32::from_le_bytes(buf[4..8].try_into().unwrap()) as usize;
+    if len > max_frame_len {
+        return Err(WireError::FrameTooLarge(len));
+    }
+    if buf.len() < FRAME_HEADER_LEN + len {
+        return Ok(None);
+    }
+    Ok(Some(FRAME_HEADER_LEN..FRAME_HEADER_LEN + len))
+}
+
+/// A hardened client gateway in front of an Atum cluster. See the module
+/// docs for the data path; construct with [`EdgeGateway::start`], stop
+/// with [`EdgeGateway::shutdown`].
+pub struct EdgeGateway {
+    shared: Arc<Shared>,
+    waker: Arc<Waker>,
+    local_addr: SocketAddr,
+    io_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for EdgeGateway {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EdgeGateway")
+            .field("local_addr", &self.local_addr)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+/// A cloneable probe handle onto a gateway: liveness, readiness and
+/// counter snapshots, observable from other threads (e.g. while the
+/// gateway drains).
+#[derive(Clone)]
+pub struct EdgeProbe {
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for EdgeProbe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EdgeProbe")
+            .field("live", &self.live())
+            .field("ready", &self.ready())
+            .finish()
+    }
+}
+
+impl EdgeProbe {
+    /// Liveness: the gateway's I/O thread is running.
+    pub fn live(&self) -> bool {
+        self.shared.live.load(Ordering::Relaxed)
+    }
+
+    /// Readiness: the gateway is admitting requests. Flipped false before
+    /// anything else during shutdown.
+    pub fn ready(&self) -> bool {
+        self.shared.ready.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time counter snapshot.
+    pub fn snapshot(&self) -> EdgeSnapshot {
+        self.shared.snapshot()
+    }
+}
+
+impl EdgeGateway {
+    /// Binds the client listener and starts the I/O thread and worker
+    /// pool.
+    pub fn start(cfg: EdgeConfig, backend: Arc<dyn EdgeBackend>) -> std::io::Result<EdgeGateway> {
+        let listener = TcpListener::bind(&cfg.listen)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let waker = Arc::new(Waker::new()?);
+        let workers_n = cfg.workers.max(1);
+        let shared = Arc::new(Shared {
+            breakers: Mutex::new(BTreeMap::new()),
+            dedup: Mutex::new(DedupCache::new(cfg.dedup)),
+            backend,
+            stats: Arc::new(RuntimeStats::default()),
+            counters: EdgeCounters::default(),
+            obs: ObsHandles::new(),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            admitting: AtomicBool::new(true),
+            ready: AtomicBool::new(true),
+            live: AtomicBool::new(true),
+            stop_workers: AtomicBool::new(false),
+            stop_io: AtomicBool::new(false),
+            outstanding: AtomicU64::new(0),
+            epoch: Instant::now(),
+            cfg,
+        });
+        let io_shared = Arc::clone(&shared);
+        let io_waker = Arc::clone(&waker);
+        let io_thread = std::thread::Builder::new()
+            .name("edge-io".to_string())
+            .spawn(move || run_io(io_shared, listener, io_waker))?;
+        let mut workers = Vec::with_capacity(workers_n);
+        for i in 0..workers_n {
+            let w_shared = Arc::clone(&shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("edge-worker-{i}"))
+                    .spawn(move || run_worker(w_shared, i as u64))?,
+            );
+        }
+        Ok(EdgeGateway {
+            shared,
+            waker,
+            local_addr,
+            io_thread: Some(io_thread),
+            workers,
+        })
+    }
+
+    /// The address clients connect to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The gateway's socket/violation counters (the same structure the
+    /// node runtime uses, so harnesses aggregate both uniformly).
+    pub fn stats(&self) -> &Arc<RuntimeStats> {
+        &self.shared.stats
+    }
+
+    /// A cloneable probe handle (liveness/readiness/snapshots).
+    pub fn probe(&self) -> EdgeProbe {
+        EdgeProbe {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// A point-in-time counter snapshot.
+    pub fn snapshot(&self) -> EdgeSnapshot {
+        self.shared.snapshot()
+    }
+
+    /// Gracefully stops the gateway: readiness flips false first, then
+    /// the listener stops accepting and new requests are refused with
+    /// [`EdgeStatus::ShuttingDown`], in-flight requests drain within
+    /// `drain_timeout` (still-queued jobs past the timeout are answered
+    /// `ShuttingDown`), and only then do sockets close and threads join.
+    pub fn shutdown(mut self) -> DrainReport {
+        let shared = &self.shared;
+        shared.ready.store(false, Ordering::SeqCst);
+        shared.admitting.store(false, Ordering::SeqCst);
+        self.waker.wake();
+        let deadline = Instant::now() + shared.cfg.drain_timeout;
+        while shared.outstanding.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // Past the timeout: answer still-queued jobs ShuttingDown so their
+        // clients learn the outcome before sockets close.
+        let mut abandoned = 0u64;
+        {
+            let mut queue = shared.queue.lock().expect("edge queue lock");
+            while let Some(job) = queue.pop_front() {
+                abandoned += 1;
+                shared.reply(&job.conn, job.req.seq, EdgeStatus::ShuttingDown, Vec::new());
+                shared.outstanding.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+        // Wait for executing jobs (workers finish their current item).
+        shared.stop_workers.store(true, Ordering::SeqCst);
+        shared.queue_cv.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        let executing = shared.outstanding.load(Ordering::SeqCst);
+        shared.stop_io.store(true, Ordering::SeqCst);
+        shared.live.store(false, Ordering::SeqCst);
+        self.waker.wake();
+        if let Some(io) = self.io_thread.take() {
+            let _ = io.join();
+        }
+        atum_obs::trace_event!(
+            Edge,
+            at = shared.now_us(),
+            node = 0,
+            slots = [4, abandoned + executing, 0],
+            "gateway drained (abandoned {})",
+            abandoned + executing
+        );
+        DrainReport {
+            drained: abandoned + executing == 0,
+            abandoned: abandoned + executing,
+        }
+    }
+}
+
+const KEY_WAKER: u64 = 0;
+const KEY_LISTENER: u64 = 1;
+
+struct Conn {
+    stream: TcpStream,
+    shared: Arc<ConnShared>,
+    buf: Vec<u8>,
+    last_activity: Instant,
+}
+
+fn run_io(shared: Arc<Shared>, listener: TcpListener, waker: Arc<Waker>) {
+    let mut poller = match Poller::new() {
+        Ok(p) => p,
+        Err(_) => return,
+    };
+    if poller
+        .register(waker.fd(), KEY_WAKER, Interest::READABLE)
+        .is_err()
+    {
+        return;
+    }
+    if poller
+        .register(listener.as_raw_fd(), KEY_LISTENER, Interest::READABLE)
+        .is_err()
+    {
+        return;
+    }
+    let mut conns: BTreeMap<u64, Conn> = BTreeMap::new();
+    let mut next_key: u64 = 2;
+    let mut events: Vec<Event> = Vec::new();
+    let mut read_buf = [0u8; 16 * 1024];
+    loop {
+        if shared.stop_io.load(Ordering::SeqCst) {
+            break;
+        }
+        if poller
+            .wait(&mut events, Some(Duration::from_millis(20)))
+            .is_err()
+        {
+            break;
+        }
+        waker.drain();
+        if shared.stop_io.load(Ordering::SeqCst) {
+            break;
+        }
+        let now = Instant::now();
+        let mut to_close: Vec<u64> = Vec::new();
+        for ev in events.drain(..) {
+            match ev.key {
+                KEY_WAKER => {}
+                KEY_LISTENER => loop {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            if !shared.admitting.load(Ordering::SeqCst) {
+                                continue; // refused: dropped immediately
+                            }
+                            if stream.set_nonblocking(true).is_err() {
+                                continue;
+                            }
+                            let _ = stream.set_nodelay(true);
+                            let Ok(writer) = stream.try_clone() else {
+                                continue;
+                            };
+                            let key = next_key;
+                            next_key += 1;
+                            if poller
+                                .register(stream.as_raw_fd(), key, Interest::READABLE)
+                                .is_err()
+                            {
+                                continue;
+                            }
+                            shared
+                                .counters
+                                .conns_accepted
+                                .fetch_add(1, Ordering::Relaxed);
+                            conns.insert(
+                                key,
+                                Conn {
+                                    stream,
+                                    shared: Arc::new(ConnShared {
+                                        writer: Mutex::new(writer),
+                                        dead: AtomicBool::new(false),
+                                    }),
+                                    buf: Vec::new(),
+                                    last_activity: now,
+                                },
+                            );
+                        }
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                        Err(_) => break,
+                    }
+                },
+                key => {
+                    let Some(conn) = conns.get_mut(&key) else {
+                        continue;
+                    };
+                    if handle_readable(&shared, conn, &mut read_buf, now).is_err() {
+                        to_close.push(key);
+                    }
+                }
+            }
+        }
+        // Sweep: worker-detected write failures and slow-loris idlers.
+        for (key, conn) in conns.iter() {
+            if conn.shared.dead.load(Ordering::Relaxed) {
+                to_close.push(*key);
+            } else if !conn.buf.is_empty()
+                && now.duration_since(conn.last_activity) >= shared.cfg.idle_timeout
+            {
+                shared
+                    .stats
+                    .edge_idle_closed
+                    .fetch_add(1, Ordering::Relaxed);
+                to_close.push(*key);
+            }
+        }
+        to_close.sort_unstable();
+        to_close.dedup();
+        for key in to_close {
+            if let Some(conn) = conns.remove(&key) {
+                let _ = poller.deregister(conn.stream.as_raw_fd());
+                conn.shared.dead.store(true, Ordering::Relaxed);
+                shared
+                    .stats
+                    .edge_conns_closed
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+    // Shutdown: close every remaining connection.
+    for (_, conn) in conns {
+        let _ = poller.deregister(conn.stream.as_raw_fd());
+        conn.shared.dead.store(true, Ordering::Relaxed);
+        shared
+            .stats
+            .edge_conns_closed
+            .fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Reads everything available on one connection and dispatches complete
+/// frames. `Err(())` means the connection must close (EOF, I/O error, or
+/// a protocol violation — counted where they occur).
+fn handle_readable(
+    shared: &Arc<Shared>,
+    conn: &mut Conn,
+    read_buf: &mut [u8],
+    now: Instant,
+) -> Result<(), ()> {
+    loop {
+        match conn.stream.read(read_buf) {
+            Ok(0) => return Err(()),
+            Ok(n) => {
+                conn.buf.extend_from_slice(&read_buf[..n]);
+                conn.last_activity = now;
+                shared
+                    .stats
+                    .bytes_received
+                    .fetch_add(n as u64, Ordering::Relaxed);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return Err(()),
+        }
+    }
+    loop {
+        match scan_client_frame(&conn.buf, shared.cfg.max_frame_len) {
+            Ok(None) => return Ok(()),
+            Ok(Some(body_range)) => {
+                let frame_end = body_range.end;
+                let req = match decode_exact::<EdgeRequest>(&conn.buf[body_range]) {
+                    Ok(req) => req,
+                    Err(_) => {
+                        shared
+                            .stats
+                            .edge_frame_violations
+                            .fetch_add(1, Ordering::Relaxed);
+                        shared.stats.decode_errors.fetch_add(1, Ordering::Relaxed);
+                        shared.obs.frame_violations.inc();
+                        return Err(());
+                    }
+                };
+                conn.buf.drain(..frame_end);
+                shared.stats.frames_received.fetch_add(1, Ordering::Relaxed);
+                dispatch(shared, conn, req, now);
+            }
+            Err(_) => {
+                shared
+                    .stats
+                    .edge_frame_violations
+                    .fetch_add(1, Ordering::Relaxed);
+                shared.obs.frame_violations.inc();
+                return Err(());
+            }
+        }
+    }
+}
+
+/// Routes one decoded request: probes inline, everything else through
+/// admission (shed-newest on a full queue).
+fn dispatch(shared: &Arc<Shared>, conn: &Conn, req: EdgeRequest, now: Instant) {
+    shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+    shared.obs.requests.inc();
+    match req.op {
+        EdgeOp::Health => {
+            let payload = shared.health_json().into_bytes();
+            shared.reply(&conn.shared, req.seq, EdgeStatus::Ok, payload);
+            return;
+        }
+        EdgeOp::Stats => {
+            let payload = shared.snapshot_json().into_bytes();
+            shared.reply(&conn.shared, req.seq, EdgeStatus::Ok, payload);
+            return;
+        }
+        _ => {}
+    }
+    if !shared.admitting.load(Ordering::SeqCst) {
+        shared.reply(&conn.shared, req.seq, EdgeStatus::ShuttingDown, Vec::new());
+        return;
+    }
+    let deadline = now
+        + if req.deadline_ms == 0 {
+            shared.cfg.default_deadline
+        } else {
+            Duration::from_millis(req.deadline_ms as u64)
+        };
+    let mut queue = shared.queue.lock().expect("edge queue lock");
+    if queue.len() >= shared.cfg.queue_capacity {
+        drop(queue);
+        // Shed-newest: the queue is untouched, the arriving request is
+        // answered immediately.
+        shared.reply(&conn.shared, req.seq, EdgeStatus::Overloaded, Vec::new());
+        atum_obs::trace_event!(
+            Edge,
+            at = shared.now_us(),
+            node = 0,
+            slots = [5, req.seq, 0],
+            "shed request {} (queue full)",
+            req.seq
+        );
+        return;
+    }
+    shared.outstanding.fetch_add(1, Ordering::SeqCst);
+    queue.push_back(Job {
+        conn: Arc::clone(&conn.shared),
+        req,
+        received: now,
+        deadline,
+    });
+    drop(queue);
+    shared.queue_cv.notify_one();
+}
+
+fn run_worker(shared: Arc<Shared>, index: u64) {
+    let mut rng = ChaCha8Rng::seed_from_u64(shared.cfg.seed.wrapping_add(index));
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("edge queue lock");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break Some(job);
+                }
+                if shared.stop_workers.load(Ordering::SeqCst) {
+                    break None;
+                }
+                let (guard, _) = shared
+                    .queue_cv
+                    .wait_timeout(queue, Duration::from_millis(50))
+                    .expect("edge queue lock");
+                queue = guard;
+            }
+        };
+        let Some(job) = job else {
+            return;
+        };
+        process(&shared, &mut rng, job);
+    }
+}
+
+fn process(shared: &Arc<Shared>, rng: &mut ChaCha8Rng, job: Job) {
+    let (status, payload) = run_request(shared, rng, &job);
+    shared.reply(&job.conn, job.req.seq, status, payload);
+    shared
+        .obs
+        .latency_us
+        .record(job.received.elapsed().as_micros() as u64);
+    shared.outstanding.fetch_sub(1, Ordering::SeqCst);
+}
+
+fn run_request(shared: &Arc<Shared>, rng: &mut ChaCha8Rng, job: &Job) -> (EdgeStatus, Vec<u8>) {
+    let now = Instant::now();
+    if now >= job.deadline {
+        // Expired while queued: the queue wait counts against the
+        // deadline.
+        return (EdgeStatus::DeadlineExceeded, Vec::new());
+    }
+    let is_write = matches!(job.req.op, EdgeOp::Publish { .. } | EdgeOp::Append { .. });
+    let key = match job.req.idempotency_key {
+        Some(key) if is_write => key,
+        _ => return execute_op(shared, rng, &job.req.op, job.deadline),
+    };
+    // Dedup happens BEFORE routing: a retry must be recognised even if the
+    // original request's backend has since tripped its breaker.
+    loop {
+        let decision = shared
+            .dedup
+            .lock()
+            .expect("edge dedup lock")
+            .begin(key, Instant::now());
+        match decision {
+            DedupDecision::Done(payload) => return (EdgeStatus::Duplicate, payload),
+            DedupDecision::Fresh => break,
+            DedupDecision::InFlight => {
+                // The original is still executing (e.g. the client retried
+                // because a breaker trip slowed the first attempt). Wait
+                // for its outcome rather than double-applying.
+                if Instant::now() >= job.deadline {
+                    return (EdgeStatus::DeadlineExceeded, Vec::new());
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+    }
+    let (status, payload) = execute_op(shared, rng, &job.req.op, job.deadline);
+    let mut dedup = shared.dedup.lock().expect("edge dedup lock");
+    if status == EdgeStatus::Ok {
+        dedup.complete(key, payload.clone(), Instant::now());
+    } else {
+        // The write did not apply; free the key so a retry can execute.
+        dedup.abort(key);
+    }
+    (status, payload)
+}
+
+/// One admission through the breakers + one backend attempt, repeated with
+/// jittered exponential backoff against alternate backends until success,
+/// the attempt budget, or the deadline.
+fn execute_op(
+    shared: &Arc<Shared>,
+    rng: &mut ChaCha8Rng,
+    op: &EdgeOp,
+    deadline: Instant,
+) -> (EdgeStatus, Vec<u8>) {
+    let cfg = &shared.cfg;
+    for attempt in 1..=cfg.max_attempts {
+        let now = Instant::now();
+        if now >= deadline {
+            return (EdgeStatus::DeadlineExceeded, Vec::new());
+        }
+        let nodes = shared.backend.nodes();
+        if nodes.is_empty() {
+            return (EdgeStatus::Unavailable, Vec::new());
+        }
+        // Rotate from a random offset so retries naturally try alternate
+        // backends and load spreads without coordination.
+        let start = rng.gen_range(0..nodes.len());
+        let mut admitted: Option<(NodeId, Permit)> = None;
+        let mut transitions: Vec<(NodeId, Vec<BreakerTransition>)> = Vec::new();
+        {
+            let mut breakers = shared.breakers.lock().expect("edge breakers lock");
+            for i in 0..nodes.len() {
+                let node = nodes[(start + i) % nodes.len()];
+                let breaker = breakers
+                    .entry(node)
+                    .or_insert_with(|| Breaker::new(cfg.breaker));
+                let permit = breaker.try_acquire(now);
+                let drained = breaker.drain_transitions();
+                if !drained.is_empty() {
+                    transitions.push((node, drained));
+                }
+                if let Some(permit) = permit {
+                    admitted = Some((node, permit));
+                    break;
+                }
+            }
+        }
+        for (node, drained) in &transitions {
+            shared.surface_transitions(*node, drained);
+        }
+        let Some((node, permit)) = admitted else {
+            // Every breaker refused; wait out a backoff and try again
+            // (breakers may turn half-open meanwhile).
+            if !backoff(rng, cfg.retry_backoff, attempt, deadline) {
+                return (EdgeStatus::Unavailable, Vec::new());
+            }
+            continue;
+        };
+        let result = shared.backend.execute(node, op, deadline);
+        let success = !matches!(
+            result,
+            Err(EdgeBackendError::Unavailable) | Err(EdgeBackendError::Timeout)
+        );
+        let drained = {
+            let mut breakers = shared.breakers.lock().expect("edge breakers lock");
+            let Some(breaker) = breakers.get_mut(&node) else {
+                continue;
+            };
+            breaker.record(permit, success, Instant::now());
+            breaker.drain_transitions()
+        };
+        shared.surface_transitions(node, &drained);
+        match result {
+            Ok(payload) => return (EdgeStatus::Ok, payload),
+            Err(EdgeBackendError::Rejected(_)) => {
+                return (EdgeStatus::BadRequest, Vec::new());
+            }
+            Err(_) => {
+                if !backoff(rng, cfg.retry_backoff, attempt, deadline) {
+                    return (EdgeStatus::Unavailable, Vec::new());
+                }
+            }
+        }
+    }
+    if Instant::now() >= deadline {
+        (EdgeStatus::DeadlineExceeded, Vec::new())
+    } else {
+        (EdgeStatus::Unavailable, Vec::new())
+    }
+}
+
+/// Sleeps the jittered exponential backoff for `attempt`, clamped to the
+/// deadline. Returns false when the deadline leaves no room to retry.
+fn backoff(rng: &mut ChaCha8Rng, base: Duration, attempt: u32, deadline: Instant) -> bool {
+    let now = Instant::now();
+    let Some(remaining) = deadline.checked_duration_since(now) else {
+        return false;
+    };
+    let exp = base.as_micros() as u64 * (1u64 << (attempt - 1).min(8));
+    let jitter = rng.gen_range(0.5f64..1.5);
+    let wait = Duration::from_micros((exp as f64 * jitter) as u64);
+    if wait >= remaining {
+        return false;
+    }
+    std::thread::sleep(wait);
+    true
+}

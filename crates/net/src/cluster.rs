@@ -78,6 +78,12 @@ pub struct AggregateStats {
     /// Worst single node-timer lag (µs) any reactor observed — the
     /// CPU-starvation signal (see [`NetCluster::wait_for_members`]).
     pub timer_lag_max_us: u64,
+    /// Edge gateway: client frames rejected as protocol violations.
+    pub edge_frame_violations: u64,
+    /// Edge gateway: client connections closed as slow-loris idlers.
+    pub edge_idle_closed: u64,
+    /// Edge gateway: client connections closed for any reason.
+    pub edge_conns_closed: u64,
 }
 
 /// Builder for [`NetCluster`].
@@ -504,6 +510,9 @@ impl<A: Application + Send + 'static> NetCluster<A> {
             agg.timer_lag_max_us = agg
                 .timer_lag_max_us
                 .max(s.timer_lag_max_us.load(Ordering::Relaxed));
+            agg.edge_frame_violations += s.edge_frame_violations.load(Ordering::Relaxed);
+            agg.edge_idle_closed += s.edge_idle_closed.load(Ordering::Relaxed);
+            agg.edge_conns_closed += s.edge_conns_closed.load(Ordering::Relaxed);
         }
         agg
     }

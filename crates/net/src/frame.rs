@@ -345,6 +345,27 @@ mod tests {
     }
 
     #[test]
+    fn edge_frame_kinds_are_violations_on_the_node_wire() {
+        // The client-facing edge kinds share the header format but are only
+        // valid on a gateway's client listener. A node connection receiving
+        // one must treat it exactly like any unknown kind: terminal error,
+        // connection closed. Pinned so extending the edge protocol never
+        // silently widens the node wire.
+        use atum_types::wire::{FRAME_KIND_EDGE_REQUEST, FRAME_KIND_EDGE_RESPONSE};
+        for kind in [FRAME_KIND_EDGE_REQUEST, FRAME_KIND_EDGE_RESPONSE] {
+            let frame = frame_bytes(kind, &[0u8; 4]);
+            assert!(matches!(
+                scan_frame(&frame),
+                Err(WireError::Malformed("frame kind"))
+            ));
+            assert!(matches!(
+                read_frame(&mut Cursor::new(frame)),
+                Err(NetError::Wire(WireError::Malformed("frame kind")))
+            ));
+        }
+    }
+
+    #[test]
     fn truncated_frames_surface_as_io_errors() {
         let good = encode_frame(
             FRAME_KIND_HELLO,

@@ -171,6 +171,17 @@ pub struct RuntimeStats {
     /// keep up and timers slip by whole heartbeat periods, making healthy
     /// protocol code look broken (see `NetCluster::wait_for_members`).
     pub timer_lag_max_us: AtomicU64,
+    /// Edge gateway: client frames rejected as protocol violations
+    /// (bad magic/version, node-wire kinds on the client listener,
+    /// oversized bodies, undecodable requests). Each one closes only
+    /// the offending client connection.
+    pub edge_frame_violations: AtomicU64,
+    /// Edge gateway: client connections closed for idling past the
+    /// gateway's `idle_timeout` with an incomplete frame (slow-loris).
+    pub edge_idle_closed: AtomicU64,
+    /// Edge gateway: client connections closed for any reason (EOF,
+    /// I/O error, violation, idle timeout, shutdown).
+    pub edge_conns_closed: AtomicU64,
 }
 
 impl RuntimeStats {

@@ -44,11 +44,14 @@ pub enum EventKind {
     Net = 9,
     /// Reactor-loop instrumentation events (starvation, saturation).
     Reactor = 10,
+    /// Edge-gateway events: breaker transitions, load shedding, drain
+    /// progress at the client-facing service boundary.
+    Edge = 11,
 }
 
 impl EventKind {
     /// Every kind, in discriminant order.
-    pub const ALL: [EventKind; 11] = [
+    pub const ALL: [EventKind; 12] = [
         EventKind::Join,
         EventKind::Walk,
         EventKind::Welcome,
@@ -60,6 +63,7 @@ impl EventKind {
         EventKind::Churn,
         EventKind::Net,
         EventKind::Reactor,
+        EventKind::Edge,
     ];
 
     /// The stable wire name of this kind (the JSONL `kind` field).
@@ -76,6 +80,7 @@ impl EventKind {
             EventKind::Churn => "churn",
             EventKind::Net => "net",
             EventKind::Reactor => "reactor",
+            EventKind::Edge => "edge",
         }
     }
 

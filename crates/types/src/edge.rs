@@ -1,0 +1,305 @@
+//! The client-facing edge protocol: the request/response vocabulary an
+//! external client speaks to an Atum gateway.
+//!
+//! External clients are not Atum nodes: they hold no membership, run no
+//! overlay and are not trusted. They talk to a *gateway* over the same
+//! length-prefixed framing as the node-to-node wire (8-byte header, magic +
+//! version + kind + `u32` body length) but with their own frame kinds —
+//! [`FRAME_KIND_EDGE_REQUEST`](crate::wire::FRAME_KIND_EDGE_REQUEST) /
+//! [`FRAME_KIND_EDGE_RESPONSE`](crate::wire::FRAME_KIND_EDGE_RESPONSE) — so
+//! a client frame arriving on a node listener (or a node frame arriving on
+//! a gateway listener) is a protocol violation that closes the connection.
+//!
+//! The vocabulary is deliberately tiny: one request envelope carrying a
+//! correlation sequence number, an optional idempotency key, an optional
+//! per-request deadline, and one operation drawn from the three application
+//! services (ASub publish, AShare-style fetch, AStream-style append) plus
+//! the two probe operations (`Health`, `Stats`). Every reply carries a
+//! machine-readable [`EdgeStatus`] so saturation and shutdown degrade to
+//! *fast, typed rejection* (`Overloaded`, `ShuttingDown`) instead of
+//! silence.
+//!
+//! Variant tags are wire ABI — append new variants, never renumber.
+
+use crate::wire::{WireDecode, WireEncode, WireError, WireReader, WireWriter};
+
+/// One client request to a gateway.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeRequest {
+    /// Client-chosen correlation number, echoed verbatim in the response.
+    /// Clients pipelining several requests on one connection match replies
+    /// by this value.
+    pub seq: u64,
+    /// Client-supplied idempotency key. Two write requests carrying the
+    /// same key apply at most once: the gateway caches the first outcome
+    /// (bounded, TTL-limited) and replays it with
+    /// [`EdgeStatus::Duplicate`] for retries.
+    pub idempotency_key: Option<u64>,
+    /// Per-request deadline in milliseconds from gateway receipt; `0`
+    /// selects the gateway's default. Queue wait, execution and every
+    /// retry all count against it.
+    pub deadline_ms: u32,
+    /// The operation.
+    pub op: EdgeOp,
+}
+
+/// The operation a client asks the gateway to perform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EdgeOp {
+    /// Liveness/readiness probe (`/healthz`-style). Answered by the
+    /// gateway itself, bypassing admission, so it stays truthful under
+    /// overload and during drain.
+    Health,
+    /// Gateway statistics snapshot (counters, breaker states, queue
+    /// depths) as one JSON object. Also answered by the gateway itself.
+    Stats,
+    /// ASub: publish `payload` on `topic` (a write; benefits from an
+    /// idempotency key).
+    Publish {
+        /// Raw topic identifier.
+        topic: u64,
+        /// Application payload.
+        payload: Vec<u8>,
+    },
+    /// AShare-style read: fetch the value stored under `key`.
+    Fetch {
+        /// Raw key identifier.
+        key: u64,
+    },
+    /// AStream-style write: append `chunk` to `stream` (a write; benefits
+    /// from an idempotency key).
+    Append {
+        /// Raw stream identifier.
+        stream: u64,
+        /// Chunk bytes.
+        chunk: Vec<u8>,
+    },
+}
+
+/// One gateway reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeResponse {
+    /// The request's correlation number, echoed verbatim.
+    pub seq: u64,
+    /// Machine-readable outcome.
+    pub status: EdgeStatus,
+    /// Operation result bytes (empty on failures; the original cached
+    /// result on [`EdgeStatus::Duplicate`]).
+    pub payload: Vec<u8>,
+}
+
+/// Machine-readable request outcome. The non-`Ok` variants are the edge's
+/// robustness contract: every failure mode a client can hit has a typed,
+/// immediate answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum EdgeStatus {
+    /// The operation executed.
+    Ok = 0,
+    /// The admission queue was full; the request was shed without
+    /// executing. Retry with backoff.
+    Overloaded = 1,
+    /// No backend could serve the request (breakers open, backends
+    /// failing) within its retry budget.
+    Unavailable = 2,
+    /// The request's deadline expired before an attempt succeeded.
+    DeadlineExceeded = 3,
+    /// The request was malformed at the semantic level (unknown operation
+    /// arguments, oversized payload).
+    BadRequest = 4,
+    /// The gateway is draining for shutdown and admits no new work.
+    ShuttingDown = 5,
+    /// The idempotency key was already applied; the payload replays the
+    /// original outcome. The write did NOT apply a second time.
+    Duplicate = 6,
+}
+
+impl EdgeStatus {
+    /// Reconstructs a status from its wire tag.
+    pub fn from_u8(raw: u8) -> Option<EdgeStatus> {
+        Some(match raw {
+            0 => EdgeStatus::Ok,
+            1 => EdgeStatus::Overloaded,
+            2 => EdgeStatus::Unavailable,
+            3 => EdgeStatus::DeadlineExceeded,
+            4 => EdgeStatus::BadRequest,
+            5 => EdgeStatus::ShuttingDown,
+            6 => EdgeStatus::Duplicate,
+            _ => return None,
+        })
+    }
+
+    /// The stable lowercase name (used in stats snapshots and logs).
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            EdgeStatus::Ok => "ok",
+            EdgeStatus::Overloaded => "overloaded",
+            EdgeStatus::Unavailable => "unavailable",
+            EdgeStatus::DeadlineExceeded => "deadline-exceeded",
+            EdgeStatus::BadRequest => "bad-request",
+            EdgeStatus::ShuttingDown => "shutting-down",
+            EdgeStatus::Duplicate => "duplicate",
+        }
+    }
+}
+
+impl WireEncode for EdgeOp {
+    fn wire_encode(&self, w: &mut WireWriter<'_>) {
+        match self {
+            EdgeOp::Health => w.put_u8(0),
+            EdgeOp::Stats => w.put_u8(1),
+            EdgeOp::Publish { topic, payload } => {
+                w.put_u8(2);
+                w.put_u64(*topic);
+                payload.wire_encode(w);
+            }
+            EdgeOp::Fetch { key } => {
+                w.put_u8(3);
+                w.put_u64(*key);
+            }
+            EdgeOp::Append { stream, chunk } => {
+                w.put_u8(4);
+                w.put_u64(*stream);
+                chunk.wire_encode(w);
+            }
+        }
+    }
+}
+
+impl WireDecode for EdgeOp {
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(match r.take_u8()? {
+            0 => EdgeOp::Health,
+            1 => EdgeOp::Stats,
+            2 => EdgeOp::Publish {
+                topic: r.take_u64()?,
+                payload: Vec::<u8>::wire_decode(r)?,
+            },
+            3 => EdgeOp::Fetch { key: r.take_u64()? },
+            4 => EdgeOp::Append {
+                stream: r.take_u64()?,
+                chunk: Vec::<u8>::wire_decode(r)?,
+            },
+            _ => return Err(WireError::Malformed("edge op tag")),
+        })
+    }
+}
+
+impl WireEncode for EdgeRequest {
+    fn wire_encode(&self, w: &mut WireWriter<'_>) {
+        w.put_u64(self.seq);
+        self.idempotency_key.wire_encode(w);
+        w.put_u32(self.deadline_ms);
+        self.op.wire_encode(w);
+    }
+}
+
+impl WireDecode for EdgeRequest {
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(EdgeRequest {
+            seq: r.take_u64()?,
+            idempotency_key: Option::<u64>::wire_decode(r)?,
+            deadline_ms: r.take_u32()?,
+            op: EdgeOp::wire_decode(r)?,
+        })
+    }
+}
+
+impl WireEncode for EdgeResponse {
+    fn wire_encode(&self, w: &mut WireWriter<'_>) {
+        w.put_u64(self.seq);
+        w.put_u8(self.status as u8);
+        self.payload.wire_encode(w);
+    }
+}
+
+impl WireDecode for EdgeResponse {
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(EdgeResponse {
+            seq: r.take_u64()?,
+            status: EdgeStatus::from_u8(r.take_u8()?)
+                .ok_or(WireError::Malformed("edge status tag"))?,
+            payload: Vec::<u8>::wire_decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{decode_exact, encode_to_vec};
+
+    fn round_trip<T: WireEncode + WireDecode + PartialEq + std::fmt::Debug>(v: &T) {
+        let bytes = encode_to_vec(v);
+        let back: T = decode_exact(&bytes).expect("decode");
+        assert_eq!(&back, v);
+    }
+
+    #[test]
+    fn requests_round_trip_over_every_op() {
+        for op in [
+            EdgeOp::Health,
+            EdgeOp::Stats,
+            EdgeOp::Publish {
+                topic: 9,
+                payload: vec![1, 2, 3],
+            },
+            EdgeOp::Fetch { key: 0xdead },
+            EdgeOp::Append {
+                stream: 4,
+                chunk: vec![0; 64],
+            },
+        ] {
+            round_trip(&EdgeRequest {
+                seq: 42,
+                idempotency_key: Some(7),
+                deadline_ms: 1500,
+                op,
+            });
+        }
+        round_trip(&EdgeRequest {
+            seq: 0,
+            idempotency_key: None,
+            deadline_ms: 0,
+            op: EdgeOp::Health,
+        });
+    }
+
+    #[test]
+    fn responses_round_trip_over_every_status() {
+        for raw in 0..=6u8 {
+            let status = EdgeStatus::from_u8(raw).expect("valid status");
+            assert_eq!(status as u8, raw);
+            round_trip(&EdgeResponse {
+                seq: raw as u64,
+                status,
+                payload: vec![raw; raw as usize],
+            });
+        }
+        assert_eq!(EdgeStatus::from_u8(7), None);
+    }
+
+    #[test]
+    fn truncation_and_bad_tags_are_rejected() {
+        let req = EdgeRequest {
+            seq: 1,
+            idempotency_key: Some(2),
+            deadline_ms: 3,
+            op: EdgeOp::Publish {
+                topic: 4,
+                payload: vec![5; 16],
+            },
+        };
+        let bytes = encode_to_vec(&req);
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_exact::<EdgeRequest>(&bytes[..cut]).is_err(),
+                "truncation at {cut} must fail"
+            );
+        }
+        let mut bad = bytes.clone();
+        // The op tag sits after seq (8) + Some-key (1 + 8) + deadline (4).
+        bad[21] = 200;
+        assert!(decode_exact::<EdgeRequest>(&bad).is_err());
+    }
+}

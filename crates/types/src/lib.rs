@@ -39,6 +39,7 @@
 
 pub mod composition;
 pub mod config;
+pub mod edge;
 pub mod error;
 pub mod guideline;
 pub mod id;
@@ -47,6 +48,7 @@ pub mod wire;
 
 pub use composition::Composition;
 pub use config::{GossipPolicy, Params, SmrMode};
+pub use edge::{EdgeOp, EdgeRequest, EdgeResponse, EdgeStatus};
 pub use error::{AtumError, Result};
 pub use guideline::{recommended_params, GuidelineEntry};
 pub use id::{BroadcastId, NetAddr, NodeId, NodeIdentity, TopicId, VgroupId, WalkId};

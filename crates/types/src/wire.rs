@@ -64,6 +64,15 @@ pub const FRAME_KIND_MESSAGE: u8 = 1;
 /// Kept outside the message frame so the message bytes stay identical
 /// across every recipient of a fan-out (the encode-once `Arc<[u8]>` path).
 pub const FRAME_KIND_ROUTE: u8 = 2;
+/// Frame kind: an encoded [`EdgeRequest`](crate::edge::EdgeRequest) from an
+/// external client to a gateway. Edge kinds share the frame header format
+/// (and version) with the node-to-node wire but are only ever valid on a
+/// gateway's client listener — a node connection that receives one closes,
+/// and vice versa.
+pub const FRAME_KIND_EDGE_REQUEST: u8 = 3;
+/// Frame kind: an encoded [`EdgeResponse`](crate::edge::EdgeResponse) from
+/// a gateway back to an external client.
+pub const FRAME_KIND_EDGE_RESPONSE: u8 = 4;
 /// Bytes of the frame header: magic (2), version (1), kind (1), body length
 /// (`u32` little-endian).
 pub const FRAME_HEADER_LEN: usize = 8;

@@ -16,6 +16,9 @@
 //!   flight recorder dumped on failures.
 //! * [`apps`] — the three applications from the paper: ASub, AShare and
 //!   AStream.
+//! * [`edge`] — the hardened client gateway: circuit breakers, request
+//!   deduplication, deadlines with retry, load shedding and graceful
+//!   shutdown at the boundary where external clients meet the overlay.
 //! * [`sim`] — the experiment harness (cluster construction, fault
 //!   injection, workload drivers, metrics).
 //!
@@ -29,6 +32,7 @@
 pub use atum_apps as apps;
 pub use atum_core as core;
 pub use atum_crypto as crypto;
+pub use atum_edge as edge;
 pub use atum_net as net;
 pub use atum_obs as obs;
 pub use atum_overlay as overlay;

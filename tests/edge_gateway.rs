@@ -1,0 +1,241 @@
+//! Decode hardening at the gateway's client boundary.
+//!
+//! The node wire gets to assume its peers run this codebase; the edge
+//! wire does not. These tests throw malformed headers, node-wire frame
+//! kinds, oversized length prefixes, truncated bodies, random garbage and
+//! slow-loris dribbles at a live gateway and assert the blast radius of
+//! every violation is exactly one connection: the offender is closed and
+//! counted, concurrent well-behaved clients never notice, and the
+//! listener keeps accepting.
+
+use atum::edge::client::request_frame;
+use atum::edge::{
+    EdgeBackend, EdgeBackendError, EdgeClient, EdgeConfig, EdgeGateway, EdgeOp, EdgeRequest,
+    EdgeStatus,
+};
+use atum::types::wire::{FRAME_KIND_EDGE_REQUEST, FRAME_KIND_MESSAGE, FRAME_MAGIC, WIRE_VERSION};
+use atum::types::NodeId;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A backend that always succeeds; these tests exercise the wire in
+/// front of it, not the routing behind it.
+#[derive(Debug)]
+struct OkBackend;
+
+impl EdgeBackend for OkBackend {
+    fn nodes(&self) -> Vec<NodeId> {
+        vec![NodeId::new(0)]
+    }
+
+    fn execute(
+        &self,
+        _node: NodeId,
+        _op: &EdgeOp,
+        _deadline: Instant,
+    ) -> Result<Vec<u8>, EdgeBackendError> {
+        Ok(Vec::new())
+    }
+}
+
+fn start_gateway(cfg: EdgeConfig) -> EdgeGateway {
+    EdgeGateway::start(cfg, Arc::new(OkBackend)).expect("gateway starts")
+}
+
+fn hardened_config() -> EdgeConfig {
+    EdgeConfig {
+        max_frame_len: 1024,
+        idle_timeout: Duration::from_millis(300),
+        ..EdgeConfig::default()
+    }
+}
+
+fn health_request(seq: u64) -> EdgeRequest {
+    EdgeRequest {
+        seq,
+        idempotency_key: None,
+        deadline_ms: 0,
+        op: EdgeOp::Health,
+    }
+}
+
+/// Sends `bytes` on a fresh raw connection and returns once the gateway
+/// closes it (read returns EOF). Panics if the connection survives the
+/// timeout — a violation that does *not* close the connection is the bug.
+fn expect_closed_after(addr: std::net::SocketAddr, bytes: &[u8]) {
+    let mut stream = TcpStream::connect(addr).expect("raw connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(bytes).expect("raw write");
+    let mut sink = [0u8; 256];
+    loop {
+        match stream.read(&mut sink) {
+            Ok(0) => return, // closed by the gateway
+            Ok(_) => continue,
+            Err(e) => panic!("gateway did not close the violating connection: {e}"),
+        }
+    }
+}
+
+/// A tiny deterministic generator so the garbage corpus is reproducible
+/// without pulling an RNG crate into the facade's dev-dependencies.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+#[test]
+fn violations_close_only_the_offending_connection() {
+    let gateway = start_gateway(hardened_config());
+    let addr = gateway.local_addr();
+
+    // A well-behaved bystander stays connected across every attack below.
+    let mut bystander = EdgeClient::connect(addr, Duration::from_secs(10)).expect("bystander");
+    assert_eq!(
+        bystander.request(&health_request(1)).unwrap().status,
+        EdgeStatus::Ok
+    );
+
+    let good = request_frame(&health_request(2));
+
+    // Bad magic.
+    let mut bad_magic = good.clone();
+    bad_magic[0] = b'X';
+    expect_closed_after(addr, &bad_magic);
+
+    // Bad version.
+    let mut bad_version = good.clone();
+    bad_version[2] = WIRE_VERSION + 1;
+    expect_closed_after(addr, &bad_version);
+
+    // A *node-wire* frame kind: valid between nodes, a violation from a
+    // client. The two wires share a header but not a vocabulary.
+    let mut node_kind = good.clone();
+    node_kind[3] = FRAME_KIND_MESSAGE;
+    expect_closed_after(addr, &node_kind);
+
+    // Length prefix far past `max_frame_len`: rejected from the header
+    // alone, before any body allocation.
+    let mut oversized = Vec::new();
+    oversized.extend_from_slice(&FRAME_MAGIC);
+    oversized.push(WIRE_VERSION);
+    oversized.push(FRAME_KIND_EDGE_REQUEST);
+    oversized.extend_from_slice(&u32::MAX.to_le_bytes());
+    expect_closed_after(addr, &oversized);
+
+    // A well-formed header whose body is garbage.
+    let mut bad_body = Vec::new();
+    bad_body.extend_from_slice(&FRAME_MAGIC);
+    bad_body.push(WIRE_VERSION);
+    bad_body.push(FRAME_KIND_EDGE_REQUEST);
+    bad_body.extend_from_slice(&8u32.to_le_bytes());
+    bad_body.extend_from_slice(&[0xFF; 8]);
+    expect_closed_after(addr, &bad_body);
+
+    let snapshot = gateway.snapshot();
+    assert!(
+        snapshot.frame_violations >= 5,
+        "expected every violation counted, got {}",
+        snapshot.frame_violations
+    );
+
+    // The bystander's connection and the listener both survived.
+    assert_eq!(
+        bystander.request(&health_request(3)).unwrap().status,
+        EdgeStatus::Ok
+    );
+    let mut fresh = EdgeClient::connect(addr, Duration::from_secs(10)).expect("fresh client");
+    assert_eq!(
+        fresh.request(&health_request(4)).unwrap().status,
+        EdgeStatus::Ok
+    );
+    gateway.shutdown();
+}
+
+#[test]
+fn random_garbage_never_takes_the_gateway_down() {
+    let gateway = start_gateway(hardened_config());
+    let addr = gateway.local_addr();
+    let good = request_frame(&health_request(9));
+    let mut rng = XorShift(0xFEED_FACE_0BAD_F00D);
+
+    for round in 0..64 {
+        let bytes: Vec<u8> = if round % 2 == 0 {
+            // Pure garbage of a pseudo-random length.
+            let len = (rng.next() % 64 + 1) as usize;
+            (0..len).map(|_| rng.next() as u8).collect()
+        } else {
+            // A known-good frame with one pseudo-random byte corrupted —
+            // the adversary that almost speaks the protocol.
+            let mut frame = good.clone();
+            let idx = (rng.next() as usize) % frame.len();
+            frame[idx] ^= (rng.next() as u8) | 1;
+            frame
+        };
+        // Some corruptions (e.g. of the length prefix's low bytes, or of
+        // body bytes that keep the request decodable) are not violations;
+        // we only assert the gateway survives, whatever it decided.
+        let mut stream = TcpStream::connect(addr).expect("raw connect");
+        let _ = stream.write_all(&bytes);
+        drop(stream);
+    }
+
+    // After the whole corpus: the listener accepts and answers.
+    let mut client = EdgeClient::connect(addr, Duration::from_secs(10)).expect("client");
+    assert_eq!(
+        client.request(&health_request(10)).unwrap().status,
+        EdgeStatus::Ok
+    );
+    gateway.shutdown();
+}
+
+#[test]
+fn slow_loris_is_cut_off_without_collateral() {
+    let gateway = start_gateway(hardened_config());
+    let addr = gateway.local_addr();
+
+    // The loris sends a valid header and then... nothing. It holds an
+    // incomplete frame, so the idle reaper owes it a close.
+    let good = request_frame(&health_request(20));
+    let mut loris = TcpStream::connect(addr).expect("loris connect");
+    loris
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    loris.write_all(&good[..6]).expect("partial write");
+
+    // A healthy client keeps chatting while the loris dangles.
+    let mut client = EdgeClient::connect(addr, Duration::from_secs(10)).expect("client");
+    assert_eq!(
+        client.request(&health_request(21)).unwrap().status,
+        EdgeStatus::Ok
+    );
+
+    let mut sink = [0u8; 64];
+    match loris.read(&mut sink) {
+        Ok(0) => {}
+        other => panic!("loris connection was not closed: {other:?}"),
+    }
+    let snapshot = gateway.snapshot();
+    assert!(
+        snapshot.idle_closed >= 1,
+        "idle close not counted: {snapshot:?}"
+    );
+
+    // No collateral: the patient client still works.
+    assert_eq!(
+        client.request(&health_request(22)).unwrap().status,
+        EdgeStatus::Ok
+    );
+    gateway.shutdown();
+}

@@ -1,0 +1,246 @@
+//! End-to-end semantics of the gateway's robustness kit: circuit-breaker
+//! state machine, idempotency-key deduplication, and graceful shutdown —
+//! all observed from outside, through real sockets, against a scripted
+//! backend whose failures the tests flip on and off.
+
+use atum::edge::{
+    BreakerConfig, EdgeBackend, EdgeBackendError, EdgeClient, EdgeConfig, EdgeGateway, EdgeOp,
+    EdgeRequest, EdgeStatus,
+};
+use atum::types::NodeId;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A backend the test scripts: `fail` turns every execution into
+/// `Unavailable`, `delay_ms` stretches executions, and every *successful*
+/// write is tallied per topic so duplicate applies are directly countable.
+#[derive(Debug, Default)]
+struct ScriptedBackend {
+    fail: AtomicBool,
+    delay_ms: AtomicU64,
+    executions: AtomicU64,
+    applies: Mutex<BTreeMap<u64, u64>>,
+}
+
+impl EdgeBackend for ScriptedBackend {
+    fn nodes(&self) -> Vec<NodeId> {
+        // One backend node: every request aims at the same breaker, which
+        // makes the state machine's behaviour directly observable.
+        vec![NodeId::new(0)]
+    }
+
+    fn execute(
+        &self,
+        _node: NodeId,
+        op: &EdgeOp,
+        _deadline: Instant,
+    ) -> Result<Vec<u8>, EdgeBackendError> {
+        self.executions.fetch_add(1, Ordering::SeqCst);
+        let delay = self.delay_ms.load(Ordering::SeqCst);
+        if delay > 0 {
+            std::thread::sleep(Duration::from_millis(delay));
+        }
+        if self.fail.load(Ordering::SeqCst) {
+            return Err(EdgeBackendError::Unavailable);
+        }
+        if let EdgeOp::Publish { topic, .. } = op {
+            *self.applies.lock().unwrap().entry(*topic).or_insert(0) += 1;
+        }
+        Ok(Vec::new())
+    }
+}
+
+fn config() -> EdgeConfig {
+    EdgeConfig {
+        // One attempt per request: with a single backend node, retries
+        // would only multiply breaker bookkeeping per client request.
+        max_attempts: 1,
+        breaker: BreakerConfig {
+            window: 8,
+            failure_rate: 0.5,
+            min_volume: 4,
+            cooldown: Duration::from_millis(250),
+            probe_quota: 1,
+        },
+        ..EdgeConfig::default()
+    }
+}
+
+fn publish(seq: u64, topic: u64, key: Option<u64>) -> EdgeRequest {
+    EdgeRequest {
+        seq,
+        idempotency_key: key,
+        deadline_ms: 3_000,
+        op: EdgeOp::Publish {
+            topic,
+            payload: vec![0x42; 8],
+        },
+    }
+}
+
+fn connect(gateway: &EdgeGateway) -> EdgeClient {
+    EdgeClient::connect(gateway.local_addr(), Duration::from_secs(10)).expect("client connects")
+}
+
+/// Drives unavailable traffic until the breaker trips open.
+fn trip_breaker(client: &mut EdgeClient, base_seq: u64) {
+    for i in 0..6 {
+        let resp = client
+            .request(&publish(base_seq + i, 500 + i, None))
+            .unwrap();
+        assert_eq!(resp.status, EdgeStatus::Unavailable);
+    }
+}
+
+#[test]
+fn breaker_trips_probes_exactly_once_and_recloses_on_recovery() {
+    let backend = Arc::new(ScriptedBackend::default());
+    let gateway = EdgeGateway::start(config(), Arc::clone(&backend) as Arc<dyn EdgeBackend>)
+        .expect("gateway starts");
+    let mut client = connect(&gateway);
+
+    backend.fail.store(true, Ordering::SeqCst);
+    trip_breaker(&mut client, 1);
+    let snap = gateway.snapshot();
+    assert!(snap.breaker_opened >= 1, "breaker never opened: {snap:?}");
+    assert_eq!(snap.breakers.get(&0).copied(), Some("open"));
+
+    // While open (pre-cooldown) requests fail fast without reaching the
+    // backend at all.
+    let before = backend.executions.load(Ordering::SeqCst);
+    let resp = client.request(&publish(20, 520, None)).unwrap();
+    assert_eq!(resp.status, EdgeStatus::Unavailable);
+    assert_eq!(backend.executions.load(Ordering::SeqCst), before);
+
+    // Past the cooldown the breaker half-opens and admits *exactly* the
+    // probe quota (1): stretch the probe and race a second request into
+    // it — the straggler must be rejected without a backend execution.
+    std::thread::sleep(Duration::from_millis(400));
+    backend.delay_ms.store(300, Ordering::SeqCst);
+    let before = backend.executions.load(Ordering::SeqCst);
+    let mut prober = connect(&gateway);
+    prober.send(&publish(30, 530, None)).unwrap();
+    std::thread::sleep(Duration::from_millis(100)); // probe is now executing
+    let resp = client.request(&publish(31, 531, None)).unwrap();
+    assert_eq!(resp.status, EdgeStatus::Unavailable);
+    assert_eq!(
+        backend.executions.load(Ordering::SeqCst),
+        before + 1,
+        "half-open admitted more than the probe quota"
+    );
+    assert_eq!(prober.recv().unwrap().status, EdgeStatus::Unavailable);
+
+    // Recovery: the backend heals, the next probe succeeds, the breaker
+    // closes, and ordinary traffic flows again.
+    backend.fail.store(false, Ordering::SeqCst);
+    backend.delay_ms.store(0, Ordering::SeqCst);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let resp = client.request(&publish(40, 540, None)).unwrap();
+        if resp.status == EdgeStatus::Ok {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "breaker never closed after recovery"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    let snap = gateway.snapshot();
+    assert_eq!(snap.breakers.get(&0).copied(), Some("closed"));
+    assert!(
+        snap.breaker_full_cycles >= 1,
+        "no full open→half-open→closed cycle recorded: {snap:?}"
+    );
+    gateway.shutdown();
+}
+
+#[test]
+fn idempotent_retry_straddling_a_breaker_trip_applies_once() {
+    let backend = Arc::new(ScriptedBackend::default());
+    let gateway = EdgeGateway::start(config(), Arc::clone(&backend) as Arc<dyn EdgeBackend>)
+        .expect("gateway starts");
+    let mut client = connect(&gateway);
+
+    // The keyed write lands while the backend is healthy.
+    let resp = client.request(&publish(1, 7, Some(7))).unwrap();
+    assert_eq!(resp.status, EdgeStatus::Ok);
+
+    // The backend dies and the breaker trips...
+    backend.fail.store(true, Ordering::SeqCst);
+    trip_breaker(&mut client, 10);
+
+    // ...and the client, unsure whether its write landed, retries the
+    // same key mid-trip. The dedup cache answers from memory: no backend
+    // contact, no second apply.
+    let resp = client.request(&publish(2, 7, Some(7))).unwrap();
+    assert_eq!(resp.status, EdgeStatus::Duplicate);
+
+    // Still duplicate after the breaker recovers.
+    backend.fail.store(false, Ordering::SeqCst);
+    std::thread::sleep(Duration::from_millis(400));
+    let resp = client.request(&publish(3, 7, Some(7))).unwrap();
+    assert_eq!(resp.status, EdgeStatus::Duplicate);
+    assert_eq!(backend.applies.lock().unwrap().get(&7), Some(&1));
+
+    // A keyed write that *failed* is not poisoned: the claim is released,
+    // the retry executes for real, and only the third send deduplicates.
+    backend.fail.store(true, Ordering::SeqCst);
+    let resp = client.request(&publish(4, 9, Some(9))).unwrap();
+    assert_eq!(resp.status, EdgeStatus::Unavailable);
+    backend.fail.store(false, Ordering::SeqCst);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let resp = client.request(&publish(5, 9, Some(9))).unwrap();
+        match resp.status {
+            EdgeStatus::Ok => break,
+            // The breaker may still be open from the failure burst.
+            EdgeStatus::Unavailable => {
+                assert!(Instant::now() < deadline, "retry never landed");
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            other => panic!("unexpected status {other:?}"),
+        }
+    }
+    let resp = client.request(&publish(6, 9, Some(9))).unwrap();
+    assert_eq!(resp.status, EdgeStatus::Duplicate);
+    assert_eq!(backend.applies.lock().unwrap().get(&9), Some(&1));
+    assert_eq!(gateway.snapshot().dedup_hits, 3);
+    gateway.shutdown();
+}
+
+#[test]
+fn shutdown_flips_readiness_first_and_drains_in_flight_work() {
+    let backend = Arc::new(ScriptedBackend::default());
+    let gateway = EdgeGateway::start(config(), Arc::clone(&backend) as Arc<dyn EdgeBackend>)
+        .expect("gateway starts");
+    let addr = gateway.local_addr();
+    let probe = gateway.probe();
+    assert!(probe.live() && probe.ready());
+
+    // Park a request inside the backend, then shut down around it.
+    backend.delay_ms.store(400, Ordering::SeqCst);
+    let mut client = connect(&gateway);
+    client.send(&publish(77, 77, None)).unwrap();
+    std::thread::sleep(Duration::from_millis(100)); // worker picked it up
+
+    let report = gateway.shutdown();
+    assert!(report.drained, "drain timed out: {report:?}");
+    assert_eq!(report.abandoned, 0);
+
+    // The in-flight request completed and its response was written before
+    // the socket closed.
+    let resp = client.recv().expect("drained response readable");
+    assert_eq!(resp.seq, 77);
+    assert_eq!(resp.status, EdgeStatus::Ok);
+    assert_eq!(*backend.applies.lock().unwrap().get(&77).unwrap(), 1);
+
+    // Probes report the shutdown and the listener is gone.
+    assert!(!probe.ready() && !probe.live());
+    assert!(
+        EdgeClient::connect(addr, Duration::from_millis(500)).is_err(),
+        "listener still accepting after shutdown"
+    );
+}
